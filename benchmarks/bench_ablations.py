@@ -1,0 +1,38 @@
+"""Ablation benches for the design choices DESIGN.md calls out.
+
+* β estimation: online vs pinned values (GD*'s adaptivity knob);
+* warm-up fraction: sensitivity of reported rates to the 10 % rule;
+* modification rule: the paper's 5 %-delta rule vs Jin & Bestavros'
+  any-change rule — the paper's stated source of its one disagreement
+  with the GD* paper.
+"""
+
+from benchmarks.conftest import run_and_report
+
+
+def test_ablation_beta(benchmark, bench_scale):
+    report = run_and_report(benchmark, "ablation-beta", bench_scale)
+    print("\n" + report.text)
+    assert report.data["beta=1.0"]["final_beta"] == 1.0
+    # Every arm produces a sane hit rate.
+    for arm in report.data.values():
+        assert 0.0 <= arm["hit_rate"] <= 1.0
+
+
+def test_ablation_warmup(benchmark, bench_scale):
+    report = run_and_report(benchmark, "ablation-warmup", bench_scale)
+    print("\n" + report.text)
+    # Counting cold-start misses (warm-up 0) can only lower the
+    # reported hit rate relative to the paper's 10 % warm-up.
+    assert report.data["lru@0.0"]["hit_rate"] <= \
+        report.data["lru@0.1"]["hit_rate"] + 0.02
+
+
+def test_ablation_modification(benchmark, bench_scale):
+    report = run_and_report(benchmark, "ablation-modification",
+                            bench_scale)
+    print("\n" + report.text)
+    # The any-change rule manufactures invalidations out of interrupted
+    # transfers; the paper's rule does not.
+    assert report.data["gds(1)/any-change"]["invalidations"] > \
+        report.data["gds(1)/paper-rule"]["invalidations"]

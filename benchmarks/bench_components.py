@@ -1,0 +1,108 @@
+"""Micro-benchmarks for the non-policy components.
+
+Covers every stage a full experiment passes through: trace generation,
+log parsing, preprocessing, characterization, and the β estimator.
+"""
+
+import io
+
+import pytest
+
+from repro.analysis.characterize import characterize, type_breakdown
+from repro.analysis.correlation import estimate_beta
+from repro.analysis.popularity import estimate_alpha
+from repro.core.beta_estimator import OnlineBetaEstimator
+from repro.trace.csvtrace import CsvTraceParser, dumps
+from repro.trace.pipeline import TracePipeline
+from repro.trace.squid import SquidParser, format_squid_line
+from repro.trace.record import LogRecord
+from repro.workload.generator import generate_trace
+from repro.workload.profiles import dfn_like, uniform_profile
+from repro.workload.temporal import PowerLawGapSampler
+
+
+def test_trace_generation(benchmark):
+    profile = dfn_like(scale=1.0 / 512.0)
+    trace = benchmark.pedantic(generate_trace, args=(profile,),
+                               rounds=3, iterations=1)
+    benchmark.extra_info["requests"] = len(trace)
+    assert len(trace) == profile.n_requests
+
+
+@pytest.fixture(scope="module")
+def squid_lines(dfn_trace):
+    lines = []
+    for request in dfn_trace.requests[:20_000]:
+        record = LogRecord(
+            timestamp=request.timestamp, url=request.url,
+            status=request.status, size=request.transfer_size,
+            content_type=request.content_type, client="10.0.0.1",
+            elapsed_ms=5)
+        lines.append(format_squid_line(record))
+    return lines
+
+
+def test_squid_parse_throughput(benchmark, squid_lines):
+    def run():
+        return sum(1 for _ in SquidParser().parse(squid_lines))
+
+    count = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert count == len(squid_lines)
+
+
+def test_csv_round_trip_throughput(benchmark, dfn_trace):
+    text = dumps(dfn_trace.requests[:20_000])
+
+    def run():
+        return sum(1 for _ in CsvTraceParser().parse(io.StringIO(text)))
+
+    assert benchmark.pedantic(run, rounds=3, iterations=1) == 20_000
+
+
+def test_preprocess_pipeline_throughput(benchmark, squid_lines):
+    records = list(SquidParser().parse(squid_lines))
+
+    def run():
+        pipeline = TracePipeline()
+        return sum(1 for _ in pipeline.process(records))
+
+    assert benchmark.pedantic(run, rounds=3, iterations=1) > 0
+
+
+def test_characterize_throughput(benchmark, dfn_trace):
+    char = benchmark.pedantic(characterize, args=(dfn_trace,),
+                              rounds=1, iterations=1)
+    assert char.metadata.total_requests == len(dfn_trace)
+
+
+def test_type_breakdown_throughput(benchmark, dfn_trace):
+    breakdown = benchmark.pedantic(type_breakdown, args=(dfn_trace,),
+                                   rounds=3, iterations=1)
+    assert sum(breakdown.total_requests.values()) > 99.0
+
+
+def test_alpha_estimation(benchmark, dfn_trace):
+    alpha = benchmark.pedantic(estimate_alpha, args=(dfn_trace,),
+                               rounds=3, iterations=1)
+    assert alpha > 0
+
+
+def test_beta_estimation(benchmark, dfn_trace):
+    beta = benchmark.pedantic(
+        estimate_beta, args=(dfn_trace,), kwargs={"max_refs": 100},
+        rounds=3, iterations=1)
+    assert beta > 0
+
+
+def test_online_beta_estimator_throughput(benchmark):
+    sampler = PowerLawGapSampler(0.5, 10 ** 5, seed=3)
+    distances = sampler.sample_many(100_000).tolist()
+
+    def run():
+        estimator = OnlineBetaEstimator()
+        observe = estimator.observe
+        for distance in distances:
+            observe(distance)
+        return estimator.beta
+
+    assert benchmark.pedantic(run, rounds=3, iterations=1) > 0

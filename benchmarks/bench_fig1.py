@@ -1,0 +1,18 @@
+"""Regenerates Figure 1: per-type cache occupancy of the GD* family."""
+
+from benchmarks.conftest import run_and_report
+
+
+def test_fig1(benchmark, bench_scale):
+    report = run_and_report(benchmark, "fig1", bench_scale)
+    print("\n" + report.text)
+    constant = report.data["policies"]["gd*(1)"]
+    packet = report.data["policies"]["gd*(p)"]
+    # The adaptability contrast: the packet-cost variant retains far
+    # more multimedia+application bytes than the constant-cost one.
+    constant_large = (constant["multimedia"]["mean_byte_fraction"]
+                      + constant["application"]["mean_byte_fraction"])
+    packet_large = (packet["multimedia"]["mean_byte_fraction"]
+                    + packet["application"]["mean_byte_fraction"])
+    assert packet_large > constant_large
+    assert len(report.artifacts) == 8

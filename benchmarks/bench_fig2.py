@@ -1,0 +1,16 @@
+"""Regenerates Figure 2: DFN-like, constant cost, per-type HR/BHR sweeps."""
+
+from benchmarks.conftest import run_and_report
+
+
+def test_fig2(benchmark, bench_scale):
+    report = run_and_report(benchmark, "fig2", bench_scale)
+    print("\n" + report.text)
+    hit_rate = report.data["hit_rate"]
+    # Paper shape: GD*(1) tops overall hit rate; large caches beat small.
+    at_largest = {policy: rates[-1]
+                  for policy, rates in hit_rate["overall"].items()}
+    assert max(at_largest, key=at_largest.get) == "gd*(1)"
+    for rates in hit_rate["overall"].values():
+        assert rates[-1] >= rates[0]
+    assert len(report.artifacts) == 10  # 5 panels x {hr, bhr}

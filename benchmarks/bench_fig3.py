@@ -1,0 +1,14 @@
+"""Regenerates Figure 3: DFN-like, packet cost, per-type HR/BHR sweeps."""
+
+from benchmarks.conftest import run_and_report
+
+
+def test_fig3(benchmark, bench_scale):
+    report = run_and_report(benchmark, "fig3", bench_scale)
+    print("\n" + report.text)
+    hit_rate = report.data["hit_rate"]
+    at_largest = {policy: rates[-1]
+                  for policy, rates in hit_rate["overall"].items()}
+    # Paper shape: GD*(P) tops overall hit rate under packet cost.
+    assert max(at_largest, key=at_largest.get) == "gd*(p)"
+    assert len(report.artifacts) == 10

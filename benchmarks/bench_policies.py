@@ -1,0 +1,54 @@
+"""Micro-benchmarks: simulated requests/second per replacement policy.
+
+These are the hot path of every experiment; regressions here multiply
+directly into experiment wall-clock.
+"""
+
+import pytest
+
+from repro.core.cache import Cache
+from repro.core.registry import POLICY_NAMES, make_policy
+from repro.simulation.sweep import cache_sizes_from_fractions
+
+#: Policies worth tracking individually (the paper's four plus extremes).
+TRACKED = ("lru", "fifo", "lfu", "lfu-da", "size", "rand", "lru-2",
+           "gds(1)", "gdsf(1)", "gd*(1)", "gds(p)", "gd*(p)")
+
+
+@pytest.fixture(scope="module")
+def workload(dfn_trace):
+    """Pre-extracted (url, size, type) tuples: benchmark only the cache."""
+    return [(r.url, r.size, r.doc_type) for r in dfn_trace.requests]
+
+
+@pytest.mark.parametrize("policy_name", TRACKED)
+def test_policy_throughput(benchmark, workload, dfn_trace, policy_name):
+    capacity = cache_sizes_from_fractions(dfn_trace, [0.02])[0]
+
+    def run():
+        cache = Cache(capacity, make_policy(policy_name))
+        reference = cache.reference
+        for url, size, doc_type in workload:
+            reference(url, size, doc_type)
+        return cache.hits
+
+    hits = benchmark.pedantic(run, rounds=3, iterations=1)
+    benchmark.extra_info["requests"] = len(workload)
+    benchmark.extra_info["hits"] = hits
+    assert hits > 0
+
+
+def test_belady_throughput(benchmark, workload, dfn_trace):
+    """The clairvoyant bound costs one precomputation pass plus a heap."""
+    from repro.core.belady import BeladyPolicy, compute_next_uses
+
+    capacity = cache_sizes_from_fractions(dfn_trace, [0.02])[0]
+    next_uses = compute_next_uses(dfn_trace.requests)
+
+    def run():
+        cache = Cache(capacity, BeladyPolicy(next_uses))
+        for url, size, doc_type in workload:
+            cache.reference(url, size, doc_type)
+        return cache.hits
+
+    assert benchmark.pedantic(run, rounds=3, iterations=1) > 0

@@ -1,0 +1,21 @@
+"""Regenerates the Section 4.4 RTP summaries (both cost models)."""
+
+from benchmarks.conftest import run_and_report
+
+
+def test_rtp_constant_cost(benchmark, bench_scale):
+    report = run_and_report(benchmark, "rtp-const", bench_scale)
+    print("\n" + report.text)
+    hit_rate = report.data["hit_rate"]["overall"]
+    # Same ordering as DFN: GD*(1) leads overall hit rate.
+    at_largest = {policy: rates[-1] for policy, rates in hit_rate.items()}
+    assert at_largest["gd*(1)"] >= at_largest["lru"]
+
+
+def test_rtp_packet_cost(benchmark, bench_scale):
+    report = run_and_report(benchmark, "rtp-packet", bench_scale)
+    print("\n" + report.text)
+    byte_rate = report.data["byte_hit_rate"]["overall"]
+    at_largest = {policy: rates[-1] for policy, rates in byte_rate.items()}
+    # All schemes produce sane byte hit rates on the RTP-like mix.
+    assert all(0.0 <= value <= 1.0 for value in at_largest.values())

@@ -1,0 +1,45 @@
+"""Scaling benches: throughput as the workload grows.
+
+Backs the "paper-scale budget" section of EXPERIMENTS.md: simulation
+throughput should stay near-flat as the trace grows (per-request work
+is O(log resident-documents)), so paper-scale runtime is predictable
+by linear extrapolation from these numbers.
+"""
+
+import pytest
+
+from repro.core.cache import Cache
+from repro.core.registry import make_policy
+from repro.workload.generator import generate_trace
+from repro.workload.profiles import dfn_like
+
+SCALES = {"1/512": 1 / 512, "1/128": 1 / 128}
+
+
+@pytest.mark.parametrize("label", list(SCALES))
+@pytest.mark.parametrize("policy_name", ["lru", "gd*(1)"])
+def test_simulation_scaling(benchmark, label, policy_name):
+    trace = generate_trace(dfn_like(scale=SCALES[label]))
+    capacity = int(trace.metadata().total_size_bytes * 0.02)
+    workload = [(r.url, r.size, r.doc_type) for r in trace.requests]
+
+    def run():
+        cache = Cache(capacity, make_policy(policy_name))
+        reference = cache.reference
+        for url, size, doc_type in workload:
+            reference(url, size, doc_type)
+        return cache.hits
+
+    hits = benchmark.pedantic(run, rounds=2, iterations=1)
+    benchmark.extra_info["requests"] = len(workload)
+    benchmark.extra_info["requests_per_second_hint"] = (
+        round(len(workload) / benchmark.stats.stats.mean))
+    assert hits > 0
+
+
+def test_generation_scaling(benchmark):
+    profile = dfn_like(scale=1 / 128)
+    trace = benchmark.pedantic(generate_trace, args=(profile,),
+                               rounds=2, iterations=1)
+    benchmark.extra_info["requests"] = len(trace)
+    assert len(trace) == profile.n_requests

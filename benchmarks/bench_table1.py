@@ -1,0 +1,10 @@
+"""Regenerates Table 1: aggregate properties of both traces."""
+
+from benchmarks.conftest import run_and_report
+
+
+def test_table1(benchmark, bench_scale):
+    report = run_and_report(benchmark, "table1", bench_scale)
+    print("\n" + report.text)
+    assert report.data["DFN-like"]["total_requests"] > 0
+    assert report.data["RTP-like"]["distinct_documents"] > 0

@@ -1,0 +1,14 @@
+"""Regenerates Table 2: DFN-like trace type breakdown."""
+
+import pytest
+
+from benchmarks.conftest import run_and_report
+
+
+def test_table2(benchmark, bench_scale):
+    report = run_and_report(benchmark, "table2", bench_scale)
+    print("\n" + report.text)
+    requests = report.data["total_requests"]
+    # Paper: images + HTML carry ~95 % of requests.
+    assert requests["image"] + requests["html"] > 85.0
+    assert sum(requests.values()) == pytest.approx(100.0)

@@ -1,0 +1,14 @@
+"""Regenerates Table 3: RTP-like trace type breakdown."""
+
+import pytest
+
+from benchmarks.conftest import run_and_report
+
+
+def test_table3(benchmark, bench_scale):
+    report = run_and_report(benchmark, "table3", bench_scale)
+    print("\n" + report.text)
+    # Paper: RTP has more multimedia and HTML traffic than DFN.
+    assert report.data["total_requests"]["html"] > 30.0
+    assert sum(report.data["requested_data"].values()) == \
+        pytest.approx(100.0)

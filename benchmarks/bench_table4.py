@@ -1,0 +1,15 @@
+"""Regenerates Table 4: DFN-like per-type sizes and temporal locality."""
+
+from benchmarks.conftest import run_and_report
+
+
+def test_table4(benchmark, bench_scale):
+    report = run_and_report(benchmark, "table4", bench_scale)
+    print("\n" + report.text)
+    # Paper: multimedia has the largest mean transfer sizes; application
+    # documents pair large means with small medians.
+    mm = report.data["multimedia"]
+    app = report.data["application"]
+    image = report.data["image"]
+    assert mm["transfer_mean_kb"] > image["transfer_mean_kb"]
+    assert app["doc_mean_kb"] > 2 * app["doc_median_kb"]

@@ -1,0 +1,17 @@
+"""Regenerates Table 5: RTP-like per-type sizes and temporal locality."""
+
+import math
+
+from benchmarks.conftest import run_and_report
+
+
+def test_table5(benchmark, bench_scale):
+    report = run_and_report(benchmark, "table5", bench_scale)
+    print("\n" + report.text)
+    # Paper: image popularity most skewed (largest alpha) within a
+    # trace.  Compare against HTML — the other class populous enough
+    # for a stable fit at every scale.
+    image_alpha = report.data["image"]["alpha"]
+    html_alpha = report.data["html"]["alpha"]
+    assert not math.isnan(image_alpha)
+    assert image_alpha > html_alpha

@@ -1,0 +1,53 @@
+"""Shared fixtures for the benchmark harness.
+
+Two kinds of benchmarks live here:
+
+* ``bench_table*.py`` / ``bench_fig*.py`` / ``bench_rtp.py`` — the
+  paper-artifact regeneration benches: each times one experiment from
+  :mod:`repro.experiments` end to end (single round; the point is the
+  artifact plus a wall-clock number, not statistics).
+* ``bench_policies.py`` / ``bench_components.py`` — micro-benchmarks of
+  the hot paths (policy ops/second, parser and generator throughput).
+
+Scale: benches default to the "tiny" experiment scale so the whole
+suite completes in minutes; set ``REPRO_BENCH_SCALE=small`` (or
+``medium``/``paper``) to rerun at larger scales.
+"""
+
+import os
+
+import pytest
+
+from repro.workload.generator import generate_trace
+from repro.workload.profiles import dfn_like, rtp_like
+
+#: Experiment scale for the artifact benches.
+BENCH_SCALE = os.environ.get("REPRO_BENCH_SCALE", "tiny")
+
+
+@pytest.fixture(scope="session")
+def bench_scale():
+    return BENCH_SCALE
+
+
+@pytest.fixture(scope="session")
+def dfn_trace():
+    """DFN-like trace for micro-benchmarks (fixed 1/256 scale)."""
+    return generate_trace(dfn_like(scale=1.0 / 256.0))
+
+
+@pytest.fixture(scope="session")
+def rtp_trace():
+    return generate_trace(rtp_like(scale=1.0 / 256.0))
+
+
+def run_and_report(benchmark, experiment_id, scale):
+    """Time one experiment once and attach its data to the benchmark."""
+    from repro.experiments.runner import run_experiment
+
+    result = benchmark.pedantic(
+        run_experiment, args=(experiment_id,),
+        kwargs={"scale": scale}, rounds=1, iterations=1)
+    benchmark.extra_info["experiment"] = experiment_id
+    benchmark.extra_info["scale"] = scale
+    return result

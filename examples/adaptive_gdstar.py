@@ -1,0 +1,82 @@
+#!/usr/bin/env python3
+"""Watch GD* adapt its β to a workload regime change.
+
+GD*'s novel feature (paper Section 3) is the online estimation of the
+temporal-correlation exponent β.  This example concatenates two
+workload phases — weakly correlated (β=0.2, image-like) then strongly
+correlated (β=0.85, multimedia-like), both with near-flat popularity so
+the reuse-distance slope reflects correlation rather than popularity —
+and prints the policy's β estimate as it tracks the shift, plus the
+resulting hit rates against a β-pinned control::
+
+    python examples/adaptive_gdstar.py
+"""
+
+from repro import generate_trace, uniform_profile
+from repro.core.beta_estimator import FixedBetaEstimator, OnlineBetaEstimator
+from repro.core.cache import Cache
+from repro.core.cost import ConstantCost
+from repro.core.gdstar import GDStarPolicy
+from repro.types import Request
+
+
+def build_two_phase_workload():
+    low = generate_trace(uniform_profile(
+        n_requests=30_000, n_documents=4_000, alpha=0.05, beta=0.20,
+        seed=1))
+    high = generate_trace(uniform_profile(
+        n_requests=30_000, n_documents=4_000, alpha=0.05, beta=0.85,
+        seed=2))
+    requests = list(low)
+    offset = len(requests)
+    for index, request in enumerate(high):
+        # Distinct URL space for phase two: a genuine regime change.
+        requests.append(Request(
+            timestamp=float(offset + index),
+            url="phase2/" + request.url,
+            size=request.size,
+            transfer_size=request.transfer_size,
+            doc_type=request.doc_type,
+        ))
+    return requests
+
+
+def run(policy, requests, label, estimator=None):
+    cache = Cache(40_000_000, policy)
+    checkpoints = len(requests) // 10
+    print(f"-- {label} --")
+    for index, request in enumerate(requests, 1):
+        cache.reference(request.url, request.size, request.doc_type)
+        if index % checkpoints == 0:
+            beta = f"beta={policy.beta:.3f}" if hasattr(policy, "beta") \
+                else ""
+            print(f"  after {index:6,} requests: "
+                  f"hit rate {cache.hits / index:.3f}  {beta}")
+    print()
+    return cache.hits / len(requests)
+
+
+def main() -> None:
+    requests = build_two_phase_workload()
+    print(f"workload: {len(requests):,} requests; β jumps from 0.20 to "
+          f"0.85 at the midpoint\n")
+
+    online = GDStarPolicy(
+        ConstantCost(),
+        beta_estimator=OnlineBetaEstimator(refresh_interval=1000,
+                                           min_samples=300, decay=0.5))
+    adaptive_rate = run(online, requests, "GD*(1), online beta")
+
+    pinned = GDStarPolicy(ConstantCost(),
+                          beta_estimator=FixedBetaEstimator(1.0))
+    pinned_rate = run(pinned, requests, "GD*(1), beta pinned at 1.0 "
+                                        "(= GDSF)")
+
+    print(f"adaptive: {adaptive_rate:.3f}   pinned: {pinned_rate:.3f}")
+    print("The estimate stays below ~0.6 through phase one and climbs "
+          "toward 0.85 after the\nmidpoint as the strongly-correlated "
+          "phase arrives.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,60 @@
+#!/usr/bin/env python3
+"""Compare the full policy zoo, bounded by clairvoyant Belady.
+
+Reproduces the shape of the paper's Figure 2 with extra baselines::
+
+    python examples/compare_policies.py [--scale 256] [--rtp]
+"""
+
+import argparse
+
+from repro import (
+    cache_sizes_from_fractions,
+    dfn_like,
+    generate_trace,
+    rtp_like,
+    run_sweep,
+)
+from repro.analysis.tables import render_sweep_table
+from repro.core.belady import BeladyPolicy, compute_next_uses
+from repro.simulation.simulator import CacheSimulator, SimulationConfig
+from repro.types import DocumentType
+
+POLICIES = ("lru", "fifo", "lfu", "lfu-da", "size", "rand", "lru-2",
+            "gds(1)", "gdsf(1)", "gd*(1)")
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", type=int, default=256,
+                        help="1/scale of the real trace volume")
+    parser.add_argument("--rtp", action="store_true",
+                        help="use the RTP-like profile instead of DFN")
+    args = parser.parse_args()
+
+    profile = (rtp_like if args.rtp else dfn_like)(scale=1 / args.scale)
+    trace = generate_trace(profile)
+    capacities = cache_sizes_from_fractions(trace, (0.005, 0.02, 0.04))
+    print(f"{trace.name}: {len(trace):,} requests; cache sizes "
+          + ", ".join(f"{c / 1e6:.1f}MB" for c in capacities) + "\n")
+
+    sweep = run_sweep(trace, POLICIES, capacities)
+
+    # Add the offline Belady bound at each capacity.
+    next_uses = compute_next_uses(trace.requests)
+    for capacity in capacities:
+        config = SimulationConfig(capacity_bytes=capacity,
+                                  policy=BeladyPolicy(next_uses))
+        sweep.add(CacheSimulator(config).run(trace))
+
+    print(render_sweep_table(sweep, title="Overall hit rate"))
+    print()
+    print(render_sweep_table(sweep, byte_rate=True,
+                             title="Overall byte hit rate"))
+    print()
+    print(render_sweep_table(sweep, doc_type=DocumentType.MULTIMEDIA,
+                             title="Multimedia hit rate"))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,101 @@
+#!/usr/bin/env python3
+"""Extend the simulator with your own replacement policy.
+
+Implements MRU (Most Recently Used eviction) — a policy the library
+deliberately does not ship, pathological on most workloads but optimal
+for cyclic scans larger than the cache — using only the public
+``ReplacementPolicy`` interface, and races it against the built-ins on
+both a looping workload (where MRU shines) and the DFN-like mix (where
+it collapses)::
+
+    python examples/custom_policy.py
+"""
+
+from repro import dfn_like, generate_trace
+from repro.core.cache import Cache
+from repro.core.policy import CacheEntry, ReplacementPolicy
+from repro.core.registry import make_policy
+from repro.simulation.simulator import CacheSimulator, SimulationConfig
+from repro.structures.dlist import DList
+from repro.types import DocumentType, Request, Trace
+
+
+class MRUPolicy(ReplacementPolicy):
+    """Evict the *most* recently used document.
+
+    The right policy when the workload cycles through a working set
+    bigger than the cache: evicting the freshest entry preserves the
+    oldest ones, which are exactly the next to come around again.
+    """
+
+    name = "mru"
+
+    def __init__(self):
+        self._order: DList = DList()
+
+    def __len__(self) -> int:
+        return len(self._order)
+
+    def on_admit(self, entry: CacheEntry) -> None:
+        entry.policy_data = self._order.push_back(entry)
+
+    def on_hit(self, entry: CacheEntry) -> None:
+        self._order.move_to_back(entry.policy_data)
+
+    def pop_victim(self) -> CacheEntry:
+        entry = self._order.back()
+        self._order.unlink(entry.policy_data)
+        entry.policy_data = None
+        return entry
+
+    def remove(self, entry: CacheEntry) -> None:
+        self._order.unlink(entry.policy_data)
+        entry.policy_data = None
+
+    def clear(self) -> None:
+        self._order = DList()
+
+
+def looping_trace(n_documents=40, laps=50):
+    """A cyclic scan: 40 documents requested round-robin, repeatedly."""
+    requests = []
+    for lap in range(laps):
+        for doc in range(n_documents):
+            requests.append(Request(
+                timestamp=float(lap * n_documents + doc),
+                url=f"loop/{doc}", size=10, transfer_size=10,
+                doc_type=DocumentType.HTML))
+    return Trace(requests, name="loop")
+
+
+def race(trace, capacity, policies):
+    print(f"-- {trace.name}: {len(trace):,} requests, "
+          f"cache {capacity:,} bytes --")
+    for policy in policies:
+        config = SimulationConfig(capacity_bytes=capacity, policy=policy)
+        result = CacheSimulator(config).run(trace)
+        print(f"  {policy.name:8s} hit rate {result.hit_rate():.3f}")
+    print()
+
+
+def main() -> None:
+    # Scenario 1: a cyclic scan over 40 docs with room for 30 — LRU
+    # evicts each document just before its reuse; MRU keeps 29 of them.
+    race(looping_trace(), capacity=300,
+         policies=[MRUPolicy(), make_policy("lru"),
+                   make_policy("lfu-da")])
+
+    # Scenario 2: the realistic mix — MRU collapses, as it should.
+    trace = generate_trace(dfn_like(scale=1 / 512))
+    capacity = int(trace.metadata().total_size_bytes * 0.02)
+    race(trace, capacity,
+         policies=[MRUPolicy(), make_policy("lru"),
+                   make_policy("gd*(1)")])
+
+    print("Any object with the five ReplacementPolicy hooks plugs into "
+          "the cache,\nthe simulator, sweeps, and the occupancy "
+          "tracker unchanged.")
+
+
+if __name__ == "__main__":
+    main()

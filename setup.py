@@ -1,0 +1,10 @@
+"""Setuptools shim.
+
+The environment's setuptools lacks the ``wheel`` package that PEP 660
+editable installs require, so ``pip install -e . --no-use-pep517`` falls
+back to this legacy path.  All metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,103 @@
+"""repro — web cache replacement by document type.
+
+A production-quality reproduction of Lindemann & Waldhorst,
+*"Evaluating the Impact of Different Document Types on the Performance
+of Web Cache Replacement Schemes"* (DSN 2002): trace-driven simulation
+of LRU, LFU-DA, Greedy-Dual-Size, and Greedy-Dual* with hit rates and
+byte hit rates broken down by document type (images, HTML, multimedia,
+application), under the constant and packet cost models.
+
+Quickstart::
+
+    from repro import dfn_like, generate_trace, simulate
+
+    trace = generate_trace(dfn_like(scale=1 / 256))
+    result = simulate(trace, policy="gd*(1)", capacity_bytes=50_000_000)
+    print(result.hit_rate(), result.byte_hit_rate())
+
+Subpackages:
+
+* :mod:`repro.core` — replacement policies, cost models, the cache;
+* :mod:`repro.trace` — proxy-log parsing and preprocessing;
+* :mod:`repro.workload` — synthetic DFN-like / RTP-like trace generation;
+* :mod:`repro.simulation` — the Section-4.1 simulator and sweeps;
+* :mod:`repro.analysis` — workload characterization (α, β, size stats);
+* :mod:`repro.experiments` — one named experiment per paper table/figure.
+"""
+
+from repro.types import (
+    DOCUMENT_TYPES,
+    PLOTTED_TYPES,
+    DocumentType,
+    Request,
+    Trace,
+    TraceMetadata,
+)
+from repro.errors import (
+    AnalysisError,
+    CapacityError,
+    ConfigurationError,
+    ExperimentError,
+    ReproError,
+    SimulationError,
+    TraceFormatError,
+)
+from repro.core import (
+    Cache,
+    ConstantCost,
+    PacketCost,
+    POLICY_NAMES,
+    make_policy,
+)
+from repro.simulation import (
+    CacheSimulator,
+    SimulationConfig,
+    SimulationResult,
+    SizeInterpretation,
+    SweepResult,
+    cache_sizes_from_fractions,
+    run_sweep,
+    simulate,
+)
+from repro.workload import (
+    WorkloadProfile,
+    dfn_like,
+    future_like,
+    fidelity_report,
+    fit_profile,
+    generate_trace,
+    rtp_like,
+    uniform_profile,
+)
+from repro.analysis import characterize, estimate_alpha, estimate_beta
+from repro.trace import load_trace, write_trace
+from repro.experiments import run_experiment
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # types
+    "DocumentType", "DOCUMENT_TYPES", "PLOTTED_TYPES",
+    "Request", "Trace", "TraceMetadata",
+    # errors
+    "ReproError", "TraceFormatError", "ConfigurationError",
+    "CapacityError", "SimulationError", "AnalysisError", "ExperimentError",
+    # core
+    "Cache", "ConstantCost", "PacketCost", "POLICY_NAMES", "make_policy",
+    # simulation
+    "CacheSimulator", "SimulationConfig", "SimulationResult",
+    "SizeInterpretation", "SweepResult", "simulate", "run_sweep",
+    "cache_sizes_from_fractions",
+    # workload
+    "WorkloadProfile", "dfn_like", "rtp_like", "future_like",
+    "uniform_profile",
+    "generate_trace",
+    "fit_profile", "fidelity_report",
+    # analysis
+    "characterize", "estimate_alpha", "estimate_beta",
+    # trace io
+    "load_trace", "write_trace",
+    # experiments
+    "run_experiment",
+]

@@ -1,0 +1,105 @@
+"""Workload characterization and reporting (paper Section 2).
+
+Regenerates the paper's characterization tables from any request
+stream:
+
+* Table 1 — aggregate trace properties
+  (:func:`~repro.analysis.characterize.characterize`);
+* Tables 2/3 — per-type breakdown of documents, bytes, requests;
+* Tables 4/5 — per-type size statistics plus the two temporal-locality
+  parameters: popularity index α
+  (:mod:`~repro.analysis.popularity`) and temporal-correlation exponent
+  β (:mod:`~repro.analysis.correlation`).
+
+Rendering helpers live in :mod:`~repro.analysis.tables` (ASCII tables)
+and :mod:`~repro.analysis.plotting` (ASCII line charts standing in for
+the paper's figures).
+"""
+
+from repro.analysis.popularity import alpha_mle, estimate_alpha, popularity_counts
+from repro.analysis.correlation import estimate_beta, reuse_distances
+from repro.analysis.sizestats import SizeStats, size_stats_by_type
+from repro.analysis.characterize import (
+    TypeCharacterization,
+    WorkloadCharacterization,
+    characterize,
+    type_breakdown,
+)
+from repro.analysis.tables import (
+    render_breakdown_table,
+    render_properties_table,
+    render_statistics_table,
+    render_sweep_table,
+    render_table,
+)
+from repro.analysis.plotting import ascii_chart
+from repro.analysis.stack_distance import (
+    StackProfile,
+    approximate_byte_curve,
+    profiles_by_type,
+    stack_distances,
+    stack_profile,
+)
+from repro.analysis.concentration import (
+    concentration_by_type,
+    concentration_curve,
+    gini_coefficient,
+    top_share,
+)
+from repro.analysis.drift import (
+    DriftReport,
+    drift_report,
+    windowed_summaries,
+)
+from repro.analysis.footprint import (
+    FootprintSample,
+    mean_footprint_bytes,
+    peak_footprint,
+    working_set_series,
+)
+from repro.analysis.confidence import (
+    Interval,
+    block_bootstrap_ratio,
+    hit_rate_interval,
+    wilson_interval,
+)
+
+__all__ = [
+    "estimate_alpha",
+    "alpha_mle",
+    "popularity_counts",
+    "estimate_beta",
+    "reuse_distances",
+    "SizeStats",
+    "size_stats_by_type",
+    "TypeCharacterization",
+    "WorkloadCharacterization",
+    "characterize",
+    "type_breakdown",
+    "render_table",
+    "render_properties_table",
+    "render_breakdown_table",
+    "render_statistics_table",
+    "render_sweep_table",
+    "ascii_chart",
+    "StackProfile",
+    "stack_distances",
+    "stack_profile",
+    "approximate_byte_curve",
+    "profiles_by_type",
+    "concentration_curve",
+    "concentration_by_type",
+    "gini_coefficient",
+    "top_share",
+    "Interval",
+    "wilson_interval",
+    "block_bootstrap_ratio",
+    "hit_rate_interval",
+    "FootprintSample",
+    "working_set_series",
+    "peak_footprint",
+    "mean_footprint_bytes",
+    "DriftReport",
+    "drift_report",
+    "windowed_summaries",
+]

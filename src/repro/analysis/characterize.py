@@ -1,0 +1,122 @@
+"""Full workload characterization: Tables 1-5 from a trace."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict
+
+from repro.analysis.correlation import estimate_beta
+from repro.analysis.popularity import estimate_alpha
+from repro.analysis.sizestats import TypeSizeStats, size_stats_by_type
+from repro.errors import AnalysisError
+from repro.types import (
+    DOCUMENT_TYPES,
+    DocumentType,
+    Trace,
+    TraceMetadata,
+    TypeBreakdown,
+)
+
+
+def type_breakdown(trace: Trace) -> TypeBreakdown:
+    """Per-type percentage shares (Tables 2 and 3).
+
+    * distinct documents and overall size count each URL once, at its
+      most recent full size;
+    * total requests and requested data count every request, by
+      transfer size.
+    """
+    doc_sizes: Dict[DocumentType, Dict[str, int]] = {
+        t: {} for t in DOCUMENT_TYPES}
+    request_counts = {t: 0 for t in DOCUMENT_TYPES}
+    requested_bytes = {t: 0 for t in DOCUMENT_TYPES}
+    for request in trace:
+        doc_sizes[request.doc_type][request.url] = request.size
+        request_counts[request.doc_type] += 1
+        requested_bytes[request.doc_type] += min(request.transfer_size,
+                                                 request.size)
+    doc_counts = {t: len(doc_sizes[t]) for t in DOCUMENT_TYPES}
+    byte_counts = {t: sum(doc_sizes[t].values()) for t in DOCUMENT_TYPES}
+
+    def _percent(counts: Dict[DocumentType, int]) -> Dict[DocumentType, float]:
+        total = sum(counts.values())
+        if total == 0:
+            return {t: 0.0 for t in DOCUMENT_TYPES}
+        return {t: 100.0 * counts[t] / total for t in DOCUMENT_TYPES}
+
+    return TypeBreakdown(
+        distinct_documents=_percent(doc_counts),
+        overall_size=_percent(byte_counts),
+        total_requests=_percent(request_counts),
+        requested_data=_percent(requested_bytes),
+    )
+
+
+@dataclass
+class TypeCharacterization:
+    """One type's row set in Table 4/5: sizes plus α and β."""
+
+    doc_type: DocumentType
+    sizes: TypeSizeStats
+    alpha: float = math.nan
+    beta: float = math.nan
+
+
+@dataclass
+class WorkloadCharacterization:
+    """Everything Section 2 reports about one trace."""
+
+    metadata: TraceMetadata
+    breakdown: TypeBreakdown
+    by_type: Dict[DocumentType, TypeCharacterization] = field(
+        default_factory=dict)
+
+    def alpha(self, doc_type: DocumentType) -> float:
+        return self.by_type[doc_type].alpha
+
+    def beta(self, doc_type: DocumentType) -> float:
+        return self.by_type[doc_type].beta
+
+
+def characterize(trace: Trace,
+                 estimate_locality: bool = True,
+                 min_documents: int = 10,
+                 beta_min_samples: int = 25,
+                 beta_max_refs: int = 50) -> WorkloadCharacterization:
+    """Characterize a trace (Tables 1-5 in one object).
+
+    α/β estimation needs enough repeat traffic per type; types too thin
+    for a fit get NaN rather than failing the whole characterization.
+    """
+    metadata = trace.metadata()
+    breakdown = type_breakdown(trace)
+    sizes = size_stats_by_type(trace)
+    result = WorkloadCharacterization(metadata=metadata,
+                                      breakdown=breakdown)
+    for doc_type in DOCUMENT_TYPES:
+        char = TypeCharacterization(doc_type=doc_type,
+                                    sizes=sizes[doc_type])
+        if estimate_locality:
+            char.alpha = _safe_alpha(trace, doc_type, min_documents)
+            char.beta = _safe_beta(trace, doc_type, beta_min_samples,
+                                   beta_max_refs)
+        result.by_type[doc_type] = char
+    return result
+
+
+def _safe_alpha(trace: Trace, doc_type: DocumentType,
+                min_documents: int) -> float:
+    try:
+        return estimate_alpha(trace, doc_type, min_documents=min_documents)
+    except AnalysisError:
+        return math.nan
+
+
+def _safe_beta(trace: Trace, doc_type: DocumentType,
+               min_samples: int, max_refs: int) -> float:
+    try:
+        return estimate_beta(trace, doc_type, max_refs=max_refs,
+                             min_samples=min_samples)
+    except AnalysisError:
+        return math.nan

@@ -1,0 +1,101 @@
+"""Concentration of references.
+
+Arlitt, Friedrich & Jin — the comparison study the paper builds on —
+"observed an extreme non-uniformity in popularity of web requests seen
+at caching proxies".  This module quantifies that non-uniformity:
+
+* the **concentration curve** (a Lorenz curve over popularity ranks):
+  cumulative share of requests captured by the most popular fraction
+  of documents;
+* the **Gini coefficient** of the request distribution;
+* ``top_share(f)``: the share of requests going to the hottest
+  fraction f of documents (the "10 % of documents get 80 % of
+  requests" number).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.analysis.popularity import popularity_counts
+from repro.errors import AnalysisError
+from repro.types import DocumentType, Request
+
+
+def concentration_curve(counts: Iterable[int],
+                        points: int = 100) -> List[Tuple[float, float]]:
+    """(fraction of documents, fraction of requests) curve.
+
+    Documents are ordered from most to least popular, so the curve is
+    concave and lies above the diagonal; a perfectly uniform workload
+    gives the diagonal itself.
+    """
+    ordered = sorted((c for c in counts if c > 0), reverse=True)
+    if not ordered:
+        raise AnalysisError("no documents with requests")
+    total = sum(ordered)
+    n = len(ordered)
+    curve = [(0.0, 0.0)]
+    cumulative = 0
+    step = max(n // points, 1)
+    for index, count in enumerate(ordered, start=1):
+        cumulative += count
+        if index % step == 0 or index == n:
+            curve.append((index / n, cumulative / total))
+    return curve
+
+
+def top_share(counts: Iterable[int], fraction: float) -> float:
+    """Share of requests going to the most popular ``fraction`` of docs."""
+    if not 0.0 < fraction <= 1.0:
+        raise AnalysisError("fraction must be in (0, 1]")
+    ordered = sorted((c for c in counts if c > 0), reverse=True)
+    if not ordered:
+        raise AnalysisError("no documents with requests")
+    take = max(int(len(ordered) * fraction), 1)
+    return sum(ordered[:take]) / sum(ordered)
+
+
+def gini_coefficient(counts: Iterable[int]) -> float:
+    """Gini coefficient of the per-document request distribution.
+
+    0 = every document equally popular; → 1 = all requests on one
+    document.  Computed exactly from the sorted counts.
+    """
+    ordered = sorted(c for c in counts if c > 0)
+    n = len(ordered)
+    if n == 0:
+        raise AnalysisError("no documents with requests")
+    if n == 1:
+        return 0.0
+    total = sum(ordered)
+    # Gini = (2 * sum(i * x_i) / (n * total)) - (n + 1) / n, 1-based
+    # ranks over ascending order.
+    weighted = sum(rank * value
+                   for rank, value in enumerate(ordered, start=1))
+    return 2.0 * weighted / (n * total) - (n + 1.0) / n
+
+
+def concentration_by_type(requests: Sequence[Request],
+                          fraction: float = 0.10
+                          ) -> Dict[Optional[DocumentType], Dict[str, float]]:
+    """Per-type (and overall, key None) concentration summary.
+
+    Returns ``{type: {"gini": ..., "top_share": ..., "documents": n}}``;
+    types with no repeat traffic get NaN-free entries (gini 0).
+    """
+    summary: Dict[Optional[DocumentType], Dict[str, float]] = {}
+    groups: List[Optional[DocumentType]] = [None]
+    groups.extend(sorted({r.doc_type for r in requests},
+                         key=lambda t: t.value))
+    for doc_type in groups:
+        counts = popularity_counts(requests, doc_type)
+        if not counts:
+            continue
+        values = list(counts.values())
+        summary[doc_type] = {
+            "gini": gini_coefficient(values),
+            "top_share": top_share(values, fraction),
+            "documents": float(len(values)),
+        }
+    return summary

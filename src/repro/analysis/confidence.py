@@ -1,0 +1,138 @@
+"""Confidence intervals for simulation-derived rates.
+
+Trace-driven simulation on one trace produces point estimates; when the
+workload itself is synthetic (seeded), the natural uncertainty measures
+are
+
+* a **Wilson score interval** for hit rates (a hit is a Bernoulli
+  outcome per request) — cheap, no resampling;
+* a **block bootstrap** for byte hit rates, where the per-request
+  contributions are heavy-tailed and correlated, so Bernoulli math is
+  wrong: resample contiguous request blocks and recompute the ratio.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from repro.errors import AnalysisError
+
+#: z-values for common two-sided confidence levels.
+_Z = {0.90: 1.6449, 0.95: 1.9600, 0.99: 2.5758}
+
+
+@dataclass(frozen=True)
+class Interval:
+    """A two-sided confidence interval around a point estimate."""
+
+    estimate: float
+    lower: float
+    upper: float
+    level: float
+
+    @property
+    def width(self) -> float:
+        return self.upper - self.lower
+
+    def __contains__(self, value: float) -> bool:
+        return self.lower <= value <= self.upper
+
+
+def _z_for(level: float) -> float:
+    z = _Z.get(round(level, 2))
+    if z is None:
+        raise AnalysisError(
+            f"unsupported confidence level {level}; "
+            f"use one of {sorted(_Z)}")
+    return z
+
+
+def wilson_interval(hits: int, requests: int,
+                    level: float = 0.95) -> Interval:
+    """Wilson score interval for a hit rate.
+
+    Well-behaved at the extremes (0 or all hits), unlike the normal
+    approximation.
+    """
+    if requests <= 0:
+        raise AnalysisError("requests must be positive")
+    if not 0 <= hits <= requests:
+        raise AnalysisError("hits must be within [0, requests]")
+    z = _z_for(level)
+    p = hits / requests
+    z2 = z * z
+    denominator = 1.0 + z2 / requests
+    center = (p + z2 / (2 * requests)) / denominator
+    margin = (z / denominator) * math.sqrt(
+        p * (1 - p) / requests + z2 / (4 * requests * requests))
+    return Interval(estimate=p,
+                    lower=max(center - margin, 0.0),
+                    upper=min(center + margin, 1.0),
+                    level=level)
+
+
+def block_bootstrap_ratio(numerators: Sequence[float],
+                          denominators: Sequence[float],
+                          level: float = 0.95,
+                          block_size: int = 1000,
+                          replicates: int = 500,
+                          seed: int = 0) -> Interval:
+    """Bootstrap CI for sum(numerators)/sum(denominators).
+
+    For a byte hit rate, pass per-request hit bytes as numerators and
+    per-request requested bytes as denominators.  Contiguous blocks
+    preserve the short-range correlation of web request streams.
+    """
+    n = len(numerators)
+    if n == 0 or n != len(denominators):
+        raise AnalysisError("need equal, nonempty numerator/denominator "
+                            "sequences")
+    total_num = sum(numerators)
+    total_den = sum(denominators)
+    if total_den <= 0:
+        raise AnalysisError("denominator total must be positive")
+    estimate = total_num / total_den
+
+    block_size = min(max(block_size, 1), n)
+    n_blocks = max(n // block_size, 1)
+    rng = random.Random(seed)
+    # Precompute block sums.
+    block_sums: List[Tuple[float, float]] = []
+    for b in range(n_blocks):
+        start = b * block_size
+        stop = n if b == n_blocks - 1 else start + block_size
+        block_sums.append((sum(numerators[start:stop]),
+                           sum(denominators[start:stop])))
+
+    ratios = []
+    for _ in range(replicates):
+        num = den = 0.0
+        for _ in range(n_blocks):
+            b_num, b_den = block_sums[rng.randrange(n_blocks)]
+            num += b_num
+            den += b_den
+        if den > 0:
+            ratios.append(num / den)
+    if not ratios:
+        raise AnalysisError("bootstrap produced no valid replicates")
+    ratios.sort()
+    alpha = 1.0 - level
+    lower_index = int(len(ratios) * (alpha / 2))
+    upper_index = min(int(len(ratios) * (1 - alpha / 2)),
+                      len(ratios) - 1)
+    return Interval(estimate=estimate,
+                    lower=ratios[lower_index],
+                    upper=ratios[upper_index],
+                    level=level)
+
+
+def hit_rate_interval(result, doc_type=None,
+                      level: float = 0.95) -> Interval:
+    """Wilson interval for a :class:`SimulationResult`'s hit rate."""
+    accumulator = (result.metrics.overall if doc_type is None
+                   else result.metrics.by_type[doc_type])
+    return wilson_interval(accumulator.hits, accumulator.requests,
+                           level=level)

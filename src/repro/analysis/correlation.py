@@ -1,0 +1,99 @@
+"""Temporal-correlation exponent β (paper Section 2).
+
+"The probability P that a document is requested again after n requests
+is proportional to n to the power of β [i.e. n^{-β}], for equally
+popular documents.  The parameter β can be determined by plotting the
+reference count as a function of references made between two successive
+references to the same document for equally popular documents."
+
+:func:`estimate_beta` collects reuse distances (number of requests
+between successive references to the same document), restricted to a
+*popularity class* — documents with similar total reference counts — so
+the estimate is not confounded by popularity, then fits the log-log
+slope of the log-binned distance distribution.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from repro.errors import AnalysisError
+from repro.structures.histogram import LogHistogram, least_squares_slope
+from repro.types import DocumentType, Request
+
+
+def reuse_distances(requests: Sequence[Request],
+                    doc_type: Optional[DocumentType] = None
+                    ) -> Iterator[Tuple[str, int]]:
+    """Yield (url, distance) for every repeat reference.
+
+    Distance counts requests of *any* type between the two references,
+    as the paper's definition does; ``doc_type`` only restricts which
+    documents' repeats are reported.
+    """
+    last_seen: Dict[str, int] = {}
+    for index, request in enumerate(requests):
+        url = request.url
+        previous = last_seen.get(url)
+        if previous is not None and (
+                doc_type is None or request.doc_type is doc_type):
+            yield url, index - previous
+        last_seen[url] = index
+
+
+def popularity_class(requests: Sequence[Request],
+                     doc_type: Optional[DocumentType] = None,
+                     min_refs: int = 2, max_refs: int = 50) -> set:
+    """URLs whose total reference count lies in [min_refs, max_refs].
+
+    This is the "equally popular documents" conditioning: very hot
+    documents are excluded so their popularity-driven short distances
+    do not masquerade as temporal correlation.
+    """
+    counts: Counter = Counter()
+    for request in requests:
+        if doc_type is None or request.doc_type is doc_type:
+            counts[request.url] += 1
+    return {url for url, count in counts.items()
+            if min_refs <= count <= max_refs}
+
+
+def beta_from_distances(distances: Iterable[int],
+                        min_samples: int = 50,
+                        bins_per_decade: int = 6,
+                        max_distance: float = 1e8) -> float:
+    """Fit β as the negated log-log slope of the distance density."""
+    histogram = LogHistogram(max_value=max_distance,
+                             bins_per_decade=bins_per_decade)
+    for distance in distances:
+        histogram.add(max(distance, 1))
+    if histogram.total < min_samples:
+        raise AnalysisError(
+            f"need at least {min_samples} reuse distances, "
+            f"got {histogram.total}")
+    points = histogram.loglog_points()
+    if len(points) < 3:
+        raise AnalysisError("too few distinct distance scales to fit beta")
+    slope = least_squares_slope(points)
+    return -slope
+
+
+def estimate_beta(requests: Sequence[Request],
+                  doc_type: Optional[DocumentType] = None,
+                  min_refs: int = 2, max_refs: int = 50,
+                  min_samples: int = 50) -> float:
+    """β of a request stream (optionally one document type).
+
+    Conditions on the [min_refs, max_refs] popularity class per the
+    paper's "equally popular documents" requirement; widen the class if
+    an :class:`~repro.errors.AnalysisError` reports too few samples.
+    """
+    eligible = popularity_class(requests, doc_type, min_refs, max_refs)
+    if not eligible:
+        raise AnalysisError("popularity class is empty; widen the bounds")
+    distances: List[int] = [
+        distance for url, distance in reuse_distances(requests, doc_type)
+        if url in eligible
+    ]
+    return beta_from_distances(distances, min_samples=min_samples)

@@ -1,0 +1,113 @@
+"""Workload drift over time.
+
+The paper's closing motivation — replacement design "under changing
+workload characteristics" — presumes workloads change.  This module
+measures how much: the trace is cut into consecutive windows, each
+window is summarized (request mix by type, popularity index, mean
+transfer size), and drift is reported as the total-variation distance
+between consecutive windows' request mixes.  A stationary synthetic
+trace shows near-zero drift; a regime-switching one (see
+``examples/adaptive_gdstar.py``) lights up exactly at the switch —
+which is the signal an adaptive policy like GD* has available to act
+on.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence
+
+from repro.analysis.popularity import alpha_from_counts, popularity_counts
+from repro.errors import AnalysisError
+from repro.types import DOCUMENT_TYPES, DocumentType, Request, Trace
+
+
+@dataclass
+class WindowSummary:
+    """Statistics of one trace window."""
+
+    index: int
+    start: int                    # first request index (inclusive)
+    end: int                      # last request index (exclusive)
+    request_mix: Dict[DocumentType, float] = field(default_factory=dict)
+    alpha: float = math.nan
+    mean_transfer_bytes: float = math.nan
+
+
+def total_variation(mix_a: Dict[DocumentType, float],
+                    mix_b: Dict[DocumentType, float]) -> float:
+    """Total-variation distance between two type mixes (0..1)."""
+    return 0.5 * sum(abs(mix_a.get(t, 0.0) - mix_b.get(t, 0.0))
+                     for t in DOCUMENT_TYPES)
+
+
+def windowed_summaries(requests: Sequence[Request],
+                       n_windows: int = 10) -> List[WindowSummary]:
+    """Cut the trace into equal windows and summarize each."""
+    if n_windows <= 0:
+        raise AnalysisError("n_windows must be positive")
+    total = len(requests)
+    if total < n_windows:
+        raise AnalysisError(
+            f"trace of {total} requests cannot fill {n_windows} windows")
+    summaries: List[WindowSummary] = []
+    window_size = total // n_windows
+    for index in range(n_windows):
+        start = index * window_size
+        end = total if index == n_windows - 1 else start + window_size
+        window = requests[start:end]
+        counts = {t: 0 for t in DOCUMENT_TYPES}
+        transfer_total = 0
+        for request in window:
+            counts[request.doc_type] += 1
+            transfer_total += min(request.transfer_size, request.size)
+        size = len(window)
+        summary = WindowSummary(
+            index=index, start=start, end=end,
+            request_mix={t: counts[t] / size for t in DOCUMENT_TYPES},
+            mean_transfer_bytes=transfer_total / size,
+        )
+        try:
+            summary.alpha = alpha_from_counts(
+                popularity_counts(window).values(), min_documents=10)
+        except AnalysisError:
+            pass
+        summaries.append(summary)
+    return summaries
+
+
+@dataclass
+class DriftReport:
+    """Aggregate drift over all consecutive window pairs."""
+
+    summaries: List[WindowSummary]
+    mix_distances: List[float]
+
+    @property
+    def max_mix_drift(self) -> float:
+        return max(self.mix_distances) if self.mix_distances else 0.0
+
+    @property
+    def mean_mix_drift(self) -> float:
+        if not self.mix_distances:
+            return 0.0
+        return sum(self.mix_distances) / len(self.mix_distances)
+
+    def drift_window(self) -> int:
+        """Index of the window pair with the largest mix shift."""
+        if not self.mix_distances:
+            return 0
+        return max(range(len(self.mix_distances)),
+                   key=lambda i: self.mix_distances[i]) + 1
+
+
+def drift_report(trace: Trace, n_windows: int = 10) -> DriftReport:
+    """Windowed drift analysis of a whole trace."""
+    summaries = windowed_summaries(trace.requests, n_windows)
+    distances = [
+        total_variation(summaries[i].request_mix,
+                        summaries[i + 1].request_mix)
+        for i in range(len(summaries) - 1)
+    ]
+    return DriftReport(summaries=summaries, mix_distances=distances)

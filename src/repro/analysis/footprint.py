@@ -1,0 +1,109 @@
+"""Working-set (footprint) analysis.
+
+Denning's working set W(t, τ): the set of distinct documents referenced
+in the window (t − τ, t].  Its size over time answers the cache-sizing
+question the paper's sweeps probe empirically: how much of the request
+stream's activity fits in a given budget, and how the answer differs by
+document type (a few multimedia documents dominate the byte footprint
+while contributing almost nothing to the document footprint).
+
+:func:`working_set_series` slides the window in O(n) amortized using a
+deque of (expiry position, url, size) plus per-URL refcounts.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.errors import AnalysisError
+from repro.types import DocumentType, Request
+
+
+@dataclass(frozen=True)
+class FootprintSample:
+    """Working-set measurements at one trace position."""
+
+    request_index: int
+    documents: int
+    bytes: int
+
+
+def working_set_series(requests: Sequence[Request],
+                       window: int,
+                       sample_interval: Optional[int] = None,
+                       doc_type: Optional[DocumentType] = None
+                       ) -> List[FootprintSample]:
+    """Working-set size over the trace, in a ``window``-request window.
+
+    Args:
+        requests: The trace (position order defines time).
+        window: Window length in requests.
+        sample_interval: Emit one sample every N requests (default:
+            ~200 samples over the trace).
+        doc_type: Restrict the working set to one document type
+            (window positions still advance on every request).
+    """
+    if window <= 0:
+        raise AnalysisError("window must be positive")
+    n = len(requests)
+    if n == 0:
+        return []
+    if sample_interval is None:
+        sample_interval = max(n // 200, 1)
+
+    refcounts: Dict[str, int] = {}
+    sizes: Dict[str, int] = {}
+    live_bytes = 0
+    recent: deque = deque()
+    samples: List[FootprintSample] = []
+
+    for position, request in enumerate(requests):
+        eligible = doc_type is None or request.doc_type is doc_type
+        if eligible:
+            url = request.url
+            recent.append((position, url))
+            count = refcounts.get(url, 0)
+            if count == 0:
+                sizes[url] = request.size
+                live_bytes += request.size
+            refcounts[url] = count + 1
+        # Expire references older than the window.
+        boundary = position - window
+        while recent and recent[0][0] <= boundary:
+            _, old_url = recent.popleft()
+            remaining = refcounts[old_url] - 1
+            if remaining == 0:
+                del refcounts[old_url]
+                live_bytes -= sizes.pop(old_url)
+            else:
+                refcounts[old_url] = remaining
+        if (position + 1) % sample_interval == 0 or position == n - 1:
+            samples.append(FootprintSample(
+                request_index=position + 1,
+                documents=len(refcounts),
+                bytes=live_bytes,
+            ))
+    return samples
+
+
+def peak_footprint(requests: Sequence[Request], window: int,
+                   doc_type: Optional[DocumentType] = None
+                   ) -> FootprintSample:
+    """The sample with the largest byte footprint (sizing worst case)."""
+    samples = working_set_series(requests, window, doc_type=doc_type)
+    if not samples:
+        raise AnalysisError("empty trace has no footprint")
+    return max(samples, key=lambda s: s.bytes)
+
+
+def mean_footprint_bytes(requests: Sequence[Request],
+                         window: int) -> float:
+    """Time-average byte footprint — a principled cache-size floor:
+    a cache smaller than this cannot hold even one window's working
+    set."""
+    samples = working_set_series(requests, window)
+    if not samples:
+        raise AnalysisError("empty trace has no footprint")
+    return sum(s.bytes for s in samples) / len(samples)

@@ -1,0 +1,112 @@
+"""ASCII line charts.
+
+matplotlib is not available offline, so the experiment harness renders
+each figure panel as (a) a CSV series file — the real deliverable — and
+(b) an ASCII chart for quick human inspection.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Sequence, Tuple
+
+Series = Sequence[Tuple[float, float]]
+
+#: Marker characters assigned to series in insertion order.
+MARKERS = "*o+x#@%&"
+
+
+def _bounds(all_series: Dict[str, Series], logx: bool):
+    xs, ys = [], []
+    for series in all_series.values():
+        for x, y in series:
+            if logx and x <= 0:
+                continue
+            xs.append(math.log10(x) if logx else x)
+            ys.append(y)
+    if not xs:
+        raise ValueError("no plottable points")
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = min(ys), max(ys)
+    if x_lo == x_hi:
+        x_hi = x_lo + 1.0
+    if y_lo == y_hi:
+        y_hi = y_lo + 1.0
+    return x_lo, x_hi, y_lo, y_hi
+
+
+def ascii_chart(all_series: Dict[str, Series],
+                width: int = 64, height: int = 16,
+                title: Optional[str] = None,
+                x_label: str = "x", y_label: str = "y",
+                logx: bool = False) -> str:
+    """Render named (x, y) series on one character grid.
+
+    Each series gets a marker from :data:`MARKERS`; overlapping points
+    show the later series' marker.  A legend maps markers to names.
+    """
+    if not all_series:
+        raise ValueError("no series to plot")
+    x_lo, x_hi, y_lo, y_hi = _bounds(all_series, logx)
+    grid: List[List[str]] = [[" "] * width for _ in range(height)]
+
+    for index, (name, series) in enumerate(all_series.items()):
+        marker = MARKERS[index % len(MARKERS)]
+        for x, y in series:
+            if logx:
+                if x <= 0:
+                    continue
+                x = math.log10(x)
+            col = int((x - x_lo) / (x_hi - x_lo) * (width - 1))
+            row = int((y - y_lo) / (y_hi - y_lo) * (height - 1))
+            grid[height - 1 - row][col] = marker
+
+    lines = []
+    if title:
+        lines.append(title)
+    top_label = f"{y_hi:.3g}"
+    bottom_label = f"{y_lo:.3g}"
+    margin = max(len(top_label), len(bottom_label))
+    for row_index, row in enumerate(grid):
+        if row_index == 0:
+            prefix = top_label.rjust(margin)
+        elif row_index == height - 1:
+            prefix = bottom_label.rjust(margin)
+        else:
+            prefix = " " * margin
+        lines.append(f"{prefix} |{''.join(row)}")
+    x_lo_label = f"{10 ** x_lo:.3g}" if logx else f"{x_lo:.3g}"
+    x_hi_label = f"{10 ** x_hi:.3g}" if logx else f"{x_hi:.3g}"
+    axis = " " * margin + " +" + "-" * width
+    lines.append(axis)
+    footer = (" " * margin + "  " + x_lo_label
+              + " " * max(width - len(x_lo_label) - len(x_hi_label), 1)
+              + x_hi_label)
+    lines.append(footer)
+    scale = " (log scale)" if logx else ""
+    lines.append(" " * margin + f"  {x_label}{scale}; y: {y_label}")
+    legend = "   ".join(
+        f"{MARKERS[i % len(MARKERS)]}={name}"
+        for i, name in enumerate(all_series))
+    lines.append(" " * margin + "  " + legend)
+    return "\n".join(lines)
+
+
+def series_to_csv(all_series: Dict[str, Series],
+                  x_name: str = "x") -> str:
+    """Serialize named series to CSV: one x column, one column each.
+
+    Series are aligned on the union of x values; missing points are
+    empty cells.
+    """
+    names = list(all_series)
+    xs = sorted({x for series in all_series.values() for x, _ in series})
+    lookup = {name: dict(series) for name, series in all_series.items()}
+    lines = [",".join([x_name] + names)]
+    for x in xs:
+        cells = [f"{x:g}"]
+        for name in names:
+            value = lookup[name].get(x)
+            cells.append("" if value is None else f"{value:.6g}")
+        lines.append(",".join(cells))
+    return "\n".join(lines) + "\n"

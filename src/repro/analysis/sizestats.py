@@ -1,0 +1,102 @@
+"""Per-type document and transfer size statistics (Tables 4 and 5).
+
+Two populations per document type:
+
+* **document sizes** — one observation per *distinct document*, at its
+  most recently observed full size;
+* **transfer sizes** — one observation per *request* (the bytes
+  actually moved, smaller than the document when interrupted).
+
+For each, the paper reports mean, median, and coefficient of variation.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Iterable, List
+
+import numpy as np
+
+from repro.types import DOCUMENT_TYPES, DocumentType, Request
+
+
+@dataclass
+class SizeStats:
+    """Mean / median / CoV of one size population (bytes)."""
+
+    count: int
+    mean: float
+    median: float
+    cov: float
+    total: int
+
+    @classmethod
+    def from_values(cls, values: Iterable[float]) -> "SizeStats":
+        data = np.asarray(list(values), dtype=np.float64)
+        if data.size == 0:
+            return cls(count=0, mean=math.nan, median=math.nan,
+                       cov=math.nan, total=0)
+        mean = float(data.mean())
+        std = float(data.std())
+        return cls(
+            count=int(data.size),
+            mean=mean,
+            median=float(np.median(data)),
+            cov=(std / mean) if mean else math.nan,
+            total=int(data.sum()),
+        )
+
+    @property
+    def mean_kb(self) -> float:
+        return self.mean / 1024.0
+
+    @property
+    def median_kb(self) -> float:
+        return self.median / 1024.0
+
+
+@dataclass
+class TypeSizeStats:
+    """Document-size and transfer-size statistics for one type."""
+
+    doc_type: DocumentType
+    document: SizeStats
+    transfer: SizeStats
+
+
+def size_stats_by_type(requests: Iterable[Request]
+                       ) -> Dict[DocumentType, TypeSizeStats]:
+    """Compute both size populations for every document type.
+
+    Document sizes use the *last seen* full size per URL (matching the
+    paper's simulator, which tracks sizes across the whole trace).
+    """
+    doc_sizes: Dict[DocumentType, Dict[str, int]] = {
+        t: {} for t in DOCUMENT_TYPES}
+    transfers: Dict[DocumentType, List[int]] = {
+        t: [] for t in DOCUMENT_TYPES}
+    for request in requests:
+        doc_sizes[request.doc_type][request.url] = request.size
+        transfers[request.doc_type].append(
+            min(request.transfer_size, request.size))
+    return {
+        t: TypeSizeStats(
+            doc_type=t,
+            document=SizeStats.from_values(doc_sizes[t].values()),
+            transfer=SizeStats.from_values(transfers[t]),
+        )
+        for t in DOCUMENT_TYPES
+    }
+
+
+def overall_size_stats(requests: Iterable[Request],
+                       transfers: bool = False) -> SizeStats:
+    """Size statistics over all types combined."""
+    if transfers:
+        values = [min(r.transfer_size, r.size) for r in requests]
+        return SizeStats.from_values(values)
+    last: Dict[str, int] = {}
+    for request in requests:
+        last[request.url] = request.size
+    return SizeStats.from_values(last.values())

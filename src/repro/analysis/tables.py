@@ -1,0 +1,150 @@
+"""ASCII rendering of the paper's tables."""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Sequence
+
+from repro.analysis.characterize import WorkloadCharacterization
+from repro.simulation.results import SweepResult
+from repro.types import DOCUMENT_TYPES, DocumentType
+
+
+def _fmt(value, digits: int = 2) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, float):
+        if math.isnan(value):
+            return "n/a"
+        if value and abs(value) < 10 ** (-digits):
+            return f"{value:.2e}"
+        return f"{value:,.{digits}f}"
+    if isinstance(value, int):
+        return f"{value:,}"
+    return str(value)
+
+
+def render_table(headers: Sequence[str], rows: Sequence[Sequence],
+                 title: Optional[str] = None, digits: int = 2) -> str:
+    """Render a simple aligned ASCII table.
+
+    The first column is left-aligned (row labels); the rest are
+    right-aligned numbers formatted with ``digits`` decimals.
+    """
+    text_rows = [[_fmt(cell, digits) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in text_rows:
+        for idx, cell in enumerate(row):
+            widths[idx] = max(widths[idx], len(cell))
+
+    def _line(cells: Sequence[str]) -> str:
+        parts = [cells[0].ljust(widths[0])]
+        parts += [cell.rjust(width)
+                  for cell, width in zip(cells[1:], widths[1:])]
+        return "  ".join(parts)
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(_line(list(headers)))
+    lines.append("  ".join("-" * w for w in widths))
+    lines.extend(_line(row) for row in text_rows)
+    return "\n".join(lines)
+
+
+def render_properties_table(
+        characterizations: Dict[str, WorkloadCharacterization],
+        title: str = "Table 1. Trace properties") -> str:
+    """Table 1: one column per trace."""
+    names = list(characterizations)
+    headers = ["Property"] + names
+    rows = [
+        ["Distinct Documents"] + [
+            characterizations[n].metadata.distinct_documents for n in names],
+        ["Overall Size (GB)"] + [
+            characterizations[n].metadata.total_size_gb for n in names],
+        ["Total Requests"] + [
+            characterizations[n].metadata.total_requests for n in names],
+        ["Requested Data (GB)"] + [
+            characterizations[n].metadata.requested_gb for n in names],
+    ]
+    return render_table(headers, rows, title=title)
+
+
+def render_breakdown_table(char: WorkloadCharacterization,
+                           title: str) -> str:
+    """Tables 2/3: per-type percentage shares."""
+    headers = ["Metric"] + [t.label for t in DOCUMENT_TYPES]
+    breakdown = char.breakdown
+    rows = [
+        ["% of Distinct Documents"] + [
+            breakdown.distinct_documents[t] for t in DOCUMENT_TYPES],
+        ["% of Overall Size"] + [
+            breakdown.overall_size[t] for t in DOCUMENT_TYPES],
+        ["% of Total Requests"] + [
+            breakdown.total_requests[t] for t in DOCUMENT_TYPES],
+        ["% of Requested Data"] + [
+            breakdown.requested_data[t] for t in DOCUMENT_TYPES],
+    ]
+    return render_table(headers, rows, title=title)
+
+
+def render_statistics_table(char: WorkloadCharacterization,
+                            title: str) -> str:
+    """Tables 4/5: per-type size statistics plus α and β."""
+    headers = ["Statistic"] + [t.label for t in DOCUMENT_TYPES]
+    types = DOCUMENT_TYPES
+    rows = [
+        ["Mean of Document Size (KB)"] + [
+            char.by_type[t].sizes.document.mean_kb for t in types],
+        ["Median of Document Size (KB)"] + [
+            char.by_type[t].sizes.document.median_kb for t in types],
+        ["CoV of Document Size"] + [
+            char.by_type[t].sizes.document.cov for t in types],
+        ["Mean of Transfer Size (KB)"] + [
+            char.by_type[t].sizes.transfer.mean_kb for t in types],
+        ["Median of Transfer Size (KB)"] + [
+            char.by_type[t].sizes.transfer.median_kb for t in types],
+        ["CoV of Transfer Size"] + [
+            char.by_type[t].sizes.transfer.cov for t in types],
+        ["Slope of Popularity Distribution (alpha)"] + [
+            char.by_type[t].alpha for t in types],
+        ["Degree of Temporal Correlations (beta)"] + [
+            char.by_type[t].beta for t in types],
+    ]
+    return render_table(headers, rows, title=title)
+
+
+def _capacity_label(capacity_bytes: int) -> str:
+    """Human-readable capacity with an auto-selected unit."""
+    for unit, factor in (("GB", 1e9), ("MB", 1e6), ("KB", 1e3)):
+        if capacity_bytes >= factor:
+            return f"{capacity_bytes / factor:,.1f}{unit}"
+    return f"{capacity_bytes}B"
+
+
+def render_sweep_table(sweep: SweepResult,
+                       doc_type: Optional[DocumentType] = None,
+                       byte_rate: bool = False,
+                       title: Optional[str] = None) -> str:
+    """One figure panel as a table: policies × cache sizes → rate."""
+    capacities = sweep.capacities
+    headers = ["Policy"] + [_capacity_label(c) for c in capacities]
+    rows: List[List] = []
+    for policy in sweep.policies:
+        row: List = [policy]
+        per_policy = sweep.grid[policy]
+        for capacity in capacities:
+            result = per_policy.get(capacity)
+            if result is None:
+                row.append(None)
+            elif byte_rate:
+                row.append(result.byte_hit_rate(doc_type))
+            else:
+                row.append(result.hit_rate(doc_type))
+        rows.append(row)
+    if title is None:
+        metric = "byte hit rate" if byte_rate else "hit rate"
+        label = doc_type.label if doc_type else "overall"
+        title = f"{label} {metric} ({sweep.trace_name})"
+    return render_table(headers, rows, title=title, digits=3)

@@ -1,0 +1,171 @@
+"""The proxy cache: capacity, residency, and byte accounting.
+
+The cache is policy-agnostic: it owns the URL → entry map and the byte
+budget, delegates every ordering decision to its
+:class:`~repro.core.policy.ReplacementPolicy`, and reports what happened
+to each reference as an :class:`~repro.core.policy.AccessOutcome`.
+
+Semantics (paper Section 4.1):
+
+* a referenced document resident *at its current size* is a **hit**;
+* a resident document whose size changed is **stale** — the reference is
+  a modification miss; the old copy is removed and the new version
+  admitted;
+* a document larger than the whole cache is never admitted (bypass);
+* admission evicts minimum-value victims until the new document fits.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, Optional
+
+from repro.core.policy import AccessOutcome, CacheEntry, ReplacementPolicy
+from repro.errors import CapacityError, SimulationError
+from repro.types import DocumentType
+
+
+class Cache:
+    """Byte-capacity cache driven by a replacement policy."""
+
+    def __init__(self, capacity_bytes: int, policy: ReplacementPolicy):
+        if capacity_bytes <= 0:
+            raise CapacityError(
+                f"capacity must be positive, got {capacity_bytes}")
+        self.capacity_bytes = capacity_bytes
+        self.policy = policy
+        self.used_bytes = 0
+        self.clock = 0
+        self._entries: Dict[str, CacheEntry] = {}
+        # Running counters (never reset by warm-up; the simulator keeps
+        # its own warm-up-aware metrics).
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.bypasses = 0
+        self.invalidations = 0
+        policy.attach(self)
+
+    # ----- queries ------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, url: str) -> bool:
+        return url in self._entries
+
+    def get(self, url: str) -> Optional[CacheEntry]:
+        """Resident entry for a URL, or None (no side effects)."""
+        return self._entries.get(url)
+
+    def entries(self) -> Iterator[CacheEntry]:
+        """Iterate resident entries in arbitrary order."""
+        return iter(self._entries.values())
+
+    @property
+    def free_bytes(self) -> int:
+        return self.capacity_bytes - self.used_bytes
+
+    # ----- the one mutating entry point ----------------------------------
+
+    def reference(self, url: str, size: int,
+                  doc_type: DocumentType = DocumentType.OTHER) -> AccessOutcome:
+        """Process one reference; admits on miss.
+
+        ``size`` is the document's full size as of this request.  A
+        resident copy with a different size is stale (modified document)
+        and is replaced.
+        """
+        if size < 0:
+            raise ValueError("size must be non-negative")
+        self.clock += 1
+        entry = self._entries.get(url)
+        if entry is not None:
+            if entry.size == size:
+                entry.frequency += 1
+                entry.last_access = self.clock
+                self.policy.on_hit(entry)
+                self.hits += 1
+                return AccessOutcome.HIT
+            # Modified document: stale copy out, new version in (unless
+            # the new version no longer fits or is refused admission).
+            self._drop(entry, count_as_invalidation=True)
+            self.misses += 1
+            if not self._admission_allowed(url, size):
+                self.bypasses += 1
+                return AccessOutcome.MISS_TOO_BIG
+            self._admit(url, size, doc_type)
+            return AccessOutcome.MISS_MODIFIED
+
+        self.misses += 1
+        if not self._admission_allowed(url, size):
+            self.bypasses += 1
+            return AccessOutcome.MISS_TOO_BIG
+        self._admit(url, size, doc_type)
+        return AccessOutcome.MISS
+
+    def _admission_allowed(self, url: str, size: int) -> bool:
+        if size > self.capacity_bytes:
+            return False
+        url_check = getattr(self.policy, "admits_url", None)
+        if url_check is not None:
+            return url_check(url, size)
+        return self.policy.admits(size)
+
+    def invalidate(self, url: str) -> bool:
+        """Remove a document without counting a reference; True if present."""
+        entry = self._entries.get(url)
+        if entry is None:
+            return False
+        self._drop(entry, count_as_invalidation=True)
+        return True
+
+    def flush(self) -> None:
+        """Empty the cache (keeps counters)."""
+        self._entries.clear()
+        self.used_bytes = 0
+        self.policy.clear()
+
+    # ----- internals ------------------------------------------------------
+
+    def _admit(self, url: str, size: int, doc_type: DocumentType) -> None:
+        self._make_room(size)
+        entry = CacheEntry(url, size, doc_type, clock=self.clock)
+        self._entries[url] = entry
+        self.used_bytes += size
+        self.policy.on_admit(entry)
+
+    def _make_room(self, needed: int) -> None:
+        while self.used_bytes + needed > self.capacity_bytes:
+            try:
+                victim = self.policy.pop_victim()
+            except IndexError as exc:
+                raise SimulationError(
+                    "policy has no victim but cache lacks space: "
+                    f"used={self.used_bytes} needed={needed} "
+                    f"capacity={self.capacity_bytes}") from exc
+            resident = self._entries.pop(victim.url, None)
+            if resident is not victim:
+                raise SimulationError(
+                    f"policy evicted unknown entry {victim.url!r}")
+            self.used_bytes -= victim.size
+            self.evictions += 1
+
+    def _drop(self, entry: CacheEntry, count_as_invalidation: bool) -> None:
+        self.policy.remove(entry)
+        del self._entries[entry.url]
+        self.used_bytes -= entry.size
+        if count_as_invalidation:
+            self.invalidations += 1
+
+    # ----- consistency check (tests) -------------------------------------
+
+    def check_invariants(self) -> None:
+        """Assert byte accounting and policy/residency agreement."""
+        total = sum(entry.size for entry in self._entries.values())
+        assert total == self.used_bytes, (
+            f"byte accounting drifted: {total} != {self.used_bytes}")
+        assert self.used_bytes <= self.capacity_bytes, "over capacity"
+        policy_len = len(self.policy)
+        assert policy_len == len(self._entries), (
+            f"policy tracks {policy_len} entries, cache holds "
+            f"{len(self._entries)}")

@@ -1,0 +1,43 @@
+"""First-In-First-Out baseline.
+
+Evicts in admission order, ignoring hits entirely.  Not studied in the
+paper but a standard lower-bound companion for LRU: any gap between
+FIFO and LRU measures how much recency information is worth on a
+workload.
+"""
+
+from __future__ import annotations
+
+from repro.core.policy import CacheEntry, ReplacementPolicy
+from repro.structures.dlist import DList
+
+
+class FIFOPolicy(ReplacementPolicy):
+    """Queue-order eviction; hits do not reorder."""
+
+    name = "fifo"
+
+    def __init__(self):
+        self._order: DList = DList()
+
+    def __len__(self) -> int:
+        return len(self._order)
+
+    def on_admit(self, entry: CacheEntry) -> None:
+        entry.policy_data = self._order.push_back(entry)
+
+    def on_hit(self, entry: CacheEntry) -> None:
+        # FIFO ignores references.
+        pass
+
+    def pop_victim(self) -> CacheEntry:
+        entry = self._order.pop_front()
+        entry.policy_data = None
+        return entry
+
+    def remove(self, entry: CacheEntry) -> None:
+        self._order.unlink(entry.policy_data)
+        entry.policy_data = None
+
+    def clear(self) -> None:
+        self._order = DList()

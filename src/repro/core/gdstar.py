@@ -1,0 +1,105 @@
+"""Greedy-Dual* (Jin & Bestavros, paper Section 3).
+
+GD* captures *both* sources of temporal locality:
+
+* long-term popularity, through the in-cache reference count f(p) in the
+  base value — like GDSF;
+* short-term temporal correlation, through the aging exponent β:
+
+      H(p) = L + ( f(p) · c(p) / s(p) ) ^ (1/β)
+
+With β = 1 this is exactly GDSF; as β shrinks (weak correlation,
+popularity-dominated workloads) the exponent 1/β grows and the utility
+spread between documents widens, making frequency/cost/size differences
+dominate recency (the inflation L).  β is estimated online from the
+reuse distances of resident documents
+(:class:`~repro.core.beta_estimator.OnlineBetaEstimator`), which is what
+makes the policy adaptive; pass a
+:class:`~repro.core.beta_estimator.FixedBetaEstimator` to pin it.
+
+The paper's multimedia observation falls out of the formula: for an
+infrequently accessed large document, f·c/s is tiny, and raising a tiny
+number to the power 1/β ≥ 1 makes it tinier still — so GD*(1) discards
+multimedia aggressively and posts the worst multimedia hit rate of all
+four schemes.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+from repro.core.beta_estimator import FixedBetaEstimator, OnlineBetaEstimator
+from repro.core.cost import ConstantCost, CostModel
+from repro.core.policy import CacheEntry, ReplacementPolicy
+from repro.structures.addressable_heap import AddressableHeap
+
+Estimator = Union[OnlineBetaEstimator, FixedBetaEstimator]
+
+#: Utilities are clamped to this ceiling before exponentiation so that
+#: 1/β powers of large ratios cannot overflow a float.
+_MAX_UTILITY = 1e12
+
+
+class GDStarPolicy(ReplacementPolicy):
+    """Greedy-Dual* with online (or fixed) β."""
+
+    def __init__(self, cost_model: CostModel = None,
+                 beta_estimator: Optional[Estimator] = None):
+        self.cost_model = cost_model or ConstantCost()
+        self.name = f"gd*({self.cost_model.tag.lower()})"
+        self.estimator: Estimator = beta_estimator or OnlineBetaEstimator()
+        self._heap: AddressableHeap = AddressableHeap()
+        self.inflation = 0.0
+        self._clock = 0
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    @property
+    def beta(self) -> float:
+        return self.estimator.beta
+
+    def _value(self, entry: CacheEntry) -> float:
+        size = max(entry.size, 1)
+        utility = entry.frequency * self.cost_model.cost(entry.size) / size
+        if utility > _MAX_UTILITY:
+            utility = _MAX_UTILITY
+        exponent = 1.0 / self.estimator.beta
+        # Guard against overflow for utility > 1 with a large exponent.
+        try:
+            powered = utility ** exponent
+        except OverflowError:
+            powered = _MAX_UTILITY ** 2
+        return self.inflation + powered
+
+    def on_admit(self, entry: CacheEntry) -> None:
+        self._clock += 1
+        entry.policy_data = self._clock  # last-reference time for reuse gaps
+        self._heap.push(entry, self._value(entry))
+
+    def on_hit(self, entry: CacheEntry) -> None:
+        self._clock += 1
+        last = entry.policy_data
+        if last is not None:
+            self.estimator.observe(self._clock - last)
+        entry.policy_data = self._clock
+        self._heap.update_key(entry, self._value(entry))
+
+    def pop_victim(self) -> CacheEntry:
+        entry, h_min = self._heap.pop()
+        self.inflation = h_min
+        entry.policy_data = None
+        return entry
+
+    def remove(self, entry: CacheEntry) -> None:
+        self._heap.remove(entry)
+        entry.policy_data = None
+
+    def clear(self) -> None:
+        self._heap.clear()
+        self.inflation = 0.0
+        self._clock = 0
+
+    def h_value(self, entry: CacheEntry) -> float:
+        """Current H value of a resident entry (diagnostics)."""
+        return self._heap.key_of(entry)

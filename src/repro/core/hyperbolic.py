@@ -1,0 +1,90 @@
+"""Hyperbolic caching (Blankstein, Sen & Freedman, 2017).
+
+Each resident document is valued at
+
+    priority(p) = f(p) · c(p) / (s(p) · age(p))
+
+where age is the time (here: cache references) since admission.  Unlike
+the Greedy-Dual family there is no inflation term: priorities *decay*
+continuously, so the eviction order between two documents can flip over
+time — which a heap cannot track exactly.  Following the original
+paper, eviction samples K random resident documents and evicts the one
+with the lowest current priority (sampling error is bounded and small
+for K ≈ 64).
+
+Included as a modern point of comparison for GDSF/GD*: it captures the
+same frequency/cost/size signal with aging by division rather than by
+additive inflation.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional
+
+from repro.core.cost import ConstantCost, CostModel
+from repro.core.policy import CacheEntry, ReplacementPolicy
+from repro.errors import ConfigurationError
+
+
+class HyperbolicPolicy(ReplacementPolicy):
+    """Sampling-based hyperbolic eviction."""
+
+    def __init__(self, cost_model: CostModel = None, sample_size: int = 64,
+                 seed: Optional[int] = 0):
+        if sample_size < 1:
+            raise ConfigurationError("sample_size must be >= 1")
+        self.cost_model = cost_model or ConstantCost()
+        self.sample_size = sample_size
+        self.name = f"hyperbolic({self.cost_model.tag.lower()})"
+        self._entries: List[CacheEntry] = []
+        self._rng = random.Random(seed)
+        self._clock = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def _priority(self, entry: CacheEntry) -> float:
+        birth = entry.policy_data[1]
+        age = max(self._clock - birth, 1)
+        size = max(entry.size, 1)
+        return (entry.frequency * self.cost_model.cost(entry.size)
+                / (size * age))
+
+    def on_admit(self, entry: CacheEntry) -> None:
+        self._clock += 1
+        entry.policy_data = [len(self._entries), self._clock]
+        self._entries.append(entry)
+
+    def on_hit(self, entry: CacheEntry) -> None:
+        self._clock += 1
+        # Frequency is maintained by the cache; age keeps running.
+
+    def pop_victim(self) -> CacheEntry:
+        if not self._entries:
+            raise IndexError("pop_victim on empty HyperbolicPolicy")
+        population = len(self._entries)
+        if population <= self.sample_size:
+            candidates = list(self._entries)
+        else:
+            candidates = [self._entries[self._rng.randrange(population)]
+                          for _ in range(self.sample_size)]
+        victim = min(candidates, key=self._priority)
+        self._remove_at(victim.policy_data[0])
+        return victim
+
+    def remove(self, entry: CacheEntry) -> None:
+        self._remove_at(entry.policy_data[0])
+
+    def _remove_at(self, index: int) -> None:
+        entries = self._entries
+        entry = entries[index]
+        last = entries.pop()
+        if last is not entry:
+            entries[index] = last
+            last.policy_data[0] = index
+        entry.policy_data = None
+
+    def clear(self) -> None:
+        self._entries.clear()
+        self._clock = 0

@@ -1,0 +1,42 @@
+"""Least Frequently Used (no aging).
+
+Evicts the resident document with the fewest references in its current
+residency, breaking ties in admission order.  Plain LFU suffers from
+*cache pollution*: documents that were hot once keep high counts forever
+and crowd out the current working set — exactly the failure mode LFU-DA
+(:mod:`repro.core.lfu_da`) fixes, which makes LFU the natural ablation
+baseline for the aging mechanism.
+"""
+
+from __future__ import annotations
+
+from repro.core.policy import CacheEntry, ReplacementPolicy
+from repro.structures.addressable_heap import AddressableHeap
+
+
+class LFUPolicy(ReplacementPolicy):
+    """Min-heap on reference count, FIFO tie-break."""
+
+    name = "lfu"
+
+    def __init__(self):
+        self._heap: AddressableHeap = AddressableHeap()
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def on_admit(self, entry: CacheEntry) -> None:
+        self._heap.push(entry, entry.frequency)
+
+    def on_hit(self, entry: CacheEntry) -> None:
+        self._heap.update_key(entry, entry.frequency)
+
+    def pop_victim(self) -> CacheEntry:
+        entry, _ = self._heap.pop()
+        return entry
+
+    def remove(self, entry: CacheEntry) -> None:
+        self._heap.remove(entry)
+
+    def clear(self) -> None:
+        self._heap.clear()

@@ -1,0 +1,42 @@
+"""Least Recently Used (paper Section 3).
+
+Recency-based: evicts the resident document unreferenced for the
+longest time.  Ignores size, cost, and frequency; its strength is pure
+exploitation of temporal locality, and because it does not discriminate
+against large documents it tends toward good *byte* hit rates.
+"""
+
+from __future__ import annotations
+
+from repro.core.policy import CacheEntry, ReplacementPolicy
+from repro.structures.dlist import DList
+
+
+class LRUPolicy(ReplacementPolicy):
+    """Classic LRU over an intrusive doubly-linked list (all ops O(1))."""
+
+    name = "lru"
+
+    def __init__(self):
+        self._order: DList = DList()
+
+    def __len__(self) -> int:
+        return len(self._order)
+
+    def on_admit(self, entry: CacheEntry) -> None:
+        entry.policy_data = self._order.push_back(entry)
+
+    def on_hit(self, entry: CacheEntry) -> None:
+        self._order.move_to_back(entry.policy_data)
+
+    def pop_victim(self) -> CacheEntry:
+        entry = self._order.pop_front()
+        entry.policy_data = None
+        return entry
+
+    def remove(self, entry: CacheEntry) -> None:
+        self._order.unlink(entry.policy_data)
+        entry.policy_data = None
+
+    def clear(self) -> None:
+        self._order = DList()

@@ -1,0 +1,55 @@
+"""RAND baseline: evict a uniformly random resident document.
+
+The memoryless control: any policy that cannot beat RAND on a workload
+is extracting no signal from it.  Seeded for reproducibility.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional
+
+from repro.core.policy import CacheEntry, ReplacementPolicy
+
+
+class RandomPolicy(ReplacementPolicy):
+    """Uniform random eviction via a swap-remove array (all ops O(1))."""
+
+    name = "rand"
+
+    def __init__(self, seed: Optional[int] = 0):
+        self._entries: List[CacheEntry] = []
+        self._rng = random.Random(seed)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def on_admit(self, entry: CacheEntry) -> None:
+        entry.policy_data = len(self._entries)
+        self._entries.append(entry)
+
+    def on_hit(self, entry: CacheEntry) -> None:
+        # Random eviction ignores references.
+        pass
+
+    def pop_victim(self) -> CacheEntry:
+        if not self._entries:
+            raise IndexError("pop_victim on empty RandomPolicy")
+        index = self._rng.randrange(len(self._entries))
+        return self._remove_at(index)
+
+    def remove(self, entry: CacheEntry) -> None:
+        self._remove_at(entry.policy_data)
+
+    def _remove_at(self, index: int) -> CacheEntry:
+        entries = self._entries
+        entry = entries[index]
+        last = entries.pop()
+        if last is not entry:
+            entries[index] = last
+            last.policy_data = index
+        entry.policy_data = None
+        return entry
+
+    def clear(self) -> None:
+        self._entries.clear()

@@ -1,0 +1,145 @@
+"""Policy construction by name.
+
+The names follow the paper's notation: the Greedy-Dual family carries
+its cost model in parentheses — ``gds(1)`` / ``gd*(1)`` for constant
+cost, ``gds(p)`` / ``gd*(p)`` for packet cost.  Aliases with the
+parentheses spelled out (``gds1``, ``gdstar-p``, ...) are accepted.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from repro.core.beta_estimator import FixedBetaEstimator
+from repro.core.cost import ConstantCost, PacketCost
+from repro.core.fifo import FIFOPolicy
+from repro.core.gds import GDSPolicy
+from repro.core.gdsf import GDSFPolicy
+from repro.core.gdstar import GDStarPolicy
+from repro.core.gdstar_typed import GDStarTypedPolicy
+from repro.core.hyperbolic import HyperbolicPolicy
+from repro.core.landlord import LandlordPolicy
+from repro.core.lfu import LFUPolicy
+from repro.core.lfu_da import LFUDAPolicy
+from repro.core.lru import LRUPolicy
+from repro.core.lru_k import LRUKPolicy
+from repro.core.lru_threshold import LRUThresholdPolicy
+from repro.core.policy import ReplacementPolicy
+from repro.core.random_policy import RandomPolicy
+from repro.core.size_policy import SizePolicy
+from repro.core.slru import SLRUPolicy
+from repro.errors import ConfigurationError
+
+#: Default admission threshold for lru-threshold (Squid's historical
+#: 4 MB maximum_object_size default).
+DEFAULT_THRESHOLD_BYTES = 4 * 1024 * 1024
+
+_FACTORIES: Dict[str, Callable[..., ReplacementPolicy]] = {
+    "lru": LRUPolicy,
+    "fifo": FIFOPolicy,
+    "lfu": LFUPolicy,
+    "lfu-da": LFUDAPolicy,
+    "size": SizePolicy,
+    "rand": RandomPolicy,
+    "slru": SLRUPolicy,
+    "lru-2": lambda **kw: LRUKPolicy(k=2, **kw),
+    "lru-threshold": lambda **kw: LRUThresholdPolicy(
+        kw.pop("threshold_bytes", DEFAULT_THRESHOLD_BYTES), **kw),
+    "gds(1)": lambda **kw: GDSPolicy(ConstantCost(), **kw),
+    "gds(p)": lambda **kw: GDSPolicy(PacketCost(), **kw),
+    "gdsf(1)": lambda **kw: GDSFPolicy(ConstantCost(), **kw),
+    "gdsf(p)": lambda **kw: GDSFPolicy(PacketCost(), **kw),
+    "gd*(1)": lambda **kw: GDStarPolicy(ConstantCost(), **kw),
+    "gd*(p)": lambda **kw: GDStarPolicy(PacketCost(), **kw),
+    "gd*t(1)": lambda **kw: GDStarTypedPolicy(ConstantCost(), **kw),
+    "gd*t(p)": lambda **kw: GDStarTypedPolicy(PacketCost(), **kw),
+    "landlord(1)": lambda **kw: LandlordPolicy(ConstantCost(), **kw),
+    "landlord(p)": lambda **kw: LandlordPolicy(PacketCost(), **kw),
+    "hyperbolic(1)": lambda **kw: HyperbolicPolicy(ConstantCost(), **kw),
+    "hyperbolic(p)": lambda **kw: HyperbolicPolicy(PacketCost(), **kw),
+}
+
+_ALIASES = {
+    "lfuda": "lfu-da",
+    "lfu_da": "lfu-da",
+    "random": "rand",
+    "lru2": "lru-2",
+    "lruk": "lru-2",
+    "gds1": "gds(1)",
+    "gdsp": "gds(p)",
+    "gds-1": "gds(1)",
+    "gds-p": "gds(p)",
+    "gdsf1": "gdsf(1)",
+    "gdsfp": "gdsf(p)",
+    "gd*1": "gd*(1)",
+    "gd*p": "gd*(p)",
+    "gdstar(1)": "gd*(1)",
+    "gdstar(p)": "gd*(p)",
+    "gdstar-1": "gd*(1)",
+    "gdstar-p": "gd*(p)",
+    "gdstar1": "gd*(1)",
+    "gdstarp": "gd*(p)",
+    "gdstar-typed": "gd*t(1)",
+    "gd*typed(1)": "gd*t(1)",
+    "gd*typed(p)": "gd*t(p)",
+    "landlord": "landlord(1)",
+    "landlord1": "landlord(1)",
+    "landlordp": "landlord(p)",
+    "hyperbolic": "hyperbolic(1)",
+    "lru-t": "lru-threshold",
+    "lrut": "lru-threshold",
+}
+
+#: Canonical constructible policy names.
+POLICY_NAMES: List[str] = sorted(_FACTORIES)
+
+#: The four schemes the paper compares under the constant cost model.
+PAPER_CONSTANT_COST = ("lru", "lfu-da", "gds(1)", "gd*(1)")
+
+#: The four schemes the paper compares under the packet cost model.
+PAPER_PACKET_COST = ("lru", "lfu-da", "gds(p)", "gd*(p)")
+
+
+def canonical_name(name: str) -> str:
+    """Resolve aliases and normalize case; raises on unknown names."""
+    key = name.strip().lower()
+    key = _ALIASES.get(key, key)
+    if key not in _FACTORIES:
+        raise ConfigurationError(
+            f"unknown policy {name!r}; known: {', '.join(POLICY_NAMES)}")
+    return key
+
+
+def make_policy(name: str, *, fixed_beta: float = None,
+                seed: int = None,
+                threshold_bytes: int = None) -> ReplacementPolicy:
+    """Construct a policy by (possibly aliased) name.
+
+    Args:
+        name: Policy name, e.g. ``"lru"`` or ``"gd*(p)"``.
+        fixed_beta: For GD* variants only: pin β instead of estimating
+            it online (the ablation arm).
+        seed: For the randomized policies (``rand``, ``hyperbolic``)
+            only: the eviction RNG seed.
+        threshold_bytes: For ``lru-threshold`` only: the admission
+            size limit (default 4 MB).
+    """
+    key = canonical_name(name)
+    kwargs = {}
+    if fixed_beta is not None:
+        if key not in ("gd*(1)", "gd*(p)"):
+            raise ConfigurationError(
+                f"fixed_beta only applies to gd*(1)/gd*(p), not {name!r}")
+        kwargs["beta_estimator"] = FixedBetaEstimator(fixed_beta)
+    if seed is not None:
+        if key != "rand" and not key.startswith("hyperbolic"):
+            raise ConfigurationError(
+                f"seed only applies to randomized policies, not {name!r}")
+        kwargs["seed"] = seed
+    if threshold_bytes is not None:
+        if key != "lru-threshold":
+            raise ConfigurationError(
+                f"threshold_bytes only applies to lru-threshold, "
+                f"not {name!r}")
+        kwargs["threshold_bytes"] = threshold_bytes
+    return _FACTORIES[key](**kwargs)

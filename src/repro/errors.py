@@ -1,0 +1,49 @@
+"""Exception hierarchy for the repro library.
+
+All library-raised exceptions derive from :class:`ReproError` so callers can
+catch everything from this package with a single ``except`` clause while
+still letting programming errors (``TypeError`` and friends) propagate.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class TraceFormatError(ReproError):
+    """A trace line or file could not be parsed in the declared format."""
+
+    def __init__(self, message: str, line_number: int | None = None,
+                 line: str | None = None):
+        self.line_number = line_number
+        self.line = line
+        if line_number is not None:
+            message = f"line {line_number}: {message}"
+        super().__init__(message)
+
+
+class ConfigurationError(ReproError):
+    """A component was constructed or configured with invalid parameters."""
+
+
+class CapacityError(ConfigurationError):
+    """A cache was configured with a non-positive capacity."""
+
+
+class SimulationError(ReproError):
+    """The simulator reached an inconsistent state.
+
+    This signals a bug in a policy implementation (for example a policy
+    that reports an empty eviction candidate set while the cache still
+    holds entries), not a user error.
+    """
+
+
+class AnalysisError(ReproError):
+    """An estimator could not produce a result from the supplied data."""
+
+
+class ExperimentError(ReproError):
+    """An experiment id is unknown or an experiment configuration is bad."""

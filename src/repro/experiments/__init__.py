@@ -1,0 +1,34 @@
+"""Experiment harness: one named experiment per paper table/figure.
+
+Run from the command line::
+
+    python -m repro.experiments table2 --scale small
+    python -m repro.experiments fig2 --scale small --outdir results/
+
+or programmatically::
+
+    from repro.experiments import run_experiment
+    report = run_experiment("fig2", scale="small")
+    print(report.text)
+
+Experiment ids: ``table1`` … ``table5``, ``fig1``, ``fig2``, ``fig3``,
+``rtp-const``, ``rtp-packet``, ``ablation-beta``, ``ablation-warmup``,
+``ablation-modification``.  See DESIGN.md for the per-experiment index.
+"""
+
+from repro.experiments.config import (
+    EXPERIMENT_IDS,
+    SCALES,
+    ExperimentSettings,
+)
+from repro.experiments.runner import ExperimentReport, run_experiment
+from repro.experiments.report import write_report
+
+__all__ = [
+    "EXPERIMENT_IDS",
+    "SCALES",
+    "ExperimentSettings",
+    "ExperimentReport",
+    "run_experiment",
+    "write_report",
+]

@@ -1,0 +1,83 @@
+"""Command-line entry point: ``python -m repro.experiments``.
+
+Examples::
+
+    python -m repro.experiments table2
+    python -m repro.experiments fig2 --scale small --outdir results/
+    python -m repro.experiments all --scale tiny
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import List, Optional
+
+from repro.experiments.config import EXPERIMENT_IDS, SCALES
+from repro.experiments.report import write_report
+from repro.experiments.runner import run_experiment
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments",
+        description="Regenerate the paper's tables and figures.")
+    parser.add_argument(
+        "experiment", choices=list(EXPERIMENT_IDS) + ["all"],
+        help="experiment id, or 'all'")
+    parser.add_argument(
+        "--scale", choices=list(SCALES), default="small",
+        help="workload scale (default: small)")
+    parser.add_argument(
+        "--outdir", default=None,
+        help="directory to write report.txt/data.json/CSV artifacts")
+    parser.add_argument(
+        "--quiet", action="store_true",
+        help="suppress report text on stdout")
+    parser.add_argument(
+        "--markdown", action="store_true",
+        help="also write a SUMMARY.md of the batch (needs --outdir)")
+    parser.add_argument(
+        "--seed", type=int, default=None,
+        help="override the trace-generation seed (default: each "
+             "profile's documented seed, for exact reproducibility)")
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.markdown and not args.outdir:
+        print("--markdown requires --outdir", file=sys.stderr)
+        return 2
+    ids = list(EXPERIMENT_IDS) if args.experiment == "all" \
+        else [args.experiment]
+    settings = None
+    if args.seed is not None:
+        from repro.experiments.config import ExperimentSettings
+        settings = ExperimentSettings.for_scale(args.scale,
+                                                seed=args.seed)
+    reports = []
+    for experiment_id in ids:
+        started = time.time()
+        report = run_experiment(experiment_id, scale=args.scale,
+                                settings=settings)
+        elapsed = time.time() - started
+        reports.append(report)
+        if not args.quiet:
+            print(report.text)
+            print(f"\n[{experiment_id} completed in {elapsed:.1f}s]\n")
+        if args.outdir:
+            directory = write_report(report, args.outdir)
+            if not args.quiet:
+                print(f"[artifacts written to {directory}]\n")
+    if args.markdown:
+        from repro.experiments.summary import write_markdown_summary
+        path = write_markdown_summary(reports, args.outdir)
+        if not args.quiet:
+            print(f"[summary written to {path}]")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

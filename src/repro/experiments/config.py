@@ -1,0 +1,71 @@
+"""Experiment identifiers, scales, and shared settings."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Sequence, Tuple
+
+from repro.errors import ExperimentError
+
+#: Named workload scales: fraction of the real traces' request volume.
+SCALES: Dict[str, float] = {
+    "tiny": 1.0 / 512.0,    # ~13k requests; unit-test speed
+    "small": 1.0 / 64.0,    # ~105k requests; default for benches
+    "medium": 1.0 / 16.0,   # ~420k requests
+    "paper": 1.0,           # full 6.7M / 4.1M requests
+}
+
+#: All runnable experiment ids, in DESIGN.md order.
+EXPERIMENT_IDS: Tuple[str, ...] = (
+    "table1", "table2", "table3", "table4", "table5",
+    "fig1", "fig2", "fig3",
+    "rtp-const", "rtp-packet",
+    "ablation-beta", "ablation-warmup", "ablation-modification",
+    "ablation-partition", "ablation-irm", "ablation-typed-beta",
+    "ablation-seeds", "policy-zoo", "future-workload", "verify-claims",
+)
+
+#: Cache-size ladder as fractions of overall trace size (paper: ~0.5 %
+#: to ~4 %).
+DEFAULT_SIZE_FRACTIONS: Tuple[float, ...] = (0.005, 0.01, 0.02, 0.04)
+
+#: Figure-1 cache size as a fraction of overall trace size (the paper
+#: used a fixed 1 GB cache on the full DFN trace, roughly this share).
+FIG1_SIZE_FRACTION = 0.02
+
+
+@dataclass
+class ExperimentSettings:
+    """Resolved settings shared by all experiments.
+
+    Attributes:
+        scale: Workload scale factor (see :data:`SCALES`).
+        scale_name: The name the factor came from, for reporting.
+        size_fractions: Cache-size ladder for sweeps.
+        occupancy_interval: Figure-1 sampling cadence (requests); 0
+            picks ~200 samples automatically.
+        seed: Base RNG seed for trace generation.
+    """
+
+    scale: float = SCALES["small"]
+    scale_name: str = "small"
+    size_fractions: Sequence[float] = DEFAULT_SIZE_FRACTIONS
+    occupancy_interval: int = 0
+    seed: Optional[int] = None
+    extra: Dict[str, object] = field(default_factory=dict)
+
+    @classmethod
+    def for_scale(cls, scale: str = "small", **kwargs) -> "ExperimentSettings":
+        if scale not in SCALES:
+            raise ExperimentError(
+                f"unknown scale {scale!r}; known: {', '.join(SCALES)}")
+        return cls(scale=SCALES[scale], scale_name=scale, **kwargs)
+
+
+def check_experiment_id(experiment_id: str) -> str:
+    key = experiment_id.strip().lower()
+    if key not in EXPERIMENT_IDS:
+        raise ExperimentError(
+            f"unknown experiment {experiment_id!r}; known: "
+            + ", ".join(EXPERIMENT_IDS))
+    return key

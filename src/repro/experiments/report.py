@@ -1,0 +1,37 @@
+"""Writing experiment reports and artifacts to disk."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Union
+
+from repro.experiments.runner import ExperimentReport
+
+PathLike = Union[str, Path]
+
+
+def write_report(report: ExperimentReport, outdir: PathLike) -> Path:
+    """Write a report's text, JSON data, and CSV artifacts.
+
+    Layout::
+
+        <outdir>/<experiment_id>/report.txt
+        <outdir>/<experiment_id>/data.json
+        <outdir>/<experiment_id>/<artifact>.csv ...
+
+    Returns the experiment directory.
+    """
+    directory = Path(outdir) / report.experiment_id
+    directory.mkdir(parents=True, exist_ok=True)
+    (directory / "report.txt").write_text(report.text + "\n")
+    (directory / "data.json").write_text(json.dumps(
+        {
+            "experiment_id": report.experiment_id,
+            "scale": report.scale_name,
+            "data": report.data,
+        },
+        indent=2, default=str))
+    for name, content in report.artifacts.items():
+        (directory / name).write_text(content)
+    return directory

@@ -1,0 +1,86 @@
+"""Markdown summaries for experiment batches.
+
+``python -m repro.experiments all --scale small --outdir results/
+--markdown`` writes ``results/SUMMARY.md``: one document linking every
+experiment's artifacts with its rendered report inlined — the shape of
+this repository's EXPERIMENTS.md, regenerated mechanically from a run.
+"""
+
+from __future__ import annotations
+
+import time
+from pathlib import Path
+from typing import List, Union
+
+from repro.experiments.runner import ExperimentReport
+
+PathLike = Union[str, Path]
+
+#: Section headers per experiment-id prefix, in rendering order.
+_SECTIONS = (
+    ("table", "Workload characterization (Tables 1-5)"),
+    ("fig", "Performance figures (DFN trace)"),
+    ("rtp", "RTP trace (Section 4.4)"),
+    ("ablation", "Ablations"),
+    ("verify", "Attestation"),
+)
+
+
+def _section_for(experiment_id: str) -> str:
+    for prefix, title in _SECTIONS:
+        if experiment_id.startswith(prefix):
+            return title
+    return "Other"
+
+
+def render_markdown_summary(reports: List[ExperimentReport],
+                            title: str = "Experiment summary") -> str:
+    """One markdown document for a batch of reports."""
+    if not reports:
+        raise ValueError("no reports to summarize")
+    scale = reports[0].scale_name
+    lines = [
+        f"# {title}",
+        "",
+        f"Scale: `{scale}` — generated "
+        f"{time.strftime('%Y-%m-%d %H:%M:%S UTC', time.gmtime())} by "
+        "`python -m repro.experiments`.",
+        "",
+        "## Contents",
+        "",
+    ]
+    for report in reports:
+        lines.append(f"- [{report.experiment_id}]"
+                     f"(#{report.experiment_id.replace('*', '')})")
+    lines.append("")
+
+    current_section = None
+    for report in reports:
+        section = _section_for(report.experiment_id)
+        if section != current_section:
+            lines.append(f"## {section}")
+            lines.append("")
+            current_section = section
+        lines.append(f"### {report.experiment_id}")
+        lines.append("")
+        lines.append("```")
+        lines.append(report.text.rstrip())
+        lines.append("```")
+        lines.append("")
+        if report.artifacts:
+            names = ", ".join(
+                f"`{report.experiment_id}/{name}`"
+                for name in sorted(report.artifacts))
+            lines.append(f"CSV series: {names}")
+            lines.append("")
+    return "\n".join(lines) + "\n"
+
+
+def write_markdown_summary(reports: List[ExperimentReport],
+                           outdir: PathLike,
+                           filename: str = "SUMMARY.md") -> Path:
+    """Write the batch summary next to the per-experiment artifacts."""
+    path = Path(outdir) / filename
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(render_markdown_summary(reports))
+    return path

@@ -1,0 +1,63 @@
+"""Trace-driven simulation of a single caching proxy (paper Section 4.1).
+
+:class:`~repro.simulation.simulator.CacheSimulator` drives a request
+stream through a :class:`~repro.core.cache.Cache`, with
+
+* a warm-up phase covering the first 10 % of requests (cold-start
+  misses excluded from all metrics);
+* hit-rate and byte-hit-rate accounting broken down by document type
+  (:mod:`~repro.simulation.metrics`);
+* optional sampling of the cache's per-type occupancy over time for the
+  Figure-1 adaptability analysis (:mod:`~repro.simulation.occupancy`);
+* the paper's 5 %-delta modification/interruption rule, or its
+  alternatives (:class:`~repro.simulation.simulator.SizeInterpretation`).
+
+:func:`~repro.simulation.sweep.run_sweep` runs a policy × cache-size
+grid, the shape of every performance figure in the paper.
+"""
+
+from repro.simulation.metrics import RateAccumulator, TypeMetrics
+from repro.simulation.occupancy import OccupancySample, OccupancyTracker
+from repro.simulation.results import SimulationResult, SweepResult
+from repro.simulation.simulator import (
+    CacheSimulator,
+    SimulationConfig,
+    SizeInterpretation,
+    simulate,
+)
+from repro.simulation.mesh import MeshConfig, MeshResult, MeshSimulator, simulate_mesh
+from repro.simulation.parallel import run_sweep_parallel
+from repro.simulation.sweep import cache_sizes_from_fractions, run_sweep
+from repro.simulation.freshness import FreshnessTracker, TTLModel
+from repro.simulation.hierarchy import (
+    HierarchyConfig,
+    HierarchyResult,
+    HierarchySimulator,
+    simulate_hierarchy,
+)
+
+__all__ = [
+    "RateAccumulator",
+    "TypeMetrics",
+    "OccupancySample",
+    "OccupancyTracker",
+    "SimulationResult",
+    "SweepResult",
+    "CacheSimulator",
+    "SimulationConfig",
+    "SizeInterpretation",
+    "simulate",
+    "cache_sizes_from_fractions",
+    "run_sweep",
+    "run_sweep_parallel",
+    "TTLModel",
+    "FreshnessTracker",
+    "HierarchyConfig",
+    "HierarchyResult",
+    "HierarchySimulator",
+    "simulate_hierarchy",
+    "MeshConfig",
+    "MeshResult",
+    "MeshSimulator",
+    "simulate_mesh",
+]

@@ -1,0 +1,156 @@
+"""Sibling cache mesh (ICP-style cooperation).
+
+The paper's DFN trace comes from the *DFN cache mesh* (reference [6]):
+peer proxies that, on a local miss, ask their siblings before going to
+the origin — the Internet Cache Protocol pattern.  Where the
+:mod:`~repro.simulation.hierarchy` module models parent/child levels,
+this module models the flat peer topology:
+
+* each request goes to its home proxy (round-robin client assignment);
+* a local miss queries all siblings; a sibling hit serves the document
+  (cheaper than origin, dearer than local) and, optionally, the home
+  proxy keeps a copy (``replicate_on_sibling_hit``);
+* otherwise the origin serves and the home proxy caches.
+
+The classic ICP trade-off falls out and is pinned by tests:
+replication raises local hit rates but burns aggregate capacity on
+duplicates, so with tight budgets the non-replicating mesh serves more
+distinct bytes from the pool.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Union
+
+from repro.core.cache import Cache
+from repro.core.policy import AccessOutcome, ReplacementPolicy
+from repro.core.registry import make_policy
+from repro.errors import ConfigurationError
+from repro.simulation.metrics import TypeMetrics
+from repro.types import Request, Trace
+
+
+@dataclass
+class MeshConfig:
+    """Topology and behaviour of the sibling mesh."""
+
+    proxy_capacity_bytes: int
+    n_proxies: int = 4
+    policy: str = "lru"
+    #: Copy a sibling-served document into the home proxy too (the
+    #: bandwidth-hungry variant of ICP deployments).
+    replicate_on_sibling_hit: bool = True
+    warmup_fraction: float = 0.10
+
+    def validate(self) -> None:
+        if self.proxy_capacity_bytes <= 0:
+            raise ConfigurationError("capacity must be positive")
+        if self.n_proxies < 2:
+            raise ConfigurationError("a mesh needs at least two proxies")
+        if not 0.0 <= self.warmup_fraction < 1.0:
+            raise ConfigurationError("warmup_fraction must be in [0, 1)")
+
+
+@dataclass
+class MeshResult:
+    """Outcome of one mesh run."""
+
+    config: MeshConfig
+    trace_name: str = "trace"
+    total_requests: int = 0
+    warmup_requests: int = 0
+    #: Hits in the client's home proxy.
+    local: TypeMetrics = field(default_factory=TypeMetrics)
+    #: Requests served anywhere in the mesh (local or sibling).
+    mesh: TypeMetrics = field(default_factory=TypeMetrics)
+    sibling_hits: int = 0
+
+    @property
+    def local_hit_rate(self) -> float:
+        return self.local.overall.hit_rate
+
+    @property
+    def mesh_hit_rate(self) -> float:
+        return self.mesh.overall.hit_rate
+
+    @property
+    def sibling_hit_share(self) -> float:
+        """Fraction of mesh hits supplied by a sibling."""
+        hits = self.mesh.overall.hits
+        return self.sibling_hits / hits if hits else 0.0
+
+
+class MeshSimulator:
+    """Drives a trace through the sibling mesh."""
+
+    def __init__(self, config: MeshConfig,
+                 policies: Optional[Sequence[ReplacementPolicy]] = None):
+        config.validate()
+        self.config = config
+        if policies is not None:
+            if len(policies) != config.n_proxies:
+                raise ConfigurationError(
+                    "need exactly one policy per proxy")
+            built = list(policies)
+        else:
+            built = [make_policy(config.policy)
+                     for _ in range(config.n_proxies)]
+        self.proxies: List[Cache] = [
+            Cache(config.proxy_capacity_bytes, policy)
+            for policy in built
+        ]
+
+    def run(self, trace: Union[Trace, Sequence[Request]],
+            trace_name: Optional[str] = None) -> MeshResult:
+        requests = trace.requests if isinstance(trace, Trace) else trace
+        total = len(requests)
+        warmup = int(total * self.config.warmup_fraction)
+        result = MeshResult(
+            config=self.config,
+            trace_name=trace_name or getattr(trace, "trace_name", None)
+            or getattr(trace, "name", "trace"),
+            total_requests=total,
+            warmup_requests=warmup,
+        )
+        n = self.config.n_proxies
+        replicate = self.config.replicate_on_sibling_hit
+        for index, request in enumerate(requests):
+            home = self.proxies[index % n]
+            outcome = home.reference(request.url, request.size,
+                                     request.doc_type)
+            local_hit = outcome is AccessOutcome.HIT
+            sibling_hit = False
+            if not local_hit:
+                for offset in range(1, n):
+                    sibling = self.proxies[(index + offset) % n]
+                    entry = sibling.get(request.url)
+                    if entry is not None and entry.size == request.size:
+                        sibling_hit = True
+                        # Serving refreshes the sibling's entry.
+                        sibling.reference(request.url, request.size,
+                                          request.doc_type)
+                        break
+                if sibling_hit and not replicate:
+                    # The home proxy admitted the document on its miss
+                    # path above; a non-replicating mesh drops it again
+                    # (the sibling remains the owner).
+                    home.invalidate(request.url)
+            if index < warmup:
+                continue
+            transfer = min(request.transfer_size, request.size)
+            result.local.record(request.doc_type, local_hit, transfer)
+            result.mesh.record(request.doc_type,
+                               local_hit or sibling_hit, transfer)
+            if sibling_hit:
+                result.sibling_hits += 1
+        return result
+
+
+def simulate_mesh(trace: Union[Trace, Sequence[Request]],
+                  proxy_capacity_bytes: int,
+                  **config_kwargs) -> MeshResult:
+    """One-call mesh simulation."""
+    config = MeshConfig(proxy_capacity_bytes=proxy_capacity_bytes,
+                        **config_kwargs)
+    return MeshSimulator(config).run(trace)

@@ -1,0 +1,133 @@
+"""Per-type cache occupancy over time (the paper's Figure 1).
+
+Figure 1 plots, as a function of requests processed, the fraction of
+cached documents and of cached bytes belonging to each document type —
+the evidence for GD*'s adaptability claim: under GD*(1) the per-type
+byte fractions stay nearly constant and close to the request mix, while
+under GDS(1) they drift far from it (almost no multimedia/application
+bytes are kept).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.core.cache import Cache
+from repro.types import DOCUMENT_TYPES, DocumentType
+
+
+@dataclass(frozen=True)
+class OccupancySample:
+    """One snapshot of per-type cache shares.
+
+    Fractions are of the *cache contents* (documents resident at sample
+    time), each in [0, 1]; they sum to 1 over all types when the cache
+    is nonempty.
+    """
+
+    request_index: int
+    document_fraction: Dict[DocumentType, float]
+    byte_fraction: Dict[DocumentType, float]
+    resident_documents: int
+    resident_bytes: int
+
+
+class OccupancyTracker:
+    """Collects :class:`OccupancySample` snapshots at a fixed cadence."""
+
+    def __init__(self, sample_interval: int = 1000):
+        if sample_interval <= 0:
+            raise ValueError("sample_interval must be positive")
+        self.sample_interval = sample_interval
+        self.samples: List[OccupancySample] = []
+
+    def maybe_sample(self, cache: Cache, request_index: int) -> None:
+        """Take a snapshot when the cadence says so."""
+        if request_index % self.sample_interval == 0:
+            self.samples.append(self.snapshot(cache, request_index))
+
+    @staticmethod
+    def snapshot(cache: Cache, request_index: int) -> OccupancySample:
+        """One immediate snapshot of a cache's per-type shares."""
+        doc_counts = {t: 0 for t in DOCUMENT_TYPES}
+        byte_counts = {t: 0 for t in DOCUMENT_TYPES}
+        for entry in cache.entries():
+            doc_counts[entry.doc_type] += 1
+            byte_counts[entry.doc_type] += entry.size
+        total_docs = sum(doc_counts.values())
+        total_bytes = sum(byte_counts.values())
+        return OccupancySample(
+            request_index=request_index,
+            document_fraction={
+                t: (doc_counts[t] / total_docs if total_docs else 0.0)
+                for t in DOCUMENT_TYPES},
+            byte_fraction={
+                t: (byte_counts[t] / total_bytes if total_bytes else 0.0)
+                for t in DOCUMENT_TYPES},
+            resident_documents=total_docs,
+            resident_bytes=total_bytes,
+        )
+
+    def series(self, doc_type: DocumentType,
+               bytes_not_documents: bool = False) -> List[tuple]:
+        """(request_index, fraction) series for one type."""
+        if bytes_not_documents:
+            return [(s.request_index, s.byte_fraction[doc_type])
+                    for s in self.samples]
+        return [(s.request_index, s.document_fraction[doc_type])
+                for s in self.samples]
+
+    def mean_fraction(self, doc_type: DocumentType,
+                      bytes_not_documents: bool = False) -> float:
+        """Time-average share of one type (0.0 with no samples)."""
+        series = self.series(doc_type, bytes_not_documents)
+        if not series:
+            return 0.0
+        return sum(value for _, value in series) / len(series)
+
+    def variability(self, doc_type: DocumentType,
+                    bytes_not_documents: bool = False) -> float:
+        """Peak-to-trough spread of one type's share over time.
+
+        The paper's adaptability argument is about exactly this: GD*'s
+        byte fractions are "nearly constant" (small spread) while
+        GDS(1)'s are "highly variable".
+        """
+        series = self.series(doc_type, bytes_not_documents)
+        if not series:
+            return 0.0
+        values = [value for _, value in series]
+        return max(values) - min(values)
+
+    def as_dict(self) -> dict:
+        return {
+            "sample_interval": self.sample_interval,
+            "samples": [
+                {
+                    "request_index": s.request_index,
+                    "document_fraction": {t.value: f for t, f
+                                          in s.document_fraction.items()},
+                    "byte_fraction": {t.value: f for t, f
+                                      in s.byte_fraction.items()},
+                    "resident_documents": s.resident_documents,
+                    "resident_bytes": s.resident_bytes,
+                }
+                for s in self.samples
+            ],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "OccupancyTracker":
+        tracker = cls(sample_interval=data["sample_interval"])
+        for raw in data["samples"]:
+            tracker.samples.append(OccupancySample(
+                request_index=raw["request_index"],
+                document_fraction={DocumentType(k): v for k, v
+                                   in raw["document_fraction"].items()},
+                byte_fraction={DocumentType(k): v for k, v
+                               in raw["byte_fraction"].items()},
+                resident_documents=raw["resident_documents"],
+                resident_bytes=raw["resident_bytes"],
+            ))
+        return tracker

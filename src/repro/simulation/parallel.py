@@ -1,0 +1,96 @@
+"""Parallel cache-size sweeps.
+
+A full figure regeneration at paper scale is ~30 independent
+(policy, capacity) simulations over millions of requests; they share
+nothing but the read-only trace, so a process pool gives near-linear
+speedup.  The trace is shipped to each worker once (pool initializer),
+not once per cell.
+
+Results are bit-identical to :func:`repro.simulation.sweep.run_sweep`
+— every policy is deterministic — which the tests assert.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+from repro.errors import ConfigurationError
+from repro.simulation.results import SimulationResult, SweepResult
+from repro.simulation.simulator import (
+    CacheSimulator,
+    SimulationConfig,
+    SizeInterpretation,
+)
+from repro.types import Request, Trace
+
+# Per-worker trace storage, populated by the pool initializer.
+_worker_trace: Optional[Trace] = None
+
+
+def _init_worker(requests: Sequence[Request], name: str) -> None:
+    global _worker_trace
+    _worker_trace = Trace(requests, name=name)
+
+
+def _run_cell(cell: Tuple[str, int, float, str]) -> dict:
+    policy_name, capacity, warmup_fraction, interpretation = cell
+    config = SimulationConfig(
+        capacity_bytes=capacity,
+        policy=policy_name,
+        warmup_fraction=warmup_fraction,
+        size_interpretation=SizeInterpretation(interpretation),
+    )
+    result = CacheSimulator(config).run(_worker_trace)
+    return result.as_dict()
+
+
+def run_sweep_parallel(trace: Trace,
+                       policies: Iterable[str],
+                       capacities: Sequence[int],
+                       warmup_fraction: float = 0.10,
+                       size_interpretation: SizeInterpretation =
+                       SizeInterpretation.TRUSTED,
+                       n_workers: Optional[int] = None) -> SweepResult:
+    """Run the (policy × capacity) grid across worker processes.
+
+    Args match :func:`~repro.simulation.sweep.run_sweep` (minus the
+    per-cell callbacks, which cannot cross process boundaries);
+    ``n_workers`` defaults to the CPU count capped by the cell count.
+    """
+    cells: List[Tuple[str, int, float, str]] = [
+        (policy_name, capacity, warmup_fraction,
+         size_interpretation.value)
+        for policy_name in policies
+        for capacity in capacities
+    ]
+    if not cells:
+        raise ConfigurationError("empty sweep grid")
+    if n_workers is None:
+        n_workers = min(os.cpu_count() or 1, len(cells))
+    n_workers = max(min(n_workers, len(cells)), 1)
+
+    sweep = SweepResult(trace_name=trace.name)
+    if n_workers == 1:
+        # No pool overhead for the degenerate case.
+        _init_worker(trace.requests, trace.name)
+        try:
+            for cell in cells:
+                sweep.add(SimulationResult.from_dict(_run_cell(cell)))
+        finally:
+            _reset_worker()
+        return sweep
+
+    with ProcessPoolExecutor(
+            max_workers=n_workers,
+            initializer=_init_worker,
+            initargs=(trace.requests, trace.name)) as pool:
+        for raw in pool.map(_run_cell, cells):
+            sweep.add(SimulationResult.from_dict(raw))
+    return sweep
+
+
+def _reset_worker() -> None:
+    global _worker_trace
+    _worker_trace = None

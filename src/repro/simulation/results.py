@@ -1,0 +1,202 @@
+"""Simulation result containers and serialization."""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+from repro.simulation.metrics import TypeMetrics
+from repro.simulation.occupancy import OccupancyTracker
+from repro.types import DocumentType
+
+PathLike = Union[str, Path]
+
+
+@dataclass
+class SimulationResult:
+    """Everything one simulation run produced.
+
+    Attributes:
+        policy: Policy display name (e.g. ``"gd*(p)"``).
+        capacity_bytes: Cache capacity.
+        trace_name: Name of the driving trace.
+        total_requests: Requests in the trace, including warm-up.
+        warmup_requests: Leading requests excluded from metrics.
+        metrics: Post-warm-up hit/byte-hit accounting.
+        occupancy: Optional per-type occupancy time series.
+        evictions / invalidations / bypasses: Cache counters over the
+            whole run (including warm-up).
+        final_beta: GD* only — β estimate at end of run.
+        ttl_expiries: Freshness-expiry count (None without a TTL model).
+    """
+
+    policy: str
+    capacity_bytes: int
+    trace_name: str = "trace"
+    total_requests: int = 0
+    warmup_requests: int = 0
+    metrics: TypeMetrics = field(default_factory=TypeMetrics)
+    occupancy: Optional[OccupancyTracker] = None
+    evictions: int = 0
+    invalidations: int = 0
+    bypasses: int = 0
+    final_beta: Optional[float] = None
+    ttl_expiries: Optional[int] = None
+    #: LatencyMetrics when the run was configured with a latency
+    #: model; not serialized (derive from a rerun if needed).
+    latency: Optional[object] = None
+
+    @property
+    def counted_requests(self) -> int:
+        return self.metrics.overall.requests
+
+    def hit_rate(self, doc_type: DocumentType = None) -> float:
+        return self.metrics.hit_rate(doc_type)
+
+    def byte_hit_rate(self, doc_type: DocumentType = None) -> float:
+        return self.metrics.byte_hit_rate(doc_type)
+
+    def cost_savings_ratio(self, doc_type: DocumentType = None) -> float:
+        """Fraction of retrieval cost avoided (needs a
+        ``report_cost_model`` on the simulation config)."""
+        return self.metrics.cost_savings_ratio(doc_type)
+
+    def as_dict(self) -> dict:
+        data = {
+            "policy": self.policy,
+            "capacity_bytes": self.capacity_bytes,
+            "trace_name": self.trace_name,
+            "total_requests": self.total_requests,
+            "warmup_requests": self.warmup_requests,
+            "metrics": self.metrics.as_dict(),
+            "evictions": self.evictions,
+            "invalidations": self.invalidations,
+            "bypasses": self.bypasses,
+            "final_beta": self.final_beta,
+            "ttl_expiries": self.ttl_expiries,
+        }
+        if self.occupancy is not None:
+            data["occupancy"] = self.occupancy.as_dict()
+        return data
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "SimulationResult":
+        result = cls(
+            policy=data["policy"],
+            capacity_bytes=data["capacity_bytes"],
+            trace_name=data.get("trace_name", "trace"),
+            total_requests=data.get("total_requests", 0),
+            warmup_requests=data.get("warmup_requests", 0),
+            metrics=TypeMetrics.from_dict(data["metrics"]),
+            evictions=data.get("evictions", 0),
+            invalidations=data.get("invalidations", 0),
+            bypasses=data.get("bypasses", 0),
+            final_beta=data.get("final_beta"),
+            ttl_expiries=data.get("ttl_expiries"),
+        )
+        if "occupancy" in data:
+            result.occupancy = OccupancyTracker.from_dict(data["occupancy"])
+        return result
+
+    def save(self, path: PathLike) -> None:
+        Path(path).write_text(json.dumps(self.as_dict(), indent=2))
+
+    @classmethod
+    def load(cls, path: PathLike) -> "SimulationResult":
+        return cls.from_dict(json.loads(Path(path).read_text()))
+
+
+@dataclass
+class SweepResult:
+    """Results of a policy × cache-size grid.
+
+    ``grid[policy_name][capacity_bytes]`` is a
+    :class:`SimulationResult`.
+    """
+
+    trace_name: str
+    grid: Dict[str, Dict[int, SimulationResult]] = field(
+        default_factory=dict)
+
+    def add(self, result: SimulationResult) -> None:
+        self.grid.setdefault(result.policy, {})[
+            result.capacity_bytes] = result
+
+    @property
+    def policies(self) -> List[str]:
+        return list(self.grid)
+
+    @property
+    def capacities(self) -> List[int]:
+        sizes = set()
+        for per_policy in self.grid.values():
+            sizes.update(per_policy)
+        return sorted(sizes)
+
+    def series(self, policy: str, doc_type: DocumentType = None,
+               byte_rate: bool = False) -> List[tuple]:
+        """(capacity, rate) curve for one policy and document type."""
+        per_policy = self.grid[policy]
+        points = []
+        for capacity in sorted(per_policy):
+            result = per_policy[capacity]
+            rate = (result.byte_hit_rate(doc_type) if byte_rate
+                    else result.hit_rate(doc_type))
+            points.append((capacity, rate))
+        return points
+
+    def as_dict(self) -> dict:
+        return {
+            "trace_name": self.trace_name,
+            "grid": {
+                policy: {str(cap): result.as_dict()
+                         for cap, result in per_policy.items()}
+                for policy, per_policy in self.grid.items()
+            },
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "SweepResult":
+        sweep = cls(trace_name=data["trace_name"])
+        for policy, per_policy in data["grid"].items():
+            for cap, raw in per_policy.items():
+                sweep.grid.setdefault(policy, {})[int(cap)] = \
+                    SimulationResult.from_dict(raw)
+        return sweep
+
+    def save(self, path: PathLike) -> None:
+        Path(path).write_text(json.dumps(self.as_dict(), indent=2))
+
+    @classmethod
+    def load(cls, path: PathLike) -> "SweepResult":
+        return cls.from_dict(json.loads(Path(path).read_text()))
+
+    def to_csv(self) -> str:
+        """Tidy (long-format) CSV of the whole grid.
+
+        One row per (policy, capacity, document type, metric):
+        ``policy,capacity_bytes,doc_type,metric,value`` — the layout
+        pandas/R plotting pipelines expect, with ``doc_type`` =
+        ``overall`` for the aggregate rows.
+        """
+        from repro.types import DOCUMENT_TYPES
+
+        lines = ["policy,capacity_bytes,doc_type,metric,value"]
+        for policy in sorted(self.grid):
+            for capacity in sorted(self.grid[policy]):
+                result = self.grid[policy][capacity]
+                groups = [("overall", None)]
+                groups += [(t.value, t) for t in DOCUMENT_TYPES]
+                for label, doc_type in groups:
+                    lines.append(
+                        f"{policy},{capacity},{label},hit_rate,"
+                        f"{result.hit_rate(doc_type):.6g}")
+                    lines.append(
+                        f"{policy},{capacity},{label},byte_hit_rate,"
+                        f"{result.byte_hit_rate(doc_type):.6g}")
+        return "\n".join(lines) + "\n"
+
+    def save_csv(self, path: PathLike) -> None:
+        Path(path).write_text(self.to_csv())

@@ -1,0 +1,167 @@
+"""Addressable binary min-heap.
+
+A binary heap over ``(key, item)`` pairs with a position map so that a
+specific item's key can be updated (raised or lowered) in O(log n) and an
+arbitrary item removed in O(log n).  Ties are broken by insertion order,
+which makes every policy built on it deterministic.
+
+This single structure backs all value-based replacement policies: the
+Greedy-Dual family pops the minimum-H document, LFU-DA pops the minimum
+(aged) reference count, and SIZE pops the minimum of ``-size``.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, Generic, Hashable, Iterator, Tuple, TypeVar
+
+K = TypeVar("K")  # keys must be mutually comparable
+
+
+class AddressableHeap(Generic[K]):
+    """Min-heap keyed by ``(key, sequence)`` with item addressing."""
+
+    __slots__ = ("_entries", "_positions", "_counter")
+
+    def __init__(self):
+        # Each entry is [key, seq, item]; seq breaks ties FIFO.
+        self._entries: list = []
+        self._positions: Dict[Hashable, int] = {}
+        self._counter = itertools.count()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __bool__(self) -> bool:
+        return bool(self._entries)
+
+    def __contains__(self, item: Hashable) -> bool:
+        return item in self._positions
+
+    def __iter__(self) -> Iterator[Hashable]:
+        """Iterate items in arbitrary (heap) order."""
+        return (entry[2] for entry in self._entries)
+
+    def push(self, item: Hashable, key: K) -> None:
+        """Insert an item.  Raises KeyError if the item is already present."""
+        if item in self._positions:
+            raise KeyError(f"item already in heap: {item!r}")
+        entry = [key, next(self._counter), item]
+        self._entries.append(entry)
+        self._positions[item] = len(self._entries) - 1
+        self._sift_up(len(self._entries) - 1)
+
+    def key_of(self, item: Hashable) -> K:
+        """Current key of an item.  Raises KeyError if absent."""
+        return self._entries[self._positions[item]][0]
+
+    def peek(self) -> Tuple[Hashable, K]:
+        """The (item, key) pair with the minimum key, without removing it."""
+        if not self._entries:
+            raise IndexError("peek at empty heap")
+        entry = self._entries[0]
+        return entry[2], entry[0]
+
+    def pop(self) -> Tuple[Hashable, K]:
+        """Remove and return the (item, key) pair with the minimum key."""
+        if not self._entries:
+            raise IndexError("pop from empty heap")
+        entry = self._entries[0]
+        self._remove_at(0)
+        return entry[2], entry[0]
+
+    def remove(self, item: Hashable) -> K:
+        """Remove an arbitrary item; returns its key."""
+        pos = self._positions[item]
+        key = self._entries[pos][0]
+        self._remove_at(pos)
+        return key
+
+    def update_key(self, item: Hashable, key: K) -> None:
+        """Set an item's key, restoring heap order in O(log n).
+
+        The new key is also assigned a fresh tie-break sequence number, so
+        re-keyed items sort after existing equal keys (matching the
+        "refreshed documents are newer" semantics the Greedy-Dual policies
+        expect).
+        """
+        pos = self._positions[item]
+        entry = self._entries[pos]
+        old_key = entry[0]
+        entry[0] = key
+        entry[1] = next(self._counter)
+        if key < old_key:
+            self._sift_up(pos)
+        else:
+            self._sift_down(pos)
+
+    def clear(self) -> None:
+        self._entries.clear()
+        self._positions.clear()
+
+    # ----- internal sift machinery -------------------------------------
+
+    def _less(self, a: int, b: int) -> bool:
+        ea, eb = self._entries[a], self._entries[b]
+        # Hot path: avoid building tie-break tuples unless keys tie.
+        key_a, key_b = ea[0], eb[0]
+        if key_a != key_b:
+            return key_a < key_b
+        return ea[1] < eb[1]
+
+    def _swap(self, a: int, b: int) -> None:
+        entries = self._entries
+        entries[a], entries[b] = entries[b], entries[a]
+        self._positions[entries[a][2]] = a
+        self._positions[entries[b][2]] = b
+
+    def _sift_up(self, pos: int) -> None:
+        while pos > 0:
+            parent = (pos - 1) >> 1
+            if self._less(pos, parent):
+                self._swap(pos, parent)
+                pos = parent
+            else:
+                break
+
+    def _sift_down(self, pos: int) -> None:
+        size = len(self._entries)
+        while True:
+            left = 2 * pos + 1
+            if left >= size:
+                break
+            smallest = left
+            right = left + 1
+            if right < size and self._less(right, left):
+                smallest = right
+            if self._less(smallest, pos):
+                self._swap(pos, smallest)
+                pos = smallest
+            else:
+                break
+
+    def _remove_at(self, pos: int) -> None:
+        entries = self._entries
+        last = len(entries) - 1
+        item = entries[pos][2]
+        if pos != last:
+            self._swap(pos, last)
+            entries.pop()
+            del self._positions[item]
+            # The moved entry may need to go either way.
+            self._sift_down(pos)
+            self._sift_up(pos)
+        else:
+            entries.pop()
+            del self._positions[item]
+
+    # ----- debugging aids ----------------------------------------------
+
+    def check_invariants(self) -> None:
+        """Assert heap order and position-map consistency (tests only)."""
+        for pos, entry in enumerate(self._entries):
+            assert self._positions[entry[2]] == pos, "position map stale"
+            if pos > 0:
+                parent = (pos - 1) >> 1
+                assert not self._less(pos, parent), "heap order violated"
+        assert len(self._positions) == len(self._entries)

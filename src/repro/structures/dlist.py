@@ -1,0 +1,131 @@
+"""Intrusive doubly-linked list with sentinel head.
+
+Backs the recency order of LRU/FIFO caches: every operation a replacement
+policy needs (append, move-to-back, unlink, pop-front) is O(1).  Nodes are
+exposed so callers can store them in their own maps and unlink in O(1)
+without a lookup.
+"""
+
+from __future__ import annotations
+
+from typing import Generic, Iterator, Optional, TypeVar
+
+T = TypeVar("T")
+
+
+class DListNode(Generic[T]):
+    """A list node carrying one value.
+
+    Nodes must not be shared between lists; a node is either linked into
+    exactly one :class:`DList` or detached.
+    """
+
+    __slots__ = ("value", "prev", "next")
+
+    def __init__(self, value: T):
+        self.value = value
+        self.prev: Optional[DListNode[T]] = None
+        self.next: Optional[DListNode[T]] = None
+
+    @property
+    def linked(self) -> bool:
+        return self.prev is not None
+
+
+class DList(Generic[T]):
+    """Doubly-linked list ordered from least to most recently inserted.
+
+    The front of the list is the eviction end (least recent); the back is
+    where new and freshly-touched entries go.
+    """
+
+    __slots__ = ("_head", "_size")
+
+    def __init__(self):
+        # Circular sentinel: head.next is the front, head.prev the back.
+        head: DListNode[T] = DListNode(None)  # type: ignore[arg-type]
+        head.prev = head
+        head.next = head
+        self._head = head
+        self._size = 0
+
+    def __len__(self) -> int:
+        return self._size
+
+    def __bool__(self) -> bool:
+        return self._size > 0
+
+    def __iter__(self) -> Iterator[T]:
+        node = self._head.next
+        while node is not self._head:
+            yield node.value
+            node = node.next
+
+    def __reversed__(self) -> Iterator[T]:
+        node = self._head.prev
+        while node is not self._head:
+            yield node.value
+            node = node.prev
+
+    def push_back(self, value: T) -> DListNode[T]:
+        """Append a value at the most-recent end; returns its node."""
+        node = DListNode(value)
+        self._link_back(node)
+        return node
+
+    def push_front(self, value: T) -> DListNode[T]:
+        """Insert a value at the least-recent end; returns its node."""
+        node = DListNode(value)
+        head = self._head
+        node.prev = head
+        node.next = head.next
+        head.next.prev = node
+        head.next = node
+        self._size += 1
+        return node
+
+    def front(self) -> T:
+        """Value at the least-recent end.  Raises IndexError when empty."""
+        if self._size == 0:
+            raise IndexError("front of empty DList")
+        return self._head.next.value
+
+    def back(self) -> T:
+        """Value at the most-recent end.  Raises IndexError when empty."""
+        if self._size == 0:
+            raise IndexError("back of empty DList")
+        return self._head.prev.value
+
+    def pop_front(self) -> T:
+        """Remove and return the least-recent value."""
+        if self._size == 0:
+            raise IndexError("pop from empty DList")
+        node = self._head.next
+        self.unlink(node)
+        return node.value
+
+    def unlink(self, node: DListNode[T]) -> None:
+        """Remove a node from the list in O(1).
+
+        The node must currently be linked into this list.
+        """
+        if node.prev is None or node.next is None:
+            raise ValueError("node is not linked")
+        node.prev.next = node.next
+        node.next.prev = node.prev
+        node.prev = None
+        node.next = None
+        self._size -= 1
+
+    def move_to_back(self, node: DListNode[T]) -> None:
+        """Move a linked node to the most-recent end in O(1)."""
+        self.unlink(node)
+        self._link_back(node)
+
+    def _link_back(self, node: DListNode[T]) -> None:
+        head = self._head
+        node.next = head
+        node.prev = head.prev
+        head.prev.next = node
+        head.prev = node
+        self._size += 1

@@ -1,0 +1,169 @@
+"""Fixed-bin and logarithmically-binned histograms.
+
+:class:`LogHistogram` is the workhorse of the temporal-correlation (β)
+estimator: reuse distances span five or more orders of magnitude, and the
+paper's β is defined as the slope of the reuse-distance density on a
+log-log plot, which log-spaced bins estimate directly.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, List, Sequence, Tuple
+
+
+class Histogram:
+    """Simple equal-width histogram over [lo, hi)."""
+
+    def __init__(self, lo: float, hi: float, bins: int):
+        if hi <= lo:
+            raise ValueError("hi must exceed lo")
+        if bins <= 0:
+            raise ValueError("bins must be positive")
+        self.lo = lo
+        self.hi = hi
+        self.counts: List[int] = [0] * bins
+        self._width = (hi - lo) / bins
+        self.underflow = 0
+        self.overflow = 0
+        self.total = 0
+
+    def add(self, value: float, weight: int = 1) -> None:
+        self.total += weight
+        if value < self.lo:
+            self.underflow += weight
+            return
+        if value >= self.hi:
+            self.overflow += weight
+            return
+        idx = int((value - self.lo) / self._width)
+        # Guard the hi-boundary float round-off.
+        if idx >= len(self.counts):
+            idx = len(self.counts) - 1
+        self.counts[idx] += weight
+
+    def bin_edges(self) -> List[float]:
+        return [self.lo + i * self._width for i in range(len(self.counts) + 1)]
+
+    def mean(self) -> float:
+        """Mean of the in-range samples, using bin midpoints."""
+        inrange = sum(self.counts)
+        if inrange == 0:
+            return math.nan
+        acc = 0.0
+        for i, count in enumerate(self.counts):
+            mid = self.lo + (i + 0.5) * self._width
+            acc += mid * count
+        return acc / inrange
+
+
+class LogHistogram:
+    """Histogram with logarithmically spaced bins over [1, max_value].
+
+    Values below 1 land in bin 0.  Each bin spans a constant factor
+    ``base ** (1 / bins_per_decade)`` where base is 10.
+    """
+
+    def __init__(self, max_value: float = 1e8, bins_per_decade: int = 8):
+        if max_value <= 1:
+            raise ValueError("max_value must exceed 1")
+        if bins_per_decade <= 0:
+            raise ValueError("bins_per_decade must be positive")
+        self.bins_per_decade = bins_per_decade
+        self._log_width = 1.0 / bins_per_decade
+        n_bins = int(math.ceil(math.log10(max_value) * bins_per_decade)) + 1
+        self.counts: List[int] = [0] * n_bins
+        self.total = 0
+
+    def __len__(self) -> int:
+        return len(self.counts)
+
+    def add(self, value: float, weight: int = 1) -> None:
+        """Record a positive value; values <= 1 go to the first bin."""
+        if value <= 0:
+            raise ValueError("LogHistogram only accepts positive values")
+        self.total += weight
+        if value <= 1:
+            idx = 0
+        else:
+            idx = int(math.log10(value) / self._log_width)
+            if idx >= len(self.counts):
+                idx = len(self.counts) - 1
+        self.counts[idx] += weight
+
+    def extend(self, values: Iterable[float]) -> None:
+        for value in values:
+            self.add(value)
+
+    def bin_bounds(self, idx: int) -> Tuple[float, float]:
+        """(lower, upper) value bounds of bin ``idx``.
+
+        Bin 0 nominally covers [1, base); values below 1 are clamped
+        into it, so its lower bound is reported as 1.
+        """
+        lo = 10 ** (idx * self._log_width)
+        hi = 10 ** ((idx + 1) * self._log_width)
+        return lo, hi
+
+    def bin_center(self, idx: int) -> float:
+        """Geometric midpoint of bin ``idx``."""
+        lo, hi = self.bin_bounds(idx)
+        return math.sqrt(lo * hi)
+
+    def densities(self) -> List[Tuple[float, float]]:
+        """Nonempty bins as (center, count / bin_width) density points.
+
+        Dividing by the (growing) bin width converts counts into an
+        estimate of the underlying probability density up to a constant
+        factor, which is what a log-log slope fit needs.
+        """
+        points = []
+        for idx, count in enumerate(self.counts):
+            if count == 0:
+                continue
+            lo, hi = self.bin_bounds(idx)
+            width = hi - lo
+            points.append((self.bin_center(idx), count / width))
+        return points
+
+    def loglog_points(self) -> List[Tuple[float, float]]:
+        """(log10 center, log10 density) pairs for slope fitting."""
+        return [(math.log10(x), math.log10(y))
+                for x, y in self.densities() if x > 0 and y > 0]
+
+    def merge(self, other: "LogHistogram") -> None:
+        """Accumulate another histogram with identical binning."""
+        if (other.bins_per_decade != self.bins_per_decade
+                or len(other.counts) != len(self.counts)):
+            raise ValueError("histograms have incompatible binning")
+        for idx, count in enumerate(other.counts):
+            self.counts[idx] += count
+        self.total += other.total
+
+    def decay(self, factor: float) -> None:
+        """Multiply all counts by ``factor`` (aging for online estimation)."""
+        if not 0.0 <= factor <= 1.0:
+            raise ValueError("decay factor must be in [0, 1]")
+        new_total = 0
+        for idx, count in enumerate(self.counts):
+            decayed = int(count * factor)
+            self.counts[idx] = decayed
+            new_total += decayed
+        self.total = new_total
+
+
+def least_squares_slope(points: Sequence[Tuple[float, float]]) -> float:
+    """Ordinary least-squares slope of y on x.
+
+    Raises ValueError with fewer than two distinct x values.
+    """
+    n = len(points)
+    if n < 2:
+        raise ValueError("need at least two points for a slope")
+    mean_x = sum(p[0] for p in points) / n
+    mean_y = sum(p[1] for p in points) / n
+    sxx = sum((p[0] - mean_x) ** 2 for p in points)
+    if sxx == 0:
+        raise ValueError("degenerate x values; slope undefined")
+    sxy = sum((p[0] - mean_x) * (p[1] - mean_y) for p in points)
+    return sxy / sxx

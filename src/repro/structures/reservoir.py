@@ -1,0 +1,47 @@
+"""Uniform reservoir sampling (Vitter's algorithm R).
+
+Used where the analysis layer wants an *exact-over-sample* statistic (for
+example a median cross-check against the P² estimate) without holding the
+full trace in memory.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Generic, Iterable, List, Optional, TypeVar
+
+T = TypeVar("T")
+
+
+class Reservoir(Generic[T]):
+    """Keeps a uniform random sample of at most ``capacity`` items."""
+
+    def __init__(self, capacity: int, seed: Optional[int] = None):
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.capacity = capacity
+        self.count = 0
+        self._sample: List[T] = []
+        self._rng = random.Random(seed)
+
+    def add(self, item: T) -> None:
+        self.count += 1
+        if len(self._sample) < self.capacity:
+            self._sample.append(item)
+            return
+        # Replace a random slot with probability capacity / count.
+        slot = self._rng.randrange(self.count)
+        if slot < self.capacity:
+            self._sample[slot] = item
+
+    def extend(self, items: Iterable[T]) -> None:
+        for item in items:
+            self.add(item)
+
+    @property
+    def sample(self) -> List[T]:
+        """The current sample (a copy, safe to sort or mutate)."""
+        return list(self._sample)
+
+    def __len__(self) -> int:
+        return len(self._sample)

@@ -1,0 +1,176 @@
+"""Single-pass streaming statistics.
+
+The trace characterization (Tables 4 and 5) needs means, coefficients of
+variation, and medians of document and transfer sizes over traces with
+millions of requests.  :class:`StreamingStats` provides exact mean and
+variance in O(1) memory via Welford's algorithm; :class:`P2Quantile`
+approximates quantiles (the median by default) with the Jain & Chlamtac
+P² algorithm, also in O(1) memory.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, List
+
+
+class StreamingStats:
+    """Welford online mean / variance / min / max accumulator."""
+
+    __slots__ = ("count", "_mean", "_m2", "minimum", "maximum", "total")
+
+    def __init__(self):
+        self.count = 0
+        self._mean = 0.0
+        self._m2 = 0.0
+        self.minimum = math.inf
+        self.maximum = -math.inf
+        self.total = 0.0
+
+    def add(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        delta = value - self._mean
+        self._mean += delta / self.count
+        self._m2 += delta * (value - self._mean)
+        if value < self.minimum:
+            self.minimum = value
+        if value > self.maximum:
+            self.maximum = value
+
+    def extend(self, values: Iterable[float]) -> None:
+        for value in values:
+            self.add(value)
+
+    @property
+    def mean(self) -> float:
+        return self._mean if self.count else math.nan
+
+    @property
+    def variance(self) -> float:
+        """Population variance."""
+        if self.count == 0:
+            return math.nan
+        return self._m2 / self.count
+
+    @property
+    def sample_variance(self) -> float:
+        if self.count < 2:
+            return math.nan
+        return self._m2 / (self.count - 1)
+
+    @property
+    def stddev(self) -> float:
+        var = self.variance
+        return math.sqrt(var) if var == var else math.nan
+
+    @property
+    def cov(self) -> float:
+        """Coefficient of variation (stddev / mean), NaN when undefined."""
+        if self.count == 0 or self._mean == 0:
+            return math.nan
+        return self.stddev / self._mean
+
+    def merge(self, other: "StreamingStats") -> None:
+        """Combine another accumulator into this one (Chan's formula)."""
+        if other.count == 0:
+            return
+        if self.count == 0:
+            self.count = other.count
+            self._mean = other._mean
+            self._m2 = other._m2
+            self.minimum = other.minimum
+            self.maximum = other.maximum
+            self.total = other.total
+            return
+        n1, n2 = self.count, other.count
+        delta = other._mean - self._mean
+        total = n1 + n2
+        self._mean += delta * n2 / total
+        self._m2 += other._m2 + delta * delta * n1 * n2 / total
+        self.count = total
+        self.total += other.total
+        self.minimum = min(self.minimum, other.minimum)
+        self.maximum = max(self.maximum, other.maximum)
+
+
+class P2Quantile:
+    """P² single-pass quantile estimator (Jain & Chlamtac, 1985).
+
+    Tracks five markers whose heights approximate the p-quantile without
+    storing observations.  Exact for the first five samples.
+    """
+
+    def __init__(self, p: float = 0.5):
+        if not 0.0 < p < 1.0:
+            raise ValueError("quantile p must be in (0, 1)")
+        self.p = p
+        self._initial: List[float] = []
+        self._heights: List[float] = []
+        self._positions: List[int] = []
+        self._desired: List[float] = []
+        self._increments: List[float] = []
+        self.count = 0
+
+    def add(self, value: float) -> None:
+        self.count += 1
+        if len(self._initial) < 5:
+            self._initial.append(value)
+            if len(self._initial) == 5:
+                self._initial.sort()
+                self._heights = list(self._initial)
+                self._positions = [1, 2, 3, 4, 5]
+                p = self.p
+                self._desired = [1.0, 1 + 2 * p, 1 + 4 * p, 3 + 2 * p, 5.0]
+                self._increments = [0.0, p / 2, p, (1 + p) / 2, 1.0]
+            return
+
+        heights, positions = self._heights, self._positions
+        if value < heights[0]:
+            heights[0] = value
+            k = 0
+        elif value >= heights[4]:
+            heights[4] = value
+            k = 3
+        else:
+            k = 0
+            while value >= heights[k + 1]:
+                k += 1
+        for i in range(k + 1, 5):
+            positions[i] += 1
+        for i in range(5):
+            self._desired[i] += self._increments[i]
+
+        for i in (1, 2, 3):
+            d = self._desired[i] - positions[i]
+            if ((d >= 1 and positions[i + 1] - positions[i] > 1)
+                    or (d <= -1 and positions[i - 1] - positions[i] < -1)):
+                step = 1 if d >= 1 else -1
+                candidate = self._parabolic(i, step)
+                if heights[i - 1] < candidate < heights[i + 1]:
+                    heights[i] = candidate
+                else:
+                    heights[i] = self._linear(i, step)
+                positions[i] += step
+
+    def _parabolic(self, i: int, d: int) -> float:
+        h, q = self._positions, self._heights
+        return q[i] + d / (h[i + 1] - h[i - 1]) * (
+            (h[i] - h[i - 1] + d) * (q[i + 1] - q[i]) / (h[i + 1] - h[i])
+            + (h[i + 1] - h[i] - d) * (q[i] - q[i - 1]) / (h[i] - h[i - 1]))
+
+    def _linear(self, i: int, d: int) -> float:
+        h, q = self._positions, self._heights
+        return q[i] + d * (q[i + d] - q[i]) / (h[i + d] - h[i])
+
+    @property
+    def value(self) -> float:
+        """Current quantile estimate (NaN before any sample)."""
+        if self.count == 0:
+            return math.nan
+        if len(self._initial) < 5:
+            ordered = sorted(self._initial)
+            # Nearest-rank on the few samples we have.
+            idx = min(int(self.p * len(ordered)), len(ordered) - 1)
+            return ordered[idx]
+        return self._heights[2]

@@ -1,0 +1,7 @@
+"""``python -m repro.trace`` dispatch."""
+
+import sys
+
+from repro.trace.cli import main
+
+sys.exit(main())

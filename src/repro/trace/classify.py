@@ -1,0 +1,126 @@
+"""Document-type classification (paper Section 2).
+
+The paper classifies by the HTTP ``Content-Type`` header when present and
+falls back to guessing from the URL's file extension.  Four main classes
+are distinguished — text/HTML, images, multimedia, application — plus
+"other" for everything unrecognized.  Plain-text source files (``.tex``,
+``.java``, ...) are folded into the HTML class, following the paper.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+from urllib.parse import urlparse
+
+from repro.types import DocumentType
+
+# --- MIME prefix / exact-type tables ---------------------------------------
+
+_MIME_EXACT = {
+    "text/html": DocumentType.HTML,
+    "text/plain": DocumentType.HTML,
+    "text/xml": DocumentType.HTML,
+    "text/css": DocumentType.HTML,
+    "application/xhtml+xml": DocumentType.HTML,
+    # Application types that are really audio/video containers.
+    "application/x-shockwave-flash": DocumentType.MULTIMEDIA,
+    "application/vnd.rn-realmedia": DocumentType.MULTIMEDIA,
+    "application/x-pn-realaudio": DocumentType.MULTIMEDIA,
+    "application/ogg": DocumentType.MULTIMEDIA,
+    "application/mp4": DocumentType.MULTIMEDIA,
+}
+
+_MIME_PREFIXES = (
+    ("image/", DocumentType.IMAGE),
+    ("audio/", DocumentType.MULTIMEDIA),
+    ("video/", DocumentType.MULTIMEDIA),
+    ("text/", DocumentType.HTML),
+    ("application/", DocumentType.APPLICATION),
+)
+
+# --- extension tables -------------------------------------------------------
+
+_IMAGE_EXTENSIONS = frozenset({
+    "gif", "jpg", "jpeg", "jpe", "png", "bmp", "tif", "tiff", "xbm",
+    "ico", "pnm", "pbm", "pgm", "ppm", "svg", "webp",
+})
+
+_HTML_EXTENSIONS = frozenset({
+    "html", "htm", "shtml", "xhtml", "txt", "text", "xml", "css", "asc",
+    # Paper: text files are added to the HTML class.
+    "tex", "java", "c", "h", "cc", "cpp", "py", "pl", "js", "md",
+})
+
+_MULTIMEDIA_EXTENSIONS = frozenset({
+    "mp3", "mp2", "mpa", "wav", "au", "aiff", "aif", "ra", "ram", "rm",
+    "mid", "midi", "ogg", "wma", "m4a", "flac",
+    "mpg", "mpeg", "mpe", "mp4", "mov", "qt", "avi", "wmv", "asf",
+    "flv", "webm", "mkv", "swf", "viv", "vivo",
+})
+
+_APPLICATION_EXTENSIONS = frozenset({
+    "ps", "eps", "pdf", "zip", "gz", "tgz", "z", "bz2", "tar", "rar",
+    "7z", "exe", "dll", "bin", "iso", "dmg", "rpm", "deb", "jar", "msi",
+    "doc", "docx", "xls", "xlsx", "ppt", "pptx", "rtf", "dvi", "class",
+    "hqx", "sit", "arj", "lha", "cab",
+})
+
+
+def classify_content_type(content_type: Optional[str]) -> Optional[DocumentType]:
+    """Classify by MIME type; None when no type is given or recognized."""
+    if not content_type:
+        return None
+    mime = content_type.split(";", 1)[0].strip().lower()
+    if not mime:
+        return None
+    exact = _MIME_EXACT.get(mime)
+    if exact is not None:
+        return exact
+    for prefix, doc_type in _MIME_PREFIXES:
+        if mime.startswith(prefix):
+            return doc_type
+    return None
+
+
+def classify_extension(extension: str) -> Optional[DocumentType]:
+    """Classify by bare file extension (no leading dot), or None."""
+    ext = extension.lower().lstrip(".")
+    if ext in _IMAGE_EXTENSIONS:
+        return DocumentType.IMAGE
+    if ext in _HTML_EXTENSIONS:
+        return DocumentType.HTML
+    if ext in _MULTIMEDIA_EXTENSIONS:
+        return DocumentType.MULTIMEDIA
+    if ext in _APPLICATION_EXTENSIONS:
+        return DocumentType.APPLICATION
+    return None
+
+
+def classify_url(url: str) -> Optional[DocumentType]:
+    """Classify from the URL path's file extension, or None.
+
+    A path ending in ``/`` (or with no extension) is treated as an HTML
+    page, matching common proxy-study practice: directory URLs serve
+    index documents.
+    """
+    try:
+        path = urlparse(url).path
+    except ValueError:
+        return None
+    if not path or path.endswith("/"):
+        return DocumentType.HTML
+    last = path.rsplit("/", 1)[-1]
+    if "." not in last:
+        return DocumentType.HTML
+    return classify_extension(last.rsplit(".", 1)[-1])
+
+
+def classify(url: str, content_type: Optional[str] = None) -> DocumentType:
+    """Full classification: MIME type first, then extension, else OTHER."""
+    doc_type = classify_content_type(content_type)
+    if doc_type is not None:
+        return doc_type
+    doc_type = classify_url(url)
+    if doc_type is not None:
+        return doc_type
+    return DocumentType.OTHER

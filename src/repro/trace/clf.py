@@ -1,0 +1,126 @@
+"""Common Log Format (and Combined Log Format) parsing.
+
+CLF lines look like::
+
+    host ident authuser [10/Oct/2000:13:55:36 -0700] "GET /a.gif HTTP/1.0" 200 2326
+
+The combined variant appends quoted referrer and user-agent fields, which
+this parser tolerates and ignores.  CLF carries no content type, so
+classification of CLF traces always falls back to the URL extension.
+"""
+
+from __future__ import annotations
+
+import calendar
+import re
+from typing import Iterable, Iterator, Optional
+
+from repro.errors import TraceFormatError
+from repro.trace.record import LogRecord
+
+_CLF_RE = re.compile(
+    r'^(?P<host>\S+)\s+(?P<ident>\S+)\s+(?P<user>\S+)\s+'
+    r'\[(?P<time>[^\]]+)\]\s+'
+    r'"(?P<request>[^"]*)"\s+'
+    r'(?P<status>\d{3})\s+(?P<size>\d+|-)'
+)
+
+_MONTHS = {abbr: num for num, abbr in enumerate(calendar.month_abbr) if abbr}
+
+_TIME_RE = re.compile(
+    r'^(?P<day>\d{2})/(?P<mon>[A-Za-z]{3})/(?P<year>\d{4}):'
+    r'(?P<hh>\d{2}):(?P<mm>\d{2}):(?P<ss>\d{2})\s*(?P<tz>[+-]\d{4})?$'
+)
+
+
+def parse_clf_timestamp(text: str) -> float:
+    """Parse a CLF timestamp into epoch seconds (UTC).
+
+    Raises ValueError for malformed timestamps.
+    """
+    match = _TIME_RE.match(text.strip())
+    if match is None:
+        raise ValueError(f"bad CLF timestamp: {text!r}")
+    month = _MONTHS.get(match.group("mon").capitalize())
+    if month is None:
+        raise ValueError(f"bad CLF month: {text!r}")
+    epoch = calendar.timegm((
+        int(match.group("year")), month, int(match.group("day")),
+        int(match.group("hh")), int(match.group("mm")),
+        int(match.group("ss")), 0, 0, 0,
+    ))
+    tz = match.group("tz")
+    if tz:
+        offset = int(tz[1:3]) * 3600 + int(tz[3:5]) * 60
+        if tz[0] == "+":
+            epoch -= offset
+        else:
+            epoch += offset
+    return float(epoch)
+
+
+class CLFParser:
+    """Streaming parser for Common/Combined Log Format lines."""
+
+    name = "clf"
+
+    def __init__(self, strict: bool = False):
+        self.strict = strict
+        self.skipped = 0
+
+    def parse_line(self, line: str, line_number: int = 0) -> Optional[LogRecord]:
+        stripped = line.strip()
+        if not stripped or stripped.startswith("#"):
+            return None
+        match = _CLF_RE.match(stripped)
+        if match is None:
+            return self._bad(line_number, line, "does not match CLF grammar")
+        try:
+            timestamp = parse_clf_timestamp(match.group("time"))
+        except ValueError as exc:
+            return self._bad(line_number, line, str(exc))
+        request = match.group("request").split()
+        if len(request) >= 2:
+            method, url = request[0], request[1]
+        elif len(request) == 1:
+            method, url = "GET", request[0]
+        else:
+            return self._bad(line_number, line, "empty request field")
+        size_text = match.group("size")
+        size = 0 if size_text == "-" else int(size_text)
+        return LogRecord(
+            timestamp=timestamp,
+            url=url,
+            status=int(match.group("status")),
+            size=size,
+            method=method,
+            client=match.group("host"),
+        )
+
+    def parse(self, lines: Iterable[str]) -> Iterator[LogRecord]:
+        for number, line in enumerate(lines, start=1):
+            record = self.parse_line(line, number)
+            if record is not None:
+                yield record
+
+    def _bad(self, line_number: int, line: str, reason: str) -> None:
+        if self.strict:
+            raise TraceFormatError(reason, line_number, line)
+        self.skipped += 1
+        return None
+
+    @staticmethod
+    def sniff(line: str) -> bool:
+        return _CLF_RE.match(line.strip()) is not None
+
+
+def format_clf_line(record: LogRecord) -> str:
+    """Render a record as a CLF line (UTC timestamp)."""
+    import time as _time
+    stamp = _time.strftime("%d/%b/%Y:%H:%M:%S +0000",
+                           _time.gmtime(record.timestamp))
+    return (
+        f"{record.client or '-'} - - [{stamp}] "
+        f'"{record.method} {record.url} HTTP/1.0" '
+        f"{record.status} {record.size}"
+    )

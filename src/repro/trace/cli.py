@@ -1,0 +1,182 @@
+"""Command-line trace tools: ``python -m repro.trace``.
+
+Subcommands::
+
+    convert       raw log (squid/clf) -> canonical CSV trace
+    characterize  Section-2 style tables for any trace file
+    stats         one-line summary (requests, documents, bytes)
+    generate      write a synthetic dfn-like / rtp-like trace
+
+Examples::
+
+    python -m repro.trace convert access.log trace.csv.gz
+    python -m repro.trace characterize trace.csv.gz
+    python -m repro.trace generate dfn --scale 0.001 -o small.csv
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.analysis.characterize import characterize
+from repro.analysis.tables import (
+    render_breakdown_table,
+    render_properties_table,
+    render_statistics_table,
+)
+from repro.trace.pipeline import load_trace
+from repro.trace.writer import write_trace
+from repro.workload.generator import generate_trace
+from repro.workload.profiles import profile_by_name
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-trace", description="Proxy trace tools.")
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    convert = commands.add_parser(
+        "convert", help="raw log -> canonical CSV trace")
+    convert.add_argument("source", help="input log (squid/clf/csv)")
+    convert.add_argument("target", help="output CSV path (.gz ok)")
+    convert.add_argument("--format", dest="fmt", default=None,
+                         choices=["squid", "clf", "csv"],
+                         help="input format (default: auto-detect)")
+
+    character = commands.add_parser(
+        "characterize", help="print Table 1-5 style statistics")
+    character.add_argument("source")
+    character.add_argument("--format", dest="fmt", default=None,
+                           choices=["squid", "clf", "csv"])
+    character.add_argument("--no-locality", action="store_true",
+                           help="skip the (slower) alpha/beta fits")
+
+    stats = commands.add_parser("stats", help="one-line trace summary")
+    stats.add_argument("source")
+    stats.add_argument("--format", dest="fmt", default=None,
+                       choices=["squid", "clf", "csv"])
+
+    generate = commands.add_parser(
+        "generate", help="write a synthetic trace")
+    generate.add_argument("profile", choices=["dfn", "rtp"])
+    generate.add_argument("-o", "--output", required=True)
+    generate.add_argument("--scale", type=float, default=1.0 / 512.0,
+                          help="fraction of the real trace volume "
+                               "(default 1/512)")
+    generate.add_argument("--seed", type=int, default=None)
+    generate.add_argument("--irm", action="store_true",
+                          help="independent reference model placement")
+
+    validate = commands.add_parser(
+        "validate", help="sanity-check a trace, report findings")
+    validate.add_argument("source")
+    validate.add_argument("--format", dest="fmt", default=None,
+                          choices=["squid", "clf", "csv"])
+
+    twin = commands.add_parser(
+        "twin", help="fit a profile to a trace and write a synthetic "
+                     "twin with the same statistics")
+    twin.add_argument("source", help="trace to model (any format)")
+    twin.add_argument("-o", "--output", required=True,
+                      help="output CSV path for the twin")
+    twin.add_argument("--format", dest="fmt", default=None,
+                      choices=["squid", "clf", "csv"])
+    twin.add_argument("--scale", type=float, default=1.0,
+                      help="twin volume relative to the source "
+                           "(default 1.0)")
+    twin.add_argument("--seed", type=int, default=42)
+    return parser
+
+
+def _cmd_convert(args) -> int:
+    trace = load_trace(args.source, fmt=args.fmt)
+    count = write_trace(args.target, trace)
+    print(f"wrote {count:,} requests to {args.target}")
+    return 0
+
+
+def _cmd_characterize(args) -> int:
+    trace = load_trace(args.source, fmt=args.fmt)
+    char = characterize(trace,
+                        estimate_locality=not args.no_locality)
+    print(render_properties_table({trace.name: char},
+                                  title="Trace properties"))
+    print()
+    print(render_breakdown_table(char,
+                                 title="Breakdown by document type"))
+    print()
+    print(render_statistics_table(char,
+                                  title="Sizes and temporal locality"))
+    return 0
+
+
+def _cmd_stats(args) -> int:
+    trace = load_trace(args.source, fmt=args.fmt)
+    meta = trace.metadata()
+    print(f"{trace.name}: {meta.total_requests:,} requests, "
+          f"{meta.distinct_documents:,} documents, "
+          f"{meta.total_size_gb:.3f} GB distinct, "
+          f"{meta.requested_gb:.3f} GB requested")
+    return 0
+
+
+def _cmd_generate(args) -> int:
+    profile = profile_by_name(args.profile, scale=args.scale,
+                              seed=args.seed)
+    trace = generate_trace(profile,
+                           temporal_model="irm" if args.irm else "gaps")
+    count = write_trace(args.output, trace)
+    print(f"wrote {count:,} {profile.name} requests to {args.output}")
+    return 0
+
+
+def _cmd_twin(args) -> int:
+    from repro.workload.fitting import fidelity_report, fit_profile
+
+    original = load_trace(args.source, fmt=args.fmt)
+    profile = fit_profile(original, seed=args.seed)
+    if args.scale != 1.0:
+        profile = profile.scaled(args.scale)
+    twin = generate_trace(profile)
+    count = write_trace(args.output, twin)
+    print(f"wrote {count:,}-request synthetic twin of {args.source} "
+          f"to {args.output}")
+    if args.scale == 1.0:
+        report = fidelity_report(original, twin)
+        print("fidelity (max per-type deviation, percentage points): "
+              f"documents {report['distinct_documents_max_dev']:.2f}, "
+              f"requests {report['total_requests_max_dev']:.2f}, "
+              f"bytes {report['requested_data_max_dev']:.2f}")
+    return 0
+
+
+def _cmd_validate(args) -> int:
+    from repro.trace.validation import (
+        Severity, render_findings, validate_trace)
+
+    trace = load_trace(args.source, fmt=args.fmt)
+    findings = validate_trace(trace)
+    print(render_findings(findings))
+    has_errors = any(f.severity is Severity.ERROR for f in findings)
+    return 1 if has_errors else 0
+
+
+_COMMANDS = {
+    "convert": _cmd_convert,
+    "characterize": _cmd_characterize,
+    "stats": _cmd_stats,
+    "generate": _cmd_generate,
+    "twin": _cmd_twin,
+    "validate": _cmd_validate,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,119 @@
+"""Canonical CSV trace format.
+
+This is the library's native, lossless on-disk representation of a
+*preprocessed* request stream — the format the synthetic generator writes
+and the simulator reads back.  Unlike raw logs it carries both the full
+document size and the transfer size, plus the resolved document type, so
+no re-classification or modification reconstruction is needed on load.
+
+Header line::
+
+    timestamp,url,size,transfer_size,doc_type,status,content_type
+
+``content_type`` may be empty.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from typing import IO, Iterable, Iterator, Optional
+
+from repro.errors import TraceFormatError
+from repro.types import DocumentType, Request
+
+HEADER = ["timestamp", "url", "size", "transfer_size",
+          "doc_type", "status", "content_type"]
+
+
+class CsvTraceParser:
+    """Streaming parser for the canonical CSV trace format.
+
+    Unlike the raw-log parsers this one yields fully-formed
+    :class:`~repro.types.Request` objects.
+    """
+
+    name = "csv"
+
+    def __init__(self, strict: bool = True):
+        self.strict = strict
+        self.skipped = 0
+
+    def parse(self, lines: Iterable[str]) -> Iterator[Request]:
+        reader = csv.reader(lines)
+        for number, row in enumerate(reader, start=1):
+            if not row:
+                continue
+            if number == 1 and row[0] == "timestamp":
+                if row != HEADER:
+                    raise TraceFormatError(
+                        f"unexpected CSV header {row!r}", number)
+                continue
+            request = self._parse_row(row, number)
+            if request is not None:
+                yield request
+
+    def _parse_row(self, row, number: int) -> Optional[Request]:
+        if len(row) != len(HEADER):
+            return self._bad(number, f"expected {len(HEADER)} columns, "
+                                     f"got {len(row)}")
+        try:
+            return Request(
+                timestamp=float(row[0]),
+                url=row[1],
+                size=int(row[2]),
+                transfer_size=int(row[3]),
+                doc_type=DocumentType(row[4]),
+                status=int(row[5]),
+                content_type=row[6] or None,
+            )
+        except ValueError as exc:
+            return self._bad(number, str(exc))
+
+    def _bad(self, number: int, reason: str) -> None:
+        if self.strict:
+            raise TraceFormatError(reason, number)
+        self.skipped += 1
+        return None
+
+    @staticmethod
+    def sniff(line: str) -> bool:
+        return line.strip().startswith("timestamp,url,size,")
+
+
+class CsvTraceWriter:
+    """Streaming writer for the canonical CSV trace format."""
+
+    def __init__(self, stream: IO[str]):
+        self._writer = csv.writer(stream, lineterminator="\n")
+        self._writer.writerow(HEADER)
+        self.count = 0
+
+    def write(self, request: Request) -> None:
+        self._writer.writerow([
+            f"{request.timestamp:.3f}",
+            request.url,
+            request.size,
+            request.transfer_size,
+            request.doc_type.value,
+            request.status,
+            request.content_type or "",
+        ])
+        self.count += 1
+
+    def write_all(self, requests: Iterable[Request]) -> int:
+        for request in requests:
+            self.write(request)
+        return self.count
+
+
+def dumps(requests: Iterable[Request]) -> str:
+    """Serialize requests to a CSV trace string (tests and small traces)."""
+    buffer = io.StringIO()
+    CsvTraceWriter(buffer).write_all(requests)
+    return buffer.getvalue()
+
+
+def loads(text: str) -> Iterator[Request]:
+    """Parse a CSV trace string into requests."""
+    return CsvTraceParser().parse(io.StringIO(text))

@@ -1,0 +1,93 @@
+"""Cacheability preprocessing (paper Section 2).
+
+The paper excludes uncacheable documents "by commonly known heuristics,
+e.g. by looking for string cgi or ? in the requested URL", then keeps only
+responses with HTTP status codes 200 (OK), 203 (Non-Authoritative
+Information), 206 (Partial Content), 300 (Multiple Choices), 301 (Moved
+Permanently), 302 (Found), and 304 (Not Modified), following Arlitt et
+al., Cao & Irani, and Jin & Bestavros.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, Sequence
+
+from repro.trace.record import LogRecord
+
+#: Status codes the paper treats as cacheable responses.
+CACHEABLE_STATUS_CODES = frozenset({200, 203, 206, 300, 301, 302, 304})
+
+#: URL substrings that signal dynamically generated, uncacheable content.
+UNCACHEABLE_URL_MARKERS = ("cgi", "?")
+
+#: Methods that can produce cacheable responses.
+CACHEABLE_METHODS = frozenset({"GET"})
+
+
+def is_uncacheable_url(url: str,
+                       markers: Sequence[str] = UNCACHEABLE_URL_MARKERS) -> bool:
+    """True when the URL matches the dynamic-content heuristics."""
+    lowered = url.lower()
+    return any(marker in lowered for marker in markers)
+
+
+def is_cacheable_status(status: int) -> bool:
+    """True for the paper's cacheable status-code set."""
+    return status in CACHEABLE_STATUS_CODES
+
+
+@dataclass
+class PreprocessStats:
+    """Counts of records seen and dropped, by reason."""
+
+    seen: int = 0
+    kept: int = 0
+    dropped_url: int = 0
+    dropped_status: int = 0
+    dropped_method: int = 0
+    dropped_empty: int = 0
+
+
+@dataclass
+class CacheabilityFilter:
+    """Composable record filter implementing the paper's preprocessing.
+
+    Attributes:
+        url_markers: Substrings that mark a URL uncacheable.
+        status_codes: Admissible response status codes.
+        methods: Admissible request methods.
+        drop_zero_size: Drop records whose logged size is zero; a
+            zero-byte response carries no cacheable payload (this mirrors
+            the common practice in the cited workload studies).
+    """
+
+    url_markers: Sequence[str] = UNCACHEABLE_URL_MARKERS
+    status_codes: frozenset = CACHEABLE_STATUS_CODES
+    methods: frozenset = CACHEABLE_METHODS
+    drop_zero_size: bool = True
+    stats: PreprocessStats = field(default_factory=PreprocessStats)
+
+    def accepts(self, record: LogRecord) -> bool:
+        """Decide one record, updating drop statistics."""
+        self.stats.seen += 1
+        if record.method not in self.methods:
+            self.stats.dropped_method += 1
+            return False
+        if is_uncacheable_url(record.url, self.url_markers):
+            self.stats.dropped_url += 1
+            return False
+        if record.status not in self.status_codes:
+            self.stats.dropped_status += 1
+            return False
+        if self.drop_zero_size and record.size <= 0:
+            self.stats.dropped_empty += 1
+            return False
+        self.stats.kept += 1
+        return True
+
+    def filter(self, records: Iterable[LogRecord]) -> Iterator[LogRecord]:
+        """Stream the records that pass all checks."""
+        for record in records:
+            if self.accepts(record):
+                yield record

@@ -1,0 +1,87 @@
+"""Trace file opening with format auto-detection.
+
+Supports plain and gzip-compressed files in any of the three formats
+(squid, clf, csv).  Detection reads the first non-blank line and asks
+each parser's ``sniff``; an explicit format name always wins.
+"""
+
+from __future__ import annotations
+
+import gzip
+import io
+from pathlib import Path
+from typing import IO, Iterator, Optional, Union
+
+from repro.errors import TraceFormatError
+from repro.trace.clf import CLFParser
+from repro.trace.csvtrace import CsvTraceParser
+from repro.trace.record import LogRecord
+from repro.trace.squid import SquidParser
+
+_PARSERS = {
+    "squid": SquidParser,
+    "clf": CLFParser,
+    "csv": CsvTraceParser,
+}
+
+PathLike = Union[str, Path]
+
+
+def _open_text(path: PathLike) -> IO[str]:
+    path = Path(path)
+    if path.suffix == ".gz":
+        return io.TextIOWrapper(gzip.open(path, "rb"), encoding="utf-8")
+    return open(path, "r", encoding="utf-8")
+
+
+def detect_format(first_line: str) -> str:
+    """Guess the trace format of a line; raises TraceFormatError if none."""
+    if CsvTraceParser.sniff(first_line):
+        return "csv"
+    if SquidParser.sniff(first_line):
+        return "squid"
+    if CLFParser.sniff(first_line):
+        return "clf"
+    raise TraceFormatError(
+        f"cannot detect trace format from line: {first_line[:120]!r}")
+
+
+def open_trace(path: PathLike, fmt: Optional[str] = None,
+               strict: bool = False) -> Iterator:
+    """Open a trace file, yielding records (or Requests for csv format).
+
+    Args:
+        path: File path; ``.gz`` files are decompressed transparently.
+        fmt: One of ``"squid"``, ``"clf"``, ``"csv"``; auto-detected from
+            the first line when omitted.
+        strict: Raise on malformed lines instead of skipping.
+
+    Yields :class:`~repro.trace.record.LogRecord` for raw-log formats and
+    :class:`~repro.types.Request` for the canonical csv format.
+    """
+    stream = _open_text(path)
+    try:
+        if fmt is None:
+            first = stream.readline()
+            while first and not first.strip():
+                first = stream.readline()
+            if not first:
+                stream.close()
+                return
+            fmt = detect_format(first)
+            stream.close()
+            stream = _open_text(path)
+        if fmt not in _PARSERS:
+            raise TraceFormatError(f"unknown trace format: {fmt!r}")
+        parser = _PARSERS[fmt](strict=strict)
+        yield from parser.parse(stream)
+    finally:
+        stream.close()
+
+
+def read_records(path: PathLike, fmt: Optional[str] = None,
+                 strict: bool = False) -> Iterator[LogRecord]:
+    """Like :func:`open_trace` but only for raw-log formats."""
+    if fmt == "csv":
+        raise TraceFormatError("csv traces contain Requests, not LogRecords")
+    yield from open_trace(path, fmt=fmt, strict=strict)

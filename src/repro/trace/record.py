@@ -1,0 +1,42 @@
+"""Raw log record: one parsed proxy-log line, before preprocessing.
+
+A :class:`LogRecord` keeps everything the downstream filters need to make
+their decisions (URL for the cacheability heuristics, status code for the
+status filter, MIME type and URL for classification) without committing
+to a document type yet.  The preprocessing pipeline turns records into
+:class:`~repro.types.Request` objects.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+
+@dataclass(frozen=True)
+class LogRecord:
+    """One proxy-log line.
+
+    Attributes:
+        timestamp: Seconds since the epoch (fractional permitted).
+        url: Requested URL, as logged.
+        status: HTTP response status code.
+        size: Bytes transferred to the client for this response, as logged
+            by the proxy.  Note proxy logs record the *transfer* size; the
+            full document size is reconstructed by the modification
+            detector from the largest transfer observed.
+        method: HTTP method (default GET).
+        content_type: MIME type of the response, when the log carries one
+            (Squid native format does; CLF does not).
+        client: Client host or ip, when logged.
+        elapsed_ms: Request service time in milliseconds, when logged.
+    """
+
+    timestamp: float
+    url: str
+    status: int
+    size: int
+    method: str = "GET"
+    content_type: Optional[str] = None
+    client: Optional[str] = None
+    elapsed_ms: Optional[int] = None

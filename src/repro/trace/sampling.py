@@ -1,0 +1,178 @@
+"""Trace manipulation: filtering, thinning, splitting, interleaving.
+
+Workload studies constantly need derived traces — one document type
+only, a deterministic 1-in-N thinning for quick experiments, a
+time-range slice, or several traces merged on their timestamps (e.g.
+to feed the hierarchy simulator populations with distinct interests).
+All functions are pure and deterministic.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import heapq
+import random
+from typing import Callable, Iterable, Iterator, List, Optional, Sequence
+
+from repro.errors import ConfigurationError
+from repro.types import DocumentType, Request, Trace
+
+
+def filter_by_type(trace: Iterable[Request],
+                   doc_type: DocumentType,
+                   name: Optional[str] = None) -> Trace:
+    """The sub-trace of one document type (order preserved)."""
+    requests = [r for r in trace if r.doc_type is doc_type]
+    base = getattr(trace, "name", "trace")
+    return Trace(requests, name=name or f"{base}-{doc_type.value}")
+
+
+def filter_requests(trace: Iterable[Request],
+                    predicate: Callable[[Request], bool],
+                    name: Optional[str] = None) -> Trace:
+    """Generic predicate filter."""
+    requests = [r for r in trace if predicate(r)]
+    base = getattr(trace, "name", "trace")
+    return Trace(requests, name=name or f"{base}-filtered")
+
+
+def head(trace: Sequence[Request], n_requests: int,
+         name: Optional[str] = None) -> Trace:
+    """The first ``n_requests`` requests."""
+    if n_requests < 0:
+        raise ConfigurationError("n_requests must be non-negative")
+    requests = list(trace[:n_requests])
+    base = getattr(trace, "name", "trace")
+    return Trace(requests, name=name or f"{base}-head{n_requests}")
+
+
+def thin(trace: Sequence[Request], keep_one_in: int,
+         offset: int = 0, name: Optional[str] = None) -> Trace:
+    """Deterministic 1-in-N thinning (every ``keep_one_in``-th request).
+
+    Thinning preserves each document's identity and relative request
+    order, so popularity ranks survive; reuse distances shrink by
+    roughly the thinning factor — which is why thinned traces need
+    proportionally smaller caches for comparable hit rates.
+    """
+    if keep_one_in < 1:
+        raise ConfigurationError("keep_one_in must be >= 1")
+    requests = [r for i, r in enumerate(trace)
+                if (i - offset) % keep_one_in == 0]
+    base = getattr(trace, "name", "trace")
+    return Trace(requests, name=name or f"{base}-thin{keep_one_in}")
+
+
+def sample(trace: Sequence[Request], fraction: float,
+           seed: int = 0, name: Optional[str] = None) -> Trace:
+    """Independent per-request sampling with the given probability."""
+    if not 0.0 < fraction <= 1.0:
+        raise ConfigurationError("fraction must be in (0, 1]")
+    rng = random.Random(seed)
+    requests = [r for r in trace if rng.random() < fraction]
+    base = getattr(trace, "name", "trace")
+    return Trace(requests, name=name or f"{base}-sample{fraction:g}")
+
+
+def time_slice(trace: Iterable[Request], start: float, end: float,
+               name: Optional[str] = None) -> Trace:
+    """Requests with ``start <= timestamp < end``."""
+    if end <= start:
+        raise ConfigurationError("end must exceed start")
+    requests = [r for r in trace if start <= r.timestamp < end]
+    base = getattr(trace, "name", "trace")
+    return Trace(requests, name=name or f"{base}-slice")
+
+
+def split(trace: Sequence[Request], fractions: Sequence[float]
+          ) -> List[Trace]:
+    """Split a trace into consecutive segments by request count.
+
+    ``fractions`` must sum to 1; the last segment absorbs rounding.
+    """
+    if not fractions:
+        raise ConfigurationError("need at least one fraction")
+    if any(f <= 0 for f in fractions):
+        raise ConfigurationError("fractions must be positive")
+    if abs(sum(fractions) - 1.0) > 1e-6:
+        raise ConfigurationError("fractions must sum to 1")
+    base = getattr(trace, "name", "trace")
+    pieces: List[Trace] = []
+    start = 0
+    total = len(trace)
+    for index, fraction in enumerate(fractions):
+        if index == len(fractions) - 1:
+            stop = total
+        else:
+            stop = start + int(total * fraction)
+        pieces.append(Trace(list(trace[start:stop]),
+                            name=f"{base}-part{index}"))
+        start = stop
+    return pieces
+
+
+def anonymize(trace: Iterable[Request], salt: str,
+              name: Optional[str] = None) -> Trace:
+    """Replace URLs with salted hashes (privacy-preserving sharing).
+
+    Identity is all a cache study needs from a URL; the salted
+    BLAKE2 digest preserves it (same URL → same token, per salt)
+    while destroying the original.  The token depends on the URL
+    alone — not on the document type, which real logs occasionally
+    report inconsistently for one URL and which travels separately in
+    each request anyway.  Sizes and timing are untouched (NLANR's
+    sanitized traces take the same approach).  Without the salt the
+    mapping is not practically invertible for non-enumerable URL
+    spaces.
+    """
+    if not salt:
+        raise ConfigurationError("an empty salt defeats anonymization")
+    requests = []
+    for request in trace:
+        digest = hashlib.blake2b(
+            (salt + request.url).encode("utf-8"),
+            digest_size=12).hexdigest()
+        requests.append(Request(
+            timestamp=request.timestamp,
+            url=f"anon://{digest}",
+            size=request.size,
+            transfer_size=request.transfer_size,
+            doc_type=request.doc_type,
+            status=request.status,
+            content_type=request.content_type,
+        ))
+    base = getattr(trace, "name", "trace")
+    return Trace(requests, name=name or f"{base}-anon")
+
+
+def interleave(traces: Sequence[Trace], prefix_urls: bool = True,
+               name: str = "interleaved") -> Trace:
+    """Merge traces by timestamp into one stream.
+
+    With ``prefix_urls`` (default) each source's URLs get a distinct
+    prefix so the merged populations do not collide — the right setup
+    for modelling independent user populations; pass False to model
+    shared documents.
+    """
+    if not traces:
+        raise ConfigurationError("need at least one trace")
+
+    def _stream(index: int, trace: Trace) -> Iterator[Request]:
+        for request in trace:
+            if prefix_urls:
+                yield Request(
+                    timestamp=request.timestamp,
+                    url=f"src{index}/{request.url}",
+                    size=request.size,
+                    transfer_size=request.transfer_size,
+                    doc_type=request.doc_type,
+                    status=request.status,
+                    content_type=request.content_type,
+                )
+            else:
+                yield request
+
+    merged = heapq.merge(
+        *(_stream(i, t) for i, t in enumerate(traces)),
+        key=lambda r: r.timestamp)
+    return Trace(merged, name=name)

@@ -1,0 +1,109 @@
+"""Squid native access.log parsing and formatting.
+
+The Squid native format, used by the NLANR sanitized traces the paper's
+RTP workload comes from, is a whitespace-separated line::
+
+    timestamp elapsed client action/code size method URL ident hierarchy/from content-type
+
+Example::
+
+    981172094.106 1523 10.0.0.1 TCP_MISS/200 4158 GET http://a.com/x.gif - DIRECT/a.com image/gif
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Optional
+
+from repro.errors import TraceFormatError
+from repro.trace.record import LogRecord
+
+
+class SquidParser:
+    """Streaming parser for Squid native access.log lines."""
+
+    #: Format name used by auto-detection.
+    name = "squid"
+
+    def __init__(self, strict: bool = False):
+        """strict=True raises on malformed lines instead of skipping them."""
+        self.strict = strict
+        self.skipped = 0
+
+    def parse_line(self, line: str, line_number: int = 0) -> Optional[LogRecord]:
+        """Parse one line; returns None for blank/comment lines.
+
+        Raises :class:`TraceFormatError` on malformed lines in strict
+        mode; otherwise counts them in :attr:`skipped` and returns None.
+        """
+        stripped = line.strip()
+        if not stripped or stripped.startswith("#"):
+            return None
+        fields = stripped.split()
+        if len(fields) < 7:
+            return self._bad(line_number, line, "expected >= 7 fields")
+        try:
+            timestamp = float(fields[0])
+            elapsed = int(fields[1])
+            action_code = fields[3]
+            size = int(fields[4])
+            method = fields[5]
+            url = fields[6]
+        except ValueError as exc:
+            return self._bad(line_number, line, str(exc))
+        if "/" not in action_code:
+            return self._bad(line_number, line, "malformed action/code")
+        try:
+            status = int(action_code.rsplit("/", 1)[1])
+        except ValueError:
+            return self._bad(line_number, line, "non-numeric status code")
+        content_type = fields[9] if len(fields) > 9 else None
+        if content_type in ("-", ""):
+            content_type = None
+        return LogRecord(
+            timestamp=timestamp,
+            url=url,
+            status=status,
+            size=size,
+            method=method,
+            content_type=content_type,
+            client=fields[2],
+            elapsed_ms=elapsed,
+        )
+
+    def parse(self, lines: Iterable[str]) -> Iterator[LogRecord]:
+        """Parse an iterable of lines, yielding records."""
+        for number, line in enumerate(lines, start=1):
+            record = self.parse_line(line, number)
+            if record is not None:
+                yield record
+
+    def _bad(self, line_number: int, line: str, reason: str) -> None:
+        if self.strict:
+            raise TraceFormatError(reason, line_number, line)
+        self.skipped += 1
+        return None
+
+    @staticmethod
+    def sniff(line: str) -> bool:
+        """Heuristic: does this line look like Squid native format?"""
+        fields = line.split()
+        if len(fields) < 7:
+            return False
+        try:
+            float(fields[0])
+            int(fields[1])
+            int(fields[4])
+        except ValueError:
+            return False
+        return "/" in fields[3]
+
+
+def format_squid_line(record: LogRecord, action: str = "TCP_MISS",
+                      hierarchy: str = "DIRECT/-") -> str:
+    """Render a record back into a Squid native log line."""
+    return (
+        f"{record.timestamp:.3f} {record.elapsed_ms or 0} "
+        f"{record.client or '-'} {action}/{record.status} {record.size} "
+        f"{record.method} {record.url} - {hierarchy} "
+        f"{record.content_type or '-'}"
+    )

@@ -1,0 +1,111 @@
+"""Trace sanity checking.
+
+Real logs arrive broken in boring ways — clock skew, negative sizes,
+transfer sizes above document sizes, size oscillation that would
+register as a modification storm.  :func:`validate_trace` runs a fixed
+battery of checks and returns structured findings instead of failing,
+so ingest pipelines can decide what is fatal; ``python -m repro.trace
+validate`` exposes it on the command line.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Iterable, List
+
+from repro.types import Request
+
+
+class Severity(enum.Enum):
+    ERROR = "error"      # the simulator's assumptions are violated
+    WARNING = "warning"  # legal but suspicious; results may mislead
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One validation finding."""
+
+    check: str
+    severity: Severity
+    count: int
+    detail: str
+
+    def __str__(self) -> str:  # pragma: no cover - display helper
+        return (f"[{self.severity.value}] {self.check}: {self.detail} "
+                f"({self.count:,} occurrences)")
+
+
+#: Size oscillation: this many distinct sizes for one URL smells like
+#: a session id leaking into the size field.
+OSCILLATION_THRESHOLD = 10
+
+
+def validate_trace(trace: Iterable[Request]) -> List[Finding]:
+    """Run every check; returns an empty list for a clean trace."""
+    findings: List[Finding] = []
+    previous_timestamp = None
+    out_of_order = 0
+    overlong_transfers = 0
+    zero_size = 0
+    first_bad_ts = ""
+    sizes_per_url = {}
+    total = 0
+
+    for request in trace:
+        total += 1
+        if previous_timestamp is not None \
+                and request.timestamp < previous_timestamp:
+            out_of_order += 1
+            if not first_bad_ts:
+                first_bad_ts = (f"{request.url} at {request.timestamp} "
+                                f"after {previous_timestamp}")
+        previous_timestamp = request.timestamp
+        if request.transfer_size > request.size:
+            overlong_transfers += 1
+        if request.size == 0:
+            zero_size += 1
+        seen = sizes_per_url.setdefault(request.url, set())
+        if len(seen) <= OSCILLATION_THRESHOLD:
+            seen.add(request.size)
+
+    if total == 0:
+        return [Finding("empty-trace", Severity.ERROR, 1,
+                        "trace contains no requests")]
+
+    if out_of_order:
+        findings.append(Finding(
+            "timestamp-order", Severity.WARNING, out_of_order,
+            f"timestamps go backwards (first: {first_bad_ts}); "
+            "reuse-distance and TTL analyses assume ordering"))
+    if overlong_transfers:
+        findings.append(Finding(
+            "transfer-exceeds-size", Severity.ERROR, overlong_transfers,
+            "transfer_size above document size; byte accounting "
+            "clamps these, but the source data is inconsistent"))
+    if zero_size:
+        findings.append(Finding(
+            "zero-size-documents", Severity.WARNING, zero_size,
+            "zero-byte documents occupy no cache space and distort "
+            "hit rates upward"))
+
+    oscillating = sum(1 for seen in sizes_per_url.values()
+                      if len(seen) > OSCILLATION_THRESHOLD)
+    if oscillating:
+        findings.append(Finding(
+            "size-oscillation", Severity.WARNING, oscillating,
+            f"documents with > {OSCILLATION_THRESHOLD} distinct sizes; "
+            "each change registers as a modification miss"))
+    return findings
+
+
+def render_findings(findings: List[Finding]) -> str:
+    """Human-readable report (\"clean\" for no findings)."""
+    if not findings:
+        return "trace is clean: all checks passed"
+    lines = [f"{len(findings)} finding(s):"]
+    for finding in findings:
+        lines.append(f"  [{finding.severity.value:7s}] "
+                     f"{finding.check}: {finding.detail} "
+                     f"({finding.count:,}x)")
+    return "\n".join(lines)

@@ -1,0 +1,27 @@
+"""Trace writing helpers."""
+
+from __future__ import annotations
+
+import gzip
+import io
+from pathlib import Path
+from typing import Iterable, Union
+
+from repro.trace.csvtrace import CsvTraceWriter
+from repro.types import Request
+
+PathLike = Union[str, Path]
+
+
+def write_trace(path: PathLike, requests: Iterable[Request]) -> int:
+    """Write requests to a canonical CSV trace file; returns the count.
+
+    ``.gz`` paths are compressed transparently.
+    """
+    path = Path(path)
+    if path.suffix == ".gz":
+        with gzip.open(path, "wb") as binary:
+            with io.TextIOWrapper(binary, encoding="utf-8") as stream:
+                return CsvTraceWriter(stream).write_all(requests)
+    with open(path, "w", encoding="utf-8") as stream:
+        return CsvTraceWriter(stream).write_all(requests)

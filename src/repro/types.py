@@ -1,0 +1,168 @@
+"""Shared value types used across the repro library.
+
+The central record type is :class:`Request`, one preprocessed cacheable
+web request.  The paper's unit of classification is the *document type*
+(:class:`DocumentType`): images, HTML/text, multimedia, application, and a
+catch-all "other" class.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, List, Optional
+
+
+class DocumentType(enum.Enum):
+    """The paper's five web document classes (Section 2).
+
+    Text files (``.tex``, ``.java``, ...) are folded into :attr:`HTML`,
+    following the paper: "Text files (e.g. .tex, .java) are added to the
+    class of HTML documents."
+    """
+
+    IMAGE = "image"
+    HTML = "html"
+    MULTIMEDIA = "multimedia"
+    APPLICATION = "application"
+    OTHER = "other"
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.value
+
+    @property
+    def label(self) -> str:
+        """Human-readable label matching the paper's table headers."""
+        return _LABELS[self]
+
+
+_LABELS = {
+    DocumentType.IMAGE: "Images",
+    DocumentType.HTML: "HTML",
+    DocumentType.MULTIMEDIA: "Multi Media",
+    DocumentType.APPLICATION: "Application",
+    DocumentType.OTHER: "Other",
+}
+
+#: Document types in the order the paper's tables and figures list them.
+DOCUMENT_TYPES: tuple = (
+    DocumentType.IMAGE,
+    DocumentType.HTML,
+    DocumentType.MULTIMEDIA,
+    DocumentType.APPLICATION,
+    DocumentType.OTHER,
+)
+
+#: The four types the paper plots individually in Figures 1-3.
+PLOTTED_TYPES: tuple = DOCUMENT_TYPES[:4]
+
+
+@dataclass(frozen=True)
+class Request:
+    """One preprocessed, cacheable request seen by the proxy.
+
+    Attributes:
+        timestamp: Seconds since trace start (or epoch, for parsed logs).
+        url: Document identifier.  Synthetic traces use compact ids such
+            as ``"img/1234"``; parsed traces keep the request URL.
+        size: Full document size in bytes, as known at this request.
+            Document modifications change this value between requests.
+        transfer_size: Bytes actually transferred for this request.  Equal
+            to ``size`` for complete transfers; smaller when the client
+            interrupted the transfer.
+        doc_type: The document's :class:`DocumentType` class.
+        status: HTTP status code of the response (default 200).
+        content_type: Raw MIME type from the log, if known.
+    """
+
+    timestamp: float
+    url: str
+    size: int
+    transfer_size: int
+    doc_type: DocumentType
+    status: int = 200
+    content_type: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.size < 0:
+            raise ValueError(f"negative document size: {self.size}")
+        if self.transfer_size < 0:
+            raise ValueError(
+                f"negative transfer size: {self.transfer_size}")
+
+    @property
+    def complete(self) -> bool:
+        """True when the full document was transferred."""
+        return self.transfer_size >= self.size
+
+
+@dataclass
+class TraceMetadata:
+    """Aggregate properties of a trace, the raw material for Table 1."""
+
+    name: str = "trace"
+    total_requests: int = 0
+    distinct_documents: int = 0
+    total_size_bytes: int = 0       # sum of sizes of distinct documents
+    requested_bytes: int = 0        # sum of transfer sizes over all requests
+
+    @property
+    def total_size_gb(self) -> float:
+        return self.total_size_bytes / 1e9
+
+    @property
+    def requested_gb(self) -> float:
+        return self.requested_bytes / 1e9
+
+
+class Trace:
+    """An in-memory trace: a list of requests plus its metadata.
+
+    Most of the library operates on plain request iterables so that traces
+    can be streamed from disk; :class:`Trace` is the convenience container
+    returned by the synthetic generator and the in-memory loader.
+    """
+
+    def __init__(self, requests: Iterable[Request], name: str = "trace"):
+        self.requests: List[Request] = list(requests)
+        self.name = name
+
+    def __len__(self) -> int:
+        return len(self.requests)
+
+    def __iter__(self) -> Iterator[Request]:
+        return iter(self.requests)
+
+    def __getitem__(self, index):
+        return self.requests[index]
+
+    def metadata(self) -> TraceMetadata:
+        """Compute Table-1 style aggregate properties of this trace."""
+        meta = TraceMetadata(name=self.name)
+        seen = {}
+        for req in self.requests:
+            meta.total_requests += 1
+            meta.requested_bytes += req.transfer_size
+            prev = seen.get(req.url)
+            if prev is None:
+                seen[req.url] = req.size
+                meta.total_size_bytes += req.size
+            elif prev != req.size:
+                # Count the document once at its most recent size.
+                meta.total_size_bytes += req.size - prev
+                seen[req.url] = req.size
+        meta.distinct_documents = len(seen)
+        return meta
+
+
+@dataclass
+class TypeBreakdown:
+    """Per-document-type shares of a trace (Tables 2 and 3).
+
+    All values are percentages in [0, 100].
+    """
+
+    distinct_documents: dict = field(default_factory=dict)
+    overall_size: dict = field(default_factory=dict)
+    total_requests: dict = field(default_factory=dict)
+    requested_data: dict = field(default_factory=dict)

@@ -1,0 +1,55 @@
+"""Synthetic workload generation.
+
+Substitutes for the paper's proprietary DFN and RTP proxy traces: a
+generator producing per-document-type request streams whose controllable
+statistics are exactly the ones the paper shows drive the results —
+
+* Zipf-like document popularity with per-type index α
+  (:mod:`~repro.workload.zipf`);
+* power-law reuse-distance gaps with per-type temporal-correlation
+  exponent β (:mod:`~repro.workload.temporal`);
+* heavy-tailed per-type document sizes
+  (:mod:`~repro.workload.sizes`);
+* document modifications and interrupted transfers
+  (:mod:`~repro.workload.modifications`).
+
+:func:`~repro.workload.profiles.dfn_like` and
+:func:`~repro.workload.profiles.rtp_like` return calibrated profiles;
+:class:`~repro.workload.generator.SyntheticTraceGenerator` turns a
+profile into a :class:`~repro.types.Trace`.
+"""
+
+from repro.workload.zipf import ZipfSampler, zipf_counts
+from repro.workload.temporal import PowerLawGapSampler
+from repro.workload.sizes import LognormalSizeModel, BoundedParetoSizeModel, MixtureSizeModel
+from repro.workload.profiles import (
+    TypeProfile,
+    WorkloadProfile,
+    dfn_like,
+    future_like,
+    rtp_like,
+    uniform_profile,
+)
+from repro.workload.modifications import ChangeInjector
+from repro.workload.fitting import fidelity_report, fit_profile
+from repro.workload.generator import SyntheticTraceGenerator, generate_trace
+
+__all__ = [
+    "ZipfSampler",
+    "zipf_counts",
+    "PowerLawGapSampler",
+    "LognormalSizeModel",
+    "BoundedParetoSizeModel",
+    "MixtureSizeModel",
+    "TypeProfile",
+    "WorkloadProfile",
+    "dfn_like",
+    "future_like",
+    "rtp_like",
+    "uniform_profile",
+    "ChangeInjector",
+    "fit_profile",
+    "fidelity_report",
+    "SyntheticTraceGenerator",
+    "generate_trace",
+]

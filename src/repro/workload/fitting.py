@@ -1,0 +1,190 @@
+"""Fit a workload profile from an observed trace.
+
+The inverse of the generator: given any request stream (a parsed Squid
+log, or another synthetic trace), estimate everything a
+:class:`~repro.workload.profiles.WorkloadProfile` needs —
+
+* per-type document and request shares,
+* per-type popularity index α (MLE, regression fallback),
+* per-type temporal-correlation exponent β,
+* per-type lognormal size parameters (median + log-space σ),
+* per-type modification and interruption rates,
+
+so that ``generate_trace(fit_profile(trace))`` produces a *synthetic
+twin*: a shareable, arbitrarily scalable workload with the same
+statistics as a log that may itself be confidential.  This is exactly
+the substitution argument DESIGN.md makes for the DFN/RTP traces,
+packaged as a reusable tool.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.analysis.correlation import estimate_beta
+from repro.analysis.popularity import (
+    alpha_from_counts,
+    alpha_mle,
+    popularity_counts,
+)
+from repro.errors import AnalysisError, ConfigurationError
+from repro.types import DOCUMENT_TYPES, DocumentType, Trace
+from repro.workload.profiles import TypeProfile, WorkloadProfile
+from repro.workload.sizes import LognormalSizeModel
+
+#: Fallbacks for types too thin to estimate.
+DEFAULT_ALPHA = 0.7
+DEFAULT_BETA = 0.4
+#: Clamp bounds keeping fitted parameters generatable.
+ALPHA_BOUNDS = (0.05, 2.0)
+BETA_BOUNDS = (0.05, 1.0)
+SIGMA_BOUNDS = (0.05, 3.0)
+
+
+def _clamp(value: float, bounds: tuple) -> float:
+    return min(max(value, bounds[0]), bounds[1])
+
+
+def _fit_alpha(trace: Trace, doc_type: DocumentType) -> float:
+    counts = list(popularity_counts(trace, doc_type).values())
+    try:
+        return _clamp(alpha_mle(counts), ALPHA_BOUNDS)
+    except AnalysisError:
+        pass
+    try:
+        return _clamp(alpha_from_counts(counts), ALPHA_BOUNDS)
+    except AnalysisError:
+        return DEFAULT_ALPHA
+
+
+def _fit_beta(trace: Trace, doc_type: DocumentType) -> float:
+    try:
+        return _clamp(estimate_beta(trace.requests, doc_type,
+                                    max_refs=100, min_samples=25),
+                      BETA_BOUNDS)
+    except AnalysisError:
+        return DEFAULT_BETA
+
+
+def _fit_size_model(sizes: np.ndarray) -> LognormalSizeModel:
+    median = float(np.median(sizes))
+    if median < 1:
+        median = 1.0
+    logs = np.log(np.maximum(sizes, 1.0))
+    sigma = _clamp(float(logs.std()), SIGMA_BOUNDS)
+    return LognormalSizeModel(median_bytes=median, sigma=sigma)
+
+
+def fit_profile(trace: Trace, name: Optional[str] = None,
+                seed: int = 42) -> WorkloadProfile:
+    """Estimate a generator profile from a trace.
+
+    Types absent from the trace get a vanishing-but-positive share so
+    the profile validates; scale the result with
+    :meth:`~repro.workload.profiles.WorkloadProfile.scaled` before
+    generating if a different volume is wanted.
+    """
+    if len(trace) == 0:
+        raise ConfigurationError("cannot fit a profile to an empty trace")
+
+    # Per-type populations.
+    doc_sizes: Dict[DocumentType, Dict[str, int]] = {
+        t: {} for t in DOCUMENT_TYPES}
+    request_counts = {t: 0 for t in DOCUMENT_TYPES}
+    repeats = {t: 0 for t in DOCUMENT_TYPES}
+    modifications = {t: 0 for t in DOCUMENT_TYPES}
+    interruptions = {t: 0 for t in DOCUMENT_TYPES}
+    for request in trace:
+        sizes = doc_sizes[request.doc_type]
+        previous = sizes.get(request.url)
+        if previous is not None:
+            repeats[request.doc_type] += 1
+            if previous != request.size:
+                modifications[request.doc_type] += 1
+        sizes[request.url] = request.size
+        request_counts[request.doc_type] += 1
+        if request.transfer_size < request.size:
+            interruptions[request.doc_type] += 1
+
+    total_docs = sum(len(sizes) for sizes in doc_sizes.values())
+    total_requests = sum(request_counts.values())
+
+    types: Dict[DocumentType, TypeProfile] = {}
+    # Reserve a sliver of share for empty types so validation holds.
+    epsilon = 1e-6
+    present = [t for t in DOCUMENT_TYPES if request_counts[t] > 0]
+    missing = [t for t in DOCUMENT_TYPES if request_counts[t] == 0]
+    reserved = epsilon * len(missing)
+
+    for doc_type in DOCUMENT_TYPES:
+        n_docs = len(doc_sizes[doc_type])
+        n_requests = request_counts[doc_type]
+        if n_requests == 0:
+            types[doc_type] = TypeProfile(
+                doc_share=epsilon, request_share=epsilon,
+                alpha=DEFAULT_ALPHA, beta=DEFAULT_BETA,
+                size_model=LognormalSizeModel(median_bytes=8192,
+                                              sigma=1.0))
+            continue
+        sizes = np.asarray(list(doc_sizes[doc_type].values()),
+                           dtype=np.float64)
+        repeat_count = max(repeats[doc_type], 1)
+        types[doc_type] = TypeProfile(
+            doc_share=(n_docs / total_docs) * (1.0 - reserved),
+            request_share=(n_requests / total_requests) * (1.0 - reserved),
+            alpha=_fit_alpha(trace, doc_type),
+            beta=_fit_beta(trace, doc_type),
+            size_model=_fit_size_model(sizes),
+            modification_rate=min(
+                modifications[doc_type] / repeat_count, 0.5),
+            interruption_rate=min(
+                interruptions[doc_type] / n_requests, 0.9),
+        )
+
+    # Normalize shares to exactly 1 (guard float drift).
+    doc_total = sum(t.doc_share for t in types.values())
+    req_total = sum(t.request_share for t in types.values())
+    for type_profile in types.values():
+        type_profile.doc_share /= doc_total
+        type_profile.request_share /= req_total
+
+    profile = WorkloadProfile(
+        name=name or f"{trace.name}-fitted",
+        n_requests=max(total_requests, total_docs),
+        n_documents=total_docs,
+        types=types,
+        seed=seed,
+    )
+    profile.validate()
+    return profile
+
+
+def fidelity_report(original: Trace, twin: Trace) -> Dict[str, float]:
+    """Quantify how closely a synthetic twin matches its original.
+
+    Returns maximum absolute per-type deviations (in percentage
+    points) for each Table-2 metric, plus the request-volume ratio —
+    small numbers mean a faithful twin.
+    """
+    from repro.analysis.characterize import type_breakdown
+
+    a = type_breakdown(original)
+    b = type_breakdown(twin)
+
+    def max_dev(metric_a, metric_b):
+        return max(abs(metric_a[t] - metric_b[t])
+                   for t in DOCUMENT_TYPES)
+
+    return {
+        "distinct_documents_max_dev": max_dev(a.distinct_documents,
+                                              b.distinct_documents),
+        "total_requests_max_dev": max_dev(a.total_requests,
+                                          b.total_requests),
+        "requested_data_max_dev": max_dev(a.requested_data,
+                                          b.requested_data),
+        "request_volume_ratio": (len(twin) / len(original)
+                                 if len(original) else math.nan),
+    }

@@ -1,0 +1,179 @@
+"""Synthetic trace assembly.
+
+For each document type the generator:
+
+1. splits the profile's document and request budgets by the type shares;
+2. assigns per-document request counts with Zipf(α) popularity
+   (:func:`~repro.workload.zipf.zipf_counts`);
+3. draws each document's size from the type's size model;
+4. places each document's references on a circular timeline with
+   power-law(β) reuse gaps
+   (:func:`~repro.workload.temporal.place_references`).
+
+All types share one global timeline, so the interleaved stream has the
+per-type mixes of the profile.  A final pass injects document
+modifications and interrupted transfers
+(:class:`~repro.workload.modifications.ChangeInjector`), then timestamps
+are assigned uniformly over the profile's duration.
+
+Determinism: the same profile and seed always produce the identical
+trace (the generator derives all randomness from ``profile.seed``).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, Iterator, List, Tuple
+
+from repro.errors import ConfigurationError
+from repro.types import DocumentType, Request, Trace
+from repro.workload.modifications import ChangeInjector
+from repro.workload.profiles import TypeProfile, WorkloadProfile
+from repro.workload.temporal import (
+    PowerLawGapSampler,
+    place_references,
+    place_references_irm,
+)
+from repro.workload.zipf import zipf_counts
+
+#: Short URL prefixes per type, so synthetic URLs stay classifiable.
+_URL_PREFIX = {
+    DocumentType.IMAGE: "http://syn/img/{}.gif",
+    DocumentType.HTML: "http://syn/html/{}.html",
+    DocumentType.MULTIMEDIA: "http://syn/mm/{}.mpg",
+    DocumentType.APPLICATION: "http://syn/app/{}.pdf",
+    DocumentType.OTHER: "http://syn/other/{}.dat",
+}
+
+_CONTENT_TYPE = {
+    DocumentType.IMAGE: "image/gif",
+    DocumentType.HTML: "text/html",
+    DocumentType.MULTIMEDIA: "video/mpeg",
+    DocumentType.APPLICATION: "application/pdf",
+    DocumentType.OTHER: None,
+}
+
+
+def _allocate(total: int, shares: Dict[DocumentType, float],
+              minimum: int = 0) -> Dict[DocumentType, int]:
+    """Integer allocation of ``total`` by shares (largest-remainder)."""
+    raw = {t: total * share for t, share in shares.items()}
+    counts = {t: max(int(v), minimum if shares[t] > 0 else 0)
+              for t, v in raw.items()}
+    assigned = sum(counts.values())
+    remainders = sorted(raw, key=lambda t: raw[t] - int(raw[t]), reverse=True)
+    idx = 0
+    while assigned < total:
+        counts[remainders[idx % len(remainders)]] += 1
+        assigned += 1
+        idx += 1
+    while assigned > total:
+        victim = max(counts, key=lambda t: counts[t])
+        if counts[victim] <= minimum:
+            break
+        counts[victim] -= 1
+        assigned -= 1
+    return counts
+
+
+class SyntheticTraceGenerator:
+    """Builds a :class:`~repro.types.Trace` from a workload profile.
+
+    ``temporal_model`` selects how each document's references are laid
+    out in time: ``"gaps"`` (default) uses power-law(β) reuse gaps;
+    ``"irm"`` places references independently and uniformly (the
+    Independent Reference Model), keeping popularity and sizes
+    identical — the ablation arm for temporal-correlation effects.
+    """
+
+    def __init__(self, profile: WorkloadProfile,
+                 temporal_model: str = "gaps"):
+        profile.validate()
+        if temporal_model not in ("gaps", "irm"):
+            raise ConfigurationError(
+                f"unknown temporal model: {temporal_model!r}")
+        self.profile = profile
+        self.temporal_model = temporal_model
+
+    def generate(self) -> Trace:
+        """Produce the full trace (deterministic for a given profile)."""
+        profile = self.profile
+        rng = random.Random(profile.seed)
+        doc_budget = _allocate(
+            profile.n_documents,
+            {t: p.doc_share for t, p in profile.types.items()},
+            minimum=1)
+        request_budget = _allocate(
+            profile.n_requests,
+            {t: p.request_share for t, p in profile.types.items()},
+            minimum=0)
+
+        events: List[Tuple[float, str, int, DocumentType]] = []
+        horizon = float(profile.n_requests)
+        for doc_type, type_profile in sorted(
+                profile.types.items(), key=lambda item: item[0].value):
+            n_docs = doc_budget[doc_type]
+            n_requests = request_budget[doc_type]
+            if n_docs == 0 or n_requests == 0:
+                continue
+            if n_requests < n_docs:
+                # Request budget cannot cover one request per document;
+                # shrink the document population instead of failing.
+                n_docs = n_requests
+            events.extend(self._layout_type(
+                doc_type, type_profile, n_docs, n_requests, horizon, rng))
+
+        events.sort(key=lambda e: e[0])
+        requests = self._materialize(events)
+        injector = ChangeInjector(self.profile)
+        final = list(injector.process(requests))
+        trace = Trace(final, name=profile.name)
+        trace.modifications_injected = injector.modifications
+        trace.interruptions_injected = injector.interruptions
+        return trace
+
+    def _layout_type(self, doc_type: DocumentType,
+                     type_profile: TypeProfile, n_docs: int,
+                     n_requests: int, horizon: float,
+                     rng: random.Random) -> Iterator[
+                         Tuple[float, str, int, DocumentType]]:
+        counts = zipf_counts(n_docs, type_profile.alpha, n_requests)
+        gap_sampler = PowerLawGapSampler(
+            beta=type_profile.beta,
+            max_gap=max(int(horizon), 1),
+            seed=rng.randrange(1 << 30))
+        url_template = _URL_PREFIX[doc_type]
+        use_irm = self.temporal_model == "irm"
+        for rank, n_refs in enumerate(counts, start=1):
+            url = url_template.format(rank)
+            size = type_profile.size_model.sample(rng)
+            if use_irm:
+                positions = place_references_irm(n_refs, horizon, rng)
+            else:
+                positions = place_references(n_refs, horizon,
+                                             gap_sampler, rng)
+            for position in positions:
+                yield (position, url, size, doc_type)
+
+    def _materialize(self, events) -> Iterator[Request]:
+        profile = self.profile
+        n = len(events)
+        if n == 0:
+            return
+        time_step = profile.duration_seconds / max(n, 1)
+        for index, (_, url, size, doc_type) in enumerate(events):
+            yield Request(
+                timestamp=index * time_step,
+                url=url,
+                size=size,
+                transfer_size=size,
+                doc_type=doc_type,
+                status=200,
+                content_type=_CONTENT_TYPE[doc_type],
+            )
+
+
+def generate_trace(profile: WorkloadProfile,
+                   temporal_model: str = "gaps") -> Trace:
+    """Convenience wrapper: generate the trace for a profile."""
+    return SyntheticTraceGenerator(profile, temporal_model).generate()

@@ -1,0 +1,107 @@
+"""Injection of document modifications and interrupted transfers.
+
+The generator first lays out a clean request stream (every request
+transfers the document's full, constant size); this pass then perturbs
+it the way real traces are perturbed:
+
+* with the type's ``modification_rate``, a repeat request sees a *new
+  version* of the document whose size differs from the previous version
+  by less than the 5 % tolerance — exactly the deltas the paper's
+  simulator classifies as modifications;
+* with the type's ``interruption_rate``, the client aborts the transfer
+  and the logged transfer size is well below the document size (a ≥ 5 %
+  delta in the raw log), which the simulator must *not* treat as a
+  modification.
+
+Keeping injection separate from layout makes the generator's statistical
+properties (α, β, sizes) independent of the perturbation knobs.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, Iterable, Iterator, Optional
+
+from repro.types import Request
+from repro.workload.profiles import WorkloadProfile
+
+#: Smallest document size eligible for modification: below this, a
+#: one-byte change already exceeds the 5 % tolerance.
+MIN_MODIFIABLE_SIZE = 64
+
+
+class ChangeInjector:
+    """Applies per-type modification and interruption perturbations."""
+
+    def __init__(self, profile: WorkloadProfile,
+                 rng: Optional[random.Random] = None,
+                 tolerance: float = 0.05):
+        self.profile = profile
+        self.tolerance = tolerance
+        self._rng = rng or random.Random(profile.seed + 1)
+        self._current_sizes: Dict[str, int] = {}
+        self.modifications = 0
+        self.interruptions = 0
+
+    def process(self, requests: Iterable[Request]) -> Iterator[Request]:
+        for request in requests:
+            yield self._perturb(request)
+
+    def _perturb(self, request: Request) -> Request:
+        rates = self.profile.types.get(request.doc_type)
+        if rates is None:
+            return request
+        url = request.url
+        size = self._current_sizes.get(url)
+        first_visit = size is None
+        if first_visit:
+            size = request.size
+
+        if (not first_visit
+                and rates.modification_rate > 0
+                and size >= MIN_MODIFIABLE_SIZE
+                and self._rng.random() < rates.modification_rate):
+            size = self._modify(size)
+            self.modifications += 1
+        self._current_sizes[url] = size
+
+        transfer = size
+        if (rates.interruption_rate > 0
+                and self._rng.random() < rates.interruption_rate):
+            transfer = self._interrupt(size)
+            self.interruptions += 1
+
+        if size == request.size and transfer == request.transfer_size:
+            return request
+        return Request(
+            timestamp=request.timestamp,
+            url=url,
+            size=size,
+            transfer_size=transfer,
+            doc_type=request.doc_type,
+            status=request.status,
+            content_type=request.content_type,
+        )
+
+    def _modify(self, size: int) -> int:
+        """New version size, strictly within the 5 % tolerance."""
+        # Draw a relative delta in (0, 0.8 * tolerance] either way, so the
+        # integer rounding can never push it to the tolerance boundary.
+        magnitude = self.tolerance * (0.2 + 0.6 * self._rng.random())
+        delta = max(1, int(size * magnitude))
+        if delta >= int(size * self.tolerance):
+            delta = max(int(size * self.tolerance) - 1, 0)
+        if delta == 0:
+            return size
+        if self._rng.random() < 0.5 and size - delta >= MIN_MODIFIABLE_SIZE:
+            return size - delta
+        return size + delta
+
+    def _interrupt(self, size: int) -> int:
+        """Aborted-transfer size: between 5 % and 90 % of the document."""
+        fraction = 0.05 + 0.85 * self._rng.random()
+        transfer = int(size * fraction)
+        ceiling = int(size * (1.0 - self.tolerance)) - 1
+        if transfer > ceiling:
+            transfer = max(ceiling, 1)
+        return max(transfer, 1)

@@ -1,0 +1,105 @@
+"""Zipf-like popularity (the paper's α parameter).
+
+The paper characterizes document popularity by the index α of the
+relation N ∝ ρ^{-α} between a document's request count N and its
+popularity rank ρ.  Two tools live here:
+
+* :func:`zipf_counts` deterministically assigns per-rank request counts
+  that realize a target α and total request volume (used by the trace
+  generator, which then *places* those requests in time);
+* :class:`ZipfSampler` draws i.i.d. ranks from the Zipf distribution
+  (used by tests and by the independent-reference-model ablation).
+"""
+
+from __future__ import annotations
+
+import bisect
+import random
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+
+def zipf_weights(n_docs: int, alpha: float) -> np.ndarray:
+    """Unnormalized Zipf weights rank^(-alpha) for ranks 1..n_docs."""
+    if n_docs <= 0:
+        raise ValueError("n_docs must be positive")
+    if alpha < 0:
+        raise ValueError("alpha must be non-negative")
+    ranks = np.arange(1, n_docs + 1, dtype=np.float64)
+    return ranks ** (-alpha)
+
+
+def zipf_counts(n_docs: int, alpha: float, total_requests: int) -> List[int]:
+    """Per-rank request counts realizing Zipf(α) popularity.
+
+    Counts are proportional to rank^{-α}, scaled so they sum to exactly
+    ``total_requests``, with every document requested at least once.
+    Requires ``total_requests >= n_docs``.
+
+    The rounding residue is distributed to the most popular ranks, which
+    keeps the log-log slope intact where the fit happens (the head).
+    """
+    if total_requests < n_docs:
+        raise ValueError(
+            f"total_requests ({total_requests}) must be >= n_docs ({n_docs}) "
+            "so every document gets at least one request")
+    weights = zipf_weights(n_docs, alpha)
+    # Every document gets one baseline request; the remaining budget is
+    # split by weight with largest-remainder rounding, which is exact and
+    # never disturbs the head of the distribution.
+    extra_budget = total_requests - n_docs
+    shares = weights * (extra_budget / float(weights.sum()))
+    extras = np.floor(shares).astype(np.int64)
+    residue = extra_budget - int(extras.sum())
+    if residue > 0:
+        remainders = shares - extras
+        top = np.argpartition(remainders, -residue)[-residue:]
+        extras[top] += 1
+    counts = (extras + 1).tolist()
+    # Largest-remainder bumps can locally invert neighbours by one; the
+    # callers expect rank order, so sort descending (cheap, already
+    # nearly sorted).
+    counts.sort(reverse=True)
+    return counts
+
+
+class ZipfSampler:
+    """Draws ranks 1..n with probability proportional to rank^{-alpha}."""
+
+    def __init__(self, n_docs: int, alpha: float,
+                 seed: Optional[int] = None):
+        weights = zipf_weights(n_docs, alpha)
+        cdf = np.cumsum(weights)
+        cdf /= cdf[-1]
+        self._cdf: Sequence[float] = cdf.tolist()
+        self.n_docs = n_docs
+        self.alpha = alpha
+        self._rng = random.Random(seed)
+
+    def sample(self) -> int:
+        """One rank in [1, n_docs]."""
+        return bisect.bisect_left(self._cdf, self._rng.random()) + 1
+
+    def sample_many(self, count: int) -> List[int]:
+        cdf = np.asarray(self._cdf)
+        draws = np.array([self._rng.random() for _ in range(count)])
+        return (np.searchsorted(cdf, draws, side="left") + 1).tolist()
+
+
+def fit_alpha(counts: Sequence[int], head_fraction: float = 1.0) -> float:
+    """Least-squares α from per-document request counts.
+
+    Sorts the counts into rank order and fits log(count) against
+    log(rank); returns the negated slope.  ``head_fraction`` restricts
+    the fit to the most popular fraction of documents, mirroring the
+    common practice of fitting where the Zipf relation is linear.
+    """
+    ordered = sorted((c for c in counts if c > 0), reverse=True)
+    if len(ordered) < 2:
+        raise ValueError("need at least two documents to fit alpha")
+    take = max(2, int(len(ordered) * head_fraction))
+    ranks = np.arange(1, take + 1, dtype=np.float64)
+    values = np.asarray(ordered[:take], dtype=np.float64)
+    slope = np.polyfit(np.log10(ranks), np.log10(values), 1)[0]
+    return -float(slope)

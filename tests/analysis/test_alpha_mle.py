@@ -1,0 +1,59 @@
+"""Tests for the MLE popularity-index estimator."""
+
+import pytest
+
+from repro.analysis.popularity import alpha_from_counts, alpha_mle
+from repro.errors import AnalysisError
+from repro.workload.zipf import zipf_counts
+
+
+def test_recovers_known_alpha():
+    for alpha in (0.5, 0.9, 1.2):
+        counts = zipf_counts(20_000, alpha, 2_000_000)
+        fitted = alpha_mle(counts)
+        assert fitted == pytest.approx(alpha, abs=0.1), \
+            f"alpha={alpha} fitted={fitted}"
+
+
+def test_recovers_alpha_from_sampled_stream():
+    """MLE on a *sampled* (not deterministic) Zipf stream."""
+    from collections import Counter
+    from repro.workload.zipf import ZipfSampler
+    sampler = ZipfSampler(3000, 0.8, seed=5)
+    counts = Counter(sampler.sample_many(200_000))
+    fitted = alpha_mle(counts.values())
+    assert fitted == pytest.approx(0.8, abs=0.1)
+
+
+def test_ordering_preserved():
+    fits = [alpha_mle(zipf_counts(10_000, a, 500_000))
+            for a in (0.5, 0.8, 1.1)]
+    assert fits == sorted(fits)
+
+
+def test_agrees_with_regression_fit():
+    counts = zipf_counts(10_000, 0.9, 1_000_000)
+    mle = alpha_mle(counts)
+    regression = alpha_from_counts(counts)
+    assert mle == pytest.approx(regression, abs=0.3)
+
+
+def test_too_few_documents():
+    with pytest.raises(AnalysisError):
+        alpha_mle([5, 3, 1])
+
+
+def test_uniform_counts_rejected():
+    with pytest.raises(AnalysisError):
+        alpha_mle([7] * 1000)
+
+
+def test_extreme_concentration_rejected():
+    # One colossal document among singletons: alpha beyond the bound.
+    with pytest.raises(AnalysisError):
+        alpha_mle([10 ** 9] + [1] * 50, alpha_bounds=(1e-3, 2.0))
+
+
+def test_zero_counts_ignored():
+    counts = list(zipf_counts(5000, 0.9, 200_000)) + [0] * 100
+    assert alpha_mle(counts) == pytest.approx(0.9, abs=0.1)

@@ -1,0 +1,77 @@
+"""Tests for byte-weighted stack distances and the approximate byte
+curve, pinned against the exact simulator."""
+
+import math
+import random
+
+import pytest
+
+from repro.analysis.stack_distance import (
+    approximate_byte_curve,
+    stack_distances,
+)
+from repro.simulation.simulator import simulate
+from repro.types import DocumentType, Request, Trace
+
+
+def req(url, size, ts=0.0):
+    return Request(ts, url, size, size, DocumentType.HTML)
+
+
+class TestByteDistances:
+    def test_sums_intervening_bytes(self):
+        requests = [req("a", 10), req("b", 300), req("c", 70),
+                    req("a", 10)]
+        distances = stack_distances(requests, byte_weighted=True)
+        assert math.isinf(distances[0])
+        assert distances[3] == 370.0   # b + c bytes
+
+    def test_duplicate_intervening_counted_once(self):
+        requests = [req("a", 10), req("b", 300), req("b", 300),
+                    req("a", 10)]
+        distances = stack_distances(requests, byte_weighted=True)
+        assert distances[3] == 300.0
+
+    def test_unit_and_byte_agree_for_unit_sizes(self):
+        rng = random.Random(2)
+        requests = [req(f"u{rng.randint(0, 20)}", 1, float(i))
+                    for i in range(500)]
+        unit = stack_distances(requests)
+        byte = stack_distances(requests, byte_weighted=True)
+        assert unit == byte
+
+
+class TestApproximateByteCurve:
+    def test_empty_inputs(self):
+        assert approximate_byte_curve([], [100]) == [(100, 0.0)]
+        assert approximate_byte_curve([req("a", 1)], []) == []
+
+    def test_monotone_in_capacity(self):
+        rng = random.Random(3)
+        requests = [req(f"u{rng.randint(0, 40)}",
+                        rng.choice((100, 1000, 5000)), float(i))
+                    for i in range(3000)]
+        curve = approximate_byte_curve(requests,
+                                       [10 ** 3, 10 ** 4, 10 ** 5])
+        rates = [rate for _, rate in curve]
+        assert rates == sorted(rates)
+
+    def test_close_to_simulated_lru(self):
+        """The approximation tracks byte-bounded LRU within a few
+        points of hit rate across a capacity sweep."""
+        rng = random.Random(7)
+        sizes = {}
+        requests = []
+        for i in range(4000):
+            url = f"u{int(rng.paretovariate(0.9)) % 80}"
+            size = sizes.setdefault(url, rng.choice(
+                (200, 1000, 4000, 20_000)))
+            requests.append(req(url, size, float(i)))
+        trace = Trace(requests)
+        capacities = [20_000, 60_000, 200_000]
+        curve = dict(approximate_byte_curve(requests, capacities))
+        for capacity in capacities:
+            simulated = simulate(trace, "lru", capacity,
+                                 warmup_fraction=0.0).hit_rate()
+            assert curve[capacity] == pytest.approx(simulated,
+                                                    abs=0.05), capacity

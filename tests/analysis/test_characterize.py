@@ -1,0 +1,107 @@
+"""Tests for full workload characterization (Tables 1-5)."""
+
+import math
+
+import pytest
+
+from repro.analysis.characterize import (
+    characterize,
+    type_breakdown,
+)
+from repro.types import DOCUMENT_TYPES, DocumentType, Request, Trace
+
+
+def req(url, size, doc_type, transfer=None):
+    return Request(0.0, url, size, transfer if transfer is not None
+                   else size, doc_type)
+
+
+def mixed_trace():
+    requests = [
+        req("i1", 100, DocumentType.IMAGE),
+        req("i1", 100, DocumentType.IMAGE),
+        req("i2", 300, DocumentType.IMAGE),
+        req("m1", 10_000, DocumentType.MULTIMEDIA, transfer=5_000),
+        req("h1", 600, DocumentType.HTML),
+    ]
+    return Trace(requests, name="mixed")
+
+
+class TestBreakdown:
+    def test_percentages(self):
+        breakdown = type_breakdown(mixed_trace())
+        # 4 distinct documents: 2 images, 1 mm, 1 html.
+        assert breakdown.distinct_documents[DocumentType.IMAGE] == \
+            pytest.approx(50.0)
+        assert breakdown.total_requests[DocumentType.IMAGE] == \
+            pytest.approx(60.0)
+        # Bytes: images 400 of 11_000 total distinct bytes.
+        assert breakdown.overall_size[DocumentType.IMAGE] == \
+            pytest.approx(100 * 400 / 11_000)
+        # Requested data counts transfers: 500 + 5000 + 600 = 6100.
+        assert breakdown.requested_data[DocumentType.MULTIMEDIA] == \
+            pytest.approx(100 * 5000 / 6100)
+
+    def test_each_metric_sums_to_100(self):
+        breakdown = type_breakdown(mixed_trace())
+        for metric in (breakdown.distinct_documents,
+                       breakdown.overall_size,
+                       breakdown.total_requests,
+                       breakdown.requested_data):
+            assert sum(metric.values()) == pytest.approx(100.0)
+
+    def test_empty_trace(self):
+        breakdown = type_breakdown(Trace([]))
+        assert all(v == 0.0 for v in
+                   breakdown.total_requests.values())
+
+
+class TestMetadata:
+    def test_table1_fields(self):
+        meta = mixed_trace().metadata()
+        assert meta.total_requests == 5
+        assert meta.distinct_documents == 4
+        assert meta.total_size_bytes == 11_000
+        assert meta.requested_bytes == 100 + 100 + 300 + 5000 + 600
+
+    def test_modified_document_counted_once_at_latest_size(self):
+        trace = Trace([req("a", 100, DocumentType.HTML),
+                       req("a", 104, DocumentType.HTML)])
+        meta = trace.metadata()
+        assert meta.distinct_documents == 1
+        assert meta.total_size_bytes == 104
+
+
+class TestCharacterize:
+    def test_structure(self, tiny_dfn_trace):
+        char = characterize(tiny_dfn_trace, estimate_locality=False)
+        assert char.metadata.total_requests == len(tiny_dfn_trace)
+        for doc_type in DOCUMENT_TYPES:
+            assert doc_type in char.by_type
+            assert math.isnan(char.alpha(doc_type))
+
+    def test_locality_estimates_populated(self, tiny_dfn_trace):
+        char = characterize(tiny_dfn_trace)
+        # Images are plentiful: both estimates must resolve.
+        assert not math.isnan(char.alpha(DocumentType.IMAGE))
+        assert not math.isnan(char.beta(DocumentType.IMAGE))
+
+    def test_thin_types_get_nan_not_error(self):
+        trace = Trace([req("a", 100, DocumentType.IMAGE)])
+        char = characterize(trace)
+        assert math.isnan(char.alpha(DocumentType.MULTIMEDIA))
+
+    def test_alpha_ordering_matches_profile(self, tiny_dfn_trace):
+        """Generated with image α 0.9 > html 0.75: estimates preserve
+        the ordering (the paper's qualitative claim)."""
+        char = characterize(tiny_dfn_trace)
+        assert char.alpha(DocumentType.IMAGE) > \
+            char.alpha(DocumentType.HTML)
+
+    def test_beta_ordering_matches_profile(self, tiny_dfn_trace):
+        """Image β 0.15 < application β 0.60 in the DFN profile."""
+        char = characterize(tiny_dfn_trace)
+        image_beta = char.beta(DocumentType.IMAGE)
+        app_beta = char.beta(DocumentType.APPLICATION)
+        if not (math.isnan(image_beta) or math.isnan(app_beta)):
+            assert app_beta > image_beta

@@ -1,0 +1,96 @@
+"""Tests for reference-concentration statistics."""
+
+import pytest
+
+from repro.analysis.concentration import (
+    concentration_by_type,
+    concentration_curve,
+    gini_coefficient,
+    top_share,
+)
+from repro.errors import AnalysisError
+from repro.types import DocumentType, Request
+from repro.workload.zipf import zipf_counts
+
+
+class TestCurve:
+    def test_uniform_is_diagonal(self):
+        curve = concentration_curve([10] * 100)
+        for doc_fraction, request_fraction in curve:
+            assert request_fraction == pytest.approx(doc_fraction,
+                                                     abs=0.02)
+
+    def test_skewed_above_diagonal(self):
+        counts = zipf_counts(1000, 1.0, 50_000)
+        curve = concentration_curve(counts)
+        mid = [pt for pt in curve if 0.05 < pt[0] < 0.5]
+        assert all(req > doc for doc, req in mid)
+
+    def test_endpoints(self):
+        curve = concentration_curve([5, 3, 1])
+        assert curve[0] == (0.0, 0.0)
+        assert curve[-1] == (1.0, 1.0)
+
+    def test_empty_raises(self):
+        with pytest.raises(AnalysisError):
+            concentration_curve([0, 0])
+
+
+class TestTopShare:
+    def test_uniform(self):
+        assert top_share([10] * 100, 0.10) == pytest.approx(0.10)
+
+    def test_skewed(self):
+        counts = zipf_counts(1000, 1.0, 100_000)
+        assert top_share(counts, 0.10) > 0.4
+
+    def test_validation(self):
+        with pytest.raises(AnalysisError):
+            top_share([1, 2], 0.0)
+        with pytest.raises(AnalysisError):
+            top_share([], 0.5)
+
+
+class TestGini:
+    def test_uniform_zero(self):
+        assert gini_coefficient([7] * 50) == pytest.approx(0.0)
+
+    def test_single_document(self):
+        assert gini_coefficient([100]) == 0.0
+
+    def test_extreme_concentration(self):
+        # One document with everything, many with one request each.
+        counts = [10_000] + [1] * 999
+        assert gini_coefficient(counts) > 0.8
+
+    def test_monotone_in_alpha(self):
+        ginis = [gini_coefficient(zipf_counts(2000, alpha, 100_000))
+                 for alpha in (0.2, 0.6, 1.0)]
+        assert ginis == sorted(ginis)
+
+    def test_empty_raises(self):
+        with pytest.raises(AnalysisError):
+            gini_coefficient([])
+
+
+class TestByType:
+    def test_per_type_summary(self):
+        requests = []
+        for index in range(100):
+            requests.append(Request(float(index), f"hot{index % 2}",
+                                    10, 10, DocumentType.IMAGE))
+        for index in range(100):
+            requests.append(Request(float(index), f"h{index}", 10, 10,
+                                    DocumentType.HTML))
+        summary = concentration_by_type(requests)
+        assert summary[DocumentType.IMAGE]["documents"] == 2
+        # Images: all requests on 2 docs -> near-uniform between them.
+        # HTML: perfectly uniform, gini 0.
+        assert summary[DocumentType.HTML]["gini"] == pytest.approx(0.0)
+        assert None in summary   # overall entry
+
+    def test_image_popularity_more_concentrated(self, tiny_dfn_trace):
+        """DFN profile: image α 0.9 > html 0.75 ⇒ higher image gini."""
+        summary = concentration_by_type(tiny_dfn_trace.requests)
+        assert summary[DocumentType.IMAGE]["gini"] > \
+            summary[DocumentType.HTML]["gini"]

@@ -1,0 +1,114 @@
+"""Tests for confidence-interval utilities."""
+
+import random
+
+import pytest
+
+from repro.analysis.confidence import (
+    Interval,
+    block_bootstrap_ratio,
+    hit_rate_interval,
+    wilson_interval,
+)
+from repro.errors import AnalysisError
+
+
+class TestWilson:
+    def test_contains_estimate(self):
+        interval = wilson_interval(30, 100)
+        assert interval.lower < interval.estimate < interval.upper
+        assert interval.estimate == 0.3
+        assert 0.3 in interval
+
+    def test_bounds_clamped(self):
+        zero = wilson_interval(0, 50)
+        full = wilson_interval(50, 50)
+        assert zero.lower == 0.0
+        assert zero.upper > 0.0          # not degenerate at the edge
+        assert full.upper == 1.0
+        assert full.lower < 1.0
+
+    def test_width_shrinks_with_samples(self):
+        small = wilson_interval(30, 100)
+        large = wilson_interval(3000, 10_000)
+        assert large.width < small.width
+
+    def test_levels_nest(self):
+        narrow = wilson_interval(40, 100, level=0.90)
+        wide = wilson_interval(40, 100, level=0.99)
+        assert wide.lower <= narrow.lower
+        assert wide.upper >= narrow.upper
+
+    def test_validation(self):
+        with pytest.raises(AnalysisError):
+            wilson_interval(1, 0)
+        with pytest.raises(AnalysisError):
+            wilson_interval(5, 3)
+        with pytest.raises(AnalysisError):
+            wilson_interval(1, 10, level=0.42)
+
+    def test_coverage_empirically(self):
+        """~95 % of 95 % intervals should contain the true rate."""
+        rng = random.Random(5)
+        p = 0.3
+        covered = 0
+        trials = 300
+        for _ in range(trials):
+            hits = sum(rng.random() < p for _ in range(200))
+            if p in wilson_interval(hits, 200):
+                covered += 1
+        assert covered / trials > 0.88
+
+
+class TestBootstrap:
+    def test_contains_estimate(self):
+        rng = random.Random(1)
+        denominators = [rng.randint(100, 10_000) for _ in range(5000)]
+        numerators = [d if rng.random() < 0.4 else 0
+                      for d in denominators]
+        interval = block_bootstrap_ratio(numerators, denominators,
+                                         block_size=100)
+        assert interval.lower <= interval.estimate <= interval.upper
+        assert interval.estimate == pytest.approx(0.4, abs=0.05)
+
+    def test_validation(self):
+        with pytest.raises(AnalysisError):
+            block_bootstrap_ratio([], [])
+        with pytest.raises(AnalysisError):
+            block_bootstrap_ratio([1.0], [1.0, 2.0])
+        with pytest.raises(AnalysisError):
+            block_bootstrap_ratio([1.0], [0.0])
+
+    def test_deterministic_with_seed(self):
+        nums = [1.0, 0.0, 2.0, 1.0] * 50
+        dens = [2.0] * 200
+        a = block_bootstrap_ratio(nums, dens, seed=3, block_size=10)
+        b = block_bootstrap_ratio(nums, dens, seed=3, block_size=10)
+        assert (a.lower, a.upper) == (b.lower, b.upper)
+
+    def test_block_bigger_than_data_ok(self):
+        interval = block_bootstrap_ratio([1.0, 2.0], [2.0, 4.0],
+                                         block_size=10_000)
+        assert interval.estimate == pytest.approx(0.5)
+
+
+class TestResultIntegration:
+    def test_hit_rate_interval_from_result(self, tiny_uniform_trace):
+        from repro.simulation.simulator import simulate
+
+        result = simulate(tiny_uniform_trace, "lru",
+                          capacity_bytes=1_000_000)
+        interval = hit_rate_interval(result)
+        assert isinstance(interval, Interval)
+        assert interval.estimate == pytest.approx(result.hit_rate())
+        assert interval.lower <= result.hit_rate() <= interval.upper
+
+    def test_per_type_interval(self, tiny_uniform_trace):
+        from repro.simulation.simulator import simulate
+        from repro.types import DocumentType
+
+        result = simulate(tiny_uniform_trace, "lru",
+                          capacity_bytes=1_000_000)
+        interval = hit_rate_interval(result, DocumentType.IMAGE)
+        assert interval.estimate == pytest.approx(
+            result.hit_rate(DocumentType.IMAGE))

@@ -1,0 +1,118 @@
+"""Tests for the temporal-correlation exponent (β) estimation."""
+
+import random
+
+import pytest
+
+from repro.analysis.correlation import (
+    beta_from_distances,
+    estimate_beta,
+    popularity_class,
+    reuse_distances,
+)
+from repro.errors import AnalysisError
+from repro.types import DocumentType, Request
+from repro.workload.temporal import PowerLawGapSampler
+
+
+def requests_for(urls, doc_type=DocumentType.HTML):
+    return [Request(float(i), url, 100, 100, doc_type)
+            for i, url in enumerate(urls)]
+
+
+class TestReuseDistances:
+    def test_distances(self):
+        requests = requests_for(["a", "b", "a", "a", "b"])
+        assert list(reuse_distances(requests)) == [
+            ("a", 2), ("a", 1), ("b", 3)]
+
+    def test_type_filter_restricts_reported_documents(self):
+        requests = (requests_for(["a"], DocumentType.IMAGE)
+                    + requests_for(["b", "a"], DocumentType.IMAGE)
+                    + requests_for(["b"], DocumentType.HTML))
+        # Re-index timestamps are irrelevant; distances are positional.
+        image_only = list(reuse_distances(requests, DocumentType.IMAGE))
+        assert [url for url, _ in image_only] == ["a"]
+
+    def test_distance_counts_intervening_any_type(self):
+        requests = [
+            Request(0, "a", 1, 1, DocumentType.IMAGE),
+            Request(1, "x", 1, 1, DocumentType.HTML),
+            Request(2, "y", 1, 1, DocumentType.HTML),
+            Request(3, "a", 1, 1, DocumentType.IMAGE),
+        ]
+        assert list(reuse_distances(requests, DocumentType.IMAGE)) == [
+            ("a", 3)]
+
+
+class TestPopularityClass:
+    def test_bounds(self):
+        requests = requests_for(["a"] * 100 + ["b"] * 5 + ["c"])
+        eligible = popularity_class(requests, min_refs=2, max_refs=50)
+        assert eligible == {"b"}
+
+    def test_type_restriction(self):
+        requests = (requests_for(["a"] * 5, DocumentType.IMAGE)
+                    + requests_for(["b"] * 5, DocumentType.HTML))
+        assert popularity_class(requests, DocumentType.IMAGE,
+                                2, 50) == {"a"}
+
+
+class TestBetaFit:
+    def test_recovers_power_law(self):
+        sampler = PowerLawGapSampler(0.6, 10 ** 5, seed=3)
+        distances = sampler.sample_many(50_000).tolist()
+        beta = beta_from_distances(distances)
+        assert beta == pytest.approx(0.6, abs=0.15)
+
+    def test_needs_samples(self):
+        with pytest.raises(AnalysisError):
+            beta_from_distances([1, 2, 3])
+
+    def test_needs_scale_spread(self):
+        with pytest.raises(AnalysisError):
+            beta_from_distances([2] * 1000)
+
+
+class TestEstimateBeta:
+    def build_stream(self, beta, n_docs=60, refs_per_doc=30, seed=1):
+        """Interleave documents whose reuse gaps follow power-law(β)."""
+        rng = random.Random(seed)
+        sampler = PowerLawGapSampler(beta, 50_000, seed=seed)
+        events = []
+        for doc in range(n_docs):
+            position = rng.uniform(0, 50_000)
+            for _ in range(refs_per_doc):
+                events.append((position, f"d{doc}"))
+                position += sampler.sample()
+        events.sort()
+        return requests_for([url for _, url in events])
+
+    def test_ordering_of_betas(self):
+        low = estimate_beta(self.build_stream(0.2), max_refs=100)
+        high = estimate_beta(self.build_stream(0.9), max_refs=100)
+        assert high > low
+
+    def test_empty_class_raises(self):
+        requests = requests_for(["a"] * 100)   # single ultra-hot doc
+        with pytest.raises(AnalysisError):
+            estimate_beta(requests, min_refs=2, max_refs=5)
+
+    def test_per_type_estimates_differ(self):
+        """Two types with different β in one interleaved stream."""
+        stream_low = self.build_stream(0.15, seed=11)
+        stream_high = self.build_stream(0.9, seed=13)
+        mixed = []
+        for index, request in enumerate(stream_low):
+            mixed.append(Request(float(index), "L" + request.url, 100,
+                                 100, DocumentType.IMAGE))
+        offset = len(mixed)
+        for index, request in enumerate(stream_high):
+            mixed.append(Request(float(offset + index),
+                                 "H" + request.url, 100, 100,
+                                 DocumentType.MULTIMEDIA))
+        image_beta = estimate_beta(mixed, DocumentType.IMAGE,
+                                   max_refs=100)
+        mm_beta = estimate_beta(mixed, DocumentType.MULTIMEDIA,
+                                max_refs=100)
+        assert mm_beta > image_beta

@@ -1,0 +1,86 @@
+"""Tests for workload drift analysis."""
+
+import pytest
+
+from repro.analysis.drift import (
+    drift_report,
+    total_variation,
+    windowed_summaries,
+)
+from repro.errors import AnalysisError
+from repro.types import DocumentType, Request, Trace
+
+
+def req(url, doc_type, ts=0.0, size=100):
+    return Request(ts, url, size, size, doc_type)
+
+
+def two_phase_trace(per_phase=500):
+    """Images only, then HTML only: maximal mid-trace drift."""
+    requests = [req(f"i{i % 40}", DocumentType.IMAGE, float(i))
+                for i in range(per_phase)]
+    requests += [req(f"h{i % 40}", DocumentType.HTML,
+                     float(per_phase + i)) for i in range(per_phase)]
+    return Trace(requests, name="two-phase")
+
+
+class TestTotalVariation:
+    def test_identical_mixes(self):
+        mix = {DocumentType.IMAGE: 0.7, DocumentType.HTML: 0.3}
+        assert total_variation(mix, mix) == 0.0
+
+    def test_disjoint_mixes(self):
+        a = {DocumentType.IMAGE: 1.0}
+        b = {DocumentType.HTML: 1.0}
+        assert total_variation(a, b) == pytest.approx(1.0)
+
+    def test_symmetric(self):
+        a = {DocumentType.IMAGE: 0.6, DocumentType.HTML: 0.4}
+        b = {DocumentType.IMAGE: 0.2, DocumentType.HTML: 0.8}
+        assert total_variation(a, b) == total_variation(b, a)
+        assert total_variation(a, b) == pytest.approx(0.4)
+
+
+class TestWindows:
+    def test_validation(self):
+        with pytest.raises(AnalysisError):
+            windowed_summaries([], n_windows=0)
+        with pytest.raises(AnalysisError):
+            windowed_summaries([req("a", DocumentType.HTML)] * 3,
+                               n_windows=10)
+
+    def test_windows_partition_trace(self):
+        trace = two_phase_trace()
+        summaries = windowed_summaries(trace.requests, n_windows=4)
+        assert summaries[0].start == 0
+        assert summaries[-1].end == len(trace)
+        for left, right in zip(summaries, summaries[1:]):
+            assert left.end == right.start
+
+    def test_mix_per_window(self):
+        summaries = windowed_summaries(two_phase_trace().requests,
+                                       n_windows=4)
+        assert summaries[0].request_mix[DocumentType.IMAGE] == 1.0
+        assert summaries[-1].request_mix[DocumentType.HTML] == 1.0
+
+    def test_alpha_nan_for_thin_windows(self):
+        requests = [req(f"u{i}", DocumentType.HTML) for i in range(20)]
+        summaries = windowed_summaries(requests, n_windows=2)
+        # All counts equal (1 each): alpha fit degenerates to NaN.
+        import math
+        assert math.isnan(summaries[0].alpha)
+
+
+class TestDriftReport:
+    def test_stationary_trace_low_drift(self, tiny_dfn_trace):
+        report = drift_report(tiny_dfn_trace, n_windows=8)
+        assert report.max_mix_drift < 0.08
+
+    def test_regime_change_detected(self):
+        report = drift_report(two_phase_trace(), n_windows=4)
+        assert report.max_mix_drift > 0.9
+        assert report.drift_window() == 2   # the phase boundary
+
+    def test_mean_leq_max(self, tiny_dfn_trace):
+        report = drift_report(tiny_dfn_trace, n_windows=6)
+        assert report.mean_mix_drift <= report.max_mix_drift

@@ -1,0 +1,97 @@
+"""Tests for working-set (footprint) analysis."""
+
+import pytest
+
+from repro.analysis.footprint import (
+    mean_footprint_bytes,
+    peak_footprint,
+    working_set_series,
+)
+from repro.errors import AnalysisError
+from repro.types import DocumentType, Request
+
+
+def req(url, size=100, doc_type=DocumentType.HTML):
+    return Request(0.0, url, size, size, doc_type)
+
+
+class TestSeries:
+    def test_validation(self):
+        with pytest.raises(AnalysisError):
+            working_set_series([req("a")], window=0)
+
+    def test_empty(self):
+        assert working_set_series([], window=10) == []
+
+    def test_distinct_documents_in_window(self):
+        requests = [req("a"), req("b"), req("a"), req("c")]
+        samples = working_set_series(requests, window=10,
+                                     sample_interval=1)
+        assert [s.documents for s in samples] == [1, 2, 2, 3]
+        assert samples[-1].bytes == 300
+
+    def test_window_expiry(self):
+        # Window of 2: at position i only requests i-1, i are live.
+        requests = [req("a"), req("b"), req("c"), req("d")]
+        samples = working_set_series(requests, window=2,
+                                     sample_interval=1)
+        assert [s.documents for s in samples] == [1, 2, 2, 2]
+
+    def test_repeat_references_keep_document_live(self):
+        requests = [req("a"), req("a"), req("a"), req("a")]
+        samples = working_set_series(requests, window=2,
+                                     sample_interval=1)
+        assert all(s.documents == 1 for s in samples)
+        assert all(s.bytes == 100 for s in samples)
+
+    def test_bytes_track_sizes(self):
+        requests = [req("small", 10), req("big", 10_000)]
+        samples = working_set_series(requests, window=10,
+                                     sample_interval=1)
+        assert samples[-1].bytes == 10_010
+
+    def test_type_restriction(self):
+        requests = [req("i", doc_type=DocumentType.IMAGE),
+                    req("h", doc_type=DocumentType.HTML)]
+        samples = working_set_series(requests, window=10,
+                                     sample_interval=1,
+                                     doc_type=DocumentType.IMAGE)
+        assert samples[-1].documents == 1
+
+    def test_default_sampling_bounded(self, tiny_dfn_trace):
+        samples = working_set_series(tiny_dfn_trace.requests,
+                                     window=2000)
+        assert 150 <= len(samples) <= 260
+
+
+class TestAggregates:
+    def test_peak_and_mean(self):
+        requests = ([req(f"w{i}", 100) for i in range(10)]
+                    + [req("solo", 100)] * 30)
+        peak = peak_footprint(requests, window=10)
+        assert peak.documents >= 9
+        mean = mean_footprint_bytes(requests, window=10)
+        assert 100 <= mean <= 1000
+
+    def test_empty_raises(self):
+        with pytest.raises(AnalysisError):
+            peak_footprint([], window=5)
+
+    def test_larger_window_larger_footprint(self, tiny_dfn_trace):
+        small = mean_footprint_bytes(tiny_dfn_trace.requests, 500)
+        large = mean_footprint_bytes(tiny_dfn_trace.requests, 5000)
+        assert large > small
+
+    def test_multimedia_bytes_dominate_count(self, tiny_dfn_trace):
+        """A handful of multimedia documents out-weighs thousands of
+        images — the footprint view of the paper's Table 2."""
+        from repro.analysis.footprint import working_set_series
+        window = len(tiny_dfn_trace) // 2
+        image = working_set_series(tiny_dfn_trace.requests, window,
+                                   doc_type=DocumentType.IMAGE)[-1]
+        mm = working_set_series(tiny_dfn_trace.requests, window,
+                                doc_type=DocumentType.MULTIMEDIA)[-1]
+        assert image.documents > 50 * max(mm.documents, 1)
+        if mm.documents:
+            assert mm.bytes / mm.documents > \
+                20 * (image.bytes / image.documents)

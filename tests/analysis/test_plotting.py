@@ -1,0 +1,68 @@
+"""Tests for ASCII chart rendering and CSV series export."""
+
+import pytest
+
+from repro.analysis.plotting import ascii_chart, series_to_csv
+
+
+class TestAsciiChart:
+    def test_basic_render(self):
+        chart = ascii_chart({"up": [(0, 0.0), (1, 0.5), (2, 1.0)]},
+                            width=20, height=5, title="T")
+        lines = chart.splitlines()
+        assert lines[0] == "T"
+        assert any("*" in line for line in lines)
+        assert "*=up" in chart
+
+    def test_multiple_series_distinct_markers(self):
+        chart = ascii_chart({
+            "a": [(0, 0.0), (1, 1.0)],
+            "b": [(0, 1.0), (1, 0.0)],
+        }, width=20, height=5)
+        assert "*=a" in chart
+        assert "o=b" in chart
+        assert "o" in chart.replace("o=b", "")
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            ascii_chart({})
+        with pytest.raises(ValueError):
+            ascii_chart({"a": []})
+
+    def test_log_x(self):
+        chart = ascii_chart({"a": [(1, 0.1), (10, 0.2), (100, 0.3)]},
+                            logx=True)
+        assert "log scale" in chart
+
+    def test_log_x_skips_nonpositive(self):
+        chart = ascii_chart({"a": [(0, 0.5), (10, 0.2), (100, 0.3)]},
+                            logx=True)
+        assert "log scale" in chart
+
+    def test_constant_series(self):
+        chart = ascii_chart({"flat": [(0, 0.5), (1, 0.5)]})
+        assert "flat" in chart
+
+    def test_axis_labels(self):
+        chart = ascii_chart({"a": [(0, 0.0), (100, 1.0)]},
+                            x_label="cache size", y_label="hit rate")
+        assert "cache size" in chart
+        assert "hit rate" in chart
+
+
+class TestSeriesCsv:
+    def test_aligned_on_x_union(self):
+        csv = series_to_csv({
+            "a": [(1, 0.1), (2, 0.2)],
+            "b": [(2, 0.9), (3, 0.8)],
+        }, x_name="size")
+        lines = csv.strip().splitlines()
+        assert lines[0] == "size,a,b"
+        assert lines[1] == "1,0.1,"
+        assert lines[2] == "2,0.2,0.9"
+        assert lines[3] == "3,,0.8"
+
+    def test_single_series(self):
+        csv = series_to_csv({"only": [(5, 1.0)]})
+        assert csv.splitlines()[0] == "x,only"
+        assert csv.splitlines()[1] == "5,1"

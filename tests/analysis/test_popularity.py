@@ -1,0 +1,83 @@
+"""Tests for the popularity index (α) estimation."""
+
+import pytest
+
+from repro.analysis.popularity import (
+    alpha_from_counts,
+    estimate_alpha,
+    popularity_counts,
+)
+from repro.errors import AnalysisError
+from repro.types import DocumentType, Request
+from repro.workload.zipf import zipf_counts
+
+
+def requests_for(urls, doc_type=DocumentType.HTML):
+    return [Request(float(i), url, 100, 100, doc_type)
+            for i, url in enumerate(urls)]
+
+
+class TestCounts:
+    def test_counts(self):
+        requests = requests_for(["a", "b", "a", "a", "c"])
+        assert popularity_counts(requests) == {"a": 3, "b": 1, "c": 1}
+
+    def test_type_filter(self):
+        requests = (requests_for(["a"], DocumentType.IMAGE)
+                    + requests_for(["b"], DocumentType.HTML))
+        assert popularity_counts(requests, DocumentType.IMAGE) == {"a": 1}
+
+
+class TestAlphaFit:
+    def test_recovers_known_alpha(self):
+        for alpha in (0.6, 0.9, 1.2):
+            counts = zipf_counts(3000, alpha, 300_000)
+            fitted = alpha_from_counts(counts)
+            assert fitted == pytest.approx(alpha, abs=0.15), alpha
+
+    def test_ordering_preserved(self):
+        fits = [alpha_from_counts(zipf_counts(2000, a, 100_000))
+                for a in (0.4, 0.7, 1.0)]
+        assert fits == sorted(fits)
+
+    def test_uniform_counts_alpha_near_zero(self):
+        with pytest.raises(AnalysisError):
+            # All equal: collapses to one point; undefined.
+            alpha_from_counts([5] * 100)
+
+    def test_too_few_documents(self):
+        with pytest.raises(AnalysisError):
+            alpha_from_counts([3, 2, 1])
+
+    def test_tie_collapsing_beats_naive_fit(self):
+        """A huge 1-request tail must not drag the slope toward zero
+        as badly as the naive per-document fit does."""
+        counts = zipf_counts(5000, 1.0, 20_000)  # long flat tail
+        fitted = alpha_from_counts(counts)
+        assert fitted == pytest.approx(1.0, abs=0.3)
+
+    def test_zero_counts_ignored(self):
+        counts = list(zipf_counts(100, 0.8, 10_000)) + [0] * 50
+        assert alpha_from_counts(counts) > 0
+
+
+class TestEstimateFromRequests:
+    def test_end_to_end(self):
+        urls = []
+        for rank, count in enumerate(zipf_counts(200, 0.9, 5000), 1):
+            urls.extend([f"u{rank}"] * count)
+        alpha = estimate_alpha(requests_for(urls))
+        assert alpha == pytest.approx(0.9, abs=0.25)
+
+    def test_per_type_isolation(self):
+        image_urls = []
+        for rank, count in enumerate(zipf_counts(100, 1.2, 4000), 1):
+            image_urls.extend([f"i{rank}"] * count)
+        html_urls = []
+        for rank, count in enumerate(zipf_counts(100, 0.3, 4000), 1):
+            html_urls.extend([f"h{rank}"] * count)
+        requests = (requests_for(image_urls, DocumentType.IMAGE)
+                    + requests_for(html_urls, DocumentType.HTML))
+        image_alpha = estimate_alpha(requests, DocumentType.IMAGE)
+        html_alpha = estimate_alpha(requests, DocumentType.HTML)
+        assert image_alpha > html_alpha

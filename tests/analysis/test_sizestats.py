@@ -1,0 +1,88 @@
+"""Tests for per-type size statistics (Tables 4/5 machinery)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.analysis.sizestats import (
+    SizeStats,
+    overall_size_stats,
+    size_stats_by_type,
+)
+from repro.types import DocumentType, Request
+
+
+def req(url, size, transfer=None, doc_type=DocumentType.HTML):
+    return Request(0.0, url, size, transfer if transfer is not None
+                   else size, doc_type)
+
+
+class TestSizeStats:
+    def test_from_values(self):
+        stats = SizeStats.from_values([100, 200, 300])
+        assert stats.count == 3
+        assert stats.mean == 200
+        assert stats.median == 200
+        assert stats.total == 600
+        assert stats.cov == pytest.approx(np.std([100, 200, 300]) / 200)
+
+    def test_empty(self):
+        stats = SizeStats.from_values([])
+        assert stats.count == 0
+        assert math.isnan(stats.mean)
+        assert math.isnan(stats.cov)
+
+    def test_kb_properties(self):
+        stats = SizeStats.from_values([2048])
+        assert stats.mean_kb == 2.0
+        assert stats.median_kb == 2.0
+
+
+class TestByType:
+    def test_document_vs_transfer_populations(self):
+        requests = [
+            req("a", 1000),                 # doc a, full
+            req("a", 1000, transfer=200),   # doc a, interrupted
+            req("b", 3000),                 # doc b, full
+        ]
+        stats = size_stats_by_type(requests)[DocumentType.HTML]
+        # Documents: {a: 1000, b: 3000} -> two observations.
+        assert stats.document.count == 2
+        assert stats.document.mean == 2000
+        # Transfers: one per request.
+        assert stats.transfer.count == 3
+        assert stats.transfer.mean == pytest.approx((1000 + 200 + 3000) / 3)
+
+    def test_document_size_uses_latest(self):
+        requests = [req("a", 1000), req("a", 1020)]  # modified
+        stats = size_stats_by_type(requests)[DocumentType.HTML]
+        assert stats.document.count == 1
+        assert stats.document.mean == 1020
+
+    def test_types_isolated(self):
+        requests = [req("i", 100, doc_type=DocumentType.IMAGE),
+                    req("m", 10_000, doc_type=DocumentType.MULTIMEDIA)]
+        stats = size_stats_by_type(requests)
+        assert stats[DocumentType.IMAGE].document.mean == 100
+        assert stats[DocumentType.MULTIMEDIA].document.mean == 10_000
+        assert stats[DocumentType.HTML].document.count == 0
+
+    def test_transfer_clamped_to_size(self):
+        requests = [req("a", 100, transfer=500)]  # inconsistent input
+        stats = size_stats_by_type(requests)[DocumentType.HTML]
+        assert stats.transfer.mean == 100
+
+
+class TestOverall:
+    def test_documents(self):
+        requests = [req("a", 100), req("a", 100), req("b", 300)]
+        stats = overall_size_stats(requests)
+        assert stats.count == 2
+        assert stats.mean == 200
+
+    def test_transfers(self):
+        requests = [req("a", 100), req("a", 100, transfer=50)]
+        stats = overall_size_stats(requests, transfers=True)
+        assert stats.count == 2
+        assert stats.mean == 75

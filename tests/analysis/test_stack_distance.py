@@ -1,0 +1,140 @@
+"""Tests for LRU stack-distance analysis, cross-validated against the
+byte-accurate simulator on fixed-size workloads."""
+
+import math
+import random
+
+import pytest
+
+from repro.analysis.stack_distance import (
+    COLD,
+    profiles_by_type,
+    stack_distances,
+    stack_profile,
+)
+from repro.types import DocumentType, Request, Trace
+
+
+def requests_for(urls, size=10, doc_type=DocumentType.HTML):
+    return [Request(float(i), url, size, size, doc_type)
+            for i, url in enumerate(urls)]
+
+
+class TestDistances:
+    def test_textbook_sequence(self):
+        # a b c a: a's re-reference skips b and c -> distance 2.
+        distances = stack_distances(requests_for(["a", "b", "c", "a"]))
+        assert distances[0] is COLD
+        assert distances[3] == 2.0
+
+    def test_immediate_rereference_distance_zero(self):
+        distances = stack_distances(requests_for(["a", "a"]))
+        assert distances[1] == 0.0
+
+    def test_distinct_documents_not_references(self):
+        # a b b b a: only ONE distinct doc (b) between the two a's.
+        distances = stack_distances(requests_for(["a", "b", "b", "b", "a"]))
+        assert distances[4] == 1.0
+
+    def test_empty(self):
+        assert stack_distances([]) == []
+
+    def test_all_cold(self):
+        distances = stack_distances(requests_for(["a", "b", "c"]))
+        assert all(d is COLD for d in distances)
+
+
+class TestProfile:
+    def test_hit_rate_at_capacity(self):
+        # a b a b: both re-references at distance 1.
+        profile = stack_profile(requests_for(["a", "b", "a", "b"]))
+        assert profile.total_references == 4
+        assert profile.cold_misses == 2
+        assert profile.hit_rate_at(1) == 0.0   # distance 1 not < 1
+        assert profile.hit_rate_at(2) == 0.5
+
+    def test_compulsory_miss_rate(self):
+        profile = stack_profile(requests_for(["a", "b", "a"]))
+        assert profile.compulsory_miss_rate == pytest.approx(2 / 3)
+
+    def test_curve_monotone(self):
+        rng = random.Random(1)
+        urls = [f"u{rng.randint(0, 50)}" for _ in range(3000)]
+        profile = stack_profile(requests_for(urls))
+        curve = profile.curve([1, 2, 4, 8, 16, 32, 64])
+        rates = [rate for _, rate in curve]
+        assert rates == sorted(rates)
+        assert rates[-1] <= 1.0 - profile.compulsory_miss_rate + 1e-9
+
+    def test_per_type_restriction(self):
+        requests = (requests_for(["i", "i"], doc_type=DocumentType.IMAGE)
+                    + requests_for(["h"], doc_type=DocumentType.HTML))
+        profile = stack_profile(requests, DocumentType.IMAGE)
+        assert profile.total_references == 2
+        assert profile.cold_misses == 1
+
+    def test_profiles_by_type_consistent(self):
+        rng = random.Random(2)
+        requests = []
+        for i in range(2000):
+            doc_type = rng.choice(list(DocumentType))
+            requests.append(Request(
+                float(i), f"{doc_type.value}{rng.randint(0, 30)}",
+                10, 10, doc_type))
+        profiles = profiles_by_type(requests)
+        overall = profiles[None]
+        assert overall.total_references == len(requests)
+        assert sum(p.total_references
+                   for t, p in profiles.items() if t is not None) == \
+            len(requests)
+        # Per-type hit counts at huge capacity sum to the overall's.
+        big = 10 ** 6
+        per_type_hits = sum(
+            p.hit_rate_at(big) * p.total_references
+            for t, p in profiles.items() if t is not None)
+        assert per_type_hits == pytest.approx(
+            overall.hit_rate_at(big) * overall.total_references)
+
+
+class TestCrossValidationAgainstSimulator:
+    """The load-bearing test: Mattson one-pass curve == simulated LRU,
+    exactly, on fixed-size documents."""
+
+    def test_exact_match_with_lru_simulation(self):
+        from repro.simulation.simulator import simulate
+
+        rng = random.Random(7)
+        size = 100
+        urls = [f"u{int(rng.paretovariate(0.8)) % 60}"
+                for _ in range(4000)]
+        trace = Trace(requests_for(urls, size=size))
+        profile = stack_profile(trace.requests)
+        for capacity_docs in (1, 3, 10, 25, 60):
+            simulated = simulate(trace, "lru",
+                                 capacity_bytes=capacity_docs * size,
+                                 warmup_fraction=0.0)
+            analytic = profile.hit_rate_at(capacity_docs)
+            assert simulated.hit_rate() == pytest.approx(analytic), \
+                f"capacity {capacity_docs} docs"
+
+    def test_per_type_match(self):
+        from repro.simulation.simulator import simulate
+
+        rng = random.Random(9)
+        size = 50
+        requests = []
+        for i in range(3000):
+            doc_type = (DocumentType.IMAGE if rng.random() < 0.7
+                        else DocumentType.HTML)
+            requests.append(Request(
+                float(i), f"{doc_type.value}{rng.randint(0, 40)}",
+                size, size, doc_type))
+        trace = Trace(requests)
+        profiles = profiles_by_type(requests)
+        capacity_docs = 20
+        simulated = simulate(trace, "lru",
+                             capacity_bytes=capacity_docs * size,
+                             warmup_fraction=0.0)
+        for doc_type in (DocumentType.IMAGE, DocumentType.HTML):
+            assert simulated.hit_rate(doc_type) == pytest.approx(
+                profiles[doc_type].hit_rate_at(capacity_docs)), doc_type

@@ -1,0 +1,99 @@
+"""Tests for ASCII table rendering."""
+
+import math
+
+import pytest
+
+from repro.analysis.characterize import characterize
+from repro.analysis.tables import (
+    render_breakdown_table,
+    render_properties_table,
+    render_statistics_table,
+    render_sweep_table,
+    render_table,
+)
+from repro.simulation.sweep import run_sweep
+from repro.types import DocumentType, Request, Trace
+
+
+class TestRenderTable:
+    def test_alignment_and_headers(self):
+        text = render_table(["Name", "Value"],
+                            [["alpha", 1.2345], ["b", 2]])
+        lines = text.splitlines()
+        assert lines[0].startswith("Name")
+        assert "-" in lines[1]
+        assert "1.23" in lines[2]
+        assert "2" in lines[3]
+
+    def test_title(self):
+        text = render_table(["A"], [["x"]], title="My Table")
+        assert text.splitlines()[0] == "My Table"
+
+    def test_nan_rendered(self):
+        text = render_table(["A", "B"], [["x", math.nan]])
+        assert "n/a" in text
+
+    def test_none_rendered(self):
+        text = render_table(["A", "B"], [["x", None]])
+        assert "-" in text.splitlines()[-1]
+
+    def test_ints_get_thousands_separators(self):
+        text = render_table(["A", "B"], [["x", 1234567]])
+        assert "1,234,567" in text
+
+    def test_tiny_floats_scientific(self):
+        text = render_table(["A", "B"], [["x", 0.00001]], digits=2)
+        assert "e-05" in text
+
+    def test_digits(self):
+        text = render_table(["A", "B"], [["x", 0.123456]], digits=3)
+        assert "0.123" in text
+
+
+def small_trace():
+    requests = []
+    for i in range(60):
+        requests.append(Request(float(i), f"i{i % 7}.gif", 100, 100,
+                                DocumentType.IMAGE))
+        requests.append(Request(float(i), f"h{i % 5}.html", 500, 500,
+                                DocumentType.HTML))
+    return Trace(requests, name="small")
+
+
+class TestPaperTables:
+    def test_properties_table(self):
+        char = characterize(small_trace(), estimate_locality=False)
+        text = render_properties_table({"T1": char, "T2": char})
+        assert "Distinct Documents" in text
+        assert "Total Requests" in text
+        assert "T1" in text and "T2" in text
+
+    def test_breakdown_table(self):
+        char = characterize(small_trace(), estimate_locality=False)
+        text = render_breakdown_table(char, title="Table 2")
+        assert "% of Distinct Documents" in text
+        assert "Images" in text and "Multi Media" in text
+
+    def test_statistics_table(self):
+        char = characterize(small_trace())
+        text = render_statistics_table(char, title="Table 4")
+        assert "Mean of Document Size (KB)" in text
+        assert "alpha" in text and "beta" in text
+
+    def test_sweep_table(self):
+        sweep = run_sweep(small_trace(), ["lru", "gds(1)"], [2000, 10_000])
+        text = render_sweep_table(sweep)
+        assert "lru" in text and "gds(1)" in text
+        assert "overall hit rate" in text
+        byte_text = render_sweep_table(sweep, byte_rate=True,
+                                       doc_type=DocumentType.IMAGE)
+        assert "Images byte hit rate" in byte_text
+
+    def test_sweep_table_missing_cell(self):
+        from repro.simulation.results import SimulationResult, SweepResult
+        sweep = SweepResult(trace_name="t")
+        sweep.add(SimulationResult(policy="lru", capacity_bytes=100))
+        sweep.add(SimulationResult(policy="fifo", capacity_bytes=200))
+        text = render_sweep_table(sweep)
+        assert "-" in text  # the missing grid cells

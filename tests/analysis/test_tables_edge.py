@@ -1,0 +1,51 @@
+"""Edge-case tests for table rendering helpers."""
+
+import pytest
+
+from repro.analysis.tables import _capacity_label, _fmt, render_table
+
+
+class TestCapacityLabel:
+    @pytest.mark.parametrize("capacity,expected", [
+        (500, "500B"),
+        (1_500, "1.5KB"),
+        (2_000_000, "2.0MB"),
+        (3_200_000_000, "3.2GB"),
+    ])
+    def test_units(self, capacity, expected):
+        assert _capacity_label(capacity) == expected
+
+
+class TestFormat:
+    def test_float_precision(self):
+        assert _fmt(0.123456, digits=3) == "0.123"
+
+    def test_large_int_grouping(self):
+        assert _fmt(6_718_201) == "6,718,201"
+
+    def test_string_passthrough(self):
+        assert _fmt("label") == "label"
+
+    def test_none_dash(self):
+        assert _fmt(None) == "-"
+
+    def test_zero(self):
+        assert _fmt(0.0) == "0.00"
+        assert _fmt(0) == "0"
+
+
+class TestRenderTableEdge:
+    def test_single_cell(self):
+        text = render_table(["Only"], [["x"]])
+        assert "Only" in text and "x" in text
+
+    def test_wide_values_stretch_columns(self):
+        text = render_table(["A", "B"],
+                            [["short", 1], ["a-much-longer-label", 2]])
+        lines = text.splitlines()
+        widths = {len(line) for line in lines}
+        assert len(widths) <= 2  # header rule may differ by trailing pad
+
+    def test_no_rows(self):
+        text = render_table(["A", "B"], [])
+        assert text.splitlines()[0].startswith("A")

@@ -1,0 +1,45 @@
+"""Shared fixtures: small deterministic traces and request factories."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.types import DocumentType, Request, Trace
+from repro.workload.generator import generate_trace
+from repro.workload.profiles import dfn_like, rtp_like, uniform_profile
+
+
+def make_request(url: str = "http://x/a.html", size: int = 1000,
+                 transfer: int = None, doc_type: DocumentType = None,
+                 timestamp: float = 0.0, status: int = 200) -> Request:
+    """Request factory with sane defaults (used across test modules)."""
+    if transfer is None:
+        transfer = size
+    if doc_type is None:
+        doc_type = DocumentType.HTML
+    return Request(timestamp=timestamp, url=url, size=size,
+                   transfer_size=transfer, doc_type=doc_type, status=status)
+
+
+@pytest.fixture
+def request_factory():
+    return make_request
+
+
+@pytest.fixture(scope="session")
+def tiny_uniform_trace() -> Trace:
+    """~4k requests, all five types equally likely."""
+    return generate_trace(uniform_profile(n_requests=4000, n_documents=600,
+                                          seed=11))
+
+
+@pytest.fixture(scope="session")
+def tiny_dfn_trace() -> Trace:
+    """DFN-like trace at 1/512 scale (~13k requests)."""
+    return generate_trace(dfn_like(scale=1.0 / 512.0))
+
+
+@pytest.fixture(scope="session")
+def tiny_rtp_trace() -> Trace:
+    """RTP-like trace at 1/512 scale (~8k requests)."""
+    return generate_trace(rtp_like(scale=1.0 / 512.0))

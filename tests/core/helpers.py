@@ -1,0 +1,24 @@
+"""Shared helpers for policy tests."""
+
+from repro.core.cache import Cache
+from repro.types import DocumentType
+
+
+def make_cache(policy, capacity=100):
+    return Cache(capacity, policy)
+
+
+def ref(cache, url, size=None, doc_type=DocumentType.HTML):
+    """Shorthand reference call.
+
+    When ``size`` is omitted and the document is resident, its cached
+    size is reused (a plain hit); otherwise 10 bytes.
+    """
+    if size is None:
+        entry = cache.get(url)
+        size = entry.size if entry is not None else 10
+    return cache.reference(url, size, doc_type)
+
+
+def resident_urls(cache):
+    return sorted(entry.url for entry in cache.entries())

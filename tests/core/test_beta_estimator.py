@@ -1,0 +1,120 @@
+"""Tests for the online β estimator."""
+
+import random
+
+import pytest
+
+from repro.core.beta_estimator import FixedBetaEstimator, OnlineBetaEstimator
+from repro.errors import ConfigurationError
+from repro.workload.temporal import PowerLawGapSampler
+
+
+class TestValidation:
+    def test_rejects_bad_bounds(self):
+        with pytest.raises(ConfigurationError):
+            OnlineBetaEstimator(min_beta=0.0)
+        with pytest.raises(ConfigurationError):
+            OnlineBetaEstimator(min_beta=0.9, max_beta=0.5)
+        with pytest.raises(ConfigurationError):
+            OnlineBetaEstimator(initial_beta=2.0, max_beta=1.0)
+        with pytest.raises(ConfigurationError):
+            OnlineBetaEstimator(refresh_interval=0)
+        with pytest.raises(ConfigurationError):
+            OnlineBetaEstimator(decay=1.5)
+
+    def test_fixed_rejects_nonpositive(self):
+        with pytest.raises(ConfigurationError):
+            FixedBetaEstimator(0)
+
+
+class TestOnline:
+    def test_initial_beta_before_data(self):
+        estimator = OnlineBetaEstimator(initial_beta=0.8)
+        assert estimator.beta == 0.8
+        estimator.observe(5)
+        assert estimator.beta == 0.8   # not enough samples yet
+
+    def test_recovers_generated_beta(self):
+        """Feeding power-law(β) gaps recovers β within tolerance."""
+        for true_beta in (0.3, 0.6, 0.9):
+            estimator = OnlineBetaEstimator(
+                refresh_interval=5000, min_samples=1000, decay=1.0)
+            sampler = PowerLawGapSampler(true_beta, max_gap=10 ** 6,
+                                         seed=17)
+            for _ in range(30000):
+                estimator.observe(sampler.sample())
+            estimated = estimator.force_refresh()
+            assert estimated == pytest.approx(true_beta, abs=0.15), \
+                f"true={true_beta} estimated={estimated}"
+
+    def test_ordering_preserved(self):
+        """More correlated streams estimate higher β."""
+        estimates = []
+        for true_beta in (0.2, 0.5, 0.8):
+            estimator = OnlineBetaEstimator(refresh_interval=4000,
+                                            min_samples=500)
+            sampler = PowerLawGapSampler(true_beta, max_gap=10 ** 5,
+                                         seed=23)
+            for _ in range(20000):
+                estimator.observe(sampler.sample())
+            estimates.append(estimator.force_refresh())
+        assert estimates == sorted(estimates)
+
+    def test_clamped_to_max(self):
+        estimator = OnlineBetaEstimator(refresh_interval=500,
+                                        min_samples=100)
+        # Every distance is 1: the slope fit would say "infinitely
+        # correlated"; the estimate must clamp at max_beta.
+        for _ in range(2000):
+            estimator.observe(1)
+        # All mass in one bin -> too few points to fit; stays initial.
+        assert estimator.beta <= estimator.max_beta
+
+    def test_clamped_to_min(self):
+        estimator = OnlineBetaEstimator(refresh_interval=2000,
+                                        min_samples=500, min_beta=0.1)
+        rng = random.Random(2)
+        # Rising density (more mass at large distances): raw slope > 0,
+        # β estimate would be negative; must clamp at min.
+        for _ in range(10000):
+            estimator.observe(rng.uniform(1, 10 ** 4) ** 1.5)
+        estimator.force_refresh()
+        assert estimator.beta >= 0.1
+
+    def test_distances_below_one_clamped(self):
+        estimator = OnlineBetaEstimator()
+        estimator.observe(0)      # must not raise
+        estimator.observe(-3)
+        assert estimator.observations == 2
+
+    def test_refresh_cadence(self):
+        estimator = OnlineBetaEstimator(refresh_interval=100,
+                                        min_samples=50, decay=1.0)
+        sampler = PowerLawGapSampler(0.5, max_gap=10 ** 4, seed=5)
+        for _ in range(1000):
+            estimator.observe(sampler.sample())
+        assert estimator.refreshes >= 5
+
+    def test_decay_keeps_estimator_adaptive(self):
+        """After a regime change the estimate must move toward the new β."""
+        estimator = OnlineBetaEstimator(refresh_interval=2000,
+                                        min_samples=500, decay=0.3)
+        low = PowerLawGapSampler(0.2, max_gap=10 ** 5, seed=31)
+        high = PowerLawGapSampler(0.9, max_gap=10 ** 5, seed=37)
+        for _ in range(20000):
+            estimator.observe(low.sample())
+        before = estimator.force_refresh()
+        for _ in range(40000):
+            estimator.observe(high.sample())
+        after = estimator.force_refresh()
+        assert after > before
+
+
+class TestFixed:
+    def test_constant(self):
+        estimator = FixedBetaEstimator(0.4)
+        for d in (1, 10, 100):
+            estimator.observe(d)
+        assert estimator.beta == 0.4
+        assert estimator.force_refresh() == 0.4
+        assert estimator.observations == 3

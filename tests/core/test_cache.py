@@ -1,0 +1,176 @@
+"""Tests for the policy-agnostic cache (capacity, residency, staleness)."""
+
+import pytest
+
+from repro.core.cache import Cache
+from repro.core.lru import LRUPolicy
+from repro.core.policy import AccessOutcome
+from repro.errors import CapacityError, SimulationError
+from repro.types import DocumentType
+
+from tests.core.helpers import ref, resident_urls
+
+
+def lru_cache(capacity=100):
+    return Cache(capacity, LRUPolicy())
+
+
+def test_rejects_nonpositive_capacity():
+    with pytest.raises(CapacityError):
+        Cache(0, LRUPolicy())
+    with pytest.raises(CapacityError):
+        Cache(-5, LRUPolicy())
+
+
+def test_miss_then_hit():
+    cache = lru_cache()
+    assert ref(cache, "a") is AccessOutcome.MISS
+    assert ref(cache, "a") is AccessOutcome.HIT
+    assert cache.hits == 1
+    assert cache.misses == 1
+
+
+def test_byte_accounting():
+    cache = lru_cache(100)
+    ref(cache, "a", size=30)
+    ref(cache, "b", size=50)
+    assert cache.used_bytes == 80
+    assert cache.free_bytes == 20
+    cache.check_invariants()
+
+
+def test_admission_evicts_until_fit():
+    cache = lru_cache(100)
+    ref(cache, "a", size=40)
+    ref(cache, "b", size=40)
+    ref(cache, "c", size=40)  # must evict a (LRU)
+    assert resident_urls(cache) == ["b", "c"]
+    assert cache.evictions == 1
+    cache.check_invariants()
+
+
+def test_admission_may_evict_several():
+    cache = lru_cache(100)
+    for url in "abcde":
+        ref(cache, url, size=20)
+    ref(cache, "big", size=90)  # evicts at least 4
+    assert "big" in cache
+    assert cache.used_bytes <= 100
+    cache.check_invariants()
+
+
+def test_document_larger_than_cache_bypassed():
+    cache = lru_cache(100)
+    ref(cache, "small", size=50)
+    outcome = ref(cache, "huge", size=500)
+    assert outcome is AccessOutcome.MISS_TOO_BIG
+    assert "huge" not in cache
+    assert "small" in cache          # nothing was evicted for it
+    assert cache.bypasses == 1
+
+
+def test_exactly_capacity_sized_document_admitted():
+    cache = lru_cache(100)
+    assert ref(cache, "exact", size=100) is AccessOutcome.MISS
+    assert "exact" in cache
+    assert cache.free_bytes == 0
+
+
+def test_modified_document_is_miss_and_replaced():
+    cache = lru_cache(100)
+    ref(cache, "a", size=40)
+    outcome = ref(cache, "a", size=42)  # size changed: stale
+    assert outcome is AccessOutcome.MISS_MODIFIED
+    assert cache.get("a").size == 42
+    assert cache.invalidations == 1
+    cache.check_invariants()
+
+
+def test_modified_document_resets_frequency():
+    cache = lru_cache(100)
+    ref(cache, "a", size=40)
+    ref(cache, "a", size=40)
+    assert cache.get("a").frequency == 2
+    ref(cache, "a", size=50)
+    assert cache.get("a").frequency == 1  # fresh residency
+
+
+def test_frequency_counts_hits():
+    cache = lru_cache()
+    ref(cache, "a")
+    for _ in range(4):
+        ref(cache, "a")
+    assert cache.get("a").frequency == 5
+
+
+def test_clock_ticks_once_per_reference():
+    cache = lru_cache()
+    ref(cache, "a")
+    ref(cache, "a")
+    ref(cache, "huge", size=10_000)  # bypass still ticks
+    assert cache.clock == 3
+
+
+def test_invalidate():
+    cache = lru_cache()
+    ref(cache, "a", size=30)
+    assert cache.invalidate("a")
+    assert "a" not in cache
+    assert cache.used_bytes == 0
+    assert not cache.invalidate("a")  # second time: absent
+    cache.check_invariants()
+
+
+def test_flush_keeps_counters():
+    cache = lru_cache()
+    ref(cache, "a")
+    ref(cache, "a")
+    cache.flush()
+    assert len(cache) == 0
+    assert cache.used_bytes == 0
+    assert cache.hits == 1
+    # Cache is reusable after flush.
+    assert ref(cache, "a") is AccessOutcome.MISS
+    cache.check_invariants()
+
+
+def test_get_has_no_side_effects():
+    cache = lru_cache()
+    ref(cache, "a")
+    freq = cache.get("a").frequency
+    cache.get("a")
+    assert cache.get("a").frequency == freq
+    assert cache.hits == 0
+
+
+def test_doc_type_recorded_on_entry():
+    cache = lru_cache()
+    ref(cache, "a", doc_type=DocumentType.MULTIMEDIA)
+    assert cache.get("a").doc_type is DocumentType.MULTIMEDIA
+
+
+def test_negative_size_rejected():
+    cache = lru_cache()
+    with pytest.raises(ValueError):
+        cache.reference("a", -1, DocumentType.OTHER)
+
+
+def test_policy_cache_disagreement_raises():
+    """A policy evicting an entry the cache doesn't know is a bug."""
+
+    class LyingPolicy(LRUPolicy):
+        def pop_victim(self):
+            from repro.core.policy import CacheEntry
+            return CacheEntry("ghost", 10, DocumentType.OTHER)
+
+    cache = Cache(30, LyingPolicy())
+    ref(cache, "a", size=20)
+    with pytest.raises(SimulationError):
+        ref(cache, "b", size=20)
+
+
+def test_zero_size_document_admitted():
+    cache = lru_cache()
+    assert ref(cache, "empty", size=0) is AccessOutcome.MISS
+    assert "empty" in cache
+    assert cache.used_bytes == 0

@@ -1,0 +1,111 @@
+"""Tests for the cost models (paper Section 3)."""
+
+import pytest
+
+from repro.core.cost import (
+    ByteCost,
+    ConstantCost,
+    PacketCost,
+    make_cost_model,
+)
+from repro.errors import ConfigurationError
+
+
+class TestConstantCost:
+    def test_default_is_one(self):
+        model = ConstantCost()
+        assert model.cost(0) == 1.0
+        assert model.cost(10 ** 9) == 1.0
+
+    def test_custom_value(self):
+        assert ConstantCost(2.5).cost(123) == 2.5
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ConfigurationError):
+            ConstantCost(0)
+
+    def test_tag(self):
+        assert ConstantCost().tag == "1"
+
+
+class TestPacketCost:
+    def test_paper_formula(self):
+        """c(p) = 2 + s(p)/536."""
+        model = PacketCost()
+        assert model.cost(0) == 2.0
+        assert model.cost(536) == 3.0
+        assert model.cost(5360) == pytest.approx(12.0)
+
+    def test_fractional_by_default(self):
+        assert PacketCost().cost(268) == pytest.approx(2.5)
+
+    def test_ceil_mode(self):
+        model = PacketCost(ceil_packets=True)
+        assert model.cost(1) == 3.0
+        assert model.cost(536) == 3.0
+        assert model.cost(537) == 4.0
+
+    def test_custom_mss(self):
+        assert PacketCost(mss=1000).cost(2000) == 4.0
+
+    def test_rejects_bad_mss(self):
+        with pytest.raises(ConfigurationError):
+            PacketCost(mss=0)
+
+    def test_monotone_in_size(self):
+        model = PacketCost()
+        costs = [model.cost(s) for s in (0, 100, 1000, 10_000, 1_000_000)]
+        assert costs == sorted(costs)
+
+    def test_tag(self):
+        assert PacketCost().tag == "P"
+
+
+class TestByteCost:
+    def test_identity(self):
+        assert ByteCost().cost(1234) == 1234.0
+
+
+class TestFactory:
+    @pytest.mark.parametrize("name,cls", [
+        ("constant", ConstantCost), ("const", ConstantCost),
+        ("1", ConstantCost),
+        ("packet", PacketCost), ("p", PacketCost), ("P", PacketCost),
+        ("byte", ByteCost), ("b", ByteCost),
+    ])
+    def test_names(self, name, cls):
+        assert isinstance(make_cost_model(name), cls)
+
+    def test_unknown_raises(self):
+        with pytest.raises(ConfigurationError):
+            make_cost_model("carbon-footprint")
+
+
+class TestLatencyCost:
+    def test_formula(self):
+        from repro.core.cost import LatencyCost
+        model = LatencyCost(rtt_seconds=0.1,
+                            bandwidth_bytes_per_second=1000.0)
+        assert model.cost(0) == pytest.approx(0.1)
+        assert model.cost(500) == pytest.approx(0.6)
+
+    def test_validation(self):
+        from repro.core.cost import LatencyCost
+        with pytest.raises(ConfigurationError):
+            LatencyCost(rtt_seconds=0)
+        with pytest.raises(ConfigurationError):
+            LatencyCost(bandwidth_bytes_per_second=0)
+
+    def test_factory(self):
+        from repro.core.cost import LatencyCost
+        assert isinstance(make_cost_model("latency"), LatencyCost)
+        assert isinstance(make_cost_model("L"), LatencyCost)
+
+    def test_usable_in_gds(self):
+        """GDS(latency) keeps small-RTT-dominated documents longer."""
+        from repro.core.cache import Cache
+        from repro.core.cost import LatencyCost
+        from repro.core.gds import GDSPolicy
+        cache = Cache(10_000, GDSPolicy(LatencyCost()))
+        assert cache.reference("a", 500).value == "miss"
+        assert cache.reference("a", 500).value == "hit"

@@ -1,0 +1,54 @@
+"""Behavioural tests for FIFO."""
+
+from repro.core.cache import Cache
+from repro.core.fifo import FIFOPolicy
+
+from tests.core.helpers import ref, resident_urls
+
+
+def cache(capacity=30):
+    return Cache(capacity, FIFOPolicy())
+
+
+def test_evicts_in_admission_order():
+    c = cache()
+    ref(c, "a"), ref(c, "b"), ref(c, "c")
+    ref(c, "d")
+    assert resident_urls(c) == ["b", "c", "d"]
+
+
+def test_hits_do_not_reorder():
+    """The defining difference from LRU."""
+    c = cache()
+    ref(c, "a"), ref(c, "b"), ref(c, "c")
+    ref(c, "a")   # hit; FIFO ignores it
+    ref(c, "d")   # still evicts a
+    assert resident_urls(c) == ["b", "c", "d"]
+
+
+def test_differs_from_lru_on_touch_pattern():
+    from repro.core.lru import LRUPolicy
+    fifo, lru = cache(), Cache(30, LRUPolicy())
+    workload = ["a", "b", "c", "a", "d"]
+    for url in workload:
+        ref(fifo, url)
+        ref(lru, url)
+    assert resident_urls(fifo) != resident_urls(lru)
+
+
+def test_remove_mid_queue():
+    c = cache()
+    ref(c, "a"), ref(c, "b"), ref(c, "c")
+    c.invalidate("b")
+    ref(c, "d")            # fits in freed space: a, c, d resident
+    ref(c, "e")            # evicts a (oldest admission)
+    assert resident_urls(c) == ["c", "d", "e"]
+    c.check_invariants()
+
+
+def test_readmission_goes_to_back():
+    c = cache()
+    ref(c, "a"), ref(c, "b"), ref(c, "c")
+    ref(c, "d")                 # evicts a
+    ref(c, "a")                 # evicts b; a readmitted at back
+    assert resident_urls(c) == ["a", "c", "d"]

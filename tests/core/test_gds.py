@@ -1,0 +1,124 @@
+"""Behavioural tests for Greedy-Dual-Size (Cao & Irani)."""
+
+import pytest
+
+from repro.core.cache import Cache
+from repro.core.cost import ConstantCost, PacketCost
+from repro.core.gds import GDSPolicy
+
+from tests.core.helpers import ref, resident_urls
+
+
+def test_name_includes_cost_tag():
+    assert GDSPolicy(ConstantCost()).name == "gds(1)"
+    assert GDSPolicy(PacketCost()).name == "gds(p)"
+
+
+def test_constant_cost_prefers_small_documents():
+    """Under c=1, H = 1/s: the largest document has the lowest value."""
+    c = Cache(100, GDSPolicy(ConstantCost()))
+    ref(c, "small", size=10)
+    ref(c, "large", size=80)
+    ref(c, "new", size=50)    # must evict: large has smallest 1/s
+    assert "large" not in c
+    assert "small" in c and "new" in c
+
+
+def test_h_value_formula():
+    policy = GDSPolicy(ConstantCost())
+    c = Cache(1000, policy)
+    ref(c, "a", size=10)
+    assert policy.h_value(c.get("a")) == pytest.approx(0.1)
+
+
+def test_inflation_rises_to_evicted_h():
+    policy = GDSPolicy(ConstantCost())
+    c = Cache(100, policy)
+    ref(c, "a", size=50)      # H = 1/50 = 0.02
+    ref(c, "b", size=40)      # H = 0.025
+    ref(c, "c", size=40)      # evicts a: L := 0.02
+    assert policy.inflation == pytest.approx(0.02)
+    # New admissions start above the inflation floor.
+    assert policy.h_value(c.get("c")) == pytest.approx(0.02 + 1 / 40)
+
+
+def test_aging_lets_new_small_docs_beat_stale_small_docs():
+    """Inflation implements the 'subtract H_min' aging: documents that
+    were valuable once decay relative to fresh admissions."""
+    policy = GDSPolicy(ConstantCost())
+    c = Cache(100, policy)
+    ref(c, "stale", size=10)            # H = 0.1, never touched again
+    # Cycle larger documents to drive many evictions and pump L up.
+    for i in range(30):
+        ref(c, f"filler{i}", size=45)
+    assert policy.inflation > 0.1
+    assert "stale" not in c
+
+
+def test_hit_restores_value():
+    policy = GDSPolicy(ConstantCost())
+    c = Cache(100, policy)
+    ref(c, "a", size=50)
+    ref(c, "b", size=25)
+    ref(c, "a")               # refresh a at current (zero) inflation
+    ref(c, "c", size=50)      # a (1/50) vs b (1/25): a evicted anyway
+    assert "a" not in c
+    # But refresh after inflation protects:
+    policy2 = GDSPolicy(ConstantCost())
+    c2 = Cache(100, policy2)
+    ref(c2, "keep", size=50)
+    for i in range(10):
+        ref(c2, f"f{i}", size=45)
+        ref(c2, "keep")       # keep refreshing at the rising inflation
+    assert "keep" in c2
+
+
+def test_packet_cost_softens_size_bias():
+    """Under packet cost, H = (2 + s/536)/s → 1/536 for large s, so a
+    large document's value floor is far higher than under constant
+    cost, where H → 0."""
+    constant = GDSPolicy(ConstantCost())
+    packet = GDSPolicy(PacketCost())
+    c1 = Cache(2_000_000, constant)
+    c2 = Cache(2_000_000, packet)
+    big, small = 1_000_000, 1_000
+    ref(c1, "big", size=big)
+    ref(c2, "big", size=big)
+    h_const = constant.h_value(c1.get("big"))
+    h_packet = packet.h_value(c2.get("big"))
+    assert h_packet > h_const * 100
+
+
+def test_frequency_is_ignored():
+    c = Cache(100, GDSPolicy(ConstantCost()))
+    ref(c, "popular", size=50)
+    for _ in range(20):
+        ref(c, "popular")
+    ref(c, "fresh", size=25)
+    ref(c, "new", size=50)    # popular evicted despite 21 references
+    assert "popular" not in c
+
+
+def test_online_optimality_smoke():
+    """GDS's cost savings should not be beaten by LRU under its own
+    (constant) cost function on a small adversarial mix."""
+    from repro.core.lru import LRUPolicy
+    import random
+    rng = random.Random(4)
+    docs = [(f"s{i}", 10) for i in range(20)] + [(f"b{i}", 200) for i in range(5)]
+    workload = [docs[rng.randrange(len(docs))] for _ in range(3000)]
+    gds_cache = Cache(400, GDSPolicy(ConstantCost()))
+    lru_cache = Cache(400, LRUPolicy())
+    for url, size in workload:
+        ref(gds_cache, url, size=size)
+        ref(lru_cache, url, size=size)
+    assert gds_cache.hits >= lru_cache.hits
+
+
+def test_clear_resets_inflation():
+    policy = GDSPolicy(ConstantCost())
+    c = Cache(50, policy)
+    ref(c, "a", size=30), ref(c, "b", size=30)
+    assert policy.inflation > 0
+    c.flush()
+    assert policy.inflation == 0.0

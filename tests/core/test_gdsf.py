@@ -1,0 +1,77 @@
+"""Behavioural tests for GDSF (GDS with frequency)."""
+
+import pytest
+
+from repro.core.cache import Cache
+from repro.core.cost import ConstantCost
+from repro.core.gds import GDSPolicy
+from repro.core.gdsf import GDSFPolicy
+
+from tests.core.helpers import ref, resident_urls
+
+
+def test_name():
+    assert GDSFPolicy(ConstantCost()).name == "gdsf(1)"
+
+
+def test_frequency_protects_popular_documents():
+    """The defining difference from GDS: a popular document of the same
+    size outranks an unpopular one."""
+    c = Cache(100, GDSFPolicy(ConstantCost()))
+    ref(c, "popular", size=40)
+    for _ in range(5):
+        ref(c, "popular")     # f=6: H = 6/40
+    ref(c, "once", size=40)   # f=1: H = 1/40
+    ref(c, "new", size=40)    # once evicted, popular kept
+    assert "popular" in c
+    assert "once" not in c
+
+
+def test_differs_from_gds_on_popularity():
+    gds = Cache(100, GDSPolicy(ConstantCost()))
+    gdsf = Cache(100, GDSFPolicy(ConstantCost()))
+    workload = ([("popular", 50)] * 10
+                + [("filler", 40), ("new", 50)])
+    for url, size in workload:
+        ref(gds, url, size=size)
+        ref(gdsf, url, size=size)
+    # GDS ignores popularity: popular (1/50) loses to filler (1/40).
+    assert "popular" not in gds
+    # GDSF: popular has H = 11/50 > 1/40.
+    assert "popular" in gdsf
+
+
+def test_small_frequent_beats_large_frequent():
+    c = Cache(120, GDSFPolicy(ConstantCost()))
+    for _ in range(3):
+        ref(c, "small", size=10)
+        ref(c, "large", size=100)
+    ref(c, "new", size=60)    # H(small)=3/10 > H(large)=3/100
+    assert "small" in c
+    assert "large" not in c
+
+
+def test_equals_gdstar_with_beta_one():
+    """GDSF is GD* with β pinned at 1 — they must agree exactly."""
+    import random
+    from repro.core.beta_estimator import FixedBetaEstimator
+    from repro.core.gdstar import GDStarPolicy
+
+    rng = random.Random(8)
+    gdsf = Cache(500, GDSFPolicy(ConstantCost()))
+    gdstar = Cache(500, GDStarPolicy(
+        ConstantCost(), beta_estimator=FixedBetaEstimator(1.0)))
+    for _ in range(2000):
+        url = f"u{rng.randint(0, 60)}"
+        size = 10 + (hash(url) % 90)
+        ref(gdsf, url, size=size)
+        ref(gdstar, url, size=size)
+    assert resident_urls(gdsf) == resident_urls(gdstar)
+    assert gdsf.hits == gdstar.hits
+
+
+def test_inflation_advances():
+    policy = GDSFPolicy(ConstantCost())
+    c = Cache(50, policy)
+    ref(c, "a", size=30), ref(c, "b", size=30)
+    assert policy.inflation == pytest.approx(1 / 30)

@@ -1,0 +1,102 @@
+"""Tests for GD* with per-type β estimation."""
+
+import pytest
+
+from repro.core.beta_estimator import OnlineBetaEstimator
+from repro.core.cache import Cache
+from repro.core.cost import ConstantCost, PacketCost
+from repro.core.gdstar import GDStarPolicy
+from repro.core.gdstar_typed import GDStarTypedPolicy
+from repro.types import DOCUMENT_TYPES, DocumentType
+
+from tests.core.helpers import ref, resident_urls
+
+
+def test_name():
+    assert GDStarTypedPolicy(ConstantCost()).name == "gd*t(1)"
+    assert GDStarTypedPolicy(PacketCost()).name == "gd*t(p)"
+
+
+def test_one_estimator_per_type():
+    policy = GDStarTypedPolicy()
+    assert set(policy.estimators) == set(DOCUMENT_TYPES)
+    ids = {id(est) for est in policy.estimators.values()}
+    assert len(ids) == len(DOCUMENT_TYPES)
+
+
+def test_observations_routed_by_type():
+    policy = GDStarTypedPolicy()
+    cache = Cache(10_000, policy)
+    ref(cache, "img", size=10, doc_type=DocumentType.IMAGE)
+    ref(cache, "img", size=10, doc_type=DocumentType.IMAGE)
+    ref(cache, "mm", size=10, doc_type=DocumentType.MULTIMEDIA)
+    ref(cache, "mm", size=10, doc_type=DocumentType.MULTIMEDIA)
+    ref(cache, "mm", size=10, doc_type=DocumentType.MULTIMEDIA)
+    assert policy.estimators[DocumentType.IMAGE].observations == 1
+    assert policy.estimators[DocumentType.MULTIMEDIA].observations == 2
+    assert policy.estimators[DocumentType.HTML].observations == 0
+
+
+def test_per_type_betas_can_diverge():
+    """Feed strongly correlated multimedia and uncorrelated images; the
+    two type estimators must separate."""
+    import random
+    rng = random.Random(3)
+    factory = lambda: OnlineBetaEstimator(refresh_interval=500,
+                                          min_samples=200, decay=1.0)
+    policy = GDStarTypedPolicy(ConstantCost(),
+                               estimator_factory=factory)
+    cache = Cache(10 ** 9, policy)
+    for step in range(8000):
+        # Multimedia: immediate re-reference (distance ~1).
+        url = f"mm{step % 10}"
+        ref(cache, url, size=100, doc_type=DocumentType.MULTIMEDIA)
+        ref(cache, url, size=100, doc_type=DocumentType.MULTIMEDIA)
+        # Images: uniform over a large population (long distances).
+        ref(cache, f"img{rng.randrange(2000)}", size=10,
+            doc_type=DocumentType.IMAGE)
+    mm_beta = policy.estimators[DocumentType.MULTIMEDIA].force_refresh()
+    img_beta = policy.estimators[DocumentType.IMAGE].force_refresh()
+    assert mm_beta >= img_beta
+
+
+def test_matches_aggregate_gdstar_on_single_type_workload():
+    """With only one document type in play, per-type and aggregate GD*
+    see identical reuse streams and must evict identically."""
+    import random
+    rng = random.Random(5)
+    typed = Cache(2000, GDStarTypedPolicy(ConstantCost()))
+    aggregate = Cache(2000, GDStarPolicy(ConstantCost()))
+    for _ in range(3000):
+        url = f"u{rng.randint(0, 50)}"
+        size = 10 + hash(url) % 90
+        ref(typed, url, size=size, doc_type=DocumentType.HTML)
+        ref(aggregate, url, size=size, doc_type=DocumentType.HTML)
+    assert resident_urls(typed) == resident_urls(aggregate)
+    assert typed.hits == aggregate.hits
+
+
+def test_clear_resets():
+    policy = GDStarTypedPolicy()
+    cache = Cache(100, policy)
+    ref(cache, "a", size=30, doc_type=DocumentType.IMAGE)
+    ref(cache, "b", size=30, doc_type=DocumentType.HTML)
+    cache.flush()
+    assert len(policy) == 0
+    assert policy.inflation == 0.0
+    ref(cache, "c", size=30)
+    assert "c" in cache
+
+
+def test_registry_constructs_typed_variants():
+    from repro.core.registry import make_policy
+    assert isinstance(make_policy("gd*t(1)"), GDStarTypedPolicy)
+    assert make_policy("gdstar-typed").name == "gd*t(1)"
+    assert make_policy("gd*typed(p)").name == "gd*t(p)"
+
+
+def test_fixed_beta_rejected_for_typed():
+    from repro.core.registry import make_policy
+    from repro.errors import ConfigurationError
+    with pytest.raises(ConfigurationError):
+        make_policy("gd*t(1)", fixed_beta=0.5)

@@ -1,0 +1,62 @@
+"""Behavioural tests for plain LFU (and its pollution failure mode)."""
+
+from repro.core.cache import Cache
+from repro.core.lfu import LFUPolicy
+
+from tests.core.helpers import ref, resident_urls
+
+
+def cache(capacity=30):
+    return Cache(capacity, LFUPolicy())
+
+
+def test_evicts_least_frequent():
+    c = cache()
+    ref(c, "a"), ref(c, "a"), ref(c, "a")
+    ref(c, "b"), ref(c, "b")
+    ref(c, "c")
+    ref(c, "d")   # c has frequency 1: the victim
+    assert resident_urls(c) == ["a", "b", "d"]
+
+
+def test_frequency_ties_break_fifo():
+    c = cache()
+    ref(c, "a"), ref(c, "b"), ref(c, "c")   # all frequency 1
+    ref(c, "d")
+    assert resident_urls(c) == ["b", "c", "d"]
+
+
+def test_hit_raises_frequency():
+    c = cache()
+    ref(c, "a"), ref(c, "b"), ref(c, "c")
+    ref(c, "a")       # a now freq 2
+    ref(c, "d")       # b evicted (freq 1, oldest)
+    assert resident_urls(c) == ["a", "c", "d"]
+
+
+def test_cache_pollution():
+    """Formerly-hot documents block the current working set — the flaw
+    LFU-DA's aging fixes."""
+    c = cache(30)
+    for _ in range(100):
+        ref(c, "hot1")
+    for _ in range(100):
+        ref(c, "hot2")
+    # New working set of 3 documents cycles; only one slot left, and
+    # every new document has frequency 1, so they evict each other.
+    hits_before = c.hits
+    for _ in range(10):
+        for url in ("n1", "n2", "n3"):
+            ref(c, url)
+    assert "hot1" in c and "hot2" in c   # dead documents still resident
+    assert c.hits == hits_before          # new set never hits
+
+
+def test_frequency_resets_on_readmission():
+    c = cache(30)
+    for _ in range(5):
+        ref(c, "a")
+    ref(c, "b"), ref(c, "c")
+    ref(c, "d")                  # evicts b (freq 1, older than c)
+    ref(c, "b")                  # readmitted with frequency 1
+    assert c.get("b").frequency == 1

@@ -1,0 +1,117 @@
+"""Behavioural tests for LRU."""
+
+import pytest
+
+from repro.core.cache import Cache
+from repro.core.lru import LRUPolicy
+
+from tests.core.helpers import ref, resident_urls
+
+
+def cache(capacity=100):
+    return Cache(capacity, LRUPolicy())
+
+
+def test_evicts_least_recently_used():
+    c = cache(30)
+    ref(c, "a"), ref(c, "b"), ref(c, "c")
+    ref(c, "d")  # a is LRU
+    assert resident_urls(c) == ["b", "c", "d"]
+
+
+def test_hit_refreshes_recency():
+    c = cache(30)
+    ref(c, "a"), ref(c, "b"), ref(c, "c")
+    ref(c, "a")          # touch a
+    ref(c, "d")          # now b is LRU
+    assert resident_urls(c) == ["a", "c", "d"]
+
+
+def test_eviction_order_is_exactly_recency_order():
+    c = cache(50)
+    for url in "abcde":
+        ref(c, url)
+    ref(c, "b")
+    ref(c, "a")
+    # Access order oldest->newest is now c, d, e, b, a.
+    victims = []
+    while len(c):
+        victims.append(c.policy.pop_victim().url)
+        c._entries.pop(victims[-1])
+        c.used_bytes -= 10
+    assert victims == ["c", "d", "e", "b", "a"]
+
+
+def test_ignores_size_in_decision():
+    """LRU evicts by recency even when a smaller victim would suffice."""
+    c = cache(100)
+    ref(c, "big-old", size=60)
+    ref(c, "small-new", size=20)
+    ref(c, "incoming", size=50)  # needs 30 free: evicts big-old (oldest)
+    assert resident_urls(c) == ["incoming", "small-new"]
+
+
+def test_ignores_frequency():
+    c = cache(30)
+    ref(c, "a")
+    for _ in range(10):
+        ref(c, "a")       # very popular
+    ref(c, "b"), ref(c, "c")
+    ref(c, "a")           # a most recent again
+    ref(c, "d")           # b evicted despite a's popularity not mattering
+    assert resident_urls(c) == ["a", "c", "d"]
+
+
+def test_remove_then_continue():
+    c = cache(30)
+    ref(c, "a"), ref(c, "b"), ref(c, "c")
+    c.invalidate("b")
+    ref(c, "d")
+    assert resident_urls(c) == ["a", "c", "d"]
+    c.check_invariants()
+
+
+def test_sequential_scan_worst_case():
+    """A scan longer than the cache yields zero hits on repeat — for LRU."""
+    c = cache(30)
+    for _ in range(2):
+        for url in "abcd":   # 4 docs, cache fits 3
+            ref(c, url)
+    assert c.hits == 0
+
+
+def test_policy_len_tracks_cache():
+    c = cache(30)
+    ref(c, "a"), ref(c, "b")
+    assert len(c.policy) == 2
+    c.invalidate("a")
+    assert len(c.policy) == 1
+
+
+def test_lru_stack_property():
+    """LRU is a stack algorithm: a bigger cache's contents are a superset.
+
+    This is the structural reason LRU hit rate is monotone in cache
+    size (no Belady anomaly).
+    """
+    small = cache(40)
+    big = cache(80)
+    workload = ["a", "b", "c", "a", "d", "e", "b", "f", "a", "c",
+                "g", "d", "a", "b"]
+    for url in workload:
+        ref(small, url)
+        ref(big, url)
+        assert set(resident_urls(small)) <= set(resident_urls(big))
+
+
+def test_hit_rate_monotone_in_capacity():
+    import random
+    rng = random.Random(5)
+    workload = [f"u{rng.randint(0, 50)}" for _ in range(2000)]
+    rates = []
+    for capacity in (50, 100, 200, 400):
+        c = cache(capacity)
+        for url in workload:
+            ref(c, url)
+        rates.append(c.hits)
+    assert rates == sorted(rates)

@@ -1,0 +1,75 @@
+"""Behavioural tests for LRU-K."""
+
+import pytest
+
+from repro.core.cache import Cache
+from repro.core.lru_k import LRUKPolicy
+from repro.errors import ConfigurationError
+
+from tests.core.helpers import ref, resident_urls
+
+
+def test_validates_k():
+    with pytest.raises(ConfigurationError):
+        LRUKPolicy(k=0)
+
+
+def test_name_reflects_k():
+    assert LRUKPolicy(k=2).name == "lru-2"
+    assert LRUKPolicy(k=3).name == "lru-3"
+
+
+def test_single_reference_entries_evicted_first():
+    """Entries without K references sort before fully-observed ones."""
+    c = Cache(30, LRUKPolicy(k=2))
+    ref(c, "a"), ref(c, "a")   # a has 2 references
+    ref(c, "b")                # b has 1
+    ref(c, "c")                # c has 1
+    ref(c, "d")                # b evicted (no K-history, oldest last ref)
+    assert "a" in c
+    assert "b" not in c
+
+
+def test_scan_resistance():
+    """A one-pass scan cannot displace the established working set —
+    the signature LRU-2 property plain LRU lacks."""
+    c = Cache(30, LRUKPolicy(k=2))
+    for _ in range(3):
+        for url in ("w1", "w2"):   # working set, multiply referenced
+            ref(c, url)
+    for i in range(10):            # long scan of once-referenced docs
+        ref(c, f"scan{i}")
+    assert "w1" in c and "w2" in c
+
+
+def test_k1_degenerates_to_lru():
+    from repro.core.lru import LRUPolicy
+    lru_k = Cache(30, LRUKPolicy(k=1))
+    lru = Cache(30, LRUPolicy())
+    workload = ["a", "b", "c", "a", "d", "b", "e", "a", "f"]
+    for url in workload:
+        ref(lru_k, url)
+        ref(lru, url)
+    assert resident_urls(lru_k) == resident_urls(lru)
+
+
+def test_kth_reference_recency_decides_among_observed():
+    c = Cache(30, LRUKPolicy(k=2))
+    ref(c, "a"), ref(c, "a")     # a: 2nd-last ref at t=1
+    ref(c, "b"), ref(c, "b")     # b: 2nd-last ref at t=3
+    ref(c, "c"), ref(c, "c")     # c: 2nd-last ref at t=5
+    ref(c, "d")                  # d unobserved -> evicted first? No:
+    # d is the entry being admitted; victim must come from a, b, c.
+    # a has the oldest K-th reference.
+    assert "a" not in c
+    assert resident_urls(c) == ["b", "c", "d"]
+
+
+def test_clear_resets_clock():
+    policy = LRUKPolicy(k=2)
+    c = Cache(30, policy)
+    ref(c, "a")
+    c.flush()
+    assert policy._clock == 0
+    ref(c, "b")
+    assert "b" in c

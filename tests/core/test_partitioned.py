@@ -1,0 +1,131 @@
+"""Tests for the type-partitioned cache."""
+
+import pytest
+
+from repro.core.partitioned import (
+    PartitionedCache,
+    make_policy_factory,
+    request_share_partitioning,
+)
+from repro.core.policy import AccessOutcome
+from repro.core.registry import make_policy
+from repro.errors import CapacityError, ConfigurationError
+from repro.types import DOCUMENT_TYPES, DocumentType
+
+IMAGE = DocumentType.IMAGE
+MM = DocumentType.MULTIMEDIA
+
+
+class TestConstruction:
+    def test_validates_capacity(self):
+        with pytest.raises(CapacityError):
+            PartitionedCache(0)
+
+    def test_validates_shares(self):
+        with pytest.raises(ConfigurationError):
+            PartitionedCache(1000, shares={IMAGE: 1.0})
+        bad = {t: 0.25 for t in DOCUMENT_TYPES}
+        with pytest.raises(ConfigurationError):
+            PartitionedCache(1000, shares=bad)   # sums to 1.25
+        zeroed = {t: 0.2 for t in DOCUMENT_TYPES}
+        zeroed[IMAGE] = 0.0
+        zeroed[DocumentType.HTML] = 0.4
+        with pytest.raises(ConfigurationError):
+            PartitionedCache(1000, shares=zeroed)
+
+    def test_default_equal_shares(self):
+        cache = PartitionedCache(1000)
+        for doc_type in DOCUMENT_TYPES:
+            assert cache.partition_of(doc_type).capacity_bytes == 200
+
+    def test_custom_policies(self):
+        policies = {IMAGE: make_policy("gds(1)")}
+        cache = PartitionedCache(
+            1000, policy_factory=make_policy_factory("lru"),
+            policies=policies)
+        assert cache.partition_of(IMAGE).policy.name == "gds(1)"
+        assert cache.partition_of(MM).policy.name == "lru"
+
+
+class TestBehaviour:
+    def test_isolation_between_types(self):
+        """A multimedia flood cannot evict images — the design goal."""
+        shares = {t: 0.4 if t in (IMAGE, MM) else 0.2 / 3
+                  for t in DOCUMENT_TYPES}
+        cache = PartitionedCache(1000, shares=shares)
+        cache.reference("i1", 100, IMAGE)
+        cache.reference("i2", 100, IMAGE)
+        for index in range(50):
+            cache.reference(f"m{index}", 300, MM)
+        assert "i1" in cache and "i2" in cache
+        assert cache.reference("i1", 100, IMAGE) is AccessOutcome.HIT
+
+    def test_counters_aggregate(self):
+        cache = PartitionedCache(1000)
+        cache.reference("a", 50, IMAGE)
+        cache.reference("a", 50, IMAGE)
+        cache.reference("b", 50, MM)
+        assert cache.hits == 1
+        assert cache.misses == 2
+        assert cache.used_bytes == 100
+        assert len(cache) == 2
+        assert cache.clock == 3
+
+    def test_per_partition_bypass(self):
+        """A document bigger than its partition is bypassed even though
+        the total cache could hold it."""
+        cache = PartitionedCache(1000)   # 200 per type
+        outcome = cache.reference("big", 500, MM)
+        assert outcome is AccessOutcome.MISS_TOO_BIG
+        assert cache.bypasses == 1
+
+    def test_invalidate_searches_partitions(self):
+        cache = PartitionedCache(1000)
+        cache.reference("x", 50, IMAGE)
+        assert cache.invalidate("x")
+        assert not cache.invalidate("x")
+
+    def test_entries_and_flush(self):
+        cache = PartitionedCache(1000)
+        cache.reference("a", 50, IMAGE)
+        cache.reference("b", 50, MM)
+        assert sorted(e.url for e in cache.entries()) == ["a", "b"]
+        cache.flush()
+        assert len(cache) == 0
+        cache.check_invariants()
+
+
+class TestSimulatorIntegration:
+    def test_drop_in_for_simulator(self, tiny_dfn_trace):
+        from repro.simulation.simulator import (
+            CacheSimulator, SimulationConfig)
+
+        capacity = int(
+            tiny_dfn_trace.metadata().total_size_bytes * 0.02)
+        from repro.analysis.characterize import type_breakdown
+        shares = request_share_partitioning(
+            type_breakdown(tiny_dfn_trace).total_requests)
+        cache = PartitionedCache(
+            capacity, shares=shares,
+            policy_factory=make_policy_factory("lru"))
+        config = SimulationConfig(capacity_bytes=capacity, policy="lru")
+        result = CacheSimulator(config, cache=cache).run(tiny_dfn_trace)
+        assert 0.0 < result.hit_rate() < 1.0
+        assert result.policy == "partitionedcache"
+
+
+class TestRequestSharePartitioning:
+    def test_normalizes_and_floors(self):
+        breakdown = {DocumentType.IMAGE: 70.0, DocumentType.HTML: 21.2,
+                     DocumentType.MULTIMEDIA: 0.14,
+                     DocumentType.APPLICATION: 2.6,
+                     DocumentType.OTHER: 6.06}
+        shares = request_share_partitioning(breakdown)
+        assert sum(shares.values()) == pytest.approx(1.0)
+        # Multimedia floored at 0.5 % pre-normalization.
+        assert shares[DocumentType.MULTIMEDIA] > 0.003
+
+    def test_missing_types_floored(self):
+        shares = request_share_partitioning({DocumentType.IMAGE: 100.0})
+        assert sum(shares.values()) == pytest.approx(1.0)
+        assert all(share > 0 for share in shares.values())

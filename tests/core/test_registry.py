@@ -1,0 +1,82 @@
+"""Tests for policy construction by name."""
+
+import pytest
+
+from repro.core.beta_estimator import FixedBetaEstimator
+from repro.core.gdstar import GDStarPolicy
+from repro.core.registry import (
+    PAPER_CONSTANT_COST,
+    PAPER_PACKET_COST,
+    POLICY_NAMES,
+    canonical_name,
+    make_policy,
+)
+from repro.errors import ConfigurationError
+
+
+def test_all_canonical_names_constructible():
+    for name in POLICY_NAMES:
+        policy = make_policy(name)
+        assert policy.name == name
+
+
+@pytest.mark.parametrize("alias,canonical", [
+    ("LRU", "lru"),
+    ("lfuda", "lfu-da"),
+    ("LFU_DA", "lfu-da"),
+    ("random", "rand"),
+    ("gds1", "gds(1)"),
+    ("GDS(P)", "gds(p)"),
+    ("gdstar-p", "gd*(p)"),
+    ("gdstar(1)", "gd*(1)"),
+    ("lru2", "lru-2"),
+])
+def test_aliases(alias, canonical):
+    assert canonical_name(alias) == canonical
+
+
+def test_unknown_name_raises():
+    with pytest.raises(ConfigurationError):
+        make_policy("clairvoyant-magic")
+
+
+def test_paper_policy_sets():
+    assert PAPER_CONSTANT_COST == ("lru", "lfu-da", "gds(1)", "gd*(1)")
+    assert PAPER_PACKET_COST == ("lru", "lfu-da", "gds(p)", "gd*(p)")
+    for name in PAPER_CONSTANT_COST + PAPER_PACKET_COST:
+        assert make_policy(name) is not None
+
+
+def test_fixed_beta_for_gdstar():
+    policy = make_policy("gd*(1)", fixed_beta=0.4)
+    assert isinstance(policy, GDStarPolicy)
+    assert isinstance(policy.estimator, FixedBetaEstimator)
+    assert policy.beta == 0.4
+
+
+def test_fixed_beta_rejected_elsewhere():
+    with pytest.raises(ConfigurationError):
+        make_policy("lru", fixed_beta=0.5)
+    with pytest.raises(ConfigurationError):
+        make_policy("gds(1)", fixed_beta=0.5)
+
+
+def test_seed_for_rand_only():
+    policy = make_policy("rand", seed=9)
+    assert policy.name == "rand"
+    with pytest.raises(ConfigurationError):
+        make_policy("lru", seed=9)
+
+
+def test_cost_models_wired_correctly():
+    from repro.core.cost import ConstantCost, PacketCost
+    assert isinstance(make_policy("gds(1)").cost_model, ConstantCost)
+    assert isinstance(make_policy("gds(p)").cost_model, PacketCost)
+    assert isinstance(make_policy("gd*(p)").cost_model, PacketCost)
+    assert isinstance(make_policy("gdsf(1)").cost_model, ConstantCost)
+
+
+def test_instances_are_fresh():
+    a = make_policy("lru")
+    b = make_policy("lru")
+    assert a is not b

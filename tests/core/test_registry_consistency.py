@@ -1,0 +1,82 @@
+"""Registry-wide consistency checks.
+
+Guards the invariants the documentation and experiment code rely on:
+every registered policy constructs, reports its canonical name, and
+behaves under the shared protocol.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.cost import ByteCost, ConstantCost, LatencyCost, PacketCost
+from repro.core.registry import (
+    PAPER_CONSTANT_COST,
+    PAPER_PACKET_COST,
+    POLICY_NAMES,
+    canonical_name,
+    make_policy,
+)
+
+
+def test_names_are_canonical_fixed_points():
+    for name in POLICY_NAMES:
+        assert canonical_name(name) == name
+        assert canonical_name(name.upper()) == name
+
+
+def test_policy_name_attribute_matches_registry_key():
+    for name in POLICY_NAMES:
+        assert make_policy(name).name == name
+
+
+def test_paper_sets_subset_of_registry():
+    for name in PAPER_CONSTANT_COST + PAPER_PACKET_COST:
+        assert name in POLICY_NAMES
+
+
+def test_every_policy_supports_the_protocol():
+    """Construct, attach, admit, hit, evict, remove, clear — the full
+    hook surface — for every registered policy."""
+    from repro.core.cache import Cache
+    from repro.types import DocumentType
+
+    for name in POLICY_NAMES:
+        cache = Cache(100, make_policy(name))
+        cache.reference("a", 30, DocumentType.HTML)
+        cache.reference("a", 30, DocumentType.HTML)      # hit
+        cache.reference("b", 30, DocumentType.IMAGE)
+        cache.reference("c", 30, DocumentType.OTHER)
+        cache.reference("d", 30, DocumentType.HTML)      # forces evict
+        cache.invalidate("d") or cache.invalidate("a") \
+            or cache.invalidate("b") or cache.invalidate("c")
+        cache.check_invariants()
+        cache.flush()
+        cache.reference("e", 10, DocumentType.HTML)      # usable after
+        cache.check_invariants()
+
+
+def test_cost_model_tags_unique():
+    models = [ConstantCost(), PacketCost(), ByteCost(), LatencyCost()]
+    tags = [m.tag for m in models]
+    assert len(set(tags)) == len(tags)
+    names = [m.name for m in models]
+    assert len(set(names)) == len(names)
+
+
+def test_greedy_dual_family_has_both_cost_variants():
+    for family in ("gds", "gdsf", "gd*", "gd*t", "landlord",
+                   "hyperbolic"):
+        assert f"{family}(1)" in POLICY_NAMES, family
+        assert f"{family}(p)" in POLICY_NAMES, family
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.text(min_size=1, max_size=20))
+def test_unknown_names_always_raise_cleanly(name):
+    from repro.errors import ConfigurationError
+    try:
+        canonical = canonical_name(name)
+    except ConfigurationError:
+        return  # expected for garbage
+    assert canonical in POLICY_NAMES

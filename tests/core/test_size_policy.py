@@ -1,0 +1,47 @@
+"""Behavioural tests for the SIZE policy."""
+
+from repro.core.cache import Cache
+from repro.core.size_policy import SizePolicy
+
+from tests.core.helpers import ref, resident_urls
+
+
+def test_evicts_largest_first():
+    c = Cache(100, SizePolicy())
+    ref(c, "small", size=10)
+    ref(c, "medium", size=30)
+    ref(c, "large", size=50)
+    ref(c, "new", size=20)   # needs space: large goes
+    assert resident_urls(c) == ["medium", "new", "small"]
+
+
+def test_size_ties_break_fifo():
+    c = Cache(30, SizePolicy())
+    ref(c, "a", size=10), ref(c, "b", size=10), ref(c, "c", size=10)
+    ref(c, "d", size=10)
+    assert resident_urls(c) == ["b", "c", "d"]
+
+
+def test_hits_do_not_change_order():
+    c = Cache(100, SizePolicy())
+    ref(c, "large", size=60)
+    for _ in range(10):
+        ref(c, "large")       # popularity is irrelevant to SIZE
+    ref(c, "small", size=30)
+    ref(c, "new", size=40)    # large still evicted first
+    assert "large" not in c
+    assert "small" in c
+
+
+def test_maximizes_document_count():
+    """SIZE keeps many small documents where LRU would keep fewer."""
+    from repro.core.lru import LRUPolicy
+    size_cache = Cache(100, SizePolicy())
+    lru_cache = Cache(100, LRUPolicy())
+    workload = [("big1", 80), ("s1", 10), ("s2", 10), ("s3", 10),
+                ("s4", 10), ("s5", 10)]
+    for url, size in workload:
+        ref(size_cache, url, size=size)
+        ref(lru_cache, url, size=size)
+    assert len(size_cache) >= len(lru_cache)
+    assert "big1" not in size_cache

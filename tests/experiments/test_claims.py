@@ -1,0 +1,123 @@
+"""Tests for the claim-verification harness."""
+
+import pytest
+
+from repro.experiments.claims import (
+    ClaimChecker,
+    ClaimResult,
+    render_claim_table,
+)
+from repro.simulation.results import SimulationResult, SweepResult
+from repro.types import DOCUMENT_TYPES, DocumentType
+
+
+def synthetic_sweep(trace_name, rates):
+    """Build a SweepResult with prescribed per-policy rates.
+
+    ``rates[policy] = (hit_rate, byte_hit_rate)`` applied uniformly at
+    two capacities, with hit rate slightly increasing in capacity.
+    """
+    sweep = SweepResult(trace_name=trace_name)
+    for policy, (hit, byte) in rates.items():
+        for step, capacity in enumerate((1000, 2000)):
+            result = SimulationResult(policy=policy,
+                                      capacity_bytes=capacity)
+            # 1000 requests of 1000 bytes, apportioned per type.
+            for doc_type in DOCUMENT_TYPES:
+                acc = result.metrics.by_type[doc_type]
+                acc.requests = 200
+                acc.hits = int(200 * min(hit + 0.01 * step, 1.0))
+                acc.requested_bytes = 200_000
+                acc.hit_bytes = int(200_000 * min(byte + 0.01 * step, 1.0))
+                result.metrics.overall.merge(acc)
+            sweep.add(result)
+    return sweep
+
+
+def paper_consistent_sweeps():
+    """Sweeps engineered so every claim passes."""
+    dfn_const = synthetic_sweep("dfn", {
+        "lru": (0.20, 0.30), "lfu-da": (0.25, 0.32),
+        "gds(1)": (0.40, 0.10), "gd*(1)": (0.45, 0.12)})
+    # Per-type adjustments: multimedia inversion + byte collapse.
+    for sweep in (dfn_const,):
+        for policy, mm_hit, mm_byte in (("lru", 0.30, 0.40),
+                                        ("lfu-da", 0.30, 0.40),
+                                        ("gds(1)", 0.05, 0.05),
+                                        ("gd*(1)", 0.02, 0.02)):
+            for result in sweep.grid[policy].values():
+                acc = result.metrics.by_type[DocumentType.MULTIMEDIA]
+                acc.hits = int(acc.requests * mm_hit)
+                acc.hit_bytes = int(acc.requested_bytes * mm_byte)
+    dfn_packet = synthetic_sweep("dfn", {
+        "lru": (0.20, 0.30), "lfu-da": (0.25, 0.32),
+        "gds(p)": (0.30, 0.31), "gd*(p)": (0.46, 0.40)})
+    rtp_const = synthetic_sweep("rtp", {
+        "lru": (0.10, 0.15), "lfu-da": (0.12, 0.16),
+        "gds(1)": (0.20, 0.08), "gd*(1)": (0.22, 0.09)})
+    for policy, mm_hit in (("lru", 0.20), ("lfu-da", 0.20),
+                           ("gds(1)", 0.05), ("gd*(1)", 0.02)):
+        for result in rtp_const.grid[policy].values():
+            acc = result.metrics.by_type[DocumentType.MULTIMEDIA]
+            acc.hits = int(acc.requests * mm_hit)
+    rtp_packet = synthetic_sweep("rtp", {
+        "lru": (0.10, 0.15), "lfu-da": (0.12, 0.16),
+        "gds(p)": (0.15, 0.17), "gd*(p)": (0.16, 0.17)})
+    return {"dfn-const": dfn_const, "dfn-packet": dfn_packet,
+            "rtp-const": rtp_const, "rtp-packet": rtp_packet}
+
+
+class TestChecker:
+    def test_requires_all_sweeps(self):
+        with pytest.raises(ValueError):
+            ClaimChecker({"dfn-const": SweepResult(trace_name="x")})
+
+    def test_all_claims_pass_on_consistent_sweeps(self):
+        checker = ClaimChecker(paper_consistent_sweeps())
+        results = checker.run_all()
+        assert len(results) == 10
+        failing = [r.claim_id for r in results if not r.passed]
+        assert failing == []
+
+    def test_claim_fails_when_ordering_inverted(self):
+        sweeps = paper_consistent_sweeps()
+        # Make LRU the DFN constant-cost winner: several claims break.
+        boosted = synthetic_sweep("dfn", {
+            "lru": (0.90, 0.90), "lfu-da": (0.25, 0.32),
+            "gds(1)": (0.40, 0.10), "gd*(1)": (0.45, 0.12)})
+        sweeps["dfn-const"] = boosted
+        results = ClaimChecker(sweeps).run_all()
+        by_id = {r.claim_id: r for r in results}
+        assert not by_id["freq-over-recency"].passed
+        assert not by_id["gdstar-images-html"].passed
+
+    def test_results_carry_detail(self):
+        results = ClaimChecker(paper_consistent_sweeps()).run_all()
+        for result in results:
+            assert isinstance(result, ClaimResult)
+            assert result.detail
+
+
+class TestRendering:
+    def test_table_marks_pass_fail(self):
+        results = [
+            ClaimResult("good", "a passing claim", True, "fine"),
+            ClaimResult("bad", "a failing claim", False, "broken"),
+        ]
+        text = render_claim_table(results)
+        assert "[PASS] good" in text
+        assert "[FAIL] bad " in text
+        assert "1/2 claims reproduced" in text
+
+
+@pytest.mark.slow
+def test_verify_claims_experiment_tiny():
+    """End-to-end at tiny scale: most claims should still hold (some
+    per-type contrasts are noise-limited this small, so require a
+    strong majority rather than all ten)."""
+    from repro.experiments.runner import run_experiment
+
+    report = run_experiment("verify-claims", scale="tiny")
+    passed = sum(1 for claim in report.data.values() if claim["passed"])
+    assert passed >= 7
+    assert "claims reproduced" in report.text

@@ -1,0 +1,58 @@
+"""Tests for the experiments CLI and report writing."""
+
+import json
+
+import pytest
+
+from repro.experiments.cli import build_parser, main
+from repro.experiments.report import write_report
+from repro.experiments.runner import run_experiment
+
+
+class TestParser:
+    def test_defaults(self):
+        args = build_parser().parse_args(["table2"])
+        assert args.experiment == "table2"
+        assert args.scale == "small"
+        assert args.outdir is None
+
+    def test_rejects_unknown_experiment(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fig42"])
+
+    def test_rejects_unknown_scale(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fig2", "--scale", "huge"])
+
+
+class TestMain:
+    def test_runs_and_prints(self, capsys):
+        assert main(["table2", "--scale", "tiny"]) == 0
+        out = capsys.readouterr().out
+        assert "% of Total Requests" in out
+        assert "completed in" in out
+
+    def test_quiet(self, capsys):
+        assert main(["table2", "--scale", "tiny", "--quiet"]) == 0
+        assert capsys.readouterr().out == ""
+
+    def test_outdir(self, tmp_path, capsys):
+        assert main(["table2", "--scale", "tiny",
+                     "--outdir", str(tmp_path)]) == 0
+        report_dir = tmp_path / "table2"
+        assert (report_dir / "report.txt").exists()
+        data = json.loads((report_dir / "data.json").read_text())
+        assert data["experiment_id"] == "table2"
+        assert data["scale"] == "tiny"
+
+
+class TestWriteReport:
+    def test_artifacts_written(self, tmp_path):
+        report = run_experiment("fig1", scale="tiny")
+        directory = write_report(report, tmp_path)
+        assert directory == tmp_path / "fig1"
+        assert (directory / "report.txt").read_text().startswith("Figure 1")
+        csv_files = list(directory.glob("*.csv"))
+        assert len(csv_files) == 8  # 4 policies x (documents, bytes)
+        header = csv_files[0].read_text().splitlines()[0]
+        assert header.startswith("request,")

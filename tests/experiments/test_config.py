@@ -1,0 +1,38 @@
+"""Tests for experiment configuration."""
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.experiments.config import (
+    EXPERIMENT_IDS,
+    SCALES,
+    ExperimentSettings,
+    check_experiment_id,
+)
+
+
+def test_all_paper_artifacts_covered():
+    """Every table and figure of the paper has an experiment id."""
+    for required in ("table1", "table2", "table3", "table4", "table5",
+                     "fig1", "fig2", "fig3", "rtp-const", "rtp-packet"):
+        assert required in EXPERIMENT_IDS
+
+
+def test_scales_ordered():
+    assert SCALES["tiny"] < SCALES["small"] < SCALES["medium"] \
+        < SCALES["paper"]
+    assert SCALES["paper"] == 1.0
+
+
+def test_check_experiment_id():
+    assert check_experiment_id("FIG2") == "fig2"
+    with pytest.raises(ExperimentError):
+        check_experiment_id("fig9")
+
+
+def test_settings_for_scale():
+    settings = ExperimentSettings.for_scale("tiny")
+    assert settings.scale == SCALES["tiny"]
+    assert settings.scale_name == "tiny"
+    with pytest.raises(ExperimentError):
+        ExperimentSettings.for_scale("gigantic")

@@ -1,0 +1,119 @@
+"""Tests for the experiment runners (all at tiny scale)."""
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.experiments.runner import ExperimentReport, run_experiment
+
+pytestmark = pytest.mark.slow
+
+
+@pytest.fixture(scope="module")
+def table2():
+    return run_experiment("table2", scale="tiny")
+
+
+def test_unknown_experiment():
+    with pytest.raises(ExperimentError):
+        run_experiment("fig99")
+
+
+def test_table1_reports_both_traces():
+    report = run_experiment("table1", scale="tiny")
+    assert "DFN-like" in report.data
+    assert "RTP-like" in report.data
+    assert report.data["DFN-like"]["total_requests"] > \
+        report.data["RTP-like"]["total_requests"]
+    assert "Distinct Documents" in report.text
+
+
+def test_table2_breakdown_sums(table2):
+    assert isinstance(table2, ExperimentReport)
+    for metric in table2.data.values():
+        assert sum(metric.values()) == pytest.approx(100.0)
+
+
+def test_table2_mix_matches_paper(table2):
+    requests = table2.data["total_requests"]
+    assert requests["image"] + requests["html"] > 85.0
+    assert requests["multimedia"] < 1.0
+
+
+def test_table3_rtp_contrast(table2):
+    table3 = run_experiment("table3", scale="tiny")
+    assert table3.data["total_requests"]["html"] > \
+        table2.data["total_requests"]["html"]
+    assert table3.data["distinct_documents"]["multimedia"] > \
+        table2.data["distinct_documents"]["multimedia"]
+
+
+def test_table4_structure():
+    report = run_experiment("table4", scale="tiny")
+    for doc_type in ("image", "html", "multimedia", "application"):
+        row = report.data[doc_type]
+        assert row["doc_mean_kb"] > 0
+        assert row["transfer_mean_kb"] > 0
+    # Application docs: mean far above median (the paper's observation).
+    app = report.data["application"]
+    assert app["doc_mean_kb"] > 2 * app["doc_median_kb"]
+
+
+def test_fig1_occupancy_report():
+    report = run_experiment("fig1", scale="tiny")
+    assert "gds(1)" in report.data["policies"]
+    assert "gd*(1)" in report.data["policies"]
+    assert any(name.endswith(".csv") for name in report.artifacts)
+    for policy_data in report.data["policies"].values():
+        for row in policy_data.values():
+            assert 0.0 <= row["mean_byte_fraction"] <= 1.0
+
+
+def test_fig2_structure():
+    report = run_experiment("fig2", scale="tiny")
+    assert set(report.data["hit_rate"]) == {
+        "overall", "image", "html", "multimedia", "application"}
+    for bucket in report.data["hit_rate"].values():
+        for policy, rates in bucket.items():
+            assert len(rates) == len(report.data["capacities"])
+            assert all(0.0 <= r <= 1.0 for r in rates)
+    # CSV artifacts: one per (panel, metric).
+    assert len(report.artifacts) == 10
+
+
+def test_ablation_beta_report():
+    report = run_experiment("ablation-beta", scale="tiny")
+    assert "online" in report.data
+    assert report.data["beta=0.5"]["final_beta"] == 0.5
+
+
+def test_policy_zoo_report():
+    report = run_experiment("policy-zoo", scale="tiny")
+    assert "belady" in report.data
+    # The clairvoyant bound tops every online policy's hit rate.
+    belady = report.data["belady"]["hit_rate"]
+    for name, stats in report.data.items():
+        assert stats["hit_rate"] <= belady + 1e-9, name
+    # Landlord at refresh=1 must coincide with GDS.
+    assert report.data["landlord(1)"]["hit_rate"] == pytest.approx(
+        report.data["gds(1)"]["hit_rate"])
+
+
+def test_ablation_typed_beta_report():
+    report = run_experiment("ablation-typed-beta", scale="tiny")
+    assert "gd*t(1) / rtp" in report.data
+    betas = report.data["gd*t(1) / rtp"]["final_betas"]
+    assert set(betas) == {"image", "html", "multimedia", "application"}
+
+
+def test_ablation_seeds_report():
+    report = run_experiment("ablation-seeds", scale="tiny")
+    assert report.data["seeds"] == 3
+    assert 0 <= report.data["orderings_held"] <= 3
+
+
+def test_ablation_modification_report():
+    report = run_experiment("ablation-modification", scale="tiny")
+    trusted = report.data["gds(1)/trusted"]
+    any_change = report.data["gds(1)/any-change"]
+    # The any-change rule manufactures extra invalidations.
+    assert any_change["invalidations"] >= trusted["invalidations"]

@@ -1,0 +1,68 @@
+"""Tests for the markdown batch summary."""
+
+import pytest
+
+from repro.experiments.runner import ExperimentReport
+from repro.experiments.summary import (
+    render_markdown_summary,
+    write_markdown_summary,
+)
+
+
+def make_reports():
+    return [
+        ExperimentReport("table2", "tiny", "TABLE TWO BODY",
+                         data={"x": 1}),
+        ExperimentReport("fig2", "tiny", "FIGURE TWO BODY",
+                         artifacts={"fig2_overall_hr.csv": "a,b\n"}),
+        ExperimentReport("ablation-beta", "tiny", "ABLATION BODY"),
+        ExperimentReport("verify-claims", "tiny", "10/10"),
+    ]
+
+
+class TestRender:
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            render_markdown_summary([])
+
+    def test_structure(self):
+        text = render_markdown_summary(make_reports())
+        assert text.startswith("# Experiment summary")
+        assert "Scale: `tiny`" in text
+        assert "## Workload characterization" in text
+        assert "## Performance figures" in text
+        assert "## Ablations" in text
+        assert "## Attestation" in text
+
+    def test_reports_inlined(self):
+        text = render_markdown_summary(make_reports())
+        assert "TABLE TWO BODY" in text
+        assert "FIGURE TWO BODY" in text
+
+    def test_artifacts_listed(self):
+        text = render_markdown_summary(make_reports())
+        assert "`fig2/fig2_overall_hr.csv`" in text
+
+    def test_contents_links(self):
+        text = render_markdown_summary(make_reports())
+        assert "- [table2](#table2)" in text
+
+
+class TestWrite:
+    def test_writes_file(self, tmp_path):
+        path = write_markdown_summary(make_reports(), tmp_path)
+        assert path == tmp_path / "SUMMARY.md"
+        assert "TABLE TWO BODY" in path.read_text()
+
+
+class TestCliFlag:
+    def test_markdown_requires_outdir(self, capsys):
+        from repro.experiments.cli import main
+        assert main(["table2", "--scale", "tiny", "--markdown"]) == 2
+
+    def test_markdown_written(self, tmp_path, capsys):
+        from repro.experiments.cli import main
+        assert main(["table2", "--scale", "tiny",
+                     "--outdir", str(tmp_path), "--markdown"]) == 0
+        summary = (tmp_path / "SUMMARY.md").read_text()
+        assert "table2" in summary

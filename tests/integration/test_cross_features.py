@@ -1,0 +1,101 @@
+"""Cross-feature integration: composed configurations that exercise
+several subsystems at once."""
+
+import pytest
+
+from repro.simulation.simulator import CacheSimulator, SimulationConfig
+from repro.simulation.sweep import cache_sizes_from_fractions, run_sweep
+from repro.types import DocumentType
+
+
+class TestSweepCsv:
+    def test_tidy_export(self, tiny_dfn_trace):
+        capacities = cache_sizes_from_fractions(tiny_dfn_trace, [0.02])
+        sweep = run_sweep(tiny_dfn_trace, ["lru", "gd*(1)"], capacities)
+        csv = sweep.to_csv()
+        lines = csv.strip().splitlines()
+        assert lines[0] == "policy,capacity_bytes,doc_type,metric,value"
+        # 2 policies x 1 capacity x 6 groups x 2 metrics.
+        assert len(lines) == 1 + 2 * 1 * 6 * 2
+        assert any(line.startswith("gd*(1)") and ",multimedia," in line
+                   for line in lines)
+
+    def test_save_csv(self, tiny_dfn_trace, tmp_path):
+        capacities = cache_sizes_from_fractions(tiny_dfn_trace, [0.02])
+        sweep = run_sweep(tiny_dfn_trace, ["lru"], capacities)
+        path = tmp_path / "sweep.csv"
+        sweep.save_csv(path)
+        assert path.read_text() == sweep.to_csv()
+
+
+class TestTypedGDStarInSweeps:
+    def test_typed_policy_sweepable_by_name(self, tiny_dfn_trace):
+        capacities = cache_sizes_from_fractions(tiny_dfn_trace,
+                                                [0.01, 0.04])
+        sweep = run_sweep(tiny_dfn_trace, ["gd*t(1)"], capacities)
+        rates = [rate for _, rate in sweep.series("gd*t(1)")]
+        assert rates == sorted(rates)
+
+
+class TestPartitionedWithOccupancy:
+    def test_occupancy_tracks_partitions(self, tiny_dfn_trace):
+        from repro.core.partitioned import (
+            PartitionedCache, make_policy_factory)
+
+        capacity = int(
+            tiny_dfn_trace.metadata().total_size_bytes * 0.02)
+        cache = PartitionedCache(
+            capacity, policy_factory=make_policy_factory("lru"))
+        config = SimulationConfig(capacity_bytes=capacity, policy="lru",
+                                  occupancy_interval=1000)
+        result = CacheSimulator(config, cache=cache).run(tiny_dfn_trace)
+        tracker = result.occupancy
+        assert tracker.samples
+        # Equal partitions cap every type's byte share at ~1/5 of the
+        # cache plus imbalance from partly-filled partitions.
+        final = tracker.samples[-1]
+        assert sum(final.byte_fraction.values()) == pytest.approx(1.0)
+
+
+class TestEverythingAtOnce:
+    def test_kitchen_sink_config(self, tiny_dfn_trace):
+        """TTL + latency + cost accounting + occupancy + paper rule,
+        all in one run."""
+        from repro.core.cost import PacketCost
+        from repro.simulation.freshness import TTLModel
+        from repro.simulation.latency import LatencyModel
+        from repro.simulation.simulator import SizeInterpretation
+
+        capacity = int(
+            tiny_dfn_trace.metadata().total_size_bytes * 0.02)
+        config = SimulationConfig(
+            capacity_bytes=capacity,
+            policy="gd*(p)",
+            size_interpretation=SizeInterpretation.PAPER_RULE,
+            occupancy_interval=2000,
+            ttl_model=TTLModel.typical_proxy(),
+            report_cost_model=PacketCost(),
+            latency_model=LatencyModel(),
+        )
+        result = CacheSimulator(config).run(tiny_dfn_trace)
+        assert 0.0 < result.hit_rate() < 1.0
+        assert result.cost_savings_ratio() > 0.0
+        assert result.latency.speedup >= 1.0
+        assert result.ttl_expiries is not None
+        assert result.occupancy.samples
+        assert result.final_beta is not None
+
+
+class TestAdmissionInSimulator:
+    def test_second_hit_wrapper_full_run(self, tiny_dfn_trace):
+        from repro.core.admission import SecondHitAdmission
+        from repro.core.registry import make_policy
+
+        capacity = int(
+            tiny_dfn_trace.metadata().total_size_bytes * 0.02)
+        policy = SecondHitAdmission(make_policy("gds(1)"))
+        config = SimulationConfig(capacity_bytes=capacity, policy=policy)
+        result = CacheSimulator(config).run(tiny_dfn_trace)
+        assert result.policy == "2hit+gds(1)"
+        assert result.bypasses > 0          # one-hit wonders filtered
+        assert 0.0 < result.hit_rate() < 1.0

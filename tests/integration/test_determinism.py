@@ -1,0 +1,47 @@
+"""Cross-process determinism audit.
+
+Every published number in EXPERIMENTS.md assumes that the same profile
+and seed regenerate the identical trace and the identical simulation
+results — in *any* Python process, regardless of PYTHONHASHSEED.  The
+in-process half of that guarantee is covered by the generator and
+policy tests; this module pins the cross-process half by rerunning the
+pipeline in subprocesses with different hash seeds and comparing
+digests.
+"""
+
+import subprocess
+import sys
+
+import pytest
+
+SCRIPT = r"""
+import hashlib
+from repro import dfn_like, generate_trace, simulate
+
+trace = generate_trace(dfn_like(scale=1 / 512))
+digest = hashlib.sha256()
+for r in trace:
+    digest.update(f"{r.url}|{r.size}|{r.transfer_size}".encode())
+result = simulate(trace, "gd*(1)",
+                  int(trace.metadata().total_size_bytes * 0.02))
+print(digest.hexdigest(), f"{result.hit_rate():.12f}",
+      f"{result.byte_hit_rate():.12f}")
+"""
+
+
+def run_with_hash_seed(seed: str) -> str:
+    completed = subprocess.run(
+        [sys.executable, "-c", SCRIPT],
+        capture_output=True, text=True, timeout=600,
+        env={"PYTHONHASHSEED": seed, "PATH": "/usr/bin:/bin"},
+    )
+    assert completed.returncode == 0, completed.stderr[-2000:]
+    return completed.stdout.strip()
+
+
+@pytest.mark.slow
+def test_identical_across_hash_seeds():
+    outputs = {run_with_hash_seed(seed) for seed in ("0", "12345")}
+    assert len(outputs) == 1, (
+        "trace generation or simulation depends on PYTHONHASHSEED:\n"
+        + "\n".join(outputs))

@@ -1,0 +1,43 @@
+"""Smoke tests: every example script runs to completion.
+
+Examples are user-facing documentation; a broken one is a bug.  Each
+runs in a subprocess with the repo's interpreter.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parents[2] / "examples"
+EXAMPLES = sorted(p.name for p in EXAMPLES_DIR.glob("*.py"))
+
+#: Expected stdout fragments proving the script did its job.
+EXPECTED_OUTPUT = {
+    "quickstart.py": "byte hit rate",
+    "compare_policies.py": "belady",
+    "characterize_workload.py": "alpha",
+    "adaptive_gdstar.py": "beta=",
+    "cache_mesh.py": "sibling share",
+    "custom_policy.py": "mru",
+    "hierarchy.py": "hierarchy hit rate",
+    "lru_curves.py": "cold miss rate",
+    "synthetic_twin.py": "fidelity",
+}
+
+
+def test_every_example_has_an_expectation():
+    assert set(EXAMPLES) == set(EXPECTED_OUTPUT), (
+        "examples/ and EXPECTED_OUTPUT drifted apart")
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("script", EXAMPLES)
+def test_example_runs(script):
+    completed = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / script)],
+        capture_output=True, text=True, timeout=600)
+    assert completed.returncode == 0, completed.stderr[-2000:]
+    assert EXPECTED_OUTPUT[script] in completed.stdout, (
+        f"{script} output missing {EXPECTED_OUTPUT[script]!r}")

@@ -1,0 +1,242 @@
+"""The paper's qualitative findings, asserted on synthetic DFN/RTP traces.
+
+These are the scientific acceptance tests of the reproduction: each test
+names the claim from Lindemann & Waldhorst (DSN 2002) it checks.  Traces
+are 1/128-scale but keep the paper's per-type mixes, size distributions,
+and temporal-locality parameters; cache sizes are the same *fractions*
+of trace bytes the paper sweeps.
+"""
+
+import pytest
+
+from repro import (
+    cache_sizes_from_fractions,
+    dfn_like,
+    generate_trace,
+    rtp_like,
+    run_sweep,
+)
+from repro.simulation.simulator import CacheSimulator, SimulationConfig
+from repro.types import DocumentType
+
+SCALE = 1.0 / 128.0
+CONSTANT = ("lru", "lfu-da", "gds(1)", "gd*(1)")
+PACKET = ("lru", "lfu-da", "gds(p)", "gd*(p)")
+
+IMAGE = DocumentType.IMAGE
+HTML = DocumentType.HTML
+MM = DocumentType.MULTIMEDIA
+APP = DocumentType.APPLICATION
+
+
+@pytest.fixture(scope="module")
+def dfn_trace():
+    return generate_trace(dfn_like(scale=SCALE))
+
+
+@pytest.fixture(scope="module")
+def rtp_trace():
+    return generate_trace(rtp_like(scale=SCALE))
+
+
+@pytest.fixture(scope="module")
+def dfn_constant(dfn_trace):
+    capacities = cache_sizes_from_fractions(dfn_trace, [0.01, 0.04])
+    return run_sweep(dfn_trace, CONSTANT, capacities)
+
+
+@pytest.fixture(scope="module")
+def dfn_packet(dfn_trace):
+    capacities = cache_sizes_from_fractions(dfn_trace, [0.01, 0.04])
+    return run_sweep(dfn_trace, PACKET, capacities)
+
+
+def rate(sweep, policy, doc_type=None, byte_rate=False, point=-1):
+    return sweep.series(policy, doc_type, byte_rate)[point][1]
+
+
+class TestFigure2ConstantCost:
+    """DFN trace, constant cost model."""
+
+    def test_frequency_beats_recency_in_hit_rate(self, dfn_constant):
+        """'Frequency based replacement schemes outperform recency-based
+        schemes in terms of hit rates': LFU-DA > LRU, GD*(1) > GDS(1)."""
+        for point in (0, -1):
+            assert rate(dfn_constant, "lfu-da", point=point) > \
+                rate(dfn_constant, "lru", point=point)
+            assert rate(dfn_constant, "gd*(1)", point=point) > \
+                rate(dfn_constant, "gds(1)", point=point)
+
+    def test_size_aware_beats_size_blind_in_hit_rate(self, dfn_constant):
+        """'LRU and LFU-DA perform worse than GDS(1) and GD*(1) in terms
+        of hit rate', most significantly for images and HTML."""
+        for doc_type in (None, IMAGE, HTML):
+            assert rate(dfn_constant, "gds(1)", doc_type) > \
+                rate(dfn_constant, "lfu-da", doc_type)
+            assert rate(dfn_constant, "gd*(1)", doc_type) > \
+                rate(dfn_constant, "lru", doc_type)
+
+    def test_gdstar_best_hit_rate_for_images_and_html(self, dfn_constant):
+        """'GD*(1) is clearly superior ... in terms of hit rate for
+        image and HTML documents.'"""
+        for doc_type in (IMAGE, HTML):
+            best = max(CONSTANT,
+                       key=lambda p: rate(dfn_constant, p, doc_type))
+            assert best == "gd*(1)", doc_type
+
+    def test_multimedia_hit_rate_inverts(self, dfn_constant):
+        """'For multimedia documents [LFU-DA and LRU] achieve the best
+        hit rates ... [GD*(1)] performs worse than [GDS(1)]' — the
+        size-aware schemes discard large documents."""
+        assert rate(dfn_constant, "lfu-da", MM) > \
+            rate(dfn_constant, "gds(1)", MM)
+        assert rate(dfn_constant, "lru", MM) > \
+            rate(dfn_constant, "gd*(1)", MM)
+        assert rate(dfn_constant, "gd*(1)", MM) <= \
+            rate(dfn_constant, "gds(1)", MM)
+
+    def test_multimedia_byte_hit_rate_collapse(self, dfn_constant):
+        """'For multimedia documents [GDS(1)] performs significantly
+        worse in terms of byte hit rate than LRU and LFU-DA', dragging
+        its overall byte hit rate down."""
+        assert rate(dfn_constant, "lru", MM, byte_rate=True) > \
+            2 * rate(dfn_constant, "gds(1)", MM, byte_rate=True)
+        assert rate(dfn_constant, "lru", byte_rate=True) > \
+            rate(dfn_constant, "gds(1)", byte_rate=True)
+
+    def test_hit_rates_grow_with_cache_size(self, dfn_constant):
+        """The log-like growth of hit rate in cache size (cited from
+        Breslau et al.): more cache, more hits, for every scheme."""
+        for policy in CONSTANT:
+            series = dfn_constant.series(policy)
+            rates = [value for _, value in series]
+            assert rates == sorted(rates)
+
+
+class TestFigure3PacketCost:
+    """DFN trace, packet cost model."""
+
+    def test_gdstar_packet_best_overall_hit_rate(self, dfn_packet):
+        """'GD*(P) outperforms LRU, LFU-DA, and GDS(P) ... in terms of
+        hit rates.'"""
+        best = max(PACKET, key=lambda p: rate(dfn_packet, p))
+        assert best == "gd*(p)"
+
+    def test_gdstar_packet_best_for_images_html(self, dfn_packet):
+        """'[GD*(P)] has clear advantages in terms of hit rate over the
+        other schemes for images [and] HTML' — and in byte hit rate."""
+        for doc_type in (IMAGE, HTML):
+            for byte_rate in (False, True):
+                best = max(PACKET, key=lambda p: rate(
+                    dfn_packet, p, doc_type, byte_rate))
+                assert best == "gd*(p)", (doc_type, byte_rate)
+
+    def test_packet_cost_rescues_multimedia(self, dfn_constant,
+                                            dfn_packet):
+        """'Opposed to the constant cost model, [the packet cost model]
+        does not discriminate large documents': GDS(P)/GD*(P) recover
+        the multimedia hit rate their constant-cost variants lose."""
+        assert rate(dfn_packet, "gds(p)", MM) > \
+            rate(dfn_constant, "gds(1)", MM)
+        assert rate(dfn_packet, "gd*(p)", MM) > \
+            rate(dfn_constant, "gd*(1)", MM)
+
+    def test_packet_variants_trade_hit_rate_for_bytes(self, dfn_constant,
+                                                      dfn_packet):
+        """'GD*(P) achieves lower hit rates than GD*(1) for image [and]
+        application documents but considerably higher byte hit rates
+        for ... multimedia ... documents.'"""
+        assert rate(dfn_packet, "gd*(p)", IMAGE) < \
+            rate(dfn_constant, "gd*(1)", IMAGE)
+        assert rate(dfn_packet, "gd*(p)", MM, byte_rate=True) > \
+            rate(dfn_constant, "gd*(1)", MM, byte_rate=True)
+
+
+class TestFigure1Adaptability:
+    """Occupancy adaptation of the GD* family (Section 4.2)."""
+
+    @pytest.fixture(scope="class")
+    def occupancy(self, dfn_trace):
+        capacity = cache_sizes_from_fractions(dfn_trace, [0.02])[0]
+        trackers = {}
+        for policy in ("gd*(1)", "gd*(p)"):
+            config = SimulationConfig(
+                capacity_bytes=capacity, policy=policy,
+                occupancy_interval=max(len(dfn_trace) // 100, 1))
+            trackers[policy] = CacheSimulator(config).run(
+                dfn_trace).occupancy
+        return trackers
+
+    def test_constant_cost_tracks_request_mix_in_documents(
+            self, occupancy, dfn_trace):
+        """'The optimal case [under constant cost is] that the fraction
+        of cached documents equals the fraction of requests': GD*(1)'s
+        image document share lands near the 70 % request share."""
+        image_share = occupancy["gd*(1)"].mean_fraction(IMAGE, False)
+        assert image_share == pytest.approx(0.70, abs=0.10)
+
+    def test_constant_cost_discards_large_documents(self, occupancy):
+        """'[GD*(1)] does not waste space of the web cache by keeping
+        large multimedia and application documents.'"""
+        small = occupancy["gd*(1)"]
+        large_bytes = (small.mean_fraction(MM, True)
+                       + small.mean_fraction(APP, True))
+        assert large_bytes < 0.15
+
+    def test_packet_cost_keeps_large_documents(self, occupancy):
+        """'[GD*(P)] is able to deliver even large documents': its
+        multimedia+application byte share far exceeds GD*(1)'s."""
+        constant = occupancy["gd*(1)"]
+        packet = occupancy["gd*(p)"]
+        constant_large = (constant.mean_fraction(MM, True)
+                          + constant.mean_fraction(APP, True))
+        packet_large = (packet.mean_fraction(MM, True)
+                        + packet.mean_fraction(APP, True))
+        assert packet_large > 2 * constant_large
+
+
+class TestSection44RTP:
+    """RTP trace: same overall ordering, diminished GD* advantages."""
+
+    @pytest.fixture(scope="class")
+    def rtp_constant(self, rtp_trace):
+        capacities = cache_sizes_from_fractions(rtp_trace, [0.01, 0.04])
+        return run_sweep(rtp_trace, CONSTANT, capacities)
+
+    @pytest.fixture(scope="class")
+    def rtp_packet(self, rtp_trace):
+        capacities = cache_sizes_from_fractions(rtp_trace, [0.01, 0.04])
+        return run_sweep(rtp_trace, PACKET, capacities)
+
+    def test_same_constant_cost_ordering_as_dfn(self, rtp_constant):
+        """'Under the constant cost model the RTP trace yields the same
+        results as the DFN trace': GD*/GDS lead the hit rate, LRU and
+        LFU-DA lead for multimedia."""
+        assert rate(rtp_constant, "gd*(1)") > rate(rtp_constant, "lru")
+        assert rate(rtp_constant, "gds(1)") > rate(rtp_constant, "lfu-da")
+        assert rate(rtp_constant, "lru", MM) > \
+            rate(rtp_constant, "gd*(1)", MM)
+
+    def test_gdstar_advantage_diminishes(self, dfn_constant,
+                                         rtp_constant):
+        """'For image, HTML, and application documents ... the advantage
+        of GD* over the other schemes is considerably smaller than for
+        the DFN trace.'  Measured as the absolute hit-rate separation
+        between GD*(1) and LRU — the curve gap the paper's figures
+        show.  (At 1/128 scale the image class carries the signal; see
+        EXPERIMENTS.md for the per-type discussion.)"""
+        def lead(sweep, doc_type):
+            return (rate(sweep, "gd*(1)", doc_type)
+                    - rate(sweep, "lru", doc_type))
+
+        assert lead(rtp_constant, IMAGE) < lead(dfn_constant, IMAGE)
+
+    def test_gdstar_packet_no_byte_advantage_on_rtp(self, rtp_packet):
+        """'In terms of byte hit rate, [GD*(P)] does not perform better
+        than [GDS(P)] for HTML [and] multimedia' — the advantage
+        vanishes (small tolerance; the application sub-claim does not
+        reproduce at this scale, see EXPERIMENTS.md)."""
+        for doc_type in (HTML, MM):
+            gdstar = rate(rtp_packet, "gd*(p)", doc_type, byte_rate=True)
+            gds = rate(rtp_packet, "gds(p)", doc_type, byte_rate=True)
+            assert gdstar <= gds + 0.02, doc_type

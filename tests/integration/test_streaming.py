@@ -1,0 +1,58 @@
+"""Streaming end-to-end: simulate straight from disk.
+
+``CacheSimulator.run_stream`` over ``open_trace`` consumes a csv trace
+lazily — the path for traces too large to materialize.  The results
+must match the in-memory run exactly.
+"""
+
+import pytest
+
+from repro.simulation.simulator import CacheSimulator, SimulationConfig
+from repro.trace.reader import open_trace
+from repro.trace.writer import write_trace
+from repro.workload.generator import generate_trace
+from repro.workload.profiles import dfn_like
+
+
+@pytest.fixture(scope="module")
+def trace_file(tmp_path_factory):
+    trace = generate_trace(dfn_like(scale=1.0 / 512))
+    path = tmp_path_factory.mktemp("stream") / "trace.csv.gz"
+    write_trace(path, trace)
+    return path, trace
+
+
+def test_stream_matches_in_memory(trace_file):
+    path, trace = trace_file
+    capacity = int(trace.metadata().total_size_bytes * 0.02)
+    warmup = int(len(trace) * 0.10)
+
+    in_memory = CacheSimulator(
+        SimulationConfig(capacity_bytes=capacity, policy="gd*(1)")
+    ).run(trace)
+
+    streaming = CacheSimulator(
+        SimulationConfig(capacity_bytes=capacity, policy="gd*(1)")
+    ).run_stream(open_trace(path), warmup_requests=warmup,
+                 trace_name="streamed")
+
+    assert streaming.total_requests == in_memory.total_requests
+    assert streaming.hit_rate() == pytest.approx(in_memory.hit_rate())
+    assert streaming.byte_hit_rate() == pytest.approx(
+        in_memory.byte_hit_rate())
+    assert streaming.final_beta == pytest.approx(in_memory.final_beta)
+
+
+def test_stream_with_occupancy_and_ttl(trace_file):
+    from repro.simulation.freshness import TTLModel
+
+    path, trace = trace_file
+    capacity = int(trace.metadata().total_size_bytes * 0.02)
+    simulator = CacheSimulator(SimulationConfig(
+        capacity_bytes=capacity, policy="lru",
+        occupancy_interval=1000,
+        ttl_model=TTLModel.typical_proxy()))
+    result = simulator.run_stream(open_trace(path))
+    assert result.total_requests == len(trace)
+    assert result.occupancy is not None
+    assert result.ttl_expiries is not None

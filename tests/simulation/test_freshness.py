@@ -1,0 +1,112 @@
+"""Tests for TTL/freshness modeling."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.simulation.freshness import (
+    NEVER_EXPIRES,
+    FreshnessTracker,
+    TTLModel,
+)
+from repro.simulation.simulator import simulate
+from repro.types import DocumentType, Request, Trace
+
+
+def req(url, ts, size=100, doc_type=DocumentType.HTML):
+    return Request(ts, url, size, size, doc_type)
+
+
+class TestTTLModel:
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            TTLModel(default_ttl=0)
+        with pytest.raises(ConfigurationError):
+            TTLModel(per_type={DocumentType.HTML: -1})
+
+    def test_per_type_lookup(self):
+        model = TTLModel(default_ttl=100.0,
+                         per_type={DocumentType.HTML: 10.0})
+        assert model.ttl_for(DocumentType.HTML) == 10.0
+        assert model.ttl_for(DocumentType.IMAGE) == 100.0
+
+    def test_freshness_boundary(self):
+        model = TTLModel(default_ttl=10.0)
+        assert model.is_fresh(DocumentType.OTHER, 0.0, 10.0)
+        assert not model.is_fresh(DocumentType.OTHER, 0.0, 10.1)
+
+    def test_never_expires_default(self):
+        model = TTLModel()
+        assert model.is_fresh(DocumentType.OTHER, 0.0, 1e15)
+        assert model.default_ttl == NEVER_EXPIRES
+
+    def test_typical_proxy_shape(self):
+        model = TTLModel.typical_proxy()
+        assert model.ttl_for(DocumentType.HTML) < \
+            model.ttl_for(DocumentType.IMAGE)
+
+
+class TestTracker:
+    def test_counts_expiries(self):
+        tracker = FreshnessTracker(TTLModel(default_ttl=10.0))
+        tracker.on_fetch("u", 0.0)
+        assert not tracker.expired("u", DocumentType.HTML, 5.0)
+        assert tracker.expired("u", DocumentType.HTML, 20.0)
+        assert tracker.expiries == 1
+
+    def test_unknown_url_never_expired(self):
+        tracker = FreshnessTracker(TTLModel(default_ttl=10.0))
+        assert not tracker.expired("ghost", DocumentType.HTML, 1e9)
+
+    def test_refetch_resets_clock(self):
+        tracker = FreshnessTracker(TTLModel(default_ttl=10.0))
+        tracker.on_fetch("u", 0.0)
+        tracker.on_fetch("u", 100.0)
+        assert not tracker.expired("u", DocumentType.HTML, 105.0)
+
+
+class TestSimulatorIntegration:
+    def trace(self):
+        return Trace([
+            req("a", 0.0),
+            req("a", 5.0),      # fresh: hit
+            req("a", 100.0),    # stale: freshness miss + refetch
+            req("a", 105.0),    # fresh again: hit
+        ])
+
+    def test_ttl_expiry_turns_hit_into_miss(self):
+        model = TTLModel(default_ttl=10.0)
+        result = simulate(self.trace(), "lru", 10_000,
+                          warmup_fraction=0.0, ttl_model=model)
+        assert result.hit_rate() == pytest.approx(0.5)
+        assert result.ttl_expiries == 1
+
+    def test_no_ttl_model_is_paper_baseline(self):
+        result = simulate(self.trace(), "lru", 10_000,
+                          warmup_fraction=0.0)
+        assert result.hit_rate() == pytest.approx(0.75)
+        assert result.ttl_expiries is None
+
+    def test_infinite_ttl_equals_baseline(self):
+        with_model = simulate(self.trace(), "lru", 10_000,
+                              warmup_fraction=0.0, ttl_model=TTLModel())
+        assert with_model.hit_rate() == pytest.approx(0.75)
+        assert with_model.ttl_expiries == 0
+
+    def test_ttl_only_costs_hit_rate(self, tiny_dfn_trace):
+        """Freshness enforcement can only add misses relative to the
+        paper baseline."""
+        capacity = int(tiny_dfn_trace.metadata().total_size_bytes * 0.02)
+        baseline = simulate(tiny_dfn_trace, "lru", capacity)
+        hour = 3600.0
+        strict = simulate(tiny_dfn_trace, "lru", capacity,
+                          ttl_model=TTLModel(default_ttl=hour))
+        assert strict.hit_rate() <= baseline.hit_rate() + 1e-9
+        assert strict.ttl_expiries > 0
+
+    def test_round_trip_serialization(self):
+        result = simulate(self.trace(), "lru", 10_000,
+                          warmup_fraction=0.0,
+                          ttl_model=TTLModel(default_ttl=10.0))
+        from repro.simulation.results import SimulationResult
+        again = SimulationResult.from_dict(result.as_dict())
+        assert again.ttl_expiries == 1

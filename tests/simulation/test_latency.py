@@ -1,0 +1,103 @@
+"""Tests for latency accounting."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.simulation.latency import LatencyMetrics, LatencyModel
+from repro.simulation.simulator import simulate
+from repro.types import DocumentType, Request, Trace
+
+
+def req(url, size=1000, ts=0.0, doc_type=DocumentType.HTML):
+    return Request(ts, url, size, size, doc_type)
+
+
+class TestModel:
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            LatencyModel(hit_rtt=0)
+        with pytest.raises(ConfigurationError):
+            LatencyModel(origin_bandwidth=-1)
+
+    def test_hit_faster_than_miss(self):
+        model = LatencyModel()
+        for size in (0, 1000, 10 ** 6):
+            assert model.hit_latency(size) < model.miss_latency(size)
+
+    def test_formulas(self):
+        model = LatencyModel(hit_rtt=0.01, origin_rtt=0.1,
+                             proxy_bandwidth=1000.0,
+                             origin_bandwidth=100.0)
+        assert model.hit_latency(500) == pytest.approx(0.01 + 0.5)
+        assert model.miss_latency(500) == pytest.approx(0.01 + 0.1 + 5.0)
+
+
+class TestMetrics:
+    def test_recording(self):
+        metrics = LatencyMetrics(model=LatencyModel())
+        metrics.record(DocumentType.HTML, True, 1000)
+        metrics.record(DocumentType.HTML, False, 1000)
+        assert metrics.overall.count == 2
+        assert metrics.mean_latency() > \
+            metrics.model.hit_latency(1000) / 2
+        assert metrics.mean_latency(DocumentType.IMAGE) != \
+            metrics.mean_latency(DocumentType.IMAGE) or \
+            metrics.by_type[DocumentType.IMAGE].count == 0
+
+    def test_speedup_no_data(self):
+        metrics = LatencyMetrics(model=LatencyModel())
+        assert metrics.speedup == 1.0
+
+
+class TestSimulatorIntegration:
+    def test_latency_none_by_default(self):
+        trace = Trace([req("a"), req("a")])
+        result = simulate(trace, "lru", 10_000, warmup_fraction=0.0)
+        assert result.latency is None
+
+    def test_latency_collected(self):
+        trace = Trace([req("a"), req("a"), req("b")])
+        model = LatencyModel()
+        result = simulate(trace, "lru", 10_000, warmup_fraction=0.0,
+                          latency_model=model)
+        latency = result.latency
+        assert latency.overall.count == 3
+        # 1 hit, 2 misses of 1000 bytes each.
+        expected = (model.hit_latency(1000)
+                    + 2 * model.miss_latency(1000)) / 3
+        assert latency.mean_latency() == pytest.approx(expected)
+
+    def test_speedup_above_one_with_hits(self):
+        trace = Trace([req("a")] + [req("a") for _ in range(9)])
+        result = simulate(trace, "lru", 10_000, warmup_fraction=0.0,
+                          latency_model=LatencyModel())
+        assert result.latency.speedup > 1.5
+
+    def test_no_hits_no_speedup(self):
+        trace = Trace([req(f"u{i}") for i in range(10)])
+        result = simulate(trace, "lru", 10_000, warmup_fraction=0.0,
+                          latency_model=LatencyModel())
+        assert result.latency.speedup == pytest.approx(1.0)
+
+    def test_better_policy_lower_latency(self, tiny_dfn_trace):
+        """GD*(1)'s higher hit rate must show up as lower mean latency
+        than LRU's under the same model."""
+        capacity = int(tiny_dfn_trace.metadata().total_size_bytes * 0.02)
+        model = LatencyModel()
+        lru = simulate(tiny_dfn_trace, "lru", capacity,
+                       latency_model=model)
+        gdstar = simulate(tiny_dfn_trace, "gd*(1)", capacity,
+                          latency_model=model)
+        assert gdstar.hit_rate() > lru.hit_rate()
+        assert gdstar.latency.mean_latency() < \
+            lru.latency.mean_latency() * 1.02
+
+    def test_large_documents_dominate_latency(self, tiny_dfn_trace):
+        """Multimedia misses cost seconds; image misses milliseconds —
+        the latency lens on the paper's byte-hit-rate story."""
+        capacity = int(tiny_dfn_trace.metadata().total_size_bytes * 0.02)
+        result = simulate(tiny_dfn_trace, "gds(1)", capacity,
+                          latency_model=LatencyModel())
+        mm = result.latency.mean_latency(DocumentType.MULTIMEDIA)
+        img = result.latency.mean_latency(DocumentType.IMAGE)
+        assert mm > 10 * img

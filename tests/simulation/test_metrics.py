@@ -1,0 +1,84 @@
+"""Tests for hit-rate / byte-hit-rate accounting."""
+
+import pytest
+
+from repro.simulation.metrics import RateAccumulator, TypeMetrics
+from repro.types import DOCUMENT_TYPES, DocumentType
+
+
+class TestRateAccumulator:
+    def test_empty_rates_zero(self):
+        acc = RateAccumulator()
+        assert acc.hit_rate == 0.0
+        assert acc.byte_hit_rate == 0.0
+
+    def test_counting(self):
+        acc = RateAccumulator()
+        acc.record(True, 100)
+        acc.record(False, 300)
+        assert acc.requests == 2
+        assert acc.hits == 1
+        assert acc.requested_bytes == 400
+        assert acc.hit_bytes == 100
+        assert acc.hit_rate == 0.5
+        assert acc.byte_hit_rate == 0.25
+
+    def test_hit_and_byte_rates_diverge(self):
+        """Small docs hit, large docs miss: HR high, BHR low — the
+        paper's GDS(1) signature."""
+        acc = RateAccumulator()
+        for _ in range(9):
+            acc.record(True, 10)      # small hits
+        acc.record(False, 910)        # one large miss
+        assert acc.hit_rate == 0.9
+        assert acc.byte_hit_rate == pytest.approx(0.09)
+
+    def test_merge(self):
+        a, b = RateAccumulator(), RateAccumulator()
+        a.record(True, 10)
+        b.record(False, 30)
+        a.merge(b)
+        assert a.requests == 2
+        assert a.requested_bytes == 40
+
+    def test_round_trip_dict(self):
+        acc = RateAccumulator()
+        acc.record(True, 100)
+        acc.record(False, 50)
+        again = RateAccumulator.from_dict(acc.as_dict())
+        assert again == acc
+
+
+class TestTypeMetrics:
+    def test_per_type_isolation(self):
+        metrics = TypeMetrics()
+        metrics.record(DocumentType.IMAGE, True, 100)
+        metrics.record(DocumentType.MULTIMEDIA, False, 1000)
+        assert metrics.hit_rate(DocumentType.IMAGE) == 1.0
+        assert metrics.hit_rate(DocumentType.MULTIMEDIA) == 0.0
+        assert metrics.hit_rate() == 0.5
+        assert metrics.byte_hit_rate() == pytest.approx(100 / 1100)
+
+    def test_all_types_present(self):
+        metrics = TypeMetrics()
+        for doc_type in DOCUMENT_TYPES:
+            assert metrics.hit_rate(doc_type) == 0.0
+
+    def test_overall_is_sum_of_types(self):
+        import random
+        rng = random.Random(1)
+        metrics = TypeMetrics()
+        for _ in range(500):
+            metrics.record(rng.choice(DOCUMENT_TYPES), rng.random() < 0.3,
+                           rng.randint(1, 1000))
+        assert metrics.overall.requests == sum(
+            acc.requests for acc in metrics.by_type.values())
+        assert metrics.overall.hit_bytes == sum(
+            acc.hit_bytes for acc in metrics.by_type.values())
+
+    def test_round_trip_dict(self):
+        metrics = TypeMetrics()
+        metrics.record(DocumentType.HTML, True, 77)
+        again = TypeMetrics.from_dict(metrics.as_dict())
+        assert again.hit_rate(DocumentType.HTML) == 1.0
+        assert again.overall.requested_bytes == 77

@@ -1,0 +1,96 @@
+"""Tests for per-type occupancy tracking (Figure 1 machinery)."""
+
+import pytest
+
+from repro.core.cache import Cache
+from repro.core.lru import LRUPolicy
+from repro.simulation.occupancy import OccupancyTracker
+from repro.types import DOCUMENT_TYPES, DocumentType
+
+
+def loaded_cache():
+    cache = Cache(10_000, LRUPolicy())
+    cache.reference("i1", 100, DocumentType.IMAGE)
+    cache.reference("i2", 100, DocumentType.IMAGE)
+    cache.reference("m1", 800, DocumentType.MULTIMEDIA)
+    return cache
+
+
+def test_validates_interval():
+    with pytest.raises(ValueError):
+        OccupancyTracker(0)
+
+
+def test_snapshot_fractions():
+    sample = OccupancyTracker.snapshot(loaded_cache(), 3)
+    assert sample.resident_documents == 3
+    assert sample.resident_bytes == 1000
+    assert sample.document_fraction[DocumentType.IMAGE] == \
+        pytest.approx(2 / 3)
+    assert sample.byte_fraction[DocumentType.IMAGE] == pytest.approx(0.2)
+    assert sample.byte_fraction[DocumentType.MULTIMEDIA] == \
+        pytest.approx(0.8)
+
+
+def test_fractions_sum_to_one():
+    sample = OccupancyTracker.snapshot(loaded_cache(), 1)
+    assert sum(sample.document_fraction.values()) == pytest.approx(1.0)
+    assert sum(sample.byte_fraction.values()) == pytest.approx(1.0)
+
+
+def test_empty_cache_all_zero():
+    cache = Cache(1000, LRUPolicy())
+    sample = OccupancyTracker.snapshot(cache, 0)
+    assert all(v == 0.0 for v in sample.document_fraction.values())
+    assert sample.resident_bytes == 0
+
+
+def test_maybe_sample_cadence():
+    tracker = OccupancyTracker(sample_interval=5)
+    cache = loaded_cache()
+    for index in range(1, 21):
+        tracker.maybe_sample(cache, index)
+    assert [s.request_index for s in tracker.samples] == [5, 10, 15, 20]
+
+
+def test_series_and_mean():
+    tracker = OccupancyTracker(sample_interval=1)
+    cache = loaded_cache()
+    tracker.maybe_sample(cache, 1)
+    cache.reference("m2", 800, DocumentType.MULTIMEDIA)
+    tracker.maybe_sample(cache, 2)
+    series = tracker.series(DocumentType.MULTIMEDIA,
+                            bytes_not_documents=True)
+    assert len(series) == 2
+    assert series[0][1] < series[1][1]
+    mean = tracker.mean_fraction(DocumentType.MULTIMEDIA, True)
+    assert series[0][1] < mean < series[1][1]
+
+
+def test_variability_spread():
+    tracker = OccupancyTracker(sample_interval=1)
+    cache = Cache(10_000, LRUPolicy())
+    cache.reference("i1", 100, DocumentType.IMAGE)
+    tracker.maybe_sample(cache, 1)           # image share 1.0
+    cache.reference("m1", 900, DocumentType.MULTIMEDIA)
+    tracker.maybe_sample(cache, 2)           # image byte share 0.1
+    assert tracker.variability(DocumentType.IMAGE, True) == \
+        pytest.approx(0.9)
+
+
+def test_empty_tracker_stats():
+    tracker = OccupancyTracker()
+    assert tracker.mean_fraction(DocumentType.IMAGE) == 0.0
+    assert tracker.variability(DocumentType.IMAGE) == 0.0
+
+
+def test_round_trip_dict():
+    tracker = OccupancyTracker(sample_interval=2)
+    cache = loaded_cache()
+    tracker.maybe_sample(cache, 2)
+    again = OccupancyTracker.from_dict(tracker.as_dict())
+    assert again.sample_interval == 2
+    assert len(again.samples) == 1
+    for doc_type in DOCUMENT_TYPES:
+        assert again.samples[0].byte_fraction[doc_type] == \
+            tracker.samples[0].byte_fraction[doc_type]

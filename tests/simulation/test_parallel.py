@@ -1,0 +1,65 @@
+"""Tests for the parallel sweep runner."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.simulation.parallel import run_sweep_parallel
+from repro.simulation.sweep import cache_sizes_from_fractions, run_sweep
+from repro.types import DocumentType, Request, Trace
+
+
+def small_trace():
+    requests = []
+    for i in range(300):
+        for url, size, doc_type in (
+                (f"u{i % 17}", 500, DocumentType.IMAGE),
+                (f"h{i % 5}", 1500, DocumentType.HTML)):
+            requests.append(Request(float(i), url, size, size, doc_type))
+    return Trace(requests, name="par-test")
+
+
+def test_empty_grid_rejected():
+    with pytest.raises(ConfigurationError):
+        run_sweep_parallel(small_trace(), [], [])
+
+
+def test_single_worker_matches_serial():
+    trace = small_trace()
+    capacities = [5000, 20_000]
+    serial = run_sweep(trace, ["lru", "gds(1)"], capacities)
+    single = run_sweep_parallel(trace, ["lru", "gds(1)"], capacities,
+                                n_workers=1)
+    for policy in serial.policies:
+        assert single.series(policy) == serial.series(policy)
+        assert single.series(policy, byte_rate=True) == \
+            serial.series(policy, byte_rate=True)
+
+
+def test_two_workers_match_serial():
+    trace = small_trace()
+    capacities = [5000, 20_000]
+    serial = run_sweep(trace, ["lru", "lfu-da", "gd*(1)"], capacities)
+    parallel = run_sweep_parallel(trace, ["lru", "lfu-da", "gd*(1)"],
+                                  capacities, n_workers=2)
+    assert sorted(parallel.policies) == sorted(serial.policies)
+    assert parallel.capacities == serial.capacities
+    for policy in serial.policies:
+        assert parallel.series(policy) == serial.series(policy)
+        for doc_type in (DocumentType.IMAGE, DocumentType.HTML):
+            assert parallel.series(policy, doc_type) == \
+                serial.series(policy, doc_type)
+
+
+def test_workers_capped_by_cells():
+    trace = small_trace()
+    sweep = run_sweep_parallel(trace, ["lru"], [5000], n_workers=16)
+    assert sweep.series("lru")
+
+
+def test_parallel_on_generated_trace(tiny_dfn_trace):
+    capacities = cache_sizes_from_fractions(tiny_dfn_trace, [0.01, 0.04])
+    parallel = run_sweep_parallel(
+        tiny_dfn_trace, ["lru", "gd*(1)"], capacities, n_workers=2)
+    serial = run_sweep(tiny_dfn_trace, ["lru", "gd*(1)"], capacities)
+    for policy in ("lru", "gd*(1)"):
+        assert parallel.series(policy) == serial.series(policy)

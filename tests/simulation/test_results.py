@@ -1,0 +1,73 @@
+"""Tests for result containers and serialization."""
+
+import pytest
+
+from repro.simulation.results import SimulationResult, SweepResult
+from repro.simulation.simulator import simulate
+from repro.simulation.sweep import run_sweep
+from repro.types import DocumentType, Request, Trace
+
+
+def tiny_trace():
+    requests = [Request(float(i), f"u{i % 5}", 100, 100,
+                        DocumentType.IMAGE) for i in range(30)]
+    return Trace(requests, name="tiny")
+
+
+class TestSimulationResult:
+    def test_round_trip_dict(self):
+        result = simulate(tiny_trace(), "gd*(1)", 10_000,
+                          occupancy_interval=10)
+        again = SimulationResult.from_dict(result.as_dict())
+        assert again.policy == result.policy
+        assert again.capacity_bytes == result.capacity_bytes
+        assert again.hit_rate() == result.hit_rate()
+        assert again.byte_hit_rate() == result.byte_hit_rate()
+        assert again.final_beta == result.final_beta
+        assert len(again.occupancy.samples) == \
+            len(result.occupancy.samples)
+
+    def test_round_trip_without_occupancy(self):
+        result = simulate(tiny_trace(), "lru", 10_000)
+        again = SimulationResult.from_dict(result.as_dict())
+        assert again.occupancy is None
+
+    def test_save_load_file(self, tmp_path):
+        result = simulate(tiny_trace(), "lru", 10_000)
+        path = tmp_path / "result.json"
+        result.save(path)
+        again = SimulationResult.load(path)
+        assert again.hit_rate() == result.hit_rate()
+        assert again.trace_name == "tiny"
+
+    def test_per_type_rates_preserved(self):
+        result = simulate(tiny_trace(), "lru", 10_000)
+        again = SimulationResult.from_dict(result.as_dict())
+        assert again.hit_rate(DocumentType.IMAGE) == \
+            result.hit_rate(DocumentType.IMAGE)
+
+
+class TestSweepResult:
+    def test_round_trip(self, tmp_path):
+        sweep = run_sweep(tiny_trace(), ["lru", "gds(1)"], [1000, 10_000])
+        path = tmp_path / "sweep.json"
+        sweep.save(path)
+        again = SweepResult.load(path)
+        assert again.trace_name == sweep.trace_name
+        assert sorted(again.policies) == sorted(sweep.policies)
+        assert again.capacities == sweep.capacities
+        assert again.series("lru") == sweep.series("lru")
+
+    def test_series_with_doc_type_and_byte_rate(self):
+        sweep = run_sweep(tiny_trace(), ["lru"], [1000])
+        hr = sweep.series("lru", DocumentType.IMAGE, byte_rate=False)
+        bhr = sweep.series("lru", DocumentType.IMAGE, byte_rate=True)
+        assert len(hr) == len(bhr) == 1
+
+    def test_add_groups_by_policy(self):
+        sweep = SweepResult(trace_name="t")
+        sweep.add(SimulationResult(policy="lru", capacity_bytes=100))
+        sweep.add(SimulationResult(policy="lru", capacity_bytes=200))
+        sweep.add(SimulationResult(policy="fifo", capacity_bytes=100))
+        assert sorted(sweep.policies) == ["fifo", "lru"]
+        assert sweep.capacities == [100, 200]

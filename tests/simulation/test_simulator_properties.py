@@ -1,0 +1,85 @@
+"""Property-based tests on the simulator's accounting invariants."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.simulation.simulator import simulate
+from repro.types import DOCUMENT_TYPES, DocumentType, Request, Trace
+
+DOC_TYPES = list(DocumentType)
+
+trace_strategy = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=12),    # url id
+        st.integers(min_value=1, max_value=5000),  # size
+        st.integers(min_value=0, max_value=4),     # type index
+        st.floats(min_value=0.05, max_value=1.0),  # transfer fraction
+    ),
+    min_size=1, max_size=120,
+).map(lambda rows: Trace([
+    Request(float(i), f"u{url_id}", size,
+            max(int(size * fraction), 1), DOC_TYPES[type_index])
+    for i, (url_id, size, type_index, fraction) in enumerate(rows)
+]))
+
+
+@settings(max_examples=40, deadline=None)
+@given(trace=trace_strategy,
+       capacity=st.integers(min_value=100, max_value=20_000),
+       policy=st.sampled_from(["lru", "lfu-da", "gds(1)", "gd*(p)",
+                               "slru", "size"]))
+def test_accounting_invariants(trace, capacity, policy):
+    result = simulate(trace, policy, capacity, warmup_fraction=0.0)
+    overall = result.metrics.overall
+    # Every request counted exactly once.
+    assert overall.requests == len(trace)
+    # Hits bounded by requests; bytes consistent.
+    assert 0 <= overall.hits <= overall.requests
+    assert 0 <= overall.hit_bytes <= overall.requested_bytes
+    assert 0.0 <= result.hit_rate() <= 1.0
+    assert 0.0 <= result.byte_hit_rate() <= 1.0
+    # Per-type accumulators partition the overall exactly.
+    assert sum(result.metrics.by_type[t].requests
+               for t in DOCUMENT_TYPES) == overall.requests
+    assert sum(result.metrics.by_type[t].hits
+               for t in DOCUMENT_TYPES) == overall.hits
+    assert sum(result.metrics.by_type[t].requested_bytes
+               for t in DOCUMENT_TYPES) == overall.requested_bytes
+
+
+@settings(max_examples=30, deadline=None)
+@given(trace=trace_strategy,
+       capacity=st.integers(min_value=100, max_value=20_000))
+def test_warmup_only_shrinks_counted_population(trace, capacity):
+    full = simulate(trace, "lru", capacity, warmup_fraction=0.0)
+    warmed = simulate(trace, "lru", capacity, warmup_fraction=0.3)
+    assert warmed.counted_requests <= full.counted_requests
+    assert warmed.counted_requests == \
+        len(trace) - int(len(trace) * 0.3)
+
+
+@settings(max_examples=30, deadline=None)
+@given(trace=trace_strategy,
+       capacity=st.integers(min_value=100, max_value=20_000))
+def test_first_reference_never_hits(trace, capacity):
+    """Hit count is bounded by repeat references (no cache invents
+    hits for documents never seen)."""
+    result = simulate(trace, "lru", capacity, warmup_fraction=0.0)
+    distinct = len({r.url for r in trace})
+    repeats = len(trace) - distinct
+    assert result.metrics.overall.hits <= repeats
+
+
+@settings(max_examples=20, deadline=None)
+@given(trace=trace_strategy)
+def test_infinite_cache_hits_all_repeats_of_stable_documents(trace):
+    """With capacity above total bytes, the only misses are first
+    references and modifications."""
+    capacity = sum(r.size for r in trace) + 1
+    result = simulate(trace, "lru", capacity, warmup_fraction=0.0)
+    distinct = len({r.url for r in trace})
+    misses = result.metrics.overall.requests - \
+        result.metrics.overall.hits
+    assert misses >= distinct          # at least the cold misses
+    assert misses <= distinct + result.invalidations

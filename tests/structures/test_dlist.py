@@ -1,0 +1,120 @@
+"""Unit tests for the intrusive doubly-linked list."""
+
+import pytest
+
+from repro.structures.dlist import DList
+
+
+def test_empty_list_properties():
+    dlist = DList()
+    assert len(dlist) == 0
+    assert not dlist
+    assert list(dlist) == []
+    assert list(reversed(dlist)) == []
+
+
+def test_push_back_orders_front_to_back():
+    dlist = DList()
+    for value in "abc":
+        dlist.push_back(value)
+    assert list(dlist) == ["a", "b", "c"]
+    assert dlist.front() == "a"
+    assert dlist.back() == "c"
+
+
+def test_push_front_inserts_at_eviction_end():
+    dlist = DList()
+    dlist.push_back("b")
+    dlist.push_front("a")
+    assert list(dlist) == ["a", "b"]
+
+
+def test_reversed_iterates_back_to_front():
+    dlist = DList()
+    for value in "abc":
+        dlist.push_back(value)
+    assert list(reversed(dlist)) == ["c", "b", "a"]
+
+
+def test_pop_front_removes_in_order():
+    dlist = DList()
+    for value in range(5):
+        dlist.push_back(value)
+    assert [dlist.pop_front() for _ in range(5)] == [0, 1, 2, 3, 4]
+    assert len(dlist) == 0
+
+
+def test_pop_front_empty_raises():
+    with pytest.raises(IndexError):
+        DList().pop_front()
+
+
+def test_front_back_empty_raises():
+    dlist = DList()
+    with pytest.raises(IndexError):
+        dlist.front()
+    with pytest.raises(IndexError):
+        dlist.back()
+
+
+def test_unlink_middle_node():
+    dlist = DList()
+    nodes = [dlist.push_back(v) for v in "abc"]
+    dlist.unlink(nodes[1])
+    assert list(dlist) == ["a", "c"]
+    assert len(dlist) == 2
+    assert not nodes[1].linked
+
+
+def test_unlink_only_node_empties_list():
+    dlist = DList()
+    node = dlist.push_back("a")
+    dlist.unlink(node)
+    assert len(dlist) == 0
+    assert list(dlist) == []
+
+
+def test_unlink_detached_node_raises():
+    dlist = DList()
+    node = dlist.push_back("a")
+    dlist.unlink(node)
+    with pytest.raises(ValueError):
+        dlist.unlink(node)
+
+
+def test_move_to_back_reorders():
+    dlist = DList()
+    nodes = [dlist.push_back(v) for v in "abc"]
+    dlist.move_to_back(nodes[0])
+    assert list(dlist) == ["b", "c", "a"]
+    assert dlist.back() == "a"
+
+
+def test_move_to_back_of_last_node_is_noop_order():
+    dlist = DList()
+    nodes = [dlist.push_back(v) for v in "ab"]
+    dlist.move_to_back(nodes[1])
+    assert list(dlist) == ["a", "b"]
+
+
+def test_interleaved_operations_keep_count():
+    dlist = DList()
+    nodes = {}
+    for i in range(100):
+        nodes[i] = dlist.push_back(i)
+    for i in range(0, 100, 2):
+        dlist.unlink(nodes[i])
+    assert len(dlist) == 50
+    assert list(dlist) == list(range(1, 100, 2))
+
+
+def test_lru_usage_pattern():
+    """Simulate an LRU touch pattern: move hit nodes to the back."""
+    dlist = DList()
+    nodes = {v: dlist.push_back(v) for v in "abcd"}
+    dlist.move_to_back(nodes["a"])   # touch a
+    dlist.move_to_back(nodes["b"])   # touch b
+    assert dlist.pop_front() == "c"  # c is now least recent
+    assert dlist.pop_front() == "d"
+    assert dlist.pop_front() == "a"
+    assert dlist.pop_front() == "b"

@@ -1,0 +1,86 @@
+"""Tests for the Fenwick tree."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.structures.fenwick import FenwickTree
+
+
+def test_validates_size():
+    with pytest.raises(ValueError):
+        FenwickTree(0)
+
+
+def test_empty_sums_zero():
+    tree = FenwickTree(10)
+    assert tree.prefix_sum(9) == 0
+    assert tree.prefix_sum(-1) == 0
+    assert tree.total() == 0
+
+
+def test_single_update():
+    tree = FenwickTree(10)
+    tree.add(3, 5)
+    assert tree.prefix_sum(2) == 0
+    assert tree.prefix_sum(3) == 5
+    assert tree.prefix_sum(9) == 5
+
+
+def test_range_sum():
+    tree = FenwickTree(10)
+    for index in range(10):
+        tree.add(index, index)
+    assert tree.range_sum(2, 4) == 2 + 3 + 4
+    assert tree.range_sum(0, 9) == sum(range(10))
+    assert tree.range_sum(5, 4) == 0
+
+
+def test_negative_deltas():
+    tree = FenwickTree(5)
+    tree.add(2, 10)
+    tree.add(2, -4)
+    assert tree.prefix_sum(2) == 6
+
+
+def test_out_of_range_raises():
+    tree = FenwickTree(5)
+    with pytest.raises(IndexError):
+        tree.add(5, 1)
+    with pytest.raises(IndexError):
+        tree.add(-1, 1)
+
+
+def test_prefix_sum_clamps_high_index():
+    tree = FenwickTree(5)
+    tree.add(4, 7)
+    assert tree.prefix_sum(100) == 7
+
+
+def test_matches_naive_reference():
+    rng = random.Random(3)
+    size = 200
+    tree = FenwickTree(size)
+    reference = [0] * size
+    for _ in range(2000):
+        index = rng.randrange(size)
+        delta = rng.randint(-5, 5)
+        tree.add(index, delta)
+        reference[index] += delta
+        probe = rng.randrange(size)
+        assert tree.prefix_sum(probe) == sum(reference[:probe + 1])
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.lists(st.tuples(st.integers(0, 49), st.integers(-10, 10)),
+                min_size=1, max_size=100))
+def test_property_prefix_sums(updates):
+    tree = FenwickTree(50)
+    reference = [0] * 50
+    for index, delta in updates:
+        tree.add(index, delta)
+        reference[index] += delta
+    for probe in (0, 10, 25, 49):
+        assert tree.prefix_sum(probe) == sum(reference[:probe + 1])

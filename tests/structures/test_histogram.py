@@ -1,0 +1,158 @@
+"""Unit tests for histograms and the log-log slope fit."""
+
+import math
+
+import pytest
+
+from repro.structures.histogram import (
+    Histogram,
+    LogHistogram,
+    least_squares_slope,
+)
+
+
+class TestHistogram:
+    def test_rejects_bad_bounds(self):
+        with pytest.raises(ValueError):
+            Histogram(1.0, 1.0, 4)
+        with pytest.raises(ValueError):
+            Histogram(0.0, 1.0, 0)
+
+    def test_counts_land_in_bins(self):
+        hist = Histogram(0.0, 10.0, 10)
+        for value in (0.5, 1.5, 1.7, 9.9):
+            hist.add(value)
+        assert hist.counts[0] == 1
+        assert hist.counts[1] == 2
+        assert hist.counts[9] == 1
+        assert hist.total == 4
+
+    def test_under_overflow(self):
+        hist = Histogram(0.0, 10.0, 5)
+        hist.add(-1.0)
+        hist.add(10.0)
+        hist.add(100.0)
+        assert hist.underflow == 1
+        assert hist.overflow == 2
+        assert sum(hist.counts) == 0
+
+    def test_mean_of_midpoints(self):
+        hist = Histogram(0.0, 10.0, 10)
+        hist.add(2.2)  # bin 2, midpoint 2.5
+        hist.add(7.9)  # bin 7, midpoint 7.5
+        assert hist.mean() == pytest.approx(5.0)
+
+    def test_mean_empty_is_nan(self):
+        assert math.isnan(Histogram(0, 1, 2).mean())
+
+    def test_bin_edges(self):
+        hist = Histogram(0.0, 4.0, 4)
+        assert hist.bin_edges() == [0.0, 1.0, 2.0, 3.0, 4.0]
+
+
+class TestLogHistogram:
+    def test_rejects_bad_params(self):
+        with pytest.raises(ValueError):
+            LogHistogram(max_value=1)
+        with pytest.raises(ValueError):
+            LogHistogram(bins_per_decade=0)
+
+    def test_rejects_nonpositive_values(self):
+        hist = LogHistogram()
+        with pytest.raises(ValueError):
+            hist.add(0)
+        with pytest.raises(ValueError):
+            hist.add(-5)
+
+    def test_small_values_to_first_bin(self):
+        hist = LogHistogram()
+        hist.add(0.5)
+        hist.add(1.0)
+        assert hist.counts[0] == 2
+
+    def test_bins_grow_logarithmically(self):
+        hist = LogHistogram(max_value=1e6, bins_per_decade=1)
+        hist.add(5)        # decade [1, 10)
+        hist.add(50)       # decade [10, 100)
+        hist.add(5000)     # decade [1000, 10000)
+        assert hist.counts[0] == 1
+        assert hist.counts[1] == 1
+        assert hist.counts[3] == 1
+
+    def test_values_above_max_clamp_to_last_bin(self):
+        hist = LogHistogram(max_value=100, bins_per_decade=1)
+        hist.add(10 ** 9)
+        assert hist.counts[-1] == 1
+
+    def test_bin_center_is_geometric_mean(self):
+        hist = LogHistogram(max_value=1e4, bins_per_decade=1)
+        lo, hi = hist.bin_bounds(2)
+        assert hist.bin_center(2) == pytest.approx(math.sqrt(lo * hi))
+
+    def test_densities_divide_by_width(self):
+        hist = LogHistogram(max_value=1e4, bins_per_decade=1)
+        hist.add(5, weight=90)    # bin [1,10): width 9
+        hist.add(50, weight=90)   # bin [10,100): width 90
+        densities = dict(hist.densities())
+        values = sorted(densities.values(), reverse=True)
+        assert values[0] == pytest.approx(10.0)  # 90 / 9
+        assert values[1] == pytest.approx(1.0)   # 90 / 90
+
+    def test_merge_compatible(self):
+        a = LogHistogram(max_value=100, bins_per_decade=2)
+        b = LogHistogram(max_value=100, bins_per_decade=2)
+        a.add(5)
+        b.add(5)
+        a.merge(b)
+        assert a.total == 2
+
+    def test_merge_incompatible_raises(self):
+        a = LogHistogram(max_value=100, bins_per_decade=2)
+        b = LogHistogram(max_value=100, bins_per_decade=3)
+        with pytest.raises(ValueError):
+            a.merge(b)
+
+    def test_decay_scales_counts(self):
+        hist = LogHistogram(max_value=100, bins_per_decade=1)
+        hist.add(5, weight=100)
+        hist.decay(0.5)
+        assert hist.counts[0] == 50
+        assert hist.total == 50
+
+    def test_decay_validates_factor(self):
+        hist = LogHistogram()
+        with pytest.raises(ValueError):
+            hist.decay(1.5)
+
+    def test_power_law_slope_recovered(self):
+        """Filling with an exact power law recovers its exponent."""
+        beta = 0.7
+        hist = LogHistogram(max_value=1e6, bins_per_decade=4)
+        # Deterministic fill: per-bin count = pdf(center) * bin width,
+        # i.e. what sampling x ~ x^-beta would put there in expectation.
+        for idx in range(len(hist)):
+            lo, hi = hist.bin_bounds(idx)
+            center = hist.bin_center(idx)
+            weight = int(1e5 * center ** (-beta) * (hi - lo))
+            if weight:
+                hist.add(center, weight=weight)
+        slope = least_squares_slope(hist.loglog_points())
+        assert -slope == pytest.approx(beta, abs=0.1)
+
+
+class TestLeastSquaresSlope:
+    def test_exact_line(self):
+        points = [(x, 2.0 * x + 1.0) for x in range(10)]
+        assert least_squares_slope(points) == pytest.approx(2.0)
+
+    def test_needs_two_points(self):
+        with pytest.raises(ValueError):
+            least_squares_slope([(1.0, 1.0)])
+
+    def test_degenerate_x_raises(self):
+        with pytest.raises(ValueError):
+            least_squares_slope([(1.0, 1.0), (1.0, 2.0)])
+
+    def test_negative_slope(self):
+        points = [(x, -0.5 * x) for x in range(5)]
+        assert least_squares_slope(points) == pytest.approx(-0.5)

@@ -1,0 +1,54 @@
+"""Tests for reservoir sampling."""
+
+import pytest
+
+from repro.structures.reservoir import Reservoir
+
+
+def test_validates_capacity():
+    with pytest.raises(ValueError):
+        Reservoir(0)
+
+
+def test_keeps_everything_under_capacity():
+    reservoir = Reservoir(10, seed=1)
+    reservoir.extend(range(5))
+    assert sorted(reservoir.sample) == [0, 1, 2, 3, 4]
+    assert len(reservoir) == 5
+    assert reservoir.count == 5
+
+
+def test_capacity_bound_holds():
+    reservoir = Reservoir(16, seed=2)
+    reservoir.extend(range(10000))
+    assert len(reservoir) == 16
+    assert reservoir.count == 10000
+    assert all(0 <= x < 10000 for x in reservoir.sample)
+
+
+def test_sample_returns_copy():
+    reservoir = Reservoir(4, seed=3)
+    reservoir.extend(range(4))
+    sample = reservoir.sample
+    sample.append(99)
+    assert len(reservoir.sample) == 4
+
+
+def test_deterministic_with_seed():
+    a = Reservoir(8, seed=42)
+    b = Reservoir(8, seed=42)
+    a.extend(range(1000))
+    b.extend(range(1000))
+    assert a.sample == b.sample
+
+
+def test_uniformity_roughly():
+    """Each of 100 items should appear in ~10% of size-10 samples."""
+    hits = [0] * 100
+    for seed in range(300):
+        reservoir = Reservoir(10, seed=seed)
+        reservoir.extend(range(100))
+        for item in reservoir.sample:
+            hits[item] += 1
+    # Expected 30 hits each; allow generous slack.
+    assert all(10 <= h <= 60 for h in hits)

@@ -1,0 +1,132 @@
+"""Tests for streaming statistics against exact numpy references."""
+
+import math
+import random
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.structures.streaming import P2Quantile, StreamingStats
+
+
+class TestStreamingStats:
+    def test_empty(self):
+        stats = StreamingStats()
+        assert stats.count == 0
+        assert math.isnan(stats.mean)
+        assert math.isnan(stats.variance)
+        assert math.isnan(stats.cov)
+
+    def test_single_value(self):
+        stats = StreamingStats()
+        stats.add(5.0)
+        assert stats.mean == 5.0
+        assert stats.variance == 0.0
+        assert stats.minimum == 5.0
+        assert stats.maximum == 5.0
+        assert stats.total == 5.0
+
+    def test_matches_numpy(self):
+        rng = random.Random(3)
+        values = [rng.uniform(-100, 100) for _ in range(500)]
+        stats = StreamingStats()
+        stats.extend(values)
+        assert stats.mean == pytest.approx(np.mean(values))
+        assert stats.variance == pytest.approx(np.var(values))
+        assert stats.sample_variance == pytest.approx(np.var(values, ddof=1))
+        assert stats.stddev == pytest.approx(np.std(values))
+
+    def test_cov(self):
+        stats = StreamingStats()
+        stats.extend([10.0, 10.0, 10.0])
+        assert stats.cov == 0.0
+        stats2 = StreamingStats()
+        stats2.extend([1.0, 3.0])
+        assert stats2.cov == pytest.approx(np.std([1, 3]) / 2.0)
+
+    def test_cov_zero_mean_nan(self):
+        stats = StreamingStats()
+        stats.extend([-1.0, 1.0])
+        assert math.isnan(stats.cov)
+
+    def test_merge_matches_single_pass(self):
+        rng = random.Random(9)
+        a_vals = [rng.gauss(0, 5) for _ in range(200)]
+        b_vals = [rng.gauss(10, 1) for _ in range(300)]
+        a, b, combined = StreamingStats(), StreamingStats(), StreamingStats()
+        a.extend(a_vals)
+        b.extend(b_vals)
+        combined.extend(a_vals + b_vals)
+        a.merge(b)
+        assert a.count == combined.count
+        assert a.mean == pytest.approx(combined.mean)
+        assert a.variance == pytest.approx(combined.variance)
+        assert a.minimum == combined.minimum
+        assert a.maximum == combined.maximum
+
+    def test_merge_empty_sides(self):
+        full = StreamingStats()
+        full.extend([1.0, 2.0])
+        empty = StreamingStats()
+        full.merge(empty)
+        assert full.count == 2
+        empty2 = StreamingStats()
+        empty2.merge(full)
+        assert empty2.mean == pytest.approx(1.5)
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.lists(st.floats(min_value=-1e6, max_value=1e6,
+                              allow_nan=False), min_size=2, max_size=200))
+    def test_property_mean_variance(self, values):
+        stats = StreamingStats()
+        stats.extend(values)
+        assert stats.mean == pytest.approx(np.mean(values), rel=1e-9,
+                                           abs=1e-6)
+        assert stats.variance == pytest.approx(np.var(values), rel=1e-6,
+                                               abs=1e-3)
+
+
+class TestP2Quantile:
+    def test_validates_p(self):
+        with pytest.raises(ValueError):
+            P2Quantile(0.0)
+        with pytest.raises(ValueError):
+            P2Quantile(1.0)
+
+    def test_empty_is_nan(self):
+        assert math.isnan(P2Quantile().value)
+
+    def test_exact_below_five_samples(self):
+        quantile = P2Quantile(0.5)
+        for value in (3.0, 1.0, 2.0):
+            quantile.add(value)
+        assert quantile.value == 2.0
+
+    def test_median_of_uniform(self):
+        rng = random.Random(7)
+        quantile = P2Quantile(0.5)
+        values = [rng.random() for _ in range(20000)]
+        for value in values:
+            quantile.add(value)
+        assert quantile.value == pytest.approx(np.median(values), abs=0.02)
+
+    def test_p90_of_exponential(self):
+        rng = random.Random(11)
+        quantile = P2Quantile(0.9)
+        values = [rng.expovariate(1.0) for _ in range(20000)]
+        for value in values:
+            quantile.add(value)
+        exact = np.quantile(values, 0.9)
+        assert quantile.value == pytest.approx(exact, rel=0.1)
+
+    def test_median_of_lognormal(self):
+        """Heavy-tailed input, the regime the trace stats run in."""
+        rng = random.Random(13)
+        quantile = P2Quantile(0.5)
+        values = [rng.lognormvariate(8.0, 1.5) for _ in range(20000)]
+        for value in values:
+            quantile.add(value)
+        exact = float(np.median(values))
+        assert quantile.value == pytest.approx(exact, rel=0.1)

@@ -1,0 +1,104 @@
+"""Tests for the shared value types."""
+
+import pytest
+
+from repro.errors import ReproError, TraceFormatError
+from repro.types import (
+    DOCUMENT_TYPES,
+    PLOTTED_TYPES,
+    DocumentType,
+    Request,
+    Trace,
+)
+
+
+class TestDocumentType:
+    def test_five_classes_in_paper_order(self):
+        assert [t.value for t in DOCUMENT_TYPES] == [
+            "image", "html", "multimedia", "application", "other"]
+
+    def test_plotted_types_exclude_other(self):
+        assert DocumentType.OTHER not in PLOTTED_TYPES
+        assert len(PLOTTED_TYPES) == 4
+
+    def test_labels_match_paper_headers(self):
+        assert DocumentType.IMAGE.label == "Images"
+        assert DocumentType.MULTIMEDIA.label == "Multi Media"
+
+    def test_str(self):
+        assert str(DocumentType.HTML) == "html"
+
+    def test_constructible_from_value(self):
+        assert DocumentType("image") is DocumentType.IMAGE
+        with pytest.raises(ValueError):
+            DocumentType("video")
+
+
+class TestRequest:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Request(0.0, "u", -1, 0, DocumentType.OTHER)
+        with pytest.raises(ValueError):
+            Request(0.0, "u", 10, -5, DocumentType.OTHER)
+
+    def test_complete_flag(self):
+        full = Request(0.0, "u", 100, 100, DocumentType.OTHER)
+        partial = Request(0.0, "u", 100, 40, DocumentType.OTHER)
+        assert full.complete
+        assert not partial.complete
+
+    def test_frozen(self):
+        request = Request(0.0, "u", 100, 100, DocumentType.OTHER)
+        with pytest.raises(AttributeError):
+            request.size = 50
+
+
+class TestTrace:
+    def requests(self):
+        return [
+            Request(0.0, "a", 100, 100, DocumentType.IMAGE),
+            Request(1.0, "b", 200, 150, DocumentType.HTML),
+            Request(2.0, "a", 100, 100, DocumentType.IMAGE),
+        ]
+
+    def test_container_protocol(self):
+        trace = Trace(self.requests(), name="t")
+        assert len(trace) == 3
+        assert trace[0].url == "a"
+        assert [r.url for r in trace] == ["a", "b", "a"]
+
+    def test_metadata(self):
+        meta = Trace(self.requests()).metadata()
+        assert meta.total_requests == 3
+        assert meta.distinct_documents == 2
+        assert meta.total_size_bytes == 300
+        assert meta.requested_bytes == 350
+
+    def test_metadata_gb_properties(self):
+        meta = Trace([Request(0.0, "a", 2 * 10 ** 9, 10 ** 9,
+                              DocumentType.OTHER)]).metadata()
+        assert meta.total_size_gb == pytest.approx(2.0)
+        assert meta.requested_gb == pytest.approx(1.0)
+
+    def test_metadata_tracks_size_changes(self):
+        requests = [
+            Request(0.0, "a", 100, 100, DocumentType.HTML),
+            Request(1.0, "a", 104, 104, DocumentType.HTML),  # modified
+        ]
+        meta = Trace(requests).metadata()
+        assert meta.distinct_documents == 1
+        assert meta.total_size_bytes == 104
+
+
+class TestErrors:
+    def test_hierarchy(self):
+        assert issubclass(TraceFormatError, ReproError)
+
+    def test_trace_format_error_line_context(self):
+        error = TraceFormatError("bad field", line_number=12,
+                                 line="raw text")
+        assert "line 12" in str(error)
+        assert error.line == "raw text"
+
+    def test_trace_format_error_without_line(self):
+        assert str(TraceFormatError("oops")) == "oops"

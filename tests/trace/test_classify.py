@@ -1,0 +1,106 @@
+"""Tests for document-type classification."""
+
+import pytest
+
+from repro.trace.classify import (
+    classify,
+    classify_content_type,
+    classify_extension,
+    classify_url,
+)
+from repro.types import DocumentType
+
+
+class TestContentType:
+    @pytest.mark.parametrize("mime,expected", [
+        ("image/gif", DocumentType.IMAGE),
+        ("image/jpeg", DocumentType.IMAGE),
+        ("text/html", DocumentType.HTML),
+        ("text/plain", DocumentType.HTML),
+        ("text/anything-else", DocumentType.HTML),
+        ("audio/mpeg", DocumentType.MULTIMEDIA),
+        ("video/mpeg", DocumentType.MULTIMEDIA),
+        ("application/pdf", DocumentType.APPLICATION),
+        ("application/zip", DocumentType.APPLICATION),
+        ("application/x-shockwave-flash", DocumentType.MULTIMEDIA),
+        ("application/ogg", DocumentType.MULTIMEDIA),
+    ])
+    def test_mime_mapping(self, mime, expected):
+        assert classify_content_type(mime) is expected
+
+    def test_mime_parameters_stripped(self):
+        assert classify_content_type(
+            "text/html; charset=utf-8") is DocumentType.HTML
+
+    def test_case_insensitive(self):
+        assert classify_content_type("IMAGE/GIF") is DocumentType.IMAGE
+
+    def test_unknown_returns_none(self):
+        assert classify_content_type("x-custom/whatever") is None
+
+    def test_empty_returns_none(self):
+        assert classify_content_type(None) is None
+        assert classify_content_type("") is None
+        assert classify_content_type("   ;") is None
+
+
+class TestExtension:
+    @pytest.mark.parametrize("ext,expected", [
+        ("gif", DocumentType.IMAGE),
+        ("JPEG", DocumentType.IMAGE),
+        (".png", DocumentType.IMAGE),
+        ("html", DocumentType.HTML),
+        ("txt", DocumentType.HTML),
+        ("tex", DocumentType.HTML),     # paper: text files -> HTML class
+        ("java", DocumentType.HTML),
+        ("mp3", DocumentType.MULTIMEDIA),
+        ("mpeg", DocumentType.MULTIMEDIA),
+        ("ram", DocumentType.MULTIMEDIA),
+        ("mov", DocumentType.MULTIMEDIA),
+        ("ps", DocumentType.APPLICATION),
+        ("pdf", DocumentType.APPLICATION),
+        ("zip", DocumentType.APPLICATION),
+    ])
+    def test_extension_mapping(self, ext, expected):
+        assert classify_extension(ext) is expected
+
+    def test_unknown_extension(self):
+        assert classify_extension("xyz123") is None
+
+
+class TestUrl:
+    def test_extension_from_path(self):
+        assert classify_url("http://a.com/img/logo.gif") is DocumentType.IMAGE
+
+    def test_directory_url_is_html(self):
+        assert classify_url("http://a.com/") is DocumentType.HTML
+        assert classify_url("http://a.com/docs/") is DocumentType.HTML
+
+    def test_no_extension_is_html(self):
+        assert classify_url("http://a.com/about") is DocumentType.HTML
+
+    def test_unknown_extension_is_none(self):
+        assert classify_url("http://a.com/file.weirdext") is None
+
+    def test_query_does_not_confuse_extension(self):
+        assert classify_url(
+            "http://a.com/pic.jpeg?x=1") is DocumentType.IMAGE
+
+
+class TestClassify:
+    def test_content_type_wins_over_extension(self):
+        # Says .gif but serves HTML: trust the header.
+        assert classify("http://a.com/x.gif",
+                        "text/html") is DocumentType.HTML
+
+    def test_falls_back_to_extension(self):
+        assert classify("http://a.com/x.pdf", None) is \
+            DocumentType.APPLICATION
+
+    def test_unrecognized_both_is_other(self):
+        assert classify("http://a.com/x.weird",
+                        "mystery/stuff") is DocumentType.OTHER
+
+    def test_unparseable_content_type_falls_through(self):
+        assert classify("http://a.com/a.mp3",
+                        "unknown/thing") is DocumentType.MULTIMEDIA

@@ -1,0 +1,94 @@
+"""Tests for the Common Log Format parser."""
+
+import pytest
+
+from repro.errors import TraceFormatError
+from repro.trace.clf import CLFParser, format_clf_line, parse_clf_timestamp
+
+GOOD_LINE = ('host1 - frank [10/Oct/2000:13:55:36 -0700] '
+             '"GET /apache_pb.gif HTTP/1.0" 200 2326')
+
+COMBINED_LINE = GOOD_LINE + ' "http://ref/" "Mozilla/4.08"'
+
+
+class TestTimestamp:
+    def test_parses_with_offset(self):
+        # 13:55:36 -0700 == 20:55:36 UTC
+        epoch = parse_clf_timestamp("10/Oct/2000:13:55:36 -0700")
+        import time
+        assert time.gmtime(epoch)[:6] == (2000, 10, 10, 20, 55, 36)
+
+    def test_parses_positive_offset(self):
+        epoch_utc = parse_clf_timestamp("10/Oct/2000:12:00:00 +0000")
+        epoch_east = parse_clf_timestamp("10/Oct/2000:14:00:00 +0200")
+        assert epoch_utc == epoch_east
+
+    def test_parses_without_offset(self):
+        epoch = parse_clf_timestamp("01/Jan/2001:00:00:00")
+        import time
+        assert time.gmtime(epoch)[:3] == (2001, 1, 1)
+
+    def test_rejects_garbage(self):
+        with pytest.raises(ValueError):
+            parse_clf_timestamp("yesterday at noon")
+        with pytest.raises(ValueError):
+            parse_clf_timestamp("10/Zzz/2000:13:55:36 -0700")
+
+
+class TestParser:
+    def test_parse_good_line(self):
+        record = CLFParser().parse_line(GOOD_LINE)
+        assert record.client == "host1"
+        assert record.method == "GET"
+        assert record.url == "/apache_pb.gif"
+        assert record.status == 200
+        assert record.size == 2326
+        assert record.content_type is None  # CLF has no MIME field
+
+    def test_combined_format_tolerated(self):
+        record = CLFParser().parse_line(COMBINED_LINE)
+        assert record.url == "/apache_pb.gif"
+
+    def test_dash_size_becomes_zero(self):
+        line = GOOD_LINE.rsplit(" ", 1)[0] + " -"
+        record = CLFParser().parse_line(line)
+        assert record.size == 0
+
+    def test_malformed_lenient(self):
+        parser = CLFParser()
+        assert parser.parse_line("definitely not CLF") is None
+        assert parser.skipped == 1
+
+    def test_malformed_strict_raises(self):
+        with pytest.raises(TraceFormatError):
+            CLFParser(strict=True).parse_line("nope", line_number=3)
+
+    def test_blank_lines_skipped(self):
+        parser = CLFParser()
+        assert parser.parse_line("") is None
+        assert parser.parse_line("# hi") is None
+        assert parser.skipped == 0
+
+    def test_request_without_protocol(self):
+        line = ('h - - [10/Oct/2000:13:55:36 +0000] "/just-a-path" 200 10')
+        record = CLFParser().parse_line(line)
+        assert record.method == "GET"
+        assert record.url == "/just-a-path"
+
+    def test_parse_stream(self):
+        records = list(CLFParser().parse([GOOD_LINE, "", GOOD_LINE]))
+        assert len(records) == 2
+
+    def test_sniff(self):
+        assert CLFParser.sniff(GOOD_LINE)
+        assert not CLFParser.sniff("1.0 1 c TCP_MISS/200 10 GET http://u")
+
+
+def test_format_round_trip():
+    record = CLFParser().parse_line(GOOD_LINE)
+    line = format_clf_line(record)
+    again = CLFParser(strict=True).parse_line(line)
+    assert again.url == record.url
+    assert again.status == record.status
+    assert again.size == record.size
+    assert again.timestamp == record.timestamp

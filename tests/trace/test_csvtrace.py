@@ -1,0 +1,92 @@
+"""Tests for the canonical CSV trace format."""
+
+import io
+
+import pytest
+
+from repro.errors import TraceFormatError
+from repro.trace.csvtrace import (
+    CsvTraceParser,
+    CsvTraceWriter,
+    dumps,
+    loads,
+)
+from repro.types import DocumentType, Request
+
+
+def sample_requests():
+    return [
+        Request(0.0, "http://a/x.gif", 1000, 1000, DocumentType.IMAGE,
+                200, "image/gif"),
+        Request(1.5, "http://a/y.mp3", 5_000_000, 250_000,
+                DocumentType.MULTIMEDIA, 200, "audio/mpeg"),
+        Request(2.0, "http://a/z", 40, 40, DocumentType.OTHER, 203, None),
+    ]
+
+
+def test_round_trip_preserves_everything():
+    original = sample_requests()
+    again = list(loads(dumps(original)))
+    assert len(again) == len(original)
+    for a, b in zip(original, again):
+        assert a.url == b.url
+        assert a.size == b.size
+        assert a.transfer_size == b.transfer_size
+        assert a.doc_type is b.doc_type
+        assert a.status == b.status
+        assert a.content_type == b.content_type
+        assert a.timestamp == pytest.approx(b.timestamp, abs=1e-3)
+
+
+def test_writer_counts():
+    buffer = io.StringIO()
+    writer = CsvTraceWriter(buffer)
+    assert writer.write_all(sample_requests()) == 3
+    assert writer.count == 3
+
+
+def test_header_is_first_line():
+    text = dumps(sample_requests())
+    assert text.splitlines()[0].startswith("timestamp,url,size")
+
+
+def test_unexpected_header_raises():
+    bad = "timestamp,url,oops\n"
+    with pytest.raises(TraceFormatError):
+        list(CsvTraceParser().parse(io.StringIO(bad)))
+
+
+def test_wrong_column_count_strict_raises():
+    text = dumps(sample_requests()) + "1.0,only,three\n"
+    with pytest.raises(TraceFormatError):
+        list(loads(text))
+
+
+def test_wrong_column_count_lenient_skips():
+    text = dumps(sample_requests()) + "1.0,only,three\n"
+    parser = CsvTraceParser(strict=False)
+    records = list(parser.parse(io.StringIO(text)))
+    assert len(records) == 3
+    assert parser.skipped == 1
+
+
+def test_bad_doc_type_raises():
+    text = ("timestamp,url,size,transfer_size,doc_type,status,content_type\n"
+            "1.0,http://a,10,10,martian,200,\n")
+    with pytest.raises(TraceFormatError):
+        list(loads(text))
+
+
+def test_empty_content_type_is_none():
+    again = list(loads(dumps(sample_requests())))
+    assert again[2].content_type is None
+
+
+def test_sniff():
+    assert CsvTraceParser.sniff(
+        "timestamp,url,size,transfer_size,doc_type,status,content_type")
+    assert not CsvTraceParser.sniff("981172094.106 1523 ...")
+
+
+def test_empty_input_yields_nothing():
+    assert list(loads("")) == []

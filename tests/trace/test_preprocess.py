@@ -1,0 +1,86 @@
+"""Tests for the cacheability preprocessing (paper Section 2)."""
+
+import pytest
+
+from repro.trace.preprocess import (
+    CACHEABLE_STATUS_CODES,
+    CacheabilityFilter,
+    is_cacheable_status,
+    is_uncacheable_url,
+)
+from repro.trace.record import LogRecord
+
+
+def record(url="http://a.com/x.gif", status=200, size=100, method="GET"):
+    return LogRecord(timestamp=0.0, url=url, status=status, size=size,
+                     method=method)
+
+
+class TestHeuristics:
+    def test_cgi_marker(self):
+        assert is_uncacheable_url("http://a.com/cgi-bin/run")
+        assert is_uncacheable_url("http://a.com/CGI-BIN/run")  # case
+
+    def test_query_marker(self):
+        assert is_uncacheable_url("http://a.com/search?q=x")
+
+    def test_plain_url_cacheable(self):
+        assert not is_uncacheable_url("http://a.com/images/logo.gif")
+
+    def test_paper_status_code_set(self):
+        assert CACHEABLE_STATUS_CODES == {200, 203, 206, 300, 301, 302, 304}
+        for code in (200, 203, 206, 300, 301, 302, 304):
+            assert is_cacheable_status(code)
+        for code in (204, 307, 400, 403, 404, 500, 503):
+            assert not is_cacheable_status(code)
+
+
+class TestFilter:
+    def test_accepts_plain_get_200(self):
+        assert CacheabilityFilter().accepts(record())
+
+    def test_drops_query_url(self):
+        filt = CacheabilityFilter()
+        assert not filt.accepts(record(url="http://a.com/x?y=1"))
+        assert filt.stats.dropped_url == 1
+
+    def test_drops_cgi_url(self):
+        assert not CacheabilityFilter().accepts(
+            record(url="http://a.com/cgi-bin/x"))
+
+    def test_drops_bad_status(self):
+        filt = CacheabilityFilter()
+        assert not filt.accepts(record(status=404))
+        assert filt.stats.dropped_status == 1
+
+    def test_drops_non_get(self):
+        filt = CacheabilityFilter()
+        assert not filt.accepts(record(method="POST"))
+        assert filt.stats.dropped_method == 1
+
+    def test_drops_zero_size(self):
+        filt = CacheabilityFilter()
+        assert not filt.accepts(record(size=0))
+        assert filt.stats.dropped_empty == 1
+
+    def test_keeps_zero_size_when_configured(self):
+        filt = CacheabilityFilter(drop_zero_size=False)
+        assert filt.accepts(record(size=0))
+
+    def test_stats_totals(self):
+        filt = CacheabilityFilter()
+        records = [record(), record(status=500),
+                   record(url="http://a/cgi/x"), record()]
+        kept = list(filt.filter(records))
+        assert len(kept) == 2
+        assert filt.stats.seen == 4
+        assert filt.stats.kept == 2
+
+    def test_custom_markers(self):
+        filt = CacheabilityFilter(url_markers=("secret",))
+        assert not filt.accepts(record(url="http://a.com/secret/x.gif"))
+        assert filt.accepts(record(url="http://a.com/cgi-bin/x.gif"))
+
+    def test_custom_status_codes(self):
+        filt = CacheabilityFilter(status_codes=frozenset({200}))
+        assert not filt.accepts(record(status=304))

@@ -1,0 +1,84 @@
+"""Tests for trace file reading with format auto-detection."""
+
+import gzip
+
+import pytest
+
+from repro.errors import TraceFormatError
+from repro.trace.reader import detect_format, open_trace, read_records
+from repro.types import Request
+
+SQUID = ("981172094.106 1523 10.0.0.1 TCP_MISS/200 4158 GET "
+         "http://a.com/x.gif - DIRECT/a.com image/gif\n")
+CLF = ('host1 - - [10/Oct/2000:13:55:36 -0700] '
+       '"GET /a.gif HTTP/1.0" 200 2326\n')
+CSV = ("timestamp,url,size,transfer_size,doc_type,status,content_type\n"
+       "1.000,http://a/x.gif,100,100,image,200,image/gif\n")
+
+
+class TestDetect:
+    def test_detects_each_format(self):
+        assert detect_format(SQUID) == "squid"
+        assert detect_format(CLF) == "clf"
+        assert detect_format(CSV.splitlines()[0]) == "csv"
+
+    def test_unknown_raises(self):
+        with pytest.raises(TraceFormatError):
+            detect_format("mystery content")
+
+
+class TestOpenTrace:
+    def test_auto_detect_squid(self, tmp_path):
+        path = tmp_path / "access.log"
+        path.write_text(SQUID * 3)
+        records = list(open_trace(path))
+        assert len(records) == 3
+        assert records[0].url == "http://a.com/x.gif"
+
+    def test_auto_detect_csv_yields_requests(self, tmp_path):
+        path = tmp_path / "trace.csv"
+        path.write_text(CSV)
+        records = list(open_trace(path))
+        assert len(records) == 1
+        assert isinstance(records[0], Request)
+
+    def test_explicit_format(self, tmp_path):
+        path = tmp_path / "log.txt"
+        path.write_text(CLF)
+        records = list(open_trace(path, fmt="clf"))
+        assert records[0].status == 200
+
+    def test_gzip_transparent(self, tmp_path):
+        path = tmp_path / "access.log.gz"
+        with gzip.open(path, "wt") as stream:
+            stream.write(SQUID * 5)
+        assert len(list(open_trace(path))) == 5
+
+    def test_leading_blank_lines_skipped_for_detection(self, tmp_path):
+        path = tmp_path / "log"
+        path.write_text("\n\n" + SQUID)
+        assert len(list(open_trace(path))) == 1
+
+    def test_empty_file_yields_nothing(self, tmp_path):
+        path = tmp_path / "empty.log"
+        path.write_text("")
+        assert list(open_trace(path)) == []
+
+    def test_unknown_format_name(self, tmp_path):
+        path = tmp_path / "log"
+        path.write_text(SQUID)
+        with pytest.raises(TraceFormatError):
+            list(open_trace(path, fmt="xml"))
+
+
+class TestReadRecords:
+    def test_rejects_csv(self, tmp_path):
+        path = tmp_path / "t.csv"
+        path.write_text(CSV)
+        with pytest.raises(TraceFormatError):
+            list(read_records(path, fmt="csv"))
+
+    def test_reads_raw_log(self, tmp_path):
+        path = tmp_path / "log"
+        path.write_text(SQUID)
+        assert len(list(read_records(path))) == 1

@@ -1,0 +1,114 @@
+"""Property-based round-trip tests for all trace formats.
+
+Hypothesis generates arbitrary (well-formed) records; formatting then
+re-parsing must preserve every field each format can carry.
+"""
+
+import io
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.trace.clf import CLFParser, format_clf_line
+from repro.trace.csvtrace import CsvTraceParser, dumps
+from repro.trace.record import LogRecord
+from repro.trace.squid import SquidParser, format_squid_line
+from repro.types import DocumentType, Request
+
+# URL path segments: printable, no whitespace/quotes/control chars.
+url_segments = st.text(
+    alphabet=st.characters(
+        whitelist_categories=("Lu", "Ll", "Nd"),
+        whitelist_characters="-_.~"),
+    min_size=1, max_size=12)
+
+urls = st.builds(
+    lambda host, path: f"http://{host}.example/{path}",
+    url_segments, url_segments)
+
+mime_types = st.sampled_from([
+    None, "text/html", "image/gif", "video/mpeg", "application/pdf",
+    "application/x-thing+xml"])
+
+log_records = st.builds(
+    LogRecord,
+    timestamp=st.floats(min_value=1.0, max_value=2_000_000_000.0,
+                        allow_nan=False),
+    url=urls,
+    status=st.sampled_from([200, 203, 206, 301, 304, 404, 500]),
+    size=st.integers(min_value=0, max_value=2 ** 31 - 1),
+    method=st.sampled_from(["GET", "HEAD", "POST"]),
+    content_type=mime_types,
+    client=st.just("10.1.2.3"),
+    elapsed_ms=st.integers(min_value=0, max_value=60_000),
+)
+
+
+@settings(max_examples=80, deadline=None)
+@given(record=log_records)
+def test_squid_round_trip(record):
+    line = format_squid_line(record)
+    again = SquidParser(strict=True).parse_line(line)
+    assert again is not None
+    assert again.url == record.url
+    assert again.status == record.status
+    assert again.size == record.size
+    assert again.method == record.method
+    assert again.content_type == record.content_type
+    assert abs(again.timestamp - record.timestamp) < 0.01
+    assert again.elapsed_ms == record.elapsed_ms
+
+
+@settings(max_examples=80, deadline=None)
+@given(record=log_records)
+def test_clf_round_trip(record):
+    line = format_clf_line(record)
+    again = CLFParser(strict=True).parse_line(line)
+    assert again is not None
+    assert again.url == record.url
+    assert again.status == record.status
+    assert again.size == record.size
+    assert again.method == record.method
+    # CLF timestamps have one-second resolution.
+    assert abs(again.timestamp - record.timestamp) < 1.0
+
+
+requests_strategy = st.builds(
+    lambda ts, url, size, cut, doc_type, status, mime: Request(
+        timestamp=ts, url=url, size=size,
+        transfer_size=min(size, cut), doc_type=doc_type,
+        status=status, content_type=mime),
+    st.floats(min_value=0.0, max_value=1e9, allow_nan=False),
+    urls,
+    st.integers(min_value=0, max_value=2 ** 31 - 1),
+    st.integers(min_value=0, max_value=2 ** 31 - 1),
+    st.sampled_from(list(DocumentType)),
+    st.sampled_from([200, 203, 304]),
+    mime_types,
+)
+
+
+@settings(max_examples=80, deadline=None)
+@given(records=st.lists(requests_strategy, min_size=1, max_size=20))
+def test_csv_round_trip(records):
+    text = dumps(records)
+    again = list(CsvTraceParser(strict=True).parse(io.StringIO(text)))
+    assert len(again) == len(records)
+    for original, parsed in zip(records, again):
+        assert parsed.url == original.url
+        assert parsed.size == original.size
+        assert parsed.transfer_size == original.transfer_size
+        assert parsed.doc_type is original.doc_type
+        assert parsed.status == original.status
+        assert parsed.content_type == original.content_type
+        assert abs(parsed.timestamp - original.timestamp) <= 0.001
+
+
+@settings(max_examples=40, deadline=None)
+@given(records=st.lists(log_records, min_size=1, max_size=15))
+def test_squid_stream_round_trip_via_autodetect(records, tmp_path_factory):
+    from repro.trace.reader import open_trace
+    path = tmp_path_factory.mktemp("rt") / "log"
+    path.write_text("".join(format_squid_line(r) + "\n" for r in records))
+    parsed = list(open_trace(path))
+    assert len(parsed) == len(records)

@@ -1,0 +1,128 @@
+"""Tests for trace manipulation tools."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.trace.sampling import (
+    filter_by_type,
+    filter_requests,
+    head,
+    interleave,
+    sample,
+    split,
+    thin,
+    time_slice,
+)
+from repro.types import DocumentType, Request, Trace
+
+
+def make_trace(n=20, name="t"):
+    types = list(DocumentType)
+    return Trace([Request(float(i), f"u{i}", 100, 100,
+                          types[i % len(types)]) for i in range(n)],
+                 name=name)
+
+
+class TestFilters:
+    def test_filter_by_type(self):
+        trace = make_trace(20)
+        images = filter_by_type(trace, DocumentType.IMAGE)
+        assert len(images) == 4
+        assert all(r.doc_type is DocumentType.IMAGE for r in images)
+        assert images.name == "t-image"
+
+    def test_filter_requests_predicate(self):
+        trace = make_trace(10)
+        big = filter_requests(trace, lambda r: r.timestamp >= 5.0)
+        assert len(big) == 5
+
+    def test_order_preserved(self):
+        trace = make_trace(20)
+        sub = filter_by_type(trace, DocumentType.HTML)
+        stamps = [r.timestamp for r in sub]
+        assert stamps == sorted(stamps)
+
+
+class TestHeadThinSample:
+    def test_head(self):
+        assert len(head(make_trace(20), 5)) == 5
+        assert len(head(make_trace(3), 10)) == 3
+        with pytest.raises(ConfigurationError):
+            head(make_trace(3), -1)
+
+    def test_thin_every_nth(self):
+        trace = make_trace(10)
+        thinned = thin(trace, 3)
+        assert [r.url for r in thinned] == ["u0", "u3", "u6", "u9"]
+        offset = thin(trace, 3, offset=1)
+        assert [r.url for r in offset] == ["u1", "u4", "u7"]
+
+    def test_thin_one_is_identity(self):
+        trace = make_trace(10)
+        assert len(thin(trace, 1)) == 10
+        with pytest.raises(ConfigurationError):
+            thin(trace, 0)
+
+    def test_sample_fraction(self):
+        trace = make_trace(2000)
+        sampled = sample(trace, 0.25, seed=1)
+        assert 400 < len(sampled) < 600
+        with pytest.raises(ConfigurationError):
+            sample(trace, 0.0)
+
+    def test_sample_deterministic(self):
+        trace = make_trace(200)
+        a = [r.url for r in sample(trace, 0.5, seed=9)]
+        b = [r.url for r in sample(trace, 0.5, seed=9)]
+        assert a == b
+
+
+class TestSliceSplit:
+    def test_time_slice(self):
+        trace = make_trace(10)
+        sliced = time_slice(trace, 3.0, 7.0)
+        assert [r.timestamp for r in sliced] == [3.0, 4.0, 5.0, 6.0]
+        with pytest.raises(ConfigurationError):
+            time_slice(trace, 5.0, 5.0)
+
+    def test_split_counts(self):
+        trace = make_trace(10)
+        parts = split(trace, [0.3, 0.3, 0.4])
+        assert [len(p) for p in parts] == [3, 3, 4]
+        assert parts[0][0].url == "u0"
+        assert parts[2][-1].url == "u9"
+
+    def test_split_validation(self):
+        trace = make_trace(10)
+        with pytest.raises(ConfigurationError):
+            split(trace, [])
+        with pytest.raises(ConfigurationError):
+            split(trace, [0.5, 0.6])
+        with pytest.raises(ConfigurationError):
+            split(trace, [1.5, -0.5])
+
+
+class TestInterleave:
+    def test_merged_by_timestamp(self):
+        a = Trace([Request(0.0, "x", 1, 1, DocumentType.HTML),
+                   Request(2.0, "y", 1, 1, DocumentType.HTML)], "a")
+        b = Trace([Request(1.0, "x", 1, 1, DocumentType.HTML)], "b")
+        merged = interleave([a, b])
+        assert [r.timestamp for r in merged] == [0.0, 1.0, 2.0]
+
+    def test_prefixing_separates_populations(self):
+        a = Trace([Request(0.0, "doc", 1, 1, DocumentType.HTML)], "a")
+        b = Trace([Request(1.0, "doc", 1, 1, DocumentType.HTML)], "b")
+        merged = interleave([a, b])
+        urls = {r.url for r in merged}
+        assert urls == {"src0/doc", "src1/doc"}
+
+    def test_shared_population_mode(self):
+        a = Trace([Request(0.0, "doc", 1, 1, DocumentType.HTML)], "a")
+        b = Trace([Request(1.0, "doc", 1, 1, DocumentType.HTML)], "b")
+        merged = interleave([a, b], prefix_urls=False)
+        assert {r.url for r in merged} == {"doc"}
+
+    def test_empty_input(self):
+        with pytest.raises(ConfigurationError):
+            interleave([])

@@ -1,0 +1,98 @@
+"""Property-based tests for the trace manipulation tools."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.trace.sampling import (
+    anonymize,
+    head,
+    interleave,
+    sample,
+    split,
+    thin,
+)
+from repro.types import DocumentType, Request, Trace
+
+DOC_TYPES = list(DocumentType)
+
+traces = st.lists(
+    st.tuples(st.integers(0, 20), st.integers(1, 10_000),
+              st.integers(0, 4)),
+    min_size=1, max_size=80,
+).map(lambda rows: Trace([
+    Request(float(i), f"u{url_id}", size, size, DOC_TYPES[t])
+    for i, (url_id, size, t) in enumerate(rows)
+]))
+
+
+@settings(max_examples=40, deadline=None)
+@given(trace=traces, keep=st.integers(1, 10))
+def test_thin_counts_and_order(trace, keep):
+    thinned = thin(trace, keep)
+    expected = (len(trace) + keep - 1) // keep
+    assert len(thinned) == expected
+    stamps = [r.timestamp for r in thinned]
+    assert stamps == sorted(stamps)
+    # Every kept request exists in the original at the right position.
+    for index, request in enumerate(thinned):
+        assert trace[index * keep] is request
+
+
+@settings(max_examples=40, deadline=None)
+@given(trace=traces, n=st.integers(0, 100))
+def test_head_is_prefix(trace, n):
+    prefix = head(trace, n)
+    assert len(prefix) == min(n, len(trace))
+    for a, b in zip(prefix, trace):
+        assert a is b
+
+
+@settings(max_examples=40, deadline=None)
+@given(trace=traces, fraction=st.floats(0.01, 1.0),
+       seed=st.integers(0, 5))
+def test_sample_is_subsequence(trace, fraction, seed):
+    sampled = sample(trace, fraction, seed=seed)
+    assert len(sampled) <= len(trace)
+    iterator = iter(trace)
+    for request in sampled:
+        # Each sampled request appears later in the original order.
+        for candidate in iterator:
+            if candidate is request:
+                break
+        else:  # pragma: no cover - failure path
+            raise AssertionError("sampled request not in order")
+
+
+@settings(max_examples=40, deadline=None)
+@given(trace=traces,
+       cuts=st.sampled_from([[1.0], [0.5, 0.5], [0.2, 0.3, 0.5]]))
+def test_split_partitions(trace, cuts):
+    parts = split(trace, cuts)
+    assert sum(len(p) for p in parts) == len(trace)
+    rebuilt = [r for part in parts for r in part]
+    assert [r.url for r in rebuilt] == [r.url for r in trace]
+
+
+@settings(max_examples=30, deadline=None)
+@given(a=traces, b=traces)
+def test_interleave_conserves_and_orders(a, b):
+    merged = interleave([a, b])
+    assert len(merged) == len(a) + len(b)
+    stamps = [r.timestamp for r in merged]
+    assert stamps == sorted(stamps)
+    # Prefixing keeps the two sources' documents disjoint.
+    sources = {r.url.split("/", 1)[0] for r in merged}
+    assert sources <= {"src0", "src1"}
+
+
+@settings(max_examples=30, deadline=None)
+@given(trace=traces, salt=st.text(min_size=1, max_size=8))
+def test_anonymize_preserves_structure(trace, salt):
+    anon = anonymize(trace, salt)
+    assert len(anon) == len(trace)
+    # URL identity is an isomorphism: equal before <=> equal after.
+    mapping = {}
+    for original, hashed in zip(trace, anon):
+        previous = mapping.setdefault(original.url, hashed.url)
+        assert previous == hashed.url
+    assert len(set(mapping.values())) == len(mapping)

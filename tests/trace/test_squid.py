@@ -1,0 +1,93 @@
+"""Tests for the Squid native access.log parser."""
+
+import pytest
+
+from repro.errors import TraceFormatError
+from repro.trace.record import LogRecord
+from repro.trace.squid import SquidParser, format_squid_line
+
+GOOD_LINE = ("981172094.106 1523 10.0.0.1 TCP_MISS/200 4158 GET "
+             "http://a.com/x.gif - DIRECT/a.com image/gif")
+
+
+def test_parse_full_line():
+    record = SquidParser().parse_line(GOOD_LINE)
+    assert record.timestamp == pytest.approx(981172094.106)
+    assert record.elapsed_ms == 1523
+    assert record.client == "10.0.0.1"
+    assert record.status == 200
+    assert record.size == 4158
+    assert record.method == "GET"
+    assert record.url == "http://a.com/x.gif"
+    assert record.content_type == "image/gif"
+
+
+def test_parse_line_without_content_type():
+    line = ("981172094.106 15 10.0.0.1 TCP_HIT/304 120 GET "
+            "http://a.com/y.html - NONE/-")
+    record = SquidParser().parse_line(line)
+    assert record.content_type is None
+    assert record.status == 304
+
+
+def test_dash_content_type_is_none():
+    line = GOOD_LINE.rsplit(" ", 1)[0] + " -"
+    record = SquidParser().parse_line(line)
+    assert record.content_type is None
+
+
+def test_blank_and_comment_lines_skipped():
+    parser = SquidParser()
+    assert parser.parse_line("") is None
+    assert parser.parse_line("   ") is None
+    assert parser.parse_line("# comment") is None
+    assert parser.skipped == 0
+
+
+def test_malformed_line_lenient_counts_skip():
+    parser = SquidParser(strict=False)
+    assert parser.parse_line("not a log line") is None
+    assert parser.skipped == 1
+
+
+def test_malformed_line_strict_raises():
+    parser = SquidParser(strict=True)
+    with pytest.raises(TraceFormatError):
+        parser.parse_line("garbage here too short", line_number=7)
+
+
+@pytest.mark.parametrize("bad", [
+    "x 1523 c TCP_MISS/200 4158 GET http://u",       # bad timestamp
+    "1.0 x c TCP_MISS/200 4158 GET http://u",        # bad elapsed
+    "1.0 1 c TCPMISS200 4158 GET http://u",          # no slash
+    "1.0 1 c TCP_MISS/xx 4158 GET http://u",         # bad status
+    "1.0 1 c TCP_MISS/200 xx GET http://u",          # bad size
+])
+def test_malformed_variants(bad):
+    parser = SquidParser(strict=True)
+    with pytest.raises(TraceFormatError):
+        parser.parse_line(bad)
+
+
+def test_parse_stream():
+    lines = [GOOD_LINE, "", "# comment", GOOD_LINE]
+    records = list(SquidParser().parse(lines))
+    assert len(records) == 2
+    assert all(isinstance(r, LogRecord) for r in records)
+
+
+def test_sniff():
+    assert SquidParser.sniff(GOOD_LINE)
+    assert not SquidParser.sniff("a - - [x] \"GET /\" 200 5")
+    assert not SquidParser.sniff("short line")
+
+
+def test_format_round_trip():
+    record = SquidParser().parse_line(GOOD_LINE)
+    line = format_squid_line(record)
+    again = SquidParser(strict=True).parse_line(line)
+    assert again.url == record.url
+    assert again.status == record.status
+    assert again.size == record.size
+    assert again.content_type == record.content_type
+    assert again.timestamp == pytest.approx(record.timestamp)

@@ -1,0 +1,93 @@
+"""Tests for trace validation."""
+
+import pytest
+
+from repro.trace.validation import (
+    OSCILLATION_THRESHOLD,
+    Severity,
+    render_findings,
+    validate_trace,
+)
+from repro.types import DocumentType, Request, Trace
+
+
+def req(url="u", ts=0.0, size=100, transfer=None):
+    return Request(ts, url, size,
+                   transfer if transfer is not None else size,
+                   DocumentType.HTML)
+
+
+def by_check(findings):
+    return {f.check: f for f in findings}
+
+
+def test_clean_trace():
+    trace = Trace([req(ts=float(i), url=f"u{i}") for i in range(10)])
+    assert validate_trace(trace) == []
+    assert "clean" in render_findings([])
+
+
+def test_empty_trace_is_error():
+    findings = validate_trace(Trace([]))
+    assert findings[0].check == "empty-trace"
+    assert findings[0].severity is Severity.ERROR
+
+
+def test_out_of_order_timestamps():
+    trace = Trace([req(ts=5.0), req(ts=3.0, url="v")])
+    findings = by_check(validate_trace(trace))
+    assert "timestamp-order" in findings
+    assert findings["timestamp-order"].severity is Severity.WARNING
+    assert findings["timestamp-order"].count == 1
+
+
+def test_transfer_exceeding_size_is_error():
+    trace = Trace([req(size=100, transfer=500)])
+    findings = by_check(validate_trace(trace))
+    assert findings["transfer-exceeds-size"].severity is Severity.ERROR
+
+
+def test_zero_size_warning():
+    trace = Trace([req(size=0), req(url="ok", ts=1.0)])
+    findings = by_check(validate_trace(trace))
+    assert findings["zero-size-documents"].count == 1
+
+
+def test_size_oscillation_detected():
+    requests = [req(url="wobbly", ts=float(i), size=100 + i)
+                for i in range(OSCILLATION_THRESHOLD + 5)]
+    findings = by_check(validate_trace(Trace(requests)))
+    assert "size-oscillation" in findings
+
+
+def test_render_lists_counts():
+    trace = Trace([req(ts=5.0), req(ts=3.0, url="v"),
+                   req(ts=6.0, url="w", size=10, transfer=20)])
+    text = render_findings(validate_trace(trace))
+    assert "timestamp-order" in text
+    assert "transfer-exceeds-size" in text
+
+
+def test_cli_validate(tmp_path, capsys):
+    from repro.trace.cli import main
+    from repro.trace.writer import write_trace
+
+    clean = tmp_path / "clean.csv"
+    write_trace(clean, [req(ts=float(i), url=f"u{i}")
+                        for i in range(5)])
+    assert main(["validate", str(clean)]) == 0
+    assert "clean" in capsys.readouterr().out
+
+
+def test_cli_validate_error_exit(tmp_path, capsys):
+    from repro.trace.cli import main
+    from repro.trace.writer import write_trace
+
+    # transfer > size survives the canonical format? Request clamps are
+    # not applied at construction, so build the file by hand.
+    bad = tmp_path / "bad.csv"
+    bad.write_text(
+        "timestamp,url,size,transfer_size,doc_type,status,content_type\n"
+        "1.0,u,100,500,html,200,\n")
+    assert main(["validate", str(bad)]) == 1
+    assert "transfer-exceeds-size" in capsys.readouterr().out

@@ -1,0 +1,120 @@
+"""Calibration regression tests.
+
+EXPERIMENTS.md documents how closely the synthetic profiles land on
+the paper's published statistics; these tests pin that calibration so
+profile edits cannot silently drift away from the paper.  All targets
+come from the paper's prose (the intact numbers); tolerances reflect
+sampling noise at 1/64 scale (the scale EXPERIMENTS.md documents).
+"""
+
+import pytest
+
+from repro.analysis.characterize import characterize, type_breakdown
+from repro.types import DocumentType
+from repro.workload.generator import generate_trace
+from repro.workload.profiles import dfn_like, rtp_like
+
+IMAGE = DocumentType.IMAGE
+HTML = DocumentType.HTML
+MM = DocumentType.MULTIMEDIA
+APP = DocumentType.APPLICATION
+
+
+@pytest.fixture(scope="module")
+def dfn_breakdown():
+    return type_breakdown(generate_trace(dfn_like(scale=1 / 64)))
+
+
+@pytest.fixture(scope="module")
+def rtp_breakdown():
+    return type_breakdown(generate_trace(rtp_like(scale=1 / 64)))
+
+
+class TestDFNCalibration:
+    def test_request_mix(self, dfn_breakdown):
+        """Request shares are exact by construction."""
+        requests = dfn_breakdown.total_requests
+        assert requests[IMAGE] == pytest.approx(70.0, abs=0.2)
+        assert requests[HTML] == pytest.approx(21.2, abs=0.2)
+        assert requests[MM] == pytest.approx(0.14, abs=0.03)
+        assert requests[APP] == pytest.approx(2.6, abs=0.1)
+
+    def test_document_mix(self, dfn_breakdown):
+        documents = dfn_breakdown.distinct_documents
+        assert documents[MM] == pytest.approx(0.23, abs=0.05)
+        assert documents[IMAGE] + documents[HTML] > 90.0
+
+    def test_requested_data_shares(self, dfn_breakdown):
+        """Paper: images 30.8 %, application 34.8 % of requested data;
+        multimedia+application > 40 %."""
+        data = dfn_breakdown.requested_data
+        assert data[IMAGE] == pytest.approx(30.8, abs=5.0)
+        assert data[APP] == pytest.approx(34.8, abs=6.0)
+        assert data[MM] + data[APP] > 40.0
+
+    def test_mm_plus_app_small_request_share(self, dfn_breakdown):
+        requests = dfn_breakdown.total_requests
+        assert requests[MM] + requests[APP] < 5.0
+
+
+class TestRTPCalibration:
+    def test_request_mix(self, rtp_breakdown):
+        requests = rtp_breakdown.total_requests
+        assert requests[HTML] == pytest.approx(44.2, abs=0.3)
+        assert requests[MM] == pytest.approx(0.33, abs=0.05)
+
+    def test_document_mix(self, rtp_breakdown):
+        assert rtp_breakdown.distinct_documents[MM] == \
+            pytest.approx(0.41, abs=0.06)
+
+    def test_rtp_vs_dfn_contrasts(self, dfn_breakdown, rtp_breakdown):
+        """The cross-trace inequalities the paper's Section 4.4 lists."""
+        # More multimedia documents and requests.
+        assert rtp_breakdown.distinct_documents[MM] > \
+            dfn_breakdown.distinct_documents[MM]
+        assert rtp_breakdown.total_requests[MM] > \
+            dfn_breakdown.total_requests[MM]
+        # Smaller image and application byte shares.
+        assert rtp_breakdown.requested_data[IMAGE] < \
+            dfn_breakdown.requested_data[IMAGE]
+        assert rtp_breakdown.requested_data[APP] < \
+            dfn_breakdown.requested_data[APP]
+        # More HTML requests.
+        assert rtp_breakdown.total_requests[HTML] > \
+            2 * dfn_breakdown.total_requests[HTML]
+
+
+class TestLocalityCalibration:
+    @pytest.fixture(scope="class")
+    def dfn_char(self):
+        return characterize(generate_trace(dfn_like(scale=1 / 64)))
+
+    @pytest.fixture(scope="class")
+    def rtp_char(self):
+        return characterize(generate_trace(rtp_like(scale=1 / 64)))
+
+    def test_alpha_orderings(self, dfn_char):
+        """Images most skewed; multimedia/application most even."""
+        assert dfn_char.alpha(IMAGE) > dfn_char.alpha(HTML)
+        assert dfn_char.alpha(HTML) > dfn_char.alpha(MM)
+
+    def test_beta_inverse_trend(self, dfn_char):
+        """Images nearly uncorrelated; mm/app strongly correlated."""
+        assert dfn_char.beta(IMAGE) < dfn_char.beta(APP)
+
+    def test_rtp_flatter_popularity(self, dfn_char, rtp_char):
+        assert rtp_char.alpha(IMAGE) < dfn_char.alpha(IMAGE)
+
+    def test_application_size_signature(self, dfn_char):
+        """'Quite large mean values ... while median sizes are very
+        small' — the paper's new observation."""
+        app = dfn_char.by_type[APP].sizes.document
+        assert app.mean > 5 * app.median
+        image = dfn_char.by_type[IMAGE].sizes.document
+        assert image.mean < 3 * image.median
+
+    def test_multimedia_largest_transfers(self, dfn_char):
+        mm_mean = dfn_char.by_type[MM].sizes.transfer.mean
+        for other in (IMAGE, HTML, APP):
+            assert mm_mean > \
+                3 * dfn_char.by_type[other].sizes.transfer.mean

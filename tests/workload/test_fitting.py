@@ -1,0 +1,105 @@
+"""Tests for profile fitting (synthetic twins)."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.types import DOCUMENT_TYPES, DocumentType, Trace
+from repro.workload.fitting import fidelity_report, fit_profile
+from repro.workload.generator import generate_trace
+from repro.workload.profiles import dfn_like
+
+
+@pytest.fixture(scope="module")
+def dfn_trace():
+    return generate_trace(dfn_like(scale=1.0 / 128))
+
+
+@pytest.fixture(scope="module")
+def fitted(dfn_trace):
+    return fit_profile(dfn_trace)
+
+
+class TestFit:
+    def test_empty_trace_rejected(self):
+        with pytest.raises(ConfigurationError):
+            fit_profile(Trace([]))
+
+    def test_profile_validates(self, fitted):
+        fitted.validate()
+        assert fitted.name.endswith("-fitted")
+
+    def test_volume_matches(self, fitted, dfn_trace):
+        assert fitted.n_requests == len(dfn_trace)
+        assert fitted.n_documents == len({r.url for r in dfn_trace})
+
+    def test_shares_recovered(self, fitted):
+        """The fitted shares land on the generating profile's."""
+        original = dfn_like()
+        for doc_type in DOCUMENT_TYPES:
+            assert fitted.types[doc_type].request_share == pytest.approx(
+                original.types[doc_type].request_share, abs=0.01), doc_type
+
+    def test_alpha_ordering_recovered(self, fitted):
+        """Images most skewed, multimedia least (the DFN design)."""
+        assert fitted.types[DocumentType.IMAGE].alpha > \
+            fitted.types[DocumentType.HTML].alpha
+
+    def test_beta_ordering_recovered(self, fitted):
+        assert fitted.types[DocumentType.APPLICATION].beta > \
+            fitted.types[DocumentType.IMAGE].beta
+
+    def test_size_medians_recovered(self, fitted):
+        """Fitted medians land near the generating models'."""
+        original = dfn_like()
+        for doc_type in (DocumentType.IMAGE, DocumentType.HTML):
+            fitted_median = fitted.types[doc_type].size_model.median_bytes
+            original_median = \
+                original.types[doc_type].size_model.median_bytes
+            assert fitted_median == pytest.approx(original_median,
+                                                  rel=0.25), doc_type
+
+    def test_perturbation_rates_positive(self, fitted):
+        html = fitted.types[DocumentType.HTML]
+        mm = fitted.types[DocumentType.MULTIMEDIA]
+        assert html.modification_rate > 0
+        assert mm.interruption_rate > html.interruption_rate
+
+    def test_handles_single_type_trace(self):
+        from repro.types import Request
+        requests = [Request(float(i), f"u{i % 7}", 100, 100,
+                            DocumentType.IMAGE) for i in range(200)]
+        profile = fit_profile(Trace(requests, name="mono"))
+        profile.validate()
+        assert profile.types[DocumentType.IMAGE].request_share == \
+            pytest.approx(1.0, abs=1e-3)
+
+
+class TestTwinFidelity:
+    def test_twin_matches_original_breakdown(self, dfn_trace, fitted):
+        twin = generate_trace(fitted)
+        report = fidelity_report(dfn_trace, twin)
+        assert report["request_volume_ratio"] == pytest.approx(1.0,
+                                                               abs=0.01)
+        assert report["total_requests_max_dev"] < 1.0     # pct points
+        assert report["distinct_documents_max_dev"] < 1.5
+        assert report["requested_data_max_dev"] < 12.0    # heavy tails
+
+    def test_twin_preserves_policy_ordering(self, dfn_trace, fitted):
+        """The acceptance test that matters: the paper's headline
+        ordering measured on the twin matches the original."""
+        from repro.simulation.simulator import simulate
+
+        twin = generate_trace(fitted)
+
+        def ordering(trace):
+            capacity = int(trace.metadata().total_size_bytes * 0.02)
+            rates = {p: simulate(trace, p, capacity).hit_rate()
+                     for p in ("lru", "gds(1)", "gd*(1)")}
+            return sorted(rates, key=rates.get)
+
+        assert ordering(dfn_trace) == ordering(twin)
+
+    def test_scaled_twin(self, fitted):
+        half = fitted.scaled(0.5)
+        twin = generate_trace(half)
+        assert len(twin) == pytest.approx(fitted.n_requests / 2, rel=0.01)

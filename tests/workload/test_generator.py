@@ -1,0 +1,150 @@
+"""Tests for the synthetic trace generator."""
+
+from collections import Counter
+
+import pytest
+
+from repro.types import DOCUMENT_TYPES, DocumentType
+from repro.workload.generator import SyntheticTraceGenerator, generate_trace
+from repro.workload.profiles import dfn_like, uniform_profile
+
+
+@pytest.fixture(scope="module")
+def uniform_trace():
+    return generate_trace(uniform_profile(n_requests=8000,
+                                          n_documents=1500, seed=3))
+
+
+class TestBasics:
+    def test_request_count_exact(self, uniform_trace):
+        assert len(uniform_trace) == 8000
+
+    def test_document_count_close(self, uniform_trace):
+        distinct = len({r.url for r in uniform_trace})
+        assert distinct == pytest.approx(1500, abs=5)
+
+    def test_timestamps_nondecreasing(self, uniform_trace):
+        stamps = [r.timestamp for r in uniform_trace]
+        assert all(a <= b for a, b in zip(stamps, stamps[1:]))
+
+    def test_deterministic(self):
+        profile = uniform_profile(n_requests=1000, n_documents=300, seed=9)
+        a = generate_trace(profile)
+        b = generate_trace(profile)
+        assert [(r.url, r.size, r.transfer_size) for r in a] == \
+            [(r.url, r.size, r.transfer_size) for r in b]
+
+    def test_different_seeds_differ(self):
+        a = generate_trace(uniform_profile(n_requests=1000,
+                                           n_documents=300, seed=1))
+        b = generate_trace(uniform_profile(n_requests=1000,
+                                           n_documents=300, seed=2))
+        assert [r.url for r in a] != [r.url for r in b]
+
+    def test_urls_classifiable(self, uniform_trace):
+        """Synthetic URLs survive a round-trip through the classifier."""
+        from repro.trace.classify import classify
+        for request in uniform_trace.requests[:200]:
+            assert classify(request.url, request.content_type) is \
+                request.doc_type
+
+
+class TestMixFidelity:
+    def test_request_shares_match_profile(self):
+        profile = dfn_like(scale=1.0 / 128)
+        trace = generate_trace(profile)
+        counts = Counter(r.doc_type for r in trace)
+        total = len(trace)
+        for doc_type in DOCUMENT_TYPES:
+            expected = profile.types[doc_type].request_share
+            actual = counts[doc_type] / total
+            assert actual == pytest.approx(expected, abs=0.005), doc_type
+
+    def test_document_shares_match_profile(self):
+        profile = dfn_like(scale=1.0 / 128)
+        trace = generate_trace(profile)
+        docs = {}
+        for request in trace:
+            docs[request.url] = request.doc_type
+        counts = Counter(docs.values())
+        total = len(docs)
+        for doc_type in DOCUMENT_TYPES:
+            expected = profile.types[doc_type].doc_share
+            actual = counts[doc_type] / total
+            assert actual == pytest.approx(expected, abs=0.01), doc_type
+
+    def test_popularity_skew_matches_alpha_ordering(self):
+        """Types with larger α concentrate requests on fewer documents."""
+        from repro.analysis.popularity import popularity_counts
+        profile = dfn_like(scale=1.0 / 128)
+        trace = generate_trace(profile)
+        img = popularity_counts(trace, DocumentType.IMAGE)
+        mm_alpha_proxy = popularity_counts(trace, DocumentType.HTML)
+
+        def head_share(counts):
+            ordered = sorted(counts.values(), reverse=True)
+            head = max(len(ordered) // 100, 1)
+            return sum(ordered[:head]) / sum(ordered)
+
+        # Images (alpha 0.9) more concentrated than HTML (alpha 0.75).
+        assert head_share(img) > head_share(mm_alpha_proxy)
+
+
+class TestPerturbations:
+    def test_modifications_injected(self):
+        profile = dfn_like(scale=1.0 / 256)
+        trace = generate_trace(profile)
+        assert trace.modifications_injected > 0
+        # Some URL's size changes over the trace.
+        sizes = {}
+        changed = 0
+        for request in trace:
+            previous = sizes.get(request.url)
+            if previous is not None and previous != request.size:
+                changed += 1
+                delta = abs(request.size - previous) / previous
+                assert delta < 0.05, "modification exceeded tolerance"
+            sizes[request.url] = request.size
+        assert changed == trace.modifications_injected
+
+    def test_interruptions_injected(self):
+        profile = dfn_like(scale=1.0 / 256)
+        trace = generate_trace(profile)
+        assert trace.interruptions_injected > 0
+        interrupted = [r for r in trace if r.transfer_size < r.size]
+        assert len(interrupted) == trace.interruptions_injected
+        for request in interrupted:
+            assert request.transfer_size <= request.size * 0.95
+
+    def test_multimedia_interrupted_most(self):
+        """The paper's rationale: users abort large transfers."""
+        profile = dfn_like(scale=1.0 / 64)
+        trace = generate_trace(profile)
+        rates = {}
+        totals = Counter(r.doc_type for r in trace)
+        aborted = Counter(r.doc_type for r in trace
+                          if r.transfer_size < r.size)
+        for doc_type in (DocumentType.IMAGE, DocumentType.MULTIMEDIA):
+            rates[doc_type] = aborted[doc_type] / totals[doc_type]
+        assert rates[DocumentType.MULTIMEDIA] > rates[DocumentType.IMAGE]
+
+
+class TestEdgeCases:
+    def test_tiny_profile(self):
+        trace = generate_trace(uniform_profile(n_requests=10,
+                                               n_documents=5, seed=1))
+        assert len(trace) == 10
+
+    def test_single_document_type_starved_of_requests(self):
+        """A type with documents but a rounding-starved request budget
+        must shrink its population rather than fail."""
+        trace = generate_trace(uniform_profile(n_requests=12,
+                                               n_documents=10, seed=2))
+        assert len(trace) == 12
+
+    def test_generator_object_reusable(self):
+        generator = SyntheticTraceGenerator(
+            uniform_profile(n_requests=500, n_documents=100, seed=4))
+        a = generator.generate()
+        b = generator.generate()
+        assert [r.url for r in a] == [r.url for r in b]

@@ -1,0 +1,59 @@
+"""Tests for the Independent Reference Model generation arm."""
+
+import pytest
+
+from repro.analysis.correlation import estimate_beta
+from repro.errors import ConfigurationError
+from repro.types import DocumentType
+from repro.workload.generator import SyntheticTraceGenerator, generate_trace
+from repro.workload.profiles import uniform_profile
+from repro.workload.temporal import place_references_irm
+
+
+def test_unknown_temporal_model_rejected():
+    with pytest.raises(ConfigurationError):
+        SyntheticTraceGenerator(uniform_profile(), temporal_model="markov")
+
+
+def test_irm_positions_uniform():
+    import random
+    rng = random.Random(3)
+    positions = place_references_irm(5000, 100.0, rng)
+    assert len(positions) == 5000
+    assert all(0 <= p < 100.0 for p in positions)
+    mean = sum(positions) / len(positions)
+    assert mean == pytest.approx(50.0, abs=2.0)
+
+
+def test_irm_preserves_counts_and_popularity():
+    profile = uniform_profile(n_requests=6000, n_documents=1200, seed=5)
+    gaps = generate_trace(profile, temporal_model="gaps")
+    irm = generate_trace(profile, temporal_model="irm")
+    assert len(gaps) == len(irm) == 6000
+
+    def counts(trace):
+        from collections import Counter
+        return Counter(r.url for r in trace)
+
+    # Same documents, same per-document request counts: only the
+    # *placement* differs.
+    assert counts(gaps) == counts(irm)
+
+
+def test_irm_weakens_measured_correlation():
+    """β estimated on an IRM trace is lower than on the gap trace
+    generated from the same (high-β) profile."""
+    profile = uniform_profile(n_requests=20_000, n_documents=2500,
+                              alpha=0.1, beta=0.9, seed=7)
+    gaps = generate_trace(profile, temporal_model="gaps")
+    irm = generate_trace(profile, temporal_model="irm")
+    beta_gaps = estimate_beta(gaps.requests, max_refs=100)
+    beta_irm = estimate_beta(irm.requests, max_refs=100)
+    assert beta_gaps > beta_irm
+
+
+def test_irm_deterministic():
+    profile = uniform_profile(n_requests=1000, n_documents=300, seed=9)
+    a = generate_trace(profile, temporal_model="irm")
+    b = generate_trace(profile, temporal_model="irm")
+    assert [r.url for r in a] == [r.url for r in b]

@@ -1,0 +1,98 @@
+"""Tests for the modification/interruption injector."""
+
+import random
+
+import pytest
+
+from repro.types import DocumentType, Request
+from repro.workload.modifications import MIN_MODIFIABLE_SIZE, ChangeInjector
+from repro.workload.profiles import uniform_profile
+
+
+def stream(url="u", size=10_000, count=100,
+           doc_type=DocumentType.HTML):
+    return [Request(float(i), url, size, size, doc_type)
+            for i in range(count)]
+
+
+def injector_with_rates(modification=0.0, interruption=0.0, seed=1):
+    profile = uniform_profile(n_requests=100, n_documents=10)
+    for type_profile in profile.types.values():
+        type_profile.modification_rate = modification
+        type_profile.interruption_rate = interruption
+    return ChangeInjector(profile, rng=random.Random(seed))
+
+
+def test_zero_rates_passthrough():
+    injector = injector_with_rates()
+    original = stream()
+    out = list(injector.process(original))
+    assert out == original
+    assert injector.modifications == 0
+    assert injector.interruptions == 0
+
+
+def test_modifications_stay_within_tolerance():
+    injector = injector_with_rates(modification=0.5)
+    out = list(injector.process(stream(count=500)))
+    previous = None
+    for request in out:
+        if previous is not None and request.size != previous:
+            delta = abs(request.size - previous) / previous
+            assert 0 < delta < 0.05
+        previous = request.size
+    assert injector.modifications > 0
+
+
+def test_first_visit_never_modified():
+    injector = injector_with_rates(modification=0.99, seed=3)
+    out = list(injector.process(
+        [Request(0.0, f"u{i}", 10_000, 10_000, DocumentType.HTML)
+         for i in range(100)]))
+    assert injector.modifications == 0
+    assert all(r.size == 10_000 for r in out)
+
+
+def test_tiny_documents_not_modified():
+    injector = injector_with_rates(modification=0.99)
+    out = list(injector.process(stream(size=MIN_MODIFIABLE_SIZE - 1,
+                                       count=200)))
+    assert injector.modifications == 0
+    assert all(r.size == MIN_MODIFIABLE_SIZE - 1 for r in out)
+
+
+def test_interruptions_cut_transfer_only():
+    injector = injector_with_rates(interruption=0.5)
+    out = list(injector.process(stream(count=500)))
+    assert injector.interruptions > 0
+    for request in out:
+        assert request.size == 10_000     # document size untouched
+        if request.transfer_size < request.size:
+            # At least the 5 % tolerance below full size.
+            assert request.transfer_size <= request.size * 0.95
+            assert request.transfer_size >= 1
+
+
+def test_modified_size_persists_for_later_requests():
+    injector = injector_with_rates(modification=1.0, seed=5)
+    out = list(injector.process(stream(count=3)))
+    # Request 2 sees the size request 1 was modified to (before its own
+    # modification), i.e. sizes form a chain, not oscillation around
+    # the original.
+    assert out[1].size != out[0].size
+    # The injector's memory of the URL is the latest size.
+    assert injector._current_sizes["u"] == out[2].size
+
+
+def test_unknown_type_passthrough():
+    profile = uniform_profile(n_requests=100, n_documents=10)
+    del profile.types[DocumentType.OTHER]
+    injector = ChangeInjector(profile, rng=random.Random(1))
+    original = stream(doc_type=DocumentType.OTHER)
+    assert list(injector.process(original)) == original
+
+
+def test_deterministic_given_rng():
+    a = list(injector_with_rates(0.3, 0.3, seed=7).process(stream()))
+    b = list(injector_with_rates(0.3, 0.3, seed=7).process(stream()))
+    assert a == b

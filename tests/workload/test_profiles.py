@@ -1,0 +1,141 @@
+"""Tests for the calibrated workload profiles."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.types import DOCUMENT_TYPES, DocumentType
+from repro.workload.profiles import (
+    TypeProfile,
+    WorkloadProfile,
+    dfn_like,
+    profile_by_name,
+    rtp_like,
+    uniform_profile,
+)
+from repro.workload.sizes import FixedSizeModel
+
+
+class TestValidation:
+    def base_type(self, **overrides):
+        kwargs = dict(doc_share=1.0, request_share=1.0, alpha=0.8,
+                      beta=0.4, size_model=FixedSizeModel(100))
+        kwargs.update(overrides)
+        return TypeProfile(**kwargs)
+
+    def test_valid_profile_passes(self):
+        profile = WorkloadProfile("t", 100, 50,
+                                  {DocumentType.HTML: self.base_type()})
+        profile.validate()
+
+    def test_shares_must_sum_to_one(self):
+        profile = WorkloadProfile(
+            "t", 100, 50,
+            {DocumentType.HTML: self.base_type(doc_share=0.6)})
+        with pytest.raises(ConfigurationError):
+            profile.validate()
+
+    def test_requests_must_cover_documents(self):
+        profile = WorkloadProfile("t", 10, 50,
+                                  {DocumentType.HTML: self.base_type()})
+        with pytest.raises(ConfigurationError):
+            profile.validate()
+
+    def test_type_level_validation(self):
+        with pytest.raises(ConfigurationError):
+            self.base_type(alpha=-1).validate()
+        with pytest.raises(ConfigurationError):
+            self.base_type(modification_rate=1.0).validate()
+        with pytest.raises(ConfigurationError):
+            self.base_type(doc_share=1.5).validate()
+
+    def test_empty_types_rejected(self):
+        with pytest.raises(ConfigurationError):
+            WorkloadProfile("t", 100, 50, {}).validate()
+
+
+class TestCalibratedProfiles:
+    def test_dfn_shares_sum(self):
+        profile = dfn_like()
+        assert sum(t.doc_share for t in profile.types.values()) == \
+            pytest.approx(1.0)
+        assert sum(t.request_share for t in profile.types.values()) == \
+            pytest.approx(1.0)
+
+    def test_dfn_paper_mix(self):
+        """Images+HTML ≈ 95 % of documents and requests (paper)."""
+        profile = dfn_like()
+        img = profile.types[DocumentType.IMAGE]
+        html = profile.types[DocumentType.HTML]
+        assert img.doc_share + html.doc_share > 0.9
+        assert img.request_share + html.request_share > 0.9
+        mm = profile.types[DocumentType.MULTIMEDIA]
+        assert mm.doc_share == pytest.approx(0.0023)
+        assert mm.request_share == pytest.approx(0.0014)
+
+    def test_rtp_has_more_multimedia(self):
+        """The paper's central DFN/RTP contrast."""
+        dfn, rtp = dfn_like(), rtp_like()
+        mm = DocumentType.MULTIMEDIA
+        assert rtp.types[mm].doc_share > dfn.types[mm].doc_share
+        assert rtp.types[mm].request_share > dfn.types[mm].request_share
+
+    def test_rtp_flatter_popularity(self):
+        dfn, rtp = dfn_like(), rtp_like()
+        for doc_type in DOCUMENT_TYPES:
+            assert rtp.types[doc_type].alpha <= dfn.types[doc_type].alpha
+
+    def test_rtp_stronger_correlation_for_named_types(self):
+        """'The slopes β ... for HTML, multi media, and application are
+        much bigger' in RTP."""
+        dfn, rtp = dfn_like(), rtp_like()
+        for doc_type in (DocumentType.HTML, DocumentType.MULTIMEDIA,
+                         DocumentType.APPLICATION):
+            assert rtp.types[doc_type].beta > dfn.types[doc_type].beta
+
+    def test_beta_ordering_within_dfn(self):
+        """Images nearly uncorrelated; multimedia/application strongly
+        correlated (paper Section 2)."""
+        profile = dfn_like()
+        assert profile.types[DocumentType.IMAGE].beta < \
+            profile.types[DocumentType.HTML].beta
+        assert profile.types[DocumentType.HTML].beta < \
+            profile.types[DocumentType.MULTIMEDIA].beta
+
+    def test_alpha_ordering_within_dfn(self):
+        """Images most skewed, multimedia/application most even."""
+        profile = dfn_like()
+        assert profile.types[DocumentType.IMAGE].alpha > \
+            profile.types[DocumentType.HTML].alpha > \
+            profile.types[DocumentType.MULTIMEDIA].alpha
+
+    def test_scale_argument(self):
+        small = dfn_like(scale=1.0 / 512)
+        full = dfn_like(scale=1.0)
+        assert full.n_requests == 6_718_201
+        assert small.n_requests == 6_718_201 // 512
+        assert full.n_documents == 2_987_565
+
+    def test_scaled_copy(self):
+        profile = dfn_like(scale=1.0)
+        half = profile.scaled(0.5)
+        assert half.n_requests == profile.n_requests // 2
+        assert half.types is not profile.types or \
+            half.types == profile.types
+        with pytest.raises(ConfigurationError):
+            profile.scaled(0)
+
+    def test_profiles_validate(self):
+        dfn_like().validate()
+        rtp_like().validate()
+        uniform_profile().validate()
+
+
+class TestLookup:
+    def test_by_name(self):
+        assert profile_by_name("dfn").name == "dfn-like"
+        assert profile_by_name("RTP-like").name == "rtp-like"
+        assert profile_by_name("dfn", seed=123).seed == 123
+
+    def test_unknown(self):
+        with pytest.raises(ConfigurationError):
+            profile_by_name("nlanr")

@@ -1,0 +1,136 @@
+"""Tests for the document size models."""
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.workload.sizes import (
+    BoundedParetoSizeModel,
+    FixedSizeModel,
+    LognormalSizeModel,
+    MixtureSizeModel,
+)
+
+
+class TestLognormal:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LognormalSizeModel(0, 1.0)
+        with pytest.raises(ValueError):
+            LognormalSizeModel(100, -1.0)
+        with pytest.raises(ValueError):
+            LognormalSizeModel(100, 1.0, min_bytes=0)
+        with pytest.raises(ValueError):
+            LognormalSizeModel(100, 1.0, min_bytes=10, max_bytes=10)
+
+    def test_clamping(self):
+        model = LognormalSizeModel(1000, 3.0, min_bytes=100,
+                                   max_bytes=10_000)
+        rng = random.Random(1)
+        samples = [model.sample(rng) for _ in range(2000)]
+        assert min(samples) >= 100
+        assert max(samples) <= 10_000
+
+    def test_median_matches(self):
+        model = LognormalSizeModel(50_000, 1.0)
+        rng = random.Random(2)
+        samples = [model.sample(rng) for _ in range(20_000)]
+        assert float(np.median(samples)) == pytest.approx(50_000, rel=0.05)
+
+    def test_mean_matches_analytic(self):
+        model = LognormalSizeModel(10_000, 1.0)
+        rng = random.Random(3)
+        samples = [model.sample(rng) for _ in range(50_000)]
+        assert float(np.mean(samples)) == pytest.approx(model.mean,
+                                                        rel=0.05)
+
+    def test_analytic_properties(self):
+        model = LognormalSizeModel(1000, 0.0)
+        assert model.mean == pytest.approx(1000)
+        assert model.cov == pytest.approx(0.0)
+        wide = LognormalSizeModel(1000, 2.0)
+        assert wide.mean > wide.median_bytes
+        assert wide.cov > 5
+
+    def test_sigma_zero_constant(self):
+        model = LognormalSizeModel(500, 0.0)
+        rng = random.Random(4)
+        assert all(model.sample(rng) == 500 for _ in range(20))
+
+
+class TestBoundedPareto:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BoundedParetoSizeModel(0, 10, 100)
+        with pytest.raises(ValueError):
+            BoundedParetoSizeModel(1.0, 100, 100)
+
+    def test_range(self):
+        model = BoundedParetoSizeModel(1.2, 1000, 1_000_000)
+        rng = random.Random(5)
+        samples = [model.sample(rng) for _ in range(5000)]
+        assert min(samples) >= 1000
+        assert max(samples) <= 1_000_000
+
+    def test_heavy_tail(self):
+        """Mean far above median for shape near 1."""
+        model = BoundedParetoSizeModel(1.05, 1000, 10 ** 9)
+        rng = random.Random(6)
+        samples = [model.sample(rng) for _ in range(20_000)]
+        assert np.mean(samples) > 3 * np.median(samples)
+
+    def test_lower_shape_heavier_tail(self):
+        rng1, rng2 = random.Random(7), random.Random(7)
+        light = BoundedParetoSizeModel(2.5, 1000, 10 ** 8)
+        heavy = BoundedParetoSizeModel(1.1, 1000, 10 ** 8)
+        light_mean = np.mean([light.sample(rng1) for _ in range(20_000)])
+        heavy_mean = np.mean([heavy.sample(rng2) for _ in range(20_000)])
+        assert heavy_mean > light_mean
+
+
+class TestMixture:
+    def test_validation(self):
+        body = FixedSizeModel(10)
+        with pytest.raises(ValueError):
+            MixtureSizeModel(body, body, 1.5)
+
+    def test_tail_probability_zero_is_body(self):
+        model = MixtureSizeModel(FixedSizeModel(10), FixedSizeModel(999),
+                                 0.0)
+        rng = random.Random(8)
+        assert all(model.sample(rng) == 10 for _ in range(50))
+
+    def test_tail_probability_one_is_tail(self):
+        model = MixtureSizeModel(FixedSizeModel(10), FixedSizeModel(999),
+                                 1.0)
+        rng = random.Random(9)
+        assert all(model.sample(rng) == 999 for _ in range(50))
+
+    def test_mixing_fraction(self):
+        model = MixtureSizeModel(FixedSizeModel(10), FixedSizeModel(999),
+                                 0.25)
+        rng = random.Random(10)
+        samples = [model.sample(rng) for _ in range(10_000)]
+        tail_fraction = sum(s == 999 for s in samples) / len(samples)
+        assert tail_fraction == pytest.approx(0.25, abs=0.02)
+
+    def test_small_median_large_mean(self):
+        """The application-documents signature shape."""
+        body = LognormalSizeModel(20_000, 2.0)
+        tail = BoundedParetoSizeModel(1.1, 262_144, 10 ** 9)
+        model = MixtureSizeModel(body, tail, 0.03)
+        rng = random.Random(11)
+        samples = [model.sample(rng) for _ in range(30_000)]
+        assert np.mean(samples) > 3 * np.median(samples)
+
+
+class TestFixed:
+    def test_constant(self):
+        model = FixedSizeModel(123)
+        assert model.sample(random.Random(1)) == 123
+        assert model.sample() == 123
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FixedSizeModel(0)

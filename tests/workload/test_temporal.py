@@ -1,0 +1,96 @@
+"""Tests for the power-law gap sampler and reference placement."""
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.workload.temporal import PowerLawGapSampler, place_references
+
+
+class TestSampler:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PowerLawGapSampler(-0.1, 100)
+        with pytest.raises(ValueError):
+            PowerLawGapSampler(0.5, 0)
+
+    def test_gaps_in_range(self):
+        sampler = PowerLawGapSampler(0.7, 1000, seed=1)
+        gaps = sampler.sample_many(5000)
+        assert gaps.min() >= 1
+        assert gaps.max() <= 1000
+
+    def test_max_gap_one_degenerate(self):
+        sampler = PowerLawGapSampler(0.5, 1, seed=2)
+        assert sampler.sample() == 1
+        assert all(g == 1 for g in sampler.sample_many(10))
+        assert sampler.mean_gap() == 1.0
+
+    def test_beta_one_special_case(self):
+        sampler = PowerLawGapSampler(1.0, 10_000, seed=3)
+        gaps = sampler.sample_many(5000)
+        assert gaps.min() >= 1 and gaps.max() <= 10_000
+
+    def test_higher_beta_shorter_gaps(self):
+        means = []
+        for beta in (0.1, 0.5, 0.9):
+            sampler = PowerLawGapSampler(beta, 100_000, seed=5)
+            means.append(float(sampler.sample_many(20_000).mean()))
+        assert means[0] > means[1] > means[2]
+
+    def test_empirical_mean_matches_analytic(self):
+        sampler = PowerLawGapSampler(0.6, 10_000, seed=7)
+        empirical = float(sampler.sample_many(200_000).mean())
+        assert empirical == pytest.approx(sampler.mean_gap(), rel=0.05)
+
+    def test_analytic_mean_special_betas(self):
+        # beta = 1 and beta = 2 hit the log branches.
+        for beta in (1.0, 2.0):
+            sampler = PowerLawGapSampler(beta, 1000, seed=9)
+            empirical = float(sampler.sample_many(200_000).mean())
+            assert empirical == pytest.approx(sampler.mean_gap(), rel=0.1)
+
+    def test_deterministic(self):
+        a = PowerLawGapSampler(0.5, 1000, seed=11).sample_many(50)
+        b = PowerLawGapSampler(0.5, 1000, seed=11).sample_many(50)
+        assert (a == b).all()
+
+    def test_distribution_slope(self):
+        """Sampled gaps fit back to the requested β."""
+        from repro.structures.histogram import (
+            LogHistogram, least_squares_slope)
+        beta = 0.7
+        sampler = PowerLawGapSampler(beta, 10 ** 6, seed=13)
+        hist = LogHistogram(max_value=10 ** 6, bins_per_decade=4)
+        for gap in sampler.sample_many(100_000):
+            hist.add(gap)
+        slope = least_squares_slope(hist.loglog_points())
+        assert -slope == pytest.approx(beta, abs=0.12)
+
+
+class TestPlacement:
+    def test_counts_and_range(self):
+        rng = random.Random(1)
+        sampler = PowerLawGapSampler(0.5, 1000, seed=2)
+        positions = place_references(25, 1000.0, sampler, rng)
+        assert len(positions) == 25
+        assert all(0 <= p < 1000.0 for p in positions)
+
+    def test_zero_refs(self):
+        rng = random.Random(1)
+        sampler = PowerLawGapSampler(0.5, 100, seed=2)
+        assert place_references(0, 100.0, sampler, rng) == []
+
+    def test_single_ref_uniform(self):
+        rng = random.Random(3)
+        sampler = PowerLawGapSampler(0.5, 100, seed=4)
+        positions = [place_references(1, 100.0, sampler, rng)[0]
+                     for _ in range(2000)]
+        assert np.mean(positions) == pytest.approx(50.0, abs=5.0)
+
+    def test_positions_distinct(self):
+        rng = random.Random(5)
+        sampler = PowerLawGapSampler(0.8, 10_000, seed=6)
+        positions = place_references(100, 10_000.0, sampler, rng)
+        assert len(set(positions)) == len(positions)

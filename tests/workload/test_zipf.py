@@ -1,0 +1,111 @@
+"""Tests for Zipf popularity machinery."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.workload.zipf import (
+    ZipfSampler,
+    fit_alpha,
+    zipf_counts,
+    zipf_weights,
+)
+
+
+class TestWeights:
+    def test_shape(self):
+        weights = zipf_weights(5, 1.0)
+        assert weights[0] == pytest.approx(1.0)
+        assert weights[1] == pytest.approx(0.5)
+        assert weights[4] == pytest.approx(0.2)
+
+    def test_alpha_zero_uniform(self):
+        weights = zipf_weights(10, 0.0)
+        assert all(w == 1.0 for w in weights)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            zipf_weights(0, 1.0)
+        with pytest.raises(ValueError):
+            zipf_weights(5, -0.1)
+
+
+class TestCounts:
+    def test_exact_total(self):
+        counts = zipf_counts(100, 0.8, 5000)
+        assert sum(counts) == 5000
+        assert len(counts) == 100
+
+    def test_every_document_requested(self):
+        counts = zipf_counts(500, 1.2, 800)
+        assert min(counts) >= 1
+
+    def test_nonincreasing(self):
+        counts = zipf_counts(200, 0.7, 4000)
+        assert all(a >= b for a, b in zip(counts, counts[1:]))
+
+    def test_rejects_insufficient_requests(self):
+        with pytest.raises(ValueError):
+            zipf_counts(10, 1.0, 9)
+
+    def test_equal_requests_and_docs(self):
+        counts = zipf_counts(50, 1.0, 50)
+        assert counts == [1] * 50
+
+    def test_alpha_zero_near_uniform(self):
+        counts = zipf_counts(10, 0.0, 1000)
+        assert max(counts) - min(counts) <= 1
+
+    def test_head_dominates_for_large_alpha(self):
+        counts = zipf_counts(1000, 1.2, 50_000)
+        head_share = sum(counts[:10]) / 50_000
+        assert head_share > 0.2
+
+    @settings(max_examples=40, deadline=None)
+    @given(n_docs=st.integers(1, 300),
+           alpha=st.floats(0.0, 2.0),
+           multiplier=st.floats(1.0, 50.0))
+    def test_property_exact_and_positive(self, n_docs, alpha, multiplier):
+        total = int(n_docs * multiplier)
+        counts = zipf_counts(n_docs, alpha, total)
+        assert sum(counts) == total
+        assert min(counts) >= 1
+
+
+class TestFitAlpha:
+    def test_recovers_generated_alpha(self):
+        for alpha in (0.5, 0.8, 1.1):
+            counts = zipf_counts(5000, alpha, 500_000)
+            fitted = fit_alpha(counts)
+            assert fitted == pytest.approx(alpha, abs=0.12), \
+                f"alpha={alpha} fitted={fitted}"
+
+    def test_needs_two_documents(self):
+        with pytest.raises(ValueError):
+            fit_alpha([5])
+
+    def test_zero_counts_ignored(self):
+        counts = [100, 50, 25, 0, 0]
+        assert fit_alpha(counts) > 0
+
+
+class TestSampler:
+    def test_ranks_in_range(self):
+        sampler = ZipfSampler(100, 1.0, seed=1)
+        ranks = sampler.sample_many(1000)
+        assert all(1 <= r <= 100 for r in ranks)
+
+    def test_rank_one_most_frequent(self):
+        sampler = ZipfSampler(50, 1.0, seed=2)
+        from collections import Counter
+        counts = Counter(sampler.sample_many(20_000))
+        assert counts[1] == max(counts.values())
+
+    def test_deterministic(self):
+        a = ZipfSampler(100, 0.9, seed=7).sample_many(100)
+        b = ZipfSampler(100, 0.9, seed=7).sample_many(100)
+        assert a == b
+
+    def test_single_sample_matches_many(self):
+        sampler = ZipfSampler(10, 0.5, seed=3)
+        assert all(1 <= sampler.sample() <= 10 for _ in range(100))
