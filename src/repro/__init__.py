@@ -36,11 +36,14 @@ from repro.types import (
 from repro.errors import (
     AnalysisError,
     CapacityError,
+    CellTimeoutError,
+    CheckpointError,
     ConfigurationError,
     ExperimentError,
     ReproError,
     SimulationError,
     TraceFormatError,
+    WorkerCrashError,
 )
 from repro.core import (
     Cache,
@@ -71,7 +74,14 @@ from repro.workload import (
 )
 from repro.analysis import characterize, estimate_alpha, estimate_beta
 from repro.trace import load_trace, write_trace
-from repro.experiments import run_experiment
+from repro.experiments import run_experiment, run_suite
+from repro.resilience import (
+    CheckpointStore,
+    FaultInjector,
+    RetryPolicy,
+    config_hash,
+    retry_call,
+)
 
 __version__ = "1.0.0"
 
@@ -83,6 +93,7 @@ __all__ = [
     # errors
     "ReproError", "TraceFormatError", "ConfigurationError",
     "CapacityError", "SimulationError", "AnalysisError", "ExperimentError",
+    "WorkerCrashError", "CellTimeoutError", "CheckpointError",
     # core
     "Cache", "ConstantCost", "PacketCost", "POLICY_NAMES", "make_policy",
     # simulation
@@ -99,5 +110,8 @@ __all__ = [
     # trace io
     "load_trace", "write_trace",
     # experiments
-    "run_experiment",
+    "run_experiment", "run_suite",
+    # resilience
+    "CheckpointStore", "config_hash", "RetryPolicy", "retry_call",
+    "FaultInjector",
 ]

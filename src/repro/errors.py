@@ -45,5 +45,33 @@ class AnalysisError(ReproError):
     """An estimator could not produce a result from the supplied data."""
 
 
+class WorkerCrashError(ReproError):
+    """A sweep worker process died or returned a corrupt payload.
+
+    Transient by definition — the cell itself is deterministic, so the
+    parallel runner retries it on a fresh worker.
+    """
+
+
+class CellTimeoutError(ReproError):
+    """A sweep cell exceeded its per-cell wall-clock budget.
+
+    Raised by the parallel runner after it tears down the hung worker;
+    the cell is retried if the retry budget allows.
+    """
+
+    def __init__(self, message: str, timeout_seconds: float | None = None):
+        self.timeout_seconds = timeout_seconds
+        super().__init__(message)
+
+
+class CheckpointError(ReproError):
+    """A checkpoint could not be written, read, or validated.
+
+    Covers corrupt JSON, missing fields, and config-hash mismatches
+    (a checkpoint written under different settings than the resume).
+    """
+
+
 class ExperimentError(ReproError):
     """An experiment id is unknown or an experiment configuration is bad."""

@@ -21,7 +21,13 @@ from repro.experiments.config import (
     SCALES,
     ExperimentSettings,
 )
-from repro.experiments.runner import ExperimentReport, run_experiment
+from repro.experiments.runner import (
+    ExperimentReport,
+    SuiteFailure,
+    SuiteResult,
+    run_experiment,
+    run_suite,
+)
 from repro.experiments.report import write_report
 
 __all__ = [
@@ -29,6 +35,9 @@ __all__ = [
     "SCALES",
     "ExperimentSettings",
     "ExperimentReport",
+    "SuiteFailure",
+    "SuiteResult",
     "run_experiment",
+    "run_suite",
     "write_report",
 ]

@@ -5,18 +5,29 @@ Examples::
     python -m repro.experiments table2
     python -m repro.experiments fig2 --scale small --outdir results/
     python -m repro.experiments all --scale tiny
+
+Long runs can checkpoint and resume::
+
+    python -m repro.experiments all --scale paper \\
+        --checkpoint-dir ckpt/ --max-retries 2
+    # ... machine dies mid-suite; later:
+    python -m repro.experiments all --scale paper \\
+        --checkpoint-dir ckpt/ --resume
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
-import time
 from typing import List, Optional
 
-from repro.experiments.config import EXPERIMENT_IDS, SCALES
+from repro.experiments.config import (
+    EXPERIMENT_IDS,
+    SCALES,
+    ExperimentSettings,
+)
 from repro.experiments.report import write_report
-from repro.experiments.runner import run_experiment
+from repro.experiments.runner import run_suite
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -42,6 +53,27 @@ def build_parser() -> argparse.ArgumentParser:
         "--seed", type=int, default=None,
         help="override the trace-generation seed (default: each "
              "profile's documented seed, for exact reproducibility)")
+    fault = parser.add_argument_group("fault tolerance")
+    fault.add_argument(
+        "--checkpoint-dir", default=None,
+        help="checkpoint each completed experiment here (atomic JSON, "
+             "keyed by a config hash)")
+    fault.add_argument(
+        "--resume", action="store_true",
+        help="load completed experiments from --checkpoint-dir instead "
+             "of re-running them")
+    fault.add_argument(
+        "--max-retries", type=int, default=1,
+        help="retries per failing experiment, and per failing sweep "
+             "cell with --sweep-workers (default: 1)")
+    fault.add_argument(
+        "--cell-timeout", type=float, default=None,
+        help="per-cell wall-clock budget in seconds for parallel sweep "
+             "cells (needs --sweep-workers)")
+    fault.add_argument(
+        "--sweep-workers", type=int, default=0,
+        help="run figure sweep grids across this many worker processes "
+             "with crash recovery (default: 0 = in-process)")
     return parser
 
 
@@ -50,33 +82,62 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.markdown and not args.outdir:
         print("--markdown requires --outdir", file=sys.stderr)
         return 2
+    if args.resume and not args.checkpoint_dir:
+        print("--resume requires --checkpoint-dir", file=sys.stderr)
+        return 2
+    if args.max_retries < 0:
+        print("--max-retries must be >= 0", file=sys.stderr)
+        return 2
+    if args.cell_timeout is not None and args.cell_timeout <= 0:
+        print("--cell-timeout must be positive", file=sys.stderr)
+        return 2
+    if args.sweep_workers < 0:
+        print("--sweep-workers must be >= 0", file=sys.stderr)
+        return 2
     ids = list(EXPERIMENT_IDS) if args.experiment == "all" \
         else [args.experiment]
-    settings = None
+    extra = {}
+    if args.sweep_workers:
+        extra["sweep_workers"] = args.sweep_workers
+        extra["max_retries"] = args.max_retries
+        if args.cell_timeout is not None:
+            extra["cell_timeout"] = args.cell_timeout
+    kwargs = {"extra": extra}
     if args.seed is not None:
-        from repro.experiments.config import ExperimentSettings
-        settings = ExperimentSettings.for_scale(args.scale,
-                                                seed=args.seed)
-    reports = []
-    for experiment_id in ids:
-        started = time.time()
-        report = run_experiment(experiment_id, scale=args.scale,
-                                settings=settings)
-        elapsed = time.time() - started
-        reports.append(report)
+        kwargs["seed"] = args.seed
+    settings = ExperimentSettings.for_scale(args.scale, **kwargs)
+
+    def on_report(report, from_checkpoint, elapsed):
         if not args.quiet:
             print(report.text)
-            print(f"\n[{experiment_id} completed in {elapsed:.1f}s]\n")
+            if from_checkpoint:
+                print(f"\n[{report.experiment_id} restored from "
+                      f"checkpoint]\n")
+            else:
+                print(f"\n[{report.experiment_id} completed in "
+                      f"{elapsed:.1f}s]\n")
         if args.outdir:
             directory = write_report(report, args.outdir)
             if not args.quiet:
                 print(f"[artifacts written to {directory}]\n")
+
+    def on_failure(failure):
+        print(f"[{failure.experiment_id} FAILED after "
+              f"{failure.attempts} attempts: {failure.error_type}: "
+              f"{failure.message}]", file=sys.stderr)
+
+    suite = run_suite(
+        ids, scale=args.scale, settings=settings,
+        checkpoint_dir=args.checkpoint_dir, resume=args.resume,
+        max_retries=args.max_retries,
+        on_report=on_report, on_failure=on_failure)
+
     if args.markdown:
         from repro.experiments.summary import write_markdown_summary
-        path = write_markdown_summary(reports, args.outdir)
+        path = write_markdown_summary(suite.reports, args.outdir)
         if not args.quiet:
             print(f"[summary written to {path}]")
-    return 0
+    return 0 if suite.complete else 1
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -7,8 +7,9 @@ CSV artifacts for the figure experiments.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Dict, List, Optional, Sequence
 
 from repro.analysis.characterize import characterize
 from repro.analysis.plotting import ascii_chart, series_to_csv
@@ -252,10 +253,28 @@ _CONSTANT_POLICIES = ("lru", "lfu-da", "gds(1)", "gd*(1)")
 _PACKET_POLICIES = ("lru", "lfu-da", "gds(p)", "gd*(p)")
 
 
+def _run_grid(trace: Trace, policies, capacities,
+              settings: ExperimentSettings):
+    """Run a sweep grid serially, or in parallel with fault tolerance
+    when ``settings.extra`` carries ``sweep_workers`` (the CLI's
+    ``--sweep-workers``, with ``--cell-timeout`` / ``--max-retries``
+    riding along).  Both paths are bit-identical."""
+    workers = int(settings.extra.get("sweep_workers") or 0)
+    if workers > 1:
+        from repro.simulation.parallel import run_sweep_parallel
+
+        return run_sweep_parallel(
+            trace, policies, capacities,
+            n_workers=workers,
+            max_retries=int(settings.extra.get("max_retries", 2)),
+            cell_timeout=settings.extra.get("cell_timeout"))
+    return run_sweep(trace, policies, capacities)
+
+
 def _sweep_report(experiment_id: str, trace: Trace, policies, label: str,
                   settings: ExperimentSettings) -> ExperimentReport:
     capacities = cache_sizes_from_fractions(trace, settings.size_fractions)
-    sweep = run_sweep(trace, policies, capacities)
+    sweep = _run_grid(trace, policies, capacities, settings)
 
     sections = [f"{label} (scale={settings.scale_name})"]
     artifacts: Dict[str, str] = {}
@@ -756,3 +775,178 @@ def run_experiment(experiment_id: str, scale: str = "small",
     if settings is None:
         settings = ExperimentSettings.for_scale(scale)
     return _RUNNERS[key](settings)
+
+
+# --------------------------------------------------------------------------
+# Fault-tolerant suite execution
+# --------------------------------------------------------------------------
+
+@dataclass
+class SuiteFailure:
+    """One experiment that failed permanently within a suite run."""
+
+    experiment_id: str
+    attempts: int
+    error_type: str
+    message: str
+
+
+@dataclass
+class SuiteResult:
+    """Outcome of a :func:`run_suite` invocation.
+
+    Attributes:
+        reports: Completed reports, in requested order (checkpointed
+            ones included).
+        failures: Experiments that stayed broken after retries.
+        executed: Ids actually run in this process.
+        resumed: Ids whose reports were loaded from checkpoints.
+    """
+
+    reports: List[ExperimentReport] = field(default_factory=list)
+    failures: List[SuiteFailure] = field(default_factory=list)
+    executed: List[str] = field(default_factory=list)
+    resumed: List[str] = field(default_factory=list)
+
+    @property
+    def complete(self) -> bool:
+        return not self.failures
+
+
+def _suite_digest(settings: ExperimentSettings) -> str:
+    """Hash of every setting that changes experiment *results*.
+
+    ``extra`` is deliberately excluded: execution knobs (worker
+    counts, timeouts) alter how results are computed, not what they
+    are, and must not invalidate checkpoints.
+    """
+    from repro.resilience.checkpoint import config_hash
+
+    return config_hash({
+        "scale": settings.scale,
+        "seed": settings.seed,
+        "size_fractions": list(settings.size_fractions),
+        "occupancy_interval": settings.occupancy_interval,
+    })
+
+
+def _report_to_payload(report: ExperimentReport) -> dict:
+    return {
+        "experiment_id": report.experiment_id,
+        "scale_name": report.scale_name,
+        "text": report.text,
+        "data": report.data,
+        "artifacts": report.artifacts,
+    }
+
+
+def _report_from_payload(payload: dict) -> ExperimentReport:
+    return ExperimentReport(
+        experiment_id=payload["experiment_id"],
+        scale_name=payload["scale_name"],
+        text=payload["text"],
+        data=payload.get("data", {}),
+        artifacts=payload.get("artifacts", {}),
+    )
+
+
+def run_suite(experiment_ids: Optional[Sequence[str]] = None,
+              scale: str = "small",
+              settings: Optional[ExperimentSettings] = None,
+              *,
+              checkpoint_dir=None,
+              resume: bool = False,
+              max_retries: int = 1,
+              failure_policy: str = "partial",
+              sleep: Callable[[float], None] = time.sleep,
+              on_report: Optional[Callable] = None,
+              on_failure: Optional[Callable] = None) -> SuiteResult:
+    """Run a batch of experiments with per-experiment fault isolation.
+
+    Unlike looping over :func:`run_experiment`, one broken experiment
+    cannot take down the batch: each is retried up to ``max_retries``
+    times, a permanent failure is recorded as a
+    :class:`SuiteFailure` (``failure_policy="partial"``, the default)
+    or re-raised (``"raise"``), and — when ``checkpoint_dir`` is given
+    — every completed experiment is checkpointed atomically so a
+    killed run invoked again with ``resume=True`` re-runs only the
+    missing ones.
+
+    Checkpoints are keyed by the experiment id and validated against a
+    hash of the result-bearing settings (scale, seed, size fractions);
+    checkpoints from other configurations are ignored, never adopted.
+
+    Args:
+        experiment_ids: Ids to run (default: all, in DESIGN.md order).
+        scale / settings: As for :func:`run_experiment`.
+        checkpoint_dir: Directory for per-experiment checkpoints.
+        resume: Load matching checkpoints instead of re-running.
+        max_retries: Reruns allowed per failing experiment.
+        failure_policy: ``"partial"`` records failures and continues;
+            ``"raise"`` propagates the first permanent failure.
+        sleep: Injectable backoff sleep (tests pass a no-op).
+        on_report: Callback ``(report, from_checkpoint, elapsed)``
+            after each experiment completes.
+        on_failure: Callback ``(SuiteFailure)`` after each permanent
+            failure (only with ``failure_policy="partial"``).
+    """
+    from repro.errors import ExperimentError
+    from repro.resilience.checkpoint import CheckpointStore
+    from repro.resilience.retry import RetryPolicy, retry_call
+
+    if failure_policy not in ("partial", "raise"):
+        raise ExperimentError(
+            f"failure_policy must be 'partial' or 'raise', "
+            f"got {failure_policy!r}")
+    if resume and checkpoint_dir is None:
+        raise ExperimentError("resume=True requires a checkpoint_dir")
+    ids = [check_experiment_id(i) for i in
+           (experiment_ids if experiment_ids is not None
+            else EXPERIMENT_IDS)]
+    if settings is None:
+        settings = ExperimentSettings.for_scale(scale)
+
+    store = (CheckpointStore(checkpoint_dir)
+             if checkpoint_dir is not None else None)
+    digest = _suite_digest(settings) if store is not None else None
+    retry_policy = RetryPolicy(max_retries=max_retries, base_delay=0.1)
+
+    suite = SuiteResult()
+    for experiment_id in ids:
+        if store is not None and resume and store.has(experiment_id):
+            try:
+                payload = store.load(experiment_id, digest)
+            except Exception:
+                payload = None  # wrong config or corrupt: re-run
+            if payload is not None:
+                report = _report_from_payload(payload)
+                suite.reports.append(report)
+                suite.resumed.append(experiment_id)
+                if on_report is not None:
+                    on_report(report, True, 0.0)
+                continue
+        started = time.time()
+        try:
+            report = retry_call(
+                lambda eid=experiment_id: _RUNNERS[eid](settings),
+                policy=retry_policy, sleep=sleep)
+        except Exception as exc:
+            failure = SuiteFailure(
+                experiment_id=experiment_id,
+                attempts=retry_policy.max_attempts,
+                error_type=type(exc).__name__,
+                message=str(exc),
+            )
+            if failure_policy == "raise":
+                raise
+            suite.failures.append(failure)
+            if on_failure is not None:
+                on_failure(failure)
+            continue
+        suite.reports.append(report)
+        suite.executed.append(experiment_id)
+        if store is not None:
+            store.save(experiment_id, _report_to_payload(report), digest)
+        if on_report is not None:
+            on_report(report, False, time.time() - started)
+    return suite

@@ -1,0 +1,36 @@
+"""Fault tolerance for long-running sweeps and experiment suites.
+
+Three orthogonal pieces, combined by the parallel sweep runner
+(:mod:`repro.simulation.parallel`) and the suite runner
+(:func:`repro.experiments.runner.run_suite`):
+
+* :mod:`~repro.resilience.retry` — deterministic capped-exponential
+  backoff with an injectable sleep, for transient failures;
+* :mod:`~repro.resilience.checkpoint` — atomic write-then-rename JSON
+  checkpoints keyed by a config hash, for crash-safe resume;
+* :mod:`~repro.resilience.faults` — a deterministic fault-injection
+  harness (crash / hang / raise / corrupt on chosen attempts) that the
+  tests use to prove the first two actually work.
+"""
+
+from repro.resilience.checkpoint import CheckpointStore, config_hash
+from repro.resilience.faults import (
+    CORRUPT_MARKER,
+    FAULT_KINDS,
+    FaultInjector,
+    FaultSpec,
+    InjectedFaultError,
+)
+from repro.resilience.retry import RetryPolicy, retry_call
+
+__all__ = [
+    "CheckpointStore",
+    "config_hash",
+    "RetryPolicy",
+    "retry_call",
+    "FaultInjector",
+    "FaultSpec",
+    "InjectedFaultError",
+    "FAULT_KINDS",
+    "CORRUPT_MARKER",
+]

@@ -1,0 +1,161 @@
+"""Atomic JSON checkpoints for long-running sweeps and suites.
+
+Each completed unit of work (a sweep cell, an experiment) is saved as
+one JSON file, written to a temp file and ``os.replace``-d into place
+so a crash mid-write never leaves a truncated checkpoint behind.
+Checkpoints carry the hash of the configuration that produced them; a
+resume under different settings is detected and rejected instead of
+silently mixing stale results into a fresh run.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import re
+from pathlib import Path
+from typing import Dict, Iterator, List, Optional, Union
+
+from repro.errors import CheckpointError
+
+PathLike = Union[str, Path]
+
+_SAFE_CHARS = re.compile(r"[^A-Za-z0-9._-]")
+_FORMAT_VERSION = 1
+
+
+def config_hash(config: object) -> str:
+    """Stable hash of any JSON-serializable configuration object.
+
+    Keys are sorted and floats rendered by ``json`` so the same logical
+    config hashes identically across processes and Python hash seeds.
+    """
+    try:
+        canonical = json.dumps(config, sort_keys=True)
+    except (TypeError, ValueError) as exc:
+        raise CheckpointError(f"config is not hashable: {exc}") from exc
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:16]
+
+
+def _filename(key: str) -> str:
+    """Filesystem-safe, collision-free name for a checkpoint key.
+
+    Keys like ``"gd*(1)@524288"`` contain characters that are unsafe in
+    filenames; the readable prefix keeps directories greppable and the
+    key-hash suffix guarantees distinct keys never collide.
+    """
+    safe = _SAFE_CHARS.sub("_", key)[:80]
+    digest = hashlib.sha256(key.encode("utf-8")).hexdigest()[:10]
+    return f"{safe}.{digest}.json"
+
+
+class CheckpointStore:
+    """A directory of atomic, config-hash-validated JSON checkpoints."""
+
+    def __init__(self, directory: PathLike):
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+
+    def path_for(self, key: str) -> Path:
+        return self.directory / _filename(key)
+
+    def save(self, key: str, payload: dict,
+             config_digest: Optional[str] = None) -> Path:
+        """Atomically persist ``payload`` under ``key``."""
+        envelope = {
+            "version": _FORMAT_VERSION,
+            "key": key,
+            "config_hash": config_digest,
+            "payload": payload,
+        }
+        target = self.path_for(key)
+        tmp = target.with_suffix(".json.tmp")
+        try:
+            tmp.write_text(json.dumps(envelope, indent=2))
+            os.replace(tmp, target)
+        except OSError as exc:
+            raise CheckpointError(
+                f"cannot write checkpoint {key!r}: {exc}") from exc
+        return target
+
+    def load(self, key: str,
+             expected_config_digest: Optional[str] = None) -> dict:
+        """Load and validate the payload saved under ``key``.
+
+        Raises :class:`~repro.errors.CheckpointError` if the checkpoint
+        is missing, corrupt, or was written under a different config
+        hash than ``expected_config_digest``.
+        """
+        envelope = self._read_envelope(self.path_for(key))
+        if envelope.get("key") != key:
+            raise CheckpointError(
+                f"checkpoint key mismatch: wanted {key!r}, "
+                f"file holds {envelope.get('key')!r}")
+        if (expected_config_digest is not None
+                and envelope.get("config_hash") != expected_config_digest):
+            raise CheckpointError(
+                f"checkpoint {key!r} was written under config hash "
+                f"{envelope.get('config_hash')!r}, expected "
+                f"{expected_config_digest!r}; refusing to resume with "
+                f"mismatched settings (use a fresh --checkpoint-dir)")
+        return envelope["payload"]
+
+    def has(self, key: str) -> bool:
+        return self.path_for(key).exists()
+
+    def completed_keys(self) -> List[str]:
+        """Keys of every readable checkpoint in the directory."""
+        return sorted(envelope["key"] for _, envelope in self._envelopes())
+
+    def completed(self,
+                  expected_config_digest: Optional[str] = None
+                  ) -> Dict[str, dict]:
+        """key → payload for every checkpoint matching the config hash.
+
+        Checkpoints from other config hashes are ignored (not an
+        error): a shared checkpoint dir may legitimately hold runs at
+        several scales.
+        """
+        out: Dict[str, dict] = {}
+        for _, envelope in self._envelopes():
+            if (expected_config_digest is not None and
+                    envelope.get("config_hash") != expected_config_digest):
+                continue
+            out[envelope["key"]] = envelope["payload"]
+        return out
+
+    def delete(self, key: str) -> None:
+        try:
+            self.path_for(key).unlink()
+        except FileNotFoundError:
+            pass
+
+    def clear(self) -> int:
+        """Remove every checkpoint file; returns how many were removed."""
+        removed = 0
+        for path in self.directory.glob("*.json"):
+            path.unlink()
+            removed += 1
+        return removed
+
+    def _envelopes(self) -> Iterator[tuple]:
+        for path in sorted(self.directory.glob("*.json")):
+            try:
+                yield path, self._read_envelope(path)
+            except CheckpointError:
+                continue  # unreadable strays don't poison a resume scan
+
+    def _read_envelope(self, path: Path) -> dict:
+        if not path.exists():
+            raise CheckpointError(f"no checkpoint at {path}")
+        try:
+            envelope = json.loads(path.read_text())
+        except (OSError, ValueError) as exc:
+            raise CheckpointError(
+                f"corrupt checkpoint {path.name}: {exc}") from exc
+        if (not isinstance(envelope, dict) or "payload" not in envelope
+                or "key" not in envelope):
+            raise CheckpointError(
+                f"checkpoint {path.name} lacks the expected envelope")
+        return envelope

@@ -18,7 +18,11 @@ grid, the shape of every performance figure in the paper.
 
 from repro.simulation.metrics import RateAccumulator, TypeMetrics
 from repro.simulation.occupancy import OccupancySample, OccupancyTracker
-from repro.simulation.results import SimulationResult, SweepResult
+from repro.simulation.results import (
+    FailureRecord,
+    SimulationResult,
+    SweepResult,
+)
 from repro.simulation.simulator import (
     CacheSimulator,
     SimulationConfig,
@@ -26,7 +30,7 @@ from repro.simulation.simulator import (
     simulate,
 )
 from repro.simulation.mesh import MeshConfig, MeshResult, MeshSimulator, simulate_mesh
-from repro.simulation.parallel import run_sweep_parallel
+from repro.simulation.parallel import cell_key, run_sweep_parallel
 from repro.simulation.sweep import cache_sizes_from_fractions, run_sweep
 from repro.simulation.freshness import FreshnessTracker, TTLModel
 from repro.simulation.hierarchy import (
@@ -43,6 +47,8 @@ __all__ = [
     "OccupancyTracker",
     "SimulationResult",
     "SweepResult",
+    "FailureRecord",
+    "cell_key",
     "CacheSimulator",
     "SimulationConfig",
     "SizeInterpretation",

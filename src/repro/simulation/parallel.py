@@ -1,4 +1,4 @@
-"""Parallel cache-size sweeps.
+"""Fault-tolerant parallel cache-size sweeps.
 
 A full figure regeneration at paper scale is ~30 independent
 (policy, capacity) simulations over millions of requests; they share
@@ -6,18 +6,45 @@ nothing but the read-only trace, so a process pool gives near-linear
 speedup.  The trace is shipped to each worker once (pool initializer),
 not once per cell.
 
+Because every cell is a pure function of its config and the trace, a
+failed cell can simply be rerun: the scheduler submits cells as
+individual futures, retries transient failures (worker crashes, hangs
+past ``cell_timeout``, corrupt payloads) with a bounded deterministic
+backoff, and rebuilds the pool when a dead worker breaks it —
+resubmitting only the unfinished cells.  ``failure_policy="partial"``
+turns cells that stay broken into structured
+:class:`~repro.simulation.results.FailureRecord`\\ s on the returned
+sweep instead of exceptions, so an overnight grid never loses its
+completed cells to one bad one.
+
 Results are bit-identical to :func:`repro.simulation.sweep.run_sweep`
-— every policy is deterministic — which the tests assert.
+— every policy is deterministic, and retries rerun the identical
+computation — which the tests assert, fault injection included.
 """
 
 from __future__ import annotations
 
 import os
-from concurrent.futures import ProcessPoolExecutor
-from typing import Iterable, List, Optional, Sequence, Tuple
+import time
+from collections import deque
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
-from repro.errors import ConfigurationError
-from repro.simulation.results import SimulationResult, SweepResult
+from repro.errors import (
+    CellTimeoutError,
+    ConfigurationError,
+    SimulationError,
+    WorkerCrashError,
+)
+from repro.resilience.checkpoint import CheckpointStore, config_hash
+from repro.resilience.faults import FaultInjector
+from repro.resilience.retry import RetryPolicy
+from repro.simulation.results import (
+    FailureRecord,
+    SimulationResult,
+    SweepResult,
+)
 from repro.simulation.simulator import (
     CacheSimulator,
     SimulationConfig,
@@ -25,17 +52,39 @@ from repro.simulation.simulator import (
 )
 from repro.types import Request, Trace
 
-# Per-worker trace storage, populated by the pool initializer.
+#: How long the scheduler sleeps in ``wait()`` before re-checking
+#: deadlines; kept short so cell timeouts are detected promptly.
+_POLL_SECONDS = 0.1
+
+#: Accepted values for ``failure_policy``.
+FAILURE_POLICIES = ("raise", "partial")
+
+# Per-worker state, populated by the pool initializer.
 _worker_trace: Optional[Trace] = None
+_worker_injector: Optional[FaultInjector] = None
 
 
-def _init_worker(requests: Sequence[Request], name: str) -> None:
-    global _worker_trace
+def cell_key(policy_name: str, capacity: int) -> str:
+    """Stable identity of one sweep cell (also the fault-spec key)."""
+    return f"{policy_name}@{capacity}"
+
+
+def _init_worker(requests: Sequence[Request], name: str,
+                 injector: Optional[FaultInjector] = None) -> None:
+    global _worker_trace, _worker_injector
     _worker_trace = Trace(requests, name=name)
+    _worker_injector = injector
 
 
-def _run_cell(cell: Tuple[str, int, float, str]) -> dict:
-    policy_name, capacity, warmup_fraction, interpretation = cell
+def _run_cell(cell: Tuple[str, int, float, str, int]) -> dict:
+    policy_name, capacity, warmup_fraction, interpretation, attempt = cell
+    key = cell_key(policy_name, capacity)
+    if _worker_injector is not None:
+        _worker_injector.on_start(key, attempt)
+    if _worker_trace is None:
+        raise SimulationError(
+            f"worker has no trace for cell {key!r}: the process pool "
+            "was created without the _init_worker initializer")
     config = SimulationConfig(
         capacity_bytes=capacity,
         policy=policy_name,
@@ -43,7 +92,55 @@ def _run_cell(cell: Tuple[str, int, float, str]) -> dict:
         size_interpretation=SizeInterpretation(interpretation),
     )
     result = CacheSimulator(config).run(_worker_trace)
-    return result.as_dict()
+    payload = result.as_dict()
+    if _worker_injector is not None:
+        payload = _worker_injector.on_result(key, attempt, payload)
+    return payload
+
+
+def _reset_worker() -> None:
+    global _worker_trace, _worker_injector
+    _worker_trace = None
+    _worker_injector = None
+
+
+def _deserialize(payload: object, key: str) -> SimulationResult:
+    """Parse a worker payload, mapping corruption to a transient error."""
+    try:
+        return SimulationResult.from_dict(payload)
+    except (KeyError, TypeError, ValueError, AttributeError) as exc:
+        raise WorkerCrashError(
+            f"worker returned corrupt payload for cell {key!r}: "
+            f"{type(exc).__name__}: {exc}") from exc
+
+
+def _terminate_pool(pool: ProcessPoolExecutor) -> None:
+    """Tear a pool down even if its workers are hung or dead.
+
+    A graceful ``shutdown(wait=True)`` would block behind a hung cell,
+    so kill the worker processes first.
+    """
+    for process in list(getattr(pool, "_processes", {}).values()):
+        if process.is_alive():
+            process.terminate()
+    pool.shutdown(wait=True, cancel_futures=True)
+
+
+class _CellRun:
+    """Bookkeeping for one in-flight (cell, attempt) submission."""
+
+    __slots__ = ("policy", "capacity", "attempt", "started")
+
+    def __init__(self, policy: str, capacity: int, attempt: int,
+                 started: float):
+        self.policy = policy
+        self.capacity = capacity
+        self.attempt = attempt
+        self.started = started
+
+    @property
+    def key(self) -> str:
+        return cell_key(self.policy, self.capacity)
 
 
 def run_sweep_parallel(trace: Trace,
@@ -52,45 +149,352 @@ def run_sweep_parallel(trace: Trace,
                        warmup_fraction: float = 0.10,
                        size_interpretation: SizeInterpretation =
                        SizeInterpretation.TRUSTED,
-                       n_workers: Optional[int] = None) -> SweepResult:
+                       n_workers: Optional[int] = None,
+                       *,
+                       max_retries: int = 2,
+                       cell_timeout: Optional[float] = None,
+                       failure_policy: str = "raise",
+                       retry_policy: Optional[RetryPolicy] = None,
+                       fault_injector: Optional[FaultInjector] = None,
+                       checkpoint_store: Optional[CheckpointStore] = None,
+                       sleep=time.sleep) -> SweepResult:
     """Run the (policy × capacity) grid across worker processes.
 
-    Args match :func:`~repro.simulation.sweep.run_sweep` (minus the
-    per-cell callbacks, which cannot cross process boundaries);
-    ``n_workers`` defaults to the CPU count capped by the cell count.
+    Positional args match :func:`~repro.simulation.sweep.run_sweep`
+    (minus the per-cell callbacks, which cannot cross process
+    boundaries); ``n_workers`` defaults to the CPU count capped by the
+    cell count.
+
+    Keyword-only fault-tolerance knobs:
+
+    Args:
+        max_retries: Reruns allowed per cell for *transient* failures
+            (worker crash, timeout, corrupt payload).  Deterministic
+            errors from the cell itself are never retried.
+        cell_timeout: Per-cell wall-clock budget in seconds; a cell
+            past it has its worker killed and counts as a transient
+            failure.  ``None`` disables timeouts.
+        failure_policy: ``"raise"`` (default) re-raises the first
+            permanently failed cell; ``"partial"`` returns whatever
+            completed, with a :class:`FailureRecord` per lost cell on
+            ``SweepResult.failures``.
+        retry_policy: Full backoff schedule; defaults to
+            ``RetryPolicy(max_retries=max_retries, base_delay=0)``
+            (immediate resubmission — cells are CPU-bound and
+            deterministic, so waiting buys nothing by default).
+        fault_injector: Deterministic chaos plan shipped to workers
+            (see :mod:`repro.resilience.faults`); used by the tests to
+            prove the machinery above works.
+        checkpoint_store: Optional
+            :class:`~repro.resilience.checkpoint.CheckpointStore`.
+            Each completed cell is persisted as it finishes, and cells
+            already checkpointed under the same sweep config are
+            loaded instead of rerun — an interrupted grid resumes
+            from where it stopped.
+        sleep: Injectable sleep used for retry backoff.
     """
-    cells: List[Tuple[str, int, float, str]] = [
-        (policy_name, capacity, warmup_fraction,
-         size_interpretation.value)
+    cells: List[Tuple[str, int]] = [
+        (policy_name, capacity)
         for policy_name in policies
         for capacity in capacities
     ]
     if not cells:
         raise ConfigurationError("empty sweep grid")
+    if failure_policy not in FAILURE_POLICIES:
+        raise ConfigurationError(
+            f"failure_policy must be one of {FAILURE_POLICIES}, "
+            f"got {failure_policy!r}")
+    if cell_timeout is not None and cell_timeout <= 0:
+        raise ConfigurationError("cell_timeout must be positive")
+    if retry_policy is None:
+        retry_policy = RetryPolicy(max_retries=max_retries,
+                                   base_delay=0.0)
     if n_workers is None:
         n_workers = min(os.cpu_count() or 1, len(cells))
     n_workers = max(min(n_workers, len(cells)), 1)
 
     sweep = SweepResult(trace_name=trace.name)
-    if n_workers == 1:
-        # No pool overhead for the degenerate case.
+
+    # Cells already checkpointed under this exact sweep config are
+    # adopted instead of rerun; the rest of the grid proceeds normally.
+    sweep_digest = None
+    if checkpoint_store is not None:
+        sweep_digest = config_hash({
+            "trace": trace.name,
+            "requests": len(trace.requests),
+            "warmup_fraction": warmup_fraction,
+            "size_interpretation": size_interpretation.value,
+        })
+        done_payloads = checkpoint_store.completed(sweep_digest)
+        remaining = []
+        for policy_name, capacity in cells:
+            payload = done_payloads.get(cell_key(policy_name, capacity))
+            if payload is not None:
+                try:
+                    sweep.add(_deserialize(
+                        payload, cell_key(policy_name, capacity)))
+                    continue
+                except WorkerCrashError:
+                    pass  # unreadable checkpoint: rerun the cell
+            remaining.append((policy_name, capacity))
+        cells = remaining
+        if not cells:
+            return sweep
+
+    def _checkpoint_cell(policy_name: str, capacity: int,
+                         payload: dict) -> None:
+        if checkpoint_store is not None:
+            checkpoint_store.save(cell_key(policy_name, capacity),
+                                  payload, sweep_digest)
+
+    if (n_workers == 1 and cell_timeout is None
+            and fault_injector is None):
+        # No pool overhead for the degenerate case (and nothing to
+        # time out or inject into).
         _init_worker(trace.requests, trace.name)
         try:
-            for cell in cells:
-                sweep.add(SimulationResult.from_dict(_run_cell(cell)))
+            for policy_name, capacity in cells:
+                payload = _run_cell((policy_name, capacity,
+                                     warmup_fraction,
+                                     size_interpretation.value, 1))
+                sweep.add(SimulationResult.from_dict(payload))
+                _checkpoint_cell(policy_name, capacity, payload)
         finally:
             _reset_worker()
         return sweep
 
-    with ProcessPoolExecutor(
-            max_workers=n_workers,
-            initializer=_init_worker,
-            initargs=(trace.requests, trace.name)) as pool:
-        for raw in pool.map(_run_cell, cells):
-            sweep.add(SimulationResult.from_dict(raw))
+    _Scheduler(
+        trace=trace,
+        cells=cells,
+        warmup_fraction=warmup_fraction,
+        size_interpretation=size_interpretation,
+        n_workers=n_workers,
+        retry_policy=retry_policy,
+        cell_timeout=cell_timeout,
+        failure_policy=failure_policy,
+        fault_injector=fault_injector,
+        on_cell_done=_checkpoint_cell,
+        sleep=sleep,
+    ).run(sweep)
     return sweep
 
 
-def _reset_worker() -> None:
-    global _worker_trace
-    _worker_trace = None
+class _Scheduler:
+    """Submits cells as futures, retries transient failures, and
+    rebuilds the pool when workers die or hang."""
+
+    def __init__(self, trace, cells, warmup_fraction,
+                 size_interpretation, n_workers, retry_policy,
+                 cell_timeout, failure_policy, fault_injector,
+                 on_cell_done, sleep):
+        self.trace = trace
+        self.warmup_fraction = warmup_fraction
+        self.size_interpretation = size_interpretation
+        self.n_workers = n_workers
+        self.retry_policy = retry_policy
+        self.cell_timeout = cell_timeout
+        self.failure_policy = failure_policy
+        self.fault_injector = fault_injector
+        self.on_cell_done = on_cell_done
+        self.sleep = sleep
+        #: (policy, capacity, attempt) runnable now.
+        self.queue = deque((policy, capacity, 1)
+                           for policy, capacity in cells)
+        #: Cells suspected of crashing a worker.  When a pool breaks
+        #: with several cells in flight there is no way to tell which
+        #: one killed it, so none is charged; instead they all land
+        #: here and rerun one at a time — a cell that breaks the pool
+        #: while running alone is provably the crasher.
+        self.isolation = deque()
+        self.isolated: Optional[_CellRun] = None
+        self.in_flight: Dict[object, _CellRun] = {}
+        self.failures: List[FailureRecord] = []
+        self.pool: Optional[ProcessPoolExecutor] = None
+
+    # -- pool lifecycle ---------------------------------------------------
+
+    def _new_pool(self) -> ProcessPoolExecutor:
+        return ProcessPoolExecutor(
+            max_workers=self.n_workers,
+            initializer=_init_worker,
+            initargs=(self.trace.requests, self.trace.name,
+                      self.fault_injector))
+
+    def _rebuild_pool(self) -> None:
+        if self.pool is not None:
+            _terminate_pool(self.pool)
+        self.pool = self._new_pool()
+
+    def _requeue_in_flight(self) -> None:
+        """Return in-flight cells to the queue after a deliberate
+        teardown (timeout) whose cause is known.  The requeued cells
+        never ran to completion, so their retry budget is untouched.
+        """
+        for run in self.in_flight.values():
+            self.queue.append((run.policy, run.capacity, run.attempt))
+        self.in_flight.clear()
+
+    def _suspect_in_flight(self) -> None:
+        """Move every in-flight cell to the isolation queue, uncharged.
+
+        Used when the pool breaks and blame is ambiguous: the suspects
+        rerun one at a time so the actual crasher convicts itself.
+        """
+        for run in self.in_flight.values():
+            self.isolation.append((run.policy, run.capacity,
+                                   run.attempt))
+        self.in_flight.clear()
+        self.isolated = None
+
+    # -- outcome handling -------------------------------------------------
+
+    def _retry_or_fail(self, run: _CellRun, exc: Exception,
+                       isolate: bool = False) -> None:
+        """Charge a failed attempt; requeue the cell or record a loss.
+
+        ``isolate`` requeues the retry into the isolation queue so a
+        known crasher keeps running alone instead of taking fresh
+        neighbours down with it.
+        """
+        transient = isinstance(exc, (WorkerCrashError, CellTimeoutError,
+                                     BrokenProcessPool))
+        if transient and run.attempt < self.retry_policy.max_attempts:
+            self.sleep(self.retry_policy.delay(run.attempt))
+            target = self.isolation if isolate else self.queue
+            target.append((run.policy, run.capacity, run.attempt + 1))
+            return
+        if self.failure_policy == "raise":
+            raise exc
+        self.failures.append(FailureRecord(
+            policy=run.policy,
+            capacity_bytes=run.capacity,
+            attempts=run.attempt,
+            error_type=type(exc).__name__,
+            message=str(exc),
+        ))
+
+    def _handle_done(self, future, sweep: SweepResult) -> bool:
+        """Process one finished future; True if the pool broke."""
+        run = self.in_flight.pop(future)
+        was_isolated = run is self.isolated
+        if was_isolated:
+            self.isolated = None
+        try:
+            payload = future.result()
+        except BrokenProcessPool as exc:
+            # The pool is gone; every other in-flight future is doomed
+            # too.  A cell that was running alone is provably the
+            # crasher and gets charged; otherwise blame is ambiguous,
+            # so the cell joins the isolation queue uncharged.
+            if was_isolated:
+                self._retry_or_fail(run, WorkerCrashError(
+                    f"worker process died while running cell "
+                    f"{run.key!r} (attempt {run.attempt}): {exc}"),
+                    isolate=True)
+            else:
+                self.isolation.append((run.policy, run.capacity,
+                                       run.attempt))
+            return True
+        except (WorkerCrashError, CellTimeoutError) as exc:
+            self._retry_or_fail(run, exc)
+            return False
+        except Exception as exc:
+            # Deterministic error from the cell itself (bad config, a
+            # policy bug, injected non-transient failure): retrying
+            # would fail identically.
+            self._retry_or_fail(run, exc)
+            return False
+        try:
+            sweep.add(_deserialize(payload, run.key))
+        except WorkerCrashError as exc:
+            self._retry_or_fail(run, exc)
+        else:
+            self.on_cell_done(run.policy, run.capacity, payload)
+        return False
+
+    def _check_timeouts(self) -> bool:
+        """Kill the pool if any cell is past its budget; True if so."""
+        if self.cell_timeout is None:
+            return False
+        now = time.monotonic()
+        hung = [(future, run) for future, run in self.in_flight.items()
+                if not future.done()
+                and now - run.started > self.cell_timeout]
+        if not hung:
+            return False
+        # Tear down once, then charge every hung cell.  Non-hung
+        # neighbours are requeued without losing budget.
+        hung_runs = {run for _, run in hung}
+        for future, run in list(self.in_flight.items()):
+            if run in hung_runs:
+                del self.in_flight[future]
+        if self.isolated in hung_runs:
+            self.isolated = None
+        self._requeue_in_flight()
+        self._rebuild_pool()
+        for _, run in hung:
+            self._retry_or_fail(run, CellTimeoutError(
+                f"cell {run.key!r} exceeded {self.cell_timeout:g}s "
+                f"on attempt {run.attempt}",
+                timeout_seconds=self.cell_timeout))
+        return True
+
+    # -- main loop --------------------------------------------------------
+
+    def _submit_next(self) -> None:
+        """Top up the pool: isolation suspects run strictly alone, the
+        normal queue fills up to ``n_workers`` in-flight cells."""
+        while len(self.in_flight) < self.n_workers:
+            if self.isolated is not None:
+                return  # an isolated cell is running; nothing else may
+            if self.isolation:
+                if self.in_flight:
+                    return  # drain neighbours before isolating
+                policy, capacity, attempt = self.isolation.popleft()
+                isolate = True
+            elif self.queue:
+                policy, capacity, attempt = self.queue.popleft()
+                isolate = False
+            else:
+                return
+            try:
+                future = self.pool.submit(
+                    _run_cell,
+                    (policy, capacity, self.warmup_fraction,
+                     self.size_interpretation.value, attempt))
+            except BrokenProcessPool:
+                # Worker died between polls; nothing was submitted, so
+                # no attempt is charged.
+                target = self.isolation if isolate else self.queue
+                target.appendleft((policy, capacity, attempt))
+                self._suspect_in_flight()
+                self._rebuild_pool()
+                continue
+            run = _CellRun(policy, capacity, attempt, time.monotonic())
+            self.in_flight[future] = run
+            if isolate:
+                self.isolated = run
+
+    def run(self, sweep: SweepResult) -> None:
+        self.pool = self._new_pool()
+        try:
+            while self.queue or self.isolation or self.in_flight:
+                self._submit_next()
+                if not self.in_flight:
+                    continue
+                done, _ = wait(set(self.in_flight),
+                               timeout=_POLL_SECONDS,
+                               return_when=FIRST_COMPLETED)
+                broke = False
+                for future in done:
+                    if future in self.in_flight:
+                        broke = self._handle_done(future, sweep) or broke
+                if broke:
+                    self._suspect_in_flight()
+                    self._rebuild_pool()
+                    continue
+                self._check_timeouts()
+        finally:
+            if self.pool is not None:
+                _terminate_pool(self.pool)
+        sweep.failures.extend(self.failures)

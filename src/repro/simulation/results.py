@@ -109,20 +109,68 @@ class SimulationResult:
 
 
 @dataclass
+class FailureRecord:
+    """One sweep cell that could not be completed.
+
+    Attached to a partial :class:`SweepResult` when the parallel
+    runner is invoked with ``failure_policy="partial"``: instead of
+    aborting the grid, the failed cell is documented with enough
+    structure to rerun it later.
+    """
+
+    policy: str
+    capacity_bytes: int
+    attempts: int
+    error_type: str
+    message: str
+
+    def as_dict(self) -> dict:
+        return {
+            "policy": self.policy,
+            "capacity_bytes": self.capacity_bytes,
+            "attempts": self.attempts,
+            "error_type": self.error_type,
+            "message": self.message,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "FailureRecord":
+        return cls(
+            policy=data["policy"],
+            capacity_bytes=data["capacity_bytes"],
+            attempts=data.get("attempts", 1),
+            error_type=data.get("error_type", "Exception"),
+            message=data.get("message", ""),
+        )
+
+
+@dataclass
 class SweepResult:
     """Results of a policy × cache-size grid.
 
     ``grid[policy_name][capacity_bytes]`` is a
-    :class:`SimulationResult`.
+    :class:`SimulationResult`.  ``failures`` is empty for a complete
+    sweep; a partial sweep (see ``failure_policy="partial"`` on the
+    parallel runner) lists one :class:`FailureRecord` per unfinished
+    cell.
     """
 
     trace_name: str
     grid: Dict[str, Dict[int, SimulationResult]] = field(
         default_factory=dict)
+    failures: List[FailureRecord] = field(default_factory=list)
 
     def add(self, result: SimulationResult) -> None:
         self.grid.setdefault(result.policy, {})[
             result.capacity_bytes] = result
+
+    def add_failure(self, failure: FailureRecord) -> None:
+        self.failures.append(failure)
+
+    @property
+    def complete(self) -> bool:
+        """True when no cell failed."""
+        return not self.failures
 
     @property
     def policies(self) -> List[str]:
@@ -148,7 +196,7 @@ class SweepResult:
         return points
 
     def as_dict(self) -> dict:
-        return {
+        data = {
             "trace_name": self.trace_name,
             "grid": {
                 policy: {str(cap): result.as_dict()
@@ -156,6 +204,9 @@ class SweepResult:
                 for policy, per_policy in self.grid.items()
             },
         }
+        if self.failures:
+            data["failures"] = [f.as_dict() for f in self.failures]
+        return data
 
     @classmethod
     def from_dict(cls, data: dict) -> "SweepResult":
@@ -164,6 +215,8 @@ class SweepResult:
             for cap, raw in per_policy.items():
                 sweep.grid.setdefault(policy, {})[int(cap)] = \
                     SimulationResult.from_dict(raw)
+        for raw in data.get("failures", ()):
+            sweep.add_failure(FailureRecord.from_dict(raw))
         return sweep
 
     def save(self, path: PathLike) -> None:

@@ -13,9 +13,10 @@ from __future__ import annotations
 
 import calendar
 import re
-from typing import Iterable, Iterator, Optional
+from typing import Callable, Iterable, Iterator, Optional
 
 from repro.errors import TraceFormatError
+from repro.trace.budget import ErrorBudget
 from repro.trace.record import LogRecord
 
 _CLF_RE = re.compile(
@@ -64,9 +65,13 @@ class CLFParser:
 
     name = "clf"
 
-    def __init__(self, strict: bool = False):
+    def __init__(self, strict: bool = False,
+                 max_errors: Optional[int] = None,
+                 on_error: Optional[Callable[[TraceFormatError], None]]
+                 = None):
         self.strict = strict
-        self.skipped = 0
+        self._budget = ErrorBudget(strict=strict, max_errors=max_errors,
+                                   on_error=on_error)
 
     def parse_line(self, line: str, line_number: int = 0) -> Optional[LogRecord]:
         stripped = line.strip()
@@ -103,10 +108,13 @@ class CLFParser:
             if record is not None:
                 yield record
 
+    @property
+    def skipped(self) -> int:
+        """Malformed lines skipped so far (lenient mode)."""
+        return self._budget.errors
+
     def _bad(self, line_number: int, line: str, reason: str) -> None:
-        if self.strict:
-            raise TraceFormatError(reason, line_number, line)
-        self.skipped += 1
+        self._budget.record(TraceFormatError(reason, line_number, line))
         return None
 
     @staticmethod

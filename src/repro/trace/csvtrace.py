@@ -17,9 +17,10 @@ from __future__ import annotations
 
 import csv
 import io
-from typing import IO, Iterable, Iterator, Optional
+from typing import IO, Callable, Iterable, Iterator, Optional
 
 from repro.errors import TraceFormatError
+from repro.trace.budget import ErrorBudget
 from repro.types import DocumentType, Request
 
 HEADER = ["timestamp", "url", "size", "transfer_size",
@@ -35,9 +36,13 @@ class CsvTraceParser:
 
     name = "csv"
 
-    def __init__(self, strict: bool = True):
+    def __init__(self, strict: bool = True,
+                 max_errors: Optional[int] = None,
+                 on_error: Optional[Callable[[TraceFormatError], None]]
+                 = None):
         self.strict = strict
-        self.skipped = 0
+        self._budget = ErrorBudget(strict=strict, max_errors=max_errors,
+                                   on_error=on_error)
 
     def parse(self, lines: Iterable[str]) -> Iterator[Request]:
         reader = csv.reader(lines)
@@ -70,10 +75,13 @@ class CsvTraceParser:
         except ValueError as exc:
             return self._bad(number, str(exc))
 
+    @property
+    def skipped(self) -> int:
+        """Malformed rows skipped so far (lenient mode)."""
+        return self._budget.errors
+
     def _bad(self, number: int, reason: str) -> None:
-        if self.strict:
-            raise TraceFormatError(reason, number)
-        self.skipped += 1
+        self._budget.record(TraceFormatError(reason, number))
         return None
 
     @staticmethod

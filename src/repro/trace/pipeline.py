@@ -10,8 +10,9 @@ Section 2 preprocessing in one call.
 from __future__ import annotations
 
 from pathlib import Path
-from typing import Iterable, Iterator, Optional, Union
+from typing import Callable, Iterable, Iterator, Optional, Union
 
+from repro.errors import TraceFormatError
 from repro.trace.classify import classify
 from repro.trace.modification import ModificationDetector, ModificationPolicy
 from repro.trace.preprocess import CacheabilityFilter
@@ -69,15 +70,21 @@ class TracePipeline:
 
 def load_trace(path: PathLike, fmt: Optional[str] = None,
                name: Optional[str] = None,
-               pipeline: Optional[TracePipeline] = None) -> Trace:
+               pipeline: Optional[TracePipeline] = None,
+               max_errors: Optional[int] = None,
+               on_error: Optional[Callable[[TraceFormatError], None]]
+               = None) -> Trace:
     """Load a trace file into memory, preprocessing raw logs on the way.
 
     Canonical csv traces are loaded verbatim (they are already
     preprocessed); squid and clf logs run through a
-    :class:`TracePipeline` first.
+    :class:`TracePipeline` first.  ``max_errors`` / ``on_error`` bound
+    and surface malformed-line skips (see
+    :func:`~repro.trace.reader.open_trace`).
     """
     path = Path(path)
-    stream = open_trace(path, fmt=fmt)
+    stream = open_trace(path, fmt=fmt, max_errors=max_errors,
+                        on_error=on_error)
     first = next(stream, None)
     if first is None:
         return Trace([], name=name or path.stem)

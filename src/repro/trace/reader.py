@@ -10,7 +10,7 @@ from __future__ import annotations
 import gzip
 import io
 from pathlib import Path
-from typing import IO, Iterator, Optional, Union
+from typing import IO, Callable, Iterator, Optional, Union
 
 from repro.errors import TraceFormatError
 from repro.trace.clf import CLFParser
@@ -47,7 +47,10 @@ def detect_format(first_line: str) -> str:
 
 
 def open_trace(path: PathLike, fmt: Optional[str] = None,
-               strict: bool = False) -> Iterator:
+               strict: bool = False,
+               max_errors: Optional[int] = None,
+               on_error: Optional[Callable[[TraceFormatError], None]]
+               = None) -> Iterator:
     """Open a trace file, yielding records (or Requests for csv format).
 
     Args:
@@ -55,6 +58,14 @@ def open_trace(path: PathLike, fmt: Optional[str] = None,
         fmt: One of ``"squid"``, ``"clf"``, ``"csv"``; auto-detected from
             the first line when omitted.
         strict: Raise on malformed lines instead of skipping.
+        max_errors: Lenient-mode error budget: abort with
+            :class:`~repro.errors.TraceFormatError` once more than this
+            many lines are malformed (``None`` = unlimited).  A trace
+            that is mostly garbage should fail loudly, not load as a
+            sliver of itself.
+        on_error: Quarantine callback invoked with the
+            :class:`~repro.errors.TraceFormatError` for each skipped
+            line (lenient mode only), so malformed input is observable.
 
     Yields :class:`~repro.trace.record.LogRecord` for raw-log formats and
     :class:`~repro.types.Request` for the canonical csv format.
@@ -73,15 +84,20 @@ def open_trace(path: PathLike, fmt: Optional[str] = None,
             stream = _open_text(path)
         if fmt not in _PARSERS:
             raise TraceFormatError(f"unknown trace format: {fmt!r}")
-        parser = _PARSERS[fmt](strict=strict)
+        parser = _PARSERS[fmt](strict=strict, max_errors=max_errors,
+                               on_error=on_error)
         yield from parser.parse(stream)
     finally:
         stream.close()
 
 
 def read_records(path: PathLike, fmt: Optional[str] = None,
-                 strict: bool = False) -> Iterator[LogRecord]:
+                 strict: bool = False,
+                 max_errors: Optional[int] = None,
+                 on_error: Optional[Callable[[TraceFormatError], None]]
+                 = None) -> Iterator[LogRecord]:
     """Like :func:`open_trace` but only for raw-log formats."""
     if fmt == "csv":
         raise TraceFormatError("csv traces contain Requests, not LogRecords")
-    yield from open_trace(path, fmt=fmt, strict=strict)
+    yield from open_trace(path, fmt=fmt, strict=strict,
+                          max_errors=max_errors, on_error=on_error)

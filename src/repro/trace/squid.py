@@ -12,9 +12,10 @@ Example::
 
 from __future__ import annotations
 
-from typing import Iterable, Iterator, Optional
+from typing import Callable, Iterable, Iterator, Optional
 
 from repro.errors import TraceFormatError
+from repro.trace.budget import ErrorBudget
 from repro.trace.record import LogRecord
 
 
@@ -24,10 +25,17 @@ class SquidParser:
     #: Format name used by auto-detection.
     name = "squid"
 
-    def __init__(self, strict: bool = False):
-        """strict=True raises on malformed lines instead of skipping them."""
+    def __init__(self, strict: bool = False,
+                 max_errors: Optional[int] = None,
+                 on_error: Optional[Callable[[TraceFormatError], None]]
+                 = None):
+        """strict=True raises on malformed lines instead of skipping
+        them; otherwise skips are counted against ``max_errors`` and
+        surfaced through ``on_error`` (see
+        :class:`~repro.trace.budget.ErrorBudget`)."""
         self.strict = strict
-        self.skipped = 0
+        self._budget = ErrorBudget(strict=strict, max_errors=max_errors,
+                                   on_error=on_error)
 
     def parse_line(self, line: str, line_number: int = 0) -> Optional[LogRecord]:
         """Parse one line; returns None for blank/comment lines.
@@ -77,10 +85,13 @@ class SquidParser:
             if record is not None:
                 yield record
 
+    @property
+    def skipped(self) -> int:
+        """Malformed lines skipped so far (lenient mode)."""
+        return self._budget.errors
+
     def _bad(self, line_number: int, line: str, reason: str) -> None:
-        if self.strict:
-            raise TraceFormatError(reason, line_number, line)
-        self.skipped += 1
+        self._budget.record(TraceFormatError(reason, line_number, line))
         return None
 
     @staticmethod

@@ -9,8 +9,10 @@ pipeline in subprocesses with different hash seeds and comparing
 digests.
 """
 
+import os
 import subprocess
 import sys
+from pathlib import Path
 
 import pytest
 
@@ -29,11 +31,20 @@ print(digest.hexdigest(), f"{result.hit_rate():.12f}",
 """
 
 
+#: The repo's src/ directory, so the subprocess can import repro no
+#: matter how the parent process found it (installed or PYTHONPATH).
+_SRC = Path(__file__).resolve().parents[2] / "src"
+
+
 def run_with_hash_seed(seed: str) -> str:
+    pythonpath = os.pathsep.join(
+        [str(_SRC)] + ([os.environ["PYTHONPATH"]]
+                       if os.environ.get("PYTHONPATH") else []))
     completed = subprocess.run(
         [sys.executable, "-c", SCRIPT],
         capture_output=True, text=True, timeout=600,
-        env={"PYTHONHASHSEED": seed, "PATH": "/usr/bin:/bin"},
+        env={"PYTHONHASHSEED": seed, "PATH": "/usr/bin:/bin",
+             "PYTHONPATH": pythonpath},
     )
     assert completed.returncode == 0, completed.stderr[-2000:]
     return completed.stdout.strip()

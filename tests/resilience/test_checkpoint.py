@@ -1,0 +1,97 @@
+"""Tests for atomic config-hash-validated checkpoints."""
+
+import json
+
+import pytest
+
+from repro.errors import CheckpointError
+from repro.resilience.checkpoint import CheckpointStore, config_hash
+
+
+class TestConfigHash:
+    def test_stable_across_key_order(self):
+        assert config_hash({"a": 1, "b": 2.5}) == \
+            config_hash({"b": 2.5, "a": 1})
+
+    def test_differs_for_different_configs(self):
+        assert config_hash({"scale": 1.0}) != config_hash({"scale": 0.5})
+
+    def test_unserializable_config_rejected(self):
+        with pytest.raises(CheckpointError):
+            config_hash({"bad": {1, 2, 3}})
+
+
+class TestCheckpointStore:
+    def test_save_load_roundtrip(self, tmp_path):
+        store = CheckpointStore(tmp_path / "ckpt")
+        payload = {"hit_rate": 0.42, "nested": {"a": [1, 2]}}
+        store.save("fig2", payload, "digest-a")
+        assert store.load("fig2", "digest-a") == payload
+        assert store.has("fig2")
+        assert store.completed_keys() == ["fig2"]
+
+    def test_unsafe_keys_do_not_collide(self, tmp_path):
+        store = CheckpointStore(tmp_path)
+        store.save("gd*(1)@5000", {"v": 1})
+        store.save("gd*(p)@5000", {"v": 2})
+        assert store.load("gd*(1)@5000")["v"] == 1
+        assert store.load("gd*(p)@5000")["v"] == 2
+        assert len(store.completed_keys()) == 2
+
+    def test_config_hash_mismatch_refuses_resume(self, tmp_path):
+        store = CheckpointStore(tmp_path)
+        store.save("fig2", {"v": 1}, "digest-small-scale")
+        with pytest.raises(CheckpointError, match="config hash"):
+            store.load("fig2", "digest-paper-scale")
+        # Without an expected digest the payload is still readable.
+        assert store.load("fig2") == {"v": 1}
+
+    def test_missing_checkpoint_raises(self, tmp_path):
+        with pytest.raises(CheckpointError, match="no checkpoint"):
+            CheckpointStore(tmp_path).load("nope")
+
+    def test_corrupt_json_raises(self, tmp_path):
+        store = CheckpointStore(tmp_path)
+        path = store.save("fig2", {"v": 1})
+        path.write_text("{truncated")
+        with pytest.raises(CheckpointError, match="corrupt"):
+            store.load("fig2")
+
+    def test_write_is_atomic_no_tmp_left_behind(self, tmp_path):
+        store = CheckpointStore(tmp_path)
+        store.save("fig2", {"v": 1}, "d")
+        assert not list(tmp_path.glob("*.tmp"))
+        # The file on disk is complete, valid JSON with an envelope.
+        (path,) = list(tmp_path.glob("*.json"))
+        envelope = json.loads(path.read_text())
+        assert envelope["key"] == "fig2"
+        assert envelope["config_hash"] == "d"
+
+    def test_completed_filters_by_digest(self, tmp_path):
+        store = CheckpointStore(tmp_path)
+        store.save("a", {"v": 1}, "digest-1")
+        store.save("b", {"v": 2}, "digest-2")
+        assert set(store.completed("digest-1")) == {"a"}
+        assert set(store.completed()) == {"a", "b"}
+
+    def test_completed_skips_corrupt_strays(self, tmp_path):
+        store = CheckpointStore(tmp_path)
+        store.save("a", {"v": 1}, "d")
+        (tmp_path / "stray.json").write_text("not json at all")
+        assert store.completed_keys() == ["a"]
+
+    def test_delete_and_clear(self, tmp_path):
+        store = CheckpointStore(tmp_path)
+        store.save("a", {"v": 1})
+        store.save("b", {"v": 2})
+        store.delete("a")
+        store.delete("a")  # idempotent
+        assert store.completed_keys() == ["b"]
+        assert store.clear() == 1
+        assert store.completed_keys() == []
+
+    def test_save_overwrites(self, tmp_path):
+        store = CheckpointStore(tmp_path)
+        store.save("a", {"v": 1}, "d")
+        store.save("a", {"v": 2}, "d")
+        assert store.load("a", "d") == {"v": 2}

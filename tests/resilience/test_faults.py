@@ -1,0 +1,73 @@
+"""Tests for the deterministic fault-injection harness."""
+
+import pickle
+
+import pytest
+
+from repro.errors import ConfigurationError, WorkerCrashError
+from repro.resilience.faults import (
+    CORRUPT_MARKER,
+    FaultInjector,
+    FaultSpec,
+    InjectedFaultError,
+)
+
+
+class TestFaultSpec:
+    def test_fires_only_on_listed_attempts(self):
+        spec = FaultSpec(key="lru@5000", kind="raise", attempts=(1, 3))
+        assert spec.fires_on("lru@5000", 1)
+        assert not spec.fires_on("lru@5000", 2)
+        assert spec.fires_on("lru@5000", 3)
+        assert not spec.fires_on("gds(1)@5000", 1)
+
+    def test_rejects_unknown_kind(self):
+        with pytest.raises(ConfigurationError):
+            FaultSpec(key="x", kind="explode")
+
+    def test_rejects_zero_based_attempts(self):
+        with pytest.raises(ConfigurationError):
+            FaultSpec(key="x", attempts=(0,))
+
+
+class TestFaultInjector:
+    def test_raise_fault_is_transient_worker_crash(self):
+        injector = FaultInjector.raise_once("lru@5000")
+        with pytest.raises(InjectedFaultError) as info:
+            injector.on_start("lru@5000", 1)
+        assert isinstance(info.value, WorkerCrashError)
+        # Attempt 2 passes clean — that's what makes retries converge.
+        injector.on_start("lru@5000", 2)
+        injector.on_start("other@1", 1)
+
+    def test_corrupt_fault_mangles_payload(self):
+        injector = FaultInjector.corrupt_once("lru@5000")
+        good = {"policy": "lru", "metrics": {}}
+        bad = injector.on_result("lru@5000", 1, dict(good))
+        assert CORRUPT_MARKER in bad
+        assert "metrics" not in bad
+        assert injector.on_result("lru@5000", 2, dict(good)) == good
+
+    def test_no_fault_is_a_no_op(self):
+        injector = FaultInjector.of()
+        injector.on_start("anything", 1)
+        payload = {"v": 1}
+        assert injector.on_result("anything", 1, payload) is payload
+
+    def test_injector_is_picklable(self):
+        injector = FaultInjector.of(
+            FaultSpec(key="lru@5000", kind="crash"),
+            FaultSpec(key="gds(1)@5000", kind="hang", hang_seconds=9.0),
+        )
+        clone = pickle.loads(pickle.dumps(injector))
+        assert clone == injector
+        assert clone.find("lru@5000", 1).kind == "crash"
+
+    def test_find_returns_first_matching_spec(self):
+        injector = FaultInjector.of(
+            FaultSpec(key="a", kind="raise", attempts=(1,)),
+            FaultSpec(key="a", kind="corrupt", attempts=(2,)),
+        )
+        assert injector.find("a", 1).kind == "raise"
+        assert injector.find("a", 2).kind == "corrupt"
+        assert injector.find("a", 3) is None

@@ -1,0 +1,92 @@
+"""Tests for deterministic retry with capped exponential backoff."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.resilience.retry import RetryPolicy, retry_call
+
+
+class Flaky:
+    """Fails ``failures`` times, then returns ``value``."""
+
+    def __init__(self, failures, value="ok", exc=RuntimeError):
+        self.failures = failures
+        self.value = value
+        self.exc = exc
+        self.calls = 0
+
+    def __call__(self):
+        self.calls += 1
+        if self.calls <= self.failures:
+            raise self.exc(f"failure {self.calls}")
+        return self.value
+
+
+class TestRetryPolicy:
+    def test_backoff_schedule_is_deterministic_and_capped(self):
+        policy = RetryPolicy(max_retries=5, base_delay=1.0, backoff=2.0,
+                             max_delay=5.0)
+        assert policy.delays() == [1.0, 2.0, 4.0, 5.0, 5.0]
+
+    def test_max_attempts(self):
+        assert RetryPolicy(max_retries=0).max_attempts == 1
+        assert RetryPolicy(max_retries=3).max_attempts == 4
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ConfigurationError):
+            RetryPolicy(max_retries=-1)
+        with pytest.raises(ConfigurationError):
+            RetryPolicy(base_delay=-0.1)
+        with pytest.raises(ConfigurationError):
+            RetryPolicy(backoff=0.5)
+
+    def test_delay_is_one_based(self):
+        with pytest.raises(ConfigurationError):
+            RetryPolicy().delay(0)
+
+
+class TestRetryCall:
+    def test_succeeds_first_try_without_sleeping(self):
+        slept = []
+        assert retry_call(lambda: 42, sleep=slept.append) == 42
+        assert slept == []
+
+    def test_retries_until_success(self):
+        slept = []
+        flaky = Flaky(failures=2)
+        result = retry_call(
+            flaky, policy=RetryPolicy(max_retries=3, base_delay=0.5),
+            sleep=slept.append)
+        assert result == "ok"
+        assert flaky.calls == 3
+        assert slept == [0.5, 1.0]
+
+    def test_raises_after_budget_exhausted(self):
+        flaky = Flaky(failures=10)
+        with pytest.raises(RuntimeError, match="failure 3"):
+            retry_call(flaky, policy=RetryPolicy(max_retries=2),
+                       sleep=lambda _: None)
+        assert flaky.calls == 3
+
+    def test_non_retryable_exception_propagates_immediately(self):
+        flaky = Flaky(failures=5, exc=ValueError)
+        with pytest.raises(ValueError):
+            retry_call(flaky, policy=RetryPolicy(max_retries=4),
+                       retry_on=(KeyError,), sleep=lambda _: None)
+        assert flaky.calls == 1
+
+    def test_on_retry_callback_sees_attempt_and_error(self):
+        seen = []
+        flaky = Flaky(failures=2)
+        retry_call(flaky, policy=RetryPolicy(max_retries=2),
+                   sleep=lambda _: None,
+                   on_retry=lambda attempt, exc: seen.append(
+                       (attempt, str(exc))))
+        assert seen == [(2, "failure 1"), (3, "failure 2")]
+
+    def test_zero_retries_is_a_single_attempt(self):
+        flaky = Flaky(failures=1)
+        with pytest.raises(RuntimeError):
+            retry_call(flaky, policy=RetryPolicy(max_retries=0),
+                       sleep=lambda _: None)
+        assert flaky.calls == 1

@@ -1,0 +1,202 @@
+"""Fault-injected tests for the resilient parallel sweep runner.
+
+These are the end-to-end proofs of the resilience subsystem: worker
+crashes, hangs, and corrupt payloads are injected deterministically
+(:mod:`repro.resilience.faults`) and the sweep must still produce
+results bit-identical to the serial :func:`run_sweep`.
+"""
+
+import pytest
+
+from repro.errors import (
+    CellTimeoutError,
+    ConfigurationError,
+    SimulationError,
+    WorkerCrashError,
+)
+from repro.resilience import CheckpointStore, FaultInjector, FaultSpec
+from repro.simulation.parallel import (
+    _run_cell,
+    _reset_worker,
+    cell_key,
+    run_sweep_parallel,
+)
+from repro.simulation.sweep import run_sweep
+from repro.types import DocumentType, Request, Trace
+
+POLICIES = ["lru", "lfu-da", "gds(1)", "gd*(1)"]
+CAPACITIES = [4000, 12000, 40000]
+
+
+def small_trace():
+    requests = []
+    for i in range(300):
+        for url, size, doc_type in (
+                (f"u{i % 17}", 500, DocumentType.IMAGE),
+                (f"h{i % 5}", 1500, DocumentType.HTML),
+                (f"m{i % 29}", 4000, DocumentType.MULTIMEDIA)):
+            requests.append(Request(float(i), url, size, size, doc_type))
+    return Trace(requests, name="resilience-test")
+
+
+@pytest.fixture(scope="module")
+def trace():
+    return small_trace()
+
+
+@pytest.fixture(scope="module")
+def serial(trace):
+    return run_sweep(trace, POLICIES, CAPACITIES)
+
+
+def assert_bit_identical(sweep, serial):
+    assert sorted(sweep.policies) == sorted(serial.policies)
+    assert sweep.capacities == serial.capacities
+    for policy in serial.policies:
+        for capacity in CAPACITIES:
+            assert sweep.grid[policy][capacity].as_dict() == \
+                serial.grid[policy][capacity].as_dict(), \
+                (policy, capacity)
+
+
+class TestEndToEndResilience:
+    def test_crash_and_hang_recovered_bit_identical(self, trace, serial):
+        """The acceptance scenario: a 4x3 grid survives one injected
+        worker crash and one injected hang, via retry and timeout."""
+        injector = FaultInjector.of(
+            FaultSpec(key=cell_key("lfu-da", 12000), kind="crash"),
+            FaultSpec(key=cell_key("gd*(1)", 4000), kind="hang",
+                      hang_seconds=120.0),
+        )
+        sweep = run_sweep_parallel(
+            trace, POLICIES, CAPACITIES, n_workers=3,
+            fault_injector=injector, cell_timeout=2.0, max_retries=2)
+        assert sweep.complete
+        assert_bit_identical(sweep, serial)
+
+    def test_corrupt_payload_retried_bit_identical(self, trace, serial):
+        injector = FaultInjector.corrupt_once(cell_key("lru", 4000))
+        sweep = run_sweep_parallel(
+            trace, POLICIES, CAPACITIES, n_workers=2,
+            fault_injector=injector)
+        assert sweep.complete
+        assert_bit_identical(sweep, serial)
+
+
+class TestCrash:
+    def test_crash_without_retries_raises_worker_crash(self, trace):
+        injector = FaultInjector.crash_once(cell_key("lru", 4000))
+        with pytest.raises(WorkerCrashError):
+            run_sweep_parallel(trace, ["lru"], [4000], n_workers=2,
+                               fault_injector=injector, max_retries=0)
+
+    def test_crash_with_partial_policy_records_failure(self, trace):
+        injector = FaultInjector.of(
+            FaultSpec(key=cell_key("lru", 4000), kind="crash",
+                      attempts=(1, 2, 3, 4)))
+        sweep = run_sweep_parallel(
+            trace, ["lru", "gds(1)"], [4000], n_workers=2,
+            fault_injector=injector, max_retries=1,
+            failure_policy="partial")
+        assert not sweep.complete
+        (failure,) = sweep.failures
+        assert (failure.policy, failure.capacity_bytes) == ("lru", 4000)
+        assert failure.attempts == 2
+        # The healthy cell still completed with its full budget intact.
+        assert sweep.grid["gds(1)"][4000].counted_requests > 0
+
+
+class TestHang:
+    def test_hang_without_retries_raises_cell_timeout(self, trace):
+        injector = FaultInjector.hang_once(cell_key("lru", 4000),
+                                           hang_seconds=60.0)
+        with pytest.raises(CellTimeoutError) as info:
+            run_sweep_parallel(trace, ["lru"], [4000], n_workers=2,
+                               fault_injector=injector,
+                               cell_timeout=1.0, max_retries=0)
+        assert info.value.timeout_seconds == 1.0
+
+    def test_hang_with_partial_policy_records_timeout(self, trace):
+        injector = FaultInjector.of(
+            FaultSpec(key=cell_key("lru", 4000), kind="hang",
+                      attempts=(1, 2), hang_seconds=60.0))
+        sweep = run_sweep_parallel(
+            trace, ["lru"], [4000], n_workers=2,
+            fault_injector=injector, cell_timeout=1.0, max_retries=1,
+            failure_policy="partial")
+        (failure,) = sweep.failures
+        assert failure.error_type == "CellTimeoutError"
+        assert failure.attempts == 2
+
+
+class TestPermanentErrors:
+    def test_deterministic_error_not_retried(self, trace):
+        """A bad policy name fails in the worker identically every
+        time; it must fail fast, not burn the retry budget."""
+        sweep = run_sweep_parallel(
+            trace, ["lru", "no-such-policy"], [4000], n_workers=2,
+            max_retries=3, failure_policy="partial")
+        (failure,) = sweep.failures
+        assert failure.policy == "no-such-policy"
+        assert failure.attempts == 1
+        assert sweep.grid["lru"][4000].counted_requests > 0
+
+
+class TestValidation:
+    def test_bad_failure_policy_rejected(self, trace):
+        with pytest.raises(ConfigurationError):
+            run_sweep_parallel(trace, ["lru"], [4000],
+                               failure_policy="ignore")
+
+    def test_bad_cell_timeout_rejected(self, trace):
+        with pytest.raises(ConfigurationError):
+            run_sweep_parallel(trace, ["lru"], [4000], cell_timeout=0)
+
+    def test_run_cell_without_initializer_raises_clear_error(self):
+        _reset_worker()
+        with pytest.raises(SimulationError, match="initializer"):
+            _run_cell(("lru", 4000, 0.1, "trusted", 1))
+
+
+class TestCellCheckpoints:
+    def test_completed_cells_checkpointed_and_resumed(self, trace,
+                                                      serial, tmp_path):
+        store = CheckpointStore(tmp_path)
+        first = run_sweep_parallel(trace, POLICIES, CAPACITIES,
+                                   n_workers=2, checkpoint_store=store)
+        assert_bit_identical(first, serial)
+        keys = store.completed_keys()
+        assert len(keys) == len(POLICIES) * len(CAPACITIES)
+        assert cell_key("lru", 4000) in keys
+        # A rerun adopts every checkpointed cell (even with a fault
+        # injector primed to crash everything: nothing executes).
+        injector = FaultInjector.of(*[
+            FaultSpec(key=cell_key(p, c), kind="crash",
+                      attempts=(1, 2, 3))
+            for p in POLICIES for c in CAPACITIES])
+        resumed = run_sweep_parallel(
+            trace, POLICIES, CAPACITIES, n_workers=2,
+            checkpoint_store=store, fault_injector=injector,
+            max_retries=0)
+        assert_bit_identical(resumed, serial)
+
+    def test_partial_checkpoints_rerun_only_missing_cells(
+            self, trace, serial, tmp_path):
+        store = CheckpointStore(tmp_path)
+        # Seed the store with an interrupted run: only lru cells done.
+        run_sweep_parallel(trace, ["lru"], CAPACITIES, n_workers=1,
+                           checkpoint_store=store)
+        assert len(store.completed_keys()) == len(CAPACITIES)
+        # Crash injectors on the already-done cells prove they are
+        # loaded, not rerun; the missing cells run normally.
+        injector = FaultInjector.of(*[
+            FaultSpec(key=cell_key("lru", c), kind="crash",
+                      attempts=(1, 2, 3))
+            for c in CAPACITIES])
+        sweep = run_sweep_parallel(
+            trace, POLICIES, CAPACITIES, n_workers=2,
+            checkpoint_store=store, fault_injector=injector,
+            max_retries=0)
+        assert_bit_identical(sweep, serial)
+        assert len(store.completed_keys()) == \
+            len(POLICIES) * len(CAPACITIES)

@@ -63,6 +63,22 @@ DOCUMENTED_API = [
     ("repro.trace", "interleave"),
     ("repro.experiments", "EXPERIMENT_IDS"),
     ("repro.experiments", "write_report"),
+    ("repro.experiments", "run_suite"),
+    ("repro.experiments", "SuiteResult"),
+    ("repro", "run_suite"),
+    ("repro", "RetryPolicy"),
+    ("repro", "retry_call"),
+    ("repro", "CheckpointStore"),
+    ("repro", "config_hash"),
+    ("repro", "FaultInjector"),
+    ("repro", "WorkerCrashError"),
+    ("repro", "CellTimeoutError"),
+    ("repro", "CheckpointError"),
+    ("repro.resilience", "FaultSpec"),
+    ("repro.resilience", "InjectedFaultError"),
+    ("repro.simulation", "FailureRecord"),
+    ("repro.simulation", "cell_key"),
+    ("repro.trace.budget", "ErrorBudget"),
     ("repro.experiments.claims", "ClaimChecker"),
     ("repro.experiments.summary", "write_markdown_summary"),
 ]

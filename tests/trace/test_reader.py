@@ -71,6 +71,64 @@ class TestOpenTrace:
             list(open_trace(path, fmt="xml"))
 
 
+class TestErrorBudget:
+    def test_lenient_default_skips_unlimited(self, tmp_path):
+        path = tmp_path / "access.log"
+        path.write_text(SQUID + "garbage line\n" * 5 + SQUID)
+        assert len(list(open_trace(path))) == 2
+
+    def test_budget_exhaustion_aborts_loudly(self, tmp_path):
+        path = tmp_path / "access.log"
+        path.write_text(SQUID + "garbage line\n" * 5 + SQUID)
+        with pytest.raises(TraceFormatError, match="error budget"):
+            list(open_trace(path, max_errors=3))
+
+    def test_budget_boundary_is_inclusive(self, tmp_path):
+        path = tmp_path / "access.log"
+        path.write_text(SQUID + "garbage line\n" * 3 + SQUID)
+        # Exactly max_errors malformed lines is still within budget.
+        assert len(list(open_trace(path, max_errors=3))) == 2
+
+    def test_quarantine_callback_sees_each_bad_line(self, tmp_path):
+        path = tmp_path / "access.log"
+        path.write_text(SQUID + "garbage one\n" + SQUID + "garbage two\n")
+        quarantined = []
+        records = list(open_trace(path, on_error=quarantined.append))
+        assert len(records) == 2
+        assert len(quarantined) == 2
+        assert all(isinstance(e, TraceFormatError) for e in quarantined)
+        assert quarantined[0].line_number == 2
+        assert quarantined[1].line_number == 4
+
+    def test_budget_applies_to_clf(self, tmp_path):
+        path = tmp_path / "access.log"
+        path.write_text(CLF + "not clf at all\n" * 2)
+        with pytest.raises(TraceFormatError, match="error budget"):
+            list(open_trace(path, fmt="clf", max_errors=1))
+
+    def test_budget_applies_to_csv(self, tmp_path):
+        path = tmp_path / "t.csv"
+        path.write_text(CSV + "1.0,http://a/y.gif,not-a-size\n" * 2)
+        with pytest.raises(TraceFormatError, match="error budget"):
+            list(open_trace(path, strict=False, max_errors=1))
+
+    def test_strict_wins_over_budget(self, tmp_path):
+        path = tmp_path / "access.log"
+        path.write_text(SQUID + "garbage\n")
+        with pytest.raises(TraceFormatError) as info:
+            list(open_trace(path, strict=True, max_errors=100))
+        assert "error budget" not in str(info.value)
+
+    def test_read_records_passes_budget_through(self, tmp_path):
+        path = tmp_path / "access.log"
+        path.write_text(SQUID + "garbage\n" * 2)
+        quarantined = []
+        with pytest.raises(TraceFormatError, match="error budget"):
+            list(read_records(path, max_errors=1,
+                              on_error=quarantined.append))
+        assert len(quarantined) == 2  # both seen before the abort
+
+
 class TestReadRecords:
     def test_rejects_csv(self, tmp_path):
         path = tmp_path / "t.csv"
