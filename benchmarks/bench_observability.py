@@ -1,0 +1,100 @@
+"""Overhead of the observability layer on the simulator hot path.
+
+The contract (docs/guide.md, "Observability"): instrumentation costs
+essentially nothing until it is switched on, because the simulator
+batches its metric updates (one ``inc(n)`` per run, never one per
+request) and the default registry is a shared no-op.  This bench
+measures simulator throughput with metrics disabled vs enabled and
+writes the comparison to ``BENCH_observability.json``.
+"""
+
+import json
+from pathlib import Path
+from time import perf_counter
+
+import pytest
+
+from repro.observability.metrics import disable_metrics, enable_metrics
+from repro.simulation import cache_sizes_from_fractions, simulate
+
+POLICY = "gd*(1)"
+CAPACITY_FRACTION = 0.02
+ROUNDS = 5
+
+
+@pytest.fixture(autouse=True)
+def _metrics_off_after():
+    yield
+    disable_metrics()
+
+
+@pytest.fixture(scope="module")
+def capacity(dfn_trace):
+    (size,) = cache_sizes_from_fractions(dfn_trace,
+                                         [CAPACITY_FRACTION])
+    return size
+
+
+def _run(trace, capacity):
+    return simulate(trace, policy=POLICY, capacity_bytes=capacity)
+
+
+def _best_seconds(trace, capacity, rounds=ROUNDS):
+    """Best-of-N wall clock, the usual micro-bench noise filter."""
+    best = float("inf")
+    for _ in range(rounds):
+        started = perf_counter()
+        _run(trace, capacity)
+        best = min(best, perf_counter() - started)
+    return best
+
+
+def test_simulate_metrics_disabled(benchmark, dfn_trace, capacity):
+    disable_metrics()
+    result = benchmark.pedantic(_run, args=(dfn_trace, capacity),
+                                rounds=3, iterations=1)
+    benchmark.extra_info["metrics"] = "disabled"
+    benchmark.extra_info["requests"] = len(dfn_trace)
+    assert result.counted_requests > 0
+
+
+def test_simulate_metrics_enabled(benchmark, dfn_trace, capacity):
+    registry = enable_metrics()
+    result = benchmark.pedantic(_run, args=(dfn_trace, capacity),
+                                rounds=3, iterations=1)
+    benchmark.extra_info["metrics"] = "enabled"
+    assert result.counted_requests > 0
+    # The run published its batched counters.
+    assert registry.as_dict()
+
+
+def test_overhead_report(dfn_trace, capacity, bench_scale):
+    """Measure both modes head to head and write the comparison."""
+    disable_metrics()
+    _run(dfn_trace, capacity)  # warm caches before either side
+
+    disabled = _best_seconds(dfn_trace, capacity)
+    enable_metrics()
+    enabled = _best_seconds(dfn_trace, capacity)
+    disable_metrics()
+
+    overhead_pct = 100.0 * (enabled - disabled) / disabled
+    rate = len(dfn_trace) / disabled
+    report = {
+        "bench": "observability",
+        "scale": bench_scale,
+        "policy": POLICY,
+        "requests": len(dfn_trace),
+        "rounds": ROUNDS,
+        "disabled": {"seconds": round(disabled, 6),
+                     "requests_per_second": round(rate, 1)},
+        "enabled": {"seconds": round(enabled, 6),
+                    "requests_per_second":
+                        round(len(dfn_trace) / enabled, 1)},
+        "overhead_pct": round(overhead_pct, 2),
+    }
+    Path("BENCH_observability.json").write_text(
+        json.dumps(report, indent=2) + "\n")
+    # Batched updates keep even metrics-*enabled* overhead tiny; the
+    # bound is loose because shared CI boxes are noisy.
+    assert overhead_pct < 15.0, report

@@ -22,7 +22,9 @@ Subpackages:
 * :mod:`repro.workload` — synthetic DFN-like / RTP-like trace generation;
 * :mod:`repro.simulation` — the Section-4.1 simulator and sweeps;
 * :mod:`repro.analysis` — workload characterization (α, β, size stats);
-* :mod:`repro.experiments` — one named experiment per paper table/figure.
+* :mod:`repro.experiments` — one named experiment per paper table/figure;
+* :mod:`repro.resilience` — retries, checkpoints, fault injection;
+* :mod:`repro.observability` — logging, metrics, manifests, telemetry.
 """
 
 from repro.types import (
@@ -82,6 +84,18 @@ from repro.resilience import (
     config_hash,
     retry_call,
 )
+from repro.observability import (
+    ProgressReporter,
+    RunManifest,
+    TelemetryRun,
+    configure_logging,
+    disable_metrics,
+    enable_metrics,
+    get_logger,
+    get_registry,
+    read_events,
+    validate_telemetry_dir,
+)
 
 __version__ = "1.0.0"
 
@@ -114,4 +128,8 @@ __all__ = [
     # resilience
     "CheckpointStore", "config_hash", "RetryPolicy", "retry_call",
     "FaultInjector",
+    # observability
+    "configure_logging", "get_logger", "enable_metrics",
+    "disable_metrics", "get_registry", "TelemetryRun", "RunManifest",
+    "ProgressReporter", "read_events", "validate_telemetry_dir",
 ]

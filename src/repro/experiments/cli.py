@@ -28,6 +28,9 @@ from repro.experiments.config import (
 )
 from repro.experiments.report import write_report
 from repro.experiments.runner import run_suite
+from repro.observability.logs import LOG_LEVELS, configure, get_logger
+
+_logger = get_logger("experiments.cli")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -74,11 +77,32 @@ def build_parser() -> argparse.ArgumentParser:
         "--sweep-workers", type=int, default=0,
         help="run figure sweep grids across this many worker processes "
              "with crash recovery (default: 0 = in-process)")
+    obs = parser.add_argument_group("observability")
+    obs.add_argument(
+        "--log-level", choices=list(LOG_LEVELS), default="info",
+        help="diagnostic verbosity on stderr (default: info)")
+    obs.add_argument(
+        "--log-json", action="store_true",
+        help="emit diagnostics as JSON lines instead of text")
+    obs.add_argument(
+        "--telemetry-dir", default=None,
+        help="write manifest.json + events.jsonl (run config, cell and "
+             "experiment lifecycle, retries, timeouts) to this "
+             "directory")
+    obs.add_argument(
+        "--progress", action="store_true",
+        help="print a heartbeat/ETA line to stderr as experiments "
+             "complete")
+    obs.add_argument(
+        "--profile", metavar="DIR", default=None,
+        help="profile each experiment under cProfile and dump "
+             "<experiment-id>.prof into DIR")
     return parser
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
+    configure(level=args.log_level, json_lines=args.log_json)
     if args.markdown and not args.outdir:
         print("--markdown requires --outdir", file=sys.stderr)
         return 2
@@ -108,35 +132,47 @@ def main(argv: Optional[List[str]] = None) -> int:
     settings = ExperimentSettings.for_scale(args.scale, **kwargs)
 
     def on_report(report, from_checkpoint, elapsed):
+        # Results go to stdout; diagnostics go through the logging
+        # layer on stderr so --log-json stays machine-parseable.
         if not args.quiet:
             print(report.text)
-            if from_checkpoint:
-                print(f"\n[{report.experiment_id} restored from "
-                      f"checkpoint]\n")
-            else:
-                print(f"\n[{report.experiment_id} completed in "
-                      f"{elapsed:.1f}s]\n")
+        if from_checkpoint:
+            _logger.info("%s restored from checkpoint",
+                         report.experiment_id,
+                         extra={"experiment_id": report.experiment_id})
+        else:
+            _logger.info("%s completed in %.1fs",
+                         report.experiment_id, elapsed,
+                         extra={"experiment_id": report.experiment_id,
+                                "duration_seconds": round(elapsed, 6)})
         if args.outdir:
             directory = write_report(report, args.outdir)
-            if not args.quiet:
-                print(f"[artifacts written to {directory}]\n")
+            _logger.info("artifacts written to %s", directory,
+                         extra={"experiment_id": report.experiment_id,
+                                "outdir": str(directory)})
 
     def on_failure(failure):
-        print(f"[{failure.experiment_id} FAILED after "
-              f"{failure.attempts} attempts: {failure.error_type}: "
-              f"{failure.message}]", file=sys.stderr)
+        _logger.error(
+            "%s FAILED after %d attempts: %s: %s",
+            failure.experiment_id, failure.attempts,
+            failure.error_type, failure.message,
+            extra={"experiment_id": failure.experiment_id,
+                   "attempts": failure.attempts,
+                   "error_type": failure.error_type})
 
     suite = run_suite(
         ids, scale=args.scale, settings=settings,
         checkpoint_dir=args.checkpoint_dir, resume=args.resume,
         max_retries=args.max_retries,
+        telemetry_dir=args.telemetry_dir, progress=args.progress,
+        profile_dir=args.profile,
         on_report=on_report, on_failure=on_failure)
 
     if args.markdown:
         from repro.experiments.summary import write_markdown_summary
         path = write_markdown_summary(suite.reports, args.outdir)
-        if not args.quiet:
-            print(f"[summary written to {path}]")
+        _logger.info("summary written to %s", path,
+                     extra={"path": str(path)})
     return 0 if suite.complete else 1
 
 

@@ -9,6 +9,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import Callable, Dict, List, Optional, Sequence
 
 from repro.analysis.characterize import characterize
@@ -21,10 +22,16 @@ from repro.analysis.tables import (
     render_table,
 )
 from repro.experiments.config import (
+    EXPERIMENT_IDS,
     FIG1_SIZE_FRACTION,
     ExperimentSettings,
     check_experiment_id,
 )
+from repro.observability import events as _events
+from repro.observability.logs import get_logger
+from repro.observability.manifest import TelemetryRun
+from repro.observability.profiling import maybe_profile
+from repro.observability.progress import ProgressReporter
 from repro.simulation.simulator import (
     SimulationConfig,
     CacheSimulator,
@@ -34,6 +41,8 @@ from repro.simulation.sweep import cache_sizes_from_fractions, run_sweep
 from repro.types import DOCUMENT_TYPES, PLOTTED_TYPES, DocumentType, Trace
 from repro.workload.generator import generate_trace
 from repro.workload.profiles import dfn_like, rtp_like
+
+_logger = get_logger("experiments")
 
 
 @dataclass
@@ -858,6 +867,9 @@ def run_suite(experiment_ids: Optional[Sequence[str]] = None,
               resume: bool = False,
               max_retries: int = 1,
               failure_policy: str = "partial",
+              telemetry_dir=None,
+              progress: bool = False,
+              profile_dir=None,
               sleep: Callable[[float], None] = time.sleep,
               on_report: Optional[Callable] = None,
               on_failure: Optional[Callable] = None) -> SuiteResult:
@@ -884,6 +896,14 @@ def run_suite(experiment_ids: Optional[Sequence[str]] = None,
         max_retries: Reruns allowed per failing experiment.
         failure_policy: ``"partial"`` records failures and continues;
             ``"raise"`` propagates the first permanent failure.
+        telemetry_dir: When set, the run writes ``manifest.json`` and
+            ``events.jsonl`` there and installs the event log as the
+            process-wide sink, so nested layers (parallel sweeps, the
+            trace reader, retries) land in the same stream.
+        progress: Print a heartbeat/ETA line to stderr as experiments
+            complete.
+        profile_dir: When set, each experiment runs under cProfile and
+            dumps ``<experiment_id>.prof`` there.
         sleep: Injectable backoff sleep (tests pass a no-op).
         on_report: Callback ``(report, from_checkpoint, elapsed)``
             after each experiment completes.
@@ -911,42 +931,120 @@ def run_suite(experiment_ids: Optional[Sequence[str]] = None,
     digest = _suite_digest(settings) if store is not None else None
     retry_policy = RetryPolicy(max_retries=max_retries, base_delay=0.1)
 
+    telemetry: Optional[TelemetryRun] = None
+    if telemetry_dir is not None:
+        telemetry = TelemetryRun(
+            telemetry_dir, kind="suite",
+            settings={
+                "experiment_ids": list(ids),
+                "scale": settings.scale,
+                "scale_name": settings.scale_name,
+                "seed": settings.seed,
+                "size_fractions": list(settings.size_fractions),
+                "occupancy_interval": settings.occupancy_interval,
+                "max_retries": max_retries,
+                "failure_policy": failure_policy,
+                "resume": resume,
+            },
+            install_sink=True)
+    emit = _events.emit
+    reporter = (ProgressReporter(total=len(ids), label="suite")
+                if progress else None)
+
     suite = SuiteResult()
-    for experiment_id in ids:
-        if store is not None and resume and store.has(experiment_id):
+    try:
+        for experiment_id in ids:
+            if store is not None and resume and store.has(experiment_id):
+                try:
+                    payload = store.load(experiment_id, digest)
+                except Exception:
+                    payload = None  # wrong config or corrupt: re-run
+                if payload is not None:
+                    report = _report_from_payload(payload)
+                    suite.reports.append(report)
+                    suite.resumed.append(experiment_id)
+                    emit("experiment_checkpoint_restored",
+                         experiment_id=experiment_id)
+                    _logger.info("experiment %s restored from "
+                                 "checkpoint", experiment_id,
+                                 extra={"experiment_id": experiment_id})
+                    if reporter is not None:
+                        reporter.update(detail=f"{experiment_id} "
+                                               "(checkpoint)")
+                    if on_report is not None:
+                        on_report(report, True, 0.0)
+                    continue
+            started = time.time()
+            emit("experiment_started", experiment_id=experiment_id)
+            _logger.info("experiment %s started", experiment_id,
+                         extra={"experiment_id": experiment_id})
+
+            def _on_retry(upcoming: int, exc: Exception,
+                          eid: str = experiment_id) -> None:
+                emit("experiment_retried", experiment_id=eid,
+                     attempt=upcoming - 1,
+                     error_type=type(exc).__name__)
+                _logger.warning(
+                    "experiment %s attempt %d failed (%s); retrying",
+                    eid, upcoming - 1, type(exc).__name__,
+                    extra={"experiment_id": eid,
+                           "attempt": upcoming - 1,
+                           "error_type": type(exc).__name__})
+
+            def _run_one(eid: str = experiment_id) -> ExperimentReport:
+                profile_path = (Path(profile_dir) / f"{eid}.prof"
+                                if profile_dir else None)
+                with maybe_profile(profile_path):
+                    return _RUNNERS[eid](settings)
+
             try:
-                payload = store.load(experiment_id, digest)
-            except Exception:
-                payload = None  # wrong config or corrupt: re-run
-            if payload is not None:
-                report = _report_from_payload(payload)
-                suite.reports.append(report)
-                suite.resumed.append(experiment_id)
-                if on_report is not None:
-                    on_report(report, True, 0.0)
+                report = retry_call(_run_one, policy=retry_policy,
+                                    sleep=sleep, on_retry=_on_retry)
+            except Exception as exc:
+                failure = SuiteFailure(
+                    experiment_id=experiment_id,
+                    attempts=retry_policy.max_attempts,
+                    error_type=type(exc).__name__,
+                    message=str(exc),
+                )
+                emit("experiment_failed", experiment_id=experiment_id,
+                     attempts=retry_policy.max_attempts,
+                     error_type=type(exc).__name__)
+                _logger.error(
+                    "experiment %s failed permanently: %s",
+                    experiment_id, exc,
+                    extra={"experiment_id": experiment_id,
+                           "error_type": type(exc).__name__})
+                if failure_policy == "raise":
+                    raise
+                suite.failures.append(failure)
+                if reporter is not None:
+                    reporter.update(detail=f"{experiment_id} (failed)")
+                if on_failure is not None:
+                    on_failure(failure)
                 continue
-        started = time.time()
-        try:
-            report = retry_call(
-                lambda eid=experiment_id: _RUNNERS[eid](settings),
-                policy=retry_policy, sleep=sleep)
-        except Exception as exc:
-            failure = SuiteFailure(
-                experiment_id=experiment_id,
-                attempts=retry_policy.max_attempts,
-                error_type=type(exc).__name__,
-                message=str(exc),
-            )
-            if failure_policy == "raise":
-                raise
-            suite.failures.append(failure)
-            if on_failure is not None:
-                on_failure(failure)
-            continue
-        suite.reports.append(report)
-        suite.executed.append(experiment_id)
-        if store is not None:
-            store.save(experiment_id, _report_to_payload(report), digest)
-        if on_report is not None:
-            on_report(report, False, time.time() - started)
+            elapsed = time.time() - started
+            suite.reports.append(report)
+            suite.executed.append(experiment_id)
+            emit("experiment_finished", experiment_id=experiment_id,
+                 duration_seconds=round(elapsed, 6))
+            _logger.info("experiment %s finished in %.2fs",
+                         experiment_id, elapsed,
+                         extra={"experiment_id": experiment_id,
+                                "duration_seconds": round(elapsed, 6)})
+            if store is not None:
+                store.save(experiment_id, _report_to_payload(report),
+                           digest)
+            if reporter is not None:
+                reporter.update(detail=experiment_id)
+            if on_report is not None:
+                on_report(report, False, elapsed)
+    except BaseException:
+        if telemetry is not None:
+            telemetry.finalize("failed")
+        raise
+    if reporter is not None:
+        reporter.finish()
+    if telemetry is not None:
+        telemetry.finalize("partial" if suite.failures else "complete")
     return suite

@@ -1,0 +1,157 @@
+"""Append-only telemetry event streams (``events.jsonl``).
+
+An :class:`EventLog` writes one JSON object per line: a wall-clock
+``ts``, a monotonically increasing ``seq`` (total order independent of
+clock resolution), the ``event`` name, and event-specific fields.  The
+schema of every event the library emits lives in :data:`EVENT_SCHEMAS`
+so telemetry files can be validated offline
+(:mod:`repro.observability.validate`) and replayed to reconstruct a
+run's full history — which cells ran, retried, timed out, or were
+restored from checkpoints, and where the trace reader burned its
+error budget.
+
+Instrumented library code emits through the module-level :func:`emit`,
+which routes to the process-wide sink — a no-op unless a
+:class:`~repro.observability.manifest.TelemetryRun` (or an explicit
+:func:`set_event_sink`) installed a real log.  Emitting to the null
+sink costs one attribute call, so the library is free to emit from
+cold paths unconditionally.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+from typing import Dict, Iterator, List, Optional, Set, Union
+
+PathLike = Union[str, Path]
+
+#: event name -> required field names (beyond ``ts``/``seq``/``event``).
+EVENT_SCHEMAS: Dict[str, Set[str]] = {
+    # run lifecycle (manifest side)
+    "run_started": {"kind", "run_id"},
+    "run_finished": {"kind", "run_id", "status", "wall_clock_seconds"},
+    # parallel sweep cell lifecycle
+    "cell_scheduled": {"key", "attempt"},
+    "cell_finished": {"key", "attempt", "duration_seconds"},
+    "cell_retried": {"key", "attempt", "error_type", "delay_seconds"},
+    "cell_timed_out": {"key", "attempt", "timeout_seconds"},
+    "cell_failed": {"key", "attempts", "error_type"},
+    "cell_checkpoint_restored": {"key"},
+    "pool_rebuilt": {"reason"},
+    # suite experiment lifecycle
+    "experiment_started": {"experiment_id"},
+    "experiment_finished": {"experiment_id", "duration_seconds"},
+    "experiment_retried": {"experiment_id", "attempt", "error_type"},
+    "experiment_failed": {"experiment_id", "attempts", "error_type"},
+    "experiment_checkpoint_restored": {"experiment_id"},
+    # trace-reader error budget
+    "trace_line_quarantined": {"error"},
+    "trace_error_budget_exhausted": {"errors"},
+}
+
+
+def validate_event(event: dict) -> List[str]:
+    """Problems with one event dict; empty list when it conforms."""
+    problems = []
+    if not isinstance(event, dict):
+        return [f"event is not an object: {event!r}"]
+    name = event.get("event")
+    for required in ("ts", "seq", "event"):
+        if required not in event:
+            problems.append(f"missing {required!r} in {name or event!r}")
+    if name not in EVENT_SCHEMAS:
+        problems.append(f"unknown event type {name!r}")
+        return problems
+    missing = EVENT_SCHEMAS[name] - set(event)
+    if missing:
+        problems.append(
+            f"{name}: missing fields {sorted(missing)}")
+    return problems
+
+
+class EventLog:
+    """An append-only ``events.jsonl`` writer.
+
+    Lines are flushed as they are written, so a crashed run keeps every
+    event emitted before the crash.  The log is a context manager;
+    closing it is idempotent.
+    """
+
+    def __init__(self, path: PathLike, clock=time.time):
+        self.path = Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._clock = clock
+        self._seq = 0
+        self._stream = open(self.path, "a", encoding="utf-8")
+
+    def emit(self, event: str, **fields) -> dict:
+        """Append one event; returns the record as written."""
+        self._seq += 1
+        record = {"ts": round(self._clock(), 6), "seq": self._seq,
+                  "event": event}
+        record.update(fields)
+        self._stream.write(json.dumps(record, default=str) + "\n")
+        self._stream.flush()
+        return record
+
+    def close(self) -> None:
+        if not self._stream.closed:
+            self._stream.close()
+
+    def __enter__(self) -> "EventLog":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+class NullEventLog:
+    """The do-nothing default sink."""
+
+    def emit(self, event: str, **fields) -> dict:
+        return {}
+
+    def close(self) -> None:
+        pass
+
+
+_NULL_SINK = NullEventLog()
+_sink = _NULL_SINK
+
+
+def set_event_sink(sink: Optional[EventLog]) -> object:
+    """Install the process-wide sink; returns the previous one."""
+    global _sink
+    previous = _sink
+    _sink = sink if sink is not None else _NULL_SINK
+    return previous
+
+
+def event_sink():
+    """The currently installed process-wide sink."""
+    return _sink
+
+
+def emit(event: str, **fields) -> dict:
+    """Emit through the process-wide sink (no-op by default)."""
+    return _sink.emit(event, **fields)
+
+
+def iter_events(path: PathLike) -> Iterator[dict]:
+    """Stream parsed events from an ``events.jsonl`` file."""
+    with open(path, "r", encoding="utf-8") as stream:
+        for line in stream:
+            line = line.strip()
+            if line:
+                yield json.loads(line)
+
+
+def read_events(path: PathLike,
+                event: Optional[str] = None) -> List[dict]:
+    """All events from a file, optionally filtered by event name."""
+    records = list(iter_events(path))
+    if event is not None:
+        records = [r for r in records if r.get("event") == event]
+    return records

@@ -1,0 +1,314 @@
+"""A lightweight in-process metrics registry.
+
+Three instrument kinds, Prometheus-flavoured but dependency-free:
+
+* :class:`Counter` — a monotonically increasing total;
+* :class:`Gauge` — a value that can go up and down;
+* :class:`Histogram` — bucketed observations with count/sum.
+
+All instruments support labels: ``registry.counter("cells_total",
+policy="lru")`` returns a distinct child per label set, and
+:meth:`MetricsRegistry.collect` exports every child with its labels.
+
+The default process-wide registry is a :class:`NullRegistry` whose
+instruments are shared no-op singletons, so instrumented code pays
+essentially nothing until :func:`enable_metrics` swaps in a real
+registry.  The simulator additionally batches its updates (one
+``inc(n)`` per run, never one per request), so the hot loop carries no
+per-request metric calls at all.
+
+Usage::
+
+    from repro.observability import enable_metrics, get_registry
+
+    registry = enable_metrics()
+    ...  # run simulations
+    for sample in registry.collect():
+        print(sample)
+"""
+
+from __future__ import annotations
+
+import bisect
+import threading
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.errors import ConfigurationError
+
+#: Default histogram buckets, in seconds (phase timings span trace
+#: parsing at milliseconds to paper-scale sweeps at hours).
+DEFAULT_BUCKETS: Tuple[float, ...] = (
+    0.001, 0.005, 0.025, 0.1, 0.5, 2.5, 10.0, 60.0, 300.0, 1800.0)
+
+LabelItems = Tuple[Tuple[str, str], ...]
+
+
+def _label_items(labels: Dict[str, object]) -> LabelItems:
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+class Counter:
+    """A monotonically increasing total."""
+
+    __slots__ = ("name", "labels", "_value")
+
+    def __init__(self, name: str, labels: LabelItems = ()):
+        self.name = name
+        self.labels = labels
+        self._value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ConfigurationError(
+                f"counter {self.name!r} cannot decrease (inc({amount}))")
+        self._value += amount
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+    def sample(self) -> dict:
+        return {"name": self.name, "type": "counter",
+                "labels": dict(self.labels), "value": self._value}
+
+
+class Gauge:
+    """A value that can go up and down (e.g. in-flight cells)."""
+
+    __slots__ = ("name", "labels", "_value")
+
+    def __init__(self, name: str, labels: LabelItems = ()):
+        self.name = name
+        self.labels = labels
+        self._value = 0.0
+
+    def set(self, value: float) -> None:
+        self._value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        self._value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        self._value -= amount
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+    def sample(self) -> dict:
+        return {"name": self.name, "type": "gauge",
+                "labels": dict(self.labels), "value": self._value}
+
+
+class Histogram:
+    """Bucketed observations with a running count and sum.
+
+    ``bucket_counts[i]`` counts observations ``<= buckets[i]``
+    (cumulative, Prometheus-style); observations above the last bound
+    only appear in ``count``/``sum``.
+    """
+
+    __slots__ = ("name", "labels", "buckets", "_bucket_counts",
+                 "_count", "_sum")
+
+    def __init__(self, name: str, labels: LabelItems = (),
+                 buckets: Sequence[float] = DEFAULT_BUCKETS):
+        if not buckets or list(buckets) != sorted(buckets):
+            raise ConfigurationError(
+                f"histogram {name!r} needs ascending, non-empty buckets")
+        self.name = name
+        self.labels = labels
+        self.buckets = tuple(float(b) for b in buckets)
+        self._bucket_counts = [0] * len(self.buckets)
+        self._count = 0
+        self._sum = 0.0
+
+    def observe(self, value: float) -> None:
+        self._count += 1
+        self._sum += value
+        index = bisect.bisect_left(self.buckets, value)
+        if index < len(self.buckets):
+            self._bucket_counts[index] += 1
+
+    @property
+    def count(self) -> int:
+        return self._count
+
+    @property
+    def sum(self) -> float:
+        return self._sum
+
+    @property
+    def mean(self) -> float:
+        return self._sum / self._count if self._count else 0.0
+
+    def bucket_counts(self) -> List[int]:
+        """Cumulative count per bucket bound."""
+        out, running = [], 0
+        for raw in self._bucket_counts:
+            running += raw
+            out.append(running)
+        return out
+
+    def sample(self) -> dict:
+        return {"name": self.name, "type": "histogram",
+                "labels": dict(self.labels), "count": self._count,
+                "sum": self._sum,
+                "buckets": dict(zip(self.buckets, self.bucket_counts()))}
+
+
+class MetricsRegistry:
+    """Creates and remembers instruments, keyed by (name, labels).
+
+    Asking twice for the same name and label set returns the same
+    instrument; asking for an existing name with a different instrument
+    kind raises.  Instrument *creation* is lock-protected; updates rely
+    on single-interpreter atomicity of float adds, which is all the
+    single-process simulators need.
+    """
+
+    enabled = True
+
+    def __init__(self):
+        self._instruments: Dict[Tuple[str, LabelItems], object] = {}
+        self._kinds: Dict[str, type] = {}
+        self._lock = threading.Lock()
+
+    def _get(self, cls, name: str, labels: Dict[str, object],
+             **kwargs):
+        key = (name, _label_items(labels))
+        with self._lock:
+            instrument = self._instruments.get(key)
+            if instrument is None:
+                known = self._kinds.setdefault(name, cls)
+                if known is not cls:
+                    raise ConfigurationError(
+                        f"metric {name!r} already registered as "
+                        f"{known.__name__}, cannot re-register as "
+                        f"{cls.__name__}")
+                instrument = cls(name, key[1], **kwargs)
+                self._instruments[key] = instrument
+            elif not isinstance(instrument, cls):
+                raise ConfigurationError(
+                    f"metric {name!r} is a "
+                    f"{type(instrument).__name__}, not a {cls.__name__}")
+        return instrument
+
+    def counter(self, name: str, **labels) -> Counter:
+        return self._get(Counter, name, labels)
+
+    def gauge(self, name: str, **labels) -> Gauge:
+        return self._get(Gauge, name, labels)
+
+    def histogram(self, name: str,
+                  buckets: Sequence[float] = DEFAULT_BUCKETS,
+                  **labels) -> Histogram:
+        return self._get(Histogram, name, labels, buckets=buckets)
+
+    def collect(self) -> List[dict]:
+        """Export every instrument as a plain dict, sorted by name."""
+        with self._lock:
+            instruments = list(self._instruments.values())
+        return sorted((i.sample() for i in instruments),
+                      key=lambda s: (s["name"], sorted(s["labels"].items())))
+
+    def as_dict(self) -> dict:
+        """``{name{labels}: value-ish}`` summary for logs/manifests."""
+        out = {}
+        for sample in self.collect():
+            labels = ",".join(f"{k}={v}"
+                              for k, v in sorted(sample["labels"].items()))
+            key = f"{sample['name']}{{{labels}}}" if labels \
+                else sample["name"]
+            if sample["type"] == "histogram":
+                out[key] = {"count": sample["count"], "sum": sample["sum"]}
+            else:
+                out[key] = sample["value"]
+        return out
+
+
+class _NullInstrument:
+    """Shared do-nothing instrument (all three kinds in one)."""
+
+    __slots__ = ()
+    name = "null"
+    labels: LabelItems = ()
+    value = 0.0
+    count = 0
+    sum = 0.0
+    mean = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        pass
+
+    def dec(self, amount: float = 1.0) -> None:
+        pass
+
+    def set(self, value: float) -> None:
+        pass
+
+    def observe(self, value: float) -> None:
+        pass
+
+    def bucket_counts(self) -> List[int]:
+        return []
+
+    def sample(self) -> dict:
+        return {"name": self.name, "type": "null", "labels": {},
+                "value": 0.0}
+
+
+_NULL_INSTRUMENT = _NullInstrument()
+
+
+class NullRegistry:
+    """The zero-overhead default: every instrument is one shared no-op."""
+
+    enabled = False
+
+    def counter(self, name: str, **labels) -> _NullInstrument:
+        return _NULL_INSTRUMENT
+
+    def gauge(self, name: str, **labels) -> _NullInstrument:
+        return _NULL_INSTRUMENT
+
+    def histogram(self, name: str,
+                  buckets: Sequence[float] = DEFAULT_BUCKETS,
+                  **labels) -> _NullInstrument:
+        return _NULL_INSTRUMENT
+
+    def collect(self) -> List[dict]:
+        return []
+
+    def as_dict(self) -> dict:
+        return {}
+
+
+_NULL_REGISTRY = NullRegistry()
+_registry = _NULL_REGISTRY
+
+
+def get_registry():
+    """The process-wide registry (a no-op unless metrics are enabled)."""
+    return _registry
+
+
+def set_registry(registry) -> object:
+    """Install ``registry`` as the process-wide one; returns the old."""
+    global _registry
+    previous = _registry
+    _registry = registry if registry is not None else _NULL_REGISTRY
+    return previous
+
+
+def enable_metrics() -> MetricsRegistry:
+    """Install and return a fresh real registry (idempotent per call:
+    each call starts from empty instruments)."""
+    registry = MetricsRegistry()
+    set_registry(registry)
+    return registry
+
+
+def disable_metrics() -> None:
+    """Restore the no-op default registry."""
+    set_registry(_NULL_REGISTRY)

@@ -1,0 +1,126 @@
+"""Offline validation of a telemetry directory.
+
+Checks that ``manifest.json`` and ``events.jsonl`` exist, parse, and
+conform to the schemas in :mod:`repro.observability.manifest` and
+:mod:`repro.observability.events` — every event a known type with its
+required fields, sequence numbers strictly increasing, the manifest
+carrying every required key.  CI runs this against the telemetry a
+smoke suite emits::
+
+    python -m repro.observability.validate telemetry-dir/
+
+Exit status 0 means the directory is a valid, complete telemetry
+record; problems are listed one per line on stderr.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import List, Optional, Union
+
+from repro.observability.events import validate_event
+from repro.observability.manifest import (
+    EVENTS_FILENAME,
+    MANIFEST_FILENAME,
+    MANIFEST_REQUIRED_KEYS,
+)
+
+PathLike = Union[str, Path]
+
+
+def validate_manifest_dict(data: object) -> List[str]:
+    """Problems with a parsed manifest; empty when it conforms."""
+    if not isinstance(data, dict):
+        return ["manifest is not a JSON object"]
+    problems = [f"manifest missing key {key!r}"
+                for key in sorted(MANIFEST_REQUIRED_KEYS - set(data))]
+    status = data.get("status")
+    if status == "running":
+        problems.append(
+            "manifest status is still 'running' (run never finalized)")
+    if "settings" in data and not isinstance(data["settings"], dict):
+        problems.append("manifest settings is not an object")
+    return problems
+
+
+def validate_events_file(path: PathLike) -> List[str]:
+    """Problems with an ``events.jsonl`` file; empty when it conforms."""
+    problems: List[str] = []
+    last_seq = 0
+    count = 0
+    with open(path, "r", encoding="utf-8") as stream:
+        for number, line in enumerate(stream, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            count += 1
+            try:
+                event = json.loads(line)
+            except ValueError as exc:
+                problems.append(f"line {number}: not JSON: {exc}")
+                continue
+            problems.extend(f"line {number}: {p}"
+                            for p in validate_event(event))
+            seq = event.get("seq")
+            if isinstance(seq, int):
+                if seq <= last_seq:
+                    problems.append(
+                        f"line {number}: seq {seq} not increasing "
+                        f"(previous {last_seq})")
+                last_seq = seq
+    if count == 0:
+        problems.append("events.jsonl holds no events")
+    return problems
+
+
+def validate_telemetry_dir(directory: PathLike) -> List[str]:
+    """All problems found in one telemetry directory."""
+    directory = Path(directory)
+    if not directory.is_dir():
+        return [f"{directory} is not a directory"]
+    problems: List[str] = []
+
+    manifest_path = directory / MANIFEST_FILENAME
+    if not manifest_path.exists():
+        problems.append(f"missing {MANIFEST_FILENAME}")
+    else:
+        try:
+            manifest = json.loads(manifest_path.read_text())
+        except ValueError as exc:
+            problems.append(f"{MANIFEST_FILENAME}: not JSON: {exc}")
+        else:
+            problems.extend(validate_manifest_dict(manifest))
+
+    events_path = directory / EVENTS_FILENAME
+    if not events_path.exists():
+        problems.append(f"missing {EVENTS_FILENAME}")
+    else:
+        problems.extend(f"{EVENTS_FILENAME}: {p}"
+                        for p in validate_events_file(events_path))
+    return problems
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.observability.validate",
+        description="Validate a telemetry directory "
+                    "(manifest.json + events.jsonl).")
+    parser.add_argument("directory", help="telemetry directory to check")
+    args = parser.parse_args(argv)
+    problems = validate_telemetry_dir(args.directory)
+    if problems:
+        for problem in problems:
+            print(f"INVALID: {problem}", file=sys.stderr)
+        return 1
+    events_path = Path(args.directory) / EVENTS_FILENAME
+    count = sum(1 for line in events_path.read_text().splitlines()
+                if line.strip())
+    print(f"OK: valid manifest and {count} events in {args.directory}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

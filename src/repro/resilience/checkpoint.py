@@ -18,8 +18,11 @@ from pathlib import Path
 from typing import Dict, Iterator, List, Optional, Union
 
 from repro.errors import CheckpointError
+from repro.observability.logs import get_logger
 
 PathLike = Union[str, Path]
+
+_logger = get_logger("resilience.checkpoint")
 
 _SAFE_CHARS = re.compile(r"[^A-Za-z0-9._-]")
 _FORMAT_VERSION = 1
@@ -77,6 +80,8 @@ class CheckpointStore:
         except OSError as exc:
             raise CheckpointError(
                 f"cannot write checkpoint {key!r}: {exc}") from exc
+        _logger.debug("checkpoint saved: %s", key,
+                      extra={"key": key, "path": str(target)})
         return target
 
     def load(self, key: str,
@@ -143,8 +148,12 @@ class CheckpointStore:
         for path in sorted(self.directory.glob("*.json")):
             try:
                 yield path, self._read_envelope(path)
-            except CheckpointError:
-                continue  # unreadable strays don't poison a resume scan
+            except CheckpointError as exc:
+                # Unreadable strays don't poison a resume scan.
+                _logger.warning("skipping unreadable checkpoint %s: %s",
+                                path.name, exc,
+                                extra={"path": str(path)})
+                continue
 
     def _read_envelope(self, path: Path) -> dict:
         if not path.exists():

@@ -21,6 +21,9 @@ from dataclasses import dataclass, field
 from typing import Optional, Tuple
 
 from repro.errors import ConfigurationError, WorkerCrashError
+from repro.observability.logs import get_logger
+
+_logger = get_logger("resilience.faults")
 
 #: Supported fault kinds.
 FAULT_KINDS = ("crash", "hang", "raise", "corrupt")
@@ -114,6 +117,10 @@ class FaultInjector:
         spec = self.find(key, attempt)
         if spec is None:
             return
+        _logger.warning("injected %s fault firing on %s attempt %d",
+                        spec.kind, key, attempt,
+                        extra={"kind": spec.kind, "key": key,
+                               "attempt": attempt})
         if spec.kind == "crash":
             os._exit(113)
         elif spec.kind == "hang":

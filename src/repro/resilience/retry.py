@@ -14,8 +14,11 @@ from dataclasses import dataclass
 from typing import Callable, List, Optional, Tuple, Type, TypeVar
 
 from repro.errors import ConfigurationError
+from repro.observability.logs import get_logger
 
 T = TypeVar("T")
+
+_logger = get_logger("resilience.retry")
 
 
 @dataclass(frozen=True)
@@ -85,7 +88,16 @@ def retry_call(fn: Callable[[], T],
             last = exc
             if attempt == policy.max_attempts:
                 raise
+            delay = policy.delay(attempt)
+            _logger.warning(
+                "attempt %d/%d failed (%s: %s); retrying in %.2fs",
+                attempt, policy.max_attempts, type(exc).__name__, exc,
+                delay,
+                extra={"attempt": attempt,
+                       "max_attempts": policy.max_attempts,
+                       "error_type": type(exc).__name__,
+                       "delay_seconds": delay})
             if on_retry is not None:
                 on_retry(attempt + 1, exc)
-            sleep(policy.delay(attempt))
+            sleep(delay)
     raise last  # pragma: no cover - loop always returns or raises

@@ -25,10 +25,12 @@ computation — which the tests assert, fault injection included.
 from __future__ import annotations
 
 import os
+import re
 import time
 from collections import deque
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from concurrent.futures.process import BrokenProcessPool
+from pathlib import Path
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.errors import (
@@ -37,6 +39,10 @@ from repro.errors import (
     SimulationError,
     WorkerCrashError,
 )
+from repro.observability import events as _events
+from repro.observability.logs import get_logger
+from repro.observability.manifest import TelemetryRun
+from repro.observability.profiling import maybe_profile
 from repro.resilience.checkpoint import CheckpointStore, config_hash
 from repro.resilience.faults import FaultInjector
 from repro.resilience.retry import RetryPolicy
@@ -63,10 +69,21 @@ FAILURE_POLICIES = ("raise", "partial")
 _worker_trace: Optional[Trace] = None
 _worker_injector: Optional[FaultInjector] = None
 
+_logger = get_logger("simulation.parallel")
+
 
 def cell_key(policy_name: str, capacity: int) -> str:
     """Stable identity of one sweep cell (also the fault-spec key)."""
     return f"{policy_name}@{capacity}"
+
+
+def _profile_path(profile_dir: Optional[str], key: str,
+                  attempt: int) -> Optional[str]:
+    """Per-(cell, attempt) cProfile dump path; None when disabled."""
+    if not profile_dir:
+        return None
+    safe = re.sub(r"[^A-Za-z0-9_.@-]+", "_", key)
+    return str(Path(profile_dir) / f"{safe}.attempt{attempt}.prof")
 
 
 def _init_worker(requests: Sequence[Request], name: str,
@@ -77,7 +94,9 @@ def _init_worker(requests: Sequence[Request], name: str,
 
 
 def _run_cell(cell: Tuple[str, int, float, str, int]) -> dict:
-    policy_name, capacity, warmup_fraction, interpretation, attempt = cell
+    policy_name, capacity, warmup_fraction, interpretation, attempt = \
+        cell[:5]
+    profile_path = cell[5] if len(cell) > 5 else None
     key = cell_key(policy_name, capacity)
     if _worker_injector is not None:
         _worker_injector.on_start(key, attempt)
@@ -91,7 +110,8 @@ def _run_cell(cell: Tuple[str, int, float, str, int]) -> dict:
         warmup_fraction=warmup_fraction,
         size_interpretation=SizeInterpretation(interpretation),
     )
-    result = CacheSimulator(config).run(_worker_trace)
+    with maybe_profile(profile_path):
+        result = CacheSimulator(config).run(_worker_trace)
     payload = result.as_dict()
     if _worker_injector is not None:
         payload = _worker_injector.on_result(key, attempt, payload)
@@ -157,6 +177,9 @@ def run_sweep_parallel(trace: Trace,
                        retry_policy: Optional[RetryPolicy] = None,
                        fault_injector: Optional[FaultInjector] = None,
                        checkpoint_store: Optional[CheckpointStore] = None,
+                       telemetry_dir=None,
+                       events=None,
+                       profile_dir=None,
                        sleep=time.sleep) -> SweepResult:
     """Run the (policy × capacity) grid across worker processes.
 
@@ -191,6 +214,16 @@ def run_sweep_parallel(trace: Trace,
             already checkpointed under the same sweep config are
             loaded instead of rerun — an interrupted grid resumes
             from where it stopped.
+        telemetry_dir: When set, the sweep writes its own
+            ``manifest.json`` + ``events.jsonl`` telemetry directory
+            (see :mod:`repro.observability.manifest`).
+        events: An :class:`~repro.observability.events.EventLog` to
+            emit cell lifecycle events into, for callers (like
+            ``run_suite``) that already own a telemetry run.  Without
+            it (and without ``telemetry_dir``) events go to the
+            process-wide sink, a no-op by default.
+        profile_dir: When set, each cell attempt is run under cProfile
+            in its worker and dumps ``<cell>.attempt<n>.prof`` here.
         sleep: Injectable sleep used for retry backoff.
     """
     cells: List[Tuple[str, int]] = [
@@ -215,68 +248,113 @@ def run_sweep_parallel(trace: Trace,
 
     sweep = SweepResult(trace_name=trace.name)
 
-    # Cells already checkpointed under this exact sweep config are
-    # adopted instead of rerun; the rest of the grid proceeds normally.
-    sweep_digest = None
-    if checkpoint_store is not None:
-        sweep_digest = config_hash({
-            "trace": trace.name,
-            "requests": len(trace.requests),
-            "warmup_fraction": warmup_fraction,
-            "size_interpretation": size_interpretation.value,
-        })
-        done_payloads = checkpoint_store.completed(sweep_digest)
-        remaining = []
-        for policy_name, capacity in cells:
-            payload = done_payloads.get(cell_key(policy_name, capacity))
-            if payload is not None:
-                try:
-                    sweep.add(_deserialize(
-                        payload, cell_key(policy_name, capacity)))
-                    continue
-                except WorkerCrashError:
-                    pass  # unreadable checkpoint: rerun the cell
-            remaining.append((policy_name, capacity))
-        cells = remaining
-        if not cells:
-            return sweep
+    telemetry: Optional[TelemetryRun] = None
+    if telemetry_dir is not None and events is None:
+        telemetry = TelemetryRun(
+            telemetry_dir, kind="sweep",
+            settings={
+                "trace": trace.name,
+                "policies": list(dict.fromkeys(p for p, _ in cells)),
+                "capacities": list(capacities),
+                "warmup_fraction": warmup_fraction,
+                "size_interpretation": size_interpretation.value,
+                "n_workers": n_workers,
+                "max_retries": max_retries,
+                "cell_timeout": cell_timeout,
+                "failure_policy": failure_policy,
+            },
+            install_sink=False)
+        events = telemetry.events
+    emit = events.emit if events is not None else _events.emit
 
-    def _checkpoint_cell(policy_name: str, capacity: int,
-                         payload: dict) -> None:
-        if checkpoint_store is not None:
-            checkpoint_store.save(cell_key(policy_name, capacity),
-                                  payload, sweep_digest)
-
-    if (n_workers == 1 and cell_timeout is None
-            and fault_injector is None):
-        # No pool overhead for the degenerate case (and nothing to
-        # time out or inject into).
-        _init_worker(trace.requests, trace.name)
-        try:
-            for policy_name, capacity in cells:
-                payload = _run_cell((policy_name, capacity,
-                                     warmup_fraction,
-                                     size_interpretation.value, 1))
-                sweep.add(SimulationResult.from_dict(payload))
-                _checkpoint_cell(policy_name, capacity, payload)
-        finally:
-            _reset_worker()
+    def _finish() -> SweepResult:
+        if telemetry is not None:
+            telemetry.finalize(
+                "partial" if sweep.failures else "complete")
         return sweep
 
-    _Scheduler(
-        trace=trace,
-        cells=cells,
-        warmup_fraction=warmup_fraction,
-        size_interpretation=size_interpretation,
-        n_workers=n_workers,
-        retry_policy=retry_policy,
-        cell_timeout=cell_timeout,
-        failure_policy=failure_policy,
-        fault_injector=fault_injector,
-        on_cell_done=_checkpoint_cell,
-        sleep=sleep,
-    ).run(sweep)
-    return sweep
+    try:
+        # Cells already checkpointed under this exact sweep config are
+        # adopted instead of rerun; the rest of the grid proceeds
+        # normally.
+        sweep_digest = None
+        if checkpoint_store is not None:
+            sweep_digest = config_hash({
+                "trace": trace.name,
+                "requests": len(trace.requests),
+                "warmup_fraction": warmup_fraction,
+                "size_interpretation": size_interpretation.value,
+            })
+            done_payloads = checkpoint_store.completed(sweep_digest)
+            remaining = []
+            for policy_name, capacity in cells:
+                key = cell_key(policy_name, capacity)
+                payload = done_payloads.get(key)
+                if payload is not None:
+                    try:
+                        sweep.add(_deserialize(payload, key))
+                    except WorkerCrashError:
+                        pass  # unreadable checkpoint: rerun the cell
+                    else:
+                        emit("cell_checkpoint_restored", key=key)
+                        continue
+                remaining.append((policy_name, capacity))
+            cells = remaining
+            if not cells:
+                return _finish()
+
+        def _checkpoint_cell(policy_name: str, capacity: int,
+                             payload: dict) -> None:
+            if checkpoint_store is not None:
+                checkpoint_store.save(cell_key(policy_name, capacity),
+                                      payload, sweep_digest)
+
+        if (n_workers == 1 and cell_timeout is None
+                and fault_injector is None):
+            # No pool overhead for the degenerate case (and nothing to
+            # time out or inject into).
+            _init_worker(trace.requests, trace.name)
+            try:
+                for policy_name, capacity in cells:
+                    key = cell_key(policy_name, capacity)
+                    emit("cell_scheduled", key=key, attempt=1)
+                    started = time.monotonic()
+                    payload = _run_cell(
+                        (policy_name, capacity, warmup_fraction,
+                         size_interpretation.value, 1,
+                         _profile_path(profile_dir, key, 1)))
+                    elapsed = time.monotonic() - started
+                    result = SimulationResult.from_dict(payload)
+                    result.duration_seconds = elapsed
+                    result.attempts = 1
+                    sweep.add(result)
+                    _checkpoint_cell(policy_name, capacity, payload)
+                    emit("cell_finished", key=key, attempt=1,
+                         duration_seconds=round(elapsed, 6))
+            finally:
+                _reset_worker()
+            return _finish()
+
+        _Scheduler(
+            trace=trace,
+            cells=cells,
+            warmup_fraction=warmup_fraction,
+            size_interpretation=size_interpretation,
+            n_workers=n_workers,
+            retry_policy=retry_policy,
+            cell_timeout=cell_timeout,
+            failure_policy=failure_policy,
+            fault_injector=fault_injector,
+            on_cell_done=_checkpoint_cell,
+            emit=emit,
+            profile_dir=profile_dir,
+            sleep=sleep,
+        ).run(sweep)
+        return _finish()
+    except BaseException:
+        if telemetry is not None:
+            telemetry.finalize("failed")
+        raise
 
 
 class _Scheduler:
@@ -286,7 +364,7 @@ class _Scheduler:
     def __init__(self, trace, cells, warmup_fraction,
                  size_interpretation, n_workers, retry_policy,
                  cell_timeout, failure_policy, fault_injector,
-                 on_cell_done, sleep):
+                 on_cell_done, emit, profile_dir, sleep):
         self.trace = trace
         self.warmup_fraction = warmup_fraction
         self.size_interpretation = size_interpretation
@@ -296,7 +374,12 @@ class _Scheduler:
         self.failure_policy = failure_policy
         self.fault_injector = fault_injector
         self.on_cell_done = on_cell_done
+        self.emit = emit
+        self.profile_dir = profile_dir
         self.sleep = sleep
+        #: Wall-clock seconds burned per cell key across attempts,
+        #: including attempts that crashed or timed out.
+        self.elapsed: Dict[str, float] = {}
         #: (policy, capacity, attempt) runnable now.
         self.queue = deque((policy, capacity, 1)
                            for policy, capacity in cells)
@@ -320,10 +403,19 @@ class _Scheduler:
             initargs=(self.trace.requests, self.trace.name,
                       self.fault_injector))
 
-    def _rebuild_pool(self) -> None:
+    def _rebuild_pool(self, reason: str = "worker crash") -> None:
         if self.pool is not None:
             _terminate_pool(self.pool)
         self.pool = self._new_pool()
+        self.emit("pool_rebuilt", reason=reason)
+        _logger.warning("process pool rebuilt (%s)", reason,
+                        extra={"reason": reason})
+
+    def _charge_elapsed(self, run: _CellRun) -> float:
+        """Accumulate the wall clock a leaving in-flight run burned."""
+        spent = time.monotonic() - run.started
+        self.elapsed[run.key] = self.elapsed.get(run.key, 0.0) + spent
+        return spent
 
     def _requeue_in_flight(self) -> None:
         """Return in-flight cells to the queue after a deliberate
@@ -331,6 +423,7 @@ class _Scheduler:
         never ran to completion, so their retry budget is untouched.
         """
         for run in self.in_flight.values():
+            self._charge_elapsed(run)
             self.queue.append((run.policy, run.capacity, run.attempt))
         self.in_flight.clear()
 
@@ -341,6 +434,7 @@ class _Scheduler:
         rerun one at a time so the actual crasher convicts itself.
         """
         for run in self.in_flight.values():
+            self._charge_elapsed(run)
             self.isolation.append((run.policy, run.capacity,
                                    run.attempt))
         self.in_flight.clear()
@@ -359,10 +453,25 @@ class _Scheduler:
         transient = isinstance(exc, (WorkerCrashError, CellTimeoutError,
                                      BrokenProcessPool))
         if transient and run.attempt < self.retry_policy.max_attempts:
-            self.sleep(self.retry_policy.delay(run.attempt))
+            delay = self.retry_policy.delay(run.attempt)
+            self.emit("cell_retried", key=run.key, attempt=run.attempt,
+                      error_type=type(exc).__name__,
+                      delay_seconds=delay)
+            _logger.warning(
+                "cell %s attempt %d failed (%s); retrying",
+                run.key, run.attempt, type(exc).__name__,
+                extra={"key": run.key, "attempt": run.attempt,
+                       "error_type": type(exc).__name__})
+            self.sleep(delay)
             target = self.isolation if isolate else self.queue
             target.append((run.policy, run.capacity, run.attempt + 1))
             return
+        self.emit("cell_failed", key=run.key, attempts=run.attempt,
+                  error_type=type(exc).__name__, message=str(exc))
+        _logger.error("cell %s failed permanently after %d attempt(s): "
+                      "%s", run.key, run.attempt, exc,
+                      extra={"key": run.key, "attempts": run.attempt,
+                             "error_type": type(exc).__name__})
         if self.failure_policy == "raise":
             raise exc
         self.failures.append(FailureRecord(
@@ -371,11 +480,13 @@ class _Scheduler:
             attempts=run.attempt,
             error_type=type(exc).__name__,
             message=str(exc),
+            duration_seconds=round(self.elapsed.get(run.key, 0.0), 6),
         ))
 
     def _handle_done(self, future, sweep: SweepResult) -> bool:
         """Process one finished future; True if the pool broke."""
         run = self.in_flight.pop(future)
+        self._charge_elapsed(run)
         was_isolated = run is self.isolated
         if was_isolated:
             self.isolated = None
@@ -405,11 +516,17 @@ class _Scheduler:
             self._retry_or_fail(run, exc)
             return False
         try:
-            sweep.add(_deserialize(payload, run.key))
+            result = _deserialize(payload, run.key)
         except WorkerCrashError as exc:
             self._retry_or_fail(run, exc)
         else:
+            result.duration_seconds = self.elapsed.get(run.key, 0.0)
+            result.attempts = run.attempt
+            sweep.add(result)
             self.on_cell_done(run.policy, run.capacity, payload)
+            self.emit("cell_finished", key=run.key, attempt=run.attempt,
+                      duration_seconds=round(result.duration_seconds,
+                                             6))
         return False
 
     def _check_timeouts(self) -> bool:
@@ -430,8 +547,13 @@ class _Scheduler:
                 del self.in_flight[future]
         if self.isolated in hung_runs:
             self.isolated = None
+        for _, run in hung:
+            self._charge_elapsed(run)
+            self.emit("cell_timed_out", key=run.key,
+                      attempt=run.attempt,
+                      timeout_seconds=self.cell_timeout)
         self._requeue_in_flight()
-        self._rebuild_pool()
+        self._rebuild_pool(reason="cell timeout")
         for _, run in hung:
             self._retry_or_fail(run, CellTimeoutError(
                 f"cell {run.key!r} exceeded {self.cell_timeout:g}s "
@@ -457,11 +579,13 @@ class _Scheduler:
                 isolate = False
             else:
                 return
+            key = cell_key(policy, capacity)
             try:
                 future = self.pool.submit(
                     _run_cell,
                     (policy, capacity, self.warmup_fraction,
-                     self.size_interpretation.value, attempt))
+                     self.size_interpretation.value, attempt,
+                     _profile_path(self.profile_dir, key, attempt)))
             except BrokenProcessPool:
                 # Worker died between polls; nothing was submitted, so
                 # no attempt is charged.
@@ -470,6 +594,7 @@ class _Scheduler:
                 self._suspect_in_flight()
                 self._rebuild_pool()
                 continue
+            self.emit("cell_scheduled", key=key, attempt=attempt)
             run = _CellRun(policy, capacity, attempt, time.monotonic())
             self.in_flight[future] = run
             if isolate:

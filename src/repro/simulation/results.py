@@ -47,6 +47,12 @@ class SimulationResult:
     #: LatencyMetrics when the run was configured with a latency
     #: model; not serialized (derive from a rerun if needed).
     latency: Optional[object] = None
+    #: Wall-clock seconds the producing runner spent on this cell
+    #: (summed over attempts) and how many attempts it took.  Runtime
+    #: execution annotations, deliberately excluded from ``as_dict`` so
+    #: parallel and serial results stay bit-identical.
+    duration_seconds: Optional[float] = None
+    attempts: int = 1
 
     @property
     def counted_requests(self) -> int:
@@ -123,6 +129,9 @@ class FailureRecord:
     attempts: int
     error_type: str
     message: str
+    #: Wall-clock seconds burned on this cell across all attempts, so
+    #: partial-failure reports show where the time went.
+    duration_seconds: float = 0.0
 
     def as_dict(self) -> dict:
         return {
@@ -131,6 +140,7 @@ class FailureRecord:
             "attempts": self.attempts,
             "error_type": self.error_type,
             "message": self.message,
+            "duration_seconds": self.duration_seconds,
         }
 
     @classmethod
@@ -141,6 +151,7 @@ class FailureRecord:
             attempts=data.get("attempts", 1),
             error_type=data.get("error_type", "Exception"),
             message=data.get("message", ""),
+            duration_seconds=data.get("duration_seconds", 0.0),
         )
 
 

@@ -36,12 +36,17 @@ from repro.core.gdstar import GDStarPolicy
 from repro.core.policy import AccessOutcome, ReplacementPolicy
 from repro.core.registry import make_policy
 from repro.errors import ConfigurationError
+from repro.observability.logs import get_logger
+from repro.observability.metrics import get_registry
+from repro.observability.profiling import PhaseTimings, phase_timer
 from repro.simulation.freshness import FreshnessTracker, TTLModel
 from repro.simulation.metrics import TypeMetrics
 from repro.simulation.occupancy import OccupancyTracker
 from repro.simulation.results import SimulationResult
 from repro.trace.modification import ModificationDetector, ModificationPolicy
 from repro.types import Request, Trace
+
+_logger = get_logger("simulation")
 
 
 class SizeInterpretation(enum.Enum):
@@ -127,6 +132,9 @@ class CacheSimulator:
         if config.latency_model is not None:
             from repro.simulation.latency import LatencyMetrics
             self.latency = LatencyMetrics(model=config.latency_model)
+        #: Wall-clock seconds per phase of the most recent run
+        #: (warmup / measurement / aggregate), for profiling long runs.
+        self.phase_timings = PhaseTimings()
 
     def _build_detector(self) -> Optional[ModificationDetector]:
         interp = self.config.size_interpretation
@@ -146,10 +154,22 @@ class CacheSimulator:
         warmup = int(total * self.config.warmup_fraction)
         name = trace_name or getattr(trace, "name", "trace")
 
+        # The warm-up/measurement split is hoisted out of the loop so
+        # neither half pays a per-request branch; the phase timers sit
+        # outside the loops and cost two clock reads per phase.
+        timings = self.phase_timings = PhaseTimings()
         cost_model = self.config.report_cost_model
-        for index, request in enumerate(requests):
-            outcome = self._step(request)
-            if index >= warmup:
+        position = 0
+        with phase_timer("warmup", timings):
+            for request in requests[:warmup]:
+                self._step(request)
+                position += 1
+                if self.occupancy is not None:
+                    self.occupancy.maybe_sample(self.cache, position)
+        with phase_timer("measurement", timings):
+            for request in requests[warmup:]:
+                outcome = self._step(request)
+                position += 1
                 hit = outcome is AccessOutcome.HIT
                 transfer = min(request.transfer_size, request.size)
                 cost = (cost_model.cost(request.size)
@@ -159,26 +179,35 @@ class CacheSimulator:
                 if self.latency is not None:
                     self.latency.record(request.doc_type, hit, transfer)
                     self.latency.record_baseline(transfer)
-            if self.occupancy is not None:
-                self.occupancy.maybe_sample(self.cache, index + 1)
+                if self.occupancy is not None:
+                    self.occupancy.maybe_sample(self.cache, position)
 
-        return self._result(name, total, warmup)
+        with phase_timer("aggregate", timings):
+            result = self._result(name, total, warmup)
+        self._publish_telemetry(result, timings)
+        return result
 
     def run_stream(self, requests: Iterable[Request],
                    warmup_requests: int = 0,
                    trace_name: str = "stream") -> SimulationResult:
         """Simulate an unbounded stream with an absolute warm-up count."""
+        timings = self.phase_timings = PhaseTimings()
         total = 0
-        for request in requests:
-            outcome = self._step(request)
-            total += 1
-            if total > warmup_requests:
-                hit = outcome is AccessOutcome.HIT
-                transfer = min(request.transfer_size, request.size)
-                self.metrics.record(request.doc_type, hit, transfer)
-            if self.occupancy is not None:
-                self.occupancy.maybe_sample(self.cache, total)
-        return self._result(trace_name, total, min(warmup_requests, total))
+        with phase_timer("stream", timings):
+            for request in requests:
+                outcome = self._step(request)
+                total += 1
+                if total > warmup_requests:
+                    hit = outcome is AccessOutcome.HIT
+                    transfer = min(request.transfer_size, request.size)
+                    self.metrics.record(request.doc_type, hit, transfer)
+                if self.occupancy is not None:
+                    self.occupancy.maybe_sample(self.cache, total)
+        with phase_timer("aggregate", timings):
+            result = self._result(trace_name, total,
+                                  min(warmup_requests, total))
+        self._publish_telemetry(result, timings)
+        return result
 
     def _step(self, request: Request) -> AccessOutcome:
         size = request.size
@@ -196,6 +225,43 @@ class CacheSimulator:
                 and outcome is not AccessOutcome.HIT):
             self._freshness.on_fetch(request.url, request.timestamp)
         return outcome
+
+    def _publish_telemetry(self, result: SimulationResult,
+                           timings: PhaseTimings) -> None:
+        """Batch the run's aggregates into the metrics registry.
+
+        One update per run — never one per request — so the hot loop
+        carries no metric calls and the disabled-by-default registry
+        costs nothing measurable.
+        """
+        registry = get_registry()
+        if registry.enabled:
+            labels = {"policy": result.policy}
+            registry.counter("simulator_runs_total", **labels).inc()
+            registry.counter("simulator_requests_total", **labels).inc(
+                result.total_requests)
+            registry.counter("simulator_hits_total", **labels).inc(
+                result.metrics.overall.hits)
+            registry.counter("simulator_hit_bytes_total", **labels).inc(
+                result.metrics.overall.hit_bytes)
+            registry.counter("simulator_evictions_total", **labels).inc(
+                result.evictions)
+            for phase, seconds in timings.as_dict().items():
+                registry.histogram("simulator_phase_seconds",
+                                   phase=phase).observe(seconds)
+        measured = timings.get("measurement") or timings.get("stream")
+        _logger.debug(
+            "simulated %s: %d requests in %.3fs", result.policy,
+            result.total_requests, timings.total,
+            extra={"policy": result.policy,
+                   "capacity_bytes": result.capacity_bytes,
+                   "requests": result.total_requests,
+                   "hit_rate": round(result.hit_rate(), 6),
+                   "phase_seconds": {k: round(v, 6) for k, v
+                                     in timings.as_dict().items()},
+                   "requests_per_second": round(
+                       result.total_requests / measured, 1)
+                   if measured else None})
 
     def _result(self, name: str, total: int,
                 warmup: int) -> SimulationResult:

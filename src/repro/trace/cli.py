@@ -26,15 +26,24 @@ from repro.analysis.tables import (
     render_properties_table,
     render_statistics_table,
 )
+from repro.observability.logs import LOG_LEVELS, configure, get_logger
 from repro.trace.pipeline import load_trace
 from repro.trace.writer import write_trace
 from repro.workload.generator import generate_trace
 from repro.workload.profiles import profile_by_name
 
+_logger = get_logger("trace.cli")
+
 
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-trace", description="Proxy trace tools.")
+    parser.add_argument(
+        "--log-level", choices=list(LOG_LEVELS), default="info",
+        help="diagnostic verbosity on stderr (default: info)")
+    parser.add_argument(
+        "--log-json", action="store_true",
+        help="emit diagnostics as JSON lines instead of text")
     commands = parser.add_subparsers(dest="command", required=True)
 
     convert = commands.add_parser(
@@ -93,7 +102,8 @@ def build_parser() -> argparse.ArgumentParser:
 def _cmd_convert(args) -> int:
     trace = load_trace(args.source, fmt=args.fmt)
     count = write_trace(args.target, trace)
-    print(f"wrote {count:,} requests to {args.target}")
+    _logger.info("wrote %s requests to %s", f"{count:,}", args.target,
+                 extra={"requests": count, "target": str(args.target)})
     return 0
 
 
@@ -128,7 +138,10 @@ def _cmd_generate(args) -> int:
     trace = generate_trace(profile,
                            temporal_model="irm" if args.irm else "gaps")
     count = write_trace(args.output, trace)
-    print(f"wrote {count:,} {profile.name} requests to {args.output}")
+    _logger.info("wrote %s %s requests to %s", f"{count:,}",
+                 profile.name, args.output,
+                 extra={"requests": count, "profile": profile.name,
+                        "target": str(args.output)})
     return 0
 
 
@@ -141,8 +154,10 @@ def _cmd_twin(args) -> int:
         profile = profile.scaled(args.scale)
     twin = generate_trace(profile)
     count = write_trace(args.output, twin)
-    print(f"wrote {count:,}-request synthetic twin of {args.source} "
-          f"to {args.output}")
+    _logger.info("wrote %s-request synthetic twin of %s to %s",
+                 f"{count:,}", args.source, args.output,
+                 extra={"requests": count, "source": str(args.source),
+                        "target": str(args.output)})
     if args.scale == 1.0:
         report = fidelity_report(original, twin)
         print("fidelity (max per-type deviation, percentage points): "
@@ -175,6 +190,7 @@ _COMMANDS = {
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
+    configure(level=args.log_level, json_lines=args.log_json)
     return _COMMANDS[args.command](args)
 
 

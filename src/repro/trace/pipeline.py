@@ -13,6 +13,8 @@ from pathlib import Path
 from typing import Callable, Iterable, Iterator, Optional, Union
 
 from repro.errors import TraceFormatError
+from repro.observability.logs import get_logger
+from repro.observability.profiling import phase_timer
 from repro.trace.classify import classify
 from repro.trace.modification import ModificationDetector, ModificationPolicy
 from repro.trace.preprocess import CacheabilityFilter
@@ -21,6 +23,8 @@ from repro.trace.record import LogRecord
 from repro.types import Request, Trace
 
 PathLike = Union[str, Path]
+
+_logger = get_logger("trace.pipeline")
 
 
 class TracePipeline:
@@ -83,6 +87,17 @@ def load_trace(path: PathLike, fmt: Optional[str] = None,
     :func:`~repro.trace.reader.open_trace`).
     """
     path = Path(path)
+    with phase_timer("trace_load", metric="trace_load_seconds"):
+        trace = _load(path, fmt, name, pipeline, max_errors, on_error)
+    _logger.debug("loaded trace %s: %d requests", trace.name,
+                  len(trace.requests),
+                  extra={"trace": trace.name, "path": str(path),
+                         "requests": len(trace.requests)})
+    return trace
+
+
+def _load(path: Path, fmt, name, pipeline, max_errors,
+          on_error) -> Trace:
     stream = open_trace(path, fmt=fmt, max_errors=max_errors,
                         on_error=on_error)
     first = next(stream, None)

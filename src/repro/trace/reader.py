@@ -13,6 +13,7 @@ from pathlib import Path
 from typing import IO, Callable, Iterator, Optional, Union
 
 from repro.errors import TraceFormatError
+from repro.observability.logs import get_logger
 from repro.trace.clf import CLFParser
 from repro.trace.csvtrace import CsvTraceParser
 from repro.trace.record import LogRecord
@@ -23,6 +24,8 @@ _PARSERS = {
     "clf": CLFParser,
     "csv": CsvTraceParser,
 }
+
+_logger = get_logger("trace.reader")
 
 PathLike = Union[str, Path]
 
@@ -80,6 +83,8 @@ def open_trace(path: PathLike, fmt: Optional[str] = None,
                 stream.close()
                 return
             fmt = detect_format(first)
+            _logger.debug("detected %s format for %s", fmt, path,
+                          extra={"format": fmt, "path": str(path)})
             stream.close()
             stream = _open_text(path)
         if fmt not in _PARSERS:

@@ -28,13 +28,28 @@ class TestParser:
 class TestMain:
     def test_runs_and_prints(self, capsys):
         assert main(["table2", "--scale", "tiny"]) == 0
-        out = capsys.readouterr().out
-        assert "% of Total Requests" in out
-        assert "completed in" in out
+        captured = capsys.readouterr()
+        # Results on stdout, status diagnostics on stderr (logging).
+        assert "% of Total Requests" in captured.out
+        assert "completed in" in captured.err
 
     def test_quiet(self, capsys):
         assert main(["table2", "--scale", "tiny", "--quiet"]) == 0
         assert capsys.readouterr().out == ""
+
+    def test_log_json_diagnostics(self, capsys):
+        assert main(["table2", "--scale", "tiny", "--quiet",
+                     "--log-json"]) == 0
+        captured = capsys.readouterr()
+        assert captured.out == ""
+        lines = [line for line in captured.err.splitlines()
+                 if line.strip()]
+        assert lines
+        for line in lines:
+            record = json.loads(line)
+            assert {"ts", "level", "logger", "message"} <= set(record)
+        assert any(r.get("experiment_id") == "table2"
+                   for r in map(json.loads, lines))
 
     def test_outdir(self, tmp_path, capsys):
         assert main(["table2", "--scale", "tiny",

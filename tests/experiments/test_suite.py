@@ -171,10 +171,12 @@ class TestCli:
         ckpt = str(tmp_path / "ckpt")
         assert main(["table1", "--scale", "tiny",
                      "--checkpoint-dir", ckpt]) == 0
-        assert "table1 completed" in capsys.readouterr().out
+        # Status diagnostics go through the logging layer on stderr;
+        # stdout carries only the report text.
+        assert "table1 completed" in capsys.readouterr().err
         assert main(["table1", "--scale", "tiny",
                      "--checkpoint-dir", ckpt, "--resume"]) == 0
-        assert "restored from checkpoint" in capsys.readouterr().out
+        assert "restored from checkpoint" in capsys.readouterr().err
         assert fake_runners["table1"].calls == 1
 
     def test_sweep_workers_flag_threads_into_settings(self,

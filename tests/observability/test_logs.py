@@ -1,0 +1,127 @@
+"""Structured-logging configuration and formatters."""
+
+import io
+import json
+import logging
+
+import pytest
+
+from repro.observability.logs import (
+    LOG_LEVELS,
+    JsonLinesFormatter,
+    PlainFormatter,
+    configure,
+    get_logger,
+)
+
+
+@pytest.fixture(autouse=True)
+def _reset_logging():
+    yield
+    logger = logging.getLogger("repro")
+    for handler in list(logger.handlers):
+        if getattr(handler, "_repro_configured", False):
+            logger.removeHandler(handler)
+    if not logger.handlers:
+        logger.addHandler(logging.NullHandler())
+    logger.setLevel(logging.NOTSET)
+
+
+class TestGetLogger:
+    def test_bare_name_is_prefixed(self):
+        assert get_logger("trace").name == "repro.trace"
+
+    def test_already_prefixed_kept(self):
+        assert get_logger("repro.trace").name == "repro.trace"
+
+    def test_default_is_library_root(self):
+        assert get_logger().name == "repro"
+        assert get_logger("repro").name == "repro"
+
+    def test_children_share_root(self):
+        assert get_logger("a.b").parent.name in ("repro.a", "repro")
+
+
+class TestConfigure:
+    def test_plain_lines_carry_extras(self):
+        sink = io.StringIO()
+        configure(level="info", stream=sink)
+        get_logger("x").info("hello", extra={"cell": "lru@1"})
+        line = sink.getvalue()
+        assert "INFO" in line
+        assert "repro.x: hello" in line
+        assert "cell=lru@1" in line
+
+    def test_json_lines_parse_with_extras(self):
+        sink = io.StringIO()
+        configure(level="debug", json_lines=True, stream=sink)
+        get_logger("y").warning("watch out", extra={"attempt": 2})
+        record = json.loads(sink.getvalue())
+        assert record["level"] == "warning"
+        assert record["logger"] == "repro.y"
+        assert record["message"] == "watch out"
+        assert record["attempt"] == 2
+        assert isinstance(record["ts"], float)
+
+    def test_level_filters(self):
+        sink = io.StringIO()
+        configure(level="warning", stream=sink)
+        get_logger("z").info("quiet")
+        get_logger("z").error("loud")
+        output = sink.getvalue()
+        assert "quiet" not in output
+        assert "loud" in output
+
+    def test_reconfigure_replaces_not_stacks(self):
+        first, second = io.StringIO(), io.StringIO()
+        configure(stream=first)
+        configure(stream=second)
+        get_logger("w").info("once")
+        assert first.getvalue() == ""
+        assert second.getvalue().count("once") == 1
+        tagged = [h for h in logging.getLogger("repro").handlers
+                  if getattr(h, "_repro_configured", False)]
+        assert len(tagged) == 1
+
+    def test_unknown_level_rejected(self):
+        with pytest.raises(ValueError):
+            configure(level="verbose")
+
+    def test_level_case_insensitive(self):
+        sink = io.StringIO()
+        configure(level="DEBUG", stream=sink)
+        get_logger("q").debug("fine grained")
+        assert "fine grained" in sink.getvalue()
+
+    def test_log_levels_constant(self):
+        assert LOG_LEVELS == (
+            "debug", "info", "warning", "error", "critical")
+
+
+class TestFormatters:
+    def _record(self, **extra):
+        record = logging.LogRecord(
+            name="repro.t", level=logging.INFO, pathname=__file__,
+            lineno=1, msg="msg %d", args=(7,), exc_info=None)
+        for key, value in extra.items():
+            setattr(record, key, value)
+        return record
+
+    def test_json_interpolates_message(self):
+        payload = json.loads(JsonLinesFormatter().format(self._record()))
+        assert payload["message"] == "msg 7"
+
+    def test_json_exception_field(self):
+        try:
+            raise RuntimeError("boom")
+        except RuntimeError:
+            import sys
+            record = logging.LogRecord(
+                name="repro.t", level=logging.ERROR, pathname=__file__,
+                lineno=1, msg="failed", args=(), exc_info=sys.exc_info())
+        payload = json.loads(JsonLinesFormatter().format(record))
+        assert "RuntimeError: boom" in payload["exception"]
+
+    def test_plain_sorts_extras(self):
+        line = PlainFormatter().format(self._record(b="2", a="1"))
+        assert line.endswith("a=1 b=2")

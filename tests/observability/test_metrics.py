@@ -1,0 +1,181 @@
+"""Counter/gauge/histogram semantics and the registry contract."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.observability.metrics import (
+    DEFAULT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NullRegistry,
+    disable_metrics,
+    enable_metrics,
+    get_registry,
+    set_registry,
+)
+
+
+@pytest.fixture(autouse=True)
+def _null_registry_after():
+    yield
+    disable_metrics()
+
+
+class TestCounter:
+    def test_starts_at_zero_and_accumulates(self):
+        counter = Counter("requests_total")
+        assert counter.value == 0.0
+        counter.inc()
+        counter.inc(41)
+        assert counter.value == 42.0
+
+    def test_cannot_decrease(self):
+        with pytest.raises(ConfigurationError):
+            Counter("requests_total").inc(-1)
+
+    def test_sample_shape(self):
+        counter = Counter("c", (("policy", "lru"),))
+        counter.inc(3)
+        assert counter.sample() == {
+            "name": "c", "type": "counter",
+            "labels": {"policy": "lru"}, "value": 3.0}
+
+
+class TestGauge:
+    def test_set_inc_dec(self):
+        gauge = Gauge("in_flight")
+        gauge.set(5)
+        gauge.inc(2)
+        gauge.dec()
+        assert gauge.value == 6.0
+
+    def test_can_go_negative(self):
+        gauge = Gauge("drift")
+        gauge.dec(3)
+        assert gauge.value == -3.0
+
+
+class TestHistogram:
+    def test_count_sum_mean(self):
+        hist = Histogram("seconds", buckets=(1.0, 10.0))
+        for value in (0.5, 2.0, 20.0):
+            hist.observe(value)
+        assert hist.count == 3
+        assert hist.sum == pytest.approx(22.5)
+        assert hist.mean == pytest.approx(7.5)
+
+    def test_bucket_counts_are_cumulative(self):
+        hist = Histogram("seconds", buckets=(1.0, 10.0, 100.0))
+        for value in (0.5, 0.7, 5.0, 50.0, 500.0):
+            hist.observe(value)
+        # <=1: 2, <=10: 3, <=100: 4; 500 only in count/sum.
+        assert hist.bucket_counts() == [2, 3, 4]
+        assert hist.count == 5
+
+    def test_boundary_lands_in_its_bucket(self):
+        hist = Histogram("seconds", buckets=(1.0, 10.0))
+        hist.observe(1.0)
+        assert hist.bucket_counts() == [1, 1]
+
+    def test_rejects_unsorted_buckets(self):
+        with pytest.raises(ConfigurationError):
+            Histogram("bad", buckets=(5.0, 1.0))
+
+    def test_rejects_empty_buckets(self):
+        with pytest.raises(ConfigurationError):
+            Histogram("bad", buckets=())
+
+
+class TestRegistry:
+    def test_same_name_and_labels_share_an_instrument(self):
+        registry = MetricsRegistry()
+        registry.counter("cells_total", policy="lru").inc()
+        registry.counter("cells_total", policy="lru").inc()
+        assert registry.counter("cells_total", policy="lru").value == 2.0
+
+    def test_label_sets_are_distinct_children(self):
+        registry = MetricsRegistry()
+        registry.counter("cells_total", policy="lru").inc()
+        registry.counter("cells_total", policy="gds(1)").inc(5)
+        assert registry.counter("cells_total", policy="lru").value == 1.0
+        assert registry.counter("cells_total",
+                                policy="gds(1)").value == 5.0
+
+    def test_label_order_is_irrelevant(self):
+        registry = MetricsRegistry()
+        a = registry.counter("c", policy="lru", scale="tiny")
+        b = registry.counter("c", scale="tiny", policy="lru")
+        assert a is b
+
+    def test_kind_conflict_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("thing")
+        with pytest.raises(ConfigurationError):
+            registry.gauge("thing")
+        with pytest.raises(ConfigurationError):
+            registry.histogram("thing", other="label")
+
+    def test_collect_exports_all_instruments(self):
+        registry = MetricsRegistry()
+        registry.counter("b_total").inc()
+        registry.gauge("a_gauge").set(7)
+        registry.histogram("h_seconds").observe(0.01)
+        samples = registry.collect()
+        assert [s["name"] for s in samples] == \
+            ["a_gauge", "b_total", "h_seconds"]
+        assert samples[2]["count"] == 1
+
+    def test_as_dict_naming(self):
+        registry = MetricsRegistry()
+        registry.counter("runs_total", policy="lru").inc(2)
+        registry.counter("plain_total").inc()
+        summary = registry.as_dict()
+        assert summary["runs_total{policy=lru}"] == 2.0
+        assert summary["plain_total"] == 1.0
+
+    def test_default_buckets_ascending(self):
+        assert list(DEFAULT_BUCKETS) == sorted(DEFAULT_BUCKETS)
+
+
+class TestNullRegistry:
+    def test_disabled_and_shared_noop(self):
+        registry = NullRegistry()
+        assert registry.enabled is False
+        counter = registry.counter("anything", policy="lru")
+        assert counter is registry.gauge("other")
+        assert counter is registry.histogram("third")
+        counter.inc(100)
+        counter.observe(1.0)
+        counter.set(9)
+        counter.dec()
+        assert counter.value == 0.0
+        assert registry.collect() == []
+        assert registry.as_dict() == {}
+
+
+class TestProcessGlobal:
+    def test_default_is_null(self):
+        disable_metrics()
+        assert get_registry().enabled is False
+
+    def test_enable_installs_fresh_real_registry(self):
+        first = enable_metrics()
+        first.counter("c").inc()
+        second = enable_metrics()
+        assert get_registry() is second
+        assert second.counter("c").value == 0.0
+
+    def test_set_registry_returns_previous(self):
+        mine = MetricsRegistry()
+        previous = set_registry(mine)
+        try:
+            assert get_registry() is mine
+        finally:
+            set_registry(previous)
+
+    def test_set_none_restores_null(self):
+        enable_metrics()
+        set_registry(None)
+        assert get_registry().enabled is False

@@ -1,0 +1,88 @@
+"""Phase timers and the opt-in cProfile wrapper."""
+
+import pstats
+
+import pytest
+
+from repro.observability.metrics import disable_metrics, enable_metrics
+from repro.observability.profiling import (
+    PhaseTimings,
+    maybe_profile,
+    phase_timer,
+)
+
+
+@pytest.fixture(autouse=True)
+def _null_registry_after():
+    yield
+    disable_metrics()
+
+
+class TestPhaseTimings:
+    def test_accumulates_per_phase(self):
+        timings = PhaseTimings()
+        timings.add("warmup", 1.0)
+        timings.add("warmup", 0.5)
+        timings.add("measurement", 2.0)
+        assert timings.get("warmup") == pytest.approx(1.5)
+        assert timings.total == pytest.approx(3.5)
+        assert "warmup" in timings
+        assert "aggregate" not in timings
+        assert timings.as_dict() == {"warmup": 1.5, "measurement": 2.0}
+
+    def test_missing_phase_is_zero(self):
+        assert PhaseTimings().get("nope") == 0.0
+
+    def test_repr_mentions_phases(self):
+        timings = PhaseTimings()
+        timings.add("warmup", 0.25)
+        assert "warmup" in repr(timings)
+
+
+class TestPhaseTimer:
+    def test_records_into_timings(self):
+        timings = PhaseTimings()
+        with phase_timer("warmup", timings):
+            pass
+        assert timings.get("warmup") > 0.0
+
+    def test_records_even_on_exception(self):
+        timings = PhaseTimings()
+        with pytest.raises(RuntimeError):
+            with phase_timer("measurement", timings):
+                raise RuntimeError("boom")
+        assert "measurement" in timings
+
+    def test_observes_histogram_when_metrics_enabled(self):
+        registry = enable_metrics()
+        with phase_timer("warmup", metric="sim_phase_seconds"):
+            pass
+        hist = registry.histogram("sim_phase_seconds", phase="warmup")
+        assert hist.count == 1
+
+    def test_no_histogram_when_metrics_disabled(self):
+        disable_metrics()
+        with phase_timer("warmup", metric="sim_phase_seconds"):
+            pass
+        registry = enable_metrics()
+        assert registry.collect() == []
+
+
+class TestMaybeProfile:
+    def test_writes_loadable_stats(self, tmp_path):
+        target = tmp_path / "cells" / "lru@1.prof"
+        with maybe_profile(target):
+            sum(range(1000))
+        assert target.exists()
+        stats = pstats.Stats(str(target))
+        assert stats.total_calls >= 1
+
+    def test_none_path_is_noop(self, tmp_path):
+        with maybe_profile(None):
+            pass
+        assert list(tmp_path.iterdir()) == []
+
+    def test_disabled_is_noop(self, tmp_path):
+        with maybe_profile(tmp_path / "x.prof", enabled=False):
+            pass
+        assert not (tmp_path / "x.prof").exists()

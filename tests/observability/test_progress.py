@@ -1,0 +1,96 @@
+"""Progress heartbeat: rate limiting, ETA, formatting."""
+
+import io
+
+from repro.observability.progress import ProgressReporter, _format_seconds
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+
+def make(total=10, **kwargs):
+    clock = FakeClock()
+    stream = io.StringIO()
+    reporter = ProgressReporter(total=total, label="suite",
+                                stream=stream, min_interval=10.0,
+                                clock=clock, **kwargs)
+    return reporter, clock, stream
+
+
+class TestRateLimiting:
+    def test_first_update_prints(self):
+        reporter, _, stream = make()
+        reporter.update(detail="fig1")
+        assert reporter.lines_printed == 1
+        assert stream.getvalue().count("\n") == 1
+
+    def test_updates_inside_interval_suppressed(self):
+        reporter, clock, _ = make()
+        reporter.update()
+        clock.now = 3.0
+        reporter.update()
+        clock.now = 9.0
+        reporter.update()
+        assert reporter.lines_printed == 1
+        assert reporter.done == 3
+
+    def test_prints_again_after_interval(self):
+        reporter, clock, _ = make()
+        reporter.update()
+        clock.now = 11.0
+        reporter.update()
+        assert reporter.lines_printed == 2
+
+    def test_completion_always_prints(self):
+        reporter, _, _ = make(total=2)
+        reporter.update()   # prints (first)
+        reporter.update()   # prints despite interval: done == total
+        assert reporter.lines_printed == 2
+
+    def test_finish_always_prints(self):
+        reporter, _, stream = make()
+        reporter.update()
+        reporter.finish()
+        assert reporter.lines_printed == 2
+        assert "done" in stream.getvalue().splitlines()[-1]
+
+
+class TestFormatting:
+    def test_line_shape(self):
+        reporter, clock, stream = make(total=4)
+        clock.now = 8.0
+        reporter.update(detail="fig2")
+        line = stream.getvalue().strip()
+        assert line.startswith("[suite] 1/4 (25.0%)")
+        assert "elapsed 8s" in line
+        assert "eta 24s" in line
+        assert line.endswith("| fig2")
+
+    def test_no_eta_when_complete(self):
+        reporter, _, stream = make(total=1)
+        reporter.update()
+        assert "eta" not in stream.getvalue()
+
+    def test_unknown_total_prints_bare_count(self):
+        reporter, _, stream = make(total=0)
+        reporter.update()
+        line = stream.getvalue()
+        assert "[suite] 1 " in line
+        assert "%" not in line
+
+    def test_explicit_done(self):
+        reporter, _, _ = make()
+        reporter.update(done=7)
+        assert reporter.done == 7
+
+
+class TestFormatSeconds:
+    def test_units(self):
+        assert _format_seconds(42) == "42s"
+        assert _format_seconds(90) == "1.5m"
+        assert _format_seconds(5400) == "1.5h"

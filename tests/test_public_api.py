@@ -81,6 +81,25 @@ DOCUMENTED_API = [
     ("repro.trace.budget", "ErrorBudget"),
     ("repro.experiments.claims", "ClaimChecker"),
     ("repro.experiments.summary", "write_markdown_summary"),
+    ("repro", "configure_logging"),
+    ("repro", "get_logger"),
+    ("repro", "enable_metrics"),
+    ("repro", "disable_metrics"),
+    ("repro", "get_registry"),
+    ("repro", "TelemetryRun"),
+    ("repro", "RunManifest"),
+    ("repro", "ProgressReporter"),
+    ("repro", "read_events"),
+    ("repro", "validate_telemetry_dir"),
+    ("repro.observability", "MetricsRegistry"),
+    ("repro.observability", "EventLog"),
+    ("repro.observability", "EVENT_SCHEMAS"),
+    ("repro.observability", "PhaseTimings"),
+    ("repro.observability", "phase_timer"),
+    ("repro.observability", "maybe_profile"),
+    ("repro.observability", "host_info"),
+    ("repro.observability.logs", "JsonLinesFormatter"),
+    ("repro.observability.validate", "validate_events_file"),
 ]
 
 

@@ -18,7 +18,9 @@ class TestGenerate:
         out = tmp_path / "t.csv"
         assert main(["generate", "dfn", "--scale", "0.0005",
                      "-o", str(out)]) == 0
-        assert "dfn-like requests" in capsys.readouterr().out
+        # Diagnostics go through the logging layer on stderr; stdout
+        # stays reserved for results.
+        assert "dfn-like requests" in capsys.readouterr().err
         trace = load_trace(out)
         assert len(trace) > 1000
 
@@ -43,7 +45,7 @@ class TestConvert:
         log.write_text(SQUID)
         out = tmp_path / "out.csv.gz"
         assert main(["convert", str(log), str(out)]) == 0
-        assert "wrote 2" in capsys.readouterr().out
+        assert "wrote 2" in capsys.readouterr().err
         with gzip.open(out, "rt") as stream:
             assert stream.readline().startswith("timestamp,")
 
