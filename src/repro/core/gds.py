@@ -34,8 +34,10 @@ class GDSPolicy(ReplacementPolicy):
         return len(self._heap)
 
     def _value(self, entry: CacheEntry) -> float:
+        # Clamp zero-size documents consistently: the same floored
+        # size feeds both the cost model and the denominator.
         size = max(entry.size, 1)
-        return self.inflation + self.cost_model.cost(entry.size) / size
+        return self.inflation + self.cost_model.cost(size) / size
 
     def on_admit(self, entry: CacheEntry) -> None:
         self._heap.push(entry, self._value(entry))

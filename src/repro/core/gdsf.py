@@ -28,7 +28,7 @@ class GDSFPolicy(ReplacementPolicy):
 
     def _value(self, entry: CacheEntry) -> float:
         size = max(entry.size, 1)
-        utility = entry.frequency * self.cost_model.cost(entry.size) / size
+        utility = entry.frequency * self.cost_model.cost(size) / size
         return self.inflation + utility
 
     def on_admit(self, entry: CacheEntry) -> None:

@@ -57,7 +57,7 @@ class GDStarTypedPolicy(ReplacementPolicy):
 
     def _value(self, entry: CacheEntry) -> float:
         size = max(entry.size, 1)
-        utility = entry.frequency * self.cost_model.cost(entry.size) / size
+        utility = entry.frequency * self.cost_model.cost(size) / size
         if utility > _MAX_UTILITY:
             utility = _MAX_UTILITY
         exponent = 1.0 / self.estimators[entry.doc_type].beta

@@ -48,7 +48,7 @@ class HyperbolicPolicy(ReplacementPolicy):
         birth = entry.policy_data[1]
         age = max(self._clock - birth, 1)
         size = max(entry.size, 1)
-        return (entry.frequency * self.cost_model.cost(entry.size)
+        return (entry.frequency * self.cost_model.cost(size)
                 / (size * age))
 
     def on_admit(self, entry: CacheEntry) -> None:

@@ -42,7 +42,7 @@ class LandlordPolicy(ReplacementPolicy):
 
     def _full_expiry(self, entry: CacheEntry) -> float:
         size = max(entry.size, 1)
-        return self.rent_level + self.cost_model.cost(entry.size) / size
+        return self.rent_level + self.cost_model.cost(size) / size
 
     def on_admit(self, entry: CacheEntry) -> None:
         self._heap.push(entry, self._full_expiry(entry))

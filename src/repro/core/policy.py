@@ -74,8 +74,23 @@ class ReplacementPolicy(ABC):
         """Called once when the policy is installed into a cache.
 
         The default keeps a back-reference so policies can read the
-        cache clock; override for extra setup.
+        cache clock; override for extra setup (and call ``super()``).
+
+        A policy instance carries mutable eviction state, so it can
+        serve exactly one cache: sharing an instance across the cells
+        of a multi-cell pass would silently interleave two caches'
+        eviction orders.  Re-attaching to a *different* cache therefore
+        raises; build one policy per cell (as
+        :func:`~repro.core.registry.make_policy` does).
         """
+        current = getattr(self, "cache", None)
+        if current is not None and current is not cache:
+            from repro.errors import SimulationError
+            raise SimulationError(
+                f"policy instance {self.name!r} is already attached to "
+                "a cache; policies hold per-cache eviction state, so "
+                "each cache cell needs its own instance (use "
+                "repro.core.registry.make_policy per cell)")
         self.cache = cache
 
     def admits(self, size: int) -> bool:

@@ -267,17 +267,21 @@ def _run_grid(trace: Trace, policies, capacities,
     """Run a sweep grid serially, or in parallel with fault tolerance
     when ``settings.extra`` carries ``sweep_workers`` (the CLI's
     ``--sweep-workers``, with ``--cell-timeout`` / ``--max-retries``
-    riding along).  Both paths are bit-identical."""
+    riding along).  ``engine`` (the CLI's ``--engine``) picks between
+    the classic one-pass-per-cell layout and the shared-pass batched
+    engine.  All paths are bit-identical."""
     workers = int(settings.extra.get("sweep_workers") or 0)
+    engine = settings.extra.get("engine") or "percell"
     if workers > 1:
         from repro.simulation.parallel import run_sweep_parallel
 
         return run_sweep_parallel(
             trace, policies, capacities,
             n_workers=workers,
+            engine=engine,
             max_retries=int(settings.extra.get("max_retries", 2)),
             cell_timeout=settings.extra.get("cell_timeout"))
-    return run_sweep(trace, policies, capacities)
+    return run_sweep(trace, policies, capacities, engine=engine)
 
 
 def _sweep_report(experiment_id: str, trace: Trace, policies, label: str,
@@ -696,8 +700,10 @@ def _run_future_workload(settings: ExperimentSettings) -> ExperimentReport:
     for trace_label, trace in (("dfn", dfn), ("future", future)):
         capacities = cache_sizes_from_fractions(
             trace, settings.size_fractions)
-        const = run_sweep(trace, _CONSTANT_POLICIES, capacities)
-        packet = run_sweep(trace, _PACKET_POLICIES, capacities)
+        const = _run_grid(trace, _CONSTANT_POLICIES, capacities,
+                          settings)
+        packet = _run_grid(trace, _PACKET_POLICIES, capacities,
+                           settings)
         sections.append(render_sweep_table(
             const, title=f"{trace_label}: overall hit rate "
                          f"(constant cost)"))
@@ -737,10 +743,14 @@ def _run_verify_claims(settings: ExperimentSettings) -> ExperimentReport:
     dfn_caps = cache_sizes_from_fractions(dfn, settings.size_fractions)
     rtp_caps = cache_sizes_from_fractions(rtp, settings.size_fractions)
     sweeps = {
-        "dfn-const": run_sweep(dfn, _CONSTANT_POLICIES, dfn_caps),
-        "dfn-packet": run_sweep(dfn, _PACKET_POLICIES, dfn_caps),
-        "rtp-const": run_sweep(rtp, _CONSTANT_POLICIES, rtp_caps),
-        "rtp-packet": run_sweep(rtp, _PACKET_POLICIES, rtp_caps),
+        "dfn-const": _run_grid(dfn, _CONSTANT_POLICIES, dfn_caps,
+                               settings),
+        "dfn-packet": _run_grid(dfn, _PACKET_POLICIES, dfn_caps,
+                                settings),
+        "rtp-const": _run_grid(rtp, _CONSTANT_POLICIES, rtp_caps,
+                               settings),
+        "rtp-packet": _run_grid(rtp, _PACKET_POLICIES, rtp_caps,
+                                settings),
     }
     results = ClaimChecker(sweeps).run_all()
     text = render_claim_table(

@@ -40,6 +40,10 @@ EVENT_SCHEMAS: Dict[str, Set[str]] = {
     "cell_failed": {"key", "attempts", "error_type"},
     "cell_checkpoint_restored": {"key"},
     "pool_rebuilt": {"reason"},
+    # shared-pass engine (one trace pass serving N cache cells)
+    "pass_started": {"cells", "requests"},
+    "pass_finished": {"cells", "requests", "duration_seconds",
+                      "lru_fast_path_cells"},
     # suite experiment lifecycle
     "experiment_started": {"experiment_id"},
     "experiment_finished": {"experiment_id", "duration_seconds"},

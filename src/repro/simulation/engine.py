@@ -1,0 +1,714 @@
+"""The shared-pass simulation engine.
+
+Sweeping the paper's grids costs ``O(cells × requests)`` when every
+(policy, capacity) cell re-iterates the trace: trace iteration,
+:class:`SizeInterpretation` resolution, and modification/staleness
+reconstruction are identical across cells, yet the classic simulator
+repays them per cell.  This module splits the simulator into the two
+stages that actually differ in reusability:
+
+* :class:`ReferenceStream` — the per-request *reference-stream* stage.
+  It resolves each raw :class:`~repro.types.Request` into an immutable
+  reference tuple ``(url, size, doc_type, transfer, raw_size,
+  timestamp)`` exactly once per pass.  Resolution state (the
+  :class:`~repro.trace.modification.ModificationDetector`) depends only
+  on the size interpretation and tolerance — never on the cache — so
+  one resolver serves every cell that shares those knobs.
+
+* :class:`CacheCell` — one cache + policy +
+  :class:`~repro.simulation.metrics.TypeMetrics` (plus optional
+  occupancy/latency/cost accounting) consuming resolved references.
+  Cells are independent: N of them ride the same pass, so a sweep
+  costs one trace iteration instead of N.
+
+:func:`run_cells` drives any number of cells over one pass and returns
+their :class:`~repro.simulation.results.SimulationResult`\\ s in input
+order, **bit-identical** to running each cell through
+:class:`~repro.simulation.simulator.CacheSimulator` alone.  Identity
+holds because (a) each cell still sees every reference in trace order,
+(b) requested-side tallies are integers (order-independent sums), and
+(c) cost accumulation — the one float — only happens in per-cell
+general mode, which replays the classic per-request loop.
+
+LRU inclusion fast path
+-----------------------
+
+A byte-bounded LRU cache is a stack algorithm whenever no reference
+bypasses the cache and no resident copy is invalidated: a reference
+then hits a capacity-``C`` cache **iff** its byte-weighted stack
+distance plus the document size is ≤ ``C``.  (Eviction of ``d``
+requires residents above ``d`` plus the incoming document to exceed
+``C − size(d)``, and all of those are intervening distinct documents;
+conversely at a hit every intervening document is resident above
+``d``.)  Under those preconditions — ``TRUSTED`` sizes, per-URL sizes
+stable across the trace, every document no larger than the capacity,
+no TTL model, and plain LRU with no extra accounting — the entire LRU
+capacity ladder is served by **one**
+:func:`repro.analysis.stack_distance.stack_distances` pass, with exact
+hit/eviction counts.  Cells that fail any precondition silently fall
+back to ordinary simulation in the shared pass.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from itertools import islice
+from typing import (
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
+
+from repro.core.cache import Cache
+from repro.core.gdstar import GDStarPolicy
+from repro.core.lru import LRUPolicy
+from repro.core.policy import AccessOutcome, ReplacementPolicy
+from repro.core.registry import make_policy
+from repro.errors import ConfigurationError, SimulationError
+from repro.observability.events import emit
+from repro.observability.logs import get_logger
+from repro.observability.metrics import get_registry
+from repro.observability.profiling import PhaseTimings, phase_timer
+from repro.simulation.freshness import FreshnessTracker, TTLModel
+from repro.simulation.metrics import TypeMetrics
+from repro.simulation.occupancy import OccupancyTracker
+from repro.simulation.results import SimulationResult
+from repro.trace.modification import ModificationDetector, ModificationPolicy
+from repro.types import DOCUMENT_TYPES, DocumentType, Request, Trace
+
+_logger = get_logger("simulation")
+
+#: Requests resolved per chunk of the shared pass.  Chunks amortize the
+#: per-slice overhead while keeping the resolved tuples cache-warm for
+#: every cell that consumes them.
+DEFAULT_CHUNK_SIZE = 4096
+
+
+class SizeInterpretation(enum.Enum):
+    """How request sizes are turned into document sizes."""
+
+    TRUSTED = "trusted"
+    PAPER_RULE = "paper-rule"
+    ANY_CHANGE = "any-change"
+
+
+@dataclass
+class SimulationConfig:
+    """Knobs for one simulation run.
+
+    Attributes:
+        capacity_bytes: Cache capacity.
+        policy: Policy name (see :mod:`repro.core.registry`) or a
+            ready-built policy instance.
+        warmup_fraction: Leading fraction of requests that fill the
+            cache without being measured (paper: 10 %).
+        size_interpretation: See :mod:`repro.simulation.simulator`.
+        occupancy_interval: Sample per-type occupancy every N requests;
+            0 disables tracking.
+        modification_tolerance: The 5 % threshold of the paper rule.
+        ttl_model: Optional per-type freshness lifetimes; a resident
+            copy older than its TTL (in trace time) is invalidated and
+            the reference counts as a miss.  None (the default, and
+            the paper's methodology) never expires documents.
+    """
+
+    capacity_bytes: int
+    policy: Union[str, ReplacementPolicy] = "lru"
+    warmup_fraction: float = 0.10
+    size_interpretation: SizeInterpretation = SizeInterpretation.TRUSTED
+    occupancy_interval: int = 0
+    modification_tolerance: float = 0.05
+    ttl_model: Optional[TTLModel] = None
+    #: When set, per-request retrieval costs under this model are
+    #: accumulated so results expose ``cost_savings_ratio`` — the
+    #: objective a Greedy-Dual policy under the same model maximizes.
+    report_cost_model: Optional[object] = None
+    #: When set, per-request service times under this model are
+    #: accumulated; the result carries a
+    #: :class:`~repro.simulation.latency.LatencyMetrics`.
+    latency_model: Optional[object] = None
+
+    def validate(self) -> None:
+        if self.capacity_bytes <= 0:
+            raise ConfigurationError("capacity_bytes must be positive")
+        if not 0.0 <= self.warmup_fraction < 1.0:
+            raise ConfigurationError("warmup_fraction must be in [0, 1)")
+        if self.occupancy_interval < 0:
+            raise ConfigurationError("occupancy_interval must be >= 0")
+
+
+# ----- stage (a): the reference stream --------------------------------------
+
+
+class _TrustedResolver:
+    """Believes the request's ``size``/``transfer_size`` split."""
+
+    detector: Optional[ModificationDetector] = None
+
+    def resolve(self, requests: Sequence[Request]) -> list:
+        out = []
+        append = out.append
+        for r in requests:
+            size = r.size
+            t = r.transfer_size
+            append((r.url, size, r.doc_type,
+                    t if t < size else size, size, r.timestamp))
+        return out
+
+    def resolve_one(self, r: Request) -> tuple:
+        size = r.size
+        t = r.transfer_size
+        return (r.url, size, r.doc_type,
+                t if t < size else size, size, r.timestamp)
+
+
+class _DetectorResolver:
+    """Reconstructs document sizes from the logged transfer sizes."""
+
+    def __init__(self, policy: ModificationPolicy, tolerance: float):
+        self.detector = ModificationDetector(tolerance=tolerance,
+                                             policy=policy)
+
+    def resolve(self, requests: Sequence[Request]) -> list:
+        observe = self.detector.observe
+        out = []
+        append = out.append
+        for r in requests:
+            raw = r.size
+            t = r.transfer_size
+            append((r.url, observe(r.url, t).document_size, r.doc_type,
+                    t if t < raw else raw, raw, r.timestamp))
+        return out
+
+    def resolve_one(self, r: Request) -> tuple:
+        raw = r.size
+        t = r.transfer_size
+        return (r.url, self.detector.observe(r.url, t).document_size,
+                r.doc_type, t if t < raw else raw, raw, r.timestamp)
+
+
+def make_resolver(config: SimulationConfig):
+    """Build the resolver a config's size interpretation calls for."""
+    interp = config.size_interpretation
+    if interp is SizeInterpretation.TRUSTED:
+        return _TrustedResolver()
+    policy = (ModificationPolicy.PAPER
+              if interp is SizeInterpretation.PAPER_RULE
+              else ModificationPolicy.ANY_CHANGE)
+    return _DetectorResolver(policy, config.modification_tolerance)
+
+
+class ReferenceStream:
+    """Resolves raw requests into reference tuples once per pass.
+
+    Resolution state is keyed by ``(interpretation, tolerance)``: every
+    cell sharing those knobs consumes the same resolved chunk, so the
+    modification detector runs once regardless of how many cells ride
+    the pass.
+    """
+
+    def __init__(self):
+        self._resolvers: Dict[tuple, object] = {}
+
+    @staticmethod
+    def resolver_key(config: SimulationConfig) -> tuple:
+        interp = config.size_interpretation
+        if interp is SizeInterpretation.TRUSTED:
+            return ("trusted",)
+        return (interp.value, config.modification_tolerance)
+
+    def resolver(self, config: SimulationConfig):
+        key = self.resolver_key(config)
+        resolver = self._resolvers.get(key)
+        if resolver is None:
+            resolver = make_resolver(config)
+            self._resolvers[key] = resolver
+        return resolver
+
+
+# ----- stage (b): cache cells -----------------------------------------------
+
+
+class CacheCell:
+    """One cache + policy + metrics consuming resolved references.
+
+    A cell is the per-configuration remainder of the old monolithic
+    simulator: it owns the cache, the policy, the metrics, and the
+    optional occupancy/latency/cost/freshness accounting, but not the
+    trace walk or size resolution — those arrive pre-resolved via
+    :meth:`process_chunk`.
+
+    Cells with no per-request extras (cost model, latency model,
+    occupancy sampling, TTL freshness) run in *deferred* mode: the hot
+    loop counts hits only, and the requested-side totals — identical
+    for every cell sharing a warmup boundary — are merged in at
+    :meth:`finalize`.  Integer totals make the merge exact, so deferred
+    results equal the per-request accounting bit for bit.
+    """
+
+    def __init__(self, config: SimulationConfig, cache=None):
+        """``cache`` overrides the config's capacity/policy pair with a
+        prebuilt cache-compatible object (e.g. a
+        :class:`~repro.core.partitioned.PartitionedCache`)."""
+        config.validate()
+        self.config = config
+        if cache is not None:
+            self.cache = cache
+            self.policy = getattr(cache, "policy", None)
+        else:
+            if isinstance(config.policy, ReplacementPolicy):
+                self.policy = config.policy
+            else:
+                self.policy = make_policy(config.policy)
+            self.cache = Cache(config.capacity_bytes, self.policy)
+        self.metrics = TypeMetrics()
+        self.occupancy: Optional[OccupancyTracker] = None
+        if config.occupancy_interval:
+            self.occupancy = OccupancyTracker(config.occupancy_interval)
+        self._freshness: Optional[FreshnessTracker] = None
+        if config.ttl_model is not None:
+            self._freshness = FreshnessTracker(config.ttl_model)
+        self.latency = None
+        if config.latency_model is not None:
+            from repro.simulation.latency import LatencyMetrics
+            self.latency = LatencyMetrics(model=config.latency_model)
+        self._cost_model = config.report_cost_model
+        self._warmup = 0
+        self._deferred = False
+        self._hit_overall = [0, 0]
+        self._hit_by_type: Dict[DocumentType, list] = {}
+        self._evictions_override: Optional[int] = None
+
+    # -- pass protocol ----------------------------------------------------
+
+    @property
+    def fast(self) -> bool:
+        """True when the cell needs no per-request extras and can run
+        the deferred hits-only hot loop."""
+        return (self._cost_model is None and self.latency is None
+                and self.occupancy is None and self._freshness is None)
+
+    @property
+    def deferred(self) -> bool:
+        return self._deferred
+
+    def begin_run(self, warmup_requests: int, deferred: bool) -> None:
+        """Arm the cell for one pass with an absolute warmup count."""
+        self._warmup = warmup_requests
+        self._deferred = deferred and self.fast
+        self._evictions_override = None
+        if self._deferred:
+            self._hit_overall = [0, 0]
+            self._hit_by_type = {t: [0, 0] for t in DOCUMENT_TYPES}
+
+    def process_chunk(self, chunk: Sequence[tuple], start: int) -> None:
+        """Consume resolved references for positions ``start+1 ..
+        start+len(chunk)`` (positions are 1-based)."""
+        if not self._deferred:
+            position = start
+            process_one = self.process_one
+            for ref in chunk:
+                position += 1
+                process_one(ref, position)
+            return
+        reference = self.cache.reference
+        w_end = self._warmup - start
+        if w_end > 0:
+            if w_end >= len(chunk):
+                for url, size, doc_type, _t, _raw, _ts in chunk:
+                    reference(url, size, doc_type)
+                return
+            for url, size, doc_type, _t, _raw, _ts in chunk[:w_end]:
+                reference(url, size, doc_type)
+            tail = chunk[w_end:]
+        else:
+            tail = chunk
+        hit_outcome = AccessOutcome.HIT
+        overall = self._hit_overall
+        by_type = self._hit_by_type
+        for url, size, doc_type, transfer, _raw, _ts in tail:
+            if reference(url, size, doc_type) is hit_outcome:
+                overall[0] += 1
+                overall[1] += transfer
+                bucket = by_type[doc_type]
+                bucket[0] += 1
+                bucket[1] += transfer
+
+    def process_one(self, ref: tuple, position: int) -> AccessOutcome:
+        """Full per-request path: freshness, reference, accounting."""
+        url, size, doc_type, transfer, raw_size, timestamp = ref
+        cache = self.cache
+        freshness = self._freshness
+        if freshness is not None and url in cache:
+            if freshness.expired(url, doc_type, timestamp):
+                cache.invalidate(url)
+        outcome = cache.reference(url, size, doc_type)
+        if freshness is not None and outcome is not AccessOutcome.HIT:
+            freshness.on_fetch(url, timestamp)
+        if position > self._warmup:
+            hit = outcome is AccessOutcome.HIT
+            cost = (self._cost_model.cost(raw_size)
+                    if self._cost_model is not None else 0.0)
+            self.metrics.record(doc_type, hit, transfer, cost)
+            if self.latency is not None:
+                self.latency.record(doc_type, hit, transfer)
+                self.latency.record_baseline(transfer)
+        if self.occupancy is not None:
+            self.occupancy.maybe_sample(cache, position)
+        return outcome
+
+    def finalize(self, trace_name: str, total_requests: int,
+                 requested: Optional[Dict[DocumentType, list]] = None,
+                 warmup: Optional[int] = None) -> SimulationResult:
+        """Fold deferred tallies into the metrics and build the result.
+
+        ``requested`` carries the shared requested-side totals for this
+        cell's warmup boundary (deferred mode only).
+        """
+        if self._deferred:
+            if requested is None:
+                raise SimulationError(
+                    "deferred cell finalized without requested totals")
+            requests_total = 0
+            bytes_total = 0
+            by_type = self.metrics.by_type
+            for doc_type, (count, nbytes) in requested.items():
+                acc = by_type[doc_type]
+                acc.requests += count
+                acc.requested_bytes += nbytes
+                hits = self._hit_by_type[doc_type]
+                acc.hits += hits[0]
+                acc.hit_bytes += hits[1]
+                requests_total += count
+                bytes_total += nbytes
+            overall = self.metrics.overall
+            overall.requests += requests_total
+            overall.requested_bytes += bytes_total
+            overall.hits += self._hit_overall[0]
+            overall.hit_bytes += self._hit_overall[1]
+            self._deferred = False
+        final_beta = None
+        if isinstance(self.policy, GDStarPolicy):
+            final_beta = self.policy.beta
+        policy_name = (self.policy.name if self.policy is not None
+                       else type(self.cache).__name__.lower())
+        ttl_expiries = (self._freshness.expiries
+                        if self._freshness is not None else None)
+        evictions = (self._evictions_override
+                     if self._evictions_override is not None
+                     else self.cache.evictions)
+        return SimulationResult(
+            policy=policy_name,
+            capacity_bytes=self.config.capacity_bytes,
+            trace_name=trace_name,
+            total_requests=total_requests,
+            warmup_requests=self._warmup if warmup is None else warmup,
+            metrics=self.metrics,
+            occupancy=self.occupancy,
+            evictions=evictions,
+            invalidations=self.cache.invalidations,
+            bypasses=self.cache.bypasses,
+            final_beta=final_beta,
+            ttl_expiries=ttl_expiries,
+            latency=self.latency,
+        )
+
+
+# ----- the shared pass ------------------------------------------------------
+
+
+def _new_requested_totals() -> Dict[DocumentType, list]:
+    return {t: [0, 0] for t in DOCUMENT_TYPES}
+
+
+def _accumulate_requested(raw_chunk: Sequence[Request], start: int,
+                          boundaries: Dict[int, Dict[DocumentType, list]],
+                          ) -> None:
+    """Tally measured requests/bytes per type for each warmup boundary.
+
+    Requested-side totals depend only on the raw requests (transfer is
+    ``min(transfer_size, size)`` regardless of size interpretation), so
+    one tally per distinct warmup boundary serves every deferred cell.
+    """
+    n = len(raw_chunk)
+    for boundary, totals in boundaries.items():
+        measured_from = boundary - start
+        if measured_from >= n:
+            continue
+        part = raw_chunk if measured_from <= 0 else raw_chunk[measured_from:]
+        for r in part:
+            size = r.size
+            t = r.transfer_size
+            bucket = totals[r.doc_type]
+            bucket[0] += 1
+            bucket[1] += t if t < size else size
+
+
+def drive_pass(requests: Sequence[Request], offset: int,
+               groups: Sequence[Tuple[object, List[CacheCell]]],
+               boundaries: Optional[Dict[int, Dict[DocumentType, list]]],
+               chunk_size: int = DEFAULT_CHUNK_SIZE) -> None:
+    """Feed ``requests`` (absolute positions starting at ``offset``)
+    through each resolver group's cells, chunk by chunk."""
+    n = len(requests)
+    for start in range(0, n, chunk_size):
+        raw = requests[start:start + chunk_size]
+        absolute_start = offset + start
+        for resolver, cell_list in groups:
+            chunk = resolver.resolve(raw)
+            for cell in cell_list:
+                cell.process_chunk(chunk, absolute_start)
+        if boundaries:
+            _accumulate_requested(raw, absolute_start, boundaries)
+
+
+def drive_pass_streaming(request_iter: Iterator[Request],
+                         groups: Sequence[Tuple[object, List[CacheCell]]],
+                         boundaries: Optional[Dict[int, Dict[DocumentType,
+                                                             list]]],
+                         chunk_size: int = DEFAULT_CHUNK_SIZE) -> int:
+    """Feed a lazily decoded request stream through the cells.
+
+    The bounded-memory sibling of :func:`drive_pass`: only one chunk of
+    raw requests (plus its resolved tuples) is alive at a time, so a
+    multi-million-request trace file drives N cells without ever being
+    materialized.  Returns the number of requests consumed.
+    """
+    offset = 0
+    while True:
+        raw = list(islice(request_iter, chunk_size))
+        if not raw:
+            return offset
+        for resolver, cell_list in groups:
+            chunk = resolver.resolve(raw)
+            for cell in cell_list:
+                cell.process_chunk(chunk, offset)
+        if boundaries:
+            _accumulate_requested(raw, offset, boundaries)
+        offset += len(raw)
+
+
+def _lru_ladder_split(requests: Sequence[Request],
+                      cells: Sequence[CacheCell],
+                      ) -> Tuple[List[CacheCell], List[CacheCell]]:
+    """Partition cells into (ladder, ordinary) for the LRU fast path.
+
+    Config-side preconditions: plain LRU, TRUSTED sizes, deferred mode
+    (no cost/latency/occupancy/TTL accounting).  Trace-side: every URL
+    keeps one size across the trace and no document exceeds the cell's
+    capacity (so no bypasses, no invalidations — the regime where
+    byte-bounded LRU obeys inclusion exactly).
+    """
+    candidates = [
+        cell for cell in cells
+        if (cell.deferred
+            and type(cell.policy) is LRUPolicy
+            and type(cell.cache) is Cache
+            and (cell.config.size_interpretation
+                 is SizeInterpretation.TRUSTED))
+    ]
+    if not candidates:
+        return [], list(cells)
+    sizes: Dict[str, int] = {}
+    max_size = 0
+    stable = True
+    for r in requests:
+        size = r.size
+        previous = sizes.get(r.url)
+        if previous is None:
+            sizes[r.url] = size
+            if size > max_size:
+                max_size = size
+        elif previous != size:
+            stable = False
+            break
+    if not stable:
+        return [], list(cells)
+    ladder = [cell for cell in candidates
+              if cell.config.capacity_bytes >= max_size]
+    if not ladder:
+        return [], list(cells)
+    excluded = set(map(id, ladder))
+    ordinary = [cell for cell in cells if id(cell) not in excluded]
+    return ladder, ordinary
+
+
+def _run_lru_ladder(requests: Sequence[Request],
+                    cells: Sequence[CacheCell]) -> None:
+    """Serve every eligible LRU cell from one stack-distance pass.
+
+    Hits: a reference hits capacity ``C`` iff byte-weighted stack
+    distance + document size ≤ ``C`` (exact under the preconditions
+    checked by :func:`_lru_ladder_split`).  Evictions: admissions equal
+    misses (every miss admits — nothing bypasses), so evictions =
+    misses − residents at end of trace; the final resident set falls
+    out of the last-reference recency order.
+    """
+    from repro.analysis.stack_distance import stack_distances
+
+    distances = stack_distances(requests, byte_weighted=True)
+    capacities = [cell.config.capacity_bytes for cell in cells]
+    warmups = [cell._warmup for cell in cells]
+    overalls = [cell._hit_overall for cell in cells]
+    by_types = [cell._hit_by_type for cell in cells]
+    total_hits = [0] * len(cells)
+    indices = range(len(cells))
+    position = 0
+    for request, distance in zip(requests, distances):
+        position += 1
+        size = request.size
+        t = request.transfer_size
+        transfer = t if t < size else size
+        needed = distance + size
+        doc_type = request.doc_type
+        for i in indices:
+            if needed <= capacities[i]:
+                total_hits[i] += 1
+                if position > warmups[i]:
+                    overall = overalls[i]
+                    overall[0] += 1
+                    overall[1] += transfer
+                    bucket = by_types[i][doc_type]
+                    bucket[0] += 1
+                    bucket[1] += transfer
+    last: Dict[str, tuple] = {}
+    for p, r in enumerate(requests):
+        last[r.url] = (p, r.size)
+    residents = [0] * len(cells)
+    max_capacity = max(capacities) if capacities else 0
+    cumulative = 0
+    for _, size in sorted(last.values(), key=lambda item: -item[0]):
+        if cumulative > max_capacity:
+            break
+        for i in indices:
+            if cumulative + size <= capacities[i]:
+                residents[i] += 1
+        cumulative += size
+    total = len(requests)
+    for i, cell in enumerate(cells):
+        admissions = total - total_hits[i]
+        cell._evictions_override = admissions - residents[i]
+
+
+def run_cells(trace: Union[Trace, Sequence[Request], Iterable[Request]],
+              configs: Sequence[Union[SimulationConfig, CacheCell]],
+              trace_name: Optional[str] = None,
+              chunk_size: int = DEFAULT_CHUNK_SIZE,
+              lru_fast_path: bool = True,
+              timings: Optional[PhaseTimings] = None,
+              total_requests: Optional[int] = None,
+              ) -> List[SimulationResult]:
+    """Run every cell over the trace in **one shared pass**.
+
+    Args:
+        trace: The driving workload — a :class:`~repro.types.Trace`, a
+            request sequence, or (with ``total_requests``) a lazy
+            iterator such as :func:`repro.trace.pipeline.iter_trace`,
+            consumed chunk-wise with bounded memory.
+        configs: One :class:`SimulationConfig` (or prebuilt
+            :class:`CacheCell`) per cell.
+        trace_name: Overrides the trace's name in the results.
+        chunk_size: Requests resolved per chunk.
+        lru_fast_path: Allow eligible plain-LRU cells to be served by
+            the single-pass stack-distance ladder (materialized traces
+            only; streaming passes always simulate every cell).
+        timings: Optional :class:`PhaseTimings` to record pass phases
+            into ("pass", "lru_ladder", "aggregate").
+        total_requests: Declared stream length, required to place the
+            warm-up boundaries before the pass starts.  An iterator
+            without it is materialized first.  The pass raises
+            :class:`~repro.errors.SimulationError` if the stream
+            disagrees with the declared length.
+
+    Returns results in input order, bit-identical to running each
+    config through :class:`~repro.simulation.simulator.CacheSimulator`.
+    """
+    requests = trace.requests if isinstance(trace, Trace) else trace
+    streaming = not isinstance(requests, (list, tuple))
+    if streaming and total_requests is None:
+        requests = list(requests)
+        streaming = False
+    name = trace_name or getattr(trace, "name", "trace")
+    total = total_requests if streaming else len(requests)
+    cells: List[CacheCell] = []
+    for config in configs:
+        cell = config if isinstance(config, CacheCell) else CacheCell(config)
+        cells.append(cell)
+    for cell in cells:
+        warmup = int(total * cell.config.warmup_fraction)
+        cell.begin_run(warmup, deferred=True)
+    if timings is None:
+        timings = PhaseTimings()
+    emit("pass_started", cells=len(cells), requests=total)
+    if lru_fast_path and not streaming:
+        ladder, ordinary = _lru_ladder_split(requests, cells)
+    else:
+        ladder, ordinary = [], list(cells)
+    stream = ReferenceStream()
+    grouped: Dict[tuple, Tuple[object, List[CacheCell]]] = {}
+    for cell in ordinary:
+        key = stream.resolver_key(cell.config)
+        if key not in grouped:
+            grouped[key] = (stream.resolver(cell.config), [])
+        grouped[key][1].append(cell)
+    boundaries: Dict[int, Dict[DocumentType, list]] = {}
+    for cell in cells:
+        if cell.deferred and cell._warmup not in boundaries:
+            boundaries[cell._warmup] = _new_requested_totals()
+    with phase_timer("pass", timings):
+        if streaming:
+            seen = drive_pass_streaming(iter(requests),
+                                        list(grouped.values()),
+                                        boundaries, chunk_size)
+            if seen != total:
+                raise SimulationError(
+                    f"trace stream yielded {seen} requests but "
+                    f"total_requests={total} was declared; warm-up "
+                    "boundaries would be wrong")
+        else:
+            drive_pass(requests, 0, list(grouped.values()), boundaries,
+                       chunk_size)
+    if ladder:
+        with phase_timer("lru_ladder", timings):
+            _run_lru_ladder(requests, ladder)
+    with phase_timer("aggregate", timings):
+        results = [cell.finalize(name, total,
+                                 boundaries.get(cell._warmup))
+                   for cell in cells]
+    _publish_pass_telemetry(results, timings, len(cells), len(ladder),
+                            total)
+    return results
+
+
+def _publish_pass_telemetry(results: Sequence[SimulationResult],
+                            timings: PhaseTimings, n_cells: int,
+                            n_ladder: int, total_requests: int) -> None:
+    """Batch one pass's aggregates into the metrics registry — one
+    update per pass, never one per request or per cell."""
+    registry = get_registry()
+    if registry.enabled:
+        registry.counter("engine_passes_total").inc()
+        registry.histogram("engine_cells_per_pass").observe(n_cells)
+        if n_ladder:
+            registry.counter("engine_lru_fast_path_cells_total").inc(
+                n_ladder)
+        registry.counter("engine_pass_requests_total").inc(total_requests)
+        for phase, seconds in timings.as_dict().items():
+            registry.histogram("engine_phase_seconds",
+                               phase=phase).observe(seconds)
+    emit("pass_finished", cells=n_cells, requests=total_requests,
+         duration_seconds=round(timings.total, 6),
+         lru_fast_path_cells=n_ladder)
+    _logger.debug(
+        "shared pass: %d cells (%d via LRU ladder) over %d requests "
+        "in %.3fs", n_cells, n_ladder, total_requests, timings.total,
+        extra={"cells": n_cells, "lru_fast_path_cells": n_ladder,
+               "requests": total_requests,
+               "phase_seconds": {k: round(v, 6)
+                                 for k, v in timings.as_dict().items()}})

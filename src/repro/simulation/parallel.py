@@ -6,16 +6,25 @@ nothing but the read-only trace, so a process pool gives near-linear
 speedup.  The trace is shipped to each worker once (pool initializer),
 not once per cell.
 
+The unit of scheduling is a **batch** of cells.  With
+``engine="percell"`` every batch holds one cell — the classic layout,
+one trace pass per cell.  With ``engine="batched"`` the grid is
+partitioned into ``cells_per_pass``-sized batches and each worker runs
+its whole batch over **one** shared trace pass via
+:func:`repro.simulation.engine.run_cells`, so a worker pays the trace
+tax once per batch instead of once per cell.  Either way the results
+are bit-identical.
+
 Because every cell is a pure function of its config and the trace, a
-failed cell can simply be rerun: the scheduler submits cells as
+failed batch can simply be rerun: the scheduler submits batches as
 individual futures, retries transient failures (worker crashes, hangs
-past ``cell_timeout``, corrupt payloads) with a bounded deterministic
-backoff, and rebuilds the pool when a dead worker breaks it —
-resubmitting only the unfinished cells.  ``failure_policy="partial"``
-turns cells that stay broken into structured
-:class:`~repro.simulation.results.FailureRecord`\\ s on the returned
-sweep instead of exceptions, so an overnight grid never loses its
-completed cells to one bad one.
+past the batch's timeout budget, corrupt payloads) with a bounded
+deterministic backoff, and rebuilds the pool when a dead worker breaks
+it — resubmitting only the unfinished batches.  Telemetry events,
+checkpoints, and ``failure_policy="partial"``
+:class:`~repro.simulation.results.FailureRecord`\\ s all stay
+**per cell** regardless of batching, so a resumed or partially failed
+grid has the same cell-by-cell lifecycle either way.
 
 Results are bit-identical to :func:`repro.simulation.sweep.run_sweep`
 — every policy is deterministic, and retries rerun the identical
@@ -24,6 +33,7 @@ computation — which the tests assert, fault injection included.
 
 from __future__ import annotations
 
+import math
 import os
 import re
 import time
@@ -46,6 +56,7 @@ from repro.observability.profiling import maybe_profile
 from repro.resilience.checkpoint import CheckpointStore, config_hash
 from repro.resilience.faults import FaultInjector
 from repro.resilience.retry import RetryPolicy
+from repro.simulation.engine import run_cells
 from repro.simulation.results import (
     FailureRecord,
     SimulationResult,
@@ -65,6 +76,9 @@ _POLL_SECONDS = 0.1
 #: Accepted values for ``failure_policy``.
 FAILURE_POLICIES = ("raise", "partial")
 
+#: Accepted values for ``engine``.
+ENGINES = ("percell", "batched")
+
 # Per-worker state, populated by the pool initializer.
 _worker_trace: Optional[Trace] = None
 _worker_injector: Optional[FaultInjector] = None
@@ -75,6 +89,34 @@ _logger = get_logger("simulation.parallel")
 def cell_key(policy_name: str, capacity: int) -> str:
     """Stable identity of one sweep cell (also the fault-spec key)."""
     return f"{policy_name}@{capacity}"
+
+
+def batch_key(cells: Sequence[Tuple[str, int]]) -> str:
+    """Stable identity of one scheduled batch; equals the cell key for
+    the singleton batches the per-cell engine produces."""
+    if len(cells) == 1:
+        return cell_key(*cells[0])
+    return (f"pass[{cell_key(*cells[0])}.."
+            f"{cell_key(*cells[-1])}#{len(cells)}]")
+
+
+def partition_cells(cells: Sequence[Tuple[str, int]], engine: str,
+                    n_workers: int,
+                    cells_per_pass: Optional[int] = None,
+                    ) -> List[Tuple[Tuple[str, int], ...]]:
+    """Split the grid into scheduling batches.
+
+    ``percell`` yields singleton batches (one trace pass per cell);
+    ``batched`` yields contiguous chunks of ``cells_per_pass`` cells,
+    defaulting to an even split across the workers so one round of
+    passes covers the grid.
+    """
+    if engine == "percell":
+        return [(cell,) for cell in cells]
+    if cells_per_pass is None:
+        cells_per_pass = max(1, math.ceil(len(cells) / n_workers))
+    return [tuple(cells[i:i + cells_per_pass])
+            for i in range(0, len(cells), cells_per_pass)]
 
 
 def _profile_path(profile_dir: Optional[str], key: str,
@@ -91,31 +133,65 @@ def _init_worker(requests: Sequence[Request], name: str,
     global _worker_trace, _worker_injector
     _worker_trace = Trace(requests, name=name)
     _worker_injector = injector
+    # Fork-started workers inherit the parent's process-wide event
+    # sink, including its open events.jsonl handle and a stale copy of
+    # its seq counter; anything the worker emitted (e.g. the shared
+    # pass lifecycle from run_cells) would interleave out-of-sequence
+    # records into the parent's telemetry.  Cell lifecycle events are
+    # the parent's job, so workers write nowhere.
+    _events.set_event_sink(None)
 
 
 def _run_cell(cell: Tuple[str, int, float, str, int]) -> dict:
     policy_name, capacity, warmup_fraction, interpretation, attempt = \
         cell[:5]
     profile_path = cell[5] if len(cell) > 5 else None
-    key = cell_key(policy_name, capacity)
+    return _run_batch((((policy_name, capacity),), warmup_fraction,
+                       interpretation, attempt, profile_path,
+                       "percell"))[0]
+
+
+def _run_batch(batch: tuple) -> List[dict]:
+    """Run one batch of cells in a worker; one payload per cell.
+
+    ``batch`` is ``(cells, warmup_fraction, interpretation, attempt,
+    profile_path, engine)`` with ``cells`` a tuple of
+    ``(policy_name, capacity)`` pairs.  The batched engine runs the
+    whole batch over one shared trace pass; per-cell the batch is a
+    singleton and replays the classic simulator loop.
+    """
+    cells, warmup_fraction, interpretation, attempt, profile_path, \
+        engine = batch
+    keys = [cell_key(policy_name, capacity)
+            for policy_name, capacity in cells]
     if _worker_injector is not None:
-        _worker_injector.on_start(key, attempt)
+        for key in keys:
+            _worker_injector.on_start(key, attempt)
     if _worker_trace is None:
         raise SimulationError(
-            f"worker has no trace for cell {key!r}: the process pool "
-            "was created without the _init_worker initializer")
-    config = SimulationConfig(
-        capacity_bytes=capacity,
-        policy=policy_name,
-        warmup_fraction=warmup_fraction,
-        size_interpretation=SizeInterpretation(interpretation),
-    )
+            f"worker has no trace for batch {batch_key(cells)!r}: the "
+            "process pool was created without the _init_worker "
+            "initializer")
+    configs = [
+        SimulationConfig(
+            capacity_bytes=capacity,
+            policy=policy_name,
+            warmup_fraction=warmup_fraction,
+            size_interpretation=SizeInterpretation(interpretation),
+        )
+        for policy_name, capacity in cells
+    ]
     with maybe_profile(profile_path):
-        result = CacheSimulator(config).run(_worker_trace)
-    payload = result.as_dict()
+        if engine == "batched":
+            results = run_cells(_worker_trace, configs)
+        else:
+            results = [CacheSimulator(config).run(_worker_trace)
+                       for config in configs]
+    payloads = [result.as_dict() for result in results]
     if _worker_injector is not None:
-        payload = _worker_injector.on_result(key, attempt, payload)
-    return payload
+        payloads = [_worker_injector.on_result(key, attempt, payload)
+                    for key, payload in zip(keys, payloads)]
+    return payloads
 
 
 def _reset_worker() -> None:
@@ -146,21 +222,25 @@ def _terminate_pool(pool: ProcessPoolExecutor) -> None:
     pool.shutdown(wait=True, cancel_futures=True)
 
 
-class _CellRun:
-    """Bookkeeping for one in-flight (cell, attempt) submission."""
+class _BatchRun:
+    """Bookkeeping for one in-flight (batch, attempt) submission."""
 
-    __slots__ = ("policy", "capacity", "attempt", "started")
+    __slots__ = ("cells", "attempt", "started")
 
-    def __init__(self, policy: str, capacity: int, attempt: int,
+    def __init__(self, cells: Tuple[Tuple[str, int], ...], attempt: int,
                  started: float):
-        self.policy = policy
-        self.capacity = capacity
+        self.cells = cells
         self.attempt = attempt
         self.started = started
 
     @property
     def key(self) -> str:
-        return cell_key(self.policy, self.capacity)
+        return batch_key(self.cells)
+
+    @property
+    def cell_keys(self) -> List[str]:
+        return [cell_key(policy, capacity)
+                for policy, capacity in self.cells]
 
 
 def run_sweep_parallel(trace: Trace,
@@ -171,6 +251,8 @@ def run_sweep_parallel(trace: Trace,
                        SizeInterpretation.TRUSTED,
                        n_workers: Optional[int] = None,
                        *,
+                       engine: str = "percell",
+                       cells_per_pass: Optional[int] = None,
                        max_retries: int = 2,
                        cell_timeout: Optional[float] = None,
                        failure_policy: str = "raise",
@@ -188,15 +270,25 @@ def run_sweep_parallel(trace: Trace,
     boundaries); ``n_workers`` defaults to the CPU count capped by the
     cell count.
 
-    Keyword-only fault-tolerance knobs:
+    Keyword-only knobs:
 
     Args:
-        max_retries: Reruns allowed per cell for *transient* failures
+        engine: ``"percell"`` ships one cell per task (the classic
+            layout); ``"batched"`` ships batches of cells that each
+            ride **one** shared trace pass in their worker
+            (:func:`repro.simulation.engine.run_cells`).  Results are
+            bit-identical; telemetry events, checkpoints, and failure
+            records stay per cell either way.
+        cells_per_pass: Batch size for the batched engine; defaults to
+            an even split of the grid across the workers.  Ignored for
+            per-cell.
+        max_retries: Reruns allowed per batch for *transient* failures
             (worker crash, timeout, corrupt payload).  Deterministic
-            errors from the cell itself are never retried.
-        cell_timeout: Per-cell wall-clock budget in seconds; a cell
-            past it has its worker killed and counts as a transient
-            failure.  ``None`` disables timeouts.
+            errors from the cells themselves are never retried.
+        cell_timeout: Per-cell wall-clock budget in seconds; a batch
+            past ``cell_timeout × len(batch)`` has its worker killed
+            and counts as a transient failure.  ``None`` disables
+            timeouts.
         failure_policy: ``"raise"`` (default) re-raises the first
             permanently failed cell; ``"partial"`` returns whatever
             completed, with a :class:`FailureRecord` per lost cell on
@@ -233,6 +325,11 @@ def run_sweep_parallel(trace: Trace,
     ]
     if not cells:
         raise ConfigurationError("empty sweep grid")
+    if engine not in ENGINES:
+        raise ConfigurationError(
+            f"engine must be one of {ENGINES}, got {engine!r}")
+    if cells_per_pass is not None and cells_per_pass <= 0:
+        raise ConfigurationError("cells_per_pass must be positive")
     if failure_policy not in FAILURE_POLICIES:
         raise ConfigurationError(
             f"failure_policy must be one of {FAILURE_POLICIES}, "
@@ -259,6 +356,8 @@ def run_sweep_parallel(trace: Trace,
                 "warmup_fraction": warmup_fraction,
                 "size_interpretation": size_interpretation.value,
                 "n_workers": n_workers,
+                "engine": engine,
+                "cells_per_pass": cells_per_pass,
                 "max_retries": max_retries,
                 "cell_timeout": cell_timeout,
                 "failure_policy": failure_policy,
@@ -309,38 +408,48 @@ def run_sweep_parallel(trace: Trace,
                 checkpoint_store.save(cell_key(policy_name, capacity),
                                       payload, sweep_digest)
 
+        batches = partition_cells(cells, engine, n_workers,
+                                  cells_per_pass)
+
         if (n_workers == 1 and cell_timeout is None
                 and fault_injector is None):
             # No pool overhead for the degenerate case (and nothing to
             # time out or inject into).
             _init_worker(trace.requests, trace.name)
             try:
-                for policy_name, capacity in cells:
-                    key = cell_key(policy_name, capacity)
-                    emit("cell_scheduled", key=key, attempt=1)
+                for batch_cells in batches:
+                    keys = [cell_key(policy_name, capacity)
+                            for policy_name, capacity in batch_cells]
+                    for key in keys:
+                        emit("cell_scheduled", key=key, attempt=1)
                     started = time.monotonic()
-                    payload = _run_cell(
-                        (policy_name, capacity, warmup_fraction,
+                    payloads = _run_batch(
+                        (batch_cells, warmup_fraction,
                          size_interpretation.value, 1,
-                         _profile_path(profile_dir, key, 1)))
+                         _profile_path(profile_dir,
+                                       batch_key(batch_cells), 1),
+                         engine))
                     elapsed = time.monotonic() - started
-                    result = SimulationResult.from_dict(payload)
-                    result.duration_seconds = elapsed
-                    result.attempts = 1
-                    sweep.add(result)
-                    _checkpoint_cell(policy_name, capacity, payload)
-                    emit("cell_finished", key=key, attempt=1,
-                         duration_seconds=round(elapsed, 6))
+                    for (policy_name, capacity), key, payload in zip(
+                            batch_cells, keys, payloads):
+                        result = SimulationResult.from_dict(payload)
+                        result.duration_seconds = elapsed
+                        result.attempts = 1
+                        sweep.add(result)
+                        _checkpoint_cell(policy_name, capacity, payload)
+                        emit("cell_finished", key=key, attempt=1,
+                             duration_seconds=round(elapsed, 6))
             finally:
                 _reset_worker()
             return _finish()
 
         _Scheduler(
             trace=trace,
-            cells=cells,
+            batches=batches,
+            engine=engine,
             warmup_fraction=warmup_fraction,
             size_interpretation=size_interpretation,
-            n_workers=n_workers,
+            n_workers=max(min(n_workers, len(batches)), 1),
             retry_policy=retry_policy,
             cell_timeout=cell_timeout,
             failure_policy=failure_policy,
@@ -358,14 +467,20 @@ def run_sweep_parallel(trace: Trace,
 
 
 class _Scheduler:
-    """Submits cells as futures, retries transient failures, and
-    rebuilds the pool when workers die or hang."""
+    """Submits batches as futures, retries transient failures, and
+    rebuilds the pool when workers die or hang.
 
-    def __init__(self, trace, cells, warmup_fraction,
+    Scheduling is per batch; events, checkpoints, and failure records
+    are per cell.  A per-cell sweep has singleton batches, so its
+    behavior is unchanged from the pre-batching scheduler.
+    """
+
+    def __init__(self, trace, batches, engine, warmup_fraction,
                  size_interpretation, n_workers, retry_policy,
                  cell_timeout, failure_policy, fault_injector,
                  on_cell_done, emit, profile_dir, sleep):
         self.trace = trace
+        self.engine = engine
         self.warmup_fraction = warmup_fraction
         self.size_interpretation = size_interpretation
         self.n_workers = n_workers
@@ -377,20 +492,19 @@ class _Scheduler:
         self.emit = emit
         self.profile_dir = profile_dir
         self.sleep = sleep
-        #: Wall-clock seconds burned per cell key across attempts,
+        #: Wall-clock seconds burned per batch key across attempts,
         #: including attempts that crashed or timed out.
         self.elapsed: Dict[str, float] = {}
-        #: (policy, capacity, attempt) runnable now.
-        self.queue = deque((policy, capacity, 1)
-                           for policy, capacity in cells)
-        #: Cells suspected of crashing a worker.  When a pool breaks
-        #: with several cells in flight there is no way to tell which
+        #: (batch_cells, attempt) runnable now.
+        self.queue = deque((batch, 1) for batch in batches)
+        #: Batches suspected of crashing a worker.  When a pool breaks
+        #: with several batches in flight there is no way to tell which
         #: one killed it, so none is charged; instead they all land
-        #: here and rerun one at a time — a cell that breaks the pool
+        #: here and rerun one at a time — a batch that breaks the pool
         #: while running alone is provably the crasher.
         self.isolation = deque()
-        self.isolated: Optional[_CellRun] = None
-        self.in_flight: Dict[object, _CellRun] = {}
+        self.isolated: Optional[_BatchRun] = None
+        self.in_flight: Dict[object, _BatchRun] = {}
         self.failures: List[FailureRecord] = []
         self.pool: Optional[ProcessPoolExecutor] = None
 
@@ -411,77 +525,82 @@ class _Scheduler:
         _logger.warning("process pool rebuilt (%s)", reason,
                         extra={"reason": reason})
 
-    def _charge_elapsed(self, run: _CellRun) -> float:
+    def _charge_elapsed(self, run: _BatchRun) -> float:
         """Accumulate the wall clock a leaving in-flight run burned."""
         spent = time.monotonic() - run.started
         self.elapsed[run.key] = self.elapsed.get(run.key, 0.0) + spent
         return spent
 
     def _requeue_in_flight(self) -> None:
-        """Return in-flight cells to the queue after a deliberate
-        teardown (timeout) whose cause is known.  The requeued cells
+        """Return in-flight batches to the queue after a deliberate
+        teardown (timeout) whose cause is known.  The requeued batches
         never ran to completion, so their retry budget is untouched.
         """
         for run in self.in_flight.values():
             self._charge_elapsed(run)
-            self.queue.append((run.policy, run.capacity, run.attempt))
+            self.queue.append((run.cells, run.attempt))
         self.in_flight.clear()
 
     def _suspect_in_flight(self) -> None:
-        """Move every in-flight cell to the isolation queue, uncharged.
+        """Move every in-flight batch to the isolation queue, uncharged.
 
         Used when the pool breaks and blame is ambiguous: the suspects
         rerun one at a time so the actual crasher convicts itself.
         """
         for run in self.in_flight.values():
             self._charge_elapsed(run)
-            self.isolation.append((run.policy, run.capacity,
-                                   run.attempt))
+            self.isolation.append((run.cells, run.attempt))
         self.in_flight.clear()
         self.isolated = None
 
     # -- outcome handling -------------------------------------------------
 
-    def _retry_or_fail(self, run: _CellRun, exc: Exception,
+    def _retry_or_fail(self, run: _BatchRun, exc: Exception,
                        isolate: bool = False) -> None:
-        """Charge a failed attempt; requeue the cell or record a loss.
+        """Charge a failed attempt; requeue the batch or record losses.
 
         ``isolate`` requeues the retry into the isolation queue so a
         known crasher keeps running alone instead of taking fresh
-        neighbours down with it.
+        neighbours down with it.  Permanent failures are recorded per
+        cell, so a lost batch degrades exactly like the same cells
+        failing individually.
         """
         transient = isinstance(exc, (WorkerCrashError, CellTimeoutError,
                                      BrokenProcessPool))
         if transient and run.attempt < self.retry_policy.max_attempts:
             delay = self.retry_policy.delay(run.attempt)
-            self.emit("cell_retried", key=run.key, attempt=run.attempt,
-                      error_type=type(exc).__name__,
-                      delay_seconds=delay)
+            for key in run.cell_keys:
+                self.emit("cell_retried", key=key, attempt=run.attempt,
+                          error_type=type(exc).__name__,
+                          delay_seconds=delay)
             _logger.warning(
-                "cell %s attempt %d failed (%s); retrying",
+                "batch %s attempt %d failed (%s); retrying",
                 run.key, run.attempt, type(exc).__name__,
                 extra={"key": run.key, "attempt": run.attempt,
                        "error_type": type(exc).__name__})
             self.sleep(delay)
             target = self.isolation if isolate else self.queue
-            target.append((run.policy, run.capacity, run.attempt + 1))
+            target.append((run.cells, run.attempt + 1))
             return
-        self.emit("cell_failed", key=run.key, attempts=run.attempt,
-                  error_type=type(exc).__name__, message=str(exc))
-        _logger.error("cell %s failed permanently after %d attempt(s): "
+        for key in run.cell_keys:
+            self.emit("cell_failed", key=key, attempts=run.attempt,
+                      error_type=type(exc).__name__, message=str(exc))
+        _logger.error("batch %s failed permanently after %d attempt(s): "
                       "%s", run.key, run.attempt, exc,
                       extra={"key": run.key, "attempts": run.attempt,
                              "error_type": type(exc).__name__})
         if self.failure_policy == "raise":
             raise exc
-        self.failures.append(FailureRecord(
-            policy=run.policy,
-            capacity_bytes=run.capacity,
-            attempts=run.attempt,
-            error_type=type(exc).__name__,
-            message=str(exc),
-            duration_seconds=round(self.elapsed.get(run.key, 0.0), 6),
-        ))
+        batch_elapsed = round(self.elapsed.get(run.key, 0.0), 6)
+        for policy, capacity in run.cells:
+            self.failures.append(FailureRecord(
+                policy=policy,
+                capacity_bytes=capacity,
+                attempts=run.attempt,
+                error_type=type(exc).__name__,
+                message=str(exc),
+                duration_seconds=batch_elapsed,
+            ))
 
     def _handle_done(self, future, sweep: SweepResult) -> bool:
         """Process one finished future; True if the pool broke."""
@@ -491,55 +610,68 @@ class _Scheduler:
         if was_isolated:
             self.isolated = None
         try:
-            payload = future.result()
+            payloads = future.result()
         except BrokenProcessPool as exc:
             # The pool is gone; every other in-flight future is doomed
-            # too.  A cell that was running alone is provably the
+            # too.  A batch that was running alone is provably the
             # crasher and gets charged; otherwise blame is ambiguous,
-            # so the cell joins the isolation queue uncharged.
+            # so the batch joins the isolation queue uncharged.
             if was_isolated:
                 self._retry_or_fail(run, WorkerCrashError(
-                    f"worker process died while running cell "
+                    f"worker process died while running batch "
                     f"{run.key!r} (attempt {run.attempt}): {exc}"),
                     isolate=True)
             else:
-                self.isolation.append((run.policy, run.capacity,
-                                       run.attempt))
+                self.isolation.append((run.cells, run.attempt))
             return True
         except (WorkerCrashError, CellTimeoutError) as exc:
             self._retry_or_fail(run, exc)
             return False
         except Exception as exc:
-            # Deterministic error from the cell itself (bad config, a
-            # policy bug, injected non-transient failure): retrying
-            # would fail identically.
+            # Deterministic error from the cells themselves (bad
+            # config, a policy bug, injected non-transient failure):
+            # retrying would fail identically.
             self._retry_or_fail(run, exc)
             return False
         try:
-            result = _deserialize(payload, run.key)
+            if (not isinstance(payloads, (list, tuple))
+                    or len(payloads) != len(run.cells)):
+                raise WorkerCrashError(
+                    f"worker returned corrupt batch payload for "
+                    f"{run.key!r}: expected {len(run.cells)} cell "
+                    f"payload(s), got {type(payloads).__name__}")
+            results = [_deserialize(payload, key)
+                       for key, payload in zip(run.cell_keys, payloads)]
         except WorkerCrashError as exc:
             self._retry_or_fail(run, exc)
         else:
-            result.duration_seconds = self.elapsed.get(run.key, 0.0)
-            result.attempts = run.attempt
-            sweep.add(result)
-            self.on_cell_done(run.policy, run.capacity, payload)
-            self.emit("cell_finished", key=run.key, attempt=run.attempt,
-                      duration_seconds=round(result.duration_seconds,
-                                             6))
+            batch_elapsed = self.elapsed.get(run.key, 0.0)
+            for (policy, capacity), key, result, payload in zip(
+                    run.cells, run.cell_keys, results, payloads):
+                result.duration_seconds = batch_elapsed
+                result.attempts = run.attempt
+                sweep.add(result)
+                self.on_cell_done(policy, capacity, payload)
+                self.emit("cell_finished", key=key,
+                          attempt=run.attempt,
+                          duration_seconds=round(batch_elapsed, 6))
         return False
 
+    def _batch_timeout(self, run: _BatchRun) -> float:
+        """A batch's wall-clock budget scales with its cell count."""
+        return self.cell_timeout * len(run.cells)
+
     def _check_timeouts(self) -> bool:
-        """Kill the pool if any cell is past its budget; True if so."""
+        """Kill the pool if any batch is past its budget; True if so."""
         if self.cell_timeout is None:
             return False
         now = time.monotonic()
         hung = [(future, run) for future, run in self.in_flight.items()
                 if not future.done()
-                and now - run.started > self.cell_timeout]
+                and now - run.started > self._batch_timeout(run)]
         if not hung:
             return False
-        # Tear down once, then charge every hung cell.  Non-hung
+        # Tear down once, then charge every hung batch.  Non-hung
         # neighbours are requeued without losing budget.
         hung_runs = {run for _, run in hung}
         for future, run in list(self.in_flight.items()):
@@ -549,53 +681,59 @@ class _Scheduler:
             self.isolated = None
         for _, run in hung:
             self._charge_elapsed(run)
-            self.emit("cell_timed_out", key=run.key,
-                      attempt=run.attempt,
-                      timeout_seconds=self.cell_timeout)
+            for key in run.cell_keys:
+                self.emit("cell_timed_out", key=key,
+                          attempt=run.attempt,
+                          timeout_seconds=self._batch_timeout(run))
         self._requeue_in_flight()
         self._rebuild_pool(reason="cell timeout")
         for _, run in hung:
             self._retry_or_fail(run, CellTimeoutError(
-                f"cell {run.key!r} exceeded {self.cell_timeout:g}s "
-                f"on attempt {run.attempt}",
-                timeout_seconds=self.cell_timeout))
+                f"batch {run.key!r} exceeded "
+                f"{self._batch_timeout(run):g}s on attempt "
+                f"{run.attempt}",
+                timeout_seconds=self._batch_timeout(run)))
         return True
 
     # -- main loop --------------------------------------------------------
 
     def _submit_next(self) -> None:
         """Top up the pool: isolation suspects run strictly alone, the
-        normal queue fills up to ``n_workers`` in-flight cells."""
+        normal queue fills up to ``n_workers`` in-flight batches."""
         while len(self.in_flight) < self.n_workers:
             if self.isolated is not None:
-                return  # an isolated cell is running; nothing else may
+                return  # an isolated batch is running; nothing else may
             if self.isolation:
                 if self.in_flight:
                     return  # drain neighbours before isolating
-                policy, capacity, attempt = self.isolation.popleft()
+                cells, attempt = self.isolation.popleft()
                 isolate = True
             elif self.queue:
-                policy, capacity, attempt = self.queue.popleft()
+                cells, attempt = self.queue.popleft()
                 isolate = False
             else:
                 return
-            key = cell_key(policy, capacity)
+            key = batch_key(cells)
             try:
                 future = self.pool.submit(
-                    _run_cell,
-                    (policy, capacity, self.warmup_fraction,
+                    _run_batch,
+                    (cells, self.warmup_fraction,
                      self.size_interpretation.value, attempt,
-                     _profile_path(self.profile_dir, key, attempt)))
+                     _profile_path(self.profile_dir, key, attempt),
+                     self.engine))
             except BrokenProcessPool:
                 # Worker died between polls; nothing was submitted, so
                 # no attempt is charged.
                 target = self.isolation if isolate else self.queue
-                target.appendleft((policy, capacity, attempt))
+                target.appendleft((cells, attempt))
                 self._suspect_in_flight()
                 self._rebuild_pool()
                 continue
-            self.emit("cell_scheduled", key=key, attempt=attempt)
-            run = _CellRun(policy, capacity, attempt, time.monotonic())
+            for policy, capacity in cells:
+                self.emit("cell_scheduled",
+                          key=cell_key(policy, capacity),
+                          attempt=attempt)
+            run = _BatchRun(cells, attempt, time.monotonic())
             self.in_flight[future] = run
             if isolate:
                 self.isolated = run

@@ -23,83 +23,43 @@ Size interpretations:
   a modification (Jin & Bestavros' treatment).  The paper attributes
   its one disagreement with [8] to this difference, which makes
   TRUSTED/PAPER_RULE vs ANY_CHANGE a designed-in ablation.
+
+Since the shared-pass refactor this module is a thin one-cell wrapper:
+the trace walk and size resolution live in
+:mod:`repro.simulation.engine` (:class:`~repro.simulation.engine.
+ReferenceStream`), and the cache/policy/metrics state lives in a single
+:class:`~repro.simulation.engine.CacheCell`.  ``CacheSimulator`` keeps
+its public API — sweeps that want N cells per trace pass use
+:func:`repro.simulation.engine.run_cells` directly.
 """
 
 from __future__ import annotations
 
-import enum
-from dataclasses import dataclass
 from typing import Iterable, Optional, Sequence, Union
 
-from repro.core.cache import Cache
-from repro.core.gdstar import GDStarPolicy
 from repro.core.policy import AccessOutcome, ReplacementPolicy
-from repro.core.registry import make_policy
-from repro.errors import ConfigurationError
 from repro.observability.logs import get_logger
 from repro.observability.metrics import get_registry
 from repro.observability.profiling import PhaseTimings, phase_timer
-from repro.simulation.freshness import FreshnessTracker, TTLModel
-from repro.simulation.metrics import TypeMetrics
-from repro.simulation.occupancy import OccupancyTracker
+from repro.simulation.engine import (
+    CacheCell,
+    SimulationConfig,
+    SizeInterpretation,
+    _new_requested_totals,
+    drive_pass,
+    make_resolver,
+)
 from repro.simulation.results import SimulationResult
-from repro.trace.modification import ModificationDetector, ModificationPolicy
 from repro.types import Request, Trace
 
+__all__ = [
+    "SizeInterpretation",
+    "SimulationConfig",
+    "CacheSimulator",
+    "simulate",
+]
+
 _logger = get_logger("simulation")
-
-
-class SizeInterpretation(enum.Enum):
-    """How request sizes are turned into document sizes."""
-
-    TRUSTED = "trusted"
-    PAPER_RULE = "paper-rule"
-    ANY_CHANGE = "any-change"
-
-
-@dataclass
-class SimulationConfig:
-    """Knobs for one simulation run.
-
-    Attributes:
-        capacity_bytes: Cache capacity.
-        policy: Policy name (see :mod:`repro.core.registry`) or a
-            ready-built policy instance.
-        warmup_fraction: Leading fraction of requests that fill the
-            cache without being measured (paper: 10 %).
-        size_interpretation: See module docstring.
-        occupancy_interval: Sample per-type occupancy every N requests;
-            0 disables tracking.
-        modification_tolerance: The 5 % threshold of the paper rule.
-        ttl_model: Optional per-type freshness lifetimes; a resident
-            copy older than its TTL (in trace time) is invalidated and
-            the reference counts as a miss.  None (the default, and
-            the paper's methodology) never expires documents.
-    """
-
-    capacity_bytes: int
-    policy: Union[str, ReplacementPolicy] = "lru"
-    warmup_fraction: float = 0.10
-    size_interpretation: SizeInterpretation = SizeInterpretation.TRUSTED
-    occupancy_interval: int = 0
-    modification_tolerance: float = 0.05
-    ttl_model: Optional[TTLModel] = None
-    #: When set, per-request retrieval costs under this model are
-    #: accumulated so results expose ``cost_savings_ratio`` — the
-    #: objective a Greedy-Dual policy under the same model maximizes.
-    report_cost_model: Optional[object] = None
-    #: When set, per-request service times under this model are
-    #: accumulated; the result carries a
-    #: :class:`~repro.simulation.latency.LatencyMetrics`.
-    latency_model: Optional[object] = None
-
-    def validate(self) -> None:
-        if self.capacity_bytes <= 0:
-            raise ConfigurationError("capacity_bytes must be positive")
-        if not 0.0 <= self.warmup_fraction < 1.0:
-            raise ConfigurationError("warmup_fraction must be in [0, 1)")
-        if self.occupancy_interval < 0:
-            raise ConfigurationError("occupancy_interval must be >= 0")
 
 
 class CacheSimulator:
@@ -109,47 +69,47 @@ class CacheSimulator:
         """``cache`` overrides the config's capacity/policy pair with a
         prebuilt cache-compatible object (e.g. a
         :class:`~repro.core.partitioned.PartitionedCache`)."""
-        config.validate()
+        self._cell = CacheCell(config, cache=cache)
         self.config = config
-        if cache is not None:
-            self.cache = cache
-            self.policy = getattr(cache, "policy", None)
-        else:
-            if isinstance(config.policy, ReplacementPolicy):
-                self.policy = config.policy
-            else:
-                self.policy = make_policy(config.policy)
-            self.cache = Cache(config.capacity_bytes, self.policy)
-        self.metrics = TypeMetrics()
-        self.occupancy: Optional[OccupancyTracker] = None
-        if config.occupancy_interval:
-            self.occupancy = OccupancyTracker(config.occupancy_interval)
-        self._detector = self._build_detector()
-        self._freshness: Optional[FreshnessTracker] = None
-        if config.ttl_model is not None:
-            self._freshness = FreshnessTracker(config.ttl_model)
-        self.latency = None
-        if config.latency_model is not None:
-            from repro.simulation.latency import LatencyMetrics
-            self.latency = LatencyMetrics(model=config.latency_model)
+        self._resolver = make_resolver(config)
+        self._detector = self._resolver.detector
         #: Wall-clock seconds per phase of the most recent run
         #: (warmup / measurement / aggregate), for profiling long runs.
         self.phase_timings = PhaseTimings()
 
-    def _build_detector(self) -> Optional[ModificationDetector]:
-        interp = self.config.size_interpretation
-        if interp is SizeInterpretation.TRUSTED:
-            return None
-        policy = (ModificationPolicy.PAPER
-                  if interp is SizeInterpretation.PAPER_RULE
-                  else ModificationPolicy.ANY_CHANGE)
-        return ModificationDetector(
-            tolerance=self.config.modification_tolerance, policy=policy)
+    # The cell owns all mutable simulation state; expose the historical
+    # attribute surface as read-only views of it.
+
+    @property
+    def cache(self):
+        return self._cell.cache
+
+    @property
+    def policy(self):
+        return self._cell.policy
+
+    @property
+    def metrics(self):
+        return self._cell.metrics
+
+    @property
+    def occupancy(self):
+        return self._cell.occupancy
+
+    @property
+    def latency(self):
+        return self._cell.latency
+
+    @property
+    def _freshness(self):
+        return self._cell._freshness
 
     def run(self, trace: Union[Trace, Sequence[Request]],
             trace_name: Optional[str] = None) -> SimulationResult:
         """Simulate the full trace and return the result."""
         requests = trace.requests if isinstance(trace, Trace) else trace
+        if not isinstance(requests, (list, tuple)):
+            requests = list(requests)
         total = len(requests)
         warmup = int(total * self.config.warmup_fraction)
         name = trace_name or getattr(trace, "name", "trace")
@@ -158,32 +118,19 @@ class CacheSimulator:
         # neither half pays a per-request branch; the phase timers sit
         # outside the loops and cost two clock reads per phase.
         timings = self.phase_timings = PhaseTimings()
-        cost_model = self.config.report_cost_model
-        position = 0
+        cell = self._cell
+        cell.begin_run(warmup, deferred=True)
+        boundaries = ({warmup: _new_requested_totals()}
+                      if cell.deferred else None)
+        groups = [(self._resolver, [cell])]
         with phase_timer("warmup", timings):
-            for request in requests[:warmup]:
-                self._step(request)
-                position += 1
-                if self.occupancy is not None:
-                    self.occupancy.maybe_sample(self.cache, position)
+            drive_pass(requests[:warmup], 0, groups, None)
         with phase_timer("measurement", timings):
-            for request in requests[warmup:]:
-                outcome = self._step(request)
-                position += 1
-                hit = outcome is AccessOutcome.HIT
-                transfer = min(request.transfer_size, request.size)
-                cost = (cost_model.cost(request.size)
-                        if cost_model is not None else 0.0)
-                self.metrics.record(request.doc_type, hit, transfer,
-                                    cost)
-                if self.latency is not None:
-                    self.latency.record(request.doc_type, hit, transfer)
-                    self.latency.record_baseline(transfer)
-                if self.occupancy is not None:
-                    self.occupancy.maybe_sample(self.cache, position)
-
+            drive_pass(requests[warmup:], warmup, groups, boundaries)
         with phase_timer("aggregate", timings):
-            result = self._result(name, total, warmup)
+            result = cell.finalize(
+                name, total,
+                boundaries[warmup] if boundaries else None)
         self._publish_telemetry(result, timings)
         return result
 
@@ -192,6 +139,8 @@ class CacheSimulator:
                    trace_name: str = "stream") -> SimulationResult:
         """Simulate an unbounded stream with an absolute warm-up count."""
         timings = self.phase_timings = PhaseTimings()
+        cell = self._cell
+        cell.begin_run(warmup_requests, deferred=False)
         total = 0
         with phase_timer("stream", timings):
             for request in requests:
@@ -204,26 +153,24 @@ class CacheSimulator:
                 if self.occupancy is not None:
                     self.occupancy.maybe_sample(self.cache, total)
         with phase_timer("aggregate", timings):
-            result = self._result(trace_name, total,
-                                  min(warmup_requests, total))
+            result = cell.finalize(trace_name, total,
+                                   warmup=min(warmup_requests, total))
         self._publish_telemetry(result, timings)
         return result
 
     def _step(self, request: Request) -> AccessOutcome:
-        size = request.size
-        if self._detector is not None:
-            observation = self._detector.observe(
-                request.url, request.transfer_size)
-            size = observation.document_size
-        if self._freshness is not None and request.url in self.cache:
-            if self._freshness.expired(request.url, request.doc_type,
-                                       request.timestamp):
-                self.cache.invalidate(request.url)
-        outcome = self.cache.reference(request.url, size,
-                                       request.doc_type)
-        if (self._freshness is not None
+        """Resolve and reference one request without accounting."""
+        url, size, doc_type, _transfer, _raw, timestamp = \
+            self._resolver.resolve_one(request)
+        cell = self._cell
+        cache = cell.cache
+        if cell._freshness is not None and url in cache:
+            if cell._freshness.expired(url, doc_type, timestamp):
+                cache.invalidate(url)
+        outcome = cache.reference(url, size, doc_type)
+        if (cell._freshness is not None
                 and outcome is not AccessOutcome.HIT):
-            self._freshness.on_fetch(request.url, request.timestamp)
+            cell._freshness.on_fetch(url, timestamp)
         return outcome
 
     def _publish_telemetry(self, result: SimulationResult,
@@ -262,31 +209,6 @@ class CacheSimulator:
                    "requests_per_second": round(
                        result.total_requests / measured, 1)
                    if measured else None})
-
-    def _result(self, name: str, total: int,
-                warmup: int) -> SimulationResult:
-        final_beta = None
-        if isinstance(self.policy, GDStarPolicy):
-            final_beta = self.policy.beta
-        policy_name = (self.policy.name if self.policy is not None
-                       else type(self.cache).__name__.lower())
-        ttl_expiries = (self._freshness.expiries
-                        if self._freshness is not None else None)
-        return SimulationResult(
-            policy=policy_name,
-            capacity_bytes=self.config.capacity_bytes,
-            trace_name=name,
-            total_requests=total,
-            warmup_requests=warmup,
-            metrics=self.metrics,
-            occupancy=self.occupancy,
-            evictions=self.cache.evictions,
-            invalidations=self.cache.invalidations,
-            bypasses=self.cache.bypasses,
-            final_beta=final_beta,
-            ttl_expiries=ttl_expiries,
-            latency=self.latency,
-        )
 
 
 def simulate(trace: Union[Trace, Sequence[Request]],

@@ -5,13 +5,25 @@ The paper plots hit rate and byte hit rate "for increasing cache sizes
 :func:`cache_sizes_from_fractions` converts those fractions to byte
 capacities for a given trace; :func:`run_sweep` runs the full grid,
 constructing a fresh policy and cache per cell.
+
+Two execution engines produce bit-identical grids:
+
+* ``percell`` — the classic loop: every (policy, capacity) cell gets
+  its own :class:`~repro.simulation.simulator.CacheSimulator` and its
+  own full trace pass.
+* ``batched`` — all cells ride **one** shared trace pass through
+  :func:`repro.simulation.engine.run_cells`, so trace iteration and
+  size resolution are paid once for the whole grid (and eligible LRU
+  cells collapse into a single stack-distance ladder).
 """
 
 from __future__ import annotations
 
-from typing import Callable, Iterable, List, Optional, Sequence
+from pathlib import Path
+from typing import Callable, Iterable, List, Optional, Sequence, Union
 
 from repro.errors import ConfigurationError
+from repro.simulation.engine import run_cells
 from repro.simulation.results import SweepResult
 from repro.simulation.simulator import (
     CacheSimulator,
@@ -39,7 +51,7 @@ def cache_sizes_from_fractions(
     return sorted({max(int(total * f), 1) for f in fractions})
 
 
-def run_sweep(trace: Trace,
+def run_sweep(trace: Union[Trace, str, Path],
               policies: Iterable[str],
               capacities: Sequence[int],
               warmup_fraction: float = 0.10,
@@ -47,11 +59,17 @@ def run_sweep(trace: Trace,
               SizeInterpretation.TRUSTED,
               occupancy_interval: int = 0,
               progress: Optional[Callable[[str, int], None]] = None,
-              policy_kwargs: Optional[dict] = None) -> SweepResult:
+              policy_kwargs: Optional[dict] = None,
+              engine: str = "percell") -> SweepResult:
     """Run every (policy, capacity) cell over the trace.
 
     Args:
-        trace: The driving workload.
+        trace: The driving workload — a :class:`~repro.types.Trace`,
+            or a trace *file path* (any format
+            :func:`repro.trace.reader.open_trace` handles), swept with
+            bounded memory: the percell engine re-decodes the file
+            once per cell, the batched engine decodes it once for the
+            whole grid.
         policies: Policy names (see :mod:`repro.core.registry`).
         capacities: Cache capacities in bytes.
         warmup_fraction: Warm-up share per run (paper: 0.10).
@@ -59,17 +77,46 @@ def run_sweep(trace: Trace,
         occupancy_interval: Per-type occupancy sampling cadence
             (0 = off); only meaningful for adaptability studies.
         progress: Optional callback invoked with (policy, capacity)
-            before each cell, for long sweeps.
+            before each cell, for long sweeps.  With the batched
+            engine all callbacks fire up front, before the single
+            shared pass starts.
         policy_kwargs: Extra arguments forwarded to
             :func:`~repro.core.registry.make_policy` (e.g. fixed_beta).
+        engine: ``"percell"`` (one trace pass per cell) or
+            ``"batched"`` (one shared pass for the whole grid); the
+            grids are bit-identical.
 
     Returns a :class:`~repro.simulation.results.SweepResult` whose grid
     is keyed by policy name and capacity.
     """
     from repro.core.registry import make_policy
 
+    if engine not in ("percell", "batched"):
+        raise ConfigurationError(
+            f"unknown engine {engine!r}; expected 'percell' or 'batched'")
+    if isinstance(trace, (str, Path)):
+        return _run_sweep_from_file(
+            Path(trace), policies, capacities, warmup_fraction,
+            size_interpretation, occupancy_interval, progress,
+            policy_kwargs, engine)
     sweep = SweepResult(trace_name=trace.name)
     kwargs = policy_kwargs or {}
+    if engine == "batched":
+        configs = []
+        for policy_name in policies:
+            for capacity in capacities:
+                if progress is not None:
+                    progress(policy_name, capacity)
+                configs.append(SimulationConfig(
+                    capacity_bytes=capacity,
+                    policy=make_policy(policy_name, **kwargs),
+                    warmup_fraction=warmup_fraction,
+                    size_interpretation=size_interpretation,
+                    occupancy_interval=occupancy_interval,
+                ))
+        for result in run_cells(trace, configs, trace_name=trace.name):
+            sweep.add(result)
+        return sweep
     for policy_name in policies:
         for capacity in capacities:
             if progress is not None:
@@ -84,4 +131,57 @@ def run_sweep(trace: Trace,
             )
             result = CacheSimulator(config).run(trace)
             sweep.add(result)
+    return sweep
+
+
+def _run_sweep_from_file(path: Path, policies, capacities,
+                         warmup_fraction, size_interpretation,
+                         occupancy_interval, progress, policy_kwargs,
+                         engine: str) -> SweepResult:
+    """Sweep a trace *file* with bounded memory.
+
+    This is where the two engines differ most: streaming means the
+    trace is never materialized, so the percell engine has no choice
+    but to re-decode (and, for raw logs, re-preprocess) the file for
+    every cell — the ``O(cells × requests)`` trace tax — while the
+    batched engine decodes once and drives every cell from the same
+    chunk stream.
+    """
+    from repro.core.registry import make_policy
+    from repro.trace.pipeline import count_requests, iter_trace
+
+    name = path.stem
+    total = count_requests(path)
+    sweep = SweepResult(trace_name=name)
+    kwargs = policy_kwargs or {}
+
+    def make_config(policy_name, capacity):
+        return SimulationConfig(
+            capacity_bytes=capacity,
+            policy=make_policy(policy_name, **kwargs),
+            warmup_fraction=warmup_fraction,
+            size_interpretation=size_interpretation,
+            occupancy_interval=occupancy_interval,
+        )
+
+    if engine == "batched":
+        configs = []
+        for policy_name in policies:
+            for capacity in capacities:
+                if progress is not None:
+                    progress(policy_name, capacity)
+                configs.append(make_config(policy_name, capacity))
+        for result in run_cells(iter_trace(path), configs,
+                                trace_name=name, total_requests=total):
+            sweep.add(result)
+        return sweep
+    warmup = int(total * warmup_fraction)
+    for policy_name in policies:
+        for capacity in capacities:
+            if progress is not None:
+                progress(policy_name, capacity)
+            simulator = CacheSimulator(make_config(policy_name, capacity))
+            sweep.add(simulator.run_stream(
+                iter_trace(path), warmup_requests=warmup,
+                trace_name=name))
     return sweep

@@ -115,30 +115,61 @@ class AddressableHeap(Generic[K]):
         self._positions[entries[a][2]] = a
         self._positions[entries[b][2]] = b
 
+    # The sift loops are the hottest code in every value-based policy
+    # (millions of calls per simulated trace), so they trade the tidy
+    # _less/_swap helpers for inlined comparisons and the classic
+    # "hole" technique: the moving entry is written once at its final
+    # position instead of being swapped down level by level.  The
+    # comparison predicate is exactly _less, so heap layouts (and with
+    # them every policy's eviction order) are unchanged.
+
     def _sift_up(self, pos: int) -> None:
+        entries = self._entries
+        positions = self._positions
+        entry = entries[pos]
+        key, seq = entry[0], entry[1]
         while pos > 0:
-            parent = (pos - 1) >> 1
-            if self._less(pos, parent):
-                self._swap(pos, parent)
-                pos = parent
+            parent_pos = (pos - 1) >> 1
+            parent = entries[parent_pos]
+            parent_key = parent[0]
+            if key < parent_key or (key == parent_key
+                                    and seq < parent[1]):
+                entries[pos] = parent
+                positions[parent[2]] = pos
+                pos = parent_pos
             else:
                 break
+        entries[pos] = entry
+        positions[entry[2]] = pos
 
     def _sift_down(self, pos: int) -> None:
-        size = len(self._entries)
+        entries = self._entries
+        positions = self._positions
+        size = len(entries)
+        entry = entries[pos]
+        key, seq = entry[0], entry[1]
         while True:
-            left = 2 * pos + 1
-            if left >= size:
+            child_pos = 2 * pos + 1
+            if child_pos >= size:
                 break
-            smallest = left
-            right = left + 1
-            if right < size and self._less(right, left):
-                smallest = right
-            if self._less(smallest, pos):
-                self._swap(pos, smallest)
-                pos = smallest
+            child = entries[child_pos]
+            right_pos = child_pos + 1
+            if right_pos < size:
+                right = entries[right_pos]
+                child_key, right_key = child[0], right[0]
+                if right_key < child_key or (right_key == child_key
+                                             and right[1] < child[1]):
+                    child_pos, child = right_pos, right
+            child_key = child[0]
+            if child_key < key or (child_key == key
+                                   and child[1] < seq):
+                entries[pos] = child
+                positions[child[2]] = pos
+                pos = child_pos
             else:
                 break
+        entries[pos] = entry
+        positions[entry[2]] = pos
 
     def _remove_at(self, pos: int) -> None:
         entries = self._entries

@@ -29,7 +29,12 @@ from repro.trace.clf import CLFParser, format_clf_line
 from repro.trace.csvtrace import CsvTraceParser, CsvTraceWriter
 from repro.trace.reader import open_trace, detect_format
 from repro.trace.writer import write_trace
-from repro.trace.pipeline import TracePipeline, load_trace
+from repro.trace.pipeline import (
+    TracePipeline,
+    count_requests,
+    iter_trace,
+    load_trace,
+)
 from repro.trace.validation import Finding, Severity, validate_trace
 from repro.trace.sampling import (
     anonymize,
@@ -65,6 +70,8 @@ __all__ = [
     "detect_format",
     "write_trace",
     "TracePipeline",
+    "count_requests",
+    "iter_trace",
     "load_trace",
     "validate_trace",
     "Finding",

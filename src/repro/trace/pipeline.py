@@ -72,6 +72,62 @@ class TracePipeline:
             )
 
 
+def iter_trace(path: PathLike, fmt: Optional[str] = None,
+               pipeline: Optional[TracePipeline] = None,
+               max_errors: Optional[int] = None,
+               on_error: Optional[Callable[[TraceFormatError], None]]
+               = None) -> Iterator[Request]:
+    """Stream preprocessed requests from a trace file, bounded memory.
+
+    The lazy sibling of :func:`load_trace`: decodes (and, for raw-log
+    formats, preprocesses) one record at a time without materializing
+    the trace, so a multi-million-request log can drive a simulation
+    pass directly.  Each call opens the file afresh and, for raw
+    formats, runs a fresh :class:`TracePipeline`, so repeated passes
+    see identical request streams.
+    """
+    stream = open_trace(path, fmt=fmt, max_errors=max_errors,
+                        on_error=on_error)
+    first = next(stream, None)
+    if first is None:
+        return
+    if isinstance(first, Request):
+        yield first
+        yield from stream
+        return
+    pipeline = pipeline or TracePipeline()
+
+    def _records():
+        yield first
+        yield from stream
+    yield from pipeline.process(_records())
+
+
+def count_requests(path: PathLike, fmt: Optional[str] = None) -> int:
+    """Number of requests a streaming pass over ``path`` yields.
+
+    Canonical csv traces are counted from the raw line count (one data
+    line per request — no decode needed); raw-log formats must run the
+    full pipeline because cacheability filtering drops records.
+    """
+    from repro.trace.reader import _open_text, detect_format
+
+    path = Path(path)
+    if fmt is None:
+        with _open_text(path) as stream:
+            first = stream.readline()
+            while first and not first.strip():
+                first = stream.readline()
+            if not first:
+                return 0
+            fmt = detect_format(first)
+    if fmt == "csv":
+        with _open_text(path) as stream:
+            lines = sum(1 for line in stream if line.strip())
+        return max(lines - 1, 0)   # minus the header row
+    return sum(1 for _ in iter_trace(path, fmt=fmt))
+
+
 def load_trace(path: PathLike, fmt: Optional[str] = None,
                name: Optional[str] = None,
                pipeline: Optional[TracePipeline] = None,
