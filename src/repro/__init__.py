@@ -22,6 +22,8 @@ Subpackages:
 * :mod:`repro.workload` — synthetic DFN-like / RTP-like trace generation;
 * :mod:`repro.simulation` — the Section-4.1 simulator and sweeps;
 * :mod:`repro.analysis` — workload characterization (α, β, size stats);
+* :mod:`repro.model` — analytical (Che/TTL) hit-rate models, no trace
+  pass needed;
 * :mod:`repro.experiments` — one named experiment per paper table/figure;
 * :mod:`repro.resilience` — retries, checkpoints, fault injection;
 * :mod:`repro.observability` — logging, metrics, manifests, telemetry.
@@ -75,6 +77,14 @@ from repro.workload import (
     uniform_profile,
 )
 from repro.analysis import characterize, estimate_alpha, estimate_beta
+from repro.model import (
+    Catalog,
+    catalog_from_profile,
+    catalog_from_trace,
+    hit_rate_curve,
+    predict_hit_rates,
+    validate_model,
+)
 from repro.trace import load_trace, write_trace
 from repro.experiments import run_experiment, run_suite
 from repro.resilience import (
@@ -121,6 +131,9 @@ __all__ = [
     "fit_profile", "fidelity_report",
     # analysis
     "characterize", "estimate_alpha", "estimate_beta",
+    # analytical models
+    "Catalog", "catalog_from_trace", "catalog_from_profile",
+    "predict_hit_rates", "hit_rate_curve", "validate_model",
     # trace io
     "load_trace", "write_trace",
     # experiments

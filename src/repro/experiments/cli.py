@@ -13,6 +13,12 @@ Long runs can checkpoint and resume::
     # ... machine dies mid-suite; later:
     python -m repro.experiments all --scale paper \\
         --checkpoint-dir ckpt/ --resume
+
+The analytical-model subcommand (:mod:`repro.model.cli`) answers
+hit-rate questions without a simulation pass::
+
+    python -m repro.experiments model curve --profile dfn
+    python -m repro.experiments model validate --profile dfn --irm
 """
 
 from __future__ import annotations
@@ -39,7 +45,8 @@ def build_parser() -> argparse.ArgumentParser:
         description="Regenerate the paper's tables and figures.")
     parser.add_argument(
         "experiment", choices=list(EXPERIMENT_IDS) + ["all"],
-        help="experiment id, or 'all'")
+        help="experiment id, or 'all' ('model' dispatches to the "
+             "analytical-model subcommand: predict/curve/validate)")
     parser.add_argument(
         "--scale", choices=list(SCALES), default="small",
         help="workload scale (default: small)")
@@ -108,6 +115,12 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def main(argv: Optional[List[str]] = None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if argv and argv[0] == "model":
+        # The analytical-model verbs carry their own option surface;
+        # dispatch before the experiment parser rejects them.
+        from repro.model.cli import main as model_main
+        return model_main(argv[1:])
     args = build_parser().parse_args(argv)
     configure(level=args.log_level, json_lines=args.log_json)
     if args.markdown and not args.outdir:

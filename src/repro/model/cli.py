@@ -1,0 +1,364 @@
+"""The ``model`` subcommand of the experiments CLI.
+
+Three verbs, all driven by the same workload-source options::
+
+    python -m repro.experiments model predict \\
+        --profile dfn --capacity 50000000 --policy lru
+    python -m repro.experiments model curve \\
+        --trace proxy.csv --fractions 0.005,0.01,0.02,0.04
+    python -m repro.experiments model validate \\
+        --profile dfn --profile-scale 0.004 --irm --max-mae 0.02
+
+Workload sources:
+
+* ``--trace PATH`` — calibrate from a trace file in **one streaming
+  pass** (:func:`repro.trace.pipeline.iter_trace`); the trace is never
+  materialized and never read again.
+* ``--profile NAME`` — calibrate from a named workload profile with
+  no trace at all (``predict``/``curve``) or from a freshly generated
+  synthetic trace (``validate``, which needs something to simulate).
+
+``validate`` exits non-zero when the LRU mean absolute hit-rate error
+exceeds ``--max-mae`` — that is the CI ``model-validation`` gate.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import math
+import sys
+from typing import List, Optional
+
+from repro.errors import ConfigurationError, ReproError
+from repro.model.catalog import (
+    Catalog,
+    catalog_from_profile,
+    catalog_from_trace,
+)
+from repro.model.che import hierarchy_predict, hit_rate_curve, predict
+from repro.model.solver import MODEL_POLICIES
+from repro.model.validation import DEFAULT_POLICIES, validate_model
+from repro.observability.logs import LOG_LEVELS, configure, get_logger
+from repro.observability.manifest import TelemetryRun
+from repro.simulation.sweep import PAPER_SIZE_FRACTIONS
+from repro.types import DOCUMENT_TYPES
+
+_logger = get_logger("model.cli")
+
+PROFILE_NAMES = ("dfn", "rtp", "future", "uniform")
+DEFAULT_PROFILE_SCALE = 1.0 / 256.0
+
+
+def _add_workload_options(parser: argparse.ArgumentParser) -> None:
+    source = parser.add_argument_group("workload source")
+    source.add_argument(
+        "--trace", default=None, metavar="PATH",
+        help="calibrate from this trace file (one streaming pass; "
+             "squid/clf/csv, .gz ok)")
+    source.add_argument(
+        "--profile", choices=PROFILE_NAMES, default=None,
+        help="calibrate from a named workload profile instead of a "
+             "trace")
+    source.add_argument(
+        "--profile-scale", type=float, default=DEFAULT_PROFILE_SCALE,
+        help="profile scale factor (default: 1/256)")
+    source.add_argument(
+        "--seed", type=int, default=None,
+        help="override the profile's seed")
+    source.add_argument(
+        "--irm", action="store_true",
+        help="with --profile on 'validate': generate the reference "
+             "trace under the Independent Reference Model (the "
+             "regime the approximation assumes)")
+
+
+def _add_common_options(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--warmup", type=float, default=0.0,
+        help="warm-up fraction excluded from measurement, mirroring "
+             "the simulator knob (default: 0)")
+    parser.add_argument(
+        "--json", action="store_true",
+        help="emit machine-readable JSON instead of a table")
+    obs = parser.add_argument_group("observability")
+    obs.add_argument(
+        "--log-level", choices=list(LOG_LEVELS), default="info",
+        help="diagnostic verbosity on stderr (default: info)")
+    obs.add_argument(
+        "--log-json", action="store_true",
+        help="emit diagnostics as JSON lines")
+    obs.add_argument(
+        "--telemetry-dir", default=None,
+        help="write manifest.json + events.jsonl (calibration, "
+             "per-cell predictions, validation verdict) here")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments model",
+        description="Analytical cache models (Che/TTL approximation): "
+                    "predict hit rates without simulating.")
+    verbs = parser.add_subparsers(dest="verb", required=True)
+
+    p_predict = verbs.add_parser(
+        "predict", help="one (policy, capacity) prediction, "
+                        "optionally a two-level hierarchy")
+    p_predict.add_argument(
+        "--capacity", type=int, required=True,
+        help="cache capacity in bytes")
+    p_predict.add_argument(
+        "--parent-capacity", type=int, default=None,
+        help="add a parent cache of this many bytes and predict the "
+             "two-level hierarchy")
+    p_predict.add_argument(
+        "--policy", choices=MODEL_POLICIES, default="lru")
+    p_predict.add_argument(
+        "--steady-state", action="store_true",
+        help="infinite-trace view: amortize compulsory misses away")
+    _add_workload_options(p_predict)
+    _add_common_options(p_predict)
+
+    p_curve = verbs.add_parser(
+        "curve", help="whole capacity→(hit rate, byte hit rate) "
+                      "curve, per document type")
+    p_curve.add_argument(
+        "--capacities", default=None,
+        help="comma-separated byte capacities")
+    p_curve.add_argument(
+        "--fractions", default=None,
+        help="comma-separated fractions of the workload's total bytes "
+             f"(default: {','.join(str(f) for f in PAPER_SIZE_FRACTIONS)})")
+    p_curve.add_argument(
+        "--policy", choices=MODEL_POLICIES, default="lru")
+    p_curve.add_argument(
+        "--steady-state", action="store_true",
+        help="infinite-trace view: amortize compulsory misses away")
+    _add_workload_options(p_curve)
+    _add_common_options(p_curve)
+
+    p_validate = verbs.add_parser(
+        "validate", help="score the model against a shared-pass "
+                         "simulation grid")
+    p_validate.add_argument(
+        "--capacities", default=None,
+        help="comma-separated byte capacities")
+    p_validate.add_argument(
+        "--fractions", default=None,
+        help="comma-separated fractions of the trace's total bytes "
+             f"(default: {','.join(str(f) for f in PAPER_SIZE_FRACTIONS)})")
+    p_validate.add_argument(
+        "--policies", default=",".join(DEFAULT_POLICIES),
+        help="comma-separated model policies to validate "
+             f"(default: {','.join(DEFAULT_POLICIES)})")
+    p_validate.add_argument(
+        "--max-mae", type=float, default=None,
+        help="fail (exit 1) when the LRU mean absolute hit-rate "
+             "error exceeds this tolerance")
+    p_validate.add_argument(
+        "--report", default=None, metavar="PATH",
+        help="also write the full structured error report as JSON")
+    _add_workload_options(p_validate)
+    _add_common_options(p_validate)
+    return parser
+
+
+def _parse_float_list(text: str, flag: str) -> List[float]:
+    try:
+        values = [float(part) for part in text.split(",") if part.strip()]
+    except ValueError as error:
+        raise ConfigurationError(f"{flag}: {error}") from None
+    if not values:
+        raise ConfigurationError(f"{flag} lists no values")
+    return values
+
+
+def _load_profile(args):
+    from repro.workload.profiles import profile_by_name, uniform_profile
+
+    if args.profile == "uniform":
+        profile = uniform_profile(
+            seed=args.seed if args.seed is not None else 7)
+        if args.profile_scale != DEFAULT_PROFILE_SCALE:
+            profile = profile.scaled(
+                args.profile_scale / DEFAULT_PROFILE_SCALE)
+        return profile
+    return profile_by_name(args.profile, scale=args.profile_scale,
+                           seed=args.seed)
+
+
+def _build_catalog(args) -> Catalog:
+    if (args.trace is None) == (args.profile is None):
+        raise ConfigurationError(
+            "exactly one of --trace or --profile is required")
+    if args.trace is not None:
+        from repro.trace.pipeline import iter_trace
+
+        catalog = catalog_from_trace(iter_trace(args.trace),
+                                     name=str(args.trace))
+        _logger.info(
+            "calibrated %d documents from one pass over %s",
+            catalog.n_documents, args.trace,
+            extra={"documents": catalog.n_documents,
+                   "trace": str(args.trace)})
+        return catalog
+    return catalog_from_profile(_load_profile(args))
+
+
+def _capacities_for(args, catalog: Catalog) -> List[int]:
+    if getattr(args, "capacities", None):
+        return [int(v) for v in
+                _parse_float_list(args.capacities, "--capacities")]
+    fractions = (PAPER_SIZE_FRACTIONS if not getattr(args, "fractions",
+                                                     None)
+                 else _parse_float_list(args.fractions, "--fractions"))
+    if any(f <= 0 for f in fractions):
+        raise ConfigurationError("--fractions must be positive")
+    total = catalog.total_bytes
+    return sorted({max(int(total * f), 1) for f in fractions})
+
+
+def _format_prediction_table(predictions) -> str:
+    lines = [
+        f"{'capacity':>14} {'policy':<8} {'T_C':>12} {'hit rate':>9} "
+        f"{'byte hr':>9}",
+    ]
+    for p in predictions:
+        tc = ("inf" if math.isinf(p.characteristic_time)
+              else f"{p.characteristic_time:,.1f}")
+        lines.append(
+            f"{int(p.capacity_bytes):>14,} {p.policy:<8} {tc:>12} "
+            f"{p.hit_rate:>9.4f} {p.byte_hit_rate:>9.4f}")
+        for doc_type in DOCUMENT_TYPES:
+            entry = p.per_type.get(doc_type)
+            if entry is None:
+                continue
+            lines.append(
+                f"{'':>14} {'· ' + doc_type.value:<20} "
+                f"{entry.hit_rate:>9.4f} {entry.byte_hit_rate:>9.4f}")
+    return "\n".join(lines)
+
+
+def _run_predict(args) -> int:
+    catalog = _build_catalog(args)
+    if args.parent_capacity is not None:
+        hierarchy = hierarchy_predict(
+            catalog, args.capacity, args.parent_capacity,
+            policy=args.policy)
+        if args.json:
+            print(json.dumps(hierarchy.as_dict(), indent=2))
+        else:
+            print(_format_prediction_table([hierarchy.child]))
+            print(f"{'parent':>14} (over child misses)")
+            print(_format_prediction_table([hierarchy.parent]))
+            print(f"hierarchy hit rate {hierarchy.combined_hit_rate:.4f}"
+                  f"  byte hit rate "
+                  f"{hierarchy.combined_byte_hit_rate:.4f}")
+        return 0
+    prediction = predict(catalog, args.capacity, policy=args.policy,
+                         warmup_fraction=args.warmup,
+                         steady_state=args.steady_state)
+    if args.json:
+        print(json.dumps(prediction.as_dict(), indent=2))
+    else:
+        print(_format_prediction_table([prediction]))
+    return 0
+
+
+def _run_curve(args) -> int:
+    catalog = _build_catalog(args)
+    capacities = _capacities_for(args, catalog)
+    predictions = hit_rate_curve(
+        catalog, capacities, policy=args.policy,
+        warmup_fraction=args.warmup, steady_state=args.steady_state)
+    if args.json:
+        print(json.dumps([p.as_dict() for p in predictions], indent=2))
+    else:
+        print(_format_prediction_table(predictions))
+    return 0
+
+
+def _run_validate(args) -> int:
+    from repro.workload.generator import generate_trace
+
+    if (args.trace is None) == (args.profile is None):
+        raise ConfigurationError(
+            "exactly one of --trace or --profile is required")
+    if args.trace is not None:
+        from repro.trace.pipeline import load_trace
+
+        trace = load_trace(args.trace)
+    else:
+        trace = generate_trace(
+            _load_profile(args),
+            temporal_model="irm" if args.irm else "gaps")
+    policies = [p.strip() for p in args.policies.split(",") if p.strip()]
+    capacities = None
+    if args.capacities:
+        capacities = [int(v) for v in
+                      _parse_float_list(args.capacities, "--capacities")]
+    fractions = (PAPER_SIZE_FRACTIONS if not args.fractions
+                 else _parse_float_list(args.fractions, "--fractions"))
+    report = validate_model(
+        trace, policies=policies, capacities=capacities,
+        fractions=fractions, warmup_fraction=args.warmup)
+    if args.json:
+        print(json.dumps(report.as_dict(), indent=2))
+    else:
+        print(report.text())
+    if args.report:
+        path = report.save(args.report)
+        _logger.info("validation report written to %s", path,
+                     extra={"path": str(path)})
+    if args.max_mae is not None:
+        gate_policy = "lru" if "lru" in policies else policies[0]
+        gate = report.policy_mean_absolute_error(gate_policy)
+        if gate > args.max_mae:
+            _logger.error(
+                "%s mean absolute error %.4f exceeds tolerance %.4f",
+                gate_policy, gate, args.max_mae,
+                extra={"policy": gate_policy,
+                       "mean_absolute_error": gate,
+                       "tolerance": args.max_mae})
+            return 1
+        _logger.info(
+            "%s mean absolute error %.4f within tolerance %.4f",
+            gate_policy, gate, args.max_mae,
+            extra={"policy": gate_policy, "mean_absolute_error": gate,
+                   "tolerance": args.max_mae})
+    return 0
+
+
+_VERBS = {
+    "predict": _run_predict,
+    "curve": _run_curve,
+    "validate": _run_validate,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    configure(level=args.log_level, json_lines=args.log_json)
+    settings = {key: value for key, value in sorted(vars(args).items())
+                if key not in ("log_level", "log_json",
+                               "telemetry_dir") and value is not None}
+    run = None
+    if args.telemetry_dir:
+        run = TelemetryRun(args.telemetry_dir, kind=f"model-{args.verb}",
+                           settings=settings)
+    try:
+        code = _VERBS[args.verb](args)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        code = 2
+    except Exception:
+        if run is not None:
+            run.finalize("failed")
+        raise
+    if run is not None:
+        run.finalize("complete" if code == 0 else "failed")
+    return code
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,270 @@
+"""The characteristic-time fixed point.
+
+A cache of ``capacity_bytes`` serving an IRM stream admits one scalar
+summary, the *characteristic time* ``T_C``: how long (measured in
+requests) a document survives in the cache after its last admission or
+refresh.  Under the Che approximation every document sees the *same*
+``T_C``, so per-document hit probabilities collapse to closed forms:
+
+* ``lru``   — timer resets on every hit: ``h_i = 1 − exp(−p_i·T)``;
+* ``fifo`` / ``random`` — timer never resets:
+  ``h_i = p_i·T / (1 + p_i·T)`` (their IRM hit rates coincide,
+  Gelenbe 1973).
+
+``T_C`` itself is pinned by the byte-weighted occupancy constraint
+
+    occupancy(T) = Σ_i size_i · h_i(T) = capacity_bytes,
+
+because ``h_i`` is also the stationary probability that document ``i``
+occupies the cache.  ``occupancy`` is continuous, strictly increasing,
+and *concave* in ``T`` (both timer families' ``h_i`` have negative
+second derivatives), 0 at ``T = 0`` and → total catalog bytes as
+``T → ∞``, so the root is unique — and concavity means Newton started
+at or below the root converges to it monotonically from below, no
+bracketing needed.  :func:`solve_characteristic_time` therefore runs
+plain Newton from the warm-start floor (a handful of vectorized
+occupancy evaluations), falling back to bracket/bisection/safeguarded
+Newton only if that stalls.  :func:`solve_curve` solves a whole
+capacity ladder, reusing each root as the Newton seed of the next —
+capacities are sorted, so the ladder costs barely more than one solve.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.observability.metrics import get_registry
+
+#: Policies the analytical model covers, by family:
+#: "lru" (reset timer) vs "fifo"/"random" (non-reset timer).
+MODEL_POLICIES = ("lru", "fifo", "random")
+
+#: Residual tolerance, relative to capacity.
+DEFAULT_REL_TOL = 1e-9
+#: Iteration cap for the primary (monotone Newton) path.
+NEWTON_PRIMARY_STEPS = 60
+#: Bisection iterations before Newton takes over (fallback path).
+COARSE_BISECTIONS = 30
+#: Newton polish iterations (fallback path).
+NEWTON_STEPS = 12
+
+
+def normalize_policy(policy: str) -> str:
+    """Canonical model policy name; raises on unsupported ones."""
+    name = policy.lower()
+    if name not in MODEL_POLICIES:
+        raise ConfigurationError(
+            f"analytical model covers {MODEL_POLICIES}, not {policy!r}")
+    return name
+
+
+def _resets(policy: str) -> bool:
+    return normalize_policy(policy) == "lru"
+
+
+@dataclass(frozen=True)
+class SolverResult:
+    """One characteristic-time root.
+
+    ``characteristic_time`` is ``math.inf`` when the capacity holds the
+    whole catalog (every document permanently resident, ``h_i = 1``).
+    ``residual`` is ``|occupancy(T) − capacity|`` in bytes.
+    """
+
+    characteristic_time: float
+    capacity_bytes: float
+    policy: str
+    iterations: int
+    newton_iterations: int
+    residual: float
+    converged: bool
+
+
+def hit_probabilities(rates: np.ndarray, characteristic_time: float,
+                      policy: str = "lru") -> np.ndarray:
+    """Per-document stationary hit probabilities at a given ``T_C``."""
+    rates = np.asarray(rates, dtype=np.float64)
+    if math.isinf(characteristic_time):
+        return np.ones_like(rates)
+    pt = rates * characteristic_time
+    if _resets(policy):
+        return -np.expm1(-pt)
+    return pt / (1.0 + pt)
+
+
+def occupancy_bytes(rates: np.ndarray, sizes: np.ndarray,
+                    characteristic_time: float,
+                    policy: str = "lru") -> float:
+    """Expected cache occupancy Σ size_i·h_i(T) in bytes."""
+    return float((np.asarray(sizes, dtype=np.float64)
+                  * hit_probabilities(rates, characteristic_time,
+                                      policy)).sum())
+
+
+def _occupancy_and_gradient(rates: np.ndarray, sizes: np.ndarray,
+                            characteristic_time: float,
+                            resets: bool) -> tuple:
+    """(occupancy, d occupancy / dT), one fused vectorized evaluation."""
+    pt = rates * characteristic_time
+    if resets:
+        decay = np.exp(-pt)
+        occupancy = float((sizes * (1.0 - decay)).sum())
+        gradient = float((sizes * rates * decay).sum())
+    else:
+        denom = 1.0 + pt
+        occupancy = float((sizes * (pt / denom)).sum())
+        gradient = float((sizes * rates / (denom * denom)).sum())
+    return occupancy, gradient
+
+
+def solve_characteristic_time(rates: Sequence[float],
+                              sizes: Sequence[float],
+                              capacity_bytes: float,
+                              policy: str = "lru",
+                              rel_tol: float = DEFAULT_REL_TOL,
+                              _bracket_floor: float = 0.0,
+                              ) -> SolverResult:
+    """Root of the occupancy constraint for one capacity.
+
+    Args:
+        rates: Per-document request probabilities (or rates — the
+            characteristic time simply comes out in the reciprocal
+            unit).
+        sizes: Per-document sizes in bytes.
+        capacity_bytes: The byte capacity to pin occupancy to.
+        policy: One of :data:`MODEL_POLICIES`.
+        rel_tol: Convergence threshold on ``residual / capacity``.
+    """
+    policy = normalize_policy(policy)
+    resets = _resets(policy)
+    if capacity_bytes <= 0:
+        raise ConfigurationError("capacity_bytes must be positive")
+    rates = np.asarray(rates, dtype=np.float64)
+    sizes = np.asarray(sizes, dtype=np.float64)
+    if rates.shape != sizes.shape or rates.ndim != 1 or len(rates) == 0:
+        raise ConfigurationError(
+            "rates and sizes must be matching non-empty 1-d arrays")
+    if np.any(rates < 0) or np.any(sizes < 0):
+        raise ConfigurationError("rates and sizes must be non-negative")
+
+    registry = get_registry()
+    if capacity_bytes >= float(sizes.sum()):
+        # The cache holds the entire catalog: T_C is unbounded and
+        # every document is permanently resident.
+        if registry.enabled:
+            registry.counter("model_solves_total", policy=policy).inc()
+        return SolverResult(
+            characteristic_time=math.inf,
+            capacity_bytes=float(capacity_bytes), policy=policy,
+            iterations=0, newton_iterations=0, residual=0.0,
+            converged=True)
+
+    tolerance = rel_tol * capacity_bytes
+
+    # Primary path: occupancy is concave increasing, so Newton seeded
+    # at or below the root (the warm-start floor, or 0 where
+    # occupancy(0) = 0) climbs to it monotonically from below —
+    # typically 3–8 vectorized evaluations, no bracketing.
+    value = float(_bracket_floor)
+    iterations = 0
+    newton_iterations = 0
+    residual = math.inf
+    for _ in range(NEWTON_PRIMARY_STEPS):
+        iterations += 1
+        occupancy, gradient = _occupancy_and_gradient(rates, sizes,
+                                                      value, resets)
+        residual = abs(occupancy - capacity_bytes)
+        if residual <= tolerance:
+            break
+        if gradient <= 0.0 or occupancy > capacity_bytes:
+            # A stale warm start (or float noise near the root) broke
+            # the from-below invariant; the fallback re-brackets.
+            break
+        value += (capacity_bytes - occupancy) / gradient
+        newton_iterations += 1
+
+    if residual > tolerance:
+        # Fallback: bracket by geometric doubling, narrow by coarse
+        # bisection, polish with safeguarded Newton.
+        lo, hi = 0.0, 1.0
+        while _occupancy_and_gradient(rates, sizes, hi, resets)[0] \
+                < capacity_bytes:
+            lo = hi
+            hi *= 2.0
+            iterations += 1
+            if iterations > 400:  # pragma: no cover - occupancy sums
+                break             # to total bytes, so this terminates
+        value = (lo + hi) / 2.0
+        for _ in range(COARSE_BISECTIONS):
+            iterations += 1
+            value = (lo + hi) / 2.0
+            occupancy = _occupancy_and_gradient(rates, sizes, value,
+                                                resets)[0]
+            residual = abs(occupancy - capacity_bytes)
+            if residual <= tolerance:
+                break
+            if occupancy < capacity_bytes:
+                lo = value
+            else:
+                hi = value
+        if residual > tolerance:
+            for _ in range(NEWTON_STEPS):
+                occupancy, gradient = _occupancy_and_gradient(
+                    rates, sizes, value, resets)
+                residual = abs(occupancy - capacity_bytes)
+                if occupancy < capacity_bytes:
+                    lo = value
+                else:
+                    hi = value
+                if residual <= tolerance or gradient <= 0.0:
+                    break
+                step = (capacity_bytes - occupancy) / gradient
+                candidate = value + step
+                if not lo < candidate < hi:
+                    candidate = (lo + hi) / 2.0  # back to bisection
+                value = candidate
+                newton_iterations += 1
+            else:
+                occupancy = _occupancy_and_gradient(rates, sizes,
+                                                    value, resets)[0]
+                residual = abs(occupancy - capacity_bytes)
+    converged = residual <= max(tolerance,
+                                1e-6 * capacity_bytes)
+    if registry.enabled:
+        registry.counter("model_solves_total", policy=policy).inc()
+        registry.histogram("model_solver_iterations").observe(
+            iterations + newton_iterations)
+    return SolverResult(
+        characteristic_time=value,
+        capacity_bytes=float(capacity_bytes), policy=policy,
+        iterations=iterations, newton_iterations=newton_iterations,
+        residual=residual, converged=converged)
+
+
+def solve_curve(rates: Sequence[float], sizes: Sequence[float],
+                capacities: Sequence[float], policy: str = "lru",
+                rel_tol: float = DEFAULT_REL_TOL) -> List[SolverResult]:
+    """One root per capacity, in input order.
+
+    ``T_C`` grows with capacity, so solving the ladder in ascending
+    order lets each solved root floor the next root's bracket — the
+    whole curve costs one solve per capacity with tiny brackets.
+    """
+    if len(capacities) == 0:
+        raise ConfigurationError("need at least one capacity")
+    order = sorted(range(len(capacities)), key=lambda i: capacities[i])
+    results: List[SolverResult] = [None] * len(capacities)  # type: ignore
+    floor = 0.0
+    for index in order:
+        result = solve_characteristic_time(
+            rates, sizes, capacities[index], policy=policy,
+            rel_tol=rel_tol, _bracket_floor=floor)
+        results[index] = result
+        if not math.isinf(result.characteristic_time):
+            floor = result.characteristic_time
+    return results

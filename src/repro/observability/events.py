@@ -44,6 +44,12 @@ EVENT_SCHEMAS: Dict[str, Set[str]] = {
     "pass_started": {"cells", "requests"},
     "pass_finished": {"cells", "requests", "duration_seconds",
                       "lru_fast_path_cells"},
+    # analytical model (repro.model): calibration and predictions
+    "model_calibrated": {"documents", "requests", "source"},
+    "model_predicted": {"policy", "capacity_bytes", "hit_rate"},
+    "model_curve_computed": {"policy", "points"},
+    "model_validated": {"cells", "mean_absolute_error",
+                        "max_absolute_error"},
     # suite experiment lifecycle
     "experiment_started": {"experiment_id"},
     "experiment_finished": {"experiment_id", "duration_seconds"},

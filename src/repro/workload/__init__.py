@@ -31,7 +31,12 @@ from repro.workload.profiles import (
     uniform_profile,
 )
 from repro.workload.modifications import ChangeInjector
-from repro.workload.fitting import fidelity_report, fit_profile
+from repro.workload.fitting import (
+    FitDiagnostics,
+    TypeFitDiagnostics,
+    fidelity_report,
+    fit_profile,
+)
 from repro.workload.generator import SyntheticTraceGenerator, generate_trace
 
 __all__ = [
@@ -50,6 +55,8 @@ __all__ = [
     "ChangeInjector",
     "fit_profile",
     "fidelity_report",
+    "FitDiagnostics",
+    "TypeFitDiagnostics",
     "SyntheticTraceGenerator",
     "generate_trace",
 ]

@@ -15,12 +15,21 @@ twin*: a shareable, arbitrarily scalable workload with the same
 statistics as a log that may itself be confidential.  This is exactly
 the substitution argument DESIGN.md makes for the DFN/RTP traces,
 packaged as a reusable tool.
+
+Every fit also carries its provenance: the returned profile's
+``fit_diagnostics`` (:class:`FitDiagnostics`) records, per type, how
+many documents/requests backed the estimate, which estimator produced
+α and β (MLE, regression, or the default fallback), and which values
+hit the clamp bounds — so downstream consumers (notably the analytical
+model's :func:`repro.model.catalog.catalog_from_profile`) can warn on
+thin or clamped fits instead of silently trusting defaults.
 """
 
 from __future__ import annotations
 
 import math
-from typing import Dict, Optional
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -42,39 +51,143 @@ DEFAULT_BETA = 0.4
 ALPHA_BOUNDS = (0.05, 2.0)
 BETA_BOUNDS = (0.05, 1.0)
 SIGMA_BOUNDS = (0.05, 3.0)
+#: Below this many distinct documents a per-type fit is flagged thin.
+THIN_DOCUMENTS = 50
+
+
+@dataclass
+class TypeFitDiagnostics:
+    """How one document type's parameters were actually obtained.
+
+    ``*_method`` records which estimator produced the value
+    (``"mle"``/``"regression"``/``"default"`` for α,
+    ``"estimated"``/``"default"`` for β); ``*_clamped`` flags values
+    that hit the generatable-parameter bounds.  Consumers that
+    calibrate models from a fitted profile
+    (:func:`repro.model.catalog.catalog_from_profile`) use
+    :meth:`problems` to warn instead of silently trusting defaults.
+    """
+
+    doc_type: DocumentType
+    n_requests: int
+    n_documents: int
+    alpha_method: str = "default"
+    alpha_clamped: bool = False
+    beta_method: str = "default"
+    beta_clamped: bool = False
+    sigma_clamped: bool = False
+
+    def problems(self) -> List[str]:
+        """Human-readable reliability concerns; empty when clean."""
+        problems = []
+        if self.n_requests == 0:
+            problems.append("type absent from trace (defaults used)")
+            return problems
+        if self.n_documents < THIN_DOCUMENTS:
+            problems.append(
+                f"thin sample ({self.n_documents} documents)")
+        if self.alpha_method == "default":
+            problems.append("alpha fell back to default")
+        if self.alpha_clamped:
+            problems.append("alpha clamped to bounds")
+        if self.beta_method == "default":
+            problems.append("beta fell back to default")
+        if self.beta_clamped:
+            problems.append("beta clamped to bounds")
+        if self.sigma_clamped:
+            problems.append("size sigma clamped to bounds")
+        return problems
+
+    def as_dict(self) -> dict:
+        return {
+            "doc_type": self.doc_type.value,
+            "n_requests": self.n_requests,
+            "n_documents": self.n_documents,
+            "alpha_method": self.alpha_method,
+            "alpha_clamped": self.alpha_clamped,
+            "beta_method": self.beta_method,
+            "beta_clamped": self.beta_clamped,
+            "sigma_clamped": self.sigma_clamped,
+            "problems": self.problems(),
+        }
+
+
+@dataclass
+class FitDiagnostics:
+    """Per-type fit provenance for one :func:`fit_profile` call."""
+
+    by_type: Dict[DocumentType, TypeFitDiagnostics] = field(
+        default_factory=dict)
+
+    def problems(self) -> Dict[DocumentType, List[str]]:
+        """Types with concerns only (clean types are omitted)."""
+        return {doc_type: entry.problems()
+                for doc_type, entry in self.by_type.items()
+                if entry.problems()}
+
+    @property
+    def clean(self) -> bool:
+        return not self.problems()
+
+    def as_dict(self) -> dict:
+        return {doc_type.value: entry.as_dict()
+                for doc_type, entry in self.by_type.items()}
 
 
 def _clamp(value: float, bounds: tuple) -> float:
     return min(max(value, bounds[0]), bounds[1])
 
 
-def _fit_alpha(trace: Trace, doc_type: DocumentType) -> float:
+def _clamp_flagged(value: float, bounds: tuple) -> Tuple[float, bool]:
+    clamped = _clamp(value, bounds)
+    return clamped, clamped != value
+
+
+def _fit_alpha(trace: Trace, doc_type: DocumentType,
+               diagnostics: TypeFitDiagnostics) -> float:
     counts = list(popularity_counts(trace, doc_type).values())
     try:
-        return _clamp(alpha_mle(counts), ALPHA_BOUNDS)
+        value, clamped = _clamp_flagged(alpha_mle(counts), ALPHA_BOUNDS)
+        diagnostics.alpha_method = "mle"
+        diagnostics.alpha_clamped = clamped
+        return value
     except AnalysisError:
         pass
     try:
-        return _clamp(alpha_from_counts(counts), ALPHA_BOUNDS)
+        value, clamped = _clamp_flagged(alpha_from_counts(counts),
+                                        ALPHA_BOUNDS)
+        diagnostics.alpha_method = "regression"
+        diagnostics.alpha_clamped = clamped
+        return value
     except AnalysisError:
+        diagnostics.alpha_method = "default"
         return DEFAULT_ALPHA
 
 
-def _fit_beta(trace: Trace, doc_type: DocumentType) -> float:
+def _fit_beta(trace: Trace, doc_type: DocumentType,
+              diagnostics: TypeFitDiagnostics) -> float:
     try:
-        return _clamp(estimate_beta(trace.requests, doc_type,
-                                    max_refs=100, min_samples=25),
-                      BETA_BOUNDS)
+        value, clamped = _clamp_flagged(
+            estimate_beta(trace.requests, doc_type,
+                          max_refs=100, min_samples=25),
+            BETA_BOUNDS)
+        diagnostics.beta_method = "estimated"
+        diagnostics.beta_clamped = clamped
+        return value
     except AnalysisError:
+        diagnostics.beta_method = "default"
         return DEFAULT_BETA
 
 
-def _fit_size_model(sizes: np.ndarray) -> LognormalSizeModel:
+def _fit_size_model(sizes: np.ndarray,
+                    diagnostics: TypeFitDiagnostics
+                    ) -> LognormalSizeModel:
     median = float(np.median(sizes))
     if median < 1:
         median = 1.0
     logs = np.log(np.maximum(sizes, 1.0))
-    sigma = _clamp(float(logs.std()), SIGMA_BOUNDS)
+    sigma, clamped = _clamp_flagged(float(logs.std()), SIGMA_BOUNDS)
+    diagnostics.sigma_clamped = clamped
     return LognormalSizeModel(median_bytes=median, sigma=sigma)
 
 
@@ -113,15 +226,19 @@ def fit_profile(trace: Trace, name: Optional[str] = None,
     total_requests = sum(request_counts.values())
 
     types: Dict[DocumentType, TypeProfile] = {}
+    diagnostics = FitDiagnostics()
     # Reserve a sliver of share for empty types so validation holds.
     epsilon = 1e-6
-    present = [t for t in DOCUMENT_TYPES if request_counts[t] > 0]
     missing = [t for t in DOCUMENT_TYPES if request_counts[t] == 0]
     reserved = epsilon * len(missing)
 
     for doc_type in DOCUMENT_TYPES:
         n_docs = len(doc_sizes[doc_type])
         n_requests = request_counts[doc_type]
+        type_diagnostics = TypeFitDiagnostics(
+            doc_type=doc_type, n_requests=n_requests,
+            n_documents=n_docs)
+        diagnostics.by_type[doc_type] = type_diagnostics
         if n_requests == 0:
             types[doc_type] = TypeProfile(
                 doc_share=epsilon, request_share=epsilon,
@@ -135,9 +252,9 @@ def fit_profile(trace: Trace, name: Optional[str] = None,
         types[doc_type] = TypeProfile(
             doc_share=(n_docs / total_docs) * (1.0 - reserved),
             request_share=(n_requests / total_requests) * (1.0 - reserved),
-            alpha=_fit_alpha(trace, doc_type),
-            beta=_fit_beta(trace, doc_type),
-            size_model=_fit_size_model(sizes),
+            alpha=_fit_alpha(trace, doc_type, type_diagnostics),
+            beta=_fit_beta(trace, doc_type, type_diagnostics),
+            size_model=_fit_size_model(sizes, type_diagnostics),
             modification_rate=min(
                 modifications[doc_type] / repeat_count, 0.5),
             interruption_rate=min(
@@ -157,6 +274,7 @@ def fit_profile(trace: Trace, name: Optional[str] = None,
         n_documents=total_docs,
         types=types,
         seed=seed,
+        fit_diagnostics=diagnostics,
     )
     profile.validate()
     return profile

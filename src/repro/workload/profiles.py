@@ -76,7 +76,14 @@ class TypeProfile:
 
 @dataclass
 class WorkloadProfile:
-    """Complete recipe for one synthetic trace."""
+    """Complete recipe for one synthetic trace.
+
+    ``fit_diagnostics`` is populated by
+    :func:`repro.workload.fitting.fit_profile` (a
+    :class:`~repro.workload.fitting.FitDiagnostics`): per-type sample
+    counts, the estimator that produced each parameter, and clamp
+    flags.  ``None`` for hand-written profiles.
+    """
 
     name: str
     n_requests: int
@@ -84,6 +91,8 @@ class WorkloadProfile:
     types: Dict[DocumentType, TypeProfile] = field(default_factory=dict)
     duration_seconds: float = 7 * 24 * 3600.0
     seed: int = 42
+    fit_diagnostics: Optional[object] = field(
+        default=None, repr=False, compare=False)
 
     def validate(self) -> None:
         if self.n_requests <= 0 or self.n_documents <= 0:
@@ -117,6 +126,9 @@ class WorkloadProfile:
             types=dict(self.types),
             duration_seconds=self.duration_seconds,
             seed=self.seed,
+            # Per-type parameters are scale-free, so their provenance
+            # survives scaling unchanged.
+            fit_diagnostics=self.fit_diagnostics,
         )
 
 

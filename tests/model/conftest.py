@@ -1,0 +1,51 @@
+"""Shared fixtures for the analytical-model tests.
+
+One small IRM trace (the regime the Che approximation assumes) and its
+calibrated catalog, shared session-wide — calibration is cheap but the
+trace generation is the slow part.
+"""
+
+from __future__ import annotations
+
+import logging
+
+import pytest
+
+from repro.model.catalog import catalog_from_trace
+from repro.workload.generator import generate_trace
+from repro.workload.profiles import dfn_like
+
+
+@pytest.fixture()
+def propagating_repro_logger():
+    """Let ``repro.*`` records reach caplog's root handler.
+
+    ``configure_logging`` (exercised by CLI tests elsewhere in the
+    suite) sets ``propagate = False`` on the ``repro`` logger, which
+    would hide its records from caplog depending on test order.
+    """
+    logger = logging.getLogger("repro")
+    saved = logger.propagate
+    logger.propagate = True
+    try:
+        yield
+    finally:
+        logger.propagate = saved
+
+
+@pytest.fixture(scope="session")
+def irm_trace():
+    """DFN-like trace at 1/256 scale under the IRM temporal model.
+
+    1/256 is the smallest power-of-two scale where the Che
+    approximation's finite-catalog error stays comfortably inside the
+    2pp acceptance tolerance (halving again roughly doubles the MAE —
+    the approximation is asymptotic in catalog size).
+    """
+    return generate_trace(dfn_like(scale=1.0 / 256.0),
+                          temporal_model="irm")
+
+
+@pytest.fixture(scope="session")
+def irm_catalog(irm_trace):
+    return catalog_from_trace(irm_trace)

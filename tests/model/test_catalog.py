@@ -1,0 +1,171 @@
+"""Tests for model calibration (the Catalog and its three routes)."""
+
+import logging
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.model.catalog import (
+    Catalog,
+    catalog_from_counts,
+    catalog_from_profile,
+    catalog_from_trace,
+)
+from repro.types import DocumentType, Trace
+from repro.workload.fitting import fit_profile
+from repro.workload.profiles import dfn_like, uniform_profile
+
+from tests.conftest import make_request
+
+
+class TestCatalogInvariants:
+    def test_minimal_catalog(self):
+        catalog = Catalog(probabilities=[0.5, 0.5], sizes=[100, 200],
+                          type_codes=[0, 1])
+        assert catalog.n_documents == 2
+        assert catalog.total_bytes == 300
+        assert catalog.counts is None
+        assert catalog.total_requests is None
+        # mean_transfers defaults to sizes.
+        assert np.array_equal(catalog.mean_transfers, catalog.sizes)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Catalog(probabilities=[], sizes=[], type_codes=[])
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Catalog(probabilities=[0.5, 0.5], sizes=[100],
+                    type_codes=[0, 0])
+
+    def test_probabilities_must_sum_to_one(self):
+        with pytest.raises(ConfigurationError):
+            Catalog(probabilities=[0.5, 0.6], sizes=[1, 1],
+                    type_codes=[0, 0])
+
+    def test_negative_probability_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Catalog(probabilities=[1.5, -0.5], sizes=[1, 1],
+                    type_codes=[0, 0])
+
+    def test_type_code_out_of_range_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Catalog(probabilities=[1.0], sizes=[1], type_codes=[99])
+
+    def test_type_mask(self):
+        catalog = catalog_from_counts(
+            [3, 1], doc_types=[DocumentType.IMAGE, DocumentType.HTML])
+        assert catalog.type_mask(DocumentType.IMAGE).tolist() == [True,
+                                                                  False]
+
+    def test_as_dict_summary(self):
+        catalog = catalog_from_counts([3, 1], sizes=10.0, name="x")
+        summary = catalog.as_dict()
+        assert summary["calibration"] == "empirical"
+        assert summary["documents"] == 2
+        assert summary["requests"] == 4.0
+
+
+class TestFromCounts:
+    def test_mapping_accepted(self):
+        catalog = catalog_from_counts({"a": 3, "b": 1})
+        assert catalog.probabilities.tolist() == [0.75, 0.25]
+        assert catalog.counts.tolist() == [3.0, 1.0]
+
+    def test_scalar_size_broadcast(self):
+        catalog = catalog_from_counts([1, 1, 2], sizes=1.0)
+        assert catalog.sizes.tolist() == [1.0, 1.0, 1.0]
+
+    def test_default_type_is_other(self):
+        catalog = catalog_from_counts([1])
+        assert catalog.type_mask(DocumentType.OTHER).all()
+
+    def test_zero_count_rejected(self):
+        with pytest.raises(ConfigurationError):
+            catalog_from_counts([1, 0])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            catalog_from_counts([])
+
+
+class TestFromTrace:
+    def test_counts_and_probabilities(self):
+        trace = Trace([
+            make_request(url="a", size=100),
+            make_request(url="a", size=100),
+            make_request(url="b", size=50,
+                         doc_type=DocumentType.IMAGE),
+        ])
+        catalog = catalog_from_trace(trace)
+        assert catalog.n_documents == 2
+        assert catalog.total_requests == 3
+        by_url = dict(zip(["a", "b"], catalog.counts))
+        assert by_url == {"a": 2.0, "b": 1.0}
+        assert catalog.probabilities.sum() == pytest.approx(1.0)
+
+    def test_last_size_wins(self):
+        trace = Trace([make_request(url="a", size=100),
+                       make_request(url="a", size=300)])
+        catalog = catalog_from_trace(trace)
+        assert catalog.sizes.tolist() == [300.0]
+
+    def test_transfers_clamped_to_size(self):
+        # An interrupted transfer counts its bytes; an overshoot
+        # (stale size) is clamped exactly like the simulator clamps.
+        trace = Trace([make_request(url="a", size=100, transfer=40),
+                       make_request(url="a", size=100, transfer=500)])
+        catalog = catalog_from_trace(trace)
+        assert catalog.mean_transfers.tolist() == [(40 + 100) / 2]
+
+    def test_accepts_plain_iterable(self):
+        requests = iter([make_request(url="a"), make_request(url="b")])
+        catalog = catalog_from_trace(requests, name="streamed")
+        assert catalog.n_documents == 2
+        assert catalog.name == "streamed"
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            catalog_from_trace(Trace([]))
+
+
+class TestFromProfile:
+    def test_matches_generator_budget(self):
+        profile = uniform_profile(n_requests=2000, n_documents=400)
+        catalog = catalog_from_profile(profile)
+        assert catalog.counts.sum() == pytest.approx(2000, rel=0.01)
+        assert catalog.n_documents == pytest.approx(400, rel=0.05)
+        assert catalog.probabilities.sum() == pytest.approx(1.0)
+
+    def test_deterministic_for_a_seed(self):
+        profile = dfn_like(scale=1.0 / 1024.0)
+        a = catalog_from_profile(profile)
+        b = catalog_from_profile(profile)
+        assert np.array_equal(a.sizes, b.sizes)
+        assert np.array_equal(a.counts, b.counts)
+
+    def test_interruptions_shrink_mean_transfers(self):
+        profile = dfn_like(scale=1.0 / 1024.0)
+        catalog = catalog_from_profile(profile)
+        assert (catalog.mean_transfers <= catalog.sizes + 1e-9).all()
+        assert (catalog.mean_transfers < catalog.sizes).any()
+
+    def test_warns_on_unreliable_fit(self, tiny_dfn_trace, caplog,
+                                     propagating_repro_logger):
+        """A thin fitted type surfaces as a calibration warning."""
+        profile = fit_profile(tiny_dfn_trace)
+        assert profile.fit_diagnostics is not None
+        assert not profile.fit_diagnostics.clean  # OTHER is absent
+        with caplog.at_level(logging.WARNING, logger="repro.model"):
+            catalog_from_profile(profile)
+        assert any("unreliable" in record.message
+                   for record in caplog.records)
+
+    def test_no_warning_without_diagnostics(self, caplog,
+                                            propagating_repro_logger):
+        profile = uniform_profile(n_requests=1000, n_documents=200)
+        with caplog.at_level(logging.WARNING, logger="repro.model"):
+            catalog_from_profile(profile)
+        assert not [r for r in caplog.records
+                    if "unreliable" in r.message]

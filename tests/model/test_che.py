@@ -1,0 +1,122 @@
+"""Tests for the Che predictors (predict / curve / hierarchy)."""
+
+import math
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.model.catalog import catalog_from_counts
+from repro.model.che import hierarchy_predict, hit_rate_curve, predict
+from repro.types import DocumentType
+
+
+@pytest.fixture(scope="module")
+def two_type_catalog():
+    """20 documents, two types, unit sizes, Zipf-ish counts."""
+    counts = [100 // (rank + 1) + 1 for rank in range(20)]
+    doc_types = [DocumentType.IMAGE if rank % 2 == 0
+                 else DocumentType.HTML for rank in range(20)]
+    return catalog_from_counts(counts, sizes=1.0, doc_types=doc_types,
+                               name="two-type")
+
+
+class TestPredict:
+    def test_rates_in_unit_interval(self, irm_catalog):
+        prediction = predict(irm_catalog, 2_000_000)
+        assert 0.0 <= prediction.hit_rate <= 1.0
+        assert 0.0 <= prediction.byte_hit_rate <= 1.0
+        for entry in prediction.per_type.values():
+            assert 0.0 <= entry.hit_rate <= 1.0
+            assert 0.0 <= entry.byte_hit_rate <= 1.0
+
+    def test_overall_is_share_weighted_type_mix(self, irm_catalog):
+        prediction = predict(irm_catalog, 2_000_000)
+        mixed = sum(entry.request_share * entry.hit_rate
+                    for entry in prediction.per_type.values())
+        assert prediction.hit_rate == pytest.approx(mixed, abs=1e-9)
+        assert sum(entry.request_share
+                   for entry in prediction.per_type.values()) \
+            == pytest.approx(1.0)
+
+    def test_finite_trace_correction_lowers_hit_rate(self,
+                                                     two_type_catalog):
+        finite = predict(two_type_catalog, 10)
+        steady = predict(two_type_catalog, 10, steady_state=True)
+        assert finite.finite_trace
+        assert not steady.finite_trace
+        # Compulsory misses only ever subtract.
+        assert finite.hit_rate < steady.hit_rate
+
+    def test_whole_catalog_capacity(self, two_type_catalog):
+        """Everything resident: only compulsory misses remain."""
+        prediction = predict(two_type_catalog,
+                             two_type_catalog.total_bytes)
+        assert math.isinf(prediction.characteristic_time)
+        n = two_type_catalog.n_documents
+        requests = two_type_catalog.total_requests
+        assert prediction.hit_rate == pytest.approx(
+            (requests - n) / requests)
+        steady = predict(two_type_catalog,
+                         two_type_catalog.total_bytes,
+                         steady_state=True)
+        assert steady.hit_rate == pytest.approx(1.0)
+
+    def test_warmup_raises_measured_hit_rate(self, irm_catalog):
+        cold = predict(irm_catalog, 2_000_000, warmup_fraction=0.0)
+        warm = predict(irm_catalog, 2_000_000, warmup_fraction=0.3)
+        # Warm-up hides part of the compulsory misses.
+        assert warm.hit_rate > cold.hit_rate
+
+    def test_warmup_bounds_enforced(self, irm_catalog):
+        with pytest.raises(ConfigurationError):
+            predict(irm_catalog, 1000, warmup_fraction=1.0)
+        with pytest.raises(ConfigurationError):
+            predict(irm_catalog, 1000, warmup_fraction=-0.1)
+
+    def test_as_dict_roundtrips_json_types(self, two_type_catalog):
+        prediction = predict(two_type_catalog,
+                             two_type_catalog.total_bytes)
+        payload = prediction.as_dict()
+        assert payload["characteristic_time"] is None  # inf → null
+        assert set(payload["per_type"]) == {"image", "html"}
+
+
+class TestCurve:
+    def test_matches_pointwise_predict(self, two_type_catalog):
+        capacities = [4, 8, 12]
+        curve = hit_rate_curve(two_type_catalog, capacities)
+        for capacity, from_curve in zip(capacities, curve):
+            single = predict(two_type_catalog, capacity)
+            assert from_curve.hit_rate == pytest.approx(
+                single.hit_rate, rel=1e-9)
+
+    def test_monotone_and_input_order(self, two_type_catalog):
+        capacities = [12.0, 4.0, 8.0]
+        curve = hit_rate_curve(two_type_catalog, capacities)
+        assert [p.capacity_bytes for p in curve] == capacities
+        by_capacity = sorted(curve, key=lambda p: p.capacity_bytes)
+        for smaller, larger in zip(by_capacity, by_capacity[1:]):
+            assert larger.hit_rate >= smaller.hit_rate - 1e-12
+
+
+class TestHierarchy:
+    def test_combined_dominates_child(self, two_type_catalog):
+        hierarchy = hierarchy_predict(two_type_catalog, 5, 10)
+        assert hierarchy.combined_hit_rate >= \
+            hierarchy.child.hit_rate - 1e-12
+        assert hierarchy.combined_hit_rate <= 1.0
+        assert hierarchy.parent.catalog_name.endswith("-child-misses")
+
+    def test_parent_idle_when_child_holds_catalog(self,
+                                                  two_type_catalog):
+        hierarchy = hierarchy_predict(
+            two_type_catalog, two_type_catalog.total_bytes, 5)
+        assert hierarchy.combined_hit_rate == pytest.approx(
+            hierarchy.child.hit_rate)
+        assert hierarchy.parent.hit_rate == 0.0
+
+    def test_big_parent_approaches_cold_free_ceiling(self,
+                                                     two_type_catalog):
+        hierarchy = hierarchy_predict(
+            two_type_catalog, 5, two_type_catalog.total_bytes)
+        assert hierarchy.combined_hit_rate == pytest.approx(1.0)

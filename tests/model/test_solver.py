@@ -1,0 +1,145 @@
+"""Tests for the characteristic-time solver."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.model.solver import (
+    MODEL_POLICIES,
+    hit_probabilities,
+    normalize_policy,
+    occupancy_bytes,
+    solve_characteristic_time,
+    solve_curve,
+)
+
+
+@pytest.fixture(scope="module")
+def zipf_catalog():
+    """500-document Zipf(0.8) catalog with heavy-tailed sizes."""
+    rng = np.random.default_rng(5)
+    ranks = np.arange(1, 501, dtype=np.float64)
+    weights = ranks ** -0.8
+    rates = weights / weights.sum()
+    sizes = np.exp(rng.normal(9.0, 1.0, size=500))
+    return rates, sizes
+
+
+class TestNormalize:
+    def test_case_insensitive(self):
+        assert normalize_policy("LRU") == "lru"
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ConfigurationError):
+            normalize_policy("gd*(1)")
+
+
+class TestRootFinding:
+    @pytest.mark.parametrize("policy", MODEL_POLICIES)
+    def test_occupancy_pinned_to_capacity(self, zipf_catalog, policy):
+        rates, sizes = zipf_catalog
+        capacity = 0.05 * sizes.sum()
+        result = solve_characteristic_time(rates, sizes, capacity,
+                                           policy=policy)
+        assert result.converged
+        occupancy = occupancy_bytes(rates, sizes,
+                                    result.characteristic_time, policy)
+        assert occupancy == pytest.approx(capacity, rel=1e-6)
+
+    def test_whole_catalog_capacity_is_infinite_time(self, zipf_catalog):
+        rates, sizes = zipf_catalog
+        result = solve_characteristic_time(rates, sizes, sizes.sum())
+        assert math.isinf(result.characteristic_time)
+        assert result.converged
+        assert hit_probabilities(rates,
+                                 result.characteristic_time).tolist() \
+            == [1.0] * len(rates)
+
+    def test_fifo_equals_random(self, zipf_catalog):
+        """Gelenbe 1973: FIFO and RANDOM share IRM hit rates."""
+        rates, sizes = zipf_catalog
+        capacity = 0.02 * sizes.sum()
+        fifo = solve_characteristic_time(rates, sizes, capacity, "fifo")
+        random_ = solve_characteristic_time(rates, sizes, capacity,
+                                            "random")
+        assert fifo.characteristic_time == pytest.approx(
+            random_.characteristic_time, rel=1e-9)
+
+    def test_lru_beats_fifo_under_irm(self, zipf_catalog):
+        """Che: the reset timer retains populars longer."""
+        rates, sizes = zipf_catalog
+        capacity = 0.02 * sizes.sum()
+        lru = solve_characteristic_time(rates, sizes, capacity, "lru")
+        fifo = solve_characteristic_time(rates, sizes, capacity, "fifo")
+        lru_rate = float((rates * hit_probabilities(
+            rates, lru.characteristic_time, "lru")).sum())
+        fifo_rate = float((rates * hit_probabilities(
+            rates, fifo.characteristic_time, "fifo")).sum())
+        assert lru_rate >= fifo_rate
+
+    def test_invalid_inputs_rejected(self):
+        with pytest.raises(ConfigurationError):
+            solve_characteristic_time([0.5, 0.5], [1, 1], 0.0)
+        with pytest.raises(ConfigurationError):
+            solve_characteristic_time([], [], 10.0)
+        with pytest.raises(ConfigurationError):
+            solve_characteristic_time([0.5], [1, 1], 10.0)
+        with pytest.raises(ConfigurationError):
+            solve_characteristic_time([-0.5, 1.5], [1, 1], 1.0)
+
+    def test_rates_need_not_be_normalized(self, zipf_catalog):
+        """Rates scale T_C reciprocally; hit rates are invariant."""
+        rates, sizes = zipf_catalog
+        capacity = 0.03 * sizes.sum()
+        unit = solve_characteristic_time(rates, sizes, capacity)
+        scaled = solve_characteristic_time(rates * 1000.0, sizes,
+                                           capacity)
+        assert scaled.characteristic_time == pytest.approx(
+            unit.characteristic_time / 1000.0, rel=1e-6)
+
+
+class TestCurve:
+    def test_matches_individual_solves(self, zipf_catalog):
+        rates, sizes = zipf_catalog
+        capacities = [0.4 * sizes.sum(), 0.01 * sizes.sum(),
+                      0.1 * sizes.sum()]
+        ladder = solve_curve(rates, sizes, capacities)
+        for capacity, result in zip(capacities, ladder):
+            single = solve_characteristic_time(rates, sizes, capacity)
+            assert result.capacity_bytes == capacity
+            assert result.characteristic_time == pytest.approx(
+                single.characteristic_time, rel=1e-6)
+
+    def test_input_order_preserved(self, zipf_catalog):
+        rates, sizes = zipf_catalog
+        capacities = [300.0, 100.0, 200.0]
+        ladder = solve_curve(rates, sizes, capacities)
+        assert [r.capacity_bytes for r in ladder] == capacities
+
+    def test_empty_rejected(self, zipf_catalog):
+        rates, sizes = zipf_catalog
+        with pytest.raises(ConfigurationError):
+            solve_curve(rates, sizes, [])
+
+
+class TestMetrics:
+    def test_solves_counted_when_enabled(self, zipf_catalog):
+        from repro.observability.metrics import (
+            disable_metrics,
+            enable_metrics,
+            get_registry,
+        )
+
+        rates, sizes = zipf_catalog
+        enable_metrics()
+        try:
+            solve_characteristic_time(rates, sizes, 0.01 * sizes.sum())
+            samples = get_registry().collect()
+            counts = [s for s in samples
+                      if s["name"] == "model_solves_total"
+                      and s["labels"] == {"policy": "lru"}]
+            assert counts and counts[0]["value"] >= 1
+        finally:
+            disable_metrics()

@@ -1,0 +1,177 @@
+"""Property-based tests for the Che solver, with exact IRM baselines.
+
+Three families of invariant:
+
+* per-document hit probabilities live in [0, 1] for every policy and
+  any positive rate/size vectors;
+* hit rates are monotone non-decreasing in capacity (occupancy is
+  strictly increasing in ``T_C``, so bigger caches never hurt);
+* on catalogs small enough to enumerate (≤ 10 documents, unit sizes),
+  the Che approximation lands near the *exact* stationary IRM hit
+  rate: the LRU stack distribution (King 1971) and the FIFO/RANDOM
+  product form (Gelenbe 1973).  The tolerances encode the measured
+  worst-case Che error on such tiny catalogs — the approximation is
+  asymptotic in catalog size, so these are its hardest instances.
+"""
+
+import itertools
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.model.solver import (
+    MODEL_POLICIES,
+    hit_probabilities,
+    solve_characteristic_time,
+    solve_curve,
+)
+
+#: Measured worst-case |Che − exact| on ≤10-document catalogs.  The
+#: reset-timer approximation is tight even here; the non-reset one
+#: degrades more (its product form couples documents strongly at tiny
+#: catalog sizes).
+EXACT_TOLERANCE = {"lru": 0.10, "fifo": 0.17, "random": 0.17}
+
+weight_vectors = st.lists(
+    st.floats(min_value=0.05, max_value=50.0,
+              allow_nan=False, allow_infinity=False),
+    min_size=2, max_size=10)
+
+size_vectors = st.lists(
+    st.floats(min_value=1.0, max_value=1e6,
+              allow_nan=False, allow_infinity=False),
+    min_size=2, max_size=10)
+
+
+def normalized(weights):
+    rates = np.asarray(weights, dtype=np.float64)
+    return rates / rates.sum()
+
+
+# ---------------------------------------------------------------------------
+# Exact stationary IRM hit rates for tiny catalogs (unit sizes).
+# ---------------------------------------------------------------------------
+
+def exact_lru_hit_rate(rates, capacity):
+    """Exact IRM LRU hit rate via the stack stationary distribution.
+
+    The LRU stack content (top to bottom) ``d_1..d_C`` has stationary
+    probability ``Π_j p_{d_j} / (1 − Σ_{k<j} p_{d_k})``; a request for
+    ``i`` hits iff ``i`` is somewhere in the stack.
+    """
+    n = len(rates)
+    capacity = min(capacity, n)
+    in_cache = np.zeros(n)
+    for stack in itertools.permutations(range(n), capacity):
+        probability = 1.0
+        mass_above = 0.0
+        for document in stack:
+            probability *= rates[document] / (1.0 - mass_above)
+            mass_above += rates[document]
+        for document in stack:
+            in_cache[document] += probability
+    return float((rates * in_cache).sum())
+
+
+def exact_fifo_hit_rate(rates, capacity):
+    """Exact IRM FIFO/RANDOM hit rate via the Gelenbe product form.
+
+    Both chains share the stationary content distribution
+    ``π(S) ∝ Π_{i∈S} p_i`` over size-``C`` document subsets, hence
+    identical hit rates.
+    """
+    n = len(rates)
+    capacity = min(capacity, n)
+    weights = {}
+    for subset in itertools.combinations(range(n), capacity):
+        weights[subset] = math.prod(rates[i] for i in subset)
+    total = sum(weights.values())
+    in_cache = np.zeros(n)
+    for subset, weight in weights.items():
+        for document in subset:
+            in_cache[document] += weight / total
+    return float((rates * in_cache).sum())
+
+
+def che_hit_rate(rates, capacity, policy):
+    """Steady-state Che hit rate on a unit-size catalog."""
+    solved = solve_characteristic_time(
+        rates, np.ones_like(rates), float(capacity), policy=policy)
+    probs = hit_probabilities(rates, solved.characteristic_time, policy)
+    return float((rates * probs).sum())
+
+
+# ---------------------------------------------------------------------------
+# Properties.
+# ---------------------------------------------------------------------------
+
+@settings(max_examples=40, deadline=None)
+@given(weights=weight_vectors, sizes=size_vectors,
+       fraction=st.floats(min_value=0.01, max_value=1.5))
+def test_hit_probabilities_in_unit_interval(weights, sizes, fraction):
+    n = min(len(weights), len(sizes))
+    rates = normalized(weights[:n])
+    size_array = np.asarray(sizes[:n])
+    capacity = max(fraction * size_array.sum(), 1e-9)
+    for policy in MODEL_POLICIES:
+        solved = solve_characteristic_time(rates, size_array, capacity,
+                                           policy=policy)
+        probs = hit_probabilities(rates, solved.characteristic_time,
+                                  policy)
+        assert np.all(probs >= 0.0)
+        assert np.all(probs <= 1.0)
+
+
+@settings(max_examples=40, deadline=None)
+@given(weights=weight_vectors, sizes=size_vectors)
+def test_hit_rate_monotone_in_capacity(weights, sizes):
+    n = min(len(weights), len(sizes))
+    rates = normalized(weights[:n])
+    size_array = np.asarray(sizes[:n])
+    total = size_array.sum()
+    capacities = [total * f for f in (0.01, 0.05, 0.2, 0.5, 0.9, 1.1)]
+    for policy in MODEL_POLICIES:
+        ladder = solve_curve(rates, size_array, capacities,
+                             policy=policy)
+        hit_rates = [
+            float((rates * hit_probabilities(
+                rates, solved.characteristic_time, policy)).sum())
+            for solved in ladder]
+        for smaller, larger in zip(hit_rates, hit_rates[1:]):
+            assert larger >= smaller - 1e-9
+
+
+@settings(max_examples=30, deadline=None)
+@given(weights=weight_vectors,
+       capacity=st.integers(min_value=1, max_value=9))
+def test_lru_matches_exact_enumeration(weights, capacity):
+    rates = normalized(weights)
+    if capacity >= len(rates):
+        return  # whole catalog fits: both sides are exactly 1
+    exact = exact_lru_hit_rate(rates, capacity)
+    approx = che_hit_rate(rates, capacity, "lru")
+    assert abs(approx - exact) <= EXACT_TOLERANCE["lru"]
+
+
+@settings(max_examples=30, deadline=None)
+@given(weights=weight_vectors,
+       capacity=st.integers(min_value=1, max_value=9))
+def test_fifo_matches_exact_enumeration(weights, capacity):
+    rates = normalized(weights)
+    if capacity >= len(rates):
+        return
+    exact = exact_fifo_hit_rate(rates, capacity)
+    for policy in ("fifo", "random"):
+        approx = che_hit_rate(rates, capacity, policy)
+        assert abs(approx - exact) <= EXACT_TOLERANCE[policy]
+
+
+def test_exact_baselines_agree_on_uniform_rates():
+    """Sanity-pin the enumerators themselves: uniform p, C of n docs
+    → stationary occupancy C/n for every policy family."""
+    rates = np.full(6, 1.0 / 6.0)
+    assert exact_lru_hit_rate(rates, 3) == pytest.approx(0.5)
+    assert exact_fifo_hit_rate(rates, 3) == pytest.approx(0.5)

@@ -1,0 +1,102 @@
+"""Tests for the model-vs-simulation validation harness.
+
+Includes the acceptance pin for this subsystem: on a synthetic
+IRM-leaning workload the Che LRU curve stays within 2 percentage
+points MAE of the shared-pass simulator across the paper's 4-capacity
+grid.
+"""
+
+import json
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.model.validation import validate_model
+from repro.simulation.sweep import PAPER_SIZE_FRACTIONS
+
+
+@pytest.fixture(scope="module")
+def report(irm_trace):
+    return validate_model(irm_trace, policies=("lru", "fifo"))
+
+
+class TestValidate:
+    def test_grid_shape(self, report):
+        assert len(report.cells) == 2 * len(PAPER_SIZE_FRACTIONS)
+        assert report.policies == ["lru", "fifo"]
+        ladder = [c.capacity_bytes for c in report.cells
+                  if c.policy == "lru"]
+        assert ladder == sorted(ladder)
+
+    def test_lru_mae_within_two_points(self, report):
+        """The ISSUE acceptance criterion, enforced in-tree."""
+        assert report.policy_mean_absolute_error("lru") <= 0.02
+
+    def test_all_policies_mae_within_tolerance(self, report):
+        # The non-reset family is slightly looser but still close on
+        # an IRM trace.
+        assert report.mean_absolute_error <= 0.03
+        assert report.max_absolute_error <= 0.05
+
+    def test_per_type_errors_recorded(self, report):
+        cell = report.cells[0]
+        assert cell.per_type
+        for entry in cell.per_type.values():
+            assert entry["hit_rate_error"] == pytest.approx(
+                abs(entry["predicted_hit_rate"]
+                    - entry["simulated_hit_rate"]))
+
+    def test_byte_hit_rates_tracked(self, report):
+        assert 0.0 <= report.byte_mean_absolute_error <= 0.1
+
+    def test_unknown_policy_rejected(self, irm_trace):
+        with pytest.raises(ConfigurationError):
+            validate_model(irm_trace, policies=("gd*(1)",))
+
+    def test_no_policies_rejected(self, irm_trace):
+        with pytest.raises(ConfigurationError):
+            validate_model(irm_trace, policies=())
+
+    def test_unlisted_policy_mae_rejected(self, report):
+        with pytest.raises(ConfigurationError):
+            report.policy_mean_absolute_error("random")
+
+
+class TestReportSerialization:
+    def test_as_dict(self, report):
+        payload = report.as_dict()
+        assert payload["cells"]
+        assert payload["per_policy_mean_absolute_error"].keys() == \
+            {"lru", "fifo"}
+        assert payload["mean_absolute_error"] == \
+            report.mean_absolute_error
+
+    def test_save_roundtrip(self, report, tmp_path):
+        path = report.save(tmp_path / "report.json")
+        loaded = json.loads(path.read_text())
+        assert loaded == report.as_dict()
+
+    def test_text_table(self, report):
+        text = report.text()
+        assert "hit-rate MAE" in text
+        assert "lru" in text
+        # One row per cell plus headers/footers.
+        assert len(text.splitlines()) >= len(report.cells) + 3
+
+    def test_empty_report_aggregates(self):
+        from repro.model.validation import ValidationReport
+
+        empty = ValidationReport(trace_name="x", total_requests=0,
+                                 warmup_fraction=0.0)
+        assert empty.mean_absolute_error == 0.0
+        assert empty.max_absolute_error == 0.0
+
+
+class TestWarmup:
+    def test_warmup_applies_to_both_stacks(self, irm_trace):
+        report = validate_model(irm_trace, policies=("lru",),
+                                fractions=(0.01,),
+                                warmup_fraction=0.3)
+        assert report.warmup_fraction == 0.3
+        # The warmup generalization stays honest too.
+        assert report.mean_absolute_error <= 0.04

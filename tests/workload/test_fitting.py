@@ -103,3 +103,63 @@ class TestTwinFidelity:
         half = fitted.scaled(0.5)
         twin = generate_trace(half)
         assert len(twin) == pytest.approx(fitted.n_requests / 2, rel=0.01)
+
+
+class TestFitDiagnostics:
+    """Satellite of the analytical-model work: every fit carries its
+    provenance so model calibration can warn on unreliable types."""
+
+    def test_diagnostics_attached_and_complete(self, fitted):
+        diagnostics = fitted.fit_diagnostics
+        assert diagnostics is not None
+        assert set(diagnostics.by_type) == set(DOCUMENT_TYPES)
+
+    def test_rich_type_fits_cleanly(self, fitted, dfn_trace):
+        entry = fitted.fit_diagnostics.by_type[DocumentType.IMAGE]
+        assert entry.n_requests == sum(
+            1 for r in dfn_trace if r.doc_type is DocumentType.IMAGE)
+        assert entry.alpha_method in ("mle", "regression")
+        assert entry.beta_method == "estimated"
+        assert entry.problems() == []
+
+    def test_absent_type_flagged(self, dfn_trace):
+        subset = Trace([r for r in dfn_trace
+                        if r.doc_type is not DocumentType.MULTIMEDIA])
+        entry = fit_profile(subset).fit_diagnostics.by_type[
+            DocumentType.MULTIMEDIA]
+        assert entry.n_requests == 0
+        assert entry.problems() == [
+            "type absent from trace (defaults used)"]
+
+    def test_problems_map_omits_clean_types(self, dfn_trace):
+        subset = Trace([r for r in dfn_trace
+                        if r.doc_type is not DocumentType.MULTIMEDIA])
+        diagnostics = fit_profile(subset).fit_diagnostics
+        problems = diagnostics.problems()
+        assert DocumentType.IMAGE not in problems
+        assert DocumentType.MULTIMEDIA in problems
+        assert not diagnostics.clean
+
+    def test_thin_type_flagged(self):
+        """A tiny trace trips the thin-sample warning."""
+        from repro.workload.profiles import dfn_like
+
+        trace = generate_trace(dfn_like(scale=1.0 / 4096))
+        diagnostics = fit_profile(trace).fit_diagnostics
+        thin = [t for t, entry in diagnostics.by_type.items()
+                if entry.n_requests
+                and any("thin sample" in p for p in entry.problems())]
+        assert thin  # multimedia at least
+
+    def test_scaling_preserves_diagnostics(self, fitted):
+        assert fitted.scaled(0.5).fit_diagnostics is \
+            fitted.fit_diagnostics
+
+    def test_as_dict_serializes(self, fitted):
+        import json
+
+        payload = fitted.fit_diagnostics.as_dict()
+        json.dumps(payload)  # JSON-safe
+        assert payload["image"]["problems"] == []
+        assert payload["image"]["alpha_method"] in ("mle",
+                                                    "regression")
