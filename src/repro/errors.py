@@ -75,3 +75,30 @@ class CheckpointError(ReproError):
 
 class ExperimentError(ReproError):
     """An experiment id is unknown or an experiment configuration is bad."""
+
+
+class LeaseError(ReproError):
+    """A work lease could not be acquired, renewed, or released."""
+
+
+class LeaseLostError(LeaseError):
+    """The lease was taken over by another owner (it went stale and was
+    reclaimed, or the lease file was removed underneath us).
+
+    The holder must stop assuming exclusive ownership of the work unit;
+    results already computed stay valid because trials are deterministic
+    and the results store deduplicates by key.
+    """
+
+
+class StoreError(ReproError):
+    """The durable results store hit an unrecoverable I/O problem.
+
+    Corrupt *records* never raise this — they are quarantined during a
+    scan; this covers failures writing the store itself.
+    """
+
+
+class ServiceError(ReproError):
+    """The experiment service was misconfigured or failed to make
+    progress (e.g. a chaos run timed out waiting for its workers)."""

@@ -14,6 +14,18 @@ or programmatically::
 Experiment ids: ``table1`` … ``table5``, ``fig1``, ``fig2``, ``fig3``,
 ``rtp-const``, ``rtp-packet``, ``ablation-beta``, ``ablation-warmup``,
 ``ablation-modification``.  See DESIGN.md for the per-experiment index.
+
+For standing experiment programs — many seeded replicas per config,
+surviving worker crashes and machine restarts — use the durable
+service instead::
+
+    python -m repro.experiments service enqueue --scale tiny
+    python -m repro.experiments service work --workers 4
+    python -m repro.experiments service report
+
+(see :mod:`repro.experiments.service`, :mod:`repro.experiments.queue`,
+:mod:`repro.experiments.store`, and the chaos harness in
+:mod:`repro.experiments.chaos`).
 """
 
 from repro.experiments.config import (
@@ -21,6 +33,8 @@ from repro.experiments.config import (
     SCALES,
     ExperimentSettings,
 )
+from repro.experiments.queue import ClaimedTrial, QueueStatus, TrialQueue
+from repro.experiments.report import write_report
 from repro.experiments.runner import (
     ExperimentReport,
     SuiteFailure,
@@ -28,7 +42,18 @@ from repro.experiments.runner import (
     run_experiment,
     run_suite,
 )
-from repro.experiments.report import write_report
+from repro.experiments.service import (
+    ServiceReport,
+    TrialSpec,
+    build_report,
+    enqueue_grid,
+    execute_trial,
+    open_service,
+    run_service,
+    service_status,
+    work,
+)
+from repro.experiments.store import ResultKey, ResultsStore, git_revision
 
 __all__ = [
     "EXPERIMENT_IDS",
@@ -40,4 +65,20 @@ __all__ = [
     "run_experiment",
     "run_suite",
     "write_report",
+    # durable experiment service
+    "TrialQueue",
+    "ClaimedTrial",
+    "QueueStatus",
+    "ResultsStore",
+    "ResultKey",
+    "git_revision",
+    "TrialSpec",
+    "ServiceReport",
+    "open_service",
+    "enqueue_grid",
+    "execute_trial",
+    "work",
+    "run_service",
+    "service_status",
+    "build_report",
 ]

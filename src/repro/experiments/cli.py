@@ -46,7 +46,9 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "experiment", choices=list(EXPERIMENT_IDS) + ["all"],
         help="experiment id, or 'all' ('model' dispatches to the "
-             "analytical-model subcommand: predict/curve/validate)")
+             "analytical-model subcommand: predict/curve/validate; "
+             "'service' to the durable experiment service: "
+             "enqueue/work/status/report/compact/chaos)")
     parser.add_argument(
         "--scale", choices=list(SCALES), default="small",
         help="workload scale (default: small)")
@@ -121,6 +123,11 @@ def main(argv: Optional[List[str]] = None) -> int:
         # dispatch before the experiment parser rejects them.
         from repro.model.cli import main as model_main
         return model_main(argv[1:])
+    if argv and argv[0] == "service":
+        # Durable experiment service verbs (enqueue/work/status/
+        # report/compact/chaos); same early-dispatch pattern.
+        from repro.experiments.service import main as service_main
+        return service_main(argv[1:])
     args = build_parser().parse_args(argv)
     configure(level=args.log_level, json_lines=args.log_json)
     if args.markdown and not args.outdir:

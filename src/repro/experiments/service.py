@@ -1,0 +1,604 @@
+"""The durable experiment service: enqueue / work / status / report.
+
+A *trial* is one seeded simulation cell — (trace profile, scale,
+policy, cache-size fraction, seed).  The service splits a standing
+experiment program into three crash-isolated pieces:
+
+* a :class:`~repro.experiments.queue.TrialQueue` of pending trials,
+  claimed through leases so any number of workers on any number of
+  machines can pull from the same directory, and a SIGKILL'd worker's
+  trial is reclaimed automatically when its lease goes stale;
+* a :class:`~repro.experiments.store.ResultsStore` of finished
+  measurements, append-only and CRC-verified, keyed by
+  ``(config_hash, git_hash, seed)`` so re-executions deduplicate and
+  results from different code revisions never silently mix;
+* a pure reporting layer (:func:`build_report`) that recomputes the
+  repeated-trial statistics — per-policy mean and confidence interval,
+  pairwise Mann-Whitney U and A12 effect size, significance-aware
+  ranks — from the store alone, so the report is reproducible from the
+  surviving bytes with no queue state at all.
+
+The worker loop commits in a fixed order — execute, append to the
+store (fsync'd), then write the done marker — so every crash window
+is safe: dying before the append re-runs the trial; dying between
+append and marker re-claims the trial and skips straight to the
+marker because the store already has the record; dying after the
+marker is a completed trial.  ``python -m repro.experiments service``
+exposes the verbs; :func:`repro.experiments.chaos.run_chaos` proves
+the guarantees by killing workers mid-trial and corrupting the store
+on purpose.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from dataclasses import asdict, dataclass
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.errors import ServiceError
+from repro.experiments.config import SCALES
+from repro.experiments.queue import ClaimedTrial, TrialQueue
+from repro.experiments.stats import compare, rank_policies, summarize
+from repro.experiments.store import (
+    ResultKey,
+    ResultsStore,
+    canonical_json,
+    git_revision,
+)
+from repro.observability import events as _events
+from repro.observability.logs import configure as configure_logs
+from repro.observability.logs import get_logger
+from repro.resilience.checkpoint import config_hash
+from repro.resilience.faults import FaultInjector
+from repro.resilience.lease import Heartbeat
+from repro.types import Trace
+
+PathLike = Union[str, Path]
+
+_logger = get_logger("experiments.service")
+
+#: Trace profiles the service knows how to realize.
+TRACE_PROFILES = ("dfn", "rtp")
+
+#: Subdirectory names inside a service root.
+QUEUE_DIRNAME = "queue"
+STORE_DIRNAME = "store"
+
+
+@dataclass(frozen=True)
+class TrialSpec:
+    """One seeded simulation cell, the service's unit of work."""
+
+    trace: str
+    scale: float
+    policy: str
+    size_fraction: float
+    seed: int
+
+    def __post_init__(self):
+        if self.trace not in TRACE_PROFILES:
+            raise ServiceError(
+                f"unknown trace profile {self.trace!r}; known: "
+                + ", ".join(TRACE_PROFILES))
+        if not 0 < self.size_fraction <= 1:
+            raise ServiceError("size_fraction must be in (0, 1]")
+        if self.scale <= 0:
+            raise ServiceError("scale must be positive")
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "TrialSpec":
+        try:
+            return cls(trace=str(data["trace"]),
+                       scale=float(data["scale"]),
+                       policy=str(data["policy"]),
+                       size_fraction=float(data["size_fraction"]),
+                       seed=int(data["seed"]))
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ServiceError(f"malformed trial spec: {exc}") from exc
+
+    def as_dict(self) -> dict:
+        return asdict(self)
+
+    def config_key(self) -> str:
+        """Hash of everything *except* the seed: replicas of one
+        configuration share this, which is what groups them into a
+        sample for the statistics layer."""
+        config = self.as_dict()
+        del config["seed"]
+        return config_hash(config)
+
+    def result_key(self, git_hash: Optional[str] = None) -> ResultKey:
+        return ResultKey(config_hash=self.config_key(),
+                         git_hash=git_hash or git_revision(),
+                         seed=self.seed)
+
+
+class _WorkerTraceCache:
+    """Per-process memo of generated traces, keyed like the suite
+    runner's cache: one (profile, scale, seed) trace serves every
+    policy × fraction trial that shares it."""
+
+    def __init__(self):
+        self._traces: Dict[tuple, Trace] = {}
+
+    def get(self, trace: str, scale: float, seed: int) -> Trace:
+        from repro.workload.generator import generate_trace
+        from repro.workload.profiles import dfn_like, rtp_like
+
+        key = (trace, scale, seed)
+        if key not in self._traces:
+            factory = dfn_like if trace == "dfn" else rtp_like
+            profile = factory(scale=scale, seed=seed)
+            self._traces[key] = generate_trace(profile)
+        return self._traces[key]
+
+
+_TRACES = _WorkerTraceCache()
+
+
+def execute_trial(spec: TrialSpec) -> dict:
+    """Run one trial; returns a deterministic, timestamp-free payload.
+
+    The payload is a pure function of the spec (generation and
+    simulation are seeded), which is what makes the store's
+    bit-identical compaction guarantee possible: any two executions of
+    the same spec on the same code produce the same bytes.
+    """
+    from repro.simulation.simulator import CacheSimulator, SimulationConfig
+    from repro.simulation.sweep import cache_sizes_from_fractions
+
+    trace = _TRACES.get(spec.trace, spec.scale, spec.seed)
+    capacity = cache_sizes_from_fractions(
+        trace, [spec.size_fraction])[0]
+    config = SimulationConfig(capacity_bytes=capacity,
+                              policy=spec.policy)
+    result = CacheSimulator(config).run(trace)
+    return {
+        "spec": spec.as_dict(),
+        "capacity_bytes": capacity,
+        "hit_rate": result.hit_rate(),
+        "byte_hit_rate": result.byte_hit_rate(),
+    }
+
+
+# --------------------------------------------------------------------------
+# Service root helpers
+# --------------------------------------------------------------------------
+
+def open_service(root: PathLike, owner: Optional[str] = None,
+                 lease_ttl: float = 30.0,
+                 max_attempts: int = 3
+                 ) -> Tuple[TrialQueue, ResultsStore]:
+    """Open (creating if needed) the queue + store under one root."""
+    root = Path(root)
+    queue = TrialQueue(root / QUEUE_DIRNAME, owner=owner,
+                       lease_ttl=lease_ttl, max_attempts=max_attempts)
+    store = ResultsStore(root / STORE_DIRNAME)
+    return queue, store
+
+
+def enqueue_grid(queue: TrialQueue, *, traces: Sequence[str],
+                 scale: float, policies: Sequence[str],
+                 size_fractions: Sequence[float],
+                 seeds: Sequence[int]) -> List[str]:
+    """Enqueue the full cross product; idempotent, returns trial ids."""
+    ids = []
+    for trace in traces:
+        for policy in policies:
+            for fraction in size_fractions:
+                for seed in seeds:
+                    spec = TrialSpec(trace=trace, scale=scale,
+                                     policy=policy,
+                                     size_fraction=fraction, seed=seed)
+                    trial_id, _ = queue.enqueue(spec.as_dict())
+                    ids.append(trial_id)
+    return ids
+
+
+# --------------------------------------------------------------------------
+# The worker loop
+# --------------------------------------------------------------------------
+
+def work(queue: TrialQueue, store: ResultsStore, *,
+         max_trials: Optional[int] = None,
+         fault_injector: Optional[FaultInjector] = None,
+         git_hash: Optional[str] = None,
+         poll_seconds: float = 0.1,
+         idle_timeout: Optional[float] = None) -> int:
+    """Pull and execute trials until the queue is fully resolved.
+
+    Commit order per trial (the crash-safety contract):
+
+    1. claim (lease acquired, heartbeat starts renewing it);
+    2. if the store already holds this trial's record — a predecessor
+       died between its append and its done marker — skip straight to
+       the marker;
+    3. execute;
+    4. append the result to the store (fsync'd before returning);
+    5. write the done marker and release the lease.
+
+    A worker killed at any point loses at most the CPU it burned: the
+    lease goes stale, the trial is reclaimed, and the store's
+    first-wins dedup absorbs any double append.  ``fault_injector``
+    hooks fire at the trial id before execution and at
+    ``"<trial_id>#commit"`` between append and marker, so chaos tests
+    can target every window deterministically.
+
+    A worker with nothing claimable does not necessarily exit: trials
+    leased to *other* live workers may yet come back (their holder can
+    die), so it polls until every trial is done or failed — which is
+    what lets a fleet of workers outlive any one member.  Pass
+    ``idle_timeout`` to bound the wait (seconds with nothing claimed).
+
+    Returns the number of trials this call completed.
+    """
+    git_hash = git_hash or git_revision()
+    _events.emit("service_worker_started", owner=queue.owner)
+    _logger.info("worker %s started", queue.owner,
+                 extra={"owner": queue.owner})
+    # One scan up front, then tracked incrementally: rescanning the
+    # whole store per trial would be quadratic, and a miss is harmless
+    # anyway (a double execution deduplicates at compaction).
+    known_keys = set(store.records())
+    executed = 0
+    idle_since: Optional[float] = None
+    while max_trials is None or executed < max_trials:
+        claimed = queue.claim()
+        if claimed is None:
+            status = queue.status()
+            if status.drained:
+                break
+            # Something is still leased out (or went stale between our
+            # claim and this census): wait for it to resolve.
+            now = time.monotonic()
+            idle_since = idle_since if idle_since is not None else now
+            if idle_timeout is not None \
+                    and now - idle_since > idle_timeout:
+                break
+            time.sleep(poll_seconds)
+            continue
+        idle_since = None
+        done = _run_claimed(queue, store, claimed,
+                            fault_injector=fault_injector,
+                            git_hash=git_hash, known_keys=known_keys)
+        if done:
+            executed += 1
+    _events.emit("service_worker_exited", owner=queue.owner,
+                 executed=executed)
+    _logger.info("worker %s exited after %d trial(s)", queue.owner,
+                 executed, extra={"owner": queue.owner,
+                                  "executed": executed})
+    return executed
+
+
+def _run_claimed(queue: TrialQueue, store: ResultsStore,
+                 claimed: ClaimedTrial, *,
+                 fault_injector: Optional[FaultInjector],
+                 git_hash: str,
+                 known_keys: Optional[set] = None) -> bool:
+    try:
+        spec = TrialSpec.from_dict(claimed.spec)
+    except ServiceError as exc:
+        # A structurally valid JSON file holding a semantically bad
+        # spec: executing it will never work, so burn its attempts.
+        queue.release(claimed, f"invalid spec: {exc}")
+        return False
+    key = spec.result_key(git_hash)
+    known_keys = known_keys if known_keys is not None \
+        else set(store.records())
+    started = time.monotonic()
+    with Heartbeat(queue.leases, claimed.lease) as heartbeat:
+        if key in known_keys:
+            # A predecessor stored the record but died before its
+            # done marker; finishing the marker is all that's left.
+            queue.complete(claimed, key)
+            return True
+        try:
+            if fault_injector is not None:
+                fault_injector.on_start(claimed.trial_id,
+                                        claimed.attempt)
+            payload = execute_trial(spec)
+        except Exception as exc:  # noqa: BLE001 - released, not lost
+            queue.release(
+                claimed, f"execution error: {type(exc).__name__}")
+            return False
+        if fault_injector is not None:
+            payload = fault_injector.on_result(
+                claimed.trial_id, claimed.attempt, payload)
+        store.append(key.config_hash, key.git_hash, key.seed, payload)
+        known_keys.add(key)
+        if fault_injector is not None:
+            # The append-to-marker window, targetable by chaos tests.
+            fault_injector.on_start(f"{claimed.trial_id}#commit",
+                                    claimed.attempt)
+        if heartbeat.lost:
+            # The lease was reclaimed mid-trial (e.g. the worker hung
+            # past the TTL): the new owner is responsible for the
+            # marker; our append deduplicates harmlessly.
+            return False
+    queue.complete(claimed, key,
+                   duration_seconds=time.monotonic() - started)
+    return True
+
+
+# --------------------------------------------------------------------------
+# Status + report
+# --------------------------------------------------------------------------
+
+def service_status(root: PathLike) -> dict:
+    queue, store = open_service(root)
+    records = store.records()
+    status = queue.status()
+    return {
+        "queue": status.as_dict(),
+        "store": {
+            "records": len(records),
+            "quarantined": len(store.quarantined()),
+            "git_hashes": sorted({key.git_hash for key in records}),
+        },
+    }
+
+
+@dataclass
+class ServiceReport:
+    """Rendered significance report plus its machine-readable data."""
+
+    text: str
+    data: dict
+
+
+def build_report(store: ResultsStore, alpha: float = 0.05,
+                 metric: str = "hit_rate") -> ServiceReport:
+    """Repeated-trial statistics, recomputed from the store alone.
+
+    Records are grouped by experimental condition — (trace, scale,
+    size_fraction, git_hash) — and within each condition the per-seed
+    replicas of every policy form one sample.  Each group gets:
+
+    * per-policy n / mean / 95% CI, with ranks that *share* a place
+      when the adjacent pairwise difference is not significant at
+      ``alpha`` (the report refuses to rank what the evidence cannot
+      separate);
+    * every pairwise Mann-Whitney U p-value with the Vargha-Delaney
+      A12 effect size and its conventional magnitude label.
+    """
+    if metric not in ("hit_rate", "byte_hit_rate"):
+        raise ServiceError(
+            "metric must be 'hit_rate' or 'byte_hit_rate', "
+            f"got {metric!r}")
+    groups: Dict[tuple, Dict[str, Dict[int, float]]] = {}
+    for key, record in sorted(store.records().items()):
+        payload = record["payload"]
+        spec = payload.get("spec") or {}
+        value = payload.get(metric)
+        if value is None or "policy" not in spec:
+            continue  # foreign record (not written by the service)
+        group = (spec.get("trace"), spec.get("scale"),
+                 spec.get("size_fraction"), key.git_hash)
+        samples = groups.setdefault(group, {})
+        # keyed by seed: a duplicate append never double-counts
+        samples.setdefault(spec["policy"], {})[key.seed] = value
+
+    lines: List[str] = []
+    data: dict = {"metric": metric, "alpha": alpha, "groups": []}
+    for group, by_policy in sorted(groups.items(),
+                                   key=lambda item: str(item[0])):
+        trace, scale, fraction, git_hash = group
+        samples = {policy: [value for _, value in sorted(seeds.items())]
+                   for policy, seeds in by_policy.items()}
+        ranking = rank_policies(samples, alpha=alpha)
+        comparisons = [compare(a, samples[a], b, samples[b],
+                               alpha=alpha)
+                       for i, a in enumerate(sorted(samples))
+                       for b in sorted(samples)[i + 1:]]
+        lines.append(f"== trace={trace} scale={scale:g} "
+                     f"cache={fraction:.1%} git={git_hash} ==")
+        lines.append(f"{'rank':>4}  {'policy':<14} {'n':>3} "
+                     f"{'mean':>8} {'95% CI':>19}")
+        for row in ranking:
+            summary = row["summary"]
+            marker = "" if row["separated"] else "="
+            lines.append(
+                f"{marker:>1}{row['rank']:>3}  {row['name']:<14} "
+                f"{summary['n']:>3} {summary['mean']:>8.4f} "
+                f"[{summary['ci_low']:.4f}, {summary['ci_high']:.4f}]")
+        lines.append("(= : not significantly different from the row "
+                     "above; ranks are shared)")
+        lines.append(f"{'pair':<30} {'p':>8} {'A12':>6} "
+                     f"{'magnitude':<10} {'significant':<11}")
+        for comparison in comparisons:
+            lines.append(
+                f"{comparison.a + ' vs ' + comparison.b:<30} "
+                f"{comparison.p_value:>8.4f} {comparison.a12:>6.3f} "
+                f"{comparison.magnitude:<10} "
+                f"{str(comparison.significant):<11}")
+        lines.append("")
+        data["groups"].append({
+            "trace": trace, "scale": scale, "size_fraction": fraction,
+            "git_hash": git_hash,
+            "ranking": ranking,
+            "comparisons": [c.as_dict() for c in comparisons],
+        })
+    if not lines:
+        lines.append("(store holds no service records)")
+    return ServiceReport(text="\n".join(lines).rstrip(), data=data)
+
+
+# --------------------------------------------------------------------------
+# Multi-worker runs
+# --------------------------------------------------------------------------
+
+def _worker_entry(root: str, lease_ttl: float, max_attempts: int,
+                  fault_injector: Optional[FaultInjector]) -> None:
+    """Module-level child-process entry (must be picklable/forkable).
+
+    Children drop the inherited event sink — the parent owns the
+    telemetry stream — and exit 0 even when the queue was empty.
+    """
+    _events.set_event_sink(None)
+    queue, store = open_service(root, lease_ttl=lease_ttl,
+                                max_attempts=max_attempts)
+    work(queue, store, fault_injector=fault_injector)
+
+
+def run_service(root: PathLike, n_workers: int = 2, *,
+                lease_ttl: float = 30.0, max_attempts: int = 3,
+                max_restarts: int = 2,
+                fault_injector: Optional[FaultInjector] = None) -> dict:
+    """Drain the queue with supervised worker processes.
+
+    Workers are spawned through
+    :func:`repro.simulation.parallel.supervise_workers`: one that dies
+    abnormally (SIGKILL, injected crash) is restarted up to
+    ``max_restarts`` times — its half-done trial comes back anyway via
+    lease reclamation, the supervisor just keeps the worker count up.
+    After the workers exit, stale leases are reconciled against the
+    store so the caller sees an honest status.
+    """
+    from repro.simulation.parallel import supervise_workers
+
+    outcome = supervise_workers(
+        _worker_entry,
+        args=(str(root), lease_ttl, max_attempts, fault_injector),
+        n_workers=n_workers, max_restarts=max_restarts)
+    queue, store = open_service(root, lease_ttl=lease_ttl,
+                                max_attempts=max_attempts)
+    reopened = queue.reconcile(store)
+    return {"workers": outcome, "reopened": reopened,
+            "status": queue.status().as_dict()}
+
+
+# --------------------------------------------------------------------------
+# CLI: python -m repro.experiments service <verb>
+# --------------------------------------------------------------------------
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments service",
+        description="Durable experiment service: a crash-safe results "
+                    "store fed by a lease-based trial queue.")
+    parser.add_argument("--root", default="service/",
+                        help="service root directory (default: "
+                             "service/)")
+    parser.add_argument("--log-level", default="info",
+                        help="diagnostic verbosity on stderr")
+    sub = parser.add_subparsers(dest="verb", required=True)
+
+    enq = sub.add_parser("enqueue",
+                         help="add a (trace x policy x size x seed) "
+                              "grid of trials; idempotent")
+    enq.add_argument("--traces", nargs="+", default=["dfn"],
+                     choices=list(TRACE_PROFILES))
+    enq.add_argument("--scale", choices=list(SCALES), default="tiny")
+    enq.add_argument("--policies", nargs="+",
+                     default=["lru", "gds(1)", "gd*(1)"])
+    enq.add_argument("--size-fractions", nargs="+", type=float,
+                     default=[0.01])
+    enq.add_argument("--seeds", nargs="+", type=int,
+                     default=[42, 1042, 2042])
+
+    wrk = sub.add_parser("work",
+                         help="run trials until the queue drains")
+    wrk.add_argument("--workers", type=int, default=1,
+                     help="worker processes (1 = run in-process)")
+    wrk.add_argument("--lease-ttl", type=float, default=30.0,
+                     help="seconds before an unrenewed lease is "
+                          "considered stale and reclaimed")
+    wrk.add_argument("--max-trials", type=int, default=None,
+                     help="stop after this many trials (in-process "
+                          "mode only)")
+    wrk.add_argument("--max-attempts", type=int, default=3,
+                     help="claims per trial before it is abandoned")
+
+    sub.add_parser("status", help="queue + store census")
+
+    rep = sub.add_parser("report",
+                         help="significance report from the store "
+                              "alone")
+    rep.add_argument("--metric", choices=("hit_rate", "byte_hit_rate"),
+                     default="hit_rate")
+    rep.add_argument("--alpha", type=float, default=0.05)
+
+    sub.add_parser("compact",
+                   help="merge store segments into one sorted, "
+                        "deduplicated base file")
+
+    cha = sub.add_parser("chaos",
+                         help="prove the guarantees: SIGKILL workers "
+                              "mid-trial, corrupt the store, resume, "
+                              "compare against an uninterrupted run")
+    cha.add_argument("--kills", type=int, default=2)
+    cha.add_argument("--corrupt", action="store_true",
+                     help="also bit-flip a store segment between "
+                          "kills")
+    cha.add_argument("--scale", choices=list(SCALES), default="tiny")
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    args = build_parser().parse_args(argv)
+    configure_logs(level=args.log_level)
+    root = Path(args.root)
+
+    if args.verb == "enqueue":
+        queue, _ = open_service(root)
+        ids = enqueue_grid(
+            queue, traces=args.traces, scale=SCALES[args.scale],
+            policies=args.policies,
+            size_fractions=args.size_fractions, seeds=args.seeds)
+        print(f"enqueued {len(ids)} trial(s); "
+              f"{queue.status().pending} pending")
+        return 0
+
+    if args.verb == "work":
+        if args.workers > 1:
+            outcome = run_service(root, n_workers=args.workers,
+                                  lease_ttl=args.lease_ttl,
+                                  max_attempts=args.max_attempts)
+            print(canonical_json(outcome["status"]))
+            return 0
+        queue, store = open_service(root, lease_ttl=args.lease_ttl,
+                                    max_attempts=args.max_attempts)
+        executed = work(queue, store, max_trials=args.max_trials)
+        queue.reconcile(store)
+        print(f"executed {executed} trial(s); "
+              f"{canonical_json(queue.status().as_dict())}")
+        return 0
+
+    if args.verb == "status":
+        print(canonical_json(service_status(root)))
+        return 0
+
+    if args.verb == "report":
+        _, store = open_service(root)
+        report = build_report(store, alpha=args.alpha,
+                              metric=args.metric)
+        print(report.text)
+        return 0
+
+    if args.verb == "compact":
+        _, store = open_service(root)
+        stats = store.compact()
+        print(f"compacted: {stats.records} record(s) from "
+              f"{stats.segments_merged} segment(s); "
+              f"{stats.quarantined} quarantined, "
+              f"{stats.duplicates_dropped} duplicate(s) dropped")
+        return 0
+
+    if args.verb == "chaos":
+        from repro.experiments.chaos import run_chaos
+        report = run_chaos(root, kills=args.kills,
+                           corrupt=args.corrupt,
+                           scale=SCALES[args.scale])
+        print(report.render())
+        return 0 if report.ok else 1
+
+    raise ServiceError(f"unknown verb {args.verb!r}")  # pragma: no cover
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

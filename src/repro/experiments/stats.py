@@ -1,0 +1,254 @@
+"""Repeated-trial statistics for experiment reports.
+
+The service runs every configuration N times under different seeds;
+this module turns those replicate samples into defensible claims:
+
+* :func:`summarize` — mean, standard deviation, and a t-based
+  confidence interval per sample;
+* :func:`mann_whitney_u` — the Mann-Whitney U rank-sum test (exact
+  permutation distribution for small samples, normal approximation
+  with tie correction otherwise), the standard non-parametric test for
+  "does policy A beat policy B" when hit-ratio samples are not normal;
+* :func:`vargha_delaney_a12` — the A12 effect size (probability a
+  random A sample beats a random B sample), because with enough
+  replicas *everything* is significant and only effect size says
+  whether anyone should care;
+* :func:`rank_policies` — an ordering that **refuses to rank**
+  statistically indistinguishable neighbours apart: policies whose
+  pairwise difference is not significant at the chosen alpha share a
+  rank.
+
+Everything is hand-rolled on the standard library (matching
+:mod:`repro.analysis.confidence`) so the repo stays dependency-free.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from itertools import combinations
+from typing import Dict, List, Sequence, Tuple
+
+from repro.errors import AnalysisError
+
+#: Max C(n+m, n) for which the exact U permutation distribution is
+#: enumerated; beyond this the normal approximation takes over.
+_EXACT_COMBINATION_LIMIT = 20_000
+
+#: Two-sided critical t values at 95% by degrees of freedom (1..30);
+#: beyond 30 the normal 1.96 is close enough for reporting purposes.
+_T_95 = (
+    12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262,
+    2.228, 2.201, 2.179, 2.160, 2.145, 2.131, 2.120, 2.110, 2.101,
+    2.093, 2.086, 2.080, 2.074, 2.069, 2.064, 2.060, 2.056, 2.052,
+    2.048, 2.045, 2.042,
+)
+
+
+@dataclass(frozen=True)
+class SampleSummary:
+    """Descriptive statistics for one metric's replicate sample."""
+
+    n: int
+    mean: float
+    std: float
+    ci_low: float
+    ci_high: float
+
+    def as_dict(self) -> dict:
+        return {"n": self.n, "mean": self.mean, "std": self.std,
+                "ci_low": self.ci_low, "ci_high": self.ci_high}
+
+
+@dataclass(frozen=True)
+class Comparison:
+    """A pairwise significance + effect-size verdict."""
+
+    a: str
+    b: str
+    u_statistic: float
+    p_value: float
+    a12: float
+    significant: bool
+    magnitude: str  # negligible | small | medium | large
+
+    def as_dict(self) -> dict:
+        return {"a": self.a, "b": self.b,
+                "u_statistic": self.u_statistic,
+                "p_value": self.p_value, "a12": self.a12,
+                "significant": self.significant,
+                "magnitude": self.magnitude}
+
+
+def _critical_t95(dof: int) -> float:
+    if dof < 1:
+        raise AnalysisError("t interval needs >= 2 observations")
+    if dof <= len(_T_95):
+        return _T_95[dof - 1]
+    return 1.96
+
+
+def summarize(values: Sequence[float]) -> SampleSummary:
+    """Mean, sample std, and 95% t-interval for one replicate set."""
+    if not values:
+        raise AnalysisError("cannot summarize an empty sample")
+    n = len(values)
+    mean = sum(values) / n
+    if n == 1:
+        return SampleSummary(n=1, mean=mean, std=0.0,
+                             ci_low=mean, ci_high=mean)
+    variance = sum((v - mean) ** 2 for v in values) / (n - 1)
+    std = math.sqrt(variance)
+    half = _critical_t95(n - 1) * std / math.sqrt(n)
+    return SampleSummary(n=n, mean=mean, std=std,
+                         ci_low=mean - half, ci_high=mean + half)
+
+
+def _rank(pooled: Sequence[float]) -> List[float]:
+    """Midranks of a pooled sample (ties share their average rank)."""
+    order = sorted(range(len(pooled)), key=lambda i: pooled[i])
+    ranks = [0.0] * len(pooled)
+    i = 0
+    while i < len(order):
+        j = i
+        while (j + 1 < len(order)
+               and pooled[order[j + 1]] == pooled[order[i]]):
+            j += 1
+        midrank = (i + j) / 2 + 1  # ranks are 1-based
+        for k in range(i, j + 1):
+            ranks[order[k]] = midrank
+        i = j + 1
+    return ranks
+
+
+def _u_statistic(a: Sequence[float], b: Sequence[float]) -> float:
+    """U for sample ``a`` via the rank-sum identity."""
+    ranks = _rank(list(a) + list(b))
+    rank_sum_a = sum(ranks[: len(a)])
+    return rank_sum_a - len(a) * (len(a) + 1) / 2
+
+
+def _exact_p(a: Sequence[float], b: Sequence[float],
+             observed_u: float) -> float:
+    """Two-sided exact p: enumerate every assignment of the pooled
+    sample to group A and count Us at least as extreme as observed."""
+    pooled = list(a) + list(b)
+    n_a = len(a)
+    mu = n_a * len(b) / 2
+    observed_dev = abs(observed_u - mu)
+    total = extreme = 0
+    indices = range(len(pooled))
+    ranks = _rank(pooled)
+    for combo in combinations(indices, n_a):
+        rank_sum = sum(ranks[i] for i in combo)
+        u = rank_sum - n_a * (n_a + 1) / 2
+        total += 1
+        # small epsilon guards float midrank arithmetic
+        if abs(u - mu) >= observed_dev - 1e-12:
+            extreme += 1
+    return extreme / total
+
+
+def _normal_p(a: Sequence[float], b: Sequence[float],
+              observed_u: float) -> float:
+    """Two-sided normal-approximation p with tie correction and a
+    continuity correction of 0.5."""
+    n_a, n_b = len(a), len(b)
+    n = n_a + n_b
+    mu = n_a * n_b / 2
+    pooled = sorted(list(a) + list(b))
+    tie_term = 0.0
+    i = 0
+    while i < n:
+        j = i
+        while j + 1 < n and pooled[j + 1] == pooled[i]:
+            j += 1
+        t = j - i + 1
+        tie_term += t ** 3 - t
+        i = j + 1
+    variance = n_a * n_b / 12 * ((n + 1) - tie_term / (n * (n - 1)))
+    if variance <= 0:  # every pooled value identical
+        return 1.0
+    z = (abs(observed_u - mu) - 0.5) / math.sqrt(variance)
+    z = max(z, 0.0)
+    return math.erfc(z / math.sqrt(2))
+
+
+def mann_whitney_u(a: Sequence[float],
+                   b: Sequence[float]) -> Tuple[float, float]:
+    """Two-sided Mann-Whitney U test; returns ``(U_a, p_value)``.
+
+    Uses the exact permutation distribution whenever the pooled sample
+    is small enough to enumerate (the usual case for 5-30 replicate
+    runs), otherwise a tie-corrected normal approximation.
+    """
+    if not a or not b:
+        raise AnalysisError("Mann-Whitney needs two non-empty samples")
+    observed_u = _u_statistic(a, b)
+    if math.comb(len(a) + len(b), len(a)) <= _EXACT_COMBINATION_LIMIT:
+        p = _exact_p(a, b, observed_u)
+    else:
+        p = _normal_p(a, b, observed_u)
+    return observed_u, min(1.0, p)
+
+
+def vargha_delaney_a12(a: Sequence[float],
+                       b: Sequence[float]) -> float:
+    """P(random a > random b) + P(tie)/2; 0.5 means no effect."""
+    if not a or not b:
+        raise AnalysisError("A12 needs two non-empty samples")
+    u_a = _u_statistic(a, b)
+    return u_a / (len(a) * len(b))
+
+
+def a12_magnitude(a12: float) -> str:
+    """Conventional magnitude labels (Vargha & Delaney 2000)."""
+    deviation = abs(a12 - 0.5)
+    if deviation < 0.06:
+        return "negligible"
+    if deviation < 0.14:
+        return "small"
+    if deviation < 0.21:
+        return "medium"
+    return "large"
+
+
+def compare(name_a: str, a: Sequence[float], name_b: str,
+            b: Sequence[float], alpha: float = 0.05) -> Comparison:
+    u, p = mann_whitney_u(a, b)
+    a12 = vargha_delaney_a12(a, b)
+    return Comparison(a=name_a, b=name_b, u_statistic=u, p_value=p,
+                      a12=a12, significant=p < alpha,
+                      magnitude=a12_magnitude(a12))
+
+
+def rank_policies(samples: Dict[str, Sequence[float]],
+                  alpha: float = 0.05,
+                  higher_is_better: bool = True) -> List[dict]:
+    """Rank policies by mean, sharing ranks across insignificance.
+
+    Policies are sorted by mean, then each adjacent pair is tested
+    with Mann-Whitney; a pair whose difference is *not* significant at
+    ``alpha`` shares a rank — the report refuses to claim an ordering
+    the replicate evidence cannot support.  Returns a list of dicts
+    ``{name, rank, summary, separated}`` in display order, where
+    ``separated`` is False when the policy ties its predecessor.
+    """
+    if not samples:
+        return []
+    ordered = sorted(samples, key=lambda k: sum(samples[k]) /
+                     len(samples[k]), reverse=higher_is_better)
+    out: List[dict] = []
+    rank = 1
+    for index, name in enumerate(ordered):
+        separated = True
+        if index > 0:
+            prev = ordered[index - 1]
+            _, p = mann_whitney_u(samples[prev], samples[name])
+            separated = p < alpha
+            if separated:
+                rank = index + 1
+        out.append({"name": name, "rank": rank,
+                    "separated": separated,
+                    "summary": summarize(list(samples[name])).as_dict()})
+    return out

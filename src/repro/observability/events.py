@@ -59,6 +59,25 @@ EVENT_SCHEMAS: Dict[str, Set[str]] = {
     # trace-reader error budget
     "trace_line_quarantined": {"error"},
     "trace_error_budget_exhausted": {"errors"},
+    # durable experiment service: leases
+    "lease_acquired": {"name", "owner"},
+    "lease_renewed": {"name", "owner"},
+    "lease_reclaimed": {"name", "owner", "previous_owner"},
+    "lease_lost": {"name", "owner"},
+    # durable experiment service: trial queue lifecycle
+    "trial_enqueued": {"trial_id"},
+    "trial_claimed": {"trial_id", "owner", "attempt"},
+    "trial_completed": {"trial_id", "owner", "duration_seconds"},
+    "trial_requeued": {"trial_id", "reason"},
+    "trial_abandoned": {"trial_id", "attempts", "reason"},
+    # durable experiment service: results store
+    "record_appended": {"key"},
+    "record_quarantined": {"source", "reason"},
+    "store_compacted": {"records", "segments", "quarantined"},
+    # durable experiment service: worker lifecycle
+    "service_worker_started": {"owner"},
+    "service_worker_exited": {"owner", "executed"},
+    "service_worker_restarted": {"worker", "exitcode", "restarts"},
 }
 
 

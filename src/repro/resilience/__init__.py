@@ -1,25 +1,39 @@
 """Fault tolerance for long-running sweeps and experiment suites.
 
-Three orthogonal pieces, combined by the parallel sweep runner
-(:mod:`repro.simulation.parallel`) and the suite runner
-(:func:`repro.experiments.runner.run_suite`):
+Four orthogonal pieces, combined by the parallel sweep runner
+(:mod:`repro.simulation.parallel`), the suite runner
+(:func:`repro.experiments.runner.run_suite`), and the durable
+experiment service (:mod:`repro.experiments.service`):
 
 * :mod:`~repro.resilience.retry` — deterministic capped-exponential
   backoff with an injectable sleep, for transient failures;
-* :mod:`~repro.resilience.checkpoint` — atomic write-then-rename JSON
-  checkpoints keyed by a config hash, for crash-safe resume;
+* :mod:`~repro.resilience.checkpoint` — atomic, fsync'd
+  write-then-rename JSON checkpoints keyed by a config hash, for
+  crash-safe resume;
+* :mod:`~repro.resilience.lease` — lease files with heartbeat renewal
+  and stale-lease reclamation, so work claimed by a killed or hung
+  process is automatically taken over;
 * :mod:`~repro.resilience.faults` — a deterministic fault-injection
-  harness (crash / hang / raise / corrupt on chosen attempts) that the
-  tests use to prove the first two actually work.
+  harness (crash / hang / raise / corrupt on chosen attempts, plus
+  on-disk truncate / bit-flip / torn-write damage) that the tests use
+  to prove the other three actually work.
 """
 
 from repro.resilience.checkpoint import CheckpointStore, config_hash
 from repro.resilience.faults import (
     CORRUPT_MARKER,
     FAULT_KINDS,
+    FILE_CORRUPTION_MODES,
     FaultInjector,
     FaultSpec,
     InjectedFaultError,
+    corrupt_file,
+)
+from repro.resilience.lease import (
+    Heartbeat,
+    Lease,
+    LeaseManager,
+    default_owner,
 )
 from repro.resilience.retry import RetryPolicy, retry_call
 
@@ -32,5 +46,11 @@ __all__ = [
     "FaultSpec",
     "InjectedFaultError",
     "FAULT_KINDS",
+    "FILE_CORRUPTION_MODES",
     "CORRUPT_MARKER",
+    "corrupt_file",
+    "Lease",
+    "LeaseManager",
+    "Heartbeat",
+    "default_owner",
 ]

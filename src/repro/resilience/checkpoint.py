@@ -11,9 +11,12 @@ silently mixing stale results into a fresh run.
 from __future__ import annotations
 
 import hashlib
+import itertools
 import json
 import os
 import re
+import time
+import zlib
 from pathlib import Path
 from typing import Dict, Iterator, List, Optional, Union
 
@@ -27,6 +30,26 @@ _logger = get_logger("resilience.checkpoint")
 _SAFE_CHARS = re.compile(r"[^A-Za-z0-9._-]")
 _FORMAT_VERSION = 1
 
+#: Temp files older than this are leftovers of a crashed writer and are
+#: swept when a store opens; younger ones may belong to a live writer.
+_TMP_SWEEP_AGE_SECONDS = 60.0
+
+#: Per-process counter making concurrent same-key writers collide-free.
+_tmp_counter = itertools.count()
+
+
+def _fsync_dir(directory: Path) -> None:
+    """Flush a directory entry so a completed rename survives power
+    loss (fsync of the file alone only pins its *contents*)."""
+    try:
+        fd = os.open(directory, os.O_RDONLY)
+    except OSError:  # pragma: no cover - exotic filesystems
+        return
+    try:
+        os.fsync(fd)
+    finally:
+        os.close(fd)
+
 
 def config_hash(config: object) -> str:
     """Stable hash of any JSON-serializable configuration object.
@@ -39,6 +62,18 @@ def config_hash(config: object) -> str:
     except (TypeError, ValueError) as exc:
         raise CheckpointError(f"config is not hashable: {exc}") from exc
     return hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:16]
+
+
+def _content_crc(key: str, config_digest: Optional[str],
+                 payload: object) -> str:
+    """CRC-32 over the envelope's semantic content (canonical JSON), so
+    silent media corruption — a bit flip that still parses — is caught
+    on load instead of mixed into a resume."""
+    canonical = json.dumps(
+        {"key": key, "config_hash": config_digest, "payload": payload},
+        sort_keys=True, separators=(",", ":"))
+    return format(zlib.crc32(canonical.encode("utf-8")) & 0xFFFFFFFF,
+                  "08x")
 
 
 def _filename(key: str) -> str:
@@ -59,25 +94,67 @@ class CheckpointStore:
     def __init__(self, directory: PathLike):
         self.directory = Path(directory)
         self.directory.mkdir(parents=True, exist_ok=True)
+        self._sweep_stale_tmp()
+
+    def _sweep_stale_tmp(self, max_age: float = _TMP_SWEEP_AGE_SECONDS
+                         ) -> int:
+        """Remove temp files abandoned by crashed writers.
+
+        Only files older than ``max_age`` go: a younger one may be a
+        concurrent writer's in-flight save, which must not be yanked
+        out from under its ``os.replace``.
+        """
+        now = time.time()
+        removed = 0
+        for tmp in self.directory.glob("*.tmp"):
+            try:
+                if now - tmp.stat().st_mtime <= max_age:
+                    continue
+                tmp.unlink()
+            except FileNotFoundError:
+                continue  # another opener swept it first
+            removed += 1
+        if removed:
+            _logger.info("swept %d stale checkpoint temp file(s)",
+                         removed, extra={"removed": removed,
+                                         "path": str(self.directory)})
+        return removed
 
     def path_for(self, key: str) -> Path:
         return self.directory / _filename(key)
 
     def save(self, key: str, payload: dict,
              config_digest: Optional[str] = None) -> Path:
-        """Atomically persist ``payload`` under ``key``."""
+        """Atomically and durably persist ``payload`` under ``key``.
+
+        The temp name embeds the pid and a per-process counter so two
+        processes (or threads) saving the same key never stomp each
+        other's half-written temp file; the file and its directory are
+        fsync'd around the rename so a checkpoint reported saved
+        survives power loss.
+        """
         envelope = {
             "version": _FORMAT_VERSION,
             "key": key,
             "config_hash": config_digest,
             "payload": payload,
+            "crc": _content_crc(key, config_digest, payload),
         }
         target = self.path_for(key)
-        tmp = target.with_suffix(".json.tmp")
+        tmp = target.with_name(
+            f"{target.name}.{os.getpid()}.{next(_tmp_counter)}.tmp")
         try:
-            tmp.write_text(json.dumps(envelope, indent=2))
+            with open(tmp, "w", encoding="utf-8") as stream:
+                stream.write(json.dumps(envelope, indent=2))
+                stream.flush()
+                os.fsync(stream.fileno())
             os.replace(tmp, target)
+            _fsync_dir(self.directory)
         except OSError as exc:
+            try:
+                tmp.unlink()
+            except OSError:
+                pass
             raise CheckpointError(
                 f"cannot write checkpoint {key!r}: {exc}") from exc
         _logger.debug("checkpoint saved: %s", key,
@@ -137,11 +214,16 @@ class CheckpointStore:
             pass
 
     def clear(self) -> int:
-        """Remove every checkpoint file; returns how many were removed."""
+        """Remove every checkpoint file (temp leftovers included);
+        returns how many were removed."""
         removed = 0
-        for path in self.directory.glob("*.json"):
-            path.unlink()
-            removed += 1
+        for pattern in ("*.json", "*.tmp"):
+            for path in self.directory.glob(pattern):
+                try:
+                    path.unlink()
+                except FileNotFoundError:
+                    continue
+                removed += 1
         return removed
 
     def _envelopes(self) -> Iterator[tuple]:
@@ -167,4 +249,11 @@ class CheckpointStore:
                 or "key" not in envelope):
             raise CheckpointError(
                 f"checkpoint {path.name} lacks the expected envelope")
+        # Envelopes written before CRCs existed stay loadable; any
+        # envelope that carries one must verify.
+        if "crc" in envelope and envelope["crc"] != _content_crc(
+                envelope["key"], envelope.get("config_hash"),
+                envelope["payload"]):
+            raise CheckpointError(
+                f"corrupt checkpoint {path.name}: content CRC mismatch")
         return envelope

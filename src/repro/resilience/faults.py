@@ -16,9 +16,11 @@ chaos runs can use it against full experiment suites.
 from __future__ import annotations
 
 import os
+import random
 import time
 from dataclasses import dataclass, field
-from typing import Optional, Tuple
+from pathlib import Path
+from typing import Optional, Tuple, Union
 
 from repro.errors import ConfigurationError, WorkerCrashError
 from repro.observability.logs import get_logger
@@ -27,6 +29,9 @@ _logger = get_logger("resilience.faults")
 
 #: Supported fault kinds.
 FAULT_KINDS = ("crash", "hang", "raise", "corrupt")
+
+#: Supported on-disk corruption modes for :func:`corrupt_file`.
+FILE_CORRUPTION_MODES = ("truncate", "bitflip", "torn")
 
 #: Marker planted in corrupted payloads (tests can assert on it).
 CORRUPT_MARKER = "__fault_injected_corruption__"
@@ -135,3 +140,46 @@ class FaultInjector:
         if spec is not None and spec.kind == "corrupt":
             return {CORRUPT_MARKER: True, "key": key, "attempt": attempt}
         return payload
+
+
+def corrupt_file(path: Union[str, Path], mode: str = "truncate",
+                 seed: int = 0) -> None:
+    """Deterministically damage a file on disk, simulating the three
+    crash/medium failures a durable store must survive.
+
+    Modes:
+        ``"truncate"``: cut the file at a seeded offset in its second
+            half — an interrupted write that lost the tail.
+        ``"bitflip"``: flip one bit at each of a few seeded offsets —
+            silent media corruption a CRC must catch.
+        ``"torn"``: keep only a prefix of the final line — the torn
+            append a SIGKILL'd (or power-lost) writer leaves behind.
+
+    Decisions are a pure function of ``seed`` and the file size, so
+    chaos tests reproduce exactly.
+    """
+    if mode not in FILE_CORRUPTION_MODES:
+        raise ConfigurationError(
+            f"unknown corruption mode {mode!r}; "
+            f"known: {', '.join(FILE_CORRUPTION_MODES)}")
+    path = Path(path)
+    data = path.read_bytes()
+    if not data:
+        return
+    rng = random.Random(seed)
+    if mode == "truncate":
+        cut = rng.randrange(len(data) // 2, len(data)) or 1
+        damaged = data[:cut]
+    elif mode == "bitflip":
+        damaged = bytearray(data)
+        for _ in range(max(1, min(4, len(data)))):
+            offset = rng.randrange(len(damaged))
+            damaged[offset] ^= 1 << rng.randrange(8)
+        damaged = bytes(damaged)
+    else:  # torn: last line loses its tail (and its newline)
+        head, _, last = data.rstrip(b"\n").rpartition(b"\n")
+        keep = rng.randrange(1, len(last)) if len(last) > 1 else 1
+        damaged = (head + b"\n" if head else b"") + last[:keep]
+    path.write_bytes(damaged)
+    _logger.warning("injected %s corruption into %s", mode, path.name,
+                    extra={"mode": mode, "path": str(path)})

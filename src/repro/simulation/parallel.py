@@ -466,6 +466,64 @@ def run_sweep_parallel(trace: Trace,
         raise
 
 
+def supervise_workers(target, args: tuple = (), n_workers: int = 2, *,
+                      max_restarts: int = 2,
+                      poll_seconds: float = 0.05) -> List[dict]:
+    """Run ``target(*args)`` in ``n_workers`` processes, restarting
+    casualties.
+
+    The durable experiment service uses this to keep its worker count
+    up: a worker that dies abnormally (SIGKILL, OOM, an injected
+    crash) is replaced up to ``max_restarts`` times — its half-done
+    work is *not* resubmitted here, because the service's lease layer
+    already re-queues it; supervision is purely about capacity.  A
+    clean exit (code 0) means the worker drained the queue and is not
+    replaced.
+
+    Returns one summary dict per worker slot:
+    ``{"worker": i, "exitcode": last, "restarts": n}``.
+    """
+    import multiprocessing
+
+    if n_workers < 1:
+        raise ConfigurationError("n_workers must be >= 1")
+    context = multiprocessing.get_context()
+
+    def _spawn() -> multiprocessing.Process:
+        process = context.Process(target=target, args=args)
+        process.start()
+        return process
+
+    processes = [_spawn() for _ in range(n_workers)]
+    restarts = [0] * n_workers
+    exitcodes: List[Optional[int]] = [None] * n_workers
+    while any(process is not None for process in processes):
+        for slot, process in enumerate(processes):
+            if process is None or process.is_alive():
+                continue
+            process.join()
+            exitcodes[slot] = process.exitcode
+            if process.exitcode == 0 \
+                    or restarts[slot] >= max_restarts:
+                processes[slot] = None
+                continue
+            restarts[slot] += 1
+            _events.emit("service_worker_restarted", worker=slot,
+                         exitcode=process.exitcode,
+                         restarts=restarts[slot])
+            _logger.warning(
+                "worker %d died with exit code %s; restarting "
+                "(%d/%d)", slot, process.exitcode, restarts[slot],
+                max_restarts,
+                extra={"worker": slot, "exitcode": process.exitcode,
+                       "restarts": restarts[slot]})
+            processes[slot] = _spawn()
+        time.sleep(poll_seconds)
+    return [{"worker": slot, "exitcode": exitcodes[slot],
+             "restarts": restarts[slot]}
+            for slot in range(n_workers)]
+
+
 class _Scheduler:
     """Submits batches as futures, retries transient failures, and
     rebuilds the pool when workers die or hang.

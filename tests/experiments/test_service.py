@@ -1,0 +1,272 @@
+"""End-to-end tests for the durable experiment service."""
+
+import multiprocessing
+
+import pytest
+
+from repro.errors import ServiceError
+from repro.experiments.service import (
+    TrialSpec,
+    build_report,
+    enqueue_grid,
+    execute_trial,
+    open_service,
+    service_status,
+    work,
+)
+from repro.experiments.store import ResultsStore
+from repro.resilience.faults import FaultInjector, FaultSpec
+
+TINY = 1 / 512  # matches the conftest trace fixtures
+
+
+def make_spec(**overrides):
+    base = dict(trace="dfn", scale=TINY, policy="lru",
+                size_fraction=0.01, seed=42)
+    base.update(overrides)
+    return TrialSpec(**base)
+
+
+class TestTrialSpec:
+    def test_validation(self):
+        with pytest.raises(ServiceError, match="trace"):
+            make_spec(trace="nonsense")
+        with pytest.raises(ServiceError, match="size_fraction"):
+            make_spec(size_fraction=0.0)
+        with pytest.raises(ServiceError, match="scale"):
+            make_spec(scale=-1.0)
+
+    def test_from_dict_roundtrip(self):
+        spec = make_spec()
+        assert TrialSpec.from_dict(spec.as_dict()) == spec
+
+    def test_from_dict_rejects_malformed(self):
+        with pytest.raises(ServiceError, match="malformed"):
+            TrialSpec.from_dict({"trace": "dfn"})
+        with pytest.raises(ServiceError, match="malformed"):
+            TrialSpec.from_dict({"trace": "dfn", "scale": "not-a-num",
+                                 "policy": "lru", "size_fraction": 0.01,
+                                 "seed": 1})
+
+    def test_config_key_groups_replicas_across_seeds(self):
+        assert make_spec(seed=1).config_key() == \
+            make_spec(seed=2).config_key()
+        assert make_spec(policy="gds(1)").config_key() != \
+            make_spec(policy="lru").config_key()
+
+    def test_result_key_separates_seeds(self):
+        key_a = make_spec(seed=1).result_key("git")
+        key_b = make_spec(seed=2).result_key("git")
+        assert key_a.config_hash == key_b.config_hash
+        assert key_a != key_b
+
+
+class TestExecuteTrial:
+    def test_deterministic_payload(self):
+        spec = make_spec()
+        first = execute_trial(spec)
+        second = execute_trial(spec)
+        assert first == second
+        assert first["spec"] == spec.as_dict()
+        assert 0.0 <= first["hit_rate"] <= 1.0
+        assert 0.0 <= first["byte_hit_rate"] <= 1.0
+        assert first["capacity_bytes"] > 0
+
+    def test_different_policies_differ(self):
+        lru = execute_trial(make_spec(policy="lru"))
+        gds = execute_trial(make_spec(policy="gds(1)"))
+        assert lru != gds
+
+
+class TestWorkLoop:
+    def enqueue_small_grid(self, root, seeds=(42, 1042)):
+        queue, store = open_service(root, lease_ttl=5.0)
+        ids = enqueue_grid(queue, traces=["dfn"], scale=TINY,
+                           policies=["lru", "gds(1)"],
+                           size_fractions=[0.01], seeds=list(seeds))
+        return queue, store, ids
+
+    def test_drains_queue_and_fills_store(self, tmp_path):
+        queue, store, ids = self.enqueue_small_grid(tmp_path / "svc")
+        executed = work(queue, store, git_hash="testgit")
+        assert executed == len(ids) == 4
+        assert queue.status().drained
+        assert len(store.records()) == 4
+
+    def test_work_is_idempotent(self, tmp_path):
+        queue, store, _ = self.enqueue_small_grid(tmp_path / "svc")
+        work(queue, store, git_hash="testgit")
+        assert work(queue, store, git_hash="testgit") == 0
+        assert len(store.records()) == 4
+
+    def test_skips_execution_when_store_has_record(self, tmp_path):
+        # Simulates a predecessor that died between its append and its
+        # done marker: the record exists, the marker does not.
+        queue, store, ids = self.enqueue_small_grid(
+            tmp_path / "svc", seeds=(42,))
+        spec = TrialSpec.from_dict(queue.spec_for(ids[0]))
+        key = spec.result_key("testgit")
+        store.append(key.config_hash, key.git_hash, key.seed,
+                     {"spec": spec.as_dict(), "hit_rate": 0.123,
+                      "byte_hit_rate": 0.1, "capacity_bytes": 1})
+        work(queue, store, git_hash="testgit")
+        # the pre-seeded record was honored, not re-executed
+        assert store.records()[key]["payload"]["hit_rate"] == 0.123
+        assert queue.status().drained
+
+    def test_transient_execution_fault_retries(self, tmp_path):
+        queue, store, ids = self.enqueue_small_grid(
+            tmp_path / "svc", seeds=(42,))
+        injector = FaultInjector.raise_once(ids[0])
+        executed = work(queue, store, fault_injector=injector,
+                        git_hash="testgit")
+        assert executed == 2  # attempt 1 fails, attempt 2 succeeds...
+        # (both trials complete; the count is completions)
+        assert queue.status().drained
+
+    def test_invalid_spec_is_abandoned_not_looped(self, tmp_path):
+        queue, store = open_service(tmp_path / "svc", max_attempts=2)
+        trial_id, _ = queue.enqueue({"trace": "nonsense", "scale": TINY,
+                                     "policy": "lru",
+                                     "size_fraction": 0.01, "seed": 1})
+        executed = work(queue, store, git_hash="testgit")
+        assert executed == 0
+        status = queue.status()
+        assert status.failed == 1
+        assert status.drained
+
+    def test_idle_timeout_bounds_the_wait(self, tmp_path):
+        # Another (simulated live) worker holds the only trial: a
+        # second worker must wait, but idle_timeout bounds it.
+        queue, store, ids = self.enqueue_small_grid(
+            tmp_path / "svc", seeds=(42,))
+        rival, _ = open_service(tmp_path / "svc", owner="rival",
+                                lease_ttl=60.0)
+        assert rival.claim() is not None
+        executed = work(queue, store, git_hash="testgit",
+                        poll_seconds=0.01, idle_timeout=0.1)
+        # the free trial was done; the rival's was waited on, then the
+        # timeout fired instead of spinning forever
+        assert executed == 1
+        assert not queue.status().drained
+
+
+class TestCrashWindows:
+    """Every window of the commit order, exercised with real SIGKILLs
+    (os._exit) in child processes."""
+
+    @staticmethod
+    def _worker(root, injector):
+        from repro.observability import events
+
+        events.set_event_sink(None)
+        queue, store = open_service(root, lease_ttl=0.5)
+        work(queue, store, fault_injector=injector, git_hash="testgit")
+
+    def run_worker(self, root, injector=None):
+        ctx = multiprocessing.get_context()
+        proc = ctx.Process(target=self._worker, args=(str(root), injector))
+        proc.start()
+        proc.join(120)
+        assert not proc.is_alive()
+        return proc.exitcode
+
+    def enqueue_one(self, root):
+        queue, store = open_service(root)
+        ids = enqueue_grid(queue, traces=["dfn"], scale=TINY,
+                           policies=["lru"], size_fractions=[0.01],
+                           seeds=[42])
+        return queue, store, ids[0]
+
+    def test_crash_before_execution_recovers(self, tmp_path):
+        root = tmp_path / "svc"
+        queue, store, trial_id = self.enqueue_one(root)
+        injector = FaultInjector.crash_once(trial_id)
+        assert self.run_worker(root, injector) == 113  # died on purpose
+
+        import time
+        time.sleep(0.6)  # let the 0.5s lease go stale
+        assert self.run_worker(root, injector) == 0  # attempt 2 clean
+        assert queue.status().drained
+        assert len(store.records()) == 1
+
+    def test_crash_between_append_and_marker_recovers(self, tmp_path):
+        root = tmp_path / "svc"
+        queue, store, trial_id = self.enqueue_one(root)
+        injector = FaultInjector.of(
+            FaultSpec(key=f"{trial_id}#commit", kind="crash"))
+        assert self.run_worker(root, injector) == 113
+        # the record was appended before the crash...
+        assert len(store.records()) == 1
+        # ...but the done marker was not
+        assert queue.done_ids() == []
+
+        import time
+        time.sleep(0.6)
+        assert self.run_worker(root, injector) == 0
+        assert queue.status().drained
+        records = store.records()
+        assert len(records) == 1  # dedup: no double record
+        store.compact()
+        assert len(store.records()) == 1
+
+
+class TestStatusAndReport:
+    def populate(self, root, seeds=(42, 1042, 2042)):
+        queue, store = open_service(root)
+        enqueue_grid(queue, traces=["dfn"], scale=TINY,
+                     policies=["lru", "gds(1)"], size_fractions=[0.01],
+                     seeds=list(seeds))
+        work(queue, store, git_hash="testgit")
+        return store
+
+    def test_service_status_census(self, tmp_path):
+        root = tmp_path / "svc"
+        self.populate(root, seeds=(42,))
+        status = service_status(root)
+        assert status["queue"]["done"] == 2
+        assert status["store"]["records"] == 2
+        assert status["store"]["git_hashes"] == ["testgit"]
+        assert status["store"]["quarantined"] == 0
+
+    def test_report_reproducible_from_store_alone(self, tmp_path):
+        store = self.populate(tmp_path / "svc")
+        # a fresh handle with no queue knowledge sees the same report
+        fresh = ResultsStore(tmp_path / "svc" / "store")
+        report_a = build_report(store)
+        report_b = build_report(fresh)
+        assert report_a.text == report_b.text
+        assert report_a.data == report_b.data
+
+    def test_report_contents(self, tmp_path):
+        store = self.populate(tmp_path / "svc")
+        report = build_report(store, metric="hit_rate")
+        assert "trace=dfn" in report.text
+        assert "lru" in report.text and "gds(1)" in report.text
+        (group,) = report.data["groups"]
+        assert group["git_hash"] == "testgit"
+        assert len(group["ranking"]) == 2
+        assert len(group["comparisons"]) == 1
+        for row in group["ranking"]:
+            assert row["summary"]["n"] == 3
+
+    def test_three_replicas_refuse_overclaiming(self, tmp_path):
+        # With n=3 the minimum exact two-sided p is 1/10 > 0.05: the
+        # report must share ranks rather than invent an ordering.
+        store = self.populate(tmp_path / "svc")
+        (group,) = build_report(store).data["groups"]
+        ranks = {row["rank"] for row in group["ranking"]}
+        assert ranks == {1}
+        assert not group["comparisons"][0]["significant"]
+
+    def test_rejects_unknown_metric(self, tmp_path):
+        store = ResultsStore(tmp_path / "store")
+        with pytest.raises(ServiceError, match="metric"):
+            build_report(store, metric="latency")
+
+    def test_foreign_records_ignored(self, tmp_path):
+        store = ResultsStore(tmp_path / "store")
+        store.append("cfg", "git", 1, {"something": "else"})
+        report = build_report(store)
+        assert report.data["groups"] == []
+        assert "no service records" in report.text

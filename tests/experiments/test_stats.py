@@ -1,0 +1,161 @@
+"""Tests for repeated-trial statistics (CI, Mann-Whitney U, A12,
+refuse-to-rank)."""
+
+import math
+
+import pytest
+
+from repro.errors import AnalysisError
+from repro.experiments.stats import (
+    a12_magnitude,
+    compare,
+    mann_whitney_u,
+    rank_policies,
+    summarize,
+    vargha_delaney_a12,
+)
+
+
+class TestSummarize:
+    def test_mean_std_and_interval(self):
+        summary = summarize([1.0, 2.0, 3.0, 4.0, 5.0])
+        assert summary.n == 5
+        assert summary.mean == pytest.approx(3.0)
+        assert summary.std == pytest.approx(math.sqrt(2.5))
+        # t(4, 95%) = 2.776
+        half = 2.776 * math.sqrt(2.5) / math.sqrt(5)
+        assert summary.ci_low == pytest.approx(3.0 - half)
+        assert summary.ci_high == pytest.approx(3.0 + half)
+
+    def test_single_observation_degenerates(self):
+        summary = summarize([0.42])
+        assert (summary.mean, summary.std) == (0.42, 0.0)
+        assert summary.ci_low == summary.ci_high == 0.42
+
+    def test_empty_sample_rejected(self):
+        with pytest.raises(AnalysisError):
+            summarize([])
+
+    def test_as_dict_roundtrips(self):
+        d = summarize([1.0, 2.0]).as_dict()
+        assert set(d) == {"n", "mean", "std", "ci_low", "ci_high"}
+
+
+class TestMannWhitney:
+    def test_exact_p_fully_separated(self):
+        # Classic result: two disjoint samples of 5 → p = 2/C(10,5)·C(5,5)
+        a = [10, 11, 12, 13, 14]
+        b = [1, 2, 3, 4, 5]
+        u, p = mann_whitney_u(a, b)
+        assert u == 25.0  # every a beats every b
+        assert p == pytest.approx(2 / 252)
+
+    def test_identical_samples_p_one(self):
+        u, p = mann_whitney_u([1, 2, 3], [1, 2, 3])
+        assert u == pytest.approx(4.5)
+        assert p == pytest.approx(1.0)
+
+    def test_symmetry(self):
+        a, b = [1.0, 3.0, 5.0], [2.0, 4.0, 6.0]
+        u_ab, p_ab = mann_whitney_u(a, b)
+        u_ba, p_ba = mann_whitney_u(b, a)
+        assert u_ab + u_ba == len(a) * len(b)
+        assert p_ab == pytest.approx(p_ba)
+
+    def test_small_n_cannot_reach_significance(self):
+        # n=m=2 → the most extreme p is 1/3: correctly insignificant.
+        _, p = mann_whitney_u([10, 11], [1, 2])
+        assert p == pytest.approx(1 / 3)
+        assert p > 0.05
+
+    def test_normal_approximation_large_samples(self):
+        a = [float(i) for i in range(40)]
+        b = [float(i) + 0.5 for i in range(40)]
+        assert math.comb(80, 40) > 20_000  # forces the normal path
+        _, p = mann_whitney_u(a, b)
+        assert 0.0 < p <= 1.0
+        # a clearly shifted large sample is detected
+        shifted = [v + 30 for v in a]
+        _, p_shift = mann_whitney_u(shifted, b)
+        assert p_shift < 0.001
+
+    def test_all_ties_p_one_normal_path(self):
+        a = [1.0] * 40
+        b = [1.0] * 40
+        _, p = mann_whitney_u(a, b)
+        assert p == 1.0  # zero variance guarded, not a crash
+
+    def test_empty_sample_rejected(self):
+        with pytest.raises(AnalysisError):
+            mann_whitney_u([], [1.0])
+
+
+class TestEffectSize:
+    def test_a12_bounds_and_no_effect(self):
+        assert vargha_delaney_a12([5, 6], [1, 2]) == 1.0
+        assert vargha_delaney_a12([1, 2], [5, 6]) == 0.0
+        assert vargha_delaney_a12([1, 2], [1, 2]) == 0.5
+
+    def test_ties_count_half(self):
+        assert vargha_delaney_a12([1.0], [1.0]) == 0.5
+
+    def test_magnitude_thresholds(self):
+        assert a12_magnitude(0.5) == "negligible"
+        assert a12_magnitude(0.56) == "small"
+        assert a12_magnitude(0.64) == "medium"
+        assert a12_magnitude(0.72) == "large"
+        assert a12_magnitude(0.28) == "large"  # symmetric
+
+
+class TestCompare:
+    def test_significant_comparison(self):
+        result = compare("a", [10, 11, 12, 13, 14], "b",
+                         [1, 2, 3, 4, 5])
+        assert result.significant
+        assert result.a12 == 1.0
+        assert result.magnitude == "large"
+        assert result.as_dict()["p_value"] == result.p_value
+
+    def test_insignificant_comparison(self):
+        result = compare("a", [1.0, 2.0], "b", [1.5, 2.5])
+        assert not result.significant
+
+
+class TestRankPolicies:
+    def test_clear_separation_gets_distinct_ranks(self):
+        ranked = rank_policies({
+            "good": [0.9, 0.91, 0.92, 0.93, 0.94],
+            "bad": [0.1, 0.11, 0.12, 0.13, 0.14],
+        })
+        assert [(r["name"], r["rank"]) for r in ranked] == \
+            [("good", 1), ("bad", 2)]
+        assert ranked[1]["separated"]
+
+    def test_refuses_to_rank_indistinguishable_policies(self):
+        # 2 replicas can never reach p<0.05: ranks must be shared even
+        # though the means differ.
+        ranked = rank_policies({"a": [0.5, 0.6], "b": [0.45, 0.55]})
+        assert [r["rank"] for r in ranked] == [1, 1]
+        assert not ranked[1]["separated"]
+
+    def test_mixed_separation(self):
+        ranked = rank_policies({
+            "top": [0.9, 0.91, 0.92, 0.93, 0.94],
+            "mid_a": [0.50, 0.51, 0.52, 0.53, 0.54],
+            "mid_b": [0.495, 0.505, 0.515, 0.525, 0.535],
+        })
+        by_name = {r["name"]: r for r in ranked}
+        assert by_name["top"]["rank"] == 1
+        assert by_name["mid_a"]["rank"] == 2
+        assert by_name["mid_b"]["rank"] == 2  # tied with mid_a
+
+    def test_lower_is_better_ordering(self):
+        ranked = rank_policies({
+            "slow": [9.0, 9.1, 9.2, 9.3, 9.4],
+            "fast": [1.0, 1.1, 1.2, 1.3, 1.4],
+        }, higher_is_better=False)
+        assert ranked[0]["name"] == "fast"
+        assert ranked[0]["rank"] == 1
+
+    def test_empty_input(self):
+        assert rank_policies({}) == []

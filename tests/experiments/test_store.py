@@ -1,0 +1,234 @@
+"""Tests for the crash-safe results store (WAL + quarantine +
+deterministic compaction)."""
+
+import json
+
+import pytest
+
+from repro.experiments.store import (
+    ResultKey,
+    ResultsStore,
+    canonical_json,
+    decode_record,
+    encode_record,
+    git_revision,
+)
+from repro.resilience.faults import corrupt_file
+
+
+def append_n(store, n, git_hash="abc123", payload_of=None):
+    keys = []
+    for index in range(n):
+        payload = (payload_of(index) if payload_of
+                   else {"hit_rate": index / 10})
+        keys.append(store.append(f"cfg{index % 2}", git_hash, index,
+                                 payload))
+    return keys
+
+
+class TestEnvelope:
+    def test_roundtrip(self):
+        record = {"config_hash": "c", "git_hash": "g", "seed": 1,
+                  "payload": {"x": [1, 2]}}
+        assert decode_record(encode_record(record)) == record
+
+    def test_crc_catches_tampering(self):
+        record = {"config_hash": "c", "git_hash": "g", "seed": 1,
+                  "payload": {"hit_rate": 0.5}}
+        line = encode_record(record).replace("0.5", "0.9")
+        with pytest.raises(ValueError, match="CRC"):
+            decode_record(line)
+
+    def test_missing_fields_rejected(self):
+        line = canonical_json(
+            {"crc": "0" * 8, "record": {"config_hash": "c"}})
+        with pytest.raises(ValueError):
+            decode_record(line)
+
+    def test_torn_line_rejected(self):
+        record = {"config_hash": "c", "git_hash": "g", "seed": 1,
+                  "payload": {}}
+        with pytest.raises(ValueError):
+            decode_record(encode_record(record)[:-10])
+
+    def test_git_revision_in_repo(self):
+        # we run inside the repo, so a real hash comes back
+        rev = git_revision()
+        assert rev == "unknown" or len(rev) == 12
+
+
+class TestAppendScan:
+    def test_append_and_read_back(self, tmp_path):
+        store = ResultsStore(tmp_path)
+        key = store.append("cfg", "git", 42, {"hit_rate": 0.3})
+        assert key == ResultKey("cfg", "git", 42)
+        assert store.payloads() == {key: {"hit_rate": 0.3}}
+        assert store.has(key)
+        assert store.get(key)["payload"] == {"hit_rate": 0.3}
+
+    def test_keys_differing_only_in_git_hash_do_not_mix(self, tmp_path):
+        store = ResultsStore(tmp_path)
+        store.append("cfg", "rev-a", 1, {"v": "old code"})
+        store.append("cfg", "rev-b", 1, {"v": "new code"})
+        payloads = store.payloads()
+        assert payloads[ResultKey("cfg", "rev-a", 1)] == {"v": "old code"}
+        assert payloads[ResultKey("cfg", "rev-b", 1)] == {"v": "new code"}
+
+    def test_first_wins_dedup(self, tmp_path):
+        store = ResultsStore(tmp_path)
+        store.append("cfg", "git", 1, {"v": "original"})
+        store.close()  # new segment for the duplicate
+        store.append("cfg", "git", 1, {"v": "rerun"})
+        records = store.records()
+        assert len(records) == 1
+        assert records[ResultKey("cfg", "git", 1)]["payload"] == \
+            {"v": "original"}
+
+    def test_concurrent_writers_use_distinct_segments(self, tmp_path):
+        first = ResultsStore(tmp_path)
+        second = ResultsStore(tmp_path)
+        first.append("cfg", "git", 1, {"w": 1})
+        second.append("cfg", "git", 2, {"w": 2})
+        first.close()
+        second.close()
+        assert len(list(first.segments_dir.glob("*.jsonl"))) == 2
+        assert len(ResultsStore(tmp_path).records()) == 2
+
+
+class TestQuarantine:
+    @pytest.mark.parametrize("mode", ["truncate", "bitflip", "torn"])
+    def test_corruption_is_quarantined_not_fatal(self, tmp_path, mode):
+        store = ResultsStore(tmp_path)
+        append_n(store, 6)
+        store.close()
+        (segment,) = list(store.segments_dir.glob("*.jsonl"))
+        before = segment.read_bytes()
+        corrupt_file(segment, mode=mode, seed=5)
+        assert segment.read_bytes() != before
+        records = store.records()  # must not raise
+        assert 0 < len(records) <= 6
+        # every surviving record is verbatim — corruption cannot mix
+        for key, record in records.items():
+            assert record["payload"] == {"hit_rate": key.seed / 10}
+        quarantined = store.quarantined()
+        assert quarantined
+        assert all(entry["reason"] for entry in quarantined)
+        assert all(entry["source"] == segment.name
+                   for entry in quarantined)
+
+    def test_quarantined_lines_are_removed_from_source(self, tmp_path):
+        store = ResultsStore(tmp_path)
+        append_n(store, 3)
+        store.close()
+        (segment,) = list(store.segments_dir.glob("*.jsonl"))
+        lines = segment.read_text().splitlines()
+        lines[1] = lines[1][:-5] + "XXXXX"  # break the CRC
+        segment.write_text("\n".join(lines) + "\n")
+        assert len(store.records()) == 2
+        # the damage was moved aside physically: a second scan finds a
+        # clean file and quarantines nothing new
+        count = len(store.quarantined())
+        assert len(store.records()) == 2
+        assert len(store.quarantined()) == count
+
+    def test_garbage_lines_quarantined(self, tmp_path):
+        store = ResultsStore(tmp_path)
+        store.append("cfg", "git", 1, {"v": 1})
+        store.close()
+        (segment,) = list(store.segments_dir.glob("*.jsonl"))
+        with open(segment, "a") as stream:
+            stream.write("not json at all\n")
+            stream.write('{"valid_json": "wrong shape"}\n')
+        assert len(store.records()) == 1
+        assert len(store.quarantined()) == 2
+
+
+class TestCompaction:
+    def test_compact_merges_and_sorts(self, tmp_path):
+        store = ResultsStore(tmp_path)
+        keys = append_n(store, 5)
+        stats = store.compact()
+        assert stats.records == 5
+        assert stats.segments_merged >= 1
+        assert not list(store.segments_dir.glob("*.jsonl"))
+        lines = store.base_path.read_text().splitlines()
+        decoded = [decode_record(line) for line in lines]
+        assert [ResultKey(r["config_hash"], r["git_hash"], r["seed"])
+                for r in decoded] == sorted(keys)
+
+    def test_compaction_is_bit_identical_across_orders(self, tmp_path):
+        # Same record set, different append orders and segmentation →
+        # identical bytes after compaction.
+        a = ResultsStore(tmp_path / "a")
+        b = ResultsStore(tmp_path / "b")
+        records = [(f"cfg{i}", "git", i, {"hit_rate": i / 7})
+                   for i in range(6)]
+        for config, git, seed, payload in records:
+            a.append(config, git, seed, payload)
+        for config, git, seed, payload in reversed(records):
+            b.append(config, git, seed, payload)
+            b.close()  # one segment per record
+        a.compact()
+        b.compact()
+        assert a.base_path.read_bytes() == b.base_path.read_bytes()
+        assert a.digest() == b.digest()
+
+    def test_duplicate_records_dropped_once(self, tmp_path):
+        store = ResultsStore(tmp_path)
+        store.append("cfg", "git", 1, {"v": 1})
+        store.close()
+        store.append("cfg", "git", 1, {"v": 1})
+        stats = store.compact()
+        assert stats.records == 1
+        assert stats.duplicates_dropped == 1
+        assert stats.conflicts == 0
+
+    def test_conflicting_duplicate_keeps_first_and_logs(self, tmp_path):
+        store = ResultsStore(tmp_path)
+        store.append("cfg", "git", 1, {"v": "first"})
+        store.close()
+        store.append("cfg", "git", 1, {"v": "second"})
+        stats = store.compact()
+        assert stats.conflicts == 1
+        assert store.payloads()[ResultKey("cfg", "git", 1)] == \
+            {"v": "first"}
+
+    def test_compact_after_compact_is_stable(self, tmp_path):
+        store = ResultsStore(tmp_path)
+        append_n(store, 4)
+        store.compact()
+        digest = store.digest()
+        store.compact()
+        assert store.digest() == digest
+
+    def test_append_after_compact_lands_in_new_segment(self, tmp_path):
+        store = ResultsStore(tmp_path)
+        append_n(store, 2)
+        store.compact()
+        store.append("late", "git", 99, {"v": 1})
+        assert len(store.records()) == 3
+        store.compact()
+        assert len(store.records()) == 3
+
+    def test_quarantine_during_compact_counted(self, tmp_path):
+        store = ResultsStore(tmp_path)
+        append_n(store, 4)
+        store.close()
+        (segment,) = list(store.segments_dir.glob("*.jsonl"))
+        corrupt_file(segment, mode="torn", seed=2)
+        stats = store.compact()
+        assert stats.quarantined >= 1
+        assert stats.records < 4
+
+    def test_quarantine_file_survives_compaction(self, tmp_path):
+        store = ResultsStore(tmp_path)
+        append_n(store, 3)
+        store.close()
+        (segment,) = list(store.segments_dir.glob("*.jsonl"))
+        corrupt_file(segment, mode="torn", seed=2)
+        store.compact()
+        entries = store.quarantined()
+        assert entries
+        # provenance is machine-readable
+        for entry in entries:
+            json.dumps(entry)

@@ -1,11 +1,14 @@
 """Tests for atomic config-hash-validated checkpoints."""
 
 import json
+import os
+import time
 
 import pytest
 
 from repro.errors import CheckpointError
 from repro.resilience.checkpoint import CheckpointStore, config_hash
+from repro.resilience.faults import corrupt_file
 
 
 class TestConfigHash:
@@ -95,3 +98,90 @@ class TestCheckpointStore:
         store.save("a", {"v": 1}, "d")
         store.save("a", {"v": 2}, "d")
         assert store.load("a", "d") == {"v": 2}
+
+
+class TestDurability:
+    """The crash-safety satellites: unique temp names, fsync'd
+    replaces, stale-temp sweeping, and corruption never poisoning a
+    resume scan."""
+
+    def test_tmp_names_are_per_process_unique(self, tmp_path,
+                                              monkeypatch):
+        # Capture the temp path os.replace sees; two saves of the same
+        # key must never share one (concurrent savers would stomp each
+        # other's half-written file).
+        store = CheckpointStore(tmp_path)
+        seen = []
+        real_replace = os.replace
+
+        def spy(src, dst):
+            seen.append(os.fspath(src))
+            return real_replace(src, dst)
+
+        monkeypatch.setattr(os, "replace", spy)
+        store.save("a", {"v": 1})
+        store.save("a", {"v": 2})
+        assert len(seen) == 2
+        assert seen[0] != seen[1]
+        assert all(f".{os.getpid()}." in name for name in seen)
+
+    def test_crash_mid_write_leaves_old_checkpoint_intact(
+            self, tmp_path, monkeypatch):
+        store = CheckpointStore(tmp_path)
+        store.save("a", {"v": 1}, "d")
+
+        def crashing_replace(src, dst):
+            raise OSError("simulated crash during rename")
+
+        monkeypatch.setattr(os, "replace", crashing_replace)
+        with pytest.raises(CheckpointError):
+            store.save("a", {"v": 2}, "d")
+        monkeypatch.undo()
+        # The old checkpoint survived, and no temp litter remains.
+        assert store.load("a", "d") == {"v": 1}
+        assert not list(tmp_path.glob("*.tmp"))
+
+    def test_open_sweeps_stale_tmp_files(self, tmp_path):
+        store = CheckpointStore(tmp_path)
+        store.save("a", {"v": 1})
+        stale = tmp_path / "a.json.999.0.tmp"
+        stale.write_text("{half-written")
+        old = time.time() - 3600
+        os.utime(stale, (old, old))
+        fresh = tmp_path / "b.json.999.1.tmp"
+        fresh.write_text("{in-flight write")
+        CheckpointStore(tmp_path)  # reopening sweeps
+        assert not stale.exists()
+        assert fresh.exists()  # young = possibly live writer: kept
+
+    def test_clear_removes_tmp_litter_too(self, tmp_path):
+        store = CheckpointStore(tmp_path)
+        store.save("a", {"v": 1})
+        (tmp_path / "orphan.json.1.2.tmp").write_text("x")
+        assert store.clear() == 2
+        assert not list(tmp_path.iterdir())
+
+    @pytest.mark.parametrize("mode", ["truncate", "bitflip", "torn"])
+    def test_completed_survives_injected_corruption(self, tmp_path,
+                                                    mode):
+        # completed() must never raise and never mix a damaged
+        # checkpoint into a resume, whatever shape the damage takes.
+        store = CheckpointStore(tmp_path)
+        store.save("good", {"v": 1}, "d")
+        victim = store.save("bad", {"v": 2}, "d")
+        corrupt_file(victim, mode=mode, seed=3)
+        done = store.completed("d")
+        assert "good" in done
+        # Whatever survived decoding must be verbatim, never mangled.
+        for payload in done.values():
+            assert payload in ({"v": 1}, {"v": 2})
+        assert store.load("good", "d") == {"v": 1}
+
+    def test_completed_never_raises_on_garbage_directory(self, tmp_path):
+        store = CheckpointStore(tmp_path)
+        store.save("good", {"v": 1}, "d")
+        (tmp_path / "noise.json").write_text("\x00\xff not json")
+        (tmp_path / "empty.json").write_text("")
+        (tmp_path / "wrong-shape.json").write_text('["a", "list"]')
+        assert store.completed("d") == {"good": {"v": 1}}
+        assert store.completed_keys() == ["good"]
