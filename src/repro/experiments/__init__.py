@@ -33,7 +33,18 @@ from repro.experiments.config import (
     SCALES,
     ExperimentSettings,
 )
+from repro.experiments.dashboard import Dashboard, watch
+from repro.experiments.htmlreport import (
+    report_from_experiment,
+    report_from_store,
+    write_html_report,
+)
 from repro.experiments.queue import ClaimedTrial, QueueStatus, TrialQueue
+from repro.experiments.regress import (
+    RegressionReport,
+    Verdict,
+    detect_regressions,
+)
 from repro.experiments.report import write_report
 from repro.experiments.runner import (
     ExperimentReport,
@@ -81,4 +92,13 @@ __all__ = [
     "run_service",
     "service_status",
     "build_report",
+    # cross-run observability
+    "detect_regressions",
+    "RegressionReport",
+    "Verdict",
+    "report_from_store",
+    "report_from_experiment",
+    "write_html_report",
+    "Dashboard",
+    "watch",
 ]

@@ -48,7 +48,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="experiment id, or 'all' ('model' dispatches to the "
              "analytical-model subcommand: predict/curve/validate; "
              "'service' to the durable experiment service: "
-             "enqueue/work/status/report/compact/chaos)")
+             "enqueue/work/status/report/regress/compact/chaos)")
     parser.add_argument(
         "--scale", choices=list(SCALES), default="small",
         help="workload scale (default: small)")
@@ -106,6 +106,11 @@ def build_parser() -> argparse.ArgumentParser:
              "experiment lifecycle, retries, timeouts) to this "
              "directory")
     obs.add_argument(
+        "--trace-spans", action="store_true",
+        help="emit hierarchical span events (simulate/pass phases, "
+             "sweeps) into the telemetry stream; needs "
+             "--telemetry-dir to land anywhere")
+    obs.add_argument(
         "--progress", action="store_true",
         help="print a heartbeat/ETA line to stderr as experiments "
              "complete")
@@ -130,6 +135,9 @@ def main(argv: Optional[List[str]] = None) -> int:
         return service_main(argv[1:])
     args = build_parser().parse_args(argv)
     configure(level=args.log_level, json_lines=args.log_json)
+    if args.trace_spans:
+        from repro.observability.trace import enable_tracing
+        enable_tracing()
     if args.markdown and not args.outdir:
         print("--markdown requires --outdir", file=sys.stderr)
         return 2

@@ -1,0 +1,243 @@
+"""Live terminal dashboard for a running experiment service.
+
+``python -m repro.experiments service status --watch`` repaints a
+one-screen summary every couple of seconds, built from two sources
+that already exist for other reasons — no agent, no RPC port:
+
+* the queue's lease directory (who holds what, how fresh each
+  heartbeat is, how many attempts each trial has burned), read exactly
+  like the one-shot ``status`` verb reads it;
+* the run's ``events*.jsonl`` telemetry files (the supervisor's plus
+  each worker's per-pid file), tailed incrementally.  ``span_started``
+  / ``span`` pairs reconstruct what every process is doing *right
+  now*; ``trial_completed`` events feed a trailing-window throughput
+  and from it an ETA for the remaining queue.
+
+Everything is injectable (clock, sleep, output stream) so the tests
+drive the dashboard deterministically; the CLI wires in the real ones.
+A torn trailing line in a tailed file — a worker mid-append — is left
+unconsumed until its newline arrives, so the tail never misparses.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import time
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, TextIO, Union
+
+PathLike = Union[str, Path]
+
+__all__ = ["EventTailer", "Dashboard", "watch"]
+
+#: Seconds of trial completions the throughput estimate looks back on.
+THROUGHPUT_WINDOW = 30.0
+
+
+class EventTailer:
+    """Incremental reader over a set of append-only event files.
+
+    Tracks a byte offset per file and only parses complete lines: the
+    bytes after the last newline stay unconsumed until the writer
+    finishes its append, which is what makes tailing a live file safe.
+    Files appearing between polls are picked up automatically.
+    """
+
+    def __init__(self, directories: Sequence[PathLike],
+                 pattern: str = "events*.jsonl"):
+        self.directories = [Path(d) for d in directories]
+        self.pattern = pattern
+        self._offsets: Dict[Path, int] = {}
+
+    def paths(self) -> List[Path]:
+        found: List[Path] = []
+        for directory in self.directories:
+            if directory.is_dir():
+                found.extend(sorted(directory.glob(self.pattern)))
+        return found
+
+    def poll(self) -> List[dict]:
+        """Every complete, parseable event appended since last poll."""
+        events: List[dict] = []
+        for path in self.paths():
+            offset = self._offsets.get(path, 0)
+            try:
+                with open(path, "rb") as stream:
+                    stream.seek(offset)
+                    chunk = stream.read()
+            except OSError:
+                continue
+            cut = chunk.rfind(b"\n")
+            if cut < 0:
+                continue  # no complete line yet
+            self._offsets[path] = offset + cut + 1
+            for line in chunk[:cut + 1].splitlines():
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    record = json.loads(line)
+                except ValueError:
+                    continue  # torn or foreign line: not our problem
+                if isinstance(record, dict):
+                    record["_source"] = path.name
+                    events.append(record)
+        return events
+
+
+class Dashboard:
+    """Aggregates tailed events + lease census into one screenful."""
+
+    def __init__(self, root: PathLike,
+                 events_dirs: Optional[Sequence[PathLike]] = None,
+                 clock=time.time):
+        self.root = Path(root)
+        if events_dirs is None:
+            events_dirs = [self.root / "telemetry", self.root]
+        self.tailer = EventTailer(events_dirs)
+        self.clock = clock
+        #: per source file: stack of currently open span names
+        self._open_spans: Dict[str, List[dict]] = {}
+        #: wall-clock stamps of recent trial completions
+        self._completions: List[float] = []
+        self._completed_total = 0
+        self._last_event_ts: Dict[str, float] = {}
+
+    # -- state ingestion --------------------------------------------------
+
+    def update(self) -> None:
+        for event in self.tailer.poll():
+            source = event.get("_source", "?")
+            ts = event.get("ts")
+            if isinstance(ts, (int, float)):
+                self._last_event_ts[source] = max(
+                    self._last_event_ts.get(source, 0.0), ts)
+            name = event.get("event")
+            if name == "span_started":
+                self._open_spans.setdefault(source, []).append(
+                    {"name": event.get("name"),
+                     "span_id": event.get("span_id")})
+            elif name == "span":
+                stack = self._open_spans.get(source, [])
+                span_id = event.get("span_id")
+                for index in range(len(stack) - 1, -1, -1):
+                    if stack[index]["span_id"] == span_id:
+                        del stack[index:]
+                        break
+            elif name == "trial_completed":
+                self._completed_total += 1
+                if isinstance(ts, (int, float)):
+                    self._completions.append(ts)
+        horizon = self.clock() - THROUGHPUT_WINDOW
+        self._completions = [t for t in self._completions
+                             if t >= horizon]
+
+    # -- derived numbers --------------------------------------------------
+
+    def throughput(self) -> float:
+        """Trials/second over the trailing window."""
+        return len(self._completions) / THROUGHPUT_WINDOW
+
+    def eta_seconds(self, remaining: int) -> Optional[float]:
+        rate = self.throughput()
+        if remaining <= 0:
+            return 0.0
+        if rate <= 0:
+            return None
+        return remaining / rate
+
+    def current_spans(self) -> Dict[str, str]:
+        """source file -> 'outer > inner' chain of open spans."""
+        chains = {}
+        for source, stack in sorted(self._open_spans.items()):
+            if stack:
+                chains[source] = " > ".join(
+                    str(span["name"]) for span in stack)
+        return chains
+
+    # -- rendering --------------------------------------------------------
+
+    def render(self) -> str:
+        from repro.experiments.service import service_status
+
+        status = service_status(self.root, clock=self.clock)
+        queue = status["queue"]
+        store = status["store"]
+        now = self.clock()
+        remaining = queue.get("pending", 0) \
+            + queue.get("running", 0) + queue.get("stale", 0)
+        rate = self.throughput()
+        eta = self.eta_seconds(remaining)
+        lines = [
+            f"service dashboard — {self.root}  "
+            f"({time.strftime('%H:%M:%S', time.localtime(now))})",
+            "",
+            "queue   " + "  ".join(
+                f"{key}={queue.get(key, 0)}"
+                for key in ("pending", "running", "stale", "done",
+                            "failed")),
+            f"store   records={store['records']}  "
+            f"quarantined={store['quarantined']}  "
+            f"git={','.join(store['git_hashes']) or '-'}",
+            f"rate    {rate:.2f} trials/s "
+            f"(last {THROUGHPUT_WINDOW:.0f}s, "
+            f"{self._completed_total} completed total)  "
+            + (f"ETA {eta:.0f}s" if eta is not None
+               else "ETA unknown (no recent completions)"),
+            "",
+        ]
+        workers = status.get("workers", [])
+        if workers:
+            lines.append(f"{'trial':<28} {'owner':<22} "
+                         f"{'hb age':>8} {'attempt':>7}  state")
+            for worker in workers:
+                age = worker.get("heartbeat_age_seconds")
+                age_text = f"{age:.1f}s" if age is not None else "-"
+                state = "STALE" if worker.get("stale") else "live"
+                lines.append(
+                    f"{str(worker['trial_id'])[:28]:<28} "
+                    f"{str(worker.get('owner') or '-')[:22]:<22} "
+                    f"{age_text:>8} {worker.get('attempt', 0):>7}  "
+                    f"{state}")
+        else:
+            lines.append("(no leases held)")
+        chains = self.current_spans()
+        if chains:
+            lines.append("")
+            lines.append("in flight:")
+            for source, chain in chains.items():
+                lines.append(f"  {source}: {chain}")
+        return "\n".join(lines)
+
+
+def watch(root: PathLike, *, interval: float = 2.0,
+          iterations: Optional[int] = None,
+          events_dirs: Optional[Sequence[PathLike]] = None,
+          clock=time.time, sleep=time.sleep,
+          out: Optional[TextIO] = None,
+          clear_screen: bool = True) -> int:
+    """Repaint the dashboard every ``interval`` seconds.
+
+    ``iterations`` bounds the loop (None = until interrupted); tests
+    pass a small count plus fake ``clock``/``sleep``/``out``.  Returns
+    0, or stops early (still 0) on Ctrl-C.
+    """
+    out = out if out is not None else sys.stdout
+    dashboard = Dashboard(root, events_dirs=events_dirs, clock=clock)
+    count = 0
+    try:
+        while iterations is None or count < iterations:
+            dashboard.update()
+            screen = dashboard.render()
+            if clear_screen:
+                out.write("\x1b[2J\x1b[H")
+            out.write(screen + "\n")
+            out.flush()
+            count += 1
+            if iterations is not None and count >= iterations:
+                break
+            sleep(interval)
+    except KeyboardInterrupt:  # pragma: no cover - interactive only
+        pass
+    return 0

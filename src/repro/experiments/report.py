@@ -6,25 +6,32 @@ import json
 from pathlib import Path
 from typing import Union
 
+from repro.experiments.htmlreport import report_from_experiment
 from repro.experiments.runner import ExperimentReport
 
 PathLike = Union[str, Path]
 
 
 def write_report(report: ExperimentReport, outdir: PathLike) -> Path:
-    """Write a report's text, JSON data, and CSV artifacts.
+    """Write a report's text, JSON data, CSVs, and HTML rendering.
 
     Layout::
 
         <outdir>/<experiment_id>/report.txt
+        <outdir>/<experiment_id>/report.html
         <outdir>/<experiment_id>/data.json
         <outdir>/<experiment_id>/<artifact>.csv ...
 
+    ``report.html`` is fully self-contained (inline styles + SVG, no
+    scripts): sweep experiments get per-policy hit-rate curves with a
+    panel per plotted document type, others embed the text report.
     Returns the experiment directory.
     """
     directory = Path(outdir) / report.experiment_id
     directory.mkdir(parents=True, exist_ok=True)
     (directory / "report.txt").write_text(report.text + "\n")
+    (directory / "report.html").write_text(
+        report_from_experiment(report), encoding="utf-8")
     (directory / "data.json").write_text(json.dumps(
         {
             "experiment_id": report.experiment_id,

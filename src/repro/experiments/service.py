@@ -51,10 +51,12 @@ from repro.experiments.store import (
 from repro.observability import events as _events
 from repro.observability.logs import configure as configure_logs
 from repro.observability.logs import get_logger
+from repro.observability.trace import adopt, enable_tracing, inject
+from repro.observability.trace import span as _span
 from repro.resilience.checkpoint import config_hash
 from repro.resilience.faults import FaultInjector
 from repro.resilience.lease import Heartbeat
-from repro.types import Trace
+from repro.types import DocumentType, Trace
 
 PathLike = Union[str, Path]
 
@@ -161,6 +163,13 @@ def execute_trial(spec: TrialSpec) -> dict:
         "capacity_bytes": capacity,
         "hit_rate": result.hit_rate(),
         "byte_hit_rate": result.byte_hit_rate(),
+        # Per-document-type breakdown, so the regression detector and
+        # the HTML report can compare IMAGE/HTML/... hit rates across
+        # git revisions (the paper's central axis of analysis).
+        "type_hit_rates": {
+            doc_type.value: result.hit_rate(doc_type)
+            for doc_type in DocumentType
+        },
     }
 
 
@@ -245,27 +254,31 @@ def work(queue: TrialQueue, store: ResultsStore, *,
     known_keys = set(store.records())
     executed = 0
     idle_since: Optional[float] = None
-    while max_trials is None or executed < max_trials:
-        claimed = queue.claim()
-        if claimed is None:
-            status = queue.status()
-            if status.drained:
-                break
-            # Something is still leased out (or went stale between our
-            # claim and this census): wait for it to resolve.
-            now = time.monotonic()
-            idle_since = idle_since if idle_since is not None else now
-            if idle_timeout is not None \
-                    and now - idle_since > idle_timeout:
-                break
-            time.sleep(poll_seconds)
-            continue
-        idle_since = None
-        done = _run_claimed(queue, store, claimed,
-                            fault_injector=fault_injector,
-                            git_hash=git_hash, known_keys=known_keys)
-        if done:
-            executed += 1
+    with _span("worker", owner=queue.owner) as worker_span:
+        while max_trials is None or executed < max_trials:
+            claimed = queue.claim()
+            if claimed is None:
+                status = queue.status()
+                if status.drained:
+                    break
+                # Something is still leased out (or went stale between
+                # our claim and this census): wait for it to resolve.
+                now = time.monotonic()
+                idle_since = idle_since if idle_since is not None \
+                    else now
+                if idle_timeout is not None \
+                        and now - idle_since > idle_timeout:
+                    break
+                time.sleep(poll_seconds)
+                continue
+            idle_since = None
+            done = _run_claimed(queue, store, claimed,
+                                fault_injector=fault_injector,
+                                git_hash=git_hash,
+                                known_keys=known_keys)
+            if done:
+                executed += 1
+        worker_span.set_attribute("executed", executed)
     _events.emit("service_worker_exited", owner=queue.owner,
                  executed=executed)
     _logger.info("worker %s exited after %d trial(s)", queue.owner,
@@ -290,10 +303,13 @@ def _run_claimed(queue: TrialQueue, store: ResultsStore,
     known_keys = known_keys if known_keys is not None \
         else set(store.records())
     started = time.monotonic()
-    with Heartbeat(queue.leases, claimed.lease) as heartbeat:
+    with _span("trial", trial_id=claimed.trial_id, policy=spec.policy,
+               seed=spec.seed, attempt=claimed.attempt) as trial_span, \
+            Heartbeat(queue.leases, claimed.lease) as heartbeat:
         if key in known_keys:
             # A predecessor stored the record but died before its
             # done marker; finishing the marker is all that's left.
+            trial_span.set_attribute("outcome", "marker_only")
             queue.complete(claimed, key)
             return True
         try:
@@ -302,6 +318,7 @@ def _run_claimed(queue: TrialQueue, store: ResultsStore,
                                         claimed.attempt)
             payload = execute_trial(spec)
         except Exception as exc:  # noqa: BLE001 - released, not lost
+            trial_span.set_status("error")
             queue.release(
                 claimed, f"execution error: {type(exc).__name__}")
             return False
@@ -318,6 +335,7 @@ def _run_claimed(queue: TrialQueue, store: ResultsStore,
             # The lease was reclaimed mid-trial (e.g. the worker hung
             # past the TTL): the new owner is responsible for the
             # marker; our append deduplicates harmlessly.
+            trial_span.set_status("error")
             return False
     queue.complete(claimed, key,
                    duration_seconds=time.monotonic() - started)
@@ -328,12 +346,33 @@ def _run_claimed(queue: TrialQueue, store: ResultsStore,
 # Status + report
 # --------------------------------------------------------------------------
 
-def service_status(root: PathLike) -> dict:
+def service_status(root: PathLike, clock=time.time) -> dict:
     queue, store = open_service(root)
     records = store.records()
     status = queue.status()
+    # Every lease file — live *and* stale — with its holder's heartbeat
+    # age and how many claims the trial has burned, so one glance at
+    # `service status` answers "is anything wedged, and since when?".
+    workers = []
+    for path in sorted(queue.leases.directory.glob("*.lease")):
+        trial_id = path.name[:-len(".lease")]
+        holder = queue.leases.holder(trial_id)
+        entry = {
+            "trial_id": trial_id,
+            "owner": holder.get("owner") if holder else None,
+            "stale": queue.leases.is_stale(trial_id),
+            "attempt": queue._read_attempts(trial_id),
+        }
+        if holder and isinstance(holder.get("renewed_at"),
+                                 (int, float)):
+            entry["heartbeat_age_seconds"] = round(
+                max(clock() - holder["renewed_at"], 0.0), 3)
+        else:
+            entry["heartbeat_age_seconds"] = None
+        workers.append(entry)
     return {
         "queue": status.as_dict(),
+        "workers": workers,
         "store": {
             "records": len(records),
             "quarantined": len(store.quarantined()),
@@ -432,13 +471,28 @@ def build_report(store: ResultsStore, alpha: float = 0.05,
 # --------------------------------------------------------------------------
 
 def _worker_entry(root: str, lease_ttl: float, max_attempts: int,
-                  fault_injector: Optional[FaultInjector]) -> None:
+                  fault_injector: Optional[FaultInjector],
+                  telemetry_dir: Optional[str] = None,
+                  trace_context: Optional[dict] = None) -> None:
     """Module-level child-process entry (must be picklable/forkable).
 
-    Children drop the inherited event sink — the parent owns the
-    telemetry stream — and exit 0 even when the queue was empty.
+    Children never share the parent's event sink (a forked ``seq``
+    counter would interleave corruptly); with ``telemetry_dir`` each
+    child appends to its own ``events-<pid>.jsonl`` instead, and
+    adopts the supervisor's trace context so its worker/trial spans
+    parent into the service span — one trial's wall-time decomposes
+    across processes even though each appends to its own file.
+    Exits 0 even when the queue was empty.
     """
-    _events.set_event_sink(None)
+    import os
+
+    if telemetry_dir is not None:
+        _events.set_event_sink(_events.EventLog(
+            Path(telemetry_dir) / f"events-{os.getpid()}.jsonl"))
+        enable_tracing()
+        adopt(trace_context)
+    else:
+        _events.set_event_sink(None)
     queue, store = open_service(root, lease_ttl=lease_ttl,
                                 max_attempts=max_attempts)
     work(queue, store, fault_injector=fault_injector)
@@ -447,7 +501,8 @@ def _worker_entry(root: str, lease_ttl: float, max_attempts: int,
 def run_service(root: PathLike, n_workers: int = 2, *,
                 lease_ttl: float = 30.0, max_attempts: int = 3,
                 max_restarts: int = 2,
-                fault_injector: Optional[FaultInjector] = None) -> dict:
+                fault_injector: Optional[FaultInjector] = None,
+                telemetry_dir: Optional[PathLike] = None) -> dict:
     """Drain the queue with supervised worker processes.
 
     Workers are spawned through
@@ -457,16 +512,26 @@ def run_service(root: PathLike, n_workers: int = 2, *,
     lease reclamation, the supervisor just keeps the worker count up.
     After the workers exit, stale leases are reconciled against the
     store so the caller sees an honest status.
+
+    With ``telemetry_dir`` the supervisor opens a ``service`` span and
+    each worker process writes spans and lifecycle events to its own
+    ``events-<pid>.jsonl`` under that directory, parented to the
+    supervisor's span via :func:`repro.observability.trace.inject`.
     """
     from repro.simulation.parallel import supervise_workers
 
-    outcome = supervise_workers(
-        _worker_entry,
-        args=(str(root), lease_ttl, max_attempts, fault_injector),
-        n_workers=n_workers, max_restarts=max_restarts)
-    queue, store = open_service(root, lease_ttl=lease_ttl,
-                                max_attempts=max_attempts)
-    reopened = queue.reconcile(store)
+    with _span("service", workers=n_workers) as service_span:
+        context = inject()
+        outcome = supervise_workers(
+            _worker_entry,
+            args=(str(root), lease_ttl, max_attempts, fault_injector,
+                  str(telemetry_dir) if telemetry_dir else None,
+                  context),
+            n_workers=n_workers, max_restarts=max_restarts)
+        queue, store = open_service(root, lease_ttl=lease_ttl,
+                                    max_attempts=max_attempts)
+        reopened = queue.reconcile(store)
+        service_span.set_attribute("reopened", len(reopened))
     return {"workers": outcome, "reopened": reopened,
             "status": queue.status().as_dict()}
 
@@ -512,8 +577,23 @@ def build_parser() -> argparse.ArgumentParser:
                           "mode only)")
     wrk.add_argument("--max-attempts", type=int, default=3,
                      help="claims per trial before it is abandoned")
+    wrk.add_argument("--telemetry-dir", default=None,
+                     help="write span + lifecycle events here "
+                          "(workers append to their own "
+                          "events-<pid>.jsonl); 'status --watch' "
+                          "tails <root>/telemetry by default")
 
-    sub.add_parser("status", help="queue + store census")
+    sta = sub.add_parser("status", help="queue + store census "
+                                        "(one-shot or live)")
+    sta.add_argument("--watch", action="store_true",
+                     help="repaint a live dashboard (heartbeats, "
+                          "open spans, throughput, ETA) instead of "
+                          "printing once")
+    sta.add_argument("--interval", type=float, default=2.0,
+                     help="--watch repaint period in seconds")
+    sta.add_argument("--iterations", type=int, default=None,
+                     help="stop --watch after N repaints (default: "
+                          "until Ctrl-C)")
 
     rep = sub.add_parser("report",
                          help="significance report from the store "
@@ -521,6 +601,26 @@ def build_parser() -> argparse.ArgumentParser:
     rep.add_argument("--metric", choices=("hit_rate", "byte_hit_rate"),
                      default="hit_rate")
     rep.add_argument("--alpha", type=float, default=0.05)
+    rep.add_argument("--html", default=None, metavar="PATH",
+                     help="also write a self-contained HTML report "
+                          "(per-type hit-rate panels, CI whiskers, "
+                          "span waterfall when telemetry exists)")
+
+    rgr = sub.add_parser("regress",
+                         help="statistically-gated cross-revision "
+                              "regression verdicts from the store")
+    rgr.add_argument("--baseline", default=None,
+                     help="baseline git hash (inferred when the "
+                          "store holds exactly two)")
+    rgr.add_argument("--candidate", default=None,
+                     help="candidate git hash (default: current "
+                          "checkout's revision)")
+    rgr.add_argument("--alpha", type=float, default=0.05)
+    rgr.add_argument("--json", action="store_true",
+                     help="machine-readable output")
+    rgr.add_argument("--fail-on-regression", action="store_true",
+                     help="exit 1 when anything is labelled "
+                          "'regressed'")
 
     sub.add_parser("compact",
                    help="merge store segments into one sorted, "
@@ -555,21 +655,41 @@ def main(argv: Optional[List[str]] = None) -> int:
         return 0
 
     if args.verb == "work":
-        if args.workers > 1:
-            outcome = run_service(root, n_workers=args.workers,
-                                  lease_ttl=args.lease_ttl,
-                                  max_attempts=args.max_attempts)
-            print(canonical_json(outcome["status"]))
+        telemetry = None
+        if args.telemetry_dir is not None:
+            from repro.observability.manifest import TelemetryRun
+            telemetry = TelemetryRun(
+                args.telemetry_dir, kind="service",
+                settings={"root": str(root),
+                          "workers": args.workers},
+                install_sink=True)
+            enable_tracing()
+        try:
+            if args.workers > 1:
+                outcome = run_service(
+                    root, n_workers=args.workers,
+                    lease_ttl=args.lease_ttl,
+                    max_attempts=args.max_attempts,
+                    telemetry_dir=args.telemetry_dir)
+                print(canonical_json(outcome["status"]))
+                return 0
+            queue, store = open_service(
+                root, lease_ttl=args.lease_ttl,
+                max_attempts=args.max_attempts)
+            executed = work(queue, store, max_trials=args.max_trials)
+            queue.reconcile(store)
+            print(f"executed {executed} trial(s); "
+                  f"{canonical_json(queue.status().as_dict())}")
             return 0
-        queue, store = open_service(root, lease_ttl=args.lease_ttl,
-                                    max_attempts=args.max_attempts)
-        executed = work(queue, store, max_trials=args.max_trials)
-        queue.reconcile(store)
-        print(f"executed {executed} trial(s); "
-              f"{canonical_json(queue.status().as_dict())}")
-        return 0
+        finally:
+            if telemetry is not None:
+                telemetry.finalize("complete")
 
     if args.verb == "status":
+        if args.watch:
+            from repro.experiments.dashboard import watch
+            return watch(root, interval=args.interval,
+                         iterations=args.iterations)
         print(canonical_json(service_status(root)))
         return 0
 
@@ -578,7 +698,41 @@ def main(argv: Optional[List[str]] = None) -> int:
         report = build_report(store, alpha=args.alpha,
                               metric=args.metric)
         print(report.text)
+        if args.html is not None:
+            from repro.experiments.htmlreport import (
+                report_from_store,
+                write_html_report,
+            )
+            from repro.observability.events import read_events
+            spans: List[dict] = []
+            telemetry_dir = root / "telemetry"
+            if telemetry_dir.is_dir():
+                for path in sorted(
+                        telemetry_dir.glob("events*.jsonl")):
+                    spans.extend(read_events(path, event="span"))
+            document = report_from_store(
+                store, span_events=spans or None)
+            written = write_html_report(args.html, document)
+            print(f"html report written to {written}",
+                  file=sys.stderr)
         return 0
+
+    if args.verb == "regress":
+        from repro.experiments.regress import detect_regressions
+        _, store = open_service(root)
+        try:
+            regression = detect_regressions(
+                store, baseline=args.baseline,
+                candidate=args.candidate, alpha=args.alpha)
+        except ServiceError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        if args.json:
+            print(canonical_json(regression.as_dict()))
+        else:
+            print(regression.render())
+        return 1 if args.fail_on_regression \
+            and regression.regressions else 0
 
     if args.verb == "compact":
         _, store = open_service(root)

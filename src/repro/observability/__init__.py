@@ -26,6 +26,7 @@ Typical setup in a script::
 """
 
 from repro.observability.events import (
+    EVENT_FIELD_TYPES,
     EVENT_SCHEMAS,
     EventLog,
     NullEventLog,
@@ -65,6 +66,18 @@ from repro.observability.profiling import (
     phase_timer,
 )
 from repro.observability.progress import ProgressReporter
+from repro.observability.trace import (
+    NullTracer,
+    Span,
+    Tracer,
+    adopt,
+    disable_tracing,
+    enable_tracing,
+    get_tracer,
+    inject,
+    set_tracer,
+    span,
+)
 from repro.observability.validate import validate_telemetry_dir
 
 __all__ = [
@@ -75,8 +88,12 @@ __all__ = [
     "Counter", "Gauge", "Histogram", "MetricsRegistry", "NullRegistry",
     "get_registry", "set_registry", "enable_metrics", "disable_metrics",
     # events
-    "EventLog", "NullEventLog", "EVENT_SCHEMAS", "emit", "event_sink",
-    "set_event_sink", "iter_events", "read_events", "validate_event",
+    "EventLog", "NullEventLog", "EVENT_SCHEMAS", "EVENT_FIELD_TYPES",
+    "emit", "event_sink", "set_event_sink", "iter_events",
+    "read_events", "validate_event",
+    # spans
+    "Span", "Tracer", "NullTracer", "span", "get_tracer", "set_tracer",
+    "enable_tracing", "disable_tracing", "inject", "adopt",
     # manifest
     "RunManifest", "TelemetryRun", "host_info",
     # progress / profiling

@@ -25,7 +25,11 @@ import time
 from pathlib import Path
 from typing import Dict, Iterator, List, Optional, Set, Union
 
+from repro.observability.logs import get_logger
+
 PathLike = Union[str, Path]
+
+_logger = get_logger("observability.events")
 
 #: event name -> required field names (beyond ``ts``/``seq``/``event``).
 EVENT_SCHEMAS: Dict[str, Set[str]] = {
@@ -78,6 +82,47 @@ EVENT_SCHEMAS: Dict[str, Set[str]] = {
     "service_worker_started": {"owner"},
     "service_worker_exited": {"owner", "executed"},
     "service_worker_restarted": {"worker", "exitcode", "restarts"},
+    # hierarchical spans (repro.observability.trace): opened on start
+    # so live dashboards see in-flight work, closed with the timing
+    "span_started": {"name", "trace_id", "span_id", "parent_id"},
+    "span": {"name", "trace_id", "span_id", "parent_id", "started_at",
+             "duration_seconds", "status"},
+}
+
+_STR = (str,)
+_NUM = (int, float)
+_OPT_STR = (str, type(None))
+
+#: event name -> {field: allowed types}.  Presence alone is too weak
+#: for the fields downstream tooling computes with — the regression
+#: detector and span waterfall would silently misrender a span whose
+#: duration is a string — so these are type-checked on validation.
+#: Only fields with a contract consumers rely on are listed.
+EVENT_FIELD_TYPES: Dict[str, Dict[str, tuple]] = {
+    "span_started": {"name": _STR, "trace_id": _STR, "span_id": _STR,
+                     "parent_id": _OPT_STR},
+    "span": {"name": _STR, "trace_id": _STR, "span_id": _STR,
+             "parent_id": _OPT_STR, "started_at": _NUM,
+             "duration_seconds": _NUM, "status": _STR},
+    # durable-service lifecycle: the live dashboard aggregates these
+    "service_worker_started": {"owner": _STR},
+    "service_worker_exited": {"owner": _STR, "executed": (int,)},
+    "service_worker_restarted": {"worker": (int,),
+                                 "restarts": (int,)},
+    "trial_claimed": {"trial_id": _STR, "owner": _STR,
+                      "attempt": (int,)},
+    "trial_completed": {"trial_id": _STR, "owner": _STR,
+                        "duration_seconds": _NUM},
+    "trial_abandoned": {"trial_id": _STR, "attempts": (int,),
+                        "reason": _STR},
+    "lease_acquired": {"name": _STR, "owner": _STR},
+    "lease_renewed": {"name": _STR, "owner": _STR},
+    "lease_reclaimed": {"name": _STR, "owner": _STR,
+                        "previous_owner": _STR},
+    "lease_lost": {"name": _STR, "owner": _STR},
+    "record_appended": {"key": _STR},
+    "store_compacted": {"records": (int,), "segments": (int,),
+                        "quarantined": (int,)},
 }
 
 
@@ -97,6 +142,17 @@ def validate_event(event: dict) -> List[str]:
     if missing:
         problems.append(
             f"{name}: missing fields {sorted(missing)}")
+    for field, allowed in EVENT_FIELD_TYPES.get(name, {}).items():
+        if field not in event:
+            continue  # absence is already reported above
+        value = event[field]
+        # bool is an int subclass but never a legal count/duration
+        if not isinstance(value, allowed) or (isinstance(value, bool)
+                                              and bool not in allowed):
+            problems.append(
+                f"{name}: field {field!r} has type "
+                f"{type(value).__name__}, expected "
+                + " or ".join(t.__name__ for t in allowed))
     return problems
 
 
@@ -168,13 +224,32 @@ def emit(event: str, **fields) -> dict:
     return _sink.emit(event, **fields)
 
 
-def iter_events(path: PathLike) -> Iterator[dict]:
-    """Stream parsed events from an ``events.jsonl`` file."""
+def iter_events(path: PathLike, strict: bool = False) -> Iterator[dict]:
+    """Stream parsed events from an ``events.jsonl`` file.
+
+    A line that does not parse — usually the torn trailing line a
+    SIGKILL'd writer left mid-append — is skipped with a warning
+    instead of poisoning every event before it; the crash-safety story
+    promises that events emitted before a crash stay readable.  Pass
+    ``strict=True`` to re-raise instead (offline validation wants the
+    error, not the tolerance).
+    """
+    path = Path(path)
     with open(path, "r", encoding="utf-8") as stream:
-        for line in stream:
+        for number, line in enumerate(stream, start=1):
             line = line.strip()
-            if line:
+            if not line:
+                continue
+            try:
                 yield json.loads(line)
+            except ValueError:
+                if strict:
+                    raise
+                _logger.warning(
+                    "skipping unparsable event line (%s line %d, "
+                    "%d bytes): torn append?", path.name, number,
+                    len(line),
+                    extra={"source": path.name, "line_number": number})
 
 
 def read_events(path: PathLike,

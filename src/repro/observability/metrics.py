@@ -150,11 +150,44 @@ class Histogram:
             out.append(running)
         return out
 
+    def quantile(self, q: float) -> float:
+        """Estimate the q-quantile from the bucket boundaries.
+
+        Prometheus-style: find the bucket the target rank falls in and
+        interpolate linearly between its lower and upper bound (the
+        first bucket interpolates up from zero).  Observations beyond
+        the last bound are only known to exceed it, so any quantile
+        landing there reports the last bound — an underestimate the
+        caller fixes by widening the buckets, not by trusting the tail.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ConfigurationError(
+                f"quantile must be in [0, 1], got {q!r}")
+        if not self._count:
+            return 0.0
+        rank = q * self._count
+        cumulative = 0
+        for index, raw in enumerate(self._bucket_counts):
+            previous = cumulative
+            cumulative += raw
+            if cumulative >= rank and raw:
+                lower = self.buckets[index - 1] if index else 0.0
+                upper = self.buckets[index]
+                fraction = (rank - previous) / raw
+                return lower + (upper - lower) * min(fraction, 1.0)
+        return self.buckets[-1]
+
+    def quantiles(self, qs: Sequence[float] = (0.5, 0.95, 0.99)
+                  ) -> Dict[str, float]:
+        """``{"p50": ..., "p95": ..., "p99": ...}`` estimates."""
+        return {f"p{round(q * 100):d}": self.quantile(q) for q in qs}
+
     def sample(self) -> dict:
         return {"name": self.name, "type": "histogram",
                 "labels": dict(self.labels), "count": self._count,
                 "sum": self._sum,
-                "buckets": dict(zip(self.buckets, self.bucket_counts()))}
+                "buckets": dict(zip(self.buckets, self.bucket_counts())),
+                "quantiles": self.quantiles()}
 
 
 class MetricsRegistry:
@@ -252,6 +285,13 @@ class _NullInstrument:
 
     def bucket_counts(self) -> List[int]:
         return []
+
+    def quantile(self, q: float) -> float:
+        return 0.0
+
+    def quantiles(self, qs: Sequence[float] = (0.5, 0.95, 0.99)
+                  ) -> Dict[str, float]:
+        return {}
 
     def sample(self) -> dict:
         return {"name": self.name, "type": "null", "labels": {},

@@ -1,0 +1,285 @@
+"""Hierarchical span tracing over the event stream.
+
+A *span* brackets one named unit of work — a simulation phase, a
+shared-pass sweep, one service trial — and records where it sits in
+the call tree: every span carries a ``trace_id`` shared by the whole
+tree, its own ``span_id``, and the ``parent_id`` of the span it ran
+inside.  Spans are emitted as two events into the process-wide event
+sink (``events.jsonl``): ``span_started`` when the work begins (so a
+live dashboard can show what a worker is doing *right now*) and
+``span`` when it ends, carrying the start timestamp, duration, status,
+and attributes.  Reading the events back therefore reconstructs a full
+waterfall: which phase of which pass of which sweep the wall-time went
+to.
+
+Like the metrics registry, the default tracer is a shared no-op: an
+un-enabled ``span(...)`` call costs one attribute lookup and returns a
+stateless null context manager, so the library brackets its phases
+unconditionally and pays nothing until :func:`enable_tracing` swaps in
+a real :class:`Tracer`.  Spans wrap *phases*, never per-request work,
+so even an enabled tracer adds a handful of events per pass.
+
+Crossing processes: a parent serializes its position with
+:func:`inject` and ships the little context dict to the worker (as a
+plain argument); the worker calls :func:`adopt` after enabling its own
+tracer, and every root span it opens then parents to the remote span —
+one trial's wall-time decomposes across the supervisor and all of its
+workers, even though each process appends to its own event file.
+
+Usage::
+
+    from repro.observability.trace import enable_tracing, span
+
+    enable_tracing()
+    with span("sweep", trace="dfn") as sweep_span:
+        with span("pass", cells=16):
+            ...
+"""
+
+from __future__ import annotations
+
+import threading
+import uuid
+from time import perf_counter, time as _wall_clock
+from typing import Dict, List, Optional
+
+from repro.observability.events import emit as _emit
+
+__all__ = [
+    "Span",
+    "Tracer",
+    "NullTracer",
+    "span",
+    "get_tracer",
+    "set_tracer",
+    "enable_tracing",
+    "disable_tracing",
+    "inject",
+    "adopt",
+]
+
+#: Span status values.
+STATUS_OK = "ok"
+STATUS_ERROR = "error"
+
+
+def _new_id() -> str:
+    return uuid.uuid4().hex[:16]
+
+
+class Span:
+    """One traced unit of work; also its own context manager.
+
+    Attributes are free-form JSON-serializable values; set them at
+    creation (``span("pass", cells=16)``) or later with
+    :meth:`set_attribute` while the work runs.
+    """
+
+    __slots__ = ("trace_id", "span_id", "parent_id", "name", "status",
+                 "attributes", "started_at", "duration_seconds",
+                 "_tracer", "_clock_start")
+
+    def __init__(self, tracer: "Tracer", name: str, trace_id: str,
+                 span_id: str, parent_id: Optional[str],
+                 attributes: Dict[str, object]):
+        self._tracer = tracer
+        self.name = name
+        self.trace_id = trace_id
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.attributes = attributes
+        self.status = STATUS_OK
+        self.started_at = _wall_clock()
+        self._clock_start = perf_counter()
+        self.duration_seconds: Optional[float] = None
+
+    def set_attribute(self, key: str, value: object) -> None:
+        self.attributes[key] = value
+
+    def set_status(self, status: str) -> None:
+        self.status = status
+
+    @property
+    def ended(self) -> bool:
+        return self.duration_seconds is not None
+
+    def end(self, status: Optional[str] = None) -> None:
+        """Close the span and emit its ``span`` event (idempotent)."""
+        if self.ended:
+            return
+        if status is not None:
+            self.status = status
+        self.duration_seconds = round(
+            perf_counter() - self._clock_start, 6)
+        self._tracer._on_end(self)
+
+    def __enter__(self) -> "Span":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.end(STATUS_ERROR if exc_type is not None else None)
+        return False
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"Span({self.name!r}, trace={self.trace_id}, "
+                f"span={self.span_id}, parent={self.parent_id})")
+
+
+class _NullSpan:
+    """Shared, stateless do-nothing span (and context manager)."""
+
+    __slots__ = ()
+    name = "null"
+    trace_id = ""
+    span_id = ""
+    parent_id = None
+    status = STATUS_OK
+    ended = True
+
+    def set_attribute(self, key: str, value: object) -> None:
+        pass
+
+    def set_status(self, status: str) -> None:
+        pass
+
+    def end(self, status: Optional[str] = None) -> None:
+        pass
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc_info) -> bool:
+        return False
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class Tracer:
+    """Creates spans and tracks the active one per thread.
+
+    The active-span stack is thread-local, so concurrently simulating
+    threads each get a coherent parent chain; the adopted remote
+    context (see :func:`adopt`) is process-wide, because a worker
+    process belongs to exactly one remote parent.
+    """
+
+    enabled = True
+
+    def __init__(self):
+        self._local = threading.local()
+        #: Remote parent adopted from another process, or None.
+        self.remote_context: Optional[Dict[str, str]] = None
+
+    def _stack(self) -> List[Span]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
+
+    def current_span(self) -> Optional[Span]:
+        stack = self._stack()
+        return stack[-1] if stack else None
+
+    def span(self, name: str, **attributes) -> Span:
+        """Open a span under the current one (or the adopted remote
+        parent, or as a new root) and emit ``span_started``."""
+        stack = self._stack()
+        if stack:
+            parent = stack[-1]
+            trace_id, parent_id = parent.trace_id, parent.span_id
+        elif self.remote_context is not None:
+            trace_id = self.remote_context["trace_id"]
+            parent_id = self.remote_context["span_id"]
+        else:
+            trace_id, parent_id = _new_id(), None
+        opened = Span(self, name, trace_id, _new_id(), parent_id,
+                      attributes)
+        stack.append(opened)
+        _emit("span_started", name=name, trace_id=trace_id,
+              span_id=opened.span_id, parent_id=parent_id)
+        return opened
+
+    def _on_end(self, ended: Span) -> None:
+        stack = self._stack()
+        if ended in stack:
+            # Closing out of order (an inner span leaked) still keeps
+            # the stack consistent: everything above is dropped.
+            del stack[stack.index(ended):]
+        _emit("span", name=ended.name, trace_id=ended.trace_id,
+              span_id=ended.span_id, parent_id=ended.parent_id,
+              started_at=round(ended.started_at, 6),
+              duration_seconds=ended.duration_seconds,
+              status=ended.status,
+              attributes=dict(ended.attributes))
+
+
+class NullTracer:
+    """The zero-overhead default: every span is one shared no-op."""
+
+    enabled = False
+    remote_context: Optional[Dict[str, str]] = None
+
+    def span(self, name: str, **attributes) -> _NullSpan:
+        return _NULL_SPAN
+
+    def current_span(self) -> None:
+        return None
+
+
+_NULL_TRACER = NullTracer()
+_tracer = _NULL_TRACER
+
+
+def get_tracer():
+    """The process-wide tracer (a no-op unless tracing is enabled)."""
+    return _tracer
+
+
+def set_tracer(tracer) -> object:
+    """Install ``tracer`` as the process-wide one; returns the old."""
+    global _tracer
+    previous = _tracer
+    _tracer = tracer if tracer is not None else _NULL_TRACER
+    return previous
+
+
+def enable_tracing() -> Tracer:
+    """Install and return a fresh real tracer."""
+    tracer = Tracer()
+    set_tracer(tracer)
+    return tracer
+
+
+def disable_tracing() -> None:
+    """Restore the no-op default tracer."""
+    set_tracer(_NULL_TRACER)
+
+
+def span(name: str, **attributes):
+    """Open a span on the process-wide tracer (no-op by default)."""
+    return _tracer.span(name, **attributes)
+
+
+def inject() -> Optional[Dict[str, str]]:
+    """The current trace position as a picklable context dict.
+
+    Returns None when tracing is disabled or no span is active —
+    callers pass the result to worker processes unconditionally.
+    """
+    current = _tracer.current_span()
+    if current is None:
+        return None
+    return {"trace_id": current.trace_id, "span_id": current.span_id}
+
+
+def adopt(context: Optional[Dict[str, str]]) -> None:
+    """Parent this process's future root spans to a remote span.
+
+    A worker calls this (after :func:`enable_tracing`) with the dict a
+    supervisor built via :func:`inject`; ``None`` clears the adoption.
+    No-op on the null tracer.
+    """
+    if _tracer.enabled:
+        _tracer.remote_context = (dict(context)
+                                  if context is not None else None)

@@ -75,6 +75,7 @@ from repro.observability.events import emit
 from repro.observability.logs import get_logger
 from repro.observability.metrics import get_registry
 from repro.observability.profiling import PhaseTimings, phase_timer
+from repro.observability.trace import span as _span
 from repro.simulation.freshness import FreshnessTracker, TTLModel
 from repro.simulation.metrics import TypeMetrics
 from repro.simulation.occupancy import OccupancyTracker
@@ -646,41 +647,46 @@ def run_cells(trace: Union[Trace, Sequence[Request], Iterable[Request]],
     if timings is None:
         timings = PhaseTimings()
     emit("pass_started", cells=len(cells), requests=total)
-    if lru_fast_path and not streaming:
-        ladder, ordinary = _lru_ladder_split(requests, cells)
-    else:
-        ladder, ordinary = [], list(cells)
-    stream = ReferenceStream()
-    grouped: Dict[tuple, Tuple[object, List[CacheCell]]] = {}
-    for cell in ordinary:
-        key = stream.resolver_key(cell.config)
-        if key not in grouped:
-            grouped[key] = (stream.resolver(cell.config), [])
-        grouped[key][1].append(cell)
-    boundaries: Dict[int, Dict[DocumentType, list]] = {}
-    for cell in cells:
-        if cell.deferred and cell._warmup not in boundaries:
-            boundaries[cell._warmup] = _new_requested_totals()
-    with phase_timer("pass", timings):
-        if streaming:
-            seen = drive_pass_streaming(iter(requests),
-                                        list(grouped.values()),
-                                        boundaries, chunk_size)
-            if seen != total:
-                raise SimulationError(
-                    f"trace stream yielded {seen} requests but "
-                    f"total_requests={total} was declared; warm-up "
-                    "boundaries would be wrong")
+    pass_span = _span("pass", cells=len(cells), requests=total,
+                      trace=name, streaming=streaming)
+    with pass_span:
+        if lru_fast_path and not streaming:
+            ladder, ordinary = _lru_ladder_split(requests, cells)
         else:
-            drive_pass(requests, 0, list(grouped.values()), boundaries,
-                       chunk_size)
-    if ladder:
-        with phase_timer("lru_ladder", timings):
-            _run_lru_ladder(requests, ladder)
-    with phase_timer("aggregate", timings):
-        results = [cell.finalize(name, total,
-                                 boundaries.get(cell._warmup))
-                   for cell in cells]
+            ladder, ordinary = [], list(cells)
+        pass_span.set_attribute("lru_fast_path_cells", len(ladder))
+        stream = ReferenceStream()
+        grouped: Dict[tuple, Tuple[object, List[CacheCell]]] = {}
+        for cell in ordinary:
+            key = stream.resolver_key(cell.config)
+            if key not in grouped:
+                grouped[key] = (stream.resolver(cell.config), [])
+            grouped[key][1].append(cell)
+        boundaries: Dict[int, Dict[DocumentType, list]] = {}
+        for cell in cells:
+            if cell.deferred and cell._warmup not in boundaries:
+                boundaries[cell._warmup] = _new_requested_totals()
+        with _span("drive"), phase_timer("pass", timings):
+            if streaming:
+                seen = drive_pass_streaming(iter(requests),
+                                            list(grouped.values()),
+                                            boundaries, chunk_size)
+                if seen != total:
+                    raise SimulationError(
+                        f"trace stream yielded {seen} requests but "
+                        f"total_requests={total} was declared; warm-up "
+                        "boundaries would be wrong")
+            else:
+                drive_pass(requests, 0, list(grouped.values()),
+                           boundaries, chunk_size)
+        if ladder:
+            with _span("lru_ladder", cells=len(ladder)), \
+                    phase_timer("lru_ladder", timings):
+                _run_lru_ladder(requests, ladder)
+        with _span("aggregate"), phase_timer("aggregate", timings):
+            results = [cell.finalize(name, total,
+                                     boundaries.get(cell._warmup))
+                       for cell in cells]
     _publish_pass_telemetry(results, timings, len(cells), len(ladder),
                             total)
     return results

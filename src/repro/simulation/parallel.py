@@ -53,6 +53,7 @@ from repro.observability import events as _events
 from repro.observability.logs import get_logger
 from repro.observability.manifest import TelemetryRun
 from repro.observability.profiling import maybe_profile
+from repro.observability.trace import span as _span
 from repro.resilience.checkpoint import CheckpointStore, config_hash
 from repro.resilience.faults import FaultInjector
 from repro.resilience.retry import RetryPolicy
@@ -366,7 +367,12 @@ def run_sweep_parallel(trace: Trace,
         events = telemetry.events
     emit = events.emit if events is not None else _events.emit
 
+    sweep_span = _span("sweep", trace=trace.name, cells=len(cells),
+                       workers=n_workers, engine=engine)
+
     def _finish() -> SweepResult:
+        sweep_span.set_attribute("failures", len(sweep.failures))
+        sweep_span.end()
         if telemetry is not None:
             telemetry.finalize(
                 "partial" if sweep.failures else "complete")
@@ -461,6 +467,7 @@ def run_sweep_parallel(trace: Trace,
         ).run(sweep)
         return _finish()
     except BaseException:
+        sweep_span.end("error")
         if telemetry is not None:
             telemetry.finalize("failed")
         raise

@@ -41,6 +41,7 @@ from repro.core.policy import AccessOutcome, ReplacementPolicy
 from repro.observability.logs import get_logger
 from repro.observability.metrics import get_registry
 from repro.observability.profiling import PhaseTimings, phase_timer
+from repro.observability.trace import span as _span
 from repro.simulation.engine import (
     CacheCell,
     SimulationConfig,
@@ -123,14 +124,18 @@ class CacheSimulator:
         boundaries = ({warmup: _new_requested_totals()}
                       if cell.deferred else None)
         groups = [(self._resolver, [cell])]
-        with phase_timer("warmup", timings):
-            drive_pass(requests[:warmup], 0, groups, None)
-        with phase_timer("measurement", timings):
-            drive_pass(requests[warmup:], warmup, groups, boundaries)
-        with phase_timer("aggregate", timings):
-            result = cell.finalize(
-                name, total,
-                boundaries[warmup] if boundaries else None)
+        with _span("simulate", policy=str(self.config.policy),
+                   capacity_bytes=self.config.capacity_bytes,
+                   trace=name, requests=total):
+            with _span("warmup"), phase_timer("warmup", timings):
+                drive_pass(requests[:warmup], 0, groups, None)
+            with _span("measurement"), \
+                    phase_timer("measurement", timings):
+                drive_pass(requests[warmup:], warmup, groups, boundaries)
+            with _span("aggregate"), phase_timer("aggregate", timings):
+                result = cell.finalize(
+                    name, total,
+                    boundaries[warmup] if boundaries else None)
         self._publish_telemetry(result, timings)
         return result
 
@@ -142,7 +147,8 @@ class CacheSimulator:
         cell = self._cell
         cell.begin_run(warmup_requests, deferred=False)
         total = 0
-        with phase_timer("stream", timings):
+        with _span("stream", policy=str(self.config.policy)), \
+                phase_timer("stream", timings):
             for request in requests:
                 outcome = self._step(request)
                 total += 1

@@ -1,0 +1,217 @@
+"""Live dashboard: incremental tailing, span stacks, rate, render."""
+
+import io
+import json
+
+import pytest
+
+from repro.experiments.dashboard import (
+    THROUGHPUT_WINDOW,
+    Dashboard,
+    EventTailer,
+    watch,
+)
+from repro.experiments.service import open_service
+
+
+def _write_line(path, record):
+    with open(path, "a", encoding="utf-8") as stream:
+        stream.write(json.dumps(record) + "\n")
+
+
+def _event(event, ts=1.0, seq=1, **fields):
+    return dict({"ts": ts, "seq": seq, "event": event}, **fields)
+
+
+class TestEventTailer:
+    def test_reads_only_new_lines_per_poll(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        _write_line(path, _event("a"))
+        tailer = EventTailer([tmp_path])
+        assert [e["event"] for e in tailer.poll()] == ["a"]
+        assert tailer.poll() == []
+        _write_line(path, _event("b", seq=2))
+        assert [e["event"] for e in tailer.poll()] == ["b"]
+
+    def test_torn_trailing_bytes_stay_unconsumed(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        _write_line(path, _event("a"))
+        with open(path, "a", encoding="utf-8") as stream:
+            stream.write('{"ts": 2, "seq": 2, "event": "to')
+        tailer = EventTailer([tmp_path])
+        assert [e["event"] for e in tailer.poll()] == ["a"]
+        # the writer finishes its append; the tail picks it up whole
+        with open(path, "a", encoding="utf-8") as stream:
+            stream.write('rn"}\n')
+        assert [e["event"] for e in tailer.poll()] == ["torn"]
+
+    def test_garbage_line_skipped_without_stalling(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        path.write_text('{oops\n{"ts": 1, "seq": 1, "event": "ok"}\n')
+        tailer = EventTailer([tmp_path])
+        assert [e["event"] for e in tailer.poll()] == ["ok"]
+
+    def test_new_files_picked_up_between_polls(self, tmp_path):
+        tailer = EventTailer([tmp_path])
+        assert tailer.poll() == []
+        _write_line(tmp_path / "events-42.jsonl", _event("late"))
+        events = tailer.poll()
+        assert [e["event"] for e in events] == ["late"]
+        assert events[0]["_source"] == "events-42.jsonl"
+
+    def test_missing_directory_is_fine(self, tmp_path):
+        tailer = EventTailer([tmp_path / "nowhere"])
+        assert tailer.poll() == []
+
+    def test_multiple_directories_merged(self, tmp_path):
+        first, second = tmp_path / "one", tmp_path / "two"
+        first.mkdir()
+        second.mkdir()
+        _write_line(first / "events.jsonl", _event("x"))
+        _write_line(second / "events-9.jsonl", _event("y"))
+        tailer = EventTailer([first, second])
+        assert {e["event"] for e in tailer.poll()} == {"x", "y"}
+
+
+class TestDashboardState:
+    def _dashboard(self, tmp_path, now=1000.0):
+        open_service(tmp_path)  # create queue/store dirs
+        return Dashboard(tmp_path, events_dirs=[tmp_path / "telemetry"],
+                         clock=lambda: now)
+
+    def test_span_stack_opens_and_closes(self, tmp_path):
+        dashboard = self._dashboard(tmp_path)
+        telemetry = tmp_path / "telemetry"
+        telemetry.mkdir()
+        path = telemetry / "events-7.jsonl"
+        _write_line(path, _event("span_started", name="worker",
+                                 span_id="w1"))
+        _write_line(path, _event("span_started", name="trial",
+                                 span_id="t1"))
+        dashboard.update()
+        assert dashboard.current_spans() == {
+            "events-7.jsonl": "worker > trial"}
+        _write_line(path, _event("span", name="trial", span_id="t1"))
+        dashboard.update()
+        assert dashboard.current_spans() == {
+            "events-7.jsonl": "worker"}
+
+    def test_closing_outer_span_drops_leaked_children(self, tmp_path):
+        dashboard = self._dashboard(tmp_path)
+        telemetry = tmp_path / "telemetry"
+        telemetry.mkdir()
+        path = telemetry / "events-7.jsonl"
+        _write_line(path, _event("span_started", name="worker",
+                                 span_id="w1"))
+        _write_line(path, _event("span_started", name="trial",
+                                 span_id="t1"))
+        _write_line(path, _event("span", name="worker", span_id="w1"))
+        dashboard.update()
+        assert dashboard.current_spans() == {}
+
+    def test_throughput_counts_recent_completions_only(self, tmp_path):
+        now = 1000.0
+        dashboard = self._dashboard(tmp_path, now=now)
+        telemetry = tmp_path / "telemetry"
+        telemetry.mkdir()
+        path = telemetry / "events.jsonl"
+        # two in the window, one long past it
+        _write_line(path, _event("trial_completed",
+                                 ts=now - THROUGHPUT_WINDOW - 5,
+                                 trial_id="old", owner="h:1",
+                                 duration_seconds=1.0))
+        _write_line(path, _event("trial_completed", ts=now - 10,
+                                 trial_id="a", owner="h:1",
+                                 duration_seconds=1.0))
+        _write_line(path, _event("trial_completed", ts=now - 1,
+                                 trial_id="b", owner="h:1",
+                                 duration_seconds=1.0))
+        dashboard.update()
+        assert dashboard.throughput() == pytest.approx(
+            2 / THROUGHPUT_WINDOW)
+        assert dashboard._completed_total == 3
+
+    def test_eta_from_rate(self, tmp_path):
+        dashboard = self._dashboard(tmp_path)
+        assert dashboard.eta_seconds(0) == 0.0
+        assert dashboard.eta_seconds(5) is None  # no rate yet
+        dashboard._completions = [990.0, 995.0, 999.0]
+        rate = 3 / THROUGHPUT_WINDOW
+        assert dashboard.eta_seconds(10) == pytest.approx(10 / rate)
+
+
+class TestRender:
+    def test_render_shows_queue_store_and_workers(self, tmp_path):
+        queue, store = open_service(tmp_path, owner="host:1")
+        queue.enqueue({"trace": "dfn", "scale": 0.01, "policy": "lru",
+                       "size_fraction": 0.05, "seed": 0})
+        queue.enqueue({"trace": "dfn", "scale": 0.01, "policy": "lru",
+                       "size_fraction": 0.05, "seed": 1})
+        claimed = queue.claim()
+        assert claimed is not None
+        dashboard = Dashboard(tmp_path, clock=lambda: 1000.0)
+        dashboard.update()
+        screen = dashboard.render()
+        assert "pending=1" in screen
+        assert "running=1" in screen
+        assert "host:1" in screen
+        assert "ETA unknown" in screen
+        assert claimed.trial_id[:28] in screen
+
+    def test_render_without_leases(self, tmp_path):
+        open_service(tmp_path)
+        dashboard = Dashboard(tmp_path, clock=lambda: 1000.0)
+        screen = dashboard.render()
+        assert "(no leases held)" in screen
+        assert "records=0" in screen
+
+    def test_render_includes_in_flight_spans(self, tmp_path):
+        open_service(tmp_path)
+        telemetry = tmp_path / "telemetry"
+        telemetry.mkdir()
+        _write_line(telemetry / "events-3.jsonl",
+                    _event("span_started", name="sweep", span_id="s"))
+        dashboard = Dashboard(tmp_path, clock=lambda: 1000.0)
+        dashboard.update()
+        screen = dashboard.render()
+        assert "in flight:" in screen
+        assert "events-3.jsonl: sweep" in screen
+
+
+class TestWatch:
+    def test_fixed_iterations_paint_and_sleep(self, tmp_path):
+        open_service(tmp_path)
+        out = io.StringIO()
+        sleeps = []
+        code = watch(tmp_path, interval=1.5, iterations=3,
+                     clock=lambda: 1000.0, sleep=sleeps.append,
+                     out=out, clear_screen=False)
+        assert code == 0
+        assert out.getvalue().count("service dashboard") == 3
+        # no sleep after the final repaint
+        assert sleeps == [1.5, 1.5]
+
+    def test_clear_screen_emits_ansi_home(self, tmp_path):
+        open_service(tmp_path)
+        out = io.StringIO()
+        watch(tmp_path, iterations=1, clock=lambda: 1000.0,
+              sleep=lambda _: None, out=out)
+        assert out.getvalue().startswith("\x1b[2J\x1b[H")
+
+    def test_watch_picks_up_events_between_paints(self, tmp_path):
+        open_service(tmp_path)
+        telemetry = tmp_path / "telemetry"
+        telemetry.mkdir()
+        path = telemetry / "events.jsonl"
+        out = io.StringIO()
+
+        def sleep(_):
+            _write_line(path, _event("span_started", name="late",
+                                     span_id="l1"))
+
+        watch(tmp_path, iterations=2, clock=lambda: 1000.0,
+              sleep=sleep, out=out, clear_screen=False)
+        text = out.getvalue()
+        first, second = text.split("service dashboard")[1:]
+        assert "late" not in first
+        assert "late" in second

@@ -1,0 +1,273 @@
+"""Self-contained HTML reports: structure, panels, palette rules."""
+
+import pytest
+
+from repro.experiments.htmlreport import (
+    PALETTE_DARK,
+    PALETTE_LIGHT,
+    SlotAssigner,
+    line_chart,
+    render_document,
+    report_from_experiment,
+    report_from_store,
+    span_waterfall,
+    verdict_table,
+    write_html_report,
+)
+from repro.experiments.regress import detect_regressions
+from repro.experiments.runner import ExperimentReport
+from repro.experiments.store import ResultsStore
+
+
+def _service_payload(policy, fraction, hit_rate, seed):
+    return {
+        "spec": {"trace": "dfn", "scale": 0.01, "policy": policy,
+                 "size_fraction": fraction, "seed": seed},
+        "capacity_bytes": int(fraction * 1e6),
+        "hit_rate": hit_rate,
+        "byte_hit_rate": hit_rate * 0.6,
+        "type_hit_rates": {"image": hit_rate + 0.05,
+                           "html": hit_rate - 0.05,
+                           "multimedia": hit_rate * 0.5,
+                           "application": hit_rate * 0.8,
+                           "other": hit_rate},
+    }
+
+
+@pytest.fixture
+def populated_store(tmp_path):
+    store = ResultsStore(tmp_path / "store")
+    for policy, base in (("lru", 0.40), ("gd*(1)", 0.50)):
+        for fraction in (0.01, 0.05, 0.2):
+            for seed in range(3):
+                store.append(
+                    f"cfg-{policy}-{fraction}", "abc123", seed,
+                    _service_payload(policy, fraction,
+                                     base + fraction + seed * 0.01,
+                                     seed))
+    return store
+
+
+class TestPalette:
+    def test_eight_slots_both_modes(self):
+        assert len(PALETTE_LIGHT) == len(PALETTE_DARK) == 8
+        assert PALETTE_LIGHT[0] == "#2a78d6"  # slot 1 is blue
+
+    def test_slots_assigned_first_seen_never_cycled(self):
+        slots = SlotAssigner(limit=2)
+        assert slots.slot("a") == 1
+        assert slots.slot("b") == 2
+        assert slots.slot("a") == 1  # stable on re-ask
+        assert slots.slot("c") is None  # folded, not cycled
+
+    def test_policy_keeps_its_color_across_panels(
+            self, populated_store):
+        document = report_from_store(populated_store)
+        # lru appears before gd*(1) alphabetically after sorting;
+        # whichever slot each got, it must be the same in every panel
+        first = document.find("--series-1")
+        assert first != -1
+
+
+class TestLineChart:
+    def test_series_lines_markers_and_legend(self):
+        chart = line_chart(
+            "hit rate", ["1MB", "4MB"],
+            [{"name": "lru", "values": [0.3, 0.4]},
+             {"name": "gds", "values": [0.35, 0.45]}])
+        assert chart.count("<polyline") == 2
+        assert 'stroke-width="2"' in chart
+        assert chart.count("<circle") == 4
+        assert 'r="4"' in chart
+        assert 'class="legend"' in chart
+        assert "lru" in chart and "gds" in chart
+
+    def test_single_series_has_no_legend_box(self):
+        chart = line_chart("hit rate", ["1MB"],
+                           [{"name": "lru", "values": [0.3]}])
+        assert 'class="legend"' not in chart
+
+    def test_ci_whiskers_drawn_when_bounds_given(self):
+        chart = line_chart(
+            "hit rate", ["1MB"],
+            [{"name": "lru", "values": [0.4],
+              "lo": [0.35], "hi": [0.45]}])
+        # stem + two caps beyond the gridlines/baseline
+        assert chart.count('stroke-width="1.5"') == 3
+
+    def test_ninth_series_folds_with_a_note(self):
+        series = [{"name": f"p{i}", "values": [0.1]}
+                  for i in range(9)]
+        chart = line_chart("crowded", ["x"], series)
+        assert "palette exhausted" in chart
+        assert "p8" in chart
+
+    def test_none_values_leave_gaps(self):
+        chart = line_chart(
+            "gappy", ["a", "b", "c"],
+            [{"name": "lru", "values": [0.3, None, 0.5]}])
+        assert chart.count("<circle") == 2
+
+    def test_text_is_escaped(self):
+        chart = line_chart("<script>", ["x"],
+                           [{"name": "a<b", "values": [0.1]}])
+        assert "<script>" not in chart
+        assert "&lt;script&gt;" in chart
+
+
+class TestSpanWaterfall:
+    def _spans(self):
+        return [
+            {"name": "sweep", "trace_id": "t", "span_id": "s1",
+             "parent_id": None, "started_at": 100.0,
+             "duration_seconds": 2.0, "status": "ok"},
+            {"name": "pass", "trace_id": "t", "span_id": "s2",
+             "parent_id": "s1", "started_at": 100.2,
+             "duration_seconds": 1.5, "status": "ok"},
+            {"name": "aggregate", "trace_id": "t", "span_id": "s3",
+             "parent_id": "s2", "started_at": 101.8,
+             "duration_seconds": 0.1, "status": "error"},
+        ]
+
+    def test_bars_sorted_and_labelled(self):
+        svg = span_waterfall(self._spans())
+        assert svg.count("<rect") == 3
+        assert svg.index("sweep") < svg.index("pass") \
+            < svg.index("aggregate")
+
+    def test_error_status_carries_text_marker(self):
+        svg = span_waterfall(self._spans())
+        assert "x error" in svg
+
+    def test_empty_spans_render_placeholder(self):
+        assert "no span events" in span_waterfall([])
+
+    def test_row_cap_with_note(self):
+        spans = [{"name": f"s{i}", "trace_id": "t",
+                  "span_id": f"id{i}", "parent_id": None,
+                  "started_at": 100.0 + i,
+                  "duration_seconds": 0.5, "status": "ok"}
+                 for i in range(70)]
+        svg = span_waterfall(spans, max_rows=60)
+        assert svg.count("<rect") == 60
+        assert "first 60 of 70" in svg
+
+    def test_malformed_spans_skipped(self):
+        svg = span_waterfall([{"name": "bad",
+                               "started_at": "yesterday",
+                               "duration_seconds": 1.0}])
+        assert "no span events" in svg
+
+
+class TestVerdictTable:
+    def _regression_data(self, tmp_path):
+        store = ResultsStore(tmp_path / "rstore")
+        for seed in range(5):
+            store.append("cfg", "base", seed,
+                         _service_payload("lru", 0.05,
+                                          0.50 + seed * 0.01, seed))
+            store.append("cfg", "cand", seed,
+                         _service_payload("lru", 0.05,
+                                          0.40 + seed * 0.01, seed))
+        return detect_regressions(store, baseline="base",
+                                  candidate="cand").as_dict()
+
+    def test_verdict_rows_with_icon_plus_label(self, tmp_path):
+        table = verdict_table(self._regression_data(tmp_path))
+        assert "▼ regressed" in table  # icon + label, never color alone
+        assert "verdict-regressed" in table
+        assert "base" in table and "cand" in table
+
+    def test_empty_verdicts_note(self):
+        table = verdict_table({"baseline": "a", "candidate": "b",
+                               "alpha": 0.05, "verdicts": []})
+        assert "no shared configuration" in table
+
+
+class TestDocument:
+    def test_single_file_self_contained(self, populated_store,
+                                        tmp_path):
+        document = report_from_store(populated_store)
+        assert document.startswith("<!DOCTYPE html>")
+        assert "<style>" in document
+        assert "<svg" in document
+        # self-contained: no external fetches, no scripts
+        for forbidden in ("<script", "http://", "https://",
+                          "src=", "@import", "url("):
+            assert forbidden not in document, forbidden
+        path = write_html_report(tmp_path / "out" / "report.html",
+                                 document)
+        assert path.read_text(encoding="utf-8") == document
+
+    def test_dark_mode_block_present(self, populated_store):
+        document = report_from_store(populated_store)
+        assert "prefers-color-scheme: dark" in document
+        assert PALETTE_LIGHT[0] in document
+        assert PALETTE_DARK[0] in document
+
+    def test_per_type_panels_present(self, populated_store):
+        document = report_from_store(populated_store)
+        for panel in ("image hit rate", "html hit rate",
+                      "multimedia hit rate", "application hit rate"):
+            assert panel in document
+        assert "byte hit rate" in document
+
+    def test_verdicts_and_waterfall_included_when_given(
+            self, populated_store):
+        spans = [{"name": "trial", "trace_id": "t", "span_id": "s",
+                  "parent_id": None, "started_at": 1.0,
+                  "duration_seconds": 0.5, "status": "ok"}]
+        regression = {"baseline": "a", "candidate": "b",
+                      "alpha": 0.05, "verdicts": [], "summary": {}}
+        document = report_from_store(populated_store,
+                                     regression=regression,
+                                     span_events=spans)
+        assert "regression verdicts" in document
+        assert "span waterfall" in document
+
+    def test_empty_store_renders_note(self, tmp_path):
+        store = ResultsStore(tmp_path / "empty")
+        document = report_from_store(store)
+        assert "no service records" in document
+
+    def test_render_document_escapes_title(self):
+        document = render_document("<title>", ["<p>ok</p>"])
+        assert "&lt;title&gt;" in document
+
+
+class TestFromExperiment:
+    def test_sweep_report_gets_charts(self):
+        report = ExperimentReport(
+            "fig2", "tiny", "text report",
+            {"capacities": [1_000_000, 4_000_000],
+             "hit_rate": {"overall": {"lru": [0.3, 0.4],
+                                      "gds(1)": [0.35, 0.45]},
+                          "image": {"lru": [0.4, 0.5],
+                                    "gds(1)": [0.45, 0.55]}},
+             "byte_hit_rate": {"overall": {"lru": [0.2, 0.3],
+                                           "gds(1)": [0.25, 0.35]}}},
+            {})
+        document = report_from_experiment(report)
+        assert "overall hit rate vs cache size" in document
+        assert "image hit rate vs cache size" in document
+        assert "overall byte hit rate vs cache size" in document
+        assert "<svg" in document
+        assert "977KB" in document or "1.0MB" in document
+
+    def test_non_sweep_report_falls_back_to_text(self):
+        report = ExperimentReport("table1", "tiny",
+                                  "plain text tables", {"n": 1}, {})
+        document = report_from_experiment(report)
+        assert "plain text tables" in document
+        assert "<pre>" in document
+
+    def test_write_report_emits_html(self, tmp_path):
+        from repro.experiments.report import write_report
+        report = ExperimentReport("table1", "tiny", "body",
+                                  {"n": 1}, {"t.csv": "a,b\n"})
+        directory = write_report(report, tmp_path)
+        html_path = directory / "report.html"
+        assert html_path.exists()
+        assert "body" in html_path.read_text(encoding="utf-8")
+        assert (directory / "report.txt").exists()
+        assert (directory / "t.csv").exists()

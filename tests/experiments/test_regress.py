@@ -1,0 +1,238 @@
+"""Cross-revision regression detection: gating, inference, CLI."""
+
+import pytest
+
+from repro.errors import ServiceError
+from repro.experiments.regress import (
+    IMPROVED,
+    INDISTINGUISHABLE,
+    REGRESSED,
+    RegressionReport,
+    collect_samples,
+    detect_regressions,
+    main,
+    resolve_hashes,
+)
+from repro.experiments.store import ResultsStore
+
+
+def _payload(policy="lru", trace="dfn", scale=0.01, fraction=0.05,
+             hit_rate=0.5, byte_hit_rate=0.3, types=None):
+    return {
+        "spec": {"trace": trace, "scale": scale, "policy": policy,
+                 "size_fraction": fraction, "seed": 0},
+        "capacity_bytes": 1000,
+        "hit_rate": hit_rate,
+        "byte_hit_rate": byte_hit_rate,
+        "type_hit_rates": dict(types or {"image": hit_rate + 0.1,
+                                         "html": hit_rate - 0.1}),
+    }
+
+
+def _populate(store, git_hash, hit_rates, **kwargs):
+    """One record per seed under one condition and revision."""
+    for seed, rate in enumerate(hit_rates):
+        store.append("cfg-" + kwargs.get("policy", "lru"), git_hash,
+                     seed, _payload(hit_rate=rate, **kwargs))
+
+
+@pytest.fixture
+def store(tmp_path):
+    return ResultsStore(tmp_path / "store")
+
+
+class TestCollectSamples:
+    def test_groups_by_condition_then_hash_then_metric(self, store):
+        _populate(store, "aaa", [0.5, 0.6])
+        _populate(store, "bbb", [0.4, 0.45])
+        samples = collect_samples(store)
+        condition = ("dfn", 0.01, "lru", 0.05)
+        assert condition in samples
+        assert set(samples[condition]) == {"aaa", "bbb"}
+        metrics = samples[condition]["aaa"]
+        assert metrics["hit_rate"] == {0: 0.5, 1: 0.6}
+        assert "byte_hit_rate" in metrics
+        assert "hit_rate[image]" in metrics
+
+    def test_foreign_records_are_skipped(self, store):
+        store.append("cfg", "aaa", 1, {"something": "else"})
+        assert collect_samples(store) == {}
+
+    def test_non_numeric_and_bool_metrics_skipped(self, store):
+        payload = _payload()
+        payload["hit_rate"] = True
+        payload["type_hit_rates"]["image"] = "high"
+        store.append("cfg", "aaa", 1, payload)
+        metrics = collect_samples(store)[("dfn", 0.01, "lru", 0.05)]
+        assert "hit_rate" not in metrics["aaa"]
+        assert "hit_rate[image]" not in metrics["aaa"]
+        assert "hit_rate[html]" in metrics["aaa"]
+
+
+class TestVerdicts:
+    def test_seeded_regression_is_flagged(self, store):
+        # clearly separated samples: every candidate below every
+        # baseline, 5 seeds a side -> exact p well under 0.05
+        _populate(store, "base", [0.50, 0.51, 0.52, 0.53, 0.54])
+        _populate(store, "cand", [0.40, 0.41, 0.42, 0.43, 0.44])
+        report = detect_regressions(store, baseline="base",
+                                    candidate="cand")
+        overall = [v for v in report.verdicts
+                   if v.metric == "hit_rate"]
+        assert [v.verdict for v in overall] == [REGRESSED]
+        assert overall[0].a12 < 0.5
+        assert report.regressions
+
+    def test_seeded_improvement_is_flagged(self, store):
+        _populate(store, "base", [0.40, 0.41, 0.42, 0.43, 0.44])
+        _populate(store, "cand", [0.50, 0.51, 0.52, 0.53, 0.54])
+        report = detect_regressions(store, baseline="base",
+                                    candidate="cand")
+        overall = [v for v in report.verdicts
+                   if v.metric == "hit_rate"]
+        assert [v.verdict for v in overall] == [IMPROVED]
+        assert overall[0].a12 > 0.5
+
+    def test_noise_stays_indistinguishable(self, store):
+        # interleaved samples: no consistent direction
+        _populate(store, "base", [0.50, 0.43, 0.52, 0.45, 0.49])
+        _populate(store, "cand", [0.49, 0.51, 0.44, 0.50, 0.46])
+        report = detect_regressions(store, baseline="base",
+                                    candidate="cand")
+        assert all(v.verdict == INDISTINGUISHABLE
+                   for v in report.verdicts)
+        assert not report.regressions
+        assert not report.improvements
+
+    def test_insignificant_shift_not_flagged(self, store):
+        # a consistent but tiny sample (2 seeds a side) cannot reach
+        # p < 0.05 under the exact test: the detector must refuse
+        _populate(store, "base", [0.50, 0.51])
+        _populate(store, "cand", [0.40, 0.41])
+        report = detect_regressions(store, baseline="base",
+                                    candidate="cand")
+        assert all(v.verdict == INDISTINGUISHABLE
+                   for v in report.verdicts)
+
+    def test_per_type_metrics_get_their_own_verdicts(self, store):
+        # overall flat; image rate collapses
+        for seed, (overall, image) in enumerate(
+                [(0.5, 0.60), (0.51, 0.61), (0.52, 0.62),
+                 (0.53, 0.63), (0.54, 0.64)]):
+            store.append("cfg-lru", "base", seed, _payload(
+                hit_rate=overall,
+                types={"image": image, "html": 0.3}))
+        for seed, (overall, image) in enumerate(
+                [(0.5, 0.20), (0.51, 0.21), (0.52, 0.22),
+                 (0.53, 0.23), (0.54, 0.24)]):
+            store.append("cfg-lru", "cand", seed, _payload(
+                hit_rate=overall,
+                types={"image": image, "html": 0.3}))
+        report = detect_regressions(store, baseline="base",
+                                    candidate="cand")
+        by_metric = {v.metric: v.verdict for v in report.verdicts}
+        assert by_metric["hit_rate[image]"] == REGRESSED
+        assert by_metric["hit_rate"] == INDISTINGUISHABLE
+
+    def test_metric_filter(self, store):
+        _populate(store, "base", [0.5, 0.51, 0.52, 0.53])
+        _populate(store, "cand", [0.4, 0.41, 0.42, 0.43])
+        report = detect_regressions(store, baseline="base",
+                                    candidate="cand",
+                                    metrics=["hit_rate"])
+        assert {v.metric for v in report.verdicts} == {"hit_rate"}
+
+    def test_same_hash_twice_is_an_error(self, store):
+        _populate(store, "aaa", [0.5])
+        with pytest.raises(ServiceError):
+            detect_regressions(store, baseline="aaa",
+                               candidate="aaa")
+
+    def test_report_round_trips_to_dict(self, store):
+        _populate(store, "base", [0.5, 0.6])
+        _populate(store, "cand", [0.5, 0.6])
+        report = detect_regressions(store, baseline="base",
+                                    candidate="cand")
+        data = report.as_dict()
+        assert data["baseline"] == "base"
+        assert data["summary"]["regressed"] == 0
+        assert len(data["verdicts"]) == len(report.verdicts)
+        assert "indistinguishable" in report.render()
+
+
+class TestResolveHashes:
+    def test_explicit_pair_passes_through(self, store):
+        assert resolve_hashes(store, "a", "b") == ("a", "b")
+
+    def test_two_hash_store_infers_baseline(self, store):
+        _populate(store, "old", [0.5])
+        _populate(store, "new", [0.5])
+        baseline, candidate = resolve_hashes(store, candidate="new")
+        assert (baseline, candidate) == ("old", "new")
+
+    def test_baseline_only_with_two_hashes_infers_candidate(
+            self, store):
+        _populate(store, "old", [0.5])
+        _populate(store, "new", [0.5])
+        baseline, candidate = resolve_hashes(store, baseline="old")
+        assert (baseline, candidate) == ("old", "new")
+
+    def test_ambiguous_baseline_raises(self, store):
+        for git_hash in ("one", "two", "three"):
+            _populate(store, git_hash, [0.5])
+        with pytest.raises(ServiceError):
+            resolve_hashes(store, candidate="one")
+
+    def test_unknown_candidate_raises(self, store, monkeypatch):
+        monkeypatch.setattr("repro.experiments.regress.git_revision",
+                            lambda: "nowhere")
+        _populate(store, "only", [0.5])
+        with pytest.raises(ServiceError):
+            resolve_hashes(store)
+
+
+class TestCli:
+    def _root_with_regression(self, tmp_path):
+        store = ResultsStore(tmp_path / "store")
+        _populate(store, "base", [0.50, 0.51, 0.52, 0.53, 0.54])
+        _populate(store, "cand", [0.40, 0.41, 0.42, 0.43, 0.44])
+        return tmp_path
+
+    def test_cli_renders_table(self, tmp_path, capsys):
+        root = self._root_with_regression(tmp_path)
+        code = main(["--root", str(root), "--baseline", "base",
+                     "--candidate", "cand"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "regressed" in out
+        assert "base" in out and "cand" in out
+
+    def test_cli_fail_on_regression_exits_nonzero(self, tmp_path):
+        root = self._root_with_regression(tmp_path)
+        assert main(["--root", str(root), "--baseline", "base",
+                     "--candidate", "cand",
+                     "--fail-on-regression"]) == 1
+
+    def test_cli_json_output(self, tmp_path, capsys):
+        import json
+        root = self._root_with_regression(tmp_path)
+        assert main(["--root", str(root), "--baseline", "base",
+                     "--candidate", "cand", "--json"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["summary"]["regressed"] >= 1
+
+    def test_cli_error_on_ambiguity(self, tmp_path, capsys):
+        store = ResultsStore(tmp_path / "store")
+        for git_hash in ("one", "two", "three"):
+            _populate(store, git_hash, [0.5])
+        assert main(["--root", str(tmp_path),
+                     "--candidate", "one"]) == 2
+        assert "error:" in capsys.readouterr().err
+
+
+def test_verdict_labels_are_the_documented_strings():
+    assert (IMPROVED, REGRESSED, INDISTINGUISHABLE) == \
+        ("improved", "regressed", "indistinguishable")
+    report = RegressionReport(baseline="a", candidate="b",
+                              alpha=0.05, verdicts=[])
+    assert "no configuration" in report.render()

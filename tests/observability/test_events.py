@@ -5,6 +5,7 @@ import json
 import pytest
 
 from repro.observability.events import (
+    EVENT_FIELD_TYPES,
     EVENT_SCHEMAS,
     EventLog,
     NullEventLog,
@@ -81,7 +82,10 @@ class TestValidateEvent:
     def test_every_schema_entry_is_satisfiable(self):
         for name, fields in EVENT_SCHEMAS.items():
             event = {"ts": 1.0, "seq": 1, "event": name}
-            event.update({field: 0 for field in fields})
+            typed = EVENT_FIELD_TYPES.get(name, {})
+            for field in fields:
+                allowed = typed.get(field, (int,))
+                event[field] = "x" if allowed[0] is str else 0
             assert validate_event(event) == [], name
 
     def test_missing_required_field(self):
@@ -105,6 +109,88 @@ class TestValidateEvent:
 
     def test_non_dict(self):
         assert validate_event("nope")
+
+
+class TestTypedValidation:
+    def _span_event(self, **overrides):
+        event = {"ts": 1.0, "seq": 1, "event": "span",
+                 "name": "simulate", "trace_id": "t1",
+                 "span_id": "s1", "parent_id": None,
+                 "started_at": 100.0, "duration_seconds": 0.25,
+                 "status": "ok"}
+        event.update(overrides)
+        return event
+
+    def test_well_typed_span_accepted(self):
+        assert validate_event(self._span_event()) == []
+        assert validate_event(
+            self._span_event(parent_id="p1")) == []
+
+    def test_string_duration_rejected(self):
+        problems = validate_event(
+            self._span_event(duration_seconds="0.25"))
+        assert any("duration_seconds" in p and "str" in p
+                   for p in problems)
+
+    def test_numeric_name_rejected(self):
+        problems = validate_event(self._span_event(name=7))
+        assert any("'name'" in p for p in problems)
+
+    def test_bool_is_not_a_legal_count(self):
+        event = {"ts": 1.0, "seq": 1,
+                 "event": "service_worker_exited",
+                 "owner": "host:1", "executed": True}
+        problems = validate_event(event)
+        assert any("executed" in p and "bool" in p for p in problems)
+
+    def test_service_lifecycle_events_typed(self):
+        good = {"ts": 1.0, "seq": 1, "event": "trial_completed",
+                "trial_id": "abc", "owner": "host:1",
+                "duration_seconds": 1.5}
+        assert validate_event(good) == []
+        bad = dict(good, owner=123)
+        assert any("owner" in p for p in validate_event(bad))
+
+    def test_lease_events_typed(self):
+        good = {"ts": 1.0, "seq": 1, "event": "lease_reclaimed",
+                "name": "t1", "owner": "host:2",
+                "previous_owner": "host:1"}
+        assert validate_event(good) == []
+        bad = dict(good, previous_owner=None)
+        assert any("previous_owner" in p for p in validate_event(bad))
+
+
+class TestTornTrailingLine:
+    def test_torn_line_is_skipped_with_tolerance(self, tmp_path):
+        path = tmp_path / "e.jsonl"
+        with EventLog(path) as log:
+            log.emit("pool_rebuilt", reason="a")
+            log.emit("pool_rebuilt", reason="b")
+        # simulate a SIGKILL mid-append: half a JSON object, no newline
+        with open(path, "a", encoding="utf-8") as stream:
+            stream.write('{"ts": 3, "seq": 3, "event": "pool_re')
+        events = list(iter_events(path))
+        assert [e["reason"] for e in events] == ["a", "b"]
+
+    def test_torn_middle_line_does_not_poison_later_events(
+            self, tmp_path):
+        path = tmp_path / "e.jsonl"
+        path.write_text('{"ts": 1, "seq": 1, "event": "x"}\n'
+                        "{garbage\n"
+                        '{"ts": 2, "seq": 2, "event": "y"}\n')
+        events = list(iter_events(path))
+        assert [e["event"] for e in events] == ["x", "y"]
+
+    def test_strict_mode_raises(self, tmp_path):
+        path = tmp_path / "e.jsonl"
+        path.write_text('{"ts": 1, "seq": 1, "event": "x"}\n{oops\n')
+        with pytest.raises(ValueError):
+            list(iter_events(path, strict=True))
+
+    def test_read_events_uses_tolerant_default(self, tmp_path):
+        path = tmp_path / "e.jsonl"
+        path.write_text('{"ts": 1, "seq": 1, "event": "x"}\n{torn')
+        assert len(read_events(path)) == 1
 
 
 class TestProcessSink:

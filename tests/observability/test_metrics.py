@@ -88,6 +88,62 @@ class TestHistogram:
             Histogram("bad", buckets=())
 
 
+class TestHistogramQuantiles:
+    def test_empty_histogram_reports_zero(self):
+        hist = Histogram("seconds", buckets=(1.0, 10.0))
+        assert hist.quantile(0.5) == 0.0
+        assert hist.quantiles() == {"p50": 0.0, "p95": 0.0,
+                                    "p99": 0.0}
+
+    def test_interpolates_within_bucket(self):
+        hist = Histogram("seconds", buckets=(1.0, 2.0))
+        for value in (1.2, 1.4, 1.6, 1.8):
+            hist.observe(value)
+        # all four land in (1, 2]; the median interpolates halfway
+        assert hist.quantile(0.5) == pytest.approx(1.5)
+        assert hist.quantile(1.0) == pytest.approx(2.0)
+
+    def test_first_bucket_interpolates_up_from_zero(self):
+        hist = Histogram("seconds", buckets=(1.0, 2.0))
+        hist.observe(0.4)
+        hist.observe(0.6)
+        assert hist.quantile(0.5) == pytest.approx(0.5)
+
+    def test_quantile_beyond_last_bound_reports_last_bound(self):
+        hist = Histogram("seconds", buckets=(1.0, 2.0))
+        hist.observe(0.5)
+        hist.observe(100.0)  # beyond the last bound
+        assert hist.quantile(0.99) == pytest.approx(2.0)
+
+    def test_p50_p95_p99_ordering(self):
+        hist = Histogram("seconds", buckets=DEFAULT_BUCKETS)
+        for i in range(100):
+            hist.observe(0.001 * (i + 1))
+        estimates = hist.quantiles()
+        assert set(estimates) == {"p50", "p95", "p99"}
+        assert estimates["p50"] <= estimates["p95"] <= estimates["p99"]
+
+    def test_rejects_out_of_range_q(self):
+        hist = Histogram("seconds", buckets=(1.0,))
+        with pytest.raises(ConfigurationError):
+            hist.quantile(1.5)
+        with pytest.raises(ConfigurationError):
+            hist.quantile(-0.1)
+
+    def test_sample_carries_quantiles(self):
+        hist = Histogram("seconds", buckets=(1.0, 10.0))
+        hist.observe(0.5)
+        sample = hist.sample()
+        assert "quantiles" in sample
+        assert set(sample["quantiles"]) == {"p50", "p95", "p99"}
+
+    def test_null_instrument_quantiles(self):
+        registry = NullRegistry()
+        hist = registry.histogram("anything")
+        assert hist.quantile(0.5) == 0.0
+        assert hist.quantiles() == {}
+
+
 class TestRegistry:
     def test_same_name_and_labels_share_an_instrument(self):
         registry = MetricsRegistry()

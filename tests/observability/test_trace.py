@@ -1,0 +1,209 @@
+"""Hierarchical span tracing: tree structure, events, propagation."""
+
+import pytest
+
+from repro.observability.events import (
+    EventLog,
+    read_events,
+    set_event_sink,
+    validate_event,
+)
+from repro.observability.trace import (
+    NullTracer,
+    Tracer,
+    adopt,
+    disable_tracing,
+    enable_tracing,
+    get_tracer,
+    inject,
+    set_tracer,
+    span,
+)
+
+
+@pytest.fixture(autouse=True)
+def _clean_globals():
+    yield
+    set_event_sink(None)
+    disable_tracing()
+
+
+@pytest.fixture
+def sink(tmp_path):
+    log = EventLog(tmp_path / "events.jsonl")
+    set_event_sink(log)
+    yield tmp_path / "events.jsonl"
+    log.close()
+
+
+class TestNullDefault:
+    def test_default_tracer_is_disabled(self):
+        disable_tracing()
+        assert get_tracer().enabled is False
+
+    def test_null_span_is_shared_noop(self, sink):
+        disable_tracing()
+        with span("anything", key="value") as opened:
+            opened.set_attribute("more", 1)
+            opened.set_status("error")
+        assert read_events(sink) == []
+
+    def test_inject_returns_none_when_disabled(self):
+        disable_tracing()
+        assert inject() is None
+
+    def test_adopt_is_noop_on_null_tracer(self):
+        disable_tracing()
+        adopt({"trace_id": "t", "span_id": "s"})
+        assert NullTracer.remote_context is None
+
+
+class TestSpanTree:
+    def test_root_and_child_share_trace_id(self, sink):
+        enable_tracing()
+        with span("outer") as outer:
+            with span("inner") as inner:
+                assert inner.trace_id == outer.trace_id
+                assert inner.parent_id == outer.span_id
+        assert outer.parent_id is None
+
+    def test_sibling_spans_share_parent(self, sink):
+        enable_tracing()
+        with span("outer") as outer:
+            with span("first") as first:
+                pass
+            with span("second") as second:
+                pass
+        assert first.parent_id == outer.span_id
+        assert second.parent_id == outer.span_id
+        assert first.span_id != second.span_id
+
+    def test_new_roots_get_new_traces(self, sink):
+        enable_tracing()
+        with span("one") as one:
+            pass
+        with span("two") as two:
+            pass
+        assert one.trace_id != two.trace_id
+
+    def test_exception_marks_error_status(self, sink):
+        enable_tracing()
+        with pytest.raises(ValueError):
+            with span("failing") as failing:
+                raise ValueError("boom")
+        assert failing.status == "error"
+        (event,) = read_events(sink, event="span")
+        assert event["status"] == "error"
+
+    def test_end_is_idempotent(self, sink):
+        enable_tracing()
+        opened = span("once")
+        opened.end()
+        first_duration = opened.duration_seconds
+        opened.end("error")
+        assert opened.duration_seconds == first_duration
+        assert opened.status == "ok"
+        assert len(read_events(sink, event="span")) == 1
+
+    def test_leaked_child_is_dropped_when_parent_ends(self, sink):
+        enable_tracing()
+        outer = span("outer")
+        span("leaked")  # never ended
+        outer.end()
+        tracer = get_tracer()
+        assert tracer.current_span() is None
+        with span("fresh") as fresh:
+            assert fresh.parent_id is None
+
+
+class TestSpanEvents:
+    def test_emits_started_and_ended_events(self, sink):
+        enable_tracing()
+        with span("work", cells=4):
+            pass
+        events = read_events(sink)
+        assert [e["event"] for e in events] == ["span_started", "span"]
+        started, ended = events
+        assert started["name"] == ended["name"] == "work"
+        assert started["span_id"] == ended["span_id"]
+        assert ended["attributes"] == {"cells": 4}
+        assert ended["duration_seconds"] >= 0
+        for event in events:
+            assert validate_event(event) == []
+
+    def test_attributes_set_mid_flight_are_emitted(self, sink):
+        enable_tracing()
+        with span("work") as working:
+            working.set_attribute("late", True)
+        (ended,) = read_events(sink, event="span")
+        assert ended["attributes"]["late"] is True
+
+
+class TestCrossProcessContext:
+    def test_inject_captures_current_position(self, sink):
+        enable_tracing()
+        with span("parent") as parent:
+            context = inject()
+        assert context == {"trace_id": parent.trace_id,
+                           "span_id": parent.span_id}
+
+    def test_adopted_context_parents_new_roots(self, sink):
+        enable_tracing()
+        adopt({"trace_id": "remote-trace", "span_id": "remote-span"})
+        with span("worker-root") as root:
+            pass
+        assert root.trace_id == "remote-trace"
+        assert root.parent_id == "remote-span"
+
+    def test_adopt_none_clears(self, sink):
+        enable_tracing()
+        adopt({"trace_id": "t", "span_id": "s"})
+        adopt(None)
+        with span("root") as root:
+            pass
+        assert root.parent_id is None
+
+    def test_local_parent_beats_remote_context(self, sink):
+        enable_tracing()
+        adopt({"trace_id": "remote-trace", "span_id": "remote-span"})
+        with span("root") as root:
+            with span("child") as child:
+                pass
+        assert child.parent_id == root.span_id
+
+
+class TestProcessGlobal:
+    def test_enable_installs_fresh_tracer(self):
+        first = enable_tracing()
+        second = enable_tracing()
+        assert get_tracer() is second
+        assert first is not second
+
+    def test_set_tracer_returns_previous(self):
+        mine = Tracer()
+        previous = set_tracer(mine)
+        try:
+            assert get_tracer() is mine
+        finally:
+            set_tracer(previous)
+
+    def test_set_none_restores_null(self):
+        enable_tracing()
+        set_tracer(None)
+        assert get_tracer().enabled is False
+
+    def test_threads_get_independent_stacks(self, sink):
+        import threading
+        enable_tracing()
+        seen = {}
+
+        def worker():
+            with span("thread-root") as root:
+                seen["parent"] = root.parent_id
+
+        with span("main-root"):
+            thread = threading.Thread(target=worker)
+            thread.start()
+            thread.join()
+        # the other thread's root must NOT parent to main's span
+        assert seen["parent"] is None
