@@ -24,6 +24,12 @@ from repro.structures.addressable_heap import AddressableHeap
 class GDSPolicy(ReplacementPolicy):
     """Greedy-Dual-Size with inflation-based aging."""
 
+    #: Per-reference cost precomputed by the columnar engine.  When
+    #: set, :meth:`_value` consumes it instead of calling the cost
+    #: model.  Sound because ``_value`` only runs from on_admit/on_hit,
+    #: whose entry size always equals the current reference's size.
+    _hint_cost = None
+
     def __init__(self, cost_model: CostModel = None):
         self.cost_model = cost_model or ConstantCost()
         self.name = f"gds({self.cost_model.tag.lower()})"
@@ -37,7 +43,10 @@ class GDSPolicy(ReplacementPolicy):
         # Clamp zero-size documents consistently: the same floored
         # size feeds both the cost model and the denominator.
         size = max(entry.size, 1)
-        return self.inflation + self.cost_model.cost(size) / size
+        cost = self._hint_cost
+        if cost is None:
+            cost = self.cost_model.cost(size)
+        return self.inflation + cost / size
 
     def on_admit(self, entry: CacheEntry) -> None:
         self._heap.push(entry, self._value(entry))

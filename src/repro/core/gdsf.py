@@ -17,6 +17,13 @@ from repro.structures.addressable_heap import AddressableHeap
 class GDSFPolicy(ReplacementPolicy):
     """Greedy-Dual-Size-Frequency with inflation-based aging."""
 
+    #: Per-reference cost precomputed by the columnar engine.  When
+    #: set, :meth:`_value` consumes it instead of calling the cost
+    #: model (see :class:`~repro.core.gds.GDSPolicy`).  Only the cost
+    #: term is hinted: ``f · c / s`` keeps its left-to-right float
+    #: evaluation order, so the key is bit-identical.
+    _hint_cost = None
+
     def __init__(self, cost_model: CostModel = None):
         self.cost_model = cost_model or ConstantCost()
         self.name = f"gdsf({self.cost_model.tag.lower()})"
@@ -28,7 +35,10 @@ class GDSFPolicy(ReplacementPolicy):
 
     def _value(self, entry: CacheEntry) -> float:
         size = max(entry.size, 1)
-        utility = entry.frequency * self.cost_model.cost(size) / size
+        cost = self._hint_cost
+        if cost is None:
+            cost = self.cost_model.cost(size)
+        utility = entry.frequency * cost / size
         return self.inflation + utility
 
     def on_admit(self, entry: CacheEntry) -> None:

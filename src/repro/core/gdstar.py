@@ -43,6 +43,12 @@ _MAX_UTILITY = 1e12
 class GDStarPolicy(ReplacementPolicy):
     """Greedy-Dual* with online (or fixed) β."""
 
+    #: Per-reference cost precomputed by the columnar engine.  When
+    #: set, :meth:`_value` consumes it instead of calling the cost
+    #: model (see :class:`~repro.core.gds.GDSPolicy`).  Only the cost
+    #: term is hinted so ``f · c / s`` keeps its evaluation order.
+    _hint_cost = None
+
     def __init__(self, cost_model: CostModel = None,
                  beta_estimator: Optional[Estimator] = None):
         self.cost_model = cost_model or ConstantCost()
@@ -61,7 +67,10 @@ class GDStarPolicy(ReplacementPolicy):
 
     def _value(self, entry: CacheEntry) -> float:
         size = max(entry.size, 1)
-        utility = entry.frequency * self.cost_model.cost(size) / size
+        cost = self._hint_cost
+        if cost is None:
+            cost = self.cost_model.cost(size)
+        utility = entry.frequency * cost / size
         if utility > _MAX_UTILITY:
             utility = _MAX_UTILITY
         exponent = 1.0 / self.estimator.beta

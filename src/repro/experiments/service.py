@@ -32,6 +32,7 @@ on purpose.
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 import time
 from dataclasses import asdict, dataclass
@@ -64,6 +65,14 @@ _logger = get_logger("experiments.service")
 
 #: Trace profiles the service knows how to realize.
 TRACE_PROFILES = ("dfn", "rtp")
+
+#: How workers materialize generated traces.  ``objects`` regenerates
+#: the Request list in every worker process; ``columnar`` writes each
+#: (profile, scale, seed) trace exactly once as a ``.rcol`` file under
+#: ``REPRO_SERVICE_TRACE_DIR`` and mmaps it everywhere, which drops the
+#: per-worker generation cost and routes trials through the vectorized
+#: engine.  Both formats produce bit-identical payloads.
+TRACE_FORMATS = ("objects", "columnar")
 
 #: Subdirectory names inside a service root.
 QUEUE_DIRNAME = "queue"
@@ -121,20 +130,52 @@ class TrialSpec:
 class _WorkerTraceCache:
     """Per-process memo of generated traces, keyed like the suite
     runner's cache: one (profile, scale, seed) trace serves every
-    policy × fraction trial that shares it."""
+    policy × fraction trial that shares it.
+
+    The format is read from the ``REPRO_TRACE_FORMAT`` environment
+    variable (set by the CLI's ``--trace-format`` flag before workers
+    spawn, so every child inherits it).  In ``columnar`` mode the first
+    process to need a trace generates it and publishes the ``.rcol``
+    file with an atomic rename; everyone else — including other worker
+    processes — just mmaps it.  Generation is seeded, so concurrent
+    writers race to install identical bytes and the rename is
+    idempotent.
+    """
 
     def __init__(self):
-        self._traces: Dict[tuple, Trace] = {}
+        self._traces: Dict[tuple, object] = {}
 
-    def get(self, trace: str, scale: float, seed: int) -> Trace:
+    @staticmethod
+    def _generate(trace: str, scale: float, seed: int) -> Trace:
         from repro.workload.generator import generate_trace
         from repro.workload.profiles import dfn_like, rtp_like
 
-        key = (trace, scale, seed)
+        factory = dfn_like if trace == "dfn" else rtp_like
+        return generate_trace(factory(scale=scale, seed=seed))
+
+    def _columnar(self, trace: str, scale: float, seed: int,
+                  spill_dir: Path):
+        from repro.trace.columnar import open_columnar, write_columnar
+
+        spill_dir.mkdir(parents=True, exist_ok=True)
+        path = spill_dir / f"{trace}-{scale:g}-{seed}.rcol"
+        if not path.exists():
+            generated = self._generate(trace, scale, seed)
+            tmp = path.with_name(f"{path.name}.tmp-{os.getpid()}")
+            write_columnar(tmp, generated.requests, name=generated.name)
+            os.replace(tmp, path)
+        return open_columnar(path, verify=False)
+
+    def get(self, trace: str, scale: float, seed: int):
+        fmt = os.environ.get("REPRO_TRACE_FORMAT", "objects")
+        spill = os.environ.get("REPRO_SERVICE_TRACE_DIR")
+        key = (trace, scale, seed, fmt)
         if key not in self._traces:
-            factory = dfn_like if trace == "dfn" else rtp_like
-            profile = factory(scale=scale, seed=seed)
-            self._traces[key] = generate_trace(profile)
+            if fmt == "columnar" and spill:
+                self._traces[key] = self._columnar(
+                    trace, scale, seed, Path(spill))
+            else:
+                self._traces[key] = self._generate(trace, scale, seed)
         return self._traces[key]
 
 
@@ -157,7 +198,14 @@ def execute_trial(spec: TrialSpec) -> dict:
         trace, [spec.size_fraction])[0]
     config = SimulationConfig(capacity_bytes=capacity,
                               policy=spec.policy)
-    result = CacheSimulator(config).run(trace)
+    if getattr(trace, "is_columnar", False):
+        # Columnar traces ride the vectorized shared-pass engine
+        # (bit-identical to the object loop), never decoding Request
+        # objects at all.
+        from repro.simulation.engine import run_cells
+        result = run_cells(trace, [config], trace_name=trace.name)[0]
+    else:
+        result = CacheSimulator(config).run(trace)
     return {
         "spec": spec.as_dict(),
         "capacity_bytes": capacity,
@@ -582,6 +630,13 @@ def build_parser() -> argparse.ArgumentParser:
                           "(workers append to their own "
                           "events-<pid>.jsonl); 'status --watch' "
                           "tails <root>/telemetry by default")
+    wrk.add_argument("--trace-format", choices=TRACE_FORMATS,
+                     default="objects",
+                     help="'columnar' materializes each (profile, "
+                          "scale, seed) trace once as a .rcol file "
+                          "under <root>/traces/ shared by all workers "
+                          "via mmap; 'objects' regenerates Request "
+                          "lists per process (default)")
 
     sta = sub.add_parser("status", help="queue + store census "
                                         "(one-shot or live)")
@@ -655,6 +710,12 @@ def main(argv: Optional[List[str]] = None) -> int:
         return 0
 
     if args.verb == "work":
+        if args.trace_format == "columnar":
+            # Workers inherit the environment, so setting these before
+            # the pool spawns configures every child's trace cache.
+            os.environ["REPRO_TRACE_FORMAT"] = "columnar"
+            os.environ.setdefault("REPRO_SERVICE_TRACE_DIR",
+                                  str(root / "traces"))
         telemetry = None
         if args.telemetry_dir is not None:
             from repro.observability.manifest import TelemetryRun

@@ -341,6 +341,38 @@ class CacheCell:
                 bucket[0] += 1
                 bucket[1] += transfer
 
+    def process_chunk_hinted(self, chunk: Sequence[tuple], start: int,
+                             costs: Sequence[float]) -> None:
+        """Deferred hot loop with per-reference Greedy-Dual key costs.
+
+        ``costs[j]`` is the policy cost model's cost of ``chunk[j]``'s
+        clamped size, precomputed as one array op by the columnar
+        engine; the policy consumes it through its ``_hint_cost`` slot
+        instead of recomputing ``cost_model.cost(size)`` per reference.
+        Only the columnar driver calls this, and only on deferred cells
+        whose policy advertises the slot.
+        """
+        reference = self.cache.reference
+        policy = self.policy
+        w_end = self._warmup - start
+        hit_outcome = AccessOutcome.HIT
+        overall = self._hit_overall
+        by_type = self._hit_by_type
+        j = 0
+        try:
+            for url, size, doc_type, transfer, _raw, _ts in chunk:
+                policy._hint_cost = costs[j]
+                outcome = reference(url, size, doc_type)
+                if j >= w_end and outcome is hit_outcome:
+                    overall[0] += 1
+                    overall[1] += transfer
+                    bucket = by_type[doc_type]
+                    bucket[0] += 1
+                    bucket[1] += transfer
+                j += 1
+        finally:
+            policy._hint_cost = None
+
     def process_one(self, ref: tuple, position: int) -> AccessOutcome:
         """Full per-request path: freshness, reference, accounting."""
         url, size, doc_type, transfer, raw_size, timestamp = ref
@@ -630,6 +662,13 @@ def run_cells(trace: Union[Trace, Sequence[Request], Iterable[Request]],
     Returns results in input order, bit-identical to running each
     config through :class:`~repro.simulation.simulator.CacheSimulator`.
     """
+    if getattr(trace, "is_columnar", False):
+        from repro.simulation.vectorized import run_cells_columnar
+
+        return run_cells_columnar(
+            trace, configs, trace_name=trace_name,
+            chunk_size=chunk_size, lru_fast_path=lru_fast_path,
+            timings=timings, total_requests=total_requests)
     requests = trace.requests if isinstance(trace, Trace) else trace
     streaming = not isinstance(requests, (list, tuple))
     if streaming and total_requests is None:
@@ -694,7 +733,8 @@ def run_cells(trace: Union[Trace, Sequence[Request], Iterable[Request]],
 
 def _publish_pass_telemetry(results: Sequence[SimulationResult],
                             timings: PhaseTimings, n_cells: int,
-                            n_ladder: int, total_requests: int) -> None:
+                            n_ladder: int, total_requests: int,
+                            n_fifo: int = 0) -> None:
     """Batch one pass's aggregates into the metrics registry — one
     update per pass, never one per request or per cell."""
     registry = get_registry()
@@ -710,7 +750,7 @@ def _publish_pass_telemetry(results: Sequence[SimulationResult],
                                phase=phase).observe(seconds)
     emit("pass_finished", cells=n_cells, requests=total_requests,
          duration_seconds=round(timings.total, 6),
-         lru_fast_path_cells=n_ladder)
+         lru_fast_path_cells=n_ladder, fifo_fast_path_cells=n_fifo)
     _logger.debug(
         "shared pass: %d cells (%d via LRU ladder) over %d requests "
         "in %.3fs", n_cells, n_ladder, total_requests, timings.total,

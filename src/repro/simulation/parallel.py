@@ -80,8 +80,12 @@ FAILURE_POLICIES = ("raise", "partial")
 #: Accepted values for ``engine``.
 ENGINES = ("percell", "batched")
 
-# Per-worker state, populated by the pool initializer.
-_worker_trace: Optional[Trace] = None
+# Per-worker state, populated by the pool initializer.  The trace is
+# either a materialized Trace (request list shipped by pickle) or a
+# ColumnarTrace each worker mmaps itself from a shipped path string —
+# the kernel page cache then backs every worker with one copy.
+_worker_trace = None
+_worker_materialized: Optional[Trace] = None
 _worker_injector: Optional[FaultInjector] = None
 
 _logger = get_logger("simulation.parallel")
@@ -129,10 +133,23 @@ def _profile_path(profile_dir: Optional[str], key: str,
     return str(Path(profile_dir) / f"{safe}.attempt{attempt}.prof")
 
 
-def _init_worker(requests: Sequence[Request], name: str,
+def _init_worker(trace_source, name: str,
                  injector: Optional[FaultInjector] = None) -> None:
-    global _worker_trace, _worker_injector
-    _worker_trace = Trace(requests, name=name)
+    """Arm a worker with the sweep's trace.
+
+    ``trace_source`` is either a request sequence (shipped via pickle)
+    or a path string to a columnar trace, which the worker mmaps
+    itself — no per-worker decode, no per-worker copy.
+    """
+    global _worker_trace, _worker_materialized, _worker_injector
+    if isinstance(trace_source, (str, Path)):
+        from repro.trace.columnar import open_columnar
+
+        _worker_trace = open_columnar(trace_source, verify=False)
+        _worker_trace.name = name
+    else:
+        _worker_trace = Trace(trace_source, name=name)
+    _worker_materialized = None
     _worker_injector = injector
     # Fork-started workers inherit the parent's process-wide event
     # sink, including its open events.jsonl handle and a stale copy of
@@ -186,7 +203,7 @@ def _run_batch(batch: tuple) -> List[dict]:
         if engine == "batched":
             results = run_cells(_worker_trace, configs)
         else:
-            results = [CacheSimulator(config).run(_worker_trace)
+            results = [CacheSimulator(config).run(_percell_trace())
                        for config in configs]
     payloads = [result.as_dict() for result in results]
     if _worker_injector is not None:
@@ -195,9 +212,26 @@ def _run_batch(batch: tuple) -> List[dict]:
     return payloads
 
 
+def _percell_trace() -> Trace:
+    """The worker trace as Request objects, decoded at most once.
+
+    The classic per-cell loop wants a materialized Trace; a columnar
+    worker trace is decoded on first use and cached for every later
+    cell this process runs.
+    """
+    global _worker_materialized
+    if isinstance(_worker_trace, Trace):
+        return _worker_trace
+    if _worker_materialized is None:
+        _worker_materialized = Trace(_worker_trace.iter_requests(),
+                                     name=_worker_trace.name)
+    return _worker_materialized
+
+
 def _reset_worker() -> None:
-    global _worker_trace, _worker_injector
+    global _worker_trace, _worker_materialized, _worker_injector
     _worker_trace = None
+    _worker_materialized = None
     _worker_injector = None
 
 
@@ -244,7 +278,7 @@ class _BatchRun:
                 for policy, capacity in self.cells]
 
 
-def run_sweep_parallel(trace: Trace,
+def run_sweep_parallel(trace,
                        policies: Iterable[str],
                        capacities: Sequence[int],
                        warmup_fraction: float = 0.10,
@@ -269,7 +303,12 @@ def run_sweep_parallel(trace: Trace,
     Positional args match :func:`~repro.simulation.sweep.run_sweep`
     (minus the per-cell callbacks, which cannot cross process
     boundaries); ``n_workers`` defaults to the CPU count capped by the
-    cell count.
+    cell count.  ``trace`` may be a :class:`~repro.types.Trace`, a
+    :class:`~repro.trace.columnar.ColumnarTrace`, or a columnar file
+    path: columnar sweeps ship only the *path* to workers, which mmap
+    the file themselves — one kernel page-cache copy serves the whole
+    pool, and each worker decodes at most once (batched passes consume
+    the columns directly and never decode at all).
 
     Keyword-only knobs:
 
@@ -319,6 +358,21 @@ def run_sweep_parallel(trace: Trace,
             in its worker and dumps ``<cell>.attempt<n>.prof`` here.
         sleep: Injectable sleep used for retry backoff.
     """
+    if isinstance(trace, (str, Path)):
+        from repro.trace.columnar import is_columnar_file, open_columnar
+
+        path = Path(trace)
+        if is_columnar_file(path):
+            trace = open_columnar(path, verify=False)
+        else:
+            from repro.trace.pipeline import load_trace
+
+            trace = load_trace(path)
+    columnar_path: Optional[str] = None
+    if getattr(trace, "is_columnar", False):
+        columnar_path = str(trace.path)
+    total_requests = (len(trace.requests) if isinstance(trace, Trace)
+                      else len(trace))
     cells: List[Tuple[str, int]] = [
         (policy_name, capacity)
         for policy_name in policies
@@ -386,7 +440,7 @@ def run_sweep_parallel(trace: Trace,
         if checkpoint_store is not None:
             sweep_digest = config_hash({
                 "trace": trace.name,
-                "requests": len(trace.requests),
+                "requests": total_requests,
                 "warmup_fraction": warmup_fraction,
                 "size_interpretation": size_interpretation.value,
             })
@@ -421,7 +475,8 @@ def run_sweep_parallel(trace: Trace,
                 and fault_injector is None):
             # No pool overhead for the degenerate case (and nothing to
             # time out or inject into).
-            _init_worker(trace.requests, trace.name)
+            _init_worker(columnar_path if columnar_path is not None
+                         else trace.requests, trace.name)
             try:
                 for batch_cells in batches:
                     keys = [cell_key(policy_name, capacity)
@@ -450,7 +505,9 @@ def run_sweep_parallel(trace: Trace,
             return _finish()
 
         _Scheduler(
-            trace=trace,
+            trace_source=(columnar_path if columnar_path is not None
+                          else trace.requests),
+            trace_name=trace.name,
             batches=batches,
             engine=engine,
             warmup_fraction=warmup_fraction,
@@ -540,11 +597,13 @@ class _Scheduler:
     behavior is unchanged from the pre-batching scheduler.
     """
 
-    def __init__(self, trace, batches, engine, warmup_fraction,
-                 size_interpretation, n_workers, retry_policy,
-                 cell_timeout, failure_policy, fault_injector,
-                 on_cell_done, emit, profile_dir, sleep):
-        self.trace = trace
+    def __init__(self, trace_source, trace_name, batches, engine,
+                 warmup_fraction, size_interpretation, n_workers,
+                 retry_policy, cell_timeout, failure_policy,
+                 fault_injector, on_cell_done, emit, profile_dir,
+                 sleep):
+        self.trace_source = trace_source
+        self.trace_name = trace_name
         self.engine = engine
         self.warmup_fraction = warmup_fraction
         self.size_interpretation = size_interpretation
@@ -579,7 +638,7 @@ class _Scheduler:
         return ProcessPoolExecutor(
             max_workers=self.n_workers,
             initializer=_init_worker,
-            initargs=(self.trace.requests, self.trace.name,
+            initargs=(self.trace_source, self.trace_name,
                       self.fault_injector))
 
     def _rebuild_pool(self, reason: str = "worker crash") -> None:

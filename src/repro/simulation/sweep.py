@@ -99,6 +99,11 @@ def run_sweep(trace: Union[Trace, str, Path],
             Path(trace), policies, capacities, warmup_fraction,
             size_interpretation, occupancy_interval, progress,
             policy_kwargs, engine)
+    if getattr(trace, "is_columnar", False) and engine == "percell":
+        # The batched engine consumes the columns directly; the percell
+        # loop wants Request objects, so decode the mmap exactly once
+        # for the whole grid instead of once per cell.
+        trace = Trace(trace.iter_requests(), name=trace.name)
     sweep = SweepResult(trace_name=trace.name)
     kwargs = policy_kwargs or {}
     if engine == "batched":
@@ -148,6 +153,7 @@ def _run_sweep_from_file(path: Path, policies, capacities,
     chunk stream.
     """
     from repro.core.registry import make_policy
+    from repro.trace.columnar import is_columnar_file, open_columnar
     from repro.trace.pipeline import count_requests, iter_trace
 
     name = path.stem
@@ -163,6 +169,35 @@ def _run_sweep_from_file(path: Path, policies, capacities,
             size_interpretation=size_interpretation,
             occupancy_interval=occupancy_interval,
         )
+
+    if is_columnar_file(path):
+        # Columnar files skip text decoding entirely: the batched
+        # engine consumes the mmap'd columns, the percell engine
+        # decodes Request objects exactly once for the whole grid.
+        with open_columnar(path) as columnar:
+            if engine == "batched":
+                configs = []
+                for policy_name in policies:
+                    for capacity in capacities:
+                        if progress is not None:
+                            progress(policy_name, capacity)
+                        configs.append(make_config(policy_name, capacity))
+                for result in run_cells(columnar, configs,
+                                        trace_name=name):
+                    sweep.add(result)
+                return sweep
+            requests = list(columnar.iter_requests())
+        warmup = int(total * warmup_fraction)
+        for policy_name in policies:
+            for capacity in capacities:
+                if progress is not None:
+                    progress(policy_name, capacity)
+                simulator = CacheSimulator(
+                    make_config(policy_name, capacity))
+                sweep.add(simulator.run_stream(
+                    iter(requests), warmup_requests=warmup,
+                    trace_name=name))
+        return sweep
 
     if engine == "batched":
         configs = []

@@ -1,0 +1,586 @@
+"""Array-backed shared pass over columnar traces.
+
+:func:`run_cells_columnar` is the columnar twin of
+:func:`repro.simulation.engine.run_cells`: it drives any number of
+:class:`~repro.simulation.engine.CacheCell`\\ s over one
+:class:`~repro.trace.columnar.ColumnarTrace` and returns results
+**bit-identical** to the object path.  The speed comes from moving
+every per-request computation that does not touch cache state into
+column operations:
+
+* **resolution** — size-interpretation reconstruction
+  (:class:`ColumnarReferenceStream`) runs as array ops: ``TRUSTED`` is
+  the size column itself, ``ANY_CHANGE`` the transfer column, and the
+  paper rule falls back to the scalar recurrence only for the (rare)
+  documents whose logged sizes actually vary;
+* **requested-side tallies** — the per-warmup-boundary totals deferred
+  cells merge at finalize are masked integer column sums;
+* **the LRU ladder** — byte-weighted stack distances feed vectorized
+  per-capacity hit counting, per-type tallies, and final-resident
+  counting, replacing the per-request × per-cell inner loop;
+* **FIFO** — a shadow recency-free queue replays
+  :meth:`~repro.core.cache.Cache.reference` exactly, without entry or
+  heap machinery;
+* **Greedy-Dual keys** — the cost-model term of ``H(p)`` is
+  precomputed per chunk (:meth:`~repro.core.cost.CostModel.cost_array`)
+  and consumed through the policies' ``_hint_cost`` slot.
+
+Cells that fit no fast path consume ordinary resolved-tuple chunks via
+:meth:`CacheCell.process_chunk`, decoded once per chunk from the mmap.
+
+Bit-identity caveat: array float ops round ``int64 → float64`` before
+dividing where the scalar path divides exact integers, so identity is
+guaranteed for sizes and capacities below 2**53 bytes — far above any
+real trace.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.core.cache import Cache
+from repro.core.cost import ByteCost, ConstantCost, LatencyCost, PacketCost
+from repro.core.fifo import FIFOPolicy
+from repro.core.gds import GDSPolicy
+from repro.core.gdsf import GDSFPolicy
+from repro.core.gdstar import GDStarPolicy
+from repro.core.lru import LRUPolicy
+from repro.errors import SimulationError
+from repro.observability.events import emit
+from repro.observability.logs import get_logger
+from repro.observability.metrics import get_registry
+from repro.observability.profiling import PhaseTimings, phase_timer
+from repro.observability.trace import span as _span
+from repro.simulation.engine import (
+    DEFAULT_CHUNK_SIZE,
+    CacheCell,
+    ReferenceStream,
+    SimulationConfig,
+    SizeInterpretation,
+    _new_requested_totals,
+    _publish_pass_telemetry,
+)
+from repro.simulation.results import SimulationResult
+from repro.structures.fenwick import FenwickTree
+from repro.types import DOCUMENT_TYPES, DocumentType
+
+_logger = get_logger("simulation.vectorized")
+
+#: int64 sums whose worst-case magnitude reaches this bound fall back
+#: to exact python-int accumulation.
+_SUM_GUARD = 1 << 62
+
+
+def _exact_sum(values: np.ndarray) -> int:
+    """Exact integer sum of an int64 array, immune to silent overflow."""
+    count = int(values.size)
+    if count == 0:
+        return 0
+    peak = int(values.max())
+    if peak <= 0 or count * peak < _SUM_GUARD:
+        return int(values.sum(dtype=np.int64))
+    return sum(values.tolist())
+
+
+# ----- vectorized size resolution -------------------------------------------
+
+
+def _resolve_paper(trace, tolerance: float) -> np.ndarray:
+    """Paper-rule document sizes as a column.
+
+    Documents whose logged transfer size never changes resolve to that
+    size (first/unchanged/within-tolerance all emit the logged value);
+    only documents with varying logged sizes replay the
+    :class:`~repro.trace.modification.ModificationDetector` recurrence,
+    scalar per group, preserving its arithmetic — including the
+    ``ZeroDivisionError`` a zero previous size raises.
+    """
+    doc = trace.doc_ids
+    logged = trace.transfers
+    out = np.array(logged, dtype=np.int64)
+    n = len(doc)
+    if n == 0:
+        return out
+    order = np.argsort(doc, kind="stable")
+    d_s = doc[order]
+    t_s = logged[order]
+    same_doc = d_s[1:] == d_s[:-1]
+    changed = same_doc & (t_s[1:] != t_s[:-1])
+    if not bool(changed.any()):
+        return out
+    unstable = np.unique(d_s[1:][changed])
+    member = np.isin(d_s, unstable)
+    idx = order[member]          # original positions, per doc, trace order
+    group_doc = d_s[member]
+    starts = np.flatnonzero(
+        np.concatenate(([True], group_doc[1:] != group_doc[:-1])))
+    ends = np.append(starts[1:], len(group_doc))
+    idx_list = idx.tolist()
+    logged_list = logged.tolist()
+    for g in range(len(starts)):
+        previous: Optional[int] = None
+        for k in range(int(starts[g]), int(ends[g])):
+            position = idx_list[k]
+            size = logged_list[position]
+            if previous is None:
+                previous = size
+            elif size != previous:
+                delta = abs(size - previous) / previous
+                if delta < tolerance or size > previous:
+                    previous = size
+                # else: interrupted transfer; the belief stays put.
+            out[position] = previous
+    return out
+
+
+class ColumnarReferenceStream:
+    """Resolves size-interpretation columns once per pass.
+
+    The columnar sibling of
+    :class:`~repro.simulation.engine.ReferenceStream`: resolution state
+    is keyed by ``(interpretation, tolerance)`` and memoized, so every
+    cell sharing those knobs reads the same resolved column.
+    """
+
+    def __init__(self, trace):
+        self.trace = trace
+        self._resolved: Dict[tuple, np.ndarray] = {}
+        self._transfers: Optional[np.ndarray] = None
+
+    @property
+    def transfers_clamped(self) -> np.ndarray:
+        """``min(transfer, raw size)`` — the tuple transfer column."""
+        if self._transfers is None:
+            self._transfers = np.minimum(self.trace.transfers,
+                                         self.trace.sizes)
+        return self._transfers
+
+    def resolved_sizes(self, key: tuple) -> np.ndarray:
+        column = self._resolved.get(key)
+        if column is None:
+            column = self._resolve(key)
+            self._resolved[key] = column
+        return column
+
+    def _resolve(self, key: tuple) -> np.ndarray:
+        if key == ("trusted",):
+            return self.trace.sizes
+        interpretation, tolerance = key
+        if interpretation == SizeInterpretation.ANY_CHANGE.value:
+            # The detector's belief after any change is the logged
+            # size itself, so the column resolves to the transfers.
+            return self.trace.transfers
+        return _resolve_paper(self.trace, tolerance)
+
+
+# ----- requested-side boundary tallies --------------------------------------
+
+
+def _tally_boundaries(trace, stream: ColumnarReferenceStream,
+                      boundaries: Dict[int, Dict[DocumentType, list]],
+                      ) -> None:
+    """Measured requests/bytes per type for each warmup boundary.
+
+    Integer masked column sums: order-independent, so exactly the
+    totals the object path accumulates chunk by chunk.
+    """
+    codes = trace.type_codes
+    transfers = stream.transfers_clamped
+    for boundary, totals in boundaries.items():
+        tail_codes = codes[boundary:]
+        tail_transfers = transfers[boundary:]
+        for code, doc_type in enumerate(DOCUMENT_TYPES):
+            mask = tail_codes == code
+            bucket = totals[doc_type]
+            bucket[0] += int(np.count_nonzero(mask))
+            bucket[1] += _exact_sum(tail_transfers[mask])
+
+
+# ----- the exact all-capacities LRU ladder ----------------------------------
+
+
+def _byte_stack_distances(doc_ids: np.ndarray,
+                          sizes: np.ndarray) -> np.ndarray:
+    """Byte-weighted LRU stack distances over id columns.
+
+    The Fenwick loop of
+    :func:`repro.analysis.stack_distance.stack_distances` verbatim —
+    python-int arithmetic, ``inf`` for cold misses — keyed by document
+    id instead of URL (the same partition).
+    """
+    n = len(doc_ids)
+    out = np.empty(n, dtype=np.float64)
+    if n == 0:
+        return out
+    tree = FenwickTree(n)
+    last: Dict[int, int] = {}
+    doc_list = doc_ids.tolist()
+    size_list = sizes.tolist()
+    for position in range(n):
+        doc = doc_list[position]
+        previous = last.get(doc)
+        if previous is None:
+            out[position] = np.inf
+        else:
+            out[position] = float(
+                tree.range_sum(previous + 1, position - 1))
+            tree.add(previous, -tree.range_sum(previous, previous))
+        tree.add(position, size_list[position])
+        last[doc] = position
+    return out
+
+
+def _ladder_split_columnar(trace, cells: Sequence[CacheCell],
+                           ) -> Tuple[List[CacheCell], List[CacheCell]]:
+    """Columnar twin of :func:`repro.simulation.engine._lru_ladder_split`.
+
+    Same config-side preconditions; the trace-side per-document size
+    stability scan runs as a grouped column comparison.
+    """
+    candidates = [
+        cell for cell in cells
+        if (cell.deferred
+            and type(cell.policy) is LRUPolicy
+            and type(cell.cache) is Cache
+            and (cell.config.size_interpretation
+                 is SizeInterpretation.TRUSTED))
+    ]
+    if not candidates:
+        return [], list(cells)
+    sizes = trace.sizes
+    doc = trace.doc_ids
+    max_size = 0
+    if len(doc):
+        order = np.argsort(doc, kind="stable")
+        d_s = doc[order]
+        s_s = sizes[order]
+        same_doc = d_s[1:] == d_s[:-1]
+        if bool(np.any(same_doc & (s_s[1:] != s_s[:-1]))):
+            return [], list(cells)
+        max_size = int(sizes.max())
+    ladder = [cell for cell in candidates
+              if cell.config.capacity_bytes >= max_size]
+    if not ladder:
+        return [], list(cells)
+    excluded = set(map(id, ladder))
+    ordinary = [cell for cell in cells if id(cell) not in excluded]
+    return ladder, ordinary
+
+
+def _run_lru_ladder_columnar(trace, stream: ColumnarReferenceStream,
+                             cells: Sequence[CacheCell]) -> None:
+    """Serve eligible LRU cells from one vectorized stack-distance pass.
+
+    The stack-distance Fenwick loop stays scalar (python-int exact);
+    everything downstream — per-capacity hit tests, warmup masking,
+    per-type hit/byte tallies, final-resident counting — runs as
+    column ops.  All tallies are integers, so the results match
+    :func:`repro.simulation.engine._run_lru_ladder` exactly.
+    """
+    n = len(trace)
+    if n == 0:
+        for cell in cells:
+            cell._evictions_override = 0
+        return
+    sizes = trace.sizes
+    codes = trace.type_codes
+    transfers = stream.transfers_clamped
+    distances = _byte_stack_distances(trace.doc_ids, sizes)
+    needed = distances + sizes
+    type_masks = [codes == code for code in range(len(DOCUMENT_TYPES))]
+    measured_by_warmup: Dict[int, np.ndarray] = {}
+    total_hits: List[int] = []
+    for cell in cells:
+        hit = needed <= cell.config.capacity_bytes
+        total_hits.append(int(np.count_nonzero(hit)))
+        warmup = cell._warmup
+        measured = measured_by_warmup.get(warmup)
+        if measured is None:
+            measured = np.zeros(n, dtype=bool)
+            measured[warmup:] = True
+            measured_by_warmup[warmup] = measured
+        measured_hit = hit & measured
+        overall = cell._hit_overall
+        overall[0] += int(np.count_nonzero(measured_hit))
+        overall[1] += _exact_sum(transfers[measured_hit])
+        for code, doc_type in enumerate(DOCUMENT_TYPES):
+            typed = measured_hit & type_masks[code]
+            bucket = cell._hit_by_type[doc_type]
+            bucket[0] += int(np.count_nonzero(typed))
+            bucket[1] += _exact_sum(transfers[typed])
+
+    # Final residents: walk last references in recency order and count
+    # how many fit each capacity (prefix bytes + own size <= C).
+    reversed_docs = trace.doc_ids[::-1]
+    _, first_in_reversed = np.unique(reversed_docs, return_index=True)
+    last_positions = (n - 1) - first_in_reversed
+    descending = np.sort(last_positions)[::-1]
+    last_sizes = sizes[descending].astype(np.int64)
+    capacities = [cell.config.capacity_bytes for cell in cells]
+    if float(last_sizes.sum(dtype=np.float64)) >= float(_SUM_GUARD):
+        residents = [0] * len(cells)
+        max_capacity = max(capacities)
+        cumulative = 0
+        for size in last_sizes.tolist():
+            if cumulative > max_capacity:
+                break
+            for i, capacity in enumerate(capacities):
+                if cumulative + size <= capacity:
+                    residents[i] += 1
+            cumulative += size
+    else:
+        prefix = np.zeros(len(last_sizes), dtype=np.int64)
+        if len(last_sizes) > 1:
+            prefix[1:] = np.cumsum(last_sizes[:-1], dtype=np.int64)
+        fits = prefix + last_sizes
+        residents = [int(np.count_nonzero(fits <= capacity))
+                     for capacity in capacities]
+    for i, cell in enumerate(cells):
+        admissions = n - total_hits[i]
+        cell._evictions_override = admissions - residents[i]
+
+
+# ----- the FIFO shadow queue ------------------------------------------------
+
+
+def _fifo_eligible(cell: CacheCell) -> bool:
+    return (cell.deferred
+            and type(cell.policy) is FIFOPolicy
+            and type(cell.cache) is Cache)
+
+
+def _run_fifo_cell(cell: CacheCell, doc_list: list, size_list: list,
+                   code_list: list, transfer_list: list) -> None:
+    """Replay :meth:`Cache.reference` for a deferred FIFO cell.
+
+    FIFO never reorders on hits, so residency is just an insertion-
+    ordered ``doc id -> size`` dict: hit iff resident at the same size,
+    a size change invalidates and readmits at the queue tail, anything
+    larger than the cache bypasses, and eviction pops the front until
+    the newcomer fits.  Counters land on the real cache object so
+    :meth:`CacheCell.finalize` reads them unchanged.
+    """
+    cache = cell.cache
+    capacity = cache.capacity_bytes
+    warmup = cell._warmup
+    resident: "OrderedDict[int, int]" = OrderedDict()
+    used = 0
+    hits = misses = evictions = bypasses = invalidations = 0
+    overall = cell._hit_overall
+    by_type = cell._hit_by_type
+    types = DOCUMENT_TYPES
+    get = resident.get
+    pop_front = resident.popitem
+    index = 0
+    for doc, size, code, transfer in zip(doc_list, size_list,
+                                         code_list, transfer_list):
+        current = get(doc)
+        if current is not None and current == size:
+            hits += 1
+            if index >= warmup:
+                overall[0] += 1
+                overall[1] += transfer
+                bucket = by_type[types[code]]
+                bucket[0] += 1
+                bucket[1] += transfer
+        else:
+            if current is not None:
+                del resident[doc]
+                used -= current
+                invalidations += 1
+            misses += 1
+            if size > capacity:
+                bypasses += 1
+            else:
+                while used + size > capacity:
+                    _victim, victim_size = pop_front(last=False)
+                    used -= victim_size
+                    evictions += 1
+                resident[doc] = size
+                used += size
+        index += 1
+    cache.hits += hits
+    cache.misses += misses
+    cache.evictions += evictions
+    cache.bypasses += bypasses
+    cache.invalidations += invalidations
+
+
+# ----- chunked tuple dispatch for everything else ---------------------------
+
+
+def _cost_model_key(model) -> tuple:
+    """Hashable identity for sharing per-chunk cost arrays."""
+    kind = type(model)
+    if kind is ConstantCost:
+        return ("const", model.value)
+    if kind is PacketCost:
+        return ("packet", model.mss, model.ceil_packets)
+    if kind is ByteCost:
+        return ("byte",)
+    if kind is LatencyCost:
+        return ("latency", model.rtt_seconds, model.bandwidth)
+    return ("instance", id(model))
+
+
+def _hinted_model(cell: CacheCell):
+    """The cell's Greedy-Dual cost model when key hinting applies."""
+    if not cell.deferred or type(cell.cache) is not Cache:
+        return None
+    if type(cell.policy) in (GDSPolicy, GDSFPolicy, GDStarPolicy):
+        return cell.policy.cost_model
+    return None
+
+
+def _drive_chunks(trace, stream: ColumnarReferenceStream,
+                  plain: Dict[tuple, List[CacheCell]],
+                  hinted: Dict[tuple, List[tuple]],
+                  chunk_size: int) -> None:
+    """Decode resolved-tuple chunks once and feed every consumer."""
+    n = len(trace)
+    keys = set(plain) | set(hinted)
+    if not keys or n == 0:
+        return
+    urls = trace.urls()
+    types = DOCUMENT_TYPES
+    doc = trace.doc_ids
+    codes = trace.type_codes
+    transfers = stream.transfers_clamped
+    raw_sizes = trace.sizes
+    timestamps = trace.timestamps
+    resolved = {key: stream.resolved_sizes(key) for key in keys}
+    for start in range(0, n, chunk_size):
+        end = min(start + chunk_size, n)
+        doc_list = doc[start:end].tolist()
+        code_list = codes[start:end].tolist()
+        transfer_list = transfers[start:end].tolist()
+        raw_list = raw_sizes[start:end].tolist()
+        time_list = timestamps[start:end].tolist()
+        url_chunk = [urls[d] for d in doc_list]
+        type_chunk = [types[c] for c in code_list]
+        cost_cache: Dict[tuple, list] = {}
+        for key in keys:
+            resolved_slice = resolved[key][start:end]
+            chunk = list(zip(url_chunk, resolved_slice.tolist(),
+                             type_chunk, transfer_list, raw_list,
+                             time_list))
+            for cell in plain.get(key, ()):
+                cell.process_chunk(chunk, start)
+            pairs = hinted.get(key)
+            if pairs:
+                clamped = None
+                for cell, model, model_key in pairs:
+                    costs = cost_cache.get((key, model_key))
+                    if costs is None:
+                        if clamped is None:
+                            clamped = np.maximum(resolved_slice, 1)
+                        costs = model.cost_array(clamped).tolist()
+                        cost_cache[(key, model_key)] = costs
+                    cell.process_chunk_hinted(chunk, start, costs)
+
+
+# ----- the columnar pass ----------------------------------------------------
+
+
+def run_cells_columnar(trace,
+                       configs: Sequence[Union[SimulationConfig,
+                                               CacheCell]],
+                       trace_name: Optional[str] = None,
+                       chunk_size: int = DEFAULT_CHUNK_SIZE,
+                       lru_fast_path: bool = True,
+                       timings: Optional[PhaseTimings] = None,
+                       total_requests: Optional[int] = None,
+                       ) -> List[SimulationResult]:
+    """Run every cell over a columnar trace in one array-backed pass.
+
+    The columnar counterpart of
+    :func:`repro.simulation.engine.run_cells` (which dispatches here
+    when handed a :class:`~repro.trace.columnar.ColumnarTrace`):
+    identical arguments, identical telemetry, bit-identical results.
+    """
+    n = len(trace)
+    if total_requests is not None and total_requests != n:
+        raise SimulationError(
+            f"columnar trace holds {n} requests but "
+            f"total_requests={total_requests} was declared")
+    name = trace_name or trace.name
+    cells: List[CacheCell] = []
+    for config in configs:
+        cell = config if isinstance(config, CacheCell) else CacheCell(config)
+        cells.append(cell)
+    for cell in cells:
+        warmup = int(n * cell.config.warmup_fraction)
+        cell.begin_run(warmup, deferred=True)
+    if timings is None:
+        timings = PhaseTimings()
+    emit("pass_started", cells=len(cells), requests=n)
+    pass_span = _span("pass", cells=len(cells), requests=n, trace=name,
+                      streaming=False, columnar=True)
+    with pass_span:
+        stream = ColumnarReferenceStream(trace)
+        if lru_fast_path:
+            ladder, rest = _ladder_split_columnar(trace, cells)
+        else:
+            ladder, rest = [], list(cells)
+        pass_span.set_attribute("lru_fast_path_cells", len(ladder))
+        fifo = [cell for cell in rest if _fifo_eligible(cell)]
+        fifo_ids = set(map(id, fifo))
+        pass_span.set_attribute("fifo_fast_path_cells", len(fifo))
+        plain: Dict[tuple, List[CacheCell]] = {}
+        hinted: Dict[tuple, List[tuple]] = {}
+        for cell in rest:
+            if id(cell) in fifo_ids:
+                continue
+            key = ReferenceStream.resolver_key(cell.config)
+            model = _hinted_model(cell)
+            if model is not None:
+                hinted.setdefault(key, []).append(
+                    (cell, model, _cost_model_key(model)))
+            else:
+                plain.setdefault(key, []).append(cell)
+        boundaries: Dict[int, Dict[DocumentType, list]] = {}
+        for cell in cells:
+            if cell.deferred and cell._warmup not in boundaries:
+                boundaries[cell._warmup] = _new_requested_totals()
+        with _span("resolve"), phase_timer("resolve", timings):
+            for cell in cells:
+                stream.resolved_sizes(
+                    ReferenceStream.resolver_key(cell.config))
+            if boundaries:
+                _tally_boundaries(trace, stream, boundaries)
+        with _span("drive"), phase_timer("pass", timings):
+            _drive_chunks(trace, stream, plain, hinted, chunk_size)
+            if fifo:
+                doc_list = trace.doc_ids.tolist()
+                code_list = trace.type_codes.tolist()
+                transfer_list = stream.transfers_clamped.tolist()
+                for cell in fifo:
+                    key = ReferenceStream.resolver_key(cell.config)
+                    size_list = stream.resolved_sizes(key).tolist()
+                    _run_fifo_cell(cell, doc_list, size_list,
+                                   code_list, transfer_list)
+        if ladder:
+            with _span("lru_ladder", cells=len(ladder)), \
+                    phase_timer("lru_ladder", timings):
+                _run_lru_ladder_columnar(trace, stream, ladder)
+        with _span("aggregate"), phase_timer("aggregate", timings):
+            results = [cell.finalize(name, n,
+                                     boundaries.get(cell._warmup))
+                       for cell in cells]
+    _publish_pass_telemetry(results, timings, len(cells), len(ladder), n,
+                            n_fifo=len(fifo))
+    registry = get_registry()
+    if registry.enabled:
+        registry.counter("engine_columnar_passes_total").inc()
+        if fifo:
+            registry.counter(
+                "engine_fifo_fast_path_cells_total").inc(len(fifo))
+    _logger.debug(
+        "columnar pass: %d cells (%d ladder, %d fifo) over %d requests",
+        len(cells), len(ladder), len(fifo), n,
+        extra={"cells": len(cells), "lru_fast_path_cells": len(ladder),
+               "fifo_fast_path_cells": len(fifo), "requests": n})
+    return results

@@ -29,6 +29,19 @@ from repro.trace.clf import CLFParser, format_clf_line
 from repro.trace.csvtrace import CsvTraceParser, CsvTraceWriter
 from repro.trace.reader import open_trace, detect_format
 from repro.trace.writer import write_trace
+from repro.trace.columnar import (
+    COLUMNAR_SUFFIX,
+    ColumnarFormatError,
+    ColumnarHeader,
+    ColumnarTrace,
+    ColumnarWriter,
+    convert_to_columnar,
+    inspect_columnar,
+    is_columnar_file,
+    open_columnar,
+    read_header,
+    write_columnar,
+)
 from repro.trace.pipeline import (
     TracePipeline,
     count_requests,
@@ -69,6 +82,17 @@ __all__ = [
     "open_trace",
     "detect_format",
     "write_trace",
+    "COLUMNAR_SUFFIX",
+    "ColumnarFormatError",
+    "ColumnarHeader",
+    "ColumnarTrace",
+    "ColumnarWriter",
+    "convert_to_columnar",
+    "inspect_columnar",
+    "is_columnar_file",
+    "open_columnar",
+    "read_header",
+    "write_columnar",
     "TracePipeline",
     "count_requests",
     "iter_trace",

@@ -2,7 +2,8 @@
 
 Subcommands::
 
-    convert       raw log (squid/clf) -> canonical CSV trace
+    convert       any trace format -> canonical CSV or columnar
+    inspect       O(1) header summary of a columnar trace
     characterize  Section-2 style tables for any trace file
     stats         one-line summary (requests, documents, bytes)
     generate      write a synthetic dfn-like / rtp-like trace
@@ -10,8 +11,10 @@ Subcommands::
 Examples::
 
     python -m repro.trace convert access.log trace.csv.gz
+    python -m repro.trace convert trace.csv.gz trace.rcol
+    python -m repro.trace inspect trace.rcol
     python -m repro.trace characterize trace.csv.gz
-    python -m repro.trace generate dfn --scale 0.001 -o small.csv
+    python -m repro.trace generate dfn --scale 0.001 -o small.rcol
 """
 
 from __future__ import annotations
@@ -47,25 +50,37 @@ def build_parser() -> argparse.ArgumentParser:
     commands = parser.add_subparsers(dest="command", required=True)
 
     convert = commands.add_parser(
-        "convert", help="raw log -> canonical CSV trace")
-    convert.add_argument("source", help="input log (squid/clf/csv)")
-    convert.add_argument("target", help="output CSV path (.gz ok)")
+        "convert", help="any trace -> canonical CSV or columnar")
+    convert.add_argument("source",
+                         help="input trace (squid/clf/csv/columnar)")
+    convert.add_argument("target",
+                         help="output path (.gz ok, .rcol = columnar)")
     convert.add_argument("--format", dest="fmt", default=None,
-                         choices=["squid", "clf", "csv"],
+                         choices=["squid", "clf", "csv", "columnar"],
                          help="input format (default: auto-detect)")
+    convert.add_argument("--to", dest="to", default=None,
+                         choices=["csv", "columnar"],
+                         help="output format (default: from the "
+                              "target suffix)")
+
+    inspect = commands.add_parser(
+        "inspect", help="O(1) header summary of a columnar trace")
+    inspect.add_argument("source", help="columnar (.rcol) trace")
+    inspect.add_argument("--json", action="store_true",
+                         help="emit the summary as JSON")
 
     character = commands.add_parser(
         "characterize", help="print Table 1-5 style statistics")
     character.add_argument("source")
     character.add_argument("--format", dest="fmt", default=None,
-                           choices=["squid", "clf", "csv"])
+                           choices=["squid", "clf", "csv", "columnar"])
     character.add_argument("--no-locality", action="store_true",
                            help="skip the (slower) alpha/beta fits")
 
     stats = commands.add_parser("stats", help="one-line trace summary")
     stats.add_argument("source")
     stats.add_argument("--format", dest="fmt", default=None,
-                       choices=["squid", "clf", "csv"])
+                       choices=["squid", "clf", "csv", "columnar"])
 
     generate = commands.add_parser(
         "generate", help="write a synthetic trace")
@@ -77,12 +92,16 @@ def build_parser() -> argparse.ArgumentParser:
     generate.add_argument("--seed", type=int, default=None)
     generate.add_argument("--irm", action="store_true",
                           help="independent reference model placement")
+    generate.add_argument("--trace-format", dest="trace_format",
+                          default=None, choices=["csv", "columnar"],
+                          help="output format (default: from the "
+                               "output suffix, .rcol = columnar)")
 
     validate = commands.add_parser(
         "validate", help="sanity-check a trace, report findings")
     validate.add_argument("source")
     validate.add_argument("--format", dest="fmt", default=None,
-                          choices=["squid", "clf", "csv"])
+                          choices=["squid", "clf", "csv", "columnar"])
 
     twin = commands.add_parser(
         "twin", help="fit a profile to a trace and write a synthetic "
@@ -91,7 +110,7 @@ def build_parser() -> argparse.ArgumentParser:
     twin.add_argument("-o", "--output", required=True,
                       help="output CSV path for the twin")
     twin.add_argument("--format", dest="fmt", default=None,
-                      choices=["squid", "clf", "csv"])
+                      choices=["squid", "clf", "csv", "columnar"])
     twin.add_argument("--scale", type=float, default=1.0,
                       help="twin volume relative to the source "
                            "(default 1.0)")
@@ -99,11 +118,62 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _target_format(explicit, path) -> str:
+    from pathlib import Path
+
+    from repro.trace.columnar import COLUMNAR_SUFFIX
+
+    if explicit:
+        return explicit
+    return ("columnar" if Path(path).suffix == COLUMNAR_SUFFIX
+            else "csv")
+
+
 def _cmd_convert(args) -> int:
-    trace = load_trace(args.source, fmt=args.fmt)
-    count = write_trace(args.target, trace)
+    to = _target_format(args.to, args.target)
+    if to == "columnar":
+        from repro.trace.columnar import (convert_to_columnar,
+                                          read_header)
+
+        dest = convert_to_columnar(args.source, args.target,
+                                   fmt=args.fmt)
+        count = read_header(dest).n_records
+    else:
+        trace = load_trace(args.source, fmt=args.fmt)
+        count = write_trace(args.target, trace)
     _logger.info("wrote %s requests to %s", f"{count:,}", args.target,
-                 extra={"requests": count, "target": str(args.target)})
+                 extra={"requests": count, "target": str(args.target),
+                        "format": to})
+    return 0
+
+
+def _cmd_inspect(args) -> int:
+    import json as json_module
+
+    from repro.trace.columnar import (ColumnarFormatError,
+                                      inspect_columnar,
+                                      is_columnar_file)
+
+    if not is_columnar_file(args.source):
+        print(f"{args.source}: not a columnar trace "
+              f"(use `stats` for text formats)", file=sys.stderr)
+        return 1
+    try:
+        summary = inspect_columnar(args.source)
+    except ColumnarFormatError as exc:
+        print(str(exc), file=sys.stderr)
+        return 1
+    if args.json:
+        print(json_module.dumps(summary, indent=2))
+        return 0
+    print(f"{summary['name']}: columnar v{summary['format_version']}, "
+          f"{summary['requests']:,} requests, "
+          f"{summary['distinct_documents']:,} documents, "
+          f"{summary['total_size_bytes'] / 1e9:.3f} GB distinct, "
+          f"{summary['requested_bytes'] / 1e9:.3f} GB requested")
+    for doc_type, row in summary["types"].items():
+        print(f"  {doc_type:<12} {row['requests']:>10,} requests  "
+              f"{row['requested_bytes'] / 1e6:>12,.1f} MB")
     return 0
 
 
@@ -123,8 +193,15 @@ def _cmd_characterize(args) -> int:
 
 
 def _cmd_stats(args) -> int:
-    trace = load_trace(args.source, fmt=args.fmt)
-    meta = trace.metadata()
+    from repro.trace.columnar import is_columnar_file, open_columnar
+
+    if args.fmt in (None, "columnar") and is_columnar_file(args.source):
+        # Columnar headers carry the aggregates: no decode needed.
+        with open_columnar(args.source, verify=False) as trace:
+            meta = trace.metadata()
+    else:
+        trace = load_trace(args.source, fmt=args.fmt)
+        meta = trace.metadata()
     print(f"{trace.name}: {meta.total_requests:,} requests, "
           f"{meta.distinct_documents:,} documents, "
           f"{meta.total_size_gb:.3f} GB distinct, "
@@ -137,7 +214,13 @@ def _cmd_generate(args) -> int:
                               seed=args.seed)
     trace = generate_trace(profile,
                            temporal_model="irm" if args.irm else "gaps")
-    count = write_trace(args.output, trace)
+    if _target_format(args.trace_format, args.output) == "columnar":
+        from repro.trace.columnar import write_columnar
+
+        count = write_columnar(args.output, trace.requests,
+                               name=trace.name)
+    else:
+        count = write_trace(args.output, trace)
     _logger.info("wrote %s %s requests to %s", f"{count:,}",
                  profile.name, args.output,
                  extra={"requests": count, "profile": profile.name,
@@ -180,6 +263,7 @@ def _cmd_validate(args) -> int:
 
 _COMMANDS = {
     "convert": _cmd_convert,
+    "inspect": _cmd_inspect,
     "characterize": _cmd_characterize,
     "stats": _cmd_stats,
     "generate": _cmd_generate,

@@ -1,8 +1,10 @@
 """Trace file opening with format auto-detection.
 
-Supports plain and gzip-compressed files in any of the three formats
-(squid, clf, csv).  Detection reads the first non-blank line and asks
-each parser's ``sniff``; an explicit format name always wins.
+Supports plain and gzip-compressed files in any of the three text
+formats (squid, clf, csv) plus the binary columnar format
+(:mod:`repro.trace.columnar`).  Binary detection checks the file's
+magic bytes; text detection reads the first non-blank line and asks
+each parser's ``sniff``.  An explicit format name always wins.
 """
 
 from __future__ import annotations
@@ -71,8 +73,18 @@ def open_trace(path: PathLike, fmt: Optional[str] = None,
             line (lenient mode only), so malformed input is observable.
 
     Yields :class:`~repro.trace.record.LogRecord` for raw-log formats and
-    :class:`~repro.types.Request` for the canonical csv format.
+    :class:`~repro.types.Request` for the canonical csv and binary
+    columnar formats.
     """
+    from repro.trace.columnar import is_columnar_file, open_columnar
+
+    if fmt == "columnar" or (fmt is None and is_columnar_file(path)):
+        columnar = open_columnar(path, verify=True)
+        try:
+            yield from columnar.iter_requests()
+        finally:
+            columnar.close()
+        return
     stream = _open_text(path)
     try:
         if fmt is None:
@@ -102,7 +114,8 @@ def read_records(path: PathLike, fmt: Optional[str] = None,
                  on_error: Optional[Callable[[TraceFormatError], None]]
                  = None) -> Iterator[LogRecord]:
     """Like :func:`open_trace` but only for raw-log formats."""
-    if fmt == "csv":
-        raise TraceFormatError("csv traces contain Requests, not LogRecords")
+    if fmt in ("csv", "columnar"):
+        raise TraceFormatError(
+            f"{fmt} traces contain Requests, not LogRecords")
     yield from open_trace(path, fmt=fmt, strict=strict,
                           max_errors=max_errors, on_error=on_error)

@@ -7,6 +7,7 @@ import io
 from pathlib import Path
 from typing import Iterable, Union
 
+from repro.trace.columnar import COLUMNAR_SUFFIX, write_columnar
 from repro.trace.csvtrace import CsvTraceWriter
 from repro.types import Request
 
@@ -14,11 +15,15 @@ PathLike = Union[str, Path]
 
 
 def write_trace(path: PathLike, requests: Iterable[Request]) -> int:
-    """Write requests to a canonical CSV trace file; returns the count.
+    """Write requests to a trace file; returns the count.
 
-    ``.gz`` paths are compressed transparently.
+    The format follows the suffix: ``.rcol`` writes the binary columnar
+    format (:mod:`repro.trace.columnar`), anything else the canonical
+    CSV format.  ``.gz`` CSV paths are compressed transparently.
     """
     path = Path(path)
+    if path.suffix == COLUMNAR_SUFFIX:
+        return write_columnar(path, requests)
     if path.suffix == ".gz":
         with gzip.open(path, "wb") as binary:
             with io.TextIOWrapper(binary, encoding="utf-8") as stream:
