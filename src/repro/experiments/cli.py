@@ -19,6 +19,13 @@ hit-rate questions without a simulation pass::
 
     python -m repro.experiments model curve --profile dfn
     python -m repro.experiments model validate --profile dfn --irm
+
+The cache-network subcommand (:mod:`repro.network.cli`) drives
+hierarchies, meshes, paths, and trees through one engine::
+
+    python -m repro.experiments network run --profile dfn \\
+        --topology tree --strategy probcache
+    python -m repro.experiments network validate --profile dfn --irm
 """
 
 from __future__ import annotations
@@ -133,6 +140,11 @@ def main(argv: Optional[List[str]] = None) -> int:
         # report/compact/chaos); same early-dispatch pattern.
         from repro.experiments.service import main as service_main
         return service_main(argv[1:])
+    if argv and argv[0] == "network":
+        # Cache-network verbs (run/sweep/placement/validate/enqueue);
+        # same early-dispatch pattern.
+        from repro.network.cli import main as network_main
+        return network_main(argv[1:])
     args = build_parser().parse_args(argv)
     configure(level=args.log_level, json_lines=args.log_json)
     if args.trace_spans:

@@ -127,6 +127,83 @@ class TrialSpec:
                          seed=self.seed)
 
 
+@dataclass(frozen=True)
+class NetworkTrialSpec:
+    """One seeded cache-*network* cell: topology × strategy × policy.
+
+    Lives in the same queue and store as :class:`TrialSpec`; the
+    worker dispatches on the presence of the ``topology`` key (classic
+    specs never carry one, so stored hashes of existing trials are
+    untouched).  ``size_fraction`` is the *aggregate* cache budget as
+    a fraction of the trace's distinct bytes, split uniformly across
+    nodes by :func:`repro.network.topology.build_topology` — holding
+    total cache bytes constant is what makes hit rates comparable
+    across topologies.
+    """
+
+    trace: str
+    scale: float
+    topology: str
+    strategy: str
+    policy: str
+    size_fraction: float
+    seed: int
+    #: Shape parameter: children (two-level), proxies (mesh), chain
+    #: length (path), depth (tree); ignored for ``single``.
+    n: int = 4
+
+    def __post_init__(self):
+        from repro.network.strategies import STRATEGY_NAMES
+        from repro.network.topology import TOPOLOGY_KINDS
+
+        if self.trace not in TRACE_PROFILES:
+            raise ServiceError(
+                f"unknown trace profile {self.trace!r}; known: "
+                + ", ".join(TRACE_PROFILES))
+        if self.topology not in TOPOLOGY_KINDS:
+            raise ServiceError(
+                f"unknown topology {self.topology!r}; known: "
+                + ", ".join(TOPOLOGY_KINDS))
+        if self.strategy not in STRATEGY_NAMES:
+            raise ServiceError(
+                f"unknown strategy {self.strategy!r}; known: "
+                + ", ".join(STRATEGY_NAMES))
+        if not 0 < self.size_fraction <= 1:
+            raise ServiceError("size_fraction must be in (0, 1]")
+        if self.scale <= 0:
+            raise ServiceError("scale must be positive")
+        if self.n < 1:
+            raise ServiceError("n must be >= 1")
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "NetworkTrialSpec":
+        try:
+            return cls(trace=str(data["trace"]),
+                       scale=float(data["scale"]),
+                       topology=str(data["topology"]),
+                       strategy=str(data["strategy"]),
+                       policy=str(data["policy"]),
+                       size_fraction=float(data["size_fraction"]),
+                       seed=int(data["seed"]),
+                       n=int(data.get("n", 4)))
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ServiceError(
+                f"malformed network trial spec: {exc}") from exc
+
+    def as_dict(self) -> dict:
+        return asdict(self)
+
+    def config_key(self) -> str:
+        config = self.as_dict()
+        del config["seed"]
+        return config_hash(config)
+
+    def result_key(self, git_hash: Optional[str] = None) -> ResultKey:
+        return ResultKey(config_hash=self.config_key(),
+                         git_hash=git_hash or git_revision(),
+                         seed=self.seed)
+
+
 class _WorkerTraceCache:
     """Per-process memo of generated traces, keyed like the suite
     runner's cache: one (profile, scale, seed) trace serves every
@@ -221,6 +298,54 @@ def execute_trial(spec: TrialSpec) -> dict:
     }
 
 
+def execute_network_trial(spec: NetworkTrialSpec) -> dict:
+    """Run one network trial; deterministic, timestamp-free payload.
+
+    The aggregate budget resolves against the trace exactly like the
+    single-cache path; :func:`repro.network.engine.run_network`
+    dispatches to the vectorized cascade when the cell qualifies
+    (columnar trace, LRU, LCE) and the object walk otherwise — both
+    produce identical payload bytes.  The spec's seed feeds the
+    placement strategy's RNG and (via ``policy_seed``) any seedable
+    per-node policies, so replicas differ only through the seed.
+    """
+    from repro.network.engine import NetworkConfig, run_network
+    from repro.network.strategies import make_strategy
+    from repro.network.topology import build_topology
+    from repro.simulation.sweep import cache_sizes_from_fractions
+
+    trace = _TRACES.get(spec.trace, spec.scale, spec.seed)
+    capacity = cache_sizes_from_fractions(
+        trace, [spec.size_fraction])[0]
+    config = NetworkConfig(
+        topology=build_topology(spec.topology, capacity, n=spec.n,
+                                policy=spec.policy),
+        strategy=make_strategy(spec.strategy, seed=spec.seed),
+        policy_seed=spec.seed)
+    result = run_network(trace, config)
+    edge = result.edge_metrics()
+    return {
+        "spec": spec.as_dict(),
+        "total_capacity_bytes": capacity,
+        "n_caches": result.config.topology.n_caches,
+        "hit_rate": result.hit_rate,
+        "byte_hit_rate": result.byte_hit_rate,
+        "edge_hit_rate": edge.overall.hit_rate,
+        "sibling_serves": result.sibling_serves,
+        "type_hit_rates": {
+            doc_type.value: result.network.hit_rate(doc_type)
+            for doc_type in DocumentType
+        },
+        # Which level each type's resident bytes ended up at — the
+        # per-type placement view, keyed "type/level".
+        "placement_shares": {
+            f"{doc_type.value}/{level}": share
+            for doc_type, by_level in result.placement_shares().items()
+            for level, share in by_level.items()
+        },
+    }
+
+
 # --------------------------------------------------------------------------
 # Service root helpers
 # --------------------------------------------------------------------------
@@ -252,6 +377,32 @@ def enqueue_grid(queue: TrialQueue, *, traces: Sequence[str],
                                      size_fraction=fraction, seed=seed)
                     trial_id, _ = queue.enqueue(spec.as_dict())
                     ids.append(trial_id)
+    return ids
+
+
+def enqueue_network_grid(queue: TrialQueue, *, traces: Sequence[str],
+                         scale: float, topologies: Sequence[str],
+                         strategies: Sequence[str],
+                         policies: Sequence[str],
+                         size_fractions: Sequence[float],
+                         seeds: Sequence[int],
+                         n: int = 4) -> List[str]:
+    """Enqueue a network cross product (topology × strategy × policy
+    × budget × seed); idempotent, returns trial ids."""
+    ids = []
+    for trace in traces:
+        for topology in topologies:
+            for strategy in strategies:
+                for policy in policies:
+                    for fraction in size_fractions:
+                        for seed in seeds:
+                            spec = NetworkTrialSpec(
+                                trace=trace, scale=scale,
+                                topology=topology, strategy=strategy,
+                                policy=policy, size_fraction=fraction,
+                                seed=seed, n=n)
+                            trial_id, _ = queue.enqueue(spec.as_dict())
+                            ids.append(trial_id)
     return ids
 
 
@@ -341,7 +492,12 @@ def _run_claimed(queue: TrialQueue, store: ResultsStore,
                  git_hash: str,
                  known_keys: Optional[set] = None) -> bool:
     try:
-        spec = TrialSpec.from_dict(claimed.spec)
+        # Network trials share the queue/store; the ``topology`` key
+        # is the dispatch bit (classic specs never carry one, so
+        # existing stored config hashes are unaffected).
+        spec_cls = (NetworkTrialSpec if "topology" in claimed.spec
+                    else TrialSpec)
+        spec = spec_cls.from_dict(claimed.spec)
     except ServiceError as exc:
         # A structurally valid JSON file holding a semantically bad
         # spec: executing it will never work, so burn its attempts.
@@ -364,7 +520,9 @@ def _run_claimed(queue: TrialQueue, store: ResultsStore,
             if fault_injector is not None:
                 fault_injector.on_start(claimed.trial_id,
                                         claimed.attempt)
-            payload = execute_trial(spec)
+            payload = (execute_network_trial(spec)
+                       if isinstance(spec, NetworkTrialSpec)
+                       else execute_trial(spec))
         except Exception as exc:  # noqa: BLE001 - released, not lost
             trial_span.set_status("error")
             queue.release(
@@ -463,8 +621,13 @@ def build_report(store: ResultsStore, alpha: float = 0.05,
         value = payload.get(metric)
         if value is None or "policy" not in spec:
             continue  # foreign record (not written by the service)
+        # Network trials extend the condition with (topology,
+        # strategy); classic trials carry None there, so their
+        # grouping — and the report over an existing store — is
+        # unchanged.
         group = (spec.get("trace"), spec.get("scale"),
-                 spec.get("size_fraction"), key.git_hash)
+                 spec.get("size_fraction"), key.git_hash,
+                 spec.get("topology"), spec.get("strategy"))
         samples = groups.setdefault(group, {})
         # keyed by seed: a duplicate append never double-counts
         samples.setdefault(spec["policy"], {})[key.seed] = value
@@ -473,7 +636,7 @@ def build_report(store: ResultsStore, alpha: float = 0.05,
     data: dict = {"metric": metric, "alpha": alpha, "groups": []}
     for group, by_policy in sorted(groups.items(),
                                    key=lambda item: str(item[0])):
-        trace, scale, fraction, git_hash = group
+        trace, scale, fraction, git_hash, topology, strategy = group
         samples = {policy: [value for _, value in sorted(seeds.items())]
                    for policy, seeds in by_policy.items()}
         ranking = rank_policies(samples, alpha=alpha)
@@ -481,8 +644,11 @@ def build_report(store: ResultsStore, alpha: float = 0.05,
                                alpha=alpha)
                        for i, a in enumerate(sorted(samples))
                        for b in sorted(samples)[i + 1:]]
+        network = (f" topology={topology} strategy={strategy}"
+                   if topology is not None else "")
         lines.append(f"== trace={trace} scale={scale:g} "
-                     f"cache={fraction:.1%} git={git_hash} ==")
+                     f"cache={fraction:.1%}{network} "
+                     f"git={git_hash} ==")
         lines.append(f"{'rank':>4}  {'policy':<14} {'n':>3} "
                      f"{'mean':>8} {'95% CI':>19}")
         for row in ranking:
@@ -503,12 +669,16 @@ def build_report(store: ResultsStore, alpha: float = 0.05,
                 f"{comparison.magnitude:<10} "
                 f"{str(comparison.significant):<11}")
         lines.append("")
-        data["groups"].append({
+        entry = {
             "trace": trace, "scale": scale, "size_fraction": fraction,
             "git_hash": git_hash,
             "ranking": ranking,
             "comparisons": [c.as_dict() for c in comparisons],
-        })
+        }
+        if topology is not None:
+            entry["topology"] = topology
+            entry["strategy"] = strategy
+        data["groups"].append(entry)
     if not lines:
         lines.append("(store holds no service records)")
     return ServiceReport(text="\n".join(lines).rstrip(), data=data)

@@ -26,7 +26,8 @@ from typing import Dict, List, Optional, Sequence, Union
 
 from repro.errors import ConfigurationError
 from repro.model.catalog import Catalog, catalog_from_trace
-from repro.model.che import ModelPrediction, hit_rate_curve
+from repro.model.che import (HierarchyPrediction, ModelPrediction,
+                             hierarchy_predict, hit_rate_curve)
 from repro.model.solver import normalize_policy
 from repro.observability.events import emit
 from repro.observability.logs import get_logger
@@ -170,6 +171,233 @@ class ValidationReport:
                 f"  {policy:<8} MAE "
                 f"{self.policy_mean_absolute_error(policy):.4f}")
         return "\n".join(lines)
+
+
+#: Default (child, parent) capacity-fraction ladder for the hierarchy
+#: validation: parents four times their children, spanning the small-
+#: cache regime the paper sweeps.
+HIERARCHY_FRACTION_PAIRS = ((0.002, 0.008), (0.005, 0.02),
+                            (0.01, 0.04), (0.02, 0.08))
+
+
+@dataclass(frozen=True)
+class HierarchyValidationCell:
+    """Tandem-queue model vs network simulator at one capacity pair."""
+
+    policy: str
+    child_capacity_bytes: int
+    parent_capacity_bytes: int
+    predicted: HierarchyPrediction
+    simulated_child_hit_rate: float
+    simulated_parent_hit_rate: float
+    simulated_combined_hit_rate: float
+    simulated_combined_byte_hit_rate: float
+
+    @property
+    def combined_error(self) -> float:
+        """|model − simulator| on the hierarchy (origin off-load)
+        hit rate — the quantity the CI gate bounds."""
+        return abs(self.predicted.combined_hit_rate
+                   - self.simulated_combined_hit_rate)
+
+    @property
+    def child_error(self) -> float:
+        return abs(self.predicted.child.hit_rate
+                   - self.simulated_child_hit_rate)
+
+    @property
+    def parent_error(self) -> float:
+        return abs(self.predicted.parent.hit_rate
+                   - self.simulated_parent_hit_rate)
+
+    def as_dict(self) -> dict:
+        return {
+            "policy": self.policy,
+            "child_capacity_bytes": self.child_capacity_bytes,
+            "parent_capacity_bytes": self.parent_capacity_bytes,
+            "predicted_child_hit_rate": self.predicted.child.hit_rate,
+            "predicted_parent_hit_rate": self.predicted.parent.hit_rate,
+            "predicted_combined_hit_rate":
+                self.predicted.combined_hit_rate,
+            "predicted_combined_byte_hit_rate":
+                self.predicted.combined_byte_hit_rate,
+            "simulated_child_hit_rate": self.simulated_child_hit_rate,
+            "simulated_parent_hit_rate": self.simulated_parent_hit_rate,
+            "simulated_combined_hit_rate":
+                self.simulated_combined_hit_rate,
+            "simulated_combined_byte_hit_rate":
+                self.simulated_combined_byte_hit_rate,
+            "combined_error": self.combined_error,
+            "child_error": self.child_error,
+            "parent_error": self.parent_error,
+        }
+
+
+@dataclass
+class HierarchyValidationReport:
+    """Tandem model errors over a (policy × capacity-pair) grid."""
+
+    trace_name: str
+    total_requests: int
+    n_children: int
+    warmup_fraction: float
+    cells: List[HierarchyValidationCell] = field(default_factory=list)
+
+    @property
+    def mean_absolute_error(self) -> float:
+        """Combined-hit-rate MAE over the grid (the CI-gated bound)."""
+        if not self.cells:
+            return 0.0
+        return sum(c.combined_error for c in self.cells) / len(self.cells)
+
+    @property
+    def max_absolute_error(self) -> float:
+        if not self.cells:
+            return 0.0
+        return max(c.combined_error for c in self.cells)
+
+    @property
+    def child_mean_absolute_error(self) -> float:
+        if not self.cells:
+            return 0.0
+        return sum(c.child_error for c in self.cells) / len(self.cells)
+
+    @property
+    def parent_mean_absolute_error(self) -> float:
+        if not self.cells:
+            return 0.0
+        return sum(c.parent_error for c in self.cells) / len(self.cells)
+
+    def as_dict(self) -> dict:
+        return {
+            "trace_name": self.trace_name,
+            "total_requests": self.total_requests,
+            "n_children": self.n_children,
+            "warmup_fraction": self.warmup_fraction,
+            "mean_absolute_error": self.mean_absolute_error,
+            "max_absolute_error": self.max_absolute_error,
+            "child_mean_absolute_error": self.child_mean_absolute_error,
+            "parent_mean_absolute_error":
+                self.parent_mean_absolute_error,
+            "cells": [cell.as_dict() for cell in self.cells],
+        }
+
+    def save(self, path: Union[str, Path]) -> Path:
+        path = Path(path)
+        path.write_text(json.dumps(self.as_dict(), indent=2) + "\n")
+        return path
+
+    def text(self) -> str:
+        lines = [
+            f"Hierarchy model validation on {self.trace_name!r} "
+            f"({self.total_requests:,} requests, "
+            f"{self.n_children} children, "
+            f"warmup {self.warmup_fraction:.0%})",
+            f"{'policy':<8} {'child cap':>12} {'parent cap':>12} "
+            f"{'sim hr':>8} {'model hr':>9} {'|err|':>7}   "
+            f"{'child |err|':>11} {'parent |err|':>12}",
+        ]
+        for c in self.cells:
+            lines.append(
+                f"{c.policy:<8} {c.child_capacity_bytes:>12,} "
+                f"{c.parent_capacity_bytes:>12,} "
+                f"{c.simulated_combined_hit_rate:>8.4f} "
+                f"{c.predicted.combined_hit_rate:>9.4f} "
+                f"{c.combined_error:>7.4f}   "
+                f"{c.child_error:>11.4f} {c.parent_error:>12.4f}")
+        lines.append(
+            f"combined MAE {self.mean_absolute_error:.4f}  "
+            f"max {self.max_absolute_error:.4f}  "
+            f"child MAE {self.child_mean_absolute_error:.4f}  "
+            f"parent MAE {self.parent_mean_absolute_error:.4f}")
+        return "\n".join(lines)
+
+
+def validate_hierarchy(trace: Trace,
+                       policies: Sequence[str] = ("lru",),
+                       fraction_pairs: Sequence[Sequence[float]]
+                       = HIERARCHY_FRACTION_PAIRS,
+                       n_children: int = 3,
+                       warmup_fraction: float = 0.10,
+                       catalog: Optional[Catalog] = None,
+                       ) -> HierarchyValidationReport:
+    """Score the two-level tandem predictor against the network engine.
+
+    The analytical side is :func:`repro.model.che.hierarchy_predict`
+    (child solved on the raw stream, parent on the normalized child
+    miss stream, independence approximation); the simulated side is
+    :func:`repro.simulation.hierarchy.simulate_hierarchy`, which since
+    the :mod:`repro.network` refactor *is* the network engine on a
+    :func:`~repro.network.topology.two_level` topology under
+    leave-copy-everywhere.
+
+    The tandem model is per-child-count agnostic — under IRM each
+    round-robin child substream keeps the popularity distribution, so
+    one solved child stands for all ``n_children`` of them — which is
+    why the comparison is meaningful for any ``n_children``.
+
+    Returns the structured report; also emits a
+    ``hierarchy_model_validated`` event and feeds per-cell combined
+    errors into the ``hierarchy_validation_abs_error`` histogram.
+    """
+    from repro.simulation.hierarchy import simulate_hierarchy
+    from repro.simulation.sweep import cache_sizes_from_fractions
+
+    policies = [normalize_policy(p) for p in policies]
+    if not policies:
+        raise ConfigurationError("need at least one policy")
+    pairs = [tuple(pair) for pair in fraction_pairs]
+    if not pairs or any(len(pair) != 2 for pair in pairs):
+        raise ConfigurationError(
+            "fraction_pairs must be (child, parent) fraction pairs")
+    if catalog is None:
+        catalog = catalog_from_trace(trace)
+
+    report = HierarchyValidationReport(
+        trace_name=catalog.name,
+        total_requests=len(trace),
+        n_children=n_children,
+        warmup_fraction=warmup_fraction)
+    registry = get_registry()
+    for policy in policies:
+        for child_fraction, parent_fraction in pairs:
+            child_cap, parent_cap = cache_sizes_from_fractions(
+                trace, [child_fraction, parent_fraction])
+            predicted = hierarchy_predict(
+                catalog, child_cap, parent_cap, policy=policy)
+            simulated = simulate_hierarchy(
+                trace, child_cap, parent_cap,
+                child_policy=policy, parent_policy=policy,
+                n_children=n_children,
+                warmup_fraction=warmup_fraction)
+            cell = HierarchyValidationCell(
+                policy=policy,
+                child_capacity_bytes=int(child_cap),
+                parent_capacity_bytes=int(parent_cap),
+                predicted=predicted,
+                simulated_child_hit_rate=simulated.child_hit_rate,
+                simulated_parent_hit_rate=simulated.parent_hit_rate,
+                simulated_combined_hit_rate=simulated.hierarchy_hit_rate,
+                simulated_combined_byte_hit_rate=
+                simulated.hierarchy.overall.byte_hit_rate,
+            )
+            report.cells.append(cell)
+            if registry.enabled:
+                registry.histogram(
+                    "hierarchy_validation_abs_error",
+                    policy=policy).observe(cell.combined_error)
+    emit("hierarchy_model_validated",
+         cells=len(report.cells),
+         mean_absolute_error=round(report.mean_absolute_error, 6),
+         max_absolute_error=round(report.max_absolute_error, 6))
+    _logger.info(
+        "hierarchy model validated on %r: %d cells, combined MAE "
+        "%.4f (max %.4f)", report.trace_name, len(report.cells),
+        report.mean_absolute_error, report.max_absolute_error,
+        extra={"trace": report.trace_name, "cells": len(report.cells),
+               "mean_absolute_error": report.mean_absolute_error,
+               "max_absolute_error": report.max_absolute_error})
+    return report
 
 
 def _type_errors(prediction: ModelPrediction,

@@ -1,0 +1,46 @@
+"""Cache networks: one engine for single caches, hierarchies, meshes,
+paths, and trees.
+
+The package factors what used to be three hand-written simulation
+loops (single cache, two-level hierarchy, sibling mesh) into:
+
+* :mod:`repro.network.topology` — the shape: nodes, capacities,
+  per-hop links, and constructors for the standard shapes;
+* :mod:`repro.network.strategies` — placement: who keeps a copy
+  (LCE / LCD / ProbCache);
+* :mod:`repro.network.engine` — the routing core driving any
+  registry policy at each node, with per-node per-type metrics;
+* :mod:`repro.network.fastpath` — the vectorized LRU/LCE cascade for
+  columnar traces (bit-identical, benchmark-fast);
+* :mod:`repro.network.cli` — ``network run/sweep/validate/placement``.
+
+The legacy :mod:`repro.simulation.hierarchy` and
+:mod:`repro.simulation.mesh` APIs survive as thin constructors over
+this engine, pinned bit-identical by goldens.
+"""
+
+from repro.network.engine import (NetworkConfig, NetworkLatencyMetrics,
+                                  NetworkResult, NetworkSimulator,
+                                  NodeResult, run_network,
+                                  run_network_cells)
+from repro.network.strategies import (STRATEGY_NAMES, LeaveCopyDown,
+                                      LeaveCopyEverywhere,
+                                      PlacementStrategy, ProbCache,
+                                      make_strategy)
+from repro.network.topology import (DEFAULT_CLIENT_LINK,
+                                    DEFAULT_ORIGIN_LINK,
+                                    DEFAULT_PEER_LINK, TOPOLOGY_KINDS,
+                                    NodeSpec, Topology, build_topology,
+                                    path, sibling_mesh, single,
+                                    tree, two_level)
+
+__all__ = [
+    "NetworkConfig", "NetworkLatencyMetrics", "NetworkResult",
+    "NetworkSimulator", "NodeResult", "run_network",
+    "run_network_cells",
+    "PlacementStrategy", "LeaveCopyEverywhere", "LeaveCopyDown",
+    "ProbCache", "make_strategy", "STRATEGY_NAMES",
+    "NodeSpec", "Topology", "single", "two_level", "sibling_mesh",
+    "path", "tree", "build_topology", "TOPOLOGY_KINDS",
+    "DEFAULT_CLIENT_LINK", "DEFAULT_ORIGIN_LINK", "DEFAULT_PEER_LINK",
+]

@@ -1,0 +1,558 @@
+"""The cache-network engine: one routing core for every topology.
+
+One request's life, regardless of topology shape:
+
+1. the request arrives at its client population's edge cache
+   (round-robin over :attr:`Topology.edges`, preserving the legacy
+   simulators' client model);
+2. the engine walks the cache path toward the origin until some cache
+   holds the document at its current size — a stale copy (size
+   changed) is dropped where it is found;
+3. if the whole vertical path misses and the edge belongs to the
+   sibling ring, the siblings are probed in ring order (ICP);
+4. the placement strategy (:mod:`repro.network.strategies`) decides
+   which of the missed caches admit a copy of the fetched document;
+5. post-warmup, the reference is accounted at every cache it probed
+   vertically, at the network level, and (optionally) as end-to-end
+   latency over the :class:`~repro.simulation.latency.Link` path.
+
+Under leave-copy-everywhere the walk probes with
+``Cache.reference()`` — probe and admit in one call — which makes the
+engine's cache-call sequence *identical* to the legacy
+hierarchy/mesh loops; the goldens under ``tests/network/data/`` pin
+that equality byte-for-byte across the whole policy registry.
+
+The engine is policy-agnostic (any name from
+:data:`repro.core.registry.POLICY_NAMES`, or pre-built policy
+instances) and emits run-level telemetry through
+:mod:`repro.observability`: one span per run, counters and histograms
+batched after the loop, never per request.
+"""
+
+from __future__ import annotations
+
+import logging
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.core.cache import Cache
+from repro.core.policy import AccessOutcome, ReplacementPolicy
+from repro.core.registry import make_policy
+from repro.errors import ConfigurationError
+from repro.network.strategies import PlacementStrategy, make_strategy
+from repro.network.topology import NodeSpec, Topology
+from repro.observability.events import emit
+from repro.observability.metrics import get_registry
+from repro.observability.trace import span as _span
+from repro.simulation.latency import Link, path_latency
+from repro.simulation.metrics import TypeMetrics, measured_transfer
+from repro.structures.streaming import StreamingStats
+from repro.types import DOCUMENT_TYPES, DocumentType, Request, Trace
+
+_logger = logging.getLogger("repro.network")
+
+
+@dataclass
+class NetworkConfig:
+    """One network simulation cell: shape × placement × behaviour."""
+
+    topology: Topology
+    strategy: Union[str, PlacementStrategy] = "lce"
+    warmup_fraction: float = 0.10
+    #: Record end-to-end service times over the topology's links.
+    #: Off by default: the legacy-equivalent wrappers and the fast
+    #: path skip it, and it roughly doubles per-request bookkeeping.
+    measure_latency: bool = False
+    #: After a sibling serves, keep a copy at the home cache too (the
+    #: bandwidth-hungry ICP variant; the legacy mesh default).
+    replicate_on_sibling_hit: bool = True
+    #: When set, node i's policy is built with ``seed=policy_seed+i``
+    #: where the policy accepts a seed — distinct randomized policies
+    #: per node, deterministic per run.
+    policy_seed: Optional[int] = None
+
+    def validate(self) -> None:
+        self.topology.validate()
+        if not 0.0 <= self.warmup_fraction < 1.0:
+            raise ConfigurationError(
+                "warmup_fraction must be in [0, 1)")
+        if isinstance(self.strategy, str):
+            make_strategy(self.strategy)          # raises on unknown
+
+    @property
+    def strategy_name(self) -> str:
+        if isinstance(self.strategy, str):
+            return self.strategy
+        return self.strategy.name
+
+
+@dataclass
+class NetworkLatencyMetrics:
+    """End-to-end service times over the topology's link paths."""
+
+    overall: StreamingStats = field(default_factory=StreamingStats)
+    by_type: Dict[DocumentType, StreamingStats] = field(
+        default_factory=lambda: {t: StreamingStats()
+                                 for t in DOCUMENT_TYPES})
+    #: What the same requests would have cost with every fetch going
+    #: to the origin — the no-cache comparison point.
+    baseline: StreamingStats = field(default_factory=StreamingStats)
+
+    def record(self, doc_type: DocumentType, latency: float) -> None:
+        self.overall.add(latency)
+        self.by_type[doc_type].add(latency)
+
+    def mean_latency(self, doc_type: DocumentType = None) -> float:
+        stats = self.overall if doc_type is None \
+            else self.by_type[doc_type]
+        return stats.mean
+
+    @property
+    def speedup(self) -> float:
+        """No-cache mean latency / achieved mean latency (≥ 1)."""
+        achieved = self.overall.mean
+        if not achieved or achieved != achieved:
+            return 1.0
+        return self.baseline.mean / achieved
+
+
+@dataclass
+class NodeResult:
+    """One cache node's view of a run."""
+
+    name: str
+    level: int
+    capacity_bytes: int
+    policy: str
+    #: Accounted over the requests that *reached* this node post-
+    #: warmup: every request for an edge node, the local miss stream
+    #: for an upstream node — the legacy hierarchy's per-level view.
+    metrics: TypeMetrics = field(default_factory=TypeMetrics)
+    #: Raw cache counters over the whole run, warmup included.
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    bypasses: int = 0
+    invalidations: int = 0
+    used_bytes: int = 0
+    #: Resident bytes per document type at end of run — the placement
+    #: snapshot the per-type placement report reads.
+    placement: Dict[DocumentType, int] = field(
+        default_factory=lambda: {t: 0 for t in DOCUMENT_TYPES})
+    #: Service times experienced by this edge node's client
+    #: population (empty for non-edge nodes or latency-off runs).
+    latency: StreamingStats = field(default_factory=StreamingStats)
+
+    @property
+    def occupancy(self) -> float:
+        return self.used_bytes / self.capacity_bytes \
+            if self.capacity_bytes else 0.0
+
+    def as_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "level": self.level,
+            "capacity_bytes": self.capacity_bytes,
+            "policy": self.policy,
+            "metrics": self.metrics.as_dict(),
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "bypasses": self.bypasses,
+            "invalidations": self.invalidations,
+            "used_bytes": self.used_bytes,
+            "occupancy": self.occupancy,
+            "placement": {t.value: b for t, b in self.placement.items()},
+        }
+
+
+@dataclass
+class NetworkResult:
+    """Outcome of one network run."""
+
+    config: NetworkConfig
+    trace_name: str = "trace"
+    total_requests: int = 0
+    warmup_requests: int = 0
+    nodes: Dict[str, NodeResult] = field(default_factory=dict)
+    #: Requests served by *any* cache in the network (origin off-load).
+    network: TypeMetrics = field(default_factory=TypeMetrics)
+    sibling_serves: int = 0
+    latency: Optional[NetworkLatencyMetrics] = None
+
+    @property
+    def hit_rate(self) -> float:
+        return self.network.overall.hit_rate
+
+    @property
+    def byte_hit_rate(self) -> float:
+        return self.network.overall.byte_hit_rate
+
+    @property
+    def origin_byte_rate(self) -> float:
+        """Fraction of requested bytes still fetched from the origin."""
+        if not self.network.overall.requested_bytes:
+            return 0.0
+        return 1.0 - self.network.overall.byte_hit_rate
+
+    def edge_metrics(self) -> TypeMetrics:
+        """All edge populations folded together — the legacy
+        hierarchy's ``child`` / mesh's ``local`` view."""
+        merged = TypeMetrics()
+        for name in self.config.topology.edges:
+            merged.merge(self.nodes[name].metrics)
+        return merged
+
+    def level_metrics(self) -> Dict[int, TypeMetrics]:
+        """Per-level merged metrics, level 0 at the edge."""
+        topology = self.config.topology
+        out: Dict[int, TypeMetrics] = {}
+        for name, node in self.nodes.items():
+            level = topology.level_of(name)
+            merged = out.get(level)
+            if merged is None:
+                merged = out[level] = TypeMetrics()
+            merged.merge(node.metrics)
+        return out
+
+    def placement_by_level(self) -> Dict[int, Dict[DocumentType, int]]:
+        """Resident bytes per document type, folded per level."""
+        topology = self.config.topology
+        out: Dict[int, Dict[DocumentType, int]] = {}
+        for name, node in self.nodes.items():
+            level = topology.level_of(name)
+            bucket = out.setdefault(level,
+                                    {t: 0 for t in DOCUMENT_TYPES})
+            for doc_type, resident in node.placement.items():
+                bucket[doc_type] += resident
+        return out
+
+    def placement_shares(self) -> Dict[DocumentType, Dict[int, float]]:
+        """For each type: the share of its resident bytes per level.
+
+        The per-type placement report: which levels a type's bytes
+        end up living at under this strategy/policy combination.
+        Types with no resident bytes anywhere map every level to 0.
+        """
+        by_level = self.placement_by_level()
+        totals = {t: sum(levels[t] for levels in by_level.values())
+                  for t in DOCUMENT_TYPES}
+        return {
+            t: {level: (by_level[level][t] / totals[t]
+                        if totals[t] else 0.0)
+                for level in sorted(by_level)}
+            for t in DOCUMENT_TYPES
+        }
+
+    def as_dict(self) -> dict:
+        data = {
+            "topology": self.config.topology.name,
+            "strategy": self.config.strategy_name,
+            "trace_name": self.trace_name,
+            "total_requests": self.total_requests,
+            "warmup_requests": self.warmup_requests,
+            "network": self.network.as_dict(),
+            "sibling_serves": self.sibling_serves,
+            "nodes": {name: node.as_dict()
+                      for name, node in self.nodes.items()},
+        }
+        if self.latency is not None:
+            data["latency"] = {
+                "mean": self.latency.overall.mean,
+                "baseline_mean": self.latency.baseline.mean,
+                "speedup": self.latency.speedup,
+                "by_type": {t.value: stats.mean for t, stats
+                            in self.latency.by_type.items()},
+            }
+        return data
+
+
+def _policy_label(spec: Union[str, ReplacementPolicy]) -> str:
+    if isinstance(spec, str):
+        return spec
+    return getattr(spec, "name", type(spec).__name__)
+
+
+class NetworkSimulator:
+    """Drives a trace through a cache network."""
+
+    def __init__(self, config: NetworkConfig):
+        config.validate()
+        self.config = config
+        topology = config.topology
+        self.strategy: PlacementStrategy = (
+            make_strategy(config.strategy)
+            if isinstance(config.strategy, str) else config.strategy)
+        self.caches: Dict[str, Cache] = {}
+        for index, (name, spec) in enumerate(topology.nodes.items()):
+            self.caches[name] = Cache(spec.capacity_bytes,
+                                      self._build_policy(spec, index))
+        # Per-edge routing state, precomputed once.
+        self._paths: Dict[str, List[str]] = {
+            edge: topology.path_to_origin(edge)
+            for edge in topology.edges}
+        self._spec_paths: Dict[str, List[NodeSpec]] = {
+            edge: [topology.nodes[name] for name in names]
+            for edge, names in self._paths.items()}
+        # _links[edge][k] is the link path when the vertical walk is
+        # served at depth k; index len(path) is the origin path.
+        self._links: Dict[str, List[Tuple[Link, ...]]] = {}
+        for edge, names in self._paths.items():
+            uplinks = [topology.nodes[name].uplink for name in names]
+            self._links[edge] = [
+                tuple([topology.client_link] + uplinks[:k])
+                for k in range(len(names) + 1)]
+        self._sibling_links = (topology.client_link, topology.peer_link)
+        self._ring = topology.sibling_ring
+        self._ring_pos = {name: i
+                          for i, name in enumerate(self._ring)}
+
+    def _build_policy(self, spec: NodeSpec,
+                      index: int) -> ReplacementPolicy:
+        if isinstance(spec.policy, ReplacementPolicy):
+            return spec.policy
+        seed = self.config.policy_seed
+        if seed is not None:
+            try:
+                return make_policy(spec.policy, seed=seed + index)
+            except ConfigurationError:
+                pass                     # policy takes no seed
+        return make_policy(spec.policy)
+
+    # ----- the walk -------------------------------------------------------
+
+    def run(self, trace, trace_name: Optional[str] = None,
+            ) -> NetworkResult:
+        requests = trace.requests if isinstance(trace, Trace) else trace
+        if not hasattr(requests, "__len__"):
+            requests = list(requests)
+        total = len(requests)
+        warmup = int(total * self.config.warmup_fraction)
+        name = (trace_name
+                or getattr(trace, "trace_name", None)
+                or getattr(trace, "name", "trace"))
+        topology = self.config.topology
+        result = NetworkResult(
+            config=self.config, trace_name=name,
+            total_requests=total, warmup_requests=warmup,
+            latency=(NetworkLatencyMetrics()
+                     if self.config.measure_latency else None))
+        for node_name, spec in topology.nodes.items():
+            result.nodes[node_name] = NodeResult(
+                name=node_name, level=topology.level_of(node_name),
+                capacity_bytes=spec.capacity_bytes,
+                policy=_policy_label(spec.policy))
+        with _span("network_simulate",
+                   topology=topology.name,
+                   strategy=self.config.strategy_name,
+                   nodes=topology.n_caches,
+                   trace=name, requests=total):
+            self._drive(requests, warmup, result)
+            self._snapshot(result)
+        publish_network_telemetry(result)
+        return result
+
+    def _drive(self, requests: Sequence[Request], warmup: int,
+               result: NetworkResult) -> None:
+        caches = self.caches
+        edges = self.config.topology.edges
+        n_edges = len(edges)
+        strategy = self.strategy
+        admit_on_probe = strategy.admit_on_probe
+        replicate = self.config.replicate_on_sibling_hit
+        ring = self._ring
+        ring_pos = self._ring_pos
+        n_ring = len(ring)
+        latency = result.latency
+        node_metrics = {name: node.metrics
+                        for name, node in result.nodes.items()}
+        node_latency = {name: node.latency
+                        for name, node in result.nodes.items()}
+        network = result.network
+        hit_outcome = AccessOutcome.HIT
+        reached: List[bool] = []
+
+        for index, request in enumerate(requests):
+            edge = edges[index % n_edges]
+            path = self._paths[edge]
+            url = request.url
+            size = request.size
+            doc_type = request.doc_type
+            served_level = -1
+            del reached[:]
+            if admit_on_probe:
+                # LCE: probe and admit are one reference() — the
+                # legacy hierarchy/mesh cache-call sequence exactly.
+                for k, node in enumerate(path):
+                    hit = caches[node].reference(
+                        url, size, doc_type) is hit_outcome
+                    reached.append(hit)
+                    if hit:
+                        served_level = k
+                        break
+            else:
+                for k, node in enumerate(path):
+                    cache = caches[node]
+                    entry = cache.get(url)
+                    if entry is not None:
+                        if entry.size == size:
+                            # Serving refreshes the entry (a HIT).
+                            cache.reference(url, size, doc_type)
+                            reached.append(True)
+                            served_level = k
+                            break
+                        # Stale copy: drop it where it sits; whether
+                        # the new version lands here again is the
+                        # strategy's call below.
+                        cache.invalidate(url)
+                    reached.append(False)
+
+            sibling_served = False
+            if served_level < 0 and n_ring and edge in ring_pos:
+                pos = ring_pos[edge]
+                for offset in range(1, n_ring):
+                    sibling = caches[ring[(pos + offset) % n_ring]]
+                    entry = sibling.get(url)
+                    if entry is not None and entry.size == size:
+                        # Serving refreshes the sibling's entry; a
+                        # stale sibling copy is *not* served and not
+                        # touched (the owner finds out on its own
+                        # next reference), matching the legacy mesh.
+                        sibling.reference(url, size, doc_type)
+                        sibling_served = True
+                        break
+                if sibling_served:
+                    if admit_on_probe:
+                        if not replicate:
+                            # LCE admitted at the home cache during
+                            # the walk; a non-replicating mesh drops
+                            # that copy again (the sibling owns it).
+                            caches[edge].invalidate(url)
+                    elif replicate:
+                        caches[edge].reference(url, size, doc_type)
+
+            if (not admit_on_probe and not sibling_served
+                    and served_level != 0):
+                specs = self._spec_paths[edge]
+                if served_level > 0:
+                    visited = specs[:served_level]
+                    full = specs[:served_level + 1]
+                else:                     # origin fetch
+                    visited = full = specs
+                for node in strategy.copies(visited, full):
+                    caches[node].reference(url, size, doc_type)
+
+            if index < warmup:
+                continue
+            transfer = measured_transfer(request)
+            for k, hit in enumerate(reached):
+                node_metrics[path[k]].record(doc_type, hit, transfer)
+            served = served_level >= 0 or sibling_served
+            network.record(doc_type, served, transfer)
+            if sibling_served:
+                result.sibling_serves += 1
+            if latency is not None:
+                links = self._links[edge]
+                if sibling_served:
+                    seconds = path_latency(self._sibling_links,
+                                           transfer)
+                elif served_level >= 0:
+                    seconds = path_latency(links[served_level],
+                                           transfer)
+                else:
+                    seconds = path_latency(links[len(path)], transfer)
+                latency.record(doc_type, seconds)
+                latency.baseline.add(
+                    path_latency(links[len(path)], transfer))
+                node_latency[edge].add(seconds)
+
+    def _snapshot(self, result: NetworkResult) -> None:
+        """Copy end-of-run cache state into the node results."""
+        for name, cache in self.caches.items():
+            node = result.nodes[name]
+            node.hits = cache.hits
+            node.misses = cache.misses
+            node.evictions = cache.evictions
+            node.bypasses = cache.bypasses
+            node.invalidations = cache.invalidations
+            node.used_bytes = cache.used_bytes
+            for entry in cache.entries():
+                node.placement[entry.doc_type] += entry.size
+
+
+
+def publish_network_telemetry(result: NetworkResult) -> None:
+    """Batch one run's aggregates into the registry/event sink.
+
+    Called once per run — never per request — by both the object walk
+    and the fast path, so the two engines are observationally
+    indistinguishable downstream.
+    """
+    labels = {"topology": result.config.topology.name,
+              "strategy": result.config.strategy_name}
+    registry = get_registry()
+    if registry.enabled:
+        registry.counter("network_runs_total", **labels).inc()
+        registry.counter("network_requests_total", **labels).inc(
+            result.total_requests)
+        registry.counter("network_hits_total", **labels).inc(
+            result.network.overall.hits)
+        registry.counter("network_sibling_serves_total",
+                         **labels).inc(result.sibling_serves)
+        registry.histogram("network_hit_rate", **labels).observe(
+            result.hit_rate)
+    emit("network_simulated", trace=result.trace_name,
+         requests=result.total_requests,
+         hit_rate=round(result.hit_rate, 6),
+         byte_hit_rate=round(result.byte_hit_rate, 6),
+         sibling_serves=result.sibling_serves, **labels)
+    _logger.debug(
+        "network %s/%s: %d requests, hit rate %.4f",
+        labels["topology"], labels["strategy"],
+        result.total_requests, result.hit_rate)
+
+
+def run_network(trace, config: NetworkConfig,
+                trace_name: Optional[str] = None) -> NetworkResult:
+    """One-call network simulation (object path or fast path).
+
+    Dispatches to the vectorized fast path when the cell qualifies
+    (columnar trace, LRU everywhere, LCE, no ring, latency off) —
+    :mod:`repro.network.fastpath` proves bit-identity with the walk.
+    """
+    from repro.network.fastpath import fastpath_eligible, run_fastpath
+    if fastpath_eligible(trace, config):
+        return run_fastpath(trace, config, trace_name)
+    return NetworkSimulator(config).run(trace, trace_name)
+
+
+def run_network_cells(trace, configs: Sequence[NetworkConfig],
+                      trace_name: Optional[str] = None,
+                      ) -> List[NetworkResult]:
+    """Run many network cells over one trace, decoding it once.
+
+    Splits the cells into fast-path (served straight off the columnar
+    arrays) and object-path groups; the object group shares a single
+    materialization of the request stream instead of re-decoding the
+    columnar trace per cell.
+    """
+    from repro.network.fastpath import fastpath_eligible, run_fastpath
+    fast = [c for c in configs if fastpath_eligible(trace, c)]
+    fast_ids = set(map(id, fast))
+    slow = [c for c in configs if id(c) not in fast_ids]
+    with _span("network_cells", cells=len(configs),
+               fastpath=len(fast)):
+        by_config: Dict[int, NetworkResult] = {}
+        for config in fast:
+            by_config[id(config)] = run_fastpath(trace, config,
+                                                 trace_name)
+        if slow:
+            requests = (trace.requests if isinstance(trace, Trace)
+                        else list(trace))
+            name = (trace_name
+                    or getattr(trace, "trace_name", None)
+                    or getattr(trace, "name", "trace"))
+            for config in slow:
+                by_config[id(config)] = NetworkSimulator(config).run(
+                    requests, trace_name=name)
+    return [by_config[id(config)] for config in configs]

@@ -1,0 +1,211 @@
+"""Vectorized LRU/LCE network fast path over columnar traces.
+
+A network of LRU caches under leave-copy-everywhere decomposes into
+independent per-node single-cache problems: each node sees a fixed
+request substream (its edges' client streams merged with its
+children's miss streams), so the whole network runs as a cascade of
+per-node LRU passes — leaves first, each pass emitting its miss
+indices upward.  Each pass is an amortized-O(1)-per-reference scan
+over python-int dicts (insertion order *is* recency order), which
+also yields the node's final cache state — residents, used bytes,
+evictions — for free; everything around the scans (stream merging,
+per-type tallies, the network-served mask) is numpy column work.
+
+Eligibility is checked per cell by :func:`fastpath_eligible`; the
+conditions are exactly those under which the decomposition is
+lossless, and ``tests/network/test_equivalence.py`` pins the results
+bit-identical (every counter, every per-type tally) against the
+object walk in :mod:`repro.network.engine`.
+
+On this container (single core) the object walk moves ~250k
+references/s; the cascade clears the benchmark's ≥1M aggregate
+node-visits/s floor (``benchmarks/bench_network.py``).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.network.engine import (NetworkConfig, NetworkResult,
+                                  NodeResult, publish_network_telemetry)
+from repro.network.strategies import LeaveCopyEverywhere
+from repro.observability.trace import span as _span
+from repro.simulation.metrics import RateAccumulator, TypeMetrics
+from repro.simulation.vectorized import _exact_sum
+from repro.types import DOCUMENT_TYPES
+
+
+def fastpath_eligible(trace, config: NetworkConfig) -> bool:
+    """True when the cascade is provably lossless for this cell.
+
+    Requires: a columnar trace; LCE placement; no sibling ring; no
+    latency accounting; every node running the registry ``"lru"``
+    policy; per-document stable sizes (no modification misses — a
+    stale drop at one node would change its miss stream); and every
+    document fitting every node (no bypasses).
+    """
+    if not getattr(trace, "is_columnar", False):
+        return False
+    strategy = config.strategy
+    if not (strategy == "lce"
+            or isinstance(strategy, LeaveCopyEverywhere)):
+        return False
+    topology = config.topology
+    if topology.sibling_ring or config.measure_latency:
+        return False
+    if any(spec.policy != "lru" for spec in topology.nodes.values()):
+        return False
+    if len(trace) == 0:
+        return True
+    sizes = trace.sizes
+    doc = trace.doc_ids
+    order = np.argsort(doc, kind="stable")
+    d_s = doc[order]
+    s_s = sizes[order]
+    same_doc = d_s[1:] == d_s[:-1]
+    if bool(np.any(same_doc & (s_s[1:] != s_s[:-1]))):
+        return False
+    max_size = int(sizes.max())
+    return all(spec.capacity_bytes >= max_size
+               for spec in topology.nodes.values())
+
+
+def _lru_pass(doc_ids: np.ndarray, sizes: np.ndarray,
+              capacity: int) -> Tuple[np.ndarray, int, int, Dict]:
+    """One node's LRU life: hit mask, evictions, used bytes, state.
+
+    The returned dict maps resident doc id → size in recency order
+    (oldest first) — python dicts preserve insertion order and a hit
+    reinserts, so the dict *is* the LRU list.  All byte arithmetic is
+    python-int exact.  Preconditions (checked by
+    :func:`fastpath_eligible`): stable per-document sizes, every
+    document fits — under those this is reference-for-reference what
+    :class:`~repro.core.cache.Cache` with registry ``"lru"`` does.
+    """
+    n = len(doc_ids)
+    hit = np.zeros(n, dtype=bool)
+    cache: Dict[int, int] = {}
+    used = 0
+    evictions = 0
+    docs = doc_ids.tolist()
+    size_list = sizes.tolist()
+    pop = cache.pop
+    for j in range(n):
+        doc = docs[j]
+        size = pop(doc, None)
+        if size is not None:             # hit: move to most-recent
+            cache[doc] = size
+            hit[j] = True
+            continue
+        size = size_list[j]
+        while used + size > capacity:
+            victim = next(iter(cache))
+            used -= pop(victim)
+            evictions += 1
+        cache[doc] = size
+        used += size
+    return hit, evictions, used, cache
+
+
+def _tally(metrics: TypeMetrics, hit: np.ndarray, measured: np.ndarray,
+           transfers: np.ndarray, codes: np.ndarray) -> None:
+    """Fold one node's boolean columns into a TypeMetrics (int exact)."""
+    measured_hit = hit & measured
+
+    def fill(acc: RateAccumulator, select: np.ndarray,
+             select_hit: np.ndarray) -> None:
+        acc.requests += int(np.count_nonzero(select))
+        acc.hits += int(np.count_nonzero(select_hit))
+        acc.requested_bytes += _exact_sum(transfers[select])
+        acc.hit_bytes += _exact_sum(transfers[select_hit])
+
+    fill(metrics.overall, measured, measured_hit)
+    for code, doc_type in enumerate(DOCUMENT_TYPES):
+        typed = codes == code
+        fill(metrics.by_type[doc_type], measured & typed,
+             measured_hit & typed)
+
+
+def run_fastpath(trace, config: NetworkConfig,
+                 trace_name: Optional[str] = None) -> NetworkResult:
+    """Run one eligible cell as a cascade of per-node LRU passes."""
+    topology = config.topology
+    n = len(trace)
+    warmup = int(n * config.warmup_fraction)
+    name = trace_name or getattr(trace, "name", "trace")
+    result = NetworkResult(config=config, trace_name=name,
+                           total_requests=n, warmup_requests=warmup)
+    for node_name, spec in topology.nodes.items():
+        result.nodes[node_name] = NodeResult(
+            name=node_name, level=topology.level_of(node_name),
+            capacity_bytes=spec.capacity_bytes, policy="lru")
+    if n == 0:
+        return result
+
+    doc_ids = trace.doc_ids
+    sizes = trace.sizes
+    codes = trace.type_codes
+    transfers = np.minimum(trace.transfers, sizes)
+    # Per-document type, for the end-of-run placement snapshot
+    # (eligibility guarantees one stable (size, type) per document).
+    code_of = np.zeros(int(doc_ids.max()) + 1, dtype=codes.dtype)
+    code_of[doc_ids] = codes
+
+    edges = topology.edges
+    n_edges = len(edges)
+    streams: Dict[str, List[np.ndarray]] = {node: []
+                                            for node in topology.nodes}
+    for j, edge in enumerate(edges):
+        streams[edge].append(np.arange(j, n, n_edges, dtype=np.int64))
+
+    # Children before parents: deeper nodes first.
+    order = sorted(topology.nodes,
+                   key=lambda node: -topology.depth(node))
+    origin_misses: List[np.ndarray] = []
+    with _span("network_fastpath", topology=topology.name,
+               nodes=topology.n_caches, trace=name, requests=n):
+        for node_name in order:
+            parts = streams[node_name]
+            node = result.nodes[node_name]
+            if not parts:
+                continue
+            idx = parts[0] if len(parts) == 1 \
+                else np.sort(np.concatenate(parts))
+            hit, evictions, used, residents = _lru_pass(
+                doc_ids[idx], sizes[idx], node.capacity_bytes)
+            miss_idx = idx[~hit]
+            parent = topology.parents[node_name]
+            if parent is not None:
+                streams[parent].append(miss_idx)
+            else:
+                origin_misses.append(miss_idx)
+
+            _tally(node.metrics, hit, idx >= warmup,
+                   transfers[idx], codes[idx])
+            node.hits = int(np.count_nonzero(hit))
+            node.misses = len(idx) - node.hits
+            node.evictions = evictions
+            node.used_bytes = used
+            if residents:
+                r_docs = np.fromiter(residents.keys(), dtype=np.int64,
+                                     count=len(residents))
+                r_sizes = np.fromiter(residents.values(),
+                                      dtype=np.int64,
+                                      count=len(residents))
+                r_codes = code_of[r_docs]
+                for code, doc_type in enumerate(DOCUMENT_TYPES):
+                    node.placement[doc_type] = _exact_sum(
+                        r_sizes[r_codes == code])
+
+        # Network view: served anywhere == not in any root's final
+        # miss stream (those requests went to the origin).
+        served = np.ones(n, dtype=bool)
+        for miss_idx in origin_misses:
+            served[miss_idx] = False
+        measured = np.zeros(n, dtype=bool)
+        measured[warmup:] = True
+        _tally(result.network, served, measured, transfers, codes)
+    publish_network_telemetry(result)
+    return result

@@ -54,6 +54,12 @@ EVENT_SCHEMAS: Dict[str, Set[str]] = {
     "model_curve_computed": {"policy", "points"},
     "model_validated": {"cells", "mean_absolute_error",
                         "max_absolute_error"},
+    "hierarchy_model_validated": {"cells", "mean_absolute_error",
+                                  "max_absolute_error"},
+    # cache-network engine (repro.network)
+    "network_simulated": {"trace", "requests", "hit_rate",
+                          "byte_hit_rate", "sibling_serves",
+                          "topology", "strategy"},
     # suite experiment lifecycle
     "experiment_started": {"experiment_id"},
     "experiment_finished": {"experiment_id", "duration_seconds"},

@@ -19,17 +19,25 @@ A classic hierarchy effect falls out and is pinned by the tests: the
 child caches absorb the recency/popularity signal, so the parent sees
 a stream with much weaker temporal locality and posts a far lower hit
 rate than the same cache would standalone.
+
+Since the :mod:`repro.network` refactor this module is a thin
+constructor over the general cache-network engine: the two-level
+shape comes from :func:`repro.network.topology.two_level` and the walk
+from :class:`repro.network.engine.NetworkSimulator` under
+leave-copy-everywhere, whose cache-call sequence is identical to the
+loop that used to live here.  ``tests/network/data/golden_hierarchy
+.json`` pins that equivalence across the whole policy registry.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence, Union
+from typing import Optional, Sequence, Union
 
-from repro.core.cache import Cache
-from repro.core.policy import AccessOutcome, ReplacementPolicy
-from repro.core.registry import make_policy
+from repro.core.policy import ReplacementPolicy
 from repro.errors import ConfigurationError
+from repro.network.engine import NetworkConfig, NetworkSimulator
+from repro.network.topology import two_level
 from repro.simulation.metrics import TypeMetrics
 from repro.types import Request, Trace
 
@@ -45,8 +53,8 @@ class HierarchyConfig:
 
     child_capacity_bytes: int
     parent_capacity_bytes: int
-    child_policy: str = "lru"
-    parent_policy: str = "lru"
+    child_policy: Union[str, ReplacementPolicy] = "lru"
+    parent_policy: Union[str, ReplacementPolicy] = "lru"
     n_children: int = 4
     warmup_fraction: float = 0.10
 
@@ -94,61 +102,41 @@ class HierarchyResult:
 
 
 class HierarchySimulator:
-    """Drives a trace through children + parent."""
+    """Drives a trace through children + parent.
+
+    A two-level LCE network: the children are the edge nodes, the
+    parent their shared upstream.  ``child`` metrics are the merged
+    edge populations (integer sums, so they equal the single shared
+    accumulator the legacy loop kept), ``parent`` is the parent node's
+    local-miss-stream view, ``hierarchy`` the network-wide view.
+    """
 
     def __init__(self, config: HierarchyConfig):
         config.validate()
         self.config = config
-        self.children: List[Cache] = [
-            Cache(config.child_capacity_bytes,
-                  self._build(config.child_policy))
-            for _ in range(config.n_children)
-        ]
-        self.parent = Cache(config.parent_capacity_bytes,
-                            self._build(config.parent_policy))
-
-    @staticmethod
-    def _build(policy: Union[str, ReplacementPolicy]) -> ReplacementPolicy:
-        if isinstance(policy, ReplacementPolicy):
-            return policy
-        return make_policy(policy)
+        self._network = NetworkSimulator(NetworkConfig(
+            topology=two_level(
+                config.child_capacity_bytes,
+                config.parent_capacity_bytes,
+                child_policy=config.child_policy,
+                parent_policy=config.parent_policy,
+                n_children=config.n_children),
+            strategy="lce",
+            warmup_fraction=config.warmup_fraction))
 
     def run(self, trace: Union[Trace, Sequence[Request]],
             trace_name: Optional[str] = None) -> HierarchyResult:
-        requests = trace.requests if isinstance(trace, Trace) else trace
-        total = len(requests)
-        warmup = int(total * self.config.warmup_fraction)
-        result = HierarchyResult(
+        name = trace_name or getattr(trace, "name", "trace")
+        net = self._network.run(trace, trace_name=name)
+        return HierarchyResult(
             config=self.config,
-            trace_name=trace_name or getattr(trace, "name", "trace"),
-            total_requests=total,
-            warmup_requests=warmup,
+            trace_name=net.trace_name,
+            total_requests=net.total_requests,
+            warmup_requests=net.warmup_requests,
+            child=net.edge_metrics(),
+            parent=net.nodes["parent"].metrics,
+            hierarchy=net.network,
         )
-        n_children = self.config.n_children
-        for index, request in enumerate(requests):
-            child = self.children[index % n_children]
-            child_outcome = child.reference(request.url, request.size,
-                                            request.doc_type)
-            child_hit = child_outcome is AccessOutcome.HIT
-            parent_hit = False
-            if not child_hit:
-                # Miss (including modification): consult the parent.
-                # A modified document is stale at the parent too; the
-                # parent cache detects that through the size change.
-                parent_outcome = self.parent.reference(
-                    request.url, request.size, request.doc_type)
-                parent_hit = parent_outcome is AccessOutcome.HIT
-
-            if index < warmup:
-                continue
-            transfer = min(request.transfer_size, request.size)
-            result.child.record(request.doc_type, child_hit, transfer)
-            if not child_hit:
-                result.parent.record(request.doc_type, parent_hit,
-                                     transfer)
-            result.hierarchy.record(request.doc_type,
-                                    child_hit or parent_hit, transfer)
-        return result
 
 
 def simulate_hierarchy(trace: Union[Trace, Sequence[Request]],

@@ -17,11 +17,55 @@ simulator.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict
+from typing import Dict, Iterable
 
 from repro.errors import ConfigurationError
 from repro.structures.streaming import StreamingStats
 from repro.types import DOCUMENT_TYPES, DocumentType
+
+
+@dataclass(frozen=True)
+class Link:
+    """One network hop: propagation delay plus transmission bandwidth.
+
+    The unit the cache-network engine (:mod:`repro.network`) sums over
+    paths: every edge of a topology — client↔proxy, proxy↔parent,
+    proxy↔sibling, top↔origin — is a ``Link``.  The single-cache
+    :class:`LatencyModel` is the two-link special case
+    (:meth:`LatencyModel.from_links`).
+    """
+
+    rtt: float
+    bandwidth: float                         # bytes/second
+
+    def __post_init__(self) -> None:
+        if self.rtt <= 0:
+            raise ConfigurationError("rtt must be positive")
+        if self.bandwidth <= 0:
+            raise ConfigurationError("bandwidth must be positive")
+
+    def time(self, transfer_bytes: int) -> float:
+        """Service time for a transfer crossing only this hop."""
+        return self.rtt + transfer_bytes / self.bandwidth
+
+
+def path_latency(links: Iterable[Link], transfer_bytes: int) -> float:
+    """Service time along a multi-hop path.
+
+    RTTs add; the transfer is charged once, at the path's bottleneck
+    bandwidth (the model streams, it does not store-and-forward) — the
+    generalization of :meth:`LatencyModel.miss_latency`, whose
+    client+origin path bottlenecks at the origin link.  Summation is
+    left-to-right so a one- or two-link path reproduces the
+    single-cache model's floats exactly.
+    """
+    rtt = 0.0
+    bottleneck = float("inf")
+    for link in links:
+        rtt += link.rtt
+        if link.bandwidth < bottleneck:
+            bottleneck = link.bandwidth
+    return rtt + transfer_bytes / bottleneck
 
 
 @dataclass(frozen=True)
@@ -34,6 +78,12 @@ class LatencyModel:
 
     Defaults sketch a 2001 institutional setup: 5 ms to the proxy on a
     10 Mbit/s LAN; 70 ms and 1.5 Mbit/s to origins.
+
+    The hard-coded proxy/origin pair is the two-link special case of
+    :func:`path_latency`; :meth:`from_links` builds the model from
+    explicit :class:`Link` hops and :attr:`client_link` /
+    :attr:`origin_link` recover them, which is how the cache-network
+    engine shares one latency vocabulary with the single-cache path.
     """
 
     hit_rtt: float = 0.005
@@ -46,6 +96,24 @@ class LatencyModel:
                      "origin_bandwidth"):
             if getattr(self, name) <= 0:
                 raise ConfigurationError(f"{name} must be positive")
+
+    @classmethod
+    def from_links(cls, client: Link, origin: Link) -> "LatencyModel":
+        """Build the single-cache model from its two hops."""
+        return cls(hit_rtt=client.rtt, origin_rtt=origin.rtt,
+                   proxy_bandwidth=client.bandwidth,
+                   origin_bandwidth=origin.bandwidth)
+
+    @property
+    def client_link(self) -> Link:
+        """The client↔proxy hop (the hit path)."""
+        return Link(rtt=self.hit_rtt, bandwidth=self.proxy_bandwidth)
+
+    @property
+    def origin_link(self) -> Link:
+        """The proxy↔origin hop (appended on misses)."""
+        return Link(rtt=self.origin_rtt,
+                    bandwidth=self.origin_bandwidth)
 
     def hit_latency(self, transfer_bytes: int) -> float:
         return self.hit_rtt + transfer_bytes / self.proxy_bandwidth

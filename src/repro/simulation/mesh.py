@@ -16,17 +16,26 @@ The classic ICP trade-off falls out and is pinned by tests:
 replication raises local hit rates but burns aggregate capacity on
 duplicates, so with tight budgets the non-replicating mesh serves more
 distinct bytes from the pool.
+
+Since the :mod:`repro.network` refactor this module is a thin
+constructor over the general cache-network engine: the flat peer
+shape comes from :func:`repro.network.topology.sibling_mesh` (all
+proxies are edge nodes sharing one sibling ring) and the walk from
+:class:`repro.network.engine.NetworkSimulator` under
+leave-copy-everywhere — the same cache-call sequence the loop that
+used to live here made.  ``tests/network/data/golden_mesh.json`` pins
+that equivalence across the whole policy registry.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence, Union
+from typing import Optional, Sequence, Union
 
-from repro.core.cache import Cache
-from repro.core.policy import AccessOutcome, ReplacementPolicy
-from repro.core.registry import make_policy
+from repro.core.policy import ReplacementPolicy
 from repro.errors import ConfigurationError
+from repro.network.engine import NetworkConfig, NetworkSimulator
+from repro.network.topology import sibling_mesh
 from repro.simulation.metrics import TypeMetrics
 from repro.types import Request, Trace
 
@@ -82,69 +91,43 @@ class MeshResult:
 
 
 class MeshSimulator:
-    """Drives a trace through the sibling mesh."""
+    """Drives a trace through the sibling mesh.
+
+    A one-level LCE network whose edge nodes share a sibling ring:
+    ``local`` metrics are the merged home-proxy populations, ``mesh``
+    the network-wide view, ``sibling_hits`` the engine's sibling-serve
+    count.  ``policies`` optionally supplies one pre-built policy per
+    proxy (pre-seeded randomized policies, mixed-policy meshes).
+    """
 
     def __init__(self, config: MeshConfig,
                  policies: Optional[Sequence[ReplacementPolicy]] = None):
         config.validate()
         self.config = config
-        if policies is not None:
-            if len(policies) != config.n_proxies:
-                raise ConfigurationError(
-                    "need exactly one policy per proxy")
-            built = list(policies)
-        else:
-            built = [make_policy(config.policy)
-                     for _ in range(config.n_proxies)]
-        self.proxies: List[Cache] = [
-            Cache(config.proxy_capacity_bytes, policy)
-            for policy in built
-        ]
+        self._network = NetworkSimulator(NetworkConfig(
+            topology=sibling_mesh(
+                config.proxy_capacity_bytes,
+                n_proxies=config.n_proxies,
+                policy=config.policy,
+                policies=policies),
+            strategy="lce",
+            warmup_fraction=config.warmup_fraction,
+            replicate_on_sibling_hit=config.replicate_on_sibling_hit))
 
     def run(self, trace: Union[Trace, Sequence[Request]],
             trace_name: Optional[str] = None) -> MeshResult:
-        requests = trace.requests if isinstance(trace, Trace) else trace
-        total = len(requests)
-        warmup = int(total * self.config.warmup_fraction)
-        result = MeshResult(
+        name = (trace_name or getattr(trace, "trace_name", None)
+                or getattr(trace, "name", "trace"))
+        net = self._network.run(trace, trace_name=name)
+        return MeshResult(
             config=self.config,
-            trace_name=trace_name or getattr(trace, "trace_name", None)
-            or getattr(trace, "name", "trace"),
-            total_requests=total,
-            warmup_requests=warmup,
+            trace_name=net.trace_name,
+            total_requests=net.total_requests,
+            warmup_requests=net.warmup_requests,
+            local=net.edge_metrics(),
+            mesh=net.network,
+            sibling_hits=net.sibling_serves,
         )
-        n = self.config.n_proxies
-        replicate = self.config.replicate_on_sibling_hit
-        for index, request in enumerate(requests):
-            home = self.proxies[index % n]
-            outcome = home.reference(request.url, request.size,
-                                     request.doc_type)
-            local_hit = outcome is AccessOutcome.HIT
-            sibling_hit = False
-            if not local_hit:
-                for offset in range(1, n):
-                    sibling = self.proxies[(index + offset) % n]
-                    entry = sibling.get(request.url)
-                    if entry is not None and entry.size == request.size:
-                        sibling_hit = True
-                        # Serving refreshes the sibling's entry.
-                        sibling.reference(request.url, request.size,
-                                          request.doc_type)
-                        break
-                if sibling_hit and not replicate:
-                    # The home proxy admitted the document on its miss
-                    # path above; a non-replicating mesh drops it again
-                    # (the sibling remains the owner).
-                    home.invalidate(request.url)
-            if index < warmup:
-                continue
-            transfer = min(request.transfer_size, request.size)
-            result.local.record(request.doc_type, local_hit, transfer)
-            result.mesh.record(request.doc_type,
-                               local_hit or sibling_hit, transfer)
-            if sibling_hit:
-                result.sibling_hits += 1
-        return result
 
 
 def simulate_mesh(trace: Union[Trace, Sequence[Request]],

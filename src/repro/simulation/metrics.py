@@ -16,7 +16,35 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict
 
-from repro.types import DOCUMENT_TYPES, DocumentType
+from repro.types import DOCUMENT_TYPES, DocumentType, Request
+
+
+def measured_transfer(request: Request) -> int:
+    """Bytes that cross the wire for one request.
+
+    Interrupted transfers log fewer bytes than the document holds;
+    both the hit and the miss move at most the document itself.  Every
+    accounting site — single cache, hierarchy level, mesh proxy,
+    network node — must clamp identically or byte-hit rates stop being
+    comparable across engines.
+    """
+    return min(request.transfer_size, request.size)
+
+
+def record_reference(metrics: "TypeMetrics", request: Request,
+                     hit: bool, cost: float = 0.0) -> int:
+    """Account one reference into a :class:`TypeMetrics`.
+
+    The one-line pattern every simulator loop used to hand-copy
+    (clamp the transfer, record under the request's document type),
+    centralized so multi-cache engines cannot drift from the
+    single-cache accounting.  Returns the clamped transfer so callers
+    recording the same request into several populations (per-node,
+    per-level, network-wide) clamp exactly once.
+    """
+    transfer = measured_transfer(request)
+    metrics.record(request.doc_type, hit, transfer, cost)
+    return transfer
 
 
 @dataclass
@@ -128,6 +156,17 @@ class TypeMetrics:
         if doc_type is None:
             return self.overall.cost_savings_ratio
         return self.by_type[doc_type].cost_savings_ratio
+
+    def merge(self, other: "TypeMetrics") -> None:
+        """Fold another population into this one (integer sums, so
+        merging per-node accumulators is exactly the single shared
+        accumulator the legacy loops kept)."""
+        self.overall.merge(other.overall)
+        for doc_type, acc in other.by_type.items():
+            mine = self.by_type.get(doc_type)
+            if mine is None:
+                mine = self.by_type[doc_type] = RateAccumulator()
+            mine.merge(acc)
 
     def as_dict(self) -> dict:
         return {

@@ -22,6 +22,7 @@ EXPECTED_OUTPUT = {
     "cache_mesh.py": "sibling share",
     "custom_policy.py": "mru",
     "hierarchy.py": "hierarchy hit rate",
+    "hierarchy_placement.py": "resident bytes",
     "lru_curves.py": "cold miss rate",
     "synthetic_twin.py": "fidelity",
 }

@@ -1,0 +1,130 @@
+"""Regenerate the pinned hierarchy/mesh equivalence goldens.
+
+Run from the repo root::
+
+    PYTHONPATH=src python tests/network/gen_goldens.py
+
+The JSON files under ``tests/network/data/`` were produced by the
+*legacy* per-topology loops (``HierarchySimulator``/``MeshSimulator``
+before the ``repro.network`` refactor) and pin their exact outputs —
+every counter, every per-type accumulator — across the full policy
+registry.  ``tests/network/test_equivalence.py`` replays the same
+calls through the network engine and asserts byte-for-byte equality,
+which is what licensed deleting the old loops.
+
+Regenerating is only legitimate when the *workload generator* changes
+(the goldens would then pin a trace nobody can produce anymore), never
+to paper over an engine difference.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.core.registry import POLICY_NAMES
+from repro.simulation.hierarchy import simulate_hierarchy
+from repro.simulation.mesh import simulate_mesh
+from repro.workload.generator import generate_trace
+from repro.workload.profiles import dfn_like
+
+DATA_DIR = Path(__file__).parent / "data"
+
+#: The deterministic workload every golden runs against.
+TRACE_SCALE = 1.0 / 512.0
+
+#: Capacity fractions of the trace's distinct-document bytes.
+CHILD_FRACTION = 0.005
+PARENT_FRACTION = 0.02
+PROXY_FRACTION = 0.005
+
+#: Extra mixed-policy hierarchy cells (child policy != parent policy).
+MIXED_LEVELS = (("gd*(1)", "gds(p)"), ("lru", "lfu-da"))
+
+
+def golden_trace():
+    return generate_trace(dfn_like(scale=TRACE_SCALE))
+
+
+def capacities(trace):
+    total = trace.metadata().total_size_bytes
+    return (int(total * CHILD_FRACTION), int(total * PARENT_FRACTION),
+            int(total * PROXY_FRACTION))
+
+
+def hierarchy_key(child_policy, parent_policy, n_children):
+    return f"{child_policy}|{parent_policy}|{n_children}"
+
+
+def mesh_key(policy, replicate, n_proxies):
+    return f"{policy}|{'replicate' if replicate else 'single-owner'}" \
+           f"|{n_proxies}"
+
+
+def hierarchy_record(result):
+    return {
+        "total_requests": result.total_requests,
+        "warmup_requests": result.warmup_requests,
+        "child": result.child.as_dict(),
+        "parent": result.parent.as_dict(),
+        "hierarchy": result.hierarchy.as_dict(),
+    }
+
+
+def mesh_record(result):
+    return {
+        "total_requests": result.total_requests,
+        "warmup_requests": result.warmup_requests,
+        "local": result.local.as_dict(),
+        "mesh": result.mesh.as_dict(),
+        "sibling_hits": result.sibling_hits,
+    }
+
+
+def generate():
+    trace = golden_trace()
+    child_cap, parent_cap, proxy_cap = capacities(trace)
+
+    hierarchy = {}
+    for policy in POLICY_NAMES:
+        result = simulate_hierarchy(
+            trace, child_cap, parent_cap,
+            child_policy=policy, parent_policy=policy, n_children=3)
+        hierarchy[hierarchy_key(policy, policy, 3)] = \
+            hierarchy_record(result)
+    for child_policy, parent_policy in MIXED_LEVELS:
+        result = simulate_hierarchy(
+            trace, child_cap, parent_cap,
+            child_policy=child_policy, parent_policy=parent_policy,
+            n_children=2)
+        hierarchy[hierarchy_key(child_policy, parent_policy, 2)] = \
+            hierarchy_record(result)
+
+    mesh = {}
+    for policy in POLICY_NAMES:
+        for replicate in (True, False):
+            result = simulate_mesh(
+                trace, proxy_cap, n_proxies=3, policy=policy,
+                replicate_on_sibling_hit=replicate)
+            mesh[mesh_key(policy, replicate, 3)] = mesh_record(result)
+
+    meta = {
+        "trace_scale": TRACE_SCALE,
+        "trace_requests": len(trace),
+        "child_capacity_bytes": child_cap,
+        "parent_capacity_bytes": parent_cap,
+        "proxy_capacity_bytes": proxy_cap,
+    }
+    DATA_DIR.mkdir(parents=True, exist_ok=True)
+    (DATA_DIR / "golden_hierarchy.json").write_text(
+        json.dumps({"meta": meta, "cells": hierarchy}, indent=1,
+                   sort_keys=True) + "\n")
+    (DATA_DIR / "golden_mesh.json").write_text(
+        json.dumps({"meta": meta, "cells": mesh}, indent=1,
+                   sort_keys=True) + "\n")
+    print(f"hierarchy: {len(hierarchy)} cells, mesh: {len(mesh)} cells "
+          f"({len(trace)} requests each)")
+
+
+if __name__ == "__main__":
+    generate()

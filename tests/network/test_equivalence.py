@@ -1,0 +1,184 @@
+"""Equivalence pins: the network engine reproduces the legacy loops.
+
+Three families of guarantees, all byte-for-byte:
+
+* the goldens under ``data/`` — produced by the pre-refactor
+  ``HierarchySimulator``/``MeshSimulator`` loops across the whole
+  policy registry — replayed through the thin wrappers over the
+  engine (this is what licensed deleting the old loops);
+* a ``single`` topology under LCE equals the single-cache
+  :class:`~repro.simulation.simulator.CacheSimulator`;
+* the vectorized fast path equals the object walk on every eligible
+  topology shape.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.network.engine import NetworkConfig, NetworkSimulator, run_network
+from repro.network.fastpath import fastpath_eligible, run_fastpath
+from repro.network.topology import path, single, tree, two_level
+from repro.simulation.hierarchy import simulate_hierarchy
+from repro.simulation.mesh import simulate_mesh
+from repro.simulation.simulator import simulate
+from repro.trace.columnar import ColumnarTrace, write_columnar
+from repro.types import Request
+
+DATA_DIR = Path(__file__).parent / "data"
+
+GOLDEN_HIERARCHY = json.loads(
+    (DATA_DIR / "golden_hierarchy.json").read_text())
+GOLDEN_MESH = json.loads((DATA_DIR / "golden_mesh.json").read_text())
+
+
+@pytest.fixture(scope="session")
+def golden_trace(tiny_dfn_trace):
+    """The goldens were generated at the shared fixture's scale."""
+    assert GOLDEN_HIERARCHY["meta"]["trace_scale"] == 1.0 / 512.0
+    assert GOLDEN_HIERARCHY["meta"]["trace_requests"] == \
+        len(tiny_dfn_trace)
+    return tiny_dfn_trace
+
+
+class TestHierarchyGoldens:
+    @pytest.mark.parametrize("key",
+                             sorted(GOLDEN_HIERARCHY["cells"]))
+    def test_cell(self, key, golden_trace):
+        child_policy, parent_policy, n_children = key.split("|")
+        meta = GOLDEN_HIERARCHY["meta"]
+        result = simulate_hierarchy(
+            golden_trace, meta["child_capacity_bytes"],
+            meta["parent_capacity_bytes"],
+            child_policy=child_policy, parent_policy=parent_policy,
+            n_children=int(n_children))
+        expected = GOLDEN_HIERARCHY["cells"][key]
+        assert result.total_requests == expected["total_requests"]
+        assert result.warmup_requests == expected["warmup_requests"]
+        assert result.child.as_dict() == expected["child"]
+        assert result.parent.as_dict() == expected["parent"]
+        assert result.hierarchy.as_dict() == expected["hierarchy"]
+
+
+class TestMeshGoldens:
+    @pytest.mark.parametrize("key", sorted(GOLDEN_MESH["cells"]))
+    def test_cell(self, key, golden_trace):
+        policy, mode, n_proxies = key.split("|")
+        meta = GOLDEN_MESH["meta"]
+        result = simulate_mesh(
+            golden_trace, meta["proxy_capacity_bytes"],
+            n_proxies=int(n_proxies), policy=policy,
+            replicate_on_sibling_hit=(mode == "replicate"))
+        expected = GOLDEN_MESH["cells"][key]
+        assert result.total_requests == expected["total_requests"]
+        assert result.warmup_requests == expected["warmup_requests"]
+        assert result.sibling_hits == expected["sibling_hits"]
+        assert result.local.as_dict() == expected["local"]
+        assert result.mesh.as_dict() == expected["mesh"]
+
+
+class TestSingleNodeEquivalence:
+    @pytest.mark.parametrize("policy", ["lru", "gds(1)", "gd*(p)"])
+    def test_matches_cache_simulator(self, policy, tiny_dfn_trace):
+        capacity = 500_000
+        classic = simulate(tiny_dfn_trace, policy, capacity,
+                           warmup_fraction=0.10)
+        network = NetworkSimulator(NetworkConfig(
+            topology=single(capacity, policy),
+            strategy="lce")).run(tiny_dfn_trace)
+        node = network.nodes["cache"]
+        assert network.network.as_dict() == classic.metrics.as_dict()
+        assert node.metrics.as_dict() == classic.metrics.as_dict()
+        assert node.evictions == classic.evictions
+        assert node.bypasses == classic.bypasses
+        assert node.invalidations == classic.invalidations
+
+
+# -- fast path vs object walk ---------------------------------------------
+
+#: Caps object sizes so every document fits every node (a bypass
+#: would disqualify the fast path, which is exactly what we want to
+#: avoid here — bypass behaviour is pinned by the goldens above).
+MAX_SIZE = 200_000
+
+
+@pytest.fixture(scope="module")
+def columnar_trace(tiny_dfn_trace, tmp_path_factory):
+    # Pin every document to its first-seen (capped) size: the dfn
+    # workload contains modification events, and a size change forces
+    # the object walk's stale-drop — the fast path refuses such cells.
+    pinned = {}
+    requests = []
+    for r in tiny_dfn_trace:
+        size = pinned.setdefault(r.url, min(r.size, MAX_SIZE))
+        requests.append(Request(r.timestamp, r.url, size, size,
+                                r.doc_type, r.status))
+    target = tmp_path_factory.mktemp("rcol") / "capped.rcol"
+    write_columnar(target, requests, name="capped-dfn")
+    return ColumnarTrace(target)
+
+
+def topologies():
+    total = int(MAX_SIZE * 40)
+    per = total // 8
+    return [
+        single(total),
+        two_level(per, per * 4, n_children=3),
+        path([per, per * 2, per * 4]),
+        tree([per, per * 2, per * 4], branching=2),
+    ]
+
+
+class TestFastpath:
+    @pytest.mark.parametrize("topology", topologies(),
+                             ids=lambda t: t.name)
+    def test_bit_identical_to_object_walk(self, topology,
+                                          columnar_trace):
+        config = NetworkConfig(topology=topology, strategy="lce")
+        assert fastpath_eligible(columnar_trace, config)
+        fast = run_fastpath(columnar_trace, config)
+        slow = NetworkSimulator(config).run(columnar_trace)
+        assert fast.trace_name == slow.trace_name
+        assert fast.total_requests == slow.total_requests
+        assert fast.warmup_requests == slow.warmup_requests
+        assert fast.network.as_dict() == slow.network.as_dict()
+        for name in topology.nodes:
+            assert fast.nodes[name].as_dict() == \
+                slow.nodes[name].as_dict(), name
+
+    def test_run_network_dispatches_to_fastpath(self, columnar_trace,
+                                                monkeypatch):
+        import repro.network.fastpath as fastpath_module
+
+        called = {}
+        original = fastpath_module.run_fastpath
+
+        def spy(trace, config, trace_name=None):
+            called["yes"] = True
+            return original(trace, config, trace_name)
+
+        monkeypatch.setattr(fastpath_module, "run_fastpath", spy)
+        config = NetworkConfig(topology=topologies()[0],
+                               strategy="lce")
+        run_network(columnar_trace, config)
+        assert called
+
+    def test_ineligible_cells_detected(self, columnar_trace,
+                                       tiny_dfn_trace):
+        topology = topologies()[0]
+        # Object traces never qualify.
+        assert not fastpath_eligible(
+            tiny_dfn_trace, NetworkConfig(topology=topology))
+        # Non-LRU policies disqualify.
+        assert not fastpath_eligible(columnar_trace, NetworkConfig(
+            topology=single(MAX_SIZE * 40, "gds(1)")))
+        # Non-LCE placement disqualifies.
+        assert not fastpath_eligible(columnar_trace, NetworkConfig(
+            topology=topology, strategy="lcd"))
+        # Latency accounting disqualifies.
+        assert not fastpath_eligible(columnar_trace, NetworkConfig(
+            topology=topology, measure_latency=True))
+        # A node smaller than the largest document disqualifies.
+        assert not fastpath_eligible(columnar_trace, NetworkConfig(
+            topology=single(MAX_SIZE - 1)))

@@ -1,0 +1,106 @@
+"""Tests for placement strategies (LCE / LCD / ProbCache)."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.network.strategies import (
+    STRATEGY_NAMES,
+    LeaveCopyDown,
+    LeaveCopyEverywhere,
+    ProbCache,
+    make_strategy,
+)
+from repro.network.topology import NodeSpec
+
+
+def specs(*capacities):
+    return [NodeSpec(name=f"n{i}", capacity_bytes=cap)
+            for i, cap in enumerate(capacities)]
+
+
+class TestLeaveCopyEverywhere:
+    def test_copies_every_visited_cache(self):
+        strategy = LeaveCopyEverywhere()
+        visited = specs(100, 200, 300)
+        assert strategy.copies(visited, visited) == ["n0", "n1", "n2"]
+        assert strategy.admit_on_probe
+
+
+class TestLeaveCopyDown:
+    def test_copies_one_below_serving_point(self):
+        strategy = LeaveCopyDown()
+        visited = specs(100, 200)
+        path = visited + specs(300)
+        assert strategy.copies(visited, path) == ["n1"]
+        assert not strategy.admit_on_probe
+
+    def test_no_visited_no_copies(self):
+        assert LeaveCopyDown().copies([], specs(100)) == []
+
+
+class _FixedRng:
+    """Stand-in RNG: every draw returns the same value."""
+
+    def __init__(self, value):
+        self.value = value
+
+    def random(self):
+        return self.value
+
+
+class TestProbCache:
+    def test_target_window_must_be_positive(self):
+        with pytest.raises(ConfigurationError):
+            ProbCache(target_window=0)
+
+    def test_seeded_determinism(self):
+        visited = specs(100, 100, 100)
+        a = ProbCache(seed=7)
+        b = ProbCache(seed=7)
+        decisions_a = [a.copies(visited, visited) for _ in range(200)]
+        decisions_b = [b.copies(visited, visited) for _ in range(200)]
+        assert decisions_a == decisions_b
+        assert any(decisions_a)              # it does admit sometimes
+
+    def test_weight_formula(self):
+        """p(k) = min(1, TimesIn) * x/c with x = c - k hops from the
+        server; a fixed-draw RNG exposes the per-node thresholds."""
+        strategy = ProbCache(target_window=2.0)
+        visited = specs(100, 100, 100)        # c = 3, mean cap 100
+        # TimesIn(k) = sum(caps[k:]) / (2 * 100) -> 1.5, 1.0, 0.5
+        # p(k) = min(1, TimesIn) * (3 - k) / 3 -> 1.0, 2/3, 1/6
+        strategy._rng = _FixedRng(0.5)
+        assert strategy.copies(visited, visited) == ["n0", "n1"]
+        strategy._rng = _FixedRng(0.7)
+        assert strategy.copies(visited, visited) == ["n0"]
+        strategy._rng = _FixedRng(0.1)
+        assert strategy.copies(visited, visited) == ["n0", "n1", "n2"]
+
+    def test_edge_bias(self):
+        """The edge cache (largest x) admits at least as often as any
+        upstream cache."""
+        strategy = ProbCache(seed=3)
+        visited = specs(100, 100, 100)
+        admitted = {"n0": 0, "n1": 0, "n2": 0}
+        for _ in range(500):
+            for name in strategy.copies(visited, visited):
+                admitted[name] += 1
+        assert admitted["n0"] >= admitted["n1"] >= admitted["n2"]
+
+    def test_no_visited_no_copies(self):
+        assert ProbCache().copies([], specs(100)) == []
+
+
+class TestMakeStrategy:
+    def test_known_names(self):
+        for name in STRATEGY_NAMES:
+            assert make_strategy(name).name == name
+
+    def test_unknown_name(self):
+        with pytest.raises(ConfigurationError):
+            make_strategy("mcd")
+
+    def test_seed_reaches_probcache(self):
+        assert make_strategy("probcache", seed=5).seed == 5
+        assert make_strategy("probcache",
+                             target_window=4.0).target_window == 4.0

@@ -1,0 +1,176 @@
+"""Tests for cache-network topologies and their constructors."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.network.topology import (
+    DEFAULT_ORIGIN_LINK,
+    DEFAULT_PEER_LINK,
+    TOPOLOGY_KINDS,
+    NodeSpec,
+    Topology,
+    build_topology,
+    path,
+    sibling_mesh,
+    single,
+    tree,
+    two_level,
+)
+
+
+class TestValidation:
+    def test_node_needs_positive_capacity(self):
+        with pytest.raises(ConfigurationError):
+            NodeSpec(name="a", capacity_bytes=0).validate()
+        with pytest.raises(ConfigurationError):
+            NodeSpec(name="", capacity_bytes=100).validate()
+
+    def test_empty_topology_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Topology(name="t", nodes={}, parents={}, edges=()).validate()
+
+    def test_unknown_edge_rejected(self):
+        spec = NodeSpec(name="a", capacity_bytes=100)
+        with pytest.raises(ConfigurationError):
+            Topology(name="t", nodes={"a": spec}, parents={"a": None},
+                     edges=("ghost",)).validate()
+
+    def test_unknown_parent_rejected(self):
+        spec = NodeSpec(name="a", capacity_bytes=100)
+        with pytest.raises(ConfigurationError):
+            Topology(name="t", nodes={"a": spec},
+                     parents={"a": "ghost"}, edges=("a",)).validate()
+
+    def test_node_missing_from_parent_map_rejected(self):
+        specs = {n: NodeSpec(name=n, capacity_bytes=100)
+                 for n in ("a", "b")}
+        with pytest.raises(ConfigurationError):
+            Topology(name="t", nodes=specs, parents={"a": None},
+                     edges=("a",)).validate()
+
+    def test_cycle_rejected(self):
+        specs = {n: NodeSpec(name=n, capacity_bytes=100)
+                 for n in ("a", "b")}
+        with pytest.raises(ConfigurationError):
+            Topology(name="t", nodes=specs,
+                     parents={"a": "b", "b": "a"},
+                     edges=("a",)).validate()
+
+    def test_duplicate_sibling_ring_rejected(self):
+        specs = {n: NodeSpec(name=n, capacity_bytes=100)
+                 for n in ("a", "b")}
+        with pytest.raises(ConfigurationError):
+            Topology(name="t", nodes=specs,
+                     parents={"a": None, "b": None}, edges=("a", "b"),
+                     sibling_ring=("a", "a")).validate()
+
+
+class TestConstructors:
+    def test_single(self):
+        topo = single(1000, "lru")
+        topo.validate()
+        assert topo.n_caches == 1
+        assert topo.edges == ("cache",)
+        assert topo.path_to_origin("cache") == ["cache"]
+        assert topo.nodes["cache"].uplink == DEFAULT_ORIGIN_LINK
+
+    def test_two_level_shape(self):
+        topo = two_level(100, 400, n_children=3)
+        topo.validate()
+        assert topo.n_caches == 4
+        assert topo.edges == ("child0", "child1", "child2")
+        assert topo.parents["child1"] == "parent"
+        assert topo.parents["parent"] is None
+        assert topo.path_to_origin("child2") == ["child2", "parent"]
+        assert topo.level_of("child0") == 0
+        assert topo.level_of("parent") == 1
+        assert topo.nodes["child0"].uplink == DEFAULT_PEER_LINK
+        assert topo.nodes["parent"].uplink == DEFAULT_ORIGIN_LINK
+        with pytest.raises(ConfigurationError):
+            two_level(100, 400, n_children=0)
+
+    def test_sibling_mesh_shape(self):
+        topo = sibling_mesh(100, n_proxies=3)
+        topo.validate()
+        assert topo.edges == topo.sibling_ring
+        assert all(topo.parents[n] is None for n in topo.nodes)
+        assert all(topo.path_to_origin(n) == [n] for n in topo.nodes)
+        with pytest.raises(ConfigurationError):
+            sibling_mesh(100, n_proxies=1)
+        with pytest.raises(ConfigurationError):
+            sibling_mesh(100, n_proxies=3, policies=["lru"])
+
+    def test_path_shape(self):
+        topo = path([100, 200, 300])
+        topo.validate()
+        assert topo.edges == ("l0",)
+        assert topo.path_to_origin("l0") == ["l0", "l1", "l2"]
+        assert topo.level_of("l2") == 2
+        assert topo.nodes["l2"].uplink == DEFAULT_ORIGIN_LINK
+        assert topo.nodes["l0"].uplink == DEFAULT_PEER_LINK
+        with pytest.raises(ConfigurationError):
+            path([])
+        with pytest.raises(ConfigurationError):
+            path([100, 200], policy=["lru"])
+
+    def test_path_per_level_policies(self):
+        topo = path([100, 200], policy=["lru", "lfu"])
+        assert topo.nodes["l0"].policy == "lru"
+        assert topo.nodes["l1"].policy == "lfu"
+
+    def test_tree_shape(self):
+        topo = tree([100, 200, 400], branching=2)
+        topo.validate()
+        # Depth 3, branching 2: 4 leaves + 2 mid + 1 root.
+        assert topo.n_caches == 7
+        assert len(topo.edges) == 4
+        assert topo.parents["l0n3"] == "l1n1"
+        assert topo.parents["l1n1"] == "l2n0"
+        assert topo.parents["l2n0"] is None
+        assert topo.path_to_origin("l0n2") == ["l0n2", "l1n1", "l2n0"]
+        assert topo.depth("l0n0") == 2
+        assert topo.level_of("l2n0") == 2
+        with pytest.raises(ConfigurationError):
+            tree([])
+        with pytest.raises(ConfigurationError):
+            tree([100], branching=0)
+
+    def test_describe_mentions_shape(self):
+        text = two_level(100, 400, n_children=3).describe()
+        assert "4 cache(s)" in text
+        assert sibling_mesh(100, n_proxies=3).describe().count("ring")
+
+
+class TestBuildTopology:
+    def test_unknown_kind(self):
+        with pytest.raises(ConfigurationError):
+            build_topology("torus", 1000)
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ConfigurationError):
+            build_topology("single", 0)
+
+    def test_single_gets_whole_budget(self):
+        topo = build_topology("single", 1000)
+        assert topo.total_capacity_bytes() == 1000
+
+    def test_uniform_split(self):
+        total = 10_000
+        assert build_topology("two-level", total, n=4) \
+            .nodes["parent"].capacity_bytes == total // 5
+        assert build_topology("mesh", total, n=4) \
+            .nodes["proxy0"].capacity_bytes == total // 4
+        assert build_topology("path", total, n=5) \
+            .nodes["l0"].capacity_bytes == total // 5
+        # Depth-3 binary tree: 7 caches.
+        topo = build_topology("tree", total, n=3)
+        assert topo.n_caches == 7
+        assert topo.nodes["l0n0"].capacity_bytes == total // 7
+
+    def test_every_kind_validates(self):
+        for kind in TOPOLOGY_KINDS:
+            build_topology(kind, 100_000, n=2).validate()
+
+    def test_mesh_needs_two_proxies(self):
+        with pytest.raises(ConfigurationError):
+            build_topology("mesh", 1000, n=1)

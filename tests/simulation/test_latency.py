@@ -101,3 +101,61 @@ class TestSimulatorIntegration:
         mm = result.latency.mean_latency(DocumentType.MULTIMEDIA)
         img = result.latency.mean_latency(DocumentType.IMAGE)
         assert mm > 10 * img
+
+
+class TestLink:
+    def test_validation(self):
+        from repro.simulation.latency import Link
+
+        with pytest.raises(ConfigurationError):
+            Link(rtt=0, bandwidth=1000.0)
+        with pytest.raises(ConfigurationError):
+            Link(rtt=0.01, bandwidth=0)
+
+    def test_time_is_rtt_plus_transmission(self):
+        from repro.simulation.latency import Link
+
+        link = Link(rtt=0.02, bandwidth=1000.0)
+        assert link.time(500) == pytest.approx(0.02 + 0.5)
+
+
+class TestPathLatency:
+    """path_latency generalizes LatencyModel: a one-link path is the
+    hit formula, client+origin is the miss formula — float-exact, so
+    the network engine and the single-cache simulator agree to the
+    last bit."""
+
+    def test_one_link_matches_hit_latency(self):
+        from repro.simulation.latency import path_latency
+
+        model = LatencyModel()
+        for size in (0, 777, 10 ** 6):
+            assert path_latency([model.client_link], size) == \
+                model.hit_latency(size)
+
+    def test_two_links_match_miss_latency(self):
+        from repro.simulation.latency import path_latency
+
+        model = LatencyModel()
+        for size in (0, 777, 10 ** 6):
+            assert path_latency([model.client_link,
+                                 model.origin_link], size) == \
+                model.miss_latency(size)
+
+    def test_transfer_charged_at_bottleneck_once(self):
+        from repro.simulation.latency import Link, path_latency
+
+        links = [Link(rtt=0.01, bandwidth=4000.0),
+                 Link(rtt=0.02, bandwidth=1000.0),
+                 Link(rtt=0.03, bandwidth=2000.0)]
+        assert path_latency(links, 2000) == \
+            pytest.approx(0.06 + 2000 / 1000.0)
+
+    def test_from_links_round_trip(self):
+        from repro.simulation.latency import Link
+
+        client = Link(rtt=0.004, bandwidth=2_000_000.0)
+        origin = Link(rtt=0.080, bandwidth=100_000.0)
+        model = LatencyModel.from_links(client, origin)
+        assert model.client_link == client
+        assert model.origin_link == origin

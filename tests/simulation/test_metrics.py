@@ -82,3 +82,36 @@ class TestTypeMetrics:
         again = TypeMetrics.from_dict(metrics.as_dict())
         assert again.hit_rate(DocumentType.HTML) == 1.0
         assert again.overall.requested_bytes == 77
+
+
+class TestTypeMetricsMerge:
+    """merge() is what lets the network engine keep per-node
+    accumulators and still reproduce the legacy loops' single shared
+    ones (integer sums commute)."""
+
+    def test_merge_equals_single_accumulator(self):
+        import random
+        rng = random.Random(7)
+        shared = TypeMetrics()
+        parts = [TypeMetrics() for _ in range(3)]
+        for index in range(300):
+            doc_type = rng.choice(DOCUMENT_TYPES)
+            hit = rng.random() < 0.4
+            size = rng.randint(1, 5000)
+            shared.record(doc_type, hit, size)
+            parts[index % 3].record(doc_type, hit, size)
+        merged = TypeMetrics()
+        for part in parts:
+            merged.merge(part)
+        assert merged.as_dict() == shared.as_dict()
+
+    def test_merge_into_empty_copies(self):
+        source = TypeMetrics()
+        source.record(DocumentType.IMAGE, True, 123)
+        target = TypeMetrics()
+        target.merge(source)
+        assert target.as_dict() == source.as_dict()
+        # And merging is additive, not overwriting.
+        target.merge(source)
+        assert target.overall.requests == 2
+        assert target.overall.hit_bytes == 246
