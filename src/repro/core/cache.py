@@ -13,6 +13,13 @@ Semantics (paper Section 4.1):
   admitted;
 * a document larger than the whole cache is never admitted (bypass);
 * admission evicts minimum-value victims until the new document fits.
+
+The cache is **single-threaded** (see the concurrency contract in
+:mod:`repro.core.policy`); the serving layer wraps it in one
+per-instance lock rather than this module locking per operation.
+:attr:`Cache.on_evict` is the observation hook that layer uses: it
+fires once per evicted entry, after the entry has fully left both the
+residency map and the policy — never mid-eviction.
 """
 
 from __future__ import annotations
@@ -43,6 +50,12 @@ class Cache:
         self.evictions = 0
         self.bypasses = 0
         self.invalidations = 0
+        #: Optional observer called as ``on_evict(entry)`` after each
+        #: eviction completes (entry removed from residency *and*
+        #: policy).  Also fires for invalidation-path drops, so an
+        #: observer tracking sidecar state (e.g. served payloads) sees
+        #: every departure.  None (the default) costs one comparison.
+        self.on_evict = None
         policy.attach(self)
 
     # ----- queries ------------------------------------------------------
@@ -64,6 +77,15 @@ class Cache:
     @property
     def free_bytes(self) -> int:
         return self.capacity_bytes - self.used_bytes
+
+    def next_victim(self) -> Optional[CacheEntry]:
+        """The entry the policy would evict next, or None when the
+        cache is empty or the policy cannot preview without mutating
+        (:meth:`~repro.core.policy.ReplacementPolicy.peek_victim`)."""
+        try:
+            return self.policy.peek_victim()
+        except (IndexError, NotImplementedError):
+            return None
 
     # ----- the one mutating entry point ----------------------------------
 
@@ -149,6 +171,8 @@ class Cache:
                     f"policy evicted unknown entry {victim.url!r}")
             self.used_bytes -= victim.size
             self.evictions += 1
+            if self.on_evict is not None:
+                self.on_evict(victim)
 
     def _drop(self, entry: CacheEntry, count_as_invalidation: bool) -> None:
         self.policy.remove(entry)
@@ -156,6 +180,8 @@ class Cache:
         self.used_bytes -= entry.size
         if count_as_invalidation:
             self.invalidations += 1
+        if self.on_evict is not None:
+            self.on_evict(entry)
 
     # ----- consistency check (tests) -------------------------------------
 

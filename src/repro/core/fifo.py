@@ -30,6 +30,9 @@ class FIFOPolicy(ReplacementPolicy):
         # FIFO ignores references.
         pass
 
+    def peek_victim(self) -> CacheEntry:
+        return self._order.front()  # the oldest-admitted entry
+
     def pop_victim(self) -> CacheEntry:
         entry = self._order.pop_front()
         entry.policy_data = None

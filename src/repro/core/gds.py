@@ -55,6 +55,9 @@ class GDSPolicy(ReplacementPolicy):
         # A hit restores the document's full (inflated) value.
         self._heap.update_key(entry, self._value(entry))
 
+    def peek_victim(self) -> CacheEntry:
+        return self._heap.peek()[0]
+
     def pop_victim(self) -> CacheEntry:
         entry, h_min = self._heap.pop()
         # Aging: everything not touched since stays below future H values.

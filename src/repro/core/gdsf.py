@@ -47,6 +47,9 @@ class GDSFPolicy(ReplacementPolicy):
     def on_hit(self, entry: CacheEntry) -> None:
         self._heap.update_key(entry, self._value(entry))
 
+    def peek_victim(self) -> CacheEntry:
+        return self._heap.peek()[0]
+
     def pop_victim(self) -> CacheEntry:
         entry, h_min = self._heap.pop()
         self.inflation = h_min

@@ -94,6 +94,9 @@ class GDStarPolicy(ReplacementPolicy):
         entry.policy_data = self._clock
         self._heap.update_key(entry, self._value(entry))
 
+    def peek_victim(self) -> CacheEntry:
+        return self._heap.peek()[0]
+
     def pop_victim(self) -> CacheEntry:
         entry, h_min = self._heap.pop()
         self.inflation = h_min

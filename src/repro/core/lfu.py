@@ -31,6 +31,9 @@ class LFUPolicy(ReplacementPolicy):
     def on_hit(self, entry: CacheEntry) -> None:
         self._heap.update_key(entry, entry.frequency)
 
+    def peek_victim(self) -> CacheEntry:
+        return self._heap.peek()[0]
+
     def pop_victim(self) -> CacheEntry:
         entry, _ = self._heap.pop()
         return entry

@@ -37,6 +37,9 @@ class LFUDAPolicy(ReplacementPolicy):
     def on_hit(self, entry: CacheEntry) -> None:
         self._heap.update_key(entry, self._key(entry))
 
+    def peek_victim(self) -> CacheEntry:
+        return self._heap.peek()[0]
+
     def pop_victim(self) -> CacheEntry:
         entry, key = self._heap.pop()
         # The evicted document's key becomes the new cache age; keys only

@@ -29,6 +29,9 @@ class LRUPolicy(ReplacementPolicy):
     def on_hit(self, entry: CacheEntry) -> None:
         self._order.move_to_back(entry.policy_data)
 
+    def peek_victim(self) -> CacheEntry:
+        return self._order.front()  # the least-recently-used entry
+
     def pop_victim(self) -> CacheEntry:
         entry = self._order.pop_front()
         entry.policy_data = None

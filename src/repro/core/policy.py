@@ -13,6 +13,27 @@ eviction order over the entries the cache hands it.  The contract:
 
 Policies may keep per-entry state in ``entry.policy_data``; the cache
 guarantees an entry is handed to exactly one policy.
+
+Concurrency contract
+--------------------
+
+Policies are **single-threaded**.  Every mutation point — the dlist
+relinks of :meth:`ReplacementPolicy.on_hit`, the heap sifts of
+``pop_victim``/``update_key``, the aging-state updates of LFU-DA and
+the Greedy-Dual family — leaves the backing structure transiently
+inconsistent (a node unlinked but not relinked, a heap entry mid-sift
+with a stale position map, ``cache_age``/``inflation`` read before the
+pop that advances it).  Nothing in :mod:`repro.core` locks, because
+the simulator drives each cache from exactly one thread.
+
+Concurrent access therefore belongs one layer up:
+:class:`repro.serving.cache.ServedCache` serializes *every* cache and
+policy touch — mutations and reads alike — behind one per-instance
+lock, so no thread can observe :class:`~repro.structures.dlist.DList`
+or :class:`~repro.structures.addressable_heap.AddressableHeap` state
+mid-eviction.  Code adding a policy needs no locking of its own, but
+must not cache state outside the entry/structure fields the lock
+already covers.
 """
 
 from __future__ import annotations
@@ -118,6 +139,20 @@ class ReplacementPolicy(ABC):
         Raises IndexError when the policy tracks no entries (the cache
         treats that as an internal inconsistency).
         """
+
+    def peek_victim(self) -> CacheEntry:
+        """The entry :meth:`pop_victim` would return next, **without**
+        removing it or advancing any aging state.
+
+        The reusable eviction-decision hook: serving-layer admission
+        control and diagnostics can ask "what would go next?" without
+        running the simulator loop.  Raises IndexError when empty and
+        NotImplementedError for policies whose next victim is not
+        observable without mutation (e.g. random sampling); callers
+        treat the latter as "no answer", never as an error.
+        """
+        raise NotImplementedError(
+            f"{self.name!r} cannot preview its victim without mutating")
 
     @abstractmethod
     def remove(self, entry: CacheEntry) -> None:

@@ -26,6 +26,13 @@ hierarchies, meshes, paths, and trees through one engine::
     python -m repro.experiments network run --profile dfn \\
         --topology tree --strategy probcache
     python -m repro.experiments network validate --profile dfn --irm
+
+The serving subcommand (:mod:`repro.serving.cli`) runs the policies
+as a live sharded cache and load-replays workloads against one::
+
+    python -m repro.experiments serving serve --capacity 50000000
+    python -m repro.experiments serving replay --profile dfn --irm \\
+        --validate --max-mae 0.01
 """
 
 from __future__ import annotations
@@ -55,7 +62,8 @@ def build_parser() -> argparse.ArgumentParser:
         help="experiment id, or 'all' ('model' dispatches to the "
              "analytical-model subcommand: predict/curve/validate; "
              "'service' to the durable experiment service: "
-             "enqueue/work/status/report/regress/compact/chaos)")
+             "enqueue/work/status/report/regress/compact/chaos; "
+             "'serving' to the online cache: serve/replay)")
     parser.add_argument(
         "--scale", choices=list(SCALES), default="small",
         help="workload scale (default: small)")
@@ -145,6 +153,11 @@ def main(argv: Optional[List[str]] = None) -> int:
         # same early-dispatch pattern.
         from repro.network.cli import main as network_main
         return network_main(argv[1:])
+    if argv and argv[0] == "serving":
+        # Online-serving verbs (serve/replay); same early-dispatch
+        # pattern.
+        from repro.serving.cli import main as serving_main
+        return serving_main(argv[1:])
     args = build_parser().parse_args(argv)
     configure(level=args.log_level, json_lines=args.log_json)
     if args.trace_spans:

@@ -204,6 +204,66 @@ class NetworkTrialSpec:
                          seed=self.seed)
 
 
+@dataclass(frozen=True)
+class ServingTrialSpec:
+    """One seeded *serving replay* cell: the online sharded cache as
+    an experimental subject.
+
+    Lives in the same queue and store as :class:`TrialSpec`; the
+    worker dispatches on the presence of the ``shards`` key (classic
+    and network specs never carry one, so existing stored config
+    hashes are untouched).  The payload records the replayed hit
+    rates *and* their disagreement against the simulator and the Che
+    model — no timings, so the payload stays a pure function of the
+    spec and the store's bit-identical compaction guarantee holds.
+    """
+
+    trace: str
+    scale: float
+    policy: str
+    size_fraction: float
+    seed: int
+    shards: int = 4
+
+    def __post_init__(self):
+        if self.trace not in TRACE_PROFILES:
+            raise ServiceError(
+                f"unknown trace profile {self.trace!r}; known: "
+                + ", ".join(TRACE_PROFILES))
+        if not 0 < self.size_fraction <= 1:
+            raise ServiceError("size_fraction must be in (0, 1]")
+        if self.scale <= 0:
+            raise ServiceError("scale must be positive")
+        if self.shards < 1:
+            raise ServiceError("shards must be >= 1")
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ServingTrialSpec":
+        try:
+            return cls(trace=str(data["trace"]),
+                       scale=float(data["scale"]),
+                       policy=str(data["policy"]),
+                       size_fraction=float(data["size_fraction"]),
+                       seed=int(data["seed"]),
+                       shards=int(data["shards"]))
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ServiceError(
+                f"malformed serving trial spec: {exc}") from exc
+
+    def as_dict(self) -> dict:
+        return asdict(self)
+
+    def config_key(self) -> str:
+        config = self.as_dict()
+        del config["seed"]
+        return config_hash(config)
+
+    def result_key(self, git_hash: Optional[str] = None) -> ResultKey:
+        return ResultKey(config_hash=self.config_key(),
+                         git_hash=git_hash or git_revision(),
+                         seed=self.seed)
+
+
 class _WorkerTraceCache:
     """Per-process memo of generated traces, keyed like the suite
     runner's cache: one (profile, scale, seed) trace serves every
@@ -346,6 +406,51 @@ def execute_network_trial(spec: NetworkTrialSpec) -> dict:
     }
 
 
+def execute_serving_trial(spec: ServingTrialSpec) -> dict:
+    """Run one serving replay trial; deterministic payload.
+
+    The replay runs one thread per shard, so per-shard hit counts are
+    exact and the validation errors are reproducible; wall-clock
+    numbers (throughput, latency) are deliberately dropped from the
+    payload — they vary per host, and the store requires re-executions
+    to be bit-identical.
+    """
+    from repro.serving.replay import ReplayConfig, validate_replay
+    from repro.simulation.sweep import cache_sizes_from_fractions
+
+    trace = _TRACES.get(spec.trace, spec.scale, spec.seed)
+    if getattr(trace, "is_columnar", False):
+        # Replay drives Request objects through shard threads; the
+        # columnar mmap serves the simulators, not the serving layer.
+        trace = _WorkerTraceCache._generate(spec.trace, spec.scale,
+                                            spec.seed)
+    capacity = cache_sizes_from_fractions(
+        trace, [spec.size_fraction])[0]
+    validation = validate_replay(
+        trace, ReplayConfig(capacity_bytes=capacity,
+                            n_shards=spec.shards,
+                            policy=spec.policy))
+    report = validation.report
+    return {
+        "spec": spec.as_dict(),
+        "capacity_bytes": capacity,
+        "hit_rate": report.hit_rate,
+        "shard_hit_rates": {
+            shard.shard: shard.hit_rate
+            for shard in report.per_shard
+        },
+        "type_hit_rates": {
+            doc_type.value: report.per_type_hit_rate.get(
+                doc_type.value, 0.0)
+            for doc_type in DocumentType
+        },
+        "sim_mae": validation.sim_mae,
+        "sim_max_error": validation.sim_max_error,
+        "model_mae": validation.model_mae,
+        "model_max_error": validation.model_max_error,
+    }
+
+
 # --------------------------------------------------------------------------
 # Service root helpers
 # --------------------------------------------------------------------------
@@ -403,6 +508,27 @@ def enqueue_network_grid(queue: TrialQueue, *, traces: Sequence[str],
                                 seed=seed, n=n)
                             trial_id, _ = queue.enqueue(spec.as_dict())
                             ids.append(trial_id)
+    return ids
+
+
+def enqueue_serving_grid(queue: TrialQueue, *, traces: Sequence[str],
+                         scale: float, policies: Sequence[str],
+                         size_fractions: Sequence[float],
+                         seeds: Sequence[int],
+                         shards: int = 4) -> List[str]:
+    """Enqueue a serving-replay cross product (policy × budget ×
+    seed at one shard count); idempotent, returns trial ids."""
+    ids = []
+    for trace in traces:
+        for policy in policies:
+            for fraction in size_fractions:
+                for seed in seeds:
+                    spec = ServingTrialSpec(
+                        trace=trace, scale=scale, policy=policy,
+                        size_fraction=fraction, seed=seed,
+                        shards=shards)
+                    trial_id, _ = queue.enqueue(spec.as_dict())
+                    ids.append(trial_id)
     return ids
 
 
@@ -492,11 +618,16 @@ def _run_claimed(queue: TrialQueue, store: ResultsStore,
                  git_hash: str,
                  known_keys: Optional[set] = None) -> bool:
     try:
-        # Network trials share the queue/store; the ``topology`` key
-        # is the dispatch bit (classic specs never carry one, so
-        # existing stored config hashes are unaffected).
-        spec_cls = (NetworkTrialSpec if "topology" in claimed.spec
-                    else TrialSpec)
+        # Network and serving trials share the queue/store; the
+        # ``topology`` / ``shards`` keys are the dispatch bits
+        # (classic specs never carry either, so existing stored
+        # config hashes are unaffected).
+        if "topology" in claimed.spec:
+            spec_cls = NetworkTrialSpec
+        elif "shards" in claimed.spec:
+            spec_cls = ServingTrialSpec
+        else:
+            spec_cls = TrialSpec
         spec = spec_cls.from_dict(claimed.spec)
     except ServiceError as exc:
         # A structurally valid JSON file holding a semantically bad
@@ -520,9 +651,12 @@ def _run_claimed(queue: TrialQueue, store: ResultsStore,
             if fault_injector is not None:
                 fault_injector.on_start(claimed.trial_id,
                                         claimed.attempt)
-            payload = (execute_network_trial(spec)
-                       if isinstance(spec, NetworkTrialSpec)
-                       else execute_trial(spec))
+            if isinstance(spec, NetworkTrialSpec):
+                payload = execute_network_trial(spec)
+            elif isinstance(spec, ServingTrialSpec):
+                payload = execute_serving_trial(spec)
+            else:
+                payload = execute_trial(spec)
         except Exception as exc:  # noqa: BLE001 - released, not lost
             trial_span.set_status("error")
             queue.release(
@@ -622,12 +756,13 @@ def build_report(store: ResultsStore, alpha: float = 0.05,
         if value is None or "policy" not in spec:
             continue  # foreign record (not written by the service)
         # Network trials extend the condition with (topology,
-        # strategy); classic trials carry None there, so their
-        # grouping — and the report over an existing store — is
-        # unchanged.
+        # strategy) and serving trials with (shards); classic trials
+        # carry None there, so their grouping — and the report over
+        # an existing store — is unchanged.
         group = (spec.get("trace"), spec.get("scale"),
                  spec.get("size_fraction"), key.git_hash,
-                 spec.get("topology"), spec.get("strategy"))
+                 spec.get("topology"), spec.get("strategy"),
+                 spec.get("shards"))
         samples = groups.setdefault(group, {})
         # keyed by seed: a duplicate append never double-counts
         samples.setdefault(spec["policy"], {})[key.seed] = value
@@ -636,7 +771,8 @@ def build_report(store: ResultsStore, alpha: float = 0.05,
     data: dict = {"metric": metric, "alpha": alpha, "groups": []}
     for group, by_policy in sorted(groups.items(),
                                    key=lambda item: str(item[0])):
-        trace, scale, fraction, git_hash, topology, strategy = group
+        (trace, scale, fraction, git_hash, topology, strategy,
+         shards) = group
         samples = {policy: [value for _, value in sorted(seeds.items())]
                    for policy, seeds in by_policy.items()}
         ranking = rank_policies(samples, alpha=alpha)
@@ -646,8 +782,9 @@ def build_report(store: ResultsStore, alpha: float = 0.05,
                        for b in sorted(samples)[i + 1:]]
         network = (f" topology={topology} strategy={strategy}"
                    if topology is not None else "")
+        serving = (f" shards={shards}" if shards is not None else "")
         lines.append(f"== trace={trace} scale={scale:g} "
-                     f"cache={fraction:.1%}{network} "
+                     f"cache={fraction:.1%}{network}{serving} "
                      f"git={git_hash} ==")
         lines.append(f"{'rank':>4}  {'policy':<14} {'n':>3} "
                      f"{'mean':>8} {'95% CI':>19}")
@@ -678,6 +815,8 @@ def build_report(store: ResultsStore, alpha: float = 0.05,
         if topology is not None:
             entry["topology"] = topology
             entry["strategy"] = strategy
+        if shards is not None:
+            entry["shards"] = shards
         data["groups"].append(entry)
     if not lines:
         lines.append("(store holds no service records)")
@@ -783,6 +922,22 @@ def build_parser() -> argparse.ArgumentParser:
     enq.add_argument("--seeds", nargs="+", type=int,
                      default=[42, 1042, 2042])
 
+    esv = sub.add_parser("enqueue-serving",
+                         help="add a serving-replay (trace x policy "
+                              "x size x seed) grid at one shard "
+                              "count; idempotent")
+    esv.add_argument("--traces", nargs="+", default=["dfn"],
+                     choices=list(TRACE_PROFILES))
+    esv.add_argument("--scale", choices=list(SCALES), default="tiny")
+    esv.add_argument("--policies", nargs="+",
+                     default=["lru", "gds(1)", "gd*(1)"])
+    esv.add_argument("--size-fractions", nargs="+", type=float,
+                     default=[0.01])
+    esv.add_argument("--seeds", nargs="+", type=int,
+                     default=[42, 1042, 2042])
+    esv.add_argument("--shards", type=int, default=4,
+                     help="consistent-hash shard count (default: 4)")
+
     wrk = sub.add_parser("work",
                          help="run trials until the queue drains")
     wrk.add_argument("--workers", type=int, default=1,
@@ -876,6 +1031,17 @@ def main(argv: Optional[List[str]] = None) -> int:
             policies=args.policies,
             size_fractions=args.size_fractions, seeds=args.seeds)
         print(f"enqueued {len(ids)} trial(s); "
+              f"{queue.status().pending} pending")
+        return 0
+
+    if args.verb == "enqueue-serving":
+        queue, _ = open_service(root)
+        ids = enqueue_serving_grid(
+            queue, traces=args.traces, scale=SCALES[args.scale],
+            policies=args.policies,
+            size_fractions=args.size_fractions, seeds=args.seeds,
+            shards=args.shards)
+        print(f"enqueued {len(ids)} serving trial(s); "
               f"{queue.status().pending} pending")
         return 0
 

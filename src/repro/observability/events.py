@@ -88,6 +88,13 @@ EVENT_SCHEMAS: Dict[str, Set[str]] = {
     "service_worker_started": {"owner"},
     "service_worker_exited": {"owner", "executed"},
     "service_worker_restarted": {"worker", "exitcode", "restarts"},
+    # online serving subsystem (repro.serving)
+    "serving_started": {"host", "port", "shards", "policy",
+                        "capacity_bytes"},
+    "replay_finished": {"requests", "threads", "shards", "policy",
+                        "hit_rate", "duration_seconds",
+                        "requests_per_second"},
+    "shard_rebalanced": {"action", "shard", "shards"},
     # hierarchical spans (repro.observability.trace): opened on start
     # so live dashboards see in-flight work, closed with the timing
     "span_started": {"name", "trace_id", "span_id", "parent_id"},
@@ -129,6 +136,16 @@ EVENT_FIELD_TYPES: Dict[str, Dict[str, tuple]] = {
     "record_appended": {"key": _STR},
     "store_compacted": {"records": (int,), "segments": (int,),
                         "quarantined": (int,)},
+    # online serving: the replay gate and dashboards read these
+    "serving_started": {"host": _STR, "port": (int,),
+                        "shards": (int,), "policy": _STR,
+                        "capacity_bytes": (int,)},
+    "replay_finished": {"requests": (int,), "threads": (int,),
+                        "shards": (int,), "policy": _STR,
+                        "hit_rate": _NUM, "duration_seconds": _NUM,
+                        "requests_per_second": _NUM},
+    "shard_rebalanced": {"action": _STR, "shard": _STR,
+                         "shards": (int,)},
 }
 
 

@@ -1,0 +1,7 @@
+"""``python -m repro.serving`` — the serving CLI (serve/replay)."""
+
+import sys
+
+from repro.serving.cli import main
+
+sys.exit(main())

@@ -1,0 +1,318 @@
+"""The ``serving`` subcommand of the experiments CLI.
+
+Two verbs::
+
+    python -m repro.experiments serving serve \\
+        --shards 4 --policy lru --capacity 50000000 --port 7070
+    python -m repro.experiments serving replay \\
+        --profile dfn --profile-scale 0.0156 --irm \\
+        --shards 4 --policy lru --size-fraction 0.05 \\
+        --validate --max-mae 0.01 --max-model-mae 0.02 \\
+        --report serving-replay.json
+
+``serve`` runs the asyncio TCP front end until interrupted.
+``replay`` fires a workload (synthetic profile or trace file) at an
+in-process sharded cache, one thread per shard, and — with
+``--validate`` — re-simulates every shard's substream through
+:func:`repro.simulation.engine.run_cells` and the Che model, exiting
+non-zero when either disagreement exceeds its tolerance.  That is the
+CI ``serving`` gate.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional
+
+from repro.errors import ConfigurationError, ReproError
+from repro.observability.logs import LOG_LEVELS, configure, get_logger
+from repro.observability.manifest import TelemetryRun
+from repro.serving.replay import (
+    ReplayConfig,
+    ReplayReport,
+    ReplayValidation,
+    replay,
+    validate_replay,
+)
+from repro.serving.sharding import ShardedCache
+
+_logger = get_logger("serving.cli")
+
+PROFILE_NAMES = ("dfn", "rtp", "future", "uniform")
+DEFAULT_PROFILE_SCALE = 1.0 / 256.0
+DEFAULT_SIZE_FRACTION = 0.05
+
+
+def _add_workload_options(parser: argparse.ArgumentParser) -> None:
+    source = parser.add_argument_group("workload source")
+    source.add_argument(
+        "--trace", default=None, metavar="PATH",
+        help="replay this trace file (squid/clf/csv, .gz ok)")
+    source.add_argument(
+        "--profile", choices=PROFILE_NAMES, default=None,
+        help="generate a synthetic trace from a named profile")
+    source.add_argument(
+        "--profile-scale", type=float, default=DEFAULT_PROFILE_SCALE,
+        help="profile scale factor (default: 1/256)")
+    source.add_argument(
+        "--seed", type=int, default=None,
+        help="override the profile's seed")
+    source.add_argument(
+        "--irm", action="store_true",
+        help="generate under the Independent Reference Model (the "
+             "regime the Che comparison assumes)")
+
+
+def _add_cache_options(parser: argparse.ArgumentParser) -> None:
+    cache = parser.add_argument_group("cache shape")
+    cache.add_argument(
+        "--shards", type=int, default=4,
+        help="number of consistent-hash shards (default: 4)")
+    cache.add_argument(
+        "--policy", default="lru",
+        help="replacement policy name (default: lru)")
+    cache.add_argument(
+        "--capacity", type=int, default=None,
+        help="aggregate capacity in bytes (overrides --size-fraction)")
+    cache.add_argument(
+        "--size-fraction", type=float, default=DEFAULT_SIZE_FRACTION,
+        help="aggregate capacity as a fraction of the workload's "
+             f"unique bytes (default: {DEFAULT_SIZE_FRACTION})")
+    cache.add_argument(
+        "--vnodes", type=int, default=128,
+        help="ring points per shard (default: 128)")
+
+
+def _add_common_options(parser: argparse.ArgumentParser) -> None:
+    obs = parser.add_argument_group("observability")
+    obs.add_argument(
+        "--log-level", choices=list(LOG_LEVELS), default="info",
+        help="diagnostic verbosity on stderr (default: info)")
+    obs.add_argument(
+        "--log-json", action="store_true",
+        help="emit diagnostics as JSON lines")
+    obs.add_argument(
+        "--telemetry-dir", default=None,
+        help="write manifest.json + events.jsonl here")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments serving",
+        description="Online serving: run the replacement policies as "
+                    "a live sharded cache, or replay a workload "
+                    "against one and validate the hit rates.")
+    verbs = parser.add_subparsers(dest="verb", required=True)
+
+    p_serve = verbs.add_parser(
+        "serve", help="run the TCP cache server until interrupted")
+    p_serve.add_argument("--host", default="127.0.0.1")
+    p_serve.add_argument(
+        "--port", type=int, default=7070,
+        help="listen port (0 picks a free one; default: 7070)")
+    _add_cache_options(p_serve)
+    _add_common_options(p_serve)
+
+    p_replay = verbs.add_parser(
+        "replay", help="fire a workload at an in-process sharded "
+                       "cache and report throughput + hit rates")
+    _add_workload_options(p_replay)
+    _add_cache_options(p_replay)
+    p_replay.add_argument(
+        "--sample-every", type=int, default=16,
+        help="time every Nth request for the latency histogram "
+             "(default: 16)")
+    p_replay.add_argument(
+        "--validate", action="store_true",
+        help="re-simulate each shard's substream (run_cells) and "
+             "predict it (Che model); report the disagreements")
+    p_replay.add_argument(
+        "--max-mae", type=float, default=None,
+        help="with --validate: fail (exit 1) when the per-shard "
+             "replay-vs-simulation hit-rate MAE exceeds this")
+    p_replay.add_argument(
+        "--max-model-mae", type=float, default=None,
+        help="with --validate: fail (exit 1) when the per-shard "
+             "replay-vs-model hit-rate MAE exceeds this (model "
+             "policies only)")
+    p_replay.add_argument(
+        "--json", action="store_true",
+        help="emit machine-readable JSON instead of a summary")
+    p_replay.add_argument(
+        "--report", default=None, metavar="PATH",
+        help="also write the full replay/validation report as JSON")
+    _add_common_options(p_replay)
+    return parser
+
+
+def _load_trace(args):
+    if (args.trace is None) == (args.profile is None):
+        raise ConfigurationError(
+            "exactly one of --trace or --profile is required")
+    if args.trace is not None:
+        from repro.trace.pipeline import load_trace
+
+        return load_trace(args.trace)
+    from repro.workload.generator import generate_trace
+    from repro.workload.profiles import profile_by_name, uniform_profile
+
+    if args.profile == "uniform":
+        profile = uniform_profile(
+            seed=args.seed if args.seed is not None else 7)
+        if args.profile_scale != DEFAULT_PROFILE_SCALE:
+            profile = profile.scaled(
+                args.profile_scale / DEFAULT_PROFILE_SCALE)
+    else:
+        profile = profile_by_name(args.profile,
+                                  scale=args.profile_scale,
+                                  seed=args.seed)
+    return generate_trace(profile,
+                          temporal_model="irm" if args.irm else "gaps")
+
+
+def _capacity_for(args, trace) -> int:
+    if args.capacity is not None:
+        return args.capacity
+    unique_bytes = sum({r.url: r.size
+                        for r in trace.requests}.values())
+    return max(int(unique_bytes * args.size_fraction), args.shards)
+
+
+def _run_serve(args) -> int:
+    import asyncio
+
+    if args.capacity is None:
+        raise ConfigurationError("serve requires --capacity")
+    cache = ShardedCache(args.capacity, n_shards=args.shards,
+                         policy=args.policy, vnodes=args.vnodes)
+    from repro.serving.server import CacheServer
+
+    async def _serve() -> None:
+        server = CacheServer(cache, host=args.host, port=args.port)
+        await server.start()
+        print(f"serving {args.policy} x{args.shards} on "
+              f"{server.host}:{server.port}", flush=True)
+        try:
+            await server.serve_forever()
+        except asyncio.CancelledError:
+            pass
+        finally:
+            await server.stop()
+
+    try:
+        asyncio.run(_serve())
+    except KeyboardInterrupt:
+        pass
+    return 0
+
+
+def _summary(validation: Optional[ReplayValidation],
+             report: ReplayReport) -> str:
+    lines = [
+        f"replayed {report.requests:,} requests over "
+        f"{report.n_shards} shards ({report.policy}) in "
+        f"{report.duration_seconds:.2f}s — "
+        f"{report.requests_per_second:,.0f} req/s",
+        f"hit rate {report.hit_rate:.4f} "
+        f"(latency p50 {report.latency_quantiles['p50'] * 1e6:.1f}µs "
+        f"p99 {report.latency_quantiles['p99'] * 1e6:.1f}µs over "
+        f"{report.latency_samples:,} samples)",
+    ]
+    for shard in report.per_shard:
+        lines.append(f"  {shard.shard}: {shard.requests:>8,} req  "
+                     f"hit {shard.hit_rate:.4f}")
+    if validation is not None:
+        lines.append(
+            f"vs simulator: MAE {validation.sim_mae:.6f} "
+            f"max {validation.sim_max_error:.6f}")
+        if validation.model_mae is not None:
+            lines.append(
+                f"vs Che model: MAE {validation.model_mae:.4f} "
+                f"max {validation.model_max_error:.4f}")
+        else:
+            lines.append("vs Che model: n/a (policy outside lru/"
+                         "fifo/random)")
+    return "\n".join(lines)
+
+
+def _run_replay(args) -> int:
+    trace = _load_trace(args)
+    config = ReplayConfig(
+        capacity_bytes=_capacity_for(args, trace),
+        n_shards=args.shards, policy=args.policy,
+        vnodes=args.vnodes,
+        latency_sample_every=args.sample_every)
+    if args.validate:
+        validation = validate_replay(trace, config)
+        report = validation.report
+        payload = validation.as_dict()
+    else:
+        validation = None
+        report = replay(trace, config)
+        payload = report.as_dict()
+    if args.json:
+        print(json.dumps(payload, indent=2))
+    else:
+        print(_summary(validation, report))
+    if args.report:
+        with open(args.report, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+        _logger.info("replay report written to %s", args.report,
+                     extra={"path": args.report})
+
+    failed = False
+    if validation is not None and args.max_mae is not None:
+        if validation.sim_mae > args.max_mae:
+            _logger.error(
+                "replay-vs-simulation MAE %.6f exceeds %.6f",
+                validation.sim_mae, args.max_mae,
+                extra={"sim_mae": validation.sim_mae,
+                       "tolerance": args.max_mae})
+            failed = True
+    if validation is not None and args.max_model_mae is not None:
+        if (validation.model_mae is not None
+                and validation.model_mae > args.max_model_mae):
+            _logger.error(
+                "replay-vs-model MAE %.4f exceeds %.4f",
+                validation.model_mae, args.max_model_mae,
+                extra={"model_mae": validation.model_mae,
+                       "tolerance": args.max_model_mae})
+            failed = True
+    return 1 if failed else 0
+
+
+_VERBS = {
+    "serve": _run_serve,
+    "replay": _run_replay,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    configure(level=args.log_level, json_lines=args.log_json)
+    settings = {key: value for key, value in sorted(vars(args).items())
+                if key not in ("log_level", "log_json",
+                               "telemetry_dir") and value is not None}
+    run = None
+    if args.telemetry_dir:
+        run = TelemetryRun(args.telemetry_dir,
+                           kind=f"serving-{args.verb}",
+                           settings=settings)
+    try:
+        code = _VERBS[args.verb](args)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        code = 2
+    except Exception:
+        if run is not None:
+            run.finalize("failed")
+        raise
+    if run is not None:
+        run.finalize("complete" if code == 0 else "failed")
+    return code
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,171 @@
+"""Clients for the serving protocol (sync socket + asyncio).
+
+:class:`CacheClient` is a plain blocking-socket client — one
+connection, one outstanding request — which is what the protocol tests
+and simple drivers need.  :class:`AsyncCacheClient` speaks the same
+frames over asyncio streams for use inside the server's own loop.
+
+Both return the decoded response dict verbatim; a response with
+``ok: false`` raises :class:`ServingProtocolError` carrying the
+server's error string, so callers never have to remember to check.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import socket
+import struct
+from typing import Optional
+
+from repro.errors import ReproError
+from repro.serving.server import encode_frame, read_frame
+from repro.types import DocumentType
+
+_LEN = struct.Struct(">I")
+
+
+class ServingProtocolError(ReproError):
+    """The server answered ``ok: false`` (its error string attached)."""
+
+
+def _check(response: dict) -> dict:
+    if not response.get("ok"):
+        raise ServingProtocolError(
+            response.get("error", "server reported failure"))
+    return response
+
+
+class CacheClient:
+    """Blocking client: ``with CacheClient(host, port) as c: c.get(url)``."""
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 0,
+                 timeout: float = 10.0):
+        self._sock = socket.create_connection((host, port),
+                                              timeout=timeout)
+
+    def close(self) -> None:
+        self._sock.close()
+
+    def __enter__(self) -> "CacheClient":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def _roundtrip(self, message: dict) -> dict:
+        self._sock.sendall(encode_frame(message))
+        header = self._recv_exact(_LEN.size)
+        (length,) = _LEN.unpack(header)
+        body = self._recv_exact(length)
+        return _check(json.loads(body.decode("utf-8")))
+
+    def _recv_exact(self, n: int) -> bytes:
+        chunks = []
+        while n:
+            chunk = self._sock.recv(n)
+            if not chunk:
+                raise ServingProtocolError(
+                    "connection closed mid-frame")
+            chunks.append(chunk)
+            n -= len(chunk)
+        return b"".join(chunks)
+
+    # -- ops ---------------------------------------------------------------
+
+    def ping(self) -> bool:
+        return bool(self._roundtrip({"op": "ping"}).get("pong"))
+
+    def request(self, url: str, size: int,
+                doc_type: DocumentType = DocumentType.OTHER) -> str:
+        return self._roundtrip({"op": "request", "url": url,
+                                "size": size,
+                                "doc_type": doc_type.value})["outcome"]
+
+    def get(self, url: str) -> Optional[dict]:
+        response = self._roundtrip({"op": "get", "url": url})
+        if not response["found"]:
+            return None
+        if "payload" in response:
+            response["payload"] = response["payload"].encode("latin-1")
+        return response
+
+    def put(self, url: str, size: int,
+            doc_type: DocumentType = DocumentType.OTHER,
+            payload: Optional[bytes] = None) -> str:
+        message = {"op": "put", "url": url, "size": size,
+                   "doc_type": doc_type.value}
+        if payload is not None:
+            message["payload"] = payload.decode("latin-1")
+        return self._roundtrip(message)["outcome"]
+
+    def delete(self, url: str) -> bool:
+        return self._roundtrip({"op": "delete", "url": url})["deleted"]
+
+    def stats(self) -> dict:
+        return self._roundtrip({"op": "stats"})["stats"]
+
+
+class AsyncCacheClient:
+    """Asyncio client speaking the same frames (for in-loop callers)."""
+
+    def __init__(self):
+        self._reader: Optional[asyncio.StreamReader] = None
+        self._writer: Optional[asyncio.StreamWriter] = None
+
+    @classmethod
+    async def connect(cls, host: str = "127.0.0.1",
+                      port: int = 0) -> "AsyncCacheClient":
+        client = cls()
+        client._reader, client._writer = await asyncio.open_connection(
+            host, port)
+        return client
+
+    async def close(self) -> None:
+        if self._writer is not None:
+            self._writer.close()
+            await self._writer.wait_closed()
+            self._writer = None
+
+    async def call(self, message: dict) -> dict:
+        """One raw round trip (``ok`` checked)."""
+        self._writer.write(encode_frame(message))
+        await self._writer.drain()
+        response = await read_frame(self._reader)
+        if response is None:
+            raise ServingProtocolError("connection closed mid-frame")
+        return _check(response)
+
+    async def ping(self) -> bool:
+        return bool((await self.call({"op": "ping"})).get("pong"))
+
+    async def request(self, url: str, size: int,
+                      doc_type: DocumentType = DocumentType.OTHER
+                      ) -> str:
+        response = await self.call(
+            {"op": "request", "url": url, "size": size,
+             "doc_type": doc_type.value})
+        return response["outcome"]
+
+    async def get(self, url: str) -> Optional[dict]:
+        response = await self.call({"op": "get", "url": url})
+        if not response["found"]:
+            return None
+        if "payload" in response:
+            response["payload"] = response["payload"].encode("latin-1")
+        return response
+
+    async def put(self, url: str, size: int,
+                  doc_type: DocumentType = DocumentType.OTHER,
+                  payload: Optional[bytes] = None) -> str:
+        message = {"op": "put", "url": url, "size": size,
+                   "doc_type": doc_type.value}
+        if payload is not None:
+            message["payload"] = payload.decode("latin-1")
+        return (await self.call(message))["outcome"]
+
+    async def delete(self, url: str) -> bool:
+        return (await self.call({"op": "delete", "url": url}))["deleted"]
+
+    async def stats(self) -> dict:
+        return (await self.call({"op": "stats"}))["stats"]

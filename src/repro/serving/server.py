@@ -1,0 +1,184 @@
+"""Asyncio TCP front end for a served (possibly sharded) cache.
+
+Wire protocol: each message is a 4-byte big-endian length prefix
+followed by that many bytes of UTF-8 JSON.  Requests carry an ``op``
+plus op-specific fields; responses always carry ``ok`` (bool) and
+either the result fields or an ``error`` string.  Binary payloads ride
+inside the JSON as latin-1-mapped strings (byte-transparent both
+ways), which keeps the protocol one codec deep — this is a measurement
+front end, not a production proxy.
+
+Ops::
+
+    {"op": "ping"}                                   -> {"ok": true, "pong": true}
+    {"op": "request", "url", "size", "doc_type"?}    -> {"ok": true, "outcome": "hit"|...}
+    {"op": "get", "url"}                             -> {"ok": true, "found": bool, ...}
+    {"op": "put", "url", "size", "doc_type"?,
+     "payload"?}                                     -> {"ok": true, "outcome": ...}
+    {"op": "delete", "url"}                          -> {"ok": true, "deleted": bool}
+    {"op": "stats"}                                  -> {"ok": true, "stats": {...}}
+
+The event loop only frames and decodes; cache work happens in the
+handler coroutine directly because every :class:`ServedCache`
+operation is a sub-microsecond lock-plus-dict affair — punting it to a
+thread pool would cost more than the lock ever blocks.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import struct
+from typing import Optional, Union
+
+from repro.errors import ConfigurationError
+from repro.observability.events import emit
+from repro.observability.logs import get_logger
+from repro.serving.cache import ServedCache
+from repro.serving.sharding import ShardedCache
+from repro.types import DocumentType
+
+_logger = get_logger("serving.server")
+
+MAX_FRAME = 64 * 1024 * 1024  # refuse absurd frames instead of OOMing
+
+_LEN = struct.Struct(">I")
+
+
+def encode_frame(message: dict) -> bytes:
+    body = json.dumps(message, separators=(",", ":")).encode("utf-8")
+    if len(body) > MAX_FRAME:
+        raise ConfigurationError(
+            f"frame of {len(body)} bytes exceeds {MAX_FRAME}")
+    return _LEN.pack(len(body)) + body
+
+
+async def read_frame(reader: asyncio.StreamReader) -> Optional[dict]:
+    """One decoded frame, or None on clean EOF at a frame boundary."""
+    try:
+        header = await reader.readexactly(_LEN.size)
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial:
+            return None
+        raise
+    (length,) = _LEN.unpack(header)
+    if length > MAX_FRAME:
+        raise ConfigurationError(
+            f"peer announced a {length}-byte frame (max {MAX_FRAME})")
+    body = await reader.readexactly(length)
+    return json.loads(body.decode("utf-8"))
+
+
+class CacheServer:
+    """Serve one :class:`ServedCache` / :class:`ShardedCache` over TCP."""
+
+    def __init__(self, cache: Union[ServedCache, ShardedCache],
+                 host: str = "127.0.0.1", port: int = 0):
+        self.cache = cache
+        self.host = host
+        self.port = port
+        self._server: Optional[asyncio.AbstractServer] = None
+
+    async def start(self) -> None:
+        self._server = await asyncio.start_server(
+            self._handle, self.host, self.port)
+        self.port = self._server.sockets[0].getsockname()[1]
+        shards = (len(self.cache.shard_names)
+                  if isinstance(self.cache, ShardedCache) else 1)
+        policy = (self.cache.policy_name
+                  if isinstance(self.cache, ShardedCache)
+                  else self.cache.policy.name)
+        emit("serving_started", host=self.host, port=self.port,
+             shards=shards, policy=policy,
+             capacity_bytes=self.cache.capacity_bytes)
+        _logger.info("serving %s on %s:%d", policy, self.host, self.port)
+
+    async def stop(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+
+    async def serve_forever(self) -> None:
+        if self._server is None:
+            await self.start()
+        await self._server.serve_forever()
+
+    async def _handle(self, reader: asyncio.StreamReader,
+                      writer: asyncio.StreamWriter) -> None:
+        try:
+            while True:
+                try:
+                    message = await read_frame(reader)
+                except (ConfigurationError, ValueError,
+                        asyncio.IncompleteReadError) as exc:
+                    writer.write(encode_frame(
+                        {"ok": False, "error": f"bad frame: {exc}"}))
+                    await writer.drain()
+                    break
+                if message is None:
+                    break
+                writer.write(encode_frame(self._dispatch(message)))
+                await writer.drain()
+        except ConnectionResetError:
+            pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+
+    def _dispatch(self, message: dict) -> dict:
+        try:
+            op = message.get("op")
+            if op == "ping":
+                return {"ok": True, "pong": True}
+            if op == "stats":
+                stats = self.cache.stats()
+                if not isinstance(stats, dict):
+                    stats = stats.as_dict()
+                if isinstance(self.cache, ShardedCache):
+                    self.cache.publish_metrics()
+                return {"ok": True, "stats": stats}
+            if op == "request":
+                outcome = self.cache.request(
+                    message["url"], int(message["size"]),
+                    DocumentType(message.get("doc_type", "other")))
+                return {"ok": True, "outcome": outcome.value}
+            if op == "get":
+                document = self.cache.get(message["url"])
+                if document is None:
+                    return {"ok": True, "found": False}
+                response = {"ok": True, "found": True,
+                            "url": document.url, "size": document.size,
+                            "doc_type": document.doc_type.value,
+                            "frequency": document.frequency}
+                if document.payload is not None:
+                    response["payload"] = document.payload.decode(
+                        "latin-1")
+                return response
+            if op == "put":
+                payload = message.get("payload")
+                if payload is not None:
+                    payload = payload.encode("latin-1")
+                outcome = self.cache.put(
+                    message["url"], int(message["size"]),
+                    DocumentType(message.get("doc_type", "other")),
+                    payload)
+                return {"ok": True, "outcome": outcome.value}
+            if op == "delete":
+                return {"ok": True,
+                        "deleted": self.cache.delete(message["url"])}
+            return {"ok": False, "error": f"unknown op {op!r}"}
+        except Exception as exc:  # surface, don't kill the connection
+            return {"ok": False,
+                    "error": f"{type(exc).__name__}: {exc}"}
+
+
+async def serve(cache: Union[ServedCache, ShardedCache],
+                host: str = "127.0.0.1", port: int = 0) -> CacheServer:
+    """Start a :class:`CacheServer` and return it (caller stops it)."""
+    server = CacheServer(cache, host, port)
+    await server.start()
+    return server

@@ -1,0 +1,1 @@
+"""Tests for the online serving subsystem (repro.serving)."""

@@ -1,0 +1,157 @@
+"""Load replay and the triple-path validation gate.
+
+The load-bearing claims:
+
+* replayed per-shard hit rates equal a ``run_cells`` simulation of
+  each shard's substream **exactly** (one thread per shard preserves
+  per-shard order, and the served cache is bit-compatible with the
+  simulator);
+* for model policies on an IRM workload, the Che prediction lands
+  within its usual validation tolerance of the replayed rates.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.serving.replay import (
+    ReplayConfig,
+    partition_trace,
+    replay,
+    validate_replay,
+)
+from repro.serving.sharding import ShardedCache
+from repro.simulation.engine import SimulationConfig, run_cells
+from repro.workload.generator import generate_trace
+from repro.workload.profiles import dfn_like
+
+
+@pytest.fixture(scope="module")
+def irm_trace():
+    """Seeded IRM trace (~13k requests) — the regime the Che
+    comparison assumes; the CI gate runs the same shape larger."""
+    return generate_trace(dfn_like(scale=1.0 / 512.0, seed=42),
+                          temporal_model="irm")
+
+
+def _capacity(trace, fraction=0.05):
+    unique = {r.url: r.size for r in trace.requests}
+    return max(int(sum(unique.values()) * fraction), 8)
+
+
+class TestReplayMechanics:
+    def test_partition_preserves_order_and_covers(self, irm_trace):
+        cache = ShardedCache(_capacity(irm_trace), n_shards=4)
+        parts = partition_trace(irm_trace, cache)
+        assert sum(len(p) for p in parts.values()) == \
+            len(irm_trace.requests)
+        for shard, substream in parts.items():
+            owner = cache.ring.owner
+            assert all(owner(r.url) == shard for r in substream[:50])
+            stamps = [r.timestamp for r in substream]
+            assert stamps == sorted(stamps)
+
+    def test_report_accounting(self, irm_trace):
+        config = ReplayConfig(capacity_bytes=_capacity(irm_trace),
+                              n_shards=4)
+        report = replay(irm_trace, config)
+        assert report.requests == len(irm_trace.requests)
+        assert report.hits + report.misses == report.requests
+        assert report.requests == sum(s.requests
+                                      for s in report.per_shard)
+        assert report.hits == sum(s.hits for s in report.per_shard)
+        assert 0 < report.hit_rate < 1
+        assert report.requests_per_second > 0
+        assert report.latency_samples > 0
+        assert set(report.latency_quantiles) == {"p50", "p95", "p99"}
+        payload = report.as_dict()
+        assert payload["hit_rate"] == pytest.approx(report.hit_rate)
+
+    def test_per_type_hit_rates_consistent(self, irm_trace):
+        config = ReplayConfig(capacity_bytes=_capacity(irm_trace),
+                              n_shards=2)
+        report = replay(irm_trace, config)
+        by_type = {}
+        for request in irm_trace.requests:
+            by_type[request.doc_type.value] = \
+                by_type.get(request.doc_type.value, 0) + 1
+        hits = sum(
+            round(report.per_type_hit_rate[name] * count)
+            for name, count in by_type.items()
+            if name in report.per_type_hit_rate)
+        assert hits == report.hits
+
+    def test_config_validation(self):
+        with pytest.raises(ConfigurationError):
+            ReplayConfig(capacity_bytes=2, n_shards=4).validate()
+        with pytest.raises(ConfigurationError):
+            ReplayConfig(capacity_bytes=100,
+                         latency_sample_every=0).validate()
+
+    def test_replay_against_existing_cache_checks_shape(self,
+                                                        irm_trace):
+        cache = ShardedCache(_capacity(irm_trace), n_shards=2)
+        config = ReplayConfig(capacity_bytes=_capacity(irm_trace),
+                              n_shards=4)
+        with pytest.raises(ConfigurationError):
+            replay(irm_trace, config, cache=cache)
+
+
+class TestTriplePathValidation:
+    @pytest.mark.parametrize("policy", ["lru", "gdsf(1)"])
+    def test_replay_matches_simulation_exactly(self, irm_trace,
+                                               policy):
+        config = ReplayConfig(capacity_bytes=_capacity(irm_trace),
+                              n_shards=4, policy=policy)
+        validation = validate_replay(irm_trace, config)
+        assert validation.sim_mae == 0.0
+        assert validation.sim_max_error == 0.0
+        for shard in validation.shards:
+            assert shard.replayed_hit_rate == \
+                pytest.approx(shard.simulated_hit_rate, abs=1e-12)
+
+    def test_model_within_tolerance_on_irm(self, irm_trace):
+        """Third path: per-shard Che predictions.  The tiny test trace
+        is noisier than the CI-scale gate, so the tolerance here is
+        looser (CI runs ~100k requests at 2pp MAE)."""
+        config = ReplayConfig(capacity_bytes=_capacity(irm_trace),
+                              n_shards=4, policy="lru")
+        validation = validate_replay(irm_trace, config)
+        assert validation.model_mae is not None
+        assert validation.model_mae <= 0.05
+        assert all(s.model_hit_rate is not None
+                   for s in validation.shards)
+
+    def test_model_path_skipped_for_unsupported_policy(self,
+                                                       irm_trace):
+        config = ReplayConfig(capacity_bytes=_capacity(irm_trace),
+                              n_shards=2, policy="gdsf(1)")
+        validation = validate_replay(irm_trace, config)
+        assert validation.model_mae is None
+        assert all(s.model_hit_rate is None
+                   for s in validation.shards)
+
+    def test_aggregate_matches_whole_trace_partitioned_sim(self,
+                                                           irm_trace):
+        """Sanity on the headline claim: aggregate replayed hits
+        equal the sum of per-substream simulations."""
+        config = ReplayConfig(capacity_bytes=_capacity(irm_trace),
+                              n_shards=4)
+        report = replay(irm_trace, config)
+        probe = ShardedCache(config.capacity_bytes,
+                             n_shards=config.n_shards)
+        parts = partition_trace(irm_trace, probe)
+        simulated_hits = 0
+        for shard in probe.shard_names:
+            substream = parts[shard]
+            if not substream:
+                continue
+            [result] = run_cells(
+                substream,
+                [SimulationConfig(
+                    capacity_bytes=probe.shard(
+                        shard).capacity_bytes,
+                    policy="lru", warmup_fraction=0.0)])
+            simulated_hits += result.metrics.overall.hits
+        assert report.hits == simulated_hits

